@@ -1,0 +1,181 @@
+//===- bench/ablation_cvr.cpp - CVR design-choice ablations ---------------===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Ablation study of the design decisions DESIGN.md calls out (not a paper
+// figure; supports Section 4's design rationale):
+//
+//   1. vectorization: AVX-512 kernel vs the scalar kernel on the same CVR
+//      stream (the payoff of principle 1/2);
+//   2. stealing on/off: tail imbalance cost on skewed matrices;
+//   3. lane count 2/4/8/16 through the generic kernel;
+//   4. chunk (thread) count sweep: conversion + kernel scaling;
+//   5. feeding order: matrix order (the paper's choice) vs longest-first;
+//   6. precision: f64/8-lane vs f32/16-lane streams.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchlib/Equations.h"
+#include "core/Cvr.h"
+#include "core/CvrFloat.h"
+#include "gen/Generators.h"
+#include "support/Random.h"
+#include "support/Table.h"
+#include "support/Timer.h"
+
+#include <iostream>
+#include <vector>
+
+using namespace cvr;
+
+namespace {
+
+struct AblationRow {
+  std::string Config;
+  double PreprocessMs;
+  double Gflops;
+};
+
+AblationRow measure(const CsrMatrix &A, const CvrOptions &Opts,
+                    std::string Config) {
+  Timer Pre;
+  CvrMatrix M = CvrMatrix::fromCsr(A, Opts);
+  double PreSec = Pre.seconds();
+
+  Xoshiro256 Rng(7);
+  std::vector<double> X(static_cast<std::size_t>(A.numCols()));
+  for (double &V : X)
+    V = Rng.nextDouble(-1.0, 1.0);
+  std::vector<double> Y(static_cast<std::size_t>(A.numRows()), 0.0);
+
+  for (int I = 0; I < 3; ++I)
+    cvrSpmv(M, X.data(), Y.data());
+  int Iters = 0;
+  Timer Run;
+  do {
+    cvrSpmv(M, X.data(), Y.data());
+    ++Iters;
+  } while (Iters < 5 || Run.seconds() < 0.05);
+
+  return {std::move(Config), PreSec * 1e3,
+          spmvGflops(A.numNonZeros(), Run.seconds() / Iters)};
+}
+
+void section(const char *Title, const CsrMatrix &A,
+             const std::vector<std::pair<std::string, CvrOptions>> &Configs) {
+  TextTable T;
+  T.setHeader({"config", "preprocess (ms)", "GFlop/s"});
+  for (const auto &[Name, Opts] : Configs) {
+    AblationRow R = measure(A, Opts, Name);
+    T.addRow({R.Config, TextTable::fmt(R.PreprocessMs, 3),
+              TextTable::fmt(R.Gflops, 2)});
+  }
+  std::cout << Title << "\n\n";
+  T.print(std::cout);
+  std::cout << '\n';
+}
+
+} // namespace
+
+int main() {
+  // A skewed scale-free matrix (stresses stealing + locality) and a regular
+  // HPC one.
+  CsrMatrix ScaleFree = genRmat(13, 16, 601);
+  CsrMatrix Hpc = genStencil27(18, 18, 18);
+
+  {
+    CvrOptions Avx;
+    CvrOptions Scalar;
+    Scalar.ForceGenericKernel = true;
+    section("Ablation 1: vectorized vs scalar kernel (R-MAT scale 13)",
+            ScaleFree, {{"AVX-512 kernel", Avx}, {"scalar kernel", Scalar}});
+  }
+
+  {
+    CvrOptions On;
+    CvrOptions Off;
+    Off.EnableStealing = false;
+    // Stealing matters at the end of chunks; amplify with many chunks.
+    On.NumThreads = Off.NumThreads = 8;
+    section("Ablation 2: tracker stealing on/off (R-MAT, 8 chunks)",
+            ScaleFree, {{"stealing on", On}, {"stealing off", Off}});
+  }
+
+  {
+    std::vector<std::pair<std::string, CvrOptions>> Configs;
+    for (int Lanes : {2, 4, 8, 16}) {
+      CvrOptions O;
+      O.Lanes = Lanes;
+      O.ForceGenericKernel = true; // Same kernel for a fair width sweep.
+      Configs.push_back({"generic, " + std::to_string(Lanes) + " lanes", O});
+    }
+    CvrOptions Avx;
+    Configs.push_back({"AVX-512, 8 lanes", Avx});
+    section("Ablation 3: lane-count sweep (R-MAT)", ScaleFree, Configs);
+  }
+
+  {
+    std::vector<std::pair<std::string, CvrOptions>> Configs;
+    for (int Threads : {1, 2, 4, 8}) {
+      CvrOptions O;
+      O.NumThreads = Threads;
+      Configs.push_back({std::to_string(Threads) + " chunk(s)", O});
+    }
+    section("Ablation 4: chunk-count sweep (27-point stencil)", Hpc,
+            Configs);
+  }
+
+  {
+    CvrOptions Plain;
+    CvrOptions Sorted;
+    Sorted.SortFeedRows = true;
+    section("Ablation 5: matrix-order vs sorted feeding (R-MAT)", ScaleFree,
+            {{"matrix order (paper)", Plain},
+             {"longest-first (sort-first)", Sorted}});
+  }
+
+  {
+    // Ablation 6: double vs single precision (omega 8 vs 16).
+    TextTable T;
+    T.setHeader({"config", "preprocess (ms)", "GFlop/s"});
+    AblationRow F64 = measure(ScaleFree, {}, "f64, 8 lanes");
+    T.addRow({F64.Config, TextTable::fmt(F64.PreprocessMs, 3),
+              TextTable::fmt(F64.Gflops, 2)});
+
+    Timer Pre;
+    CvrMatrixF MF = CvrMatrixF::fromCsr(ScaleFree);
+    double PreMs = Pre.seconds() * 1e3;
+    Xoshiro256 Rng(7);
+    std::vector<float> X(static_cast<std::size_t>(ScaleFree.numCols()));
+    for (float &V : X)
+      V = static_cast<float>(Rng.nextDouble(-1.0, 1.0));
+    std::vector<float> Y(static_cast<std::size_t>(ScaleFree.numRows()));
+    for (int I = 0; I < 3; ++I)
+      cvrSpmvF(MF, X.data(), Y.data());
+    int Iters = 0;
+    Timer Run;
+    do {
+      cvrSpmvF(MF, X.data(), Y.data());
+      ++Iters;
+    } while (Iters < 5 || Run.seconds() < 0.05);
+    T.addRow({"f32, 16 lanes", TextTable::fmt(PreMs, 3),
+              TextTable::fmt(spmvGflops(ScaleFree.numNonZeros(),
+                                        Run.seconds() / Iters),
+                             2)});
+    std::cout << "Ablation 6: double vs single precision (R-MAT)\n\n";
+    T.print(std::cout);
+    std::cout << '\n';
+  }
+
+  std::cout << "expectation: AVX-512 kernel well above scalar; stealing "
+               "never hurts and helps on skew;\n8 lanes best among generic "
+               "widths on this host; chunk count flat on a single core;\n"
+               "f32/16-lane clearly above f64/8-lane. Feeding order is "
+               "host-dependent:\nmemory-bound machines (the paper's KNL) "
+               "see no kernel gain to offset the sort's\npreprocessing "
+               "cost, while compute-bound hosts batch finish events better "
+               "when\nsimilar-length rows share the lanes.\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+//===- bench/fig1_l2_missratio_avg.cpp - Paper Figure 1 -------------------===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Figure 1: "Average L2 Cache Miss ratio of existing work on data sets from
+// various domains" — the motivation figure. Each format's best-performing
+// variant is traced through the scaled cache model and the per-domain mean
+// L2 miss ratio reported.
+//
+// Reproduction target (shape): every format misses more on the scale-free
+// domains than on engineering-scientific matrices; CVR's bar is the lowest
+// in each domain (the paper reports roughly an order of magnitude lower).
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchlib/SuiteRunner.h"
+#include "support/Table.h"
+
+#include <iostream>
+
+using namespace cvr;
+
+int main(int Argc, char **Argv) {
+  SuiteOptions Opts = parseSuiteOptions(Argc, Argv);
+  Opts.ProbeLocality = true;
+  std::vector<DatasetSpec> Suite =
+      Opts.Smoke ? smokeSuite(Opts.SizeScale) : datasetSuite(Opts.SizeScale);
+  std::vector<MatrixResult> Results = runSuite(Suite, Opts);
+
+  auto Miss = [](const FormatResult &R) { return R.L2MissRatio; };
+
+  TextTable T;
+  T.setHeader({"domain", "MKL", "CSR(I)", "ESB", "VHCC", "CSR5", "CVR"});
+  for (Domain D : allDomains()) {
+    bool Any = false;
+    std::vector<std::string> Row = {domainName(D)};
+    for (FormatId F : allFormats()) {
+      double M = domainMean(Results, D, F, Miss);
+      Any = Any || M > 0.0;
+      Row.push_back(TextTable::fmt(M * 100.0, 2) + "%");
+    }
+    if (Any)
+      T.addRow(Row);
+  }
+
+  std::cout << "Figure 1: average L2 cache miss ratio per domain "
+               "(trace-driven cache model; lower is better)\n\n";
+  if (Opts.Csv)
+    T.printCsv(std::cout);
+  else
+    T.print(std::cout);
+  std::cout << "\npaper: scale-free domains miss more than HPC for every "
+               "format; CVR lowest everywhere\n";
+  return 0;
+}

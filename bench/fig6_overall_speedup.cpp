@@ -1,0 +1,64 @@
+//===- bench/fig6_overall_speedup.cpp - Paper Figure 6 --------------------===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Figure 6: "Overall Performance Speedup over MKL" — Equation 2 averaged
+// over all 58 matrices at n = 50, 100, 500, 1000 iterations, counting each
+// format's preprocessing time against it.
+//
+// Reproduction target (shape): CVR best at every n and nearly flat (its
+// conversion amortizes within a couple of iterations); CSR(I) below 1 at
+// small n; VHCC the worst line because of its preprocessing cost.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchlib/Equations.h"
+#include "benchlib/SuiteRunner.h"
+#include "support/Table.h"
+
+#include <iostream>
+
+using namespace cvr;
+
+int main(int Argc, char **Argv) {
+  SuiteOptions Opts = parseSuiteOptions(Argc, Argv);
+  std::vector<DatasetSpec> Suite =
+      Opts.Smoke ? smokeSuite(Opts.SizeScale) : datasetSuite(Opts.SizeScale);
+  std::vector<MatrixResult> Results = runSuite(Suite, Opts);
+
+  const double Iterations[] = {50, 100, 500, 1000};
+  const FormatId Lines[] = {FormatId::CsrI, FormatId::Esb, FormatId::Vhcc,
+                            FormatId::Csr5, FormatId::Cvr};
+
+  TextTable T;
+  T.setHeader({"n", "CSR(I)", "ESB", "VHCC", "CSR5", "CVR"});
+  for (double N : Iterations) {
+    std::vector<std::string> Row = {TextTable::fmt(N, 0)};
+    for (FormatId F : Lines) {
+      double Sum = 0.0;
+      int Count = 0;
+      for (const MatrixResult &R : Results) {
+        const Measurement &Mkl = R.ByFormat.at(FormatId::Mkl).Best;
+        const Measurement &M = R.ByFormat.at(F).Best;
+        Sum += overallSpeedup(N, Mkl.SecondsPerIteration,
+                              M.PreprocessSeconds, M.SecondsPerIteration);
+        ++Count;
+      }
+      Row.push_back(TextTable::fmt(Count ? Sum / Count : 0.0, 2));
+    }
+    T.addRow(Row);
+  }
+  T.addSeparator();
+  T.addRow({"paper", "<1 at n<=100, ~1.5 at n=1000", "<1 throughout",
+            "worst", "~2.5 flat-ish", "~3 and flat"});
+
+  std::cout << "Figure 6: overall speedup over MKL vs iteration count "
+               "(Equation 2, averaged over the suite)\n\n";
+  if (Opts.Csv)
+    T.printCsv(std::cout);
+  else
+    T.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,96 @@
+//===- bench/micro_kernels.cpp - google-benchmark kernel microbench -------===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Supporting microbenchmarks (not a paper figure): per-iteration SpMV time
+// of every format's canonical variant on three structurally distinct
+// matrices, through google-benchmark for stable statistics. Reports
+// items_per_second = nonzeros processed per second (flops = 2x that).
+//
+//===----------------------------------------------------------------------===//
+
+#include "formats/Registry.h"
+#include "gen/Generators.h"
+#include "support/Random.h"
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+namespace {
+
+using namespace cvr;
+
+struct NamedMatrix {
+  const char *Name;
+  CsrMatrix A;
+};
+
+const NamedMatrix &testMatrix(int Index) {
+  static const NamedMatrix Matrices[] = {
+      {"rmat_scalefree", genRmat(13, 16, 501)},
+      {"stencil27_hpc", genStencil27(20, 20, 20)},
+      {"shortfat_rect", genShortFat(64, 8192, 1024, 502)},
+  };
+  return Matrices[Index];
+}
+
+void runSpmvBench(benchmark::State &State, FormatId F, int MatrixIndex) {
+  const NamedMatrix &NM = testMatrix(MatrixIndex);
+  std::unique_ptr<SpmvKernel> K = makeKernel(F);
+  K->prepare(NM.A);
+
+  Xoshiro256 Rng(99);
+  std::vector<double> X(static_cast<std::size_t>(NM.A.numCols()));
+  for (double &V : X)
+    V = Rng.nextDouble(-1.0, 1.0);
+  std::vector<double> Y(static_cast<std::size_t>(NM.A.numRows()), 0.0);
+
+  for (auto _ : State) {
+    K->run(X.data(), Y.data());
+    benchmark::DoNotOptimize(Y.data());
+  }
+  State.SetItemsProcessed(State.iterations() * NM.A.numNonZeros());
+  State.SetLabel(NM.Name);
+}
+
+void runPrepareBench(benchmark::State &State, FormatId F, int MatrixIndex) {
+  const NamedMatrix &NM = testMatrix(MatrixIndex);
+  for (auto _ : State) {
+    std::unique_ptr<SpmvKernel> K = makeKernel(F);
+    K->prepare(NM.A);
+    benchmark::DoNotOptimize(K.get());
+  }
+  State.SetItemsProcessed(State.iterations() * NM.A.numNonZeros());
+  State.SetLabel(NM.Name);
+}
+
+void registerAll() {
+  for (FormatId F : allFormats()) {
+    for (int M = 0; M < 3; ++M) {
+      std::string SpmvName = std::string("spmv/") + formatName(F) + "/" +
+                             testMatrix(M).Name;
+      benchmark::RegisterBenchmark(
+          SpmvName.c_str(),
+          [F, M](benchmark::State &S) { runSpmvBench(S, F, M); });
+      std::string PrepName = std::string("prepare/") + formatName(F) + "/" +
+                             testMatrix(M).Name;
+      benchmark::RegisterBenchmark(
+          PrepName.c_str(),
+          [F, M](benchmark::State &S) { runPrepareBench(S, F, M); });
+    }
+  }
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  registerAll();
+  benchmark::Initialize(&Argc, Argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,65 @@
+//===- bench/table4_amortization.cpp - Paper Table 4 ----------------------===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Table 4: "Iterations that need to amortize the Format-conversion
+// overhead" — per matrix, I_pre (Equation 1) for the five converted
+// formats; "inf" means the format never beats MKL per iteration on that
+// matrix (the paper's infinity symbol).
+//
+// Reproduction target (shape): CVR lowest on most scale-free matrices,
+// typically < 10 iterations; CSR5 close; CSR(I)/ESB/VHCC frequently in the
+// hundreds-to-thousands or infinite.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchlib/Equations.h"
+#include "benchlib/SuiteRunner.h"
+#include "support/Table.h"
+
+#include <iostream>
+
+using namespace cvr;
+
+int main(int Argc, char **Argv) {
+  SuiteOptions Opts = parseSuiteOptions(Argc, Argv);
+  std::vector<DatasetSpec> Suite =
+      Opts.Smoke ? smokeSuite(Opts.SizeScale) : datasetSuite(Opts.SizeScale);
+  std::vector<MatrixResult> Results = runSuite(Suite, Opts);
+
+  const FormatId Converted[] = {FormatId::CsrI, FormatId::Esb, FormatId::Vhcc,
+                                FormatId::Csr5, FormatId::Cvr};
+
+  TextTable T;
+  T.setHeader(
+      {"dataset", "domain", "CSR(I)", "ESB", "VHCC", "CSR5", "CVR"});
+  Domain Last = Domain::WebGraph;
+  bool First = true;
+  for (const MatrixResult &R : Results) {
+    if (!First && R.Dom != Last)
+      T.addSeparator();
+    First = false;
+    Last = R.Dom;
+
+    const Measurement &Mkl = R.ByFormat.at(FormatId::Mkl).Best;
+    std::vector<std::string> Row = {R.Name, domainName(R.Dom)};
+    for (FormatId F : Converted) {
+      const Measurement &M = R.ByFormat.at(F).Best;
+      double Ipre = iterationsToAmortize(M.PreprocessSeconds,
+                                         Mkl.SecondsPerIteration,
+                                         M.SecondsPerIteration);
+      Row.push_back(TextTable::fmt(Ipre, 2));
+    }
+    T.addRow(Row);
+  }
+
+  std::cout << "Table 4: iterations to amortize format conversion "
+               "(I_pre, Equation 1; inf = never beats MKL)\n\n";
+  if (Opts.Csv)
+    T.printCsv(std::cout);
+  else
+    T.print(std::cout);
+  return 0;
+}

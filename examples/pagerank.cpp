@@ -1,0 +1,128 @@
+//===- examples/pagerank.cpp - PageRank over a scale-free graph -----------===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// The workload class the paper's introduction motivates: an iterative
+// graph computation whose inner loop is SpMV on a scale-free matrix.
+// PageRank runs r <- d * M * r + (1 - d) / N until convergence, where M is
+// the column-stochastic transition matrix of an R-MAT web graph. The
+// example reports how the one-time CVR conversion amortizes across the
+// iterations (the paper's Equation 2 scenario) against the CSR baseline.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Cvr.h"
+#include "formats/CsrSpmv.h"
+#include "gen/Generators.h"
+#include "matrix/Coo.h"
+#include "support/Timer.h"
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+namespace {
+
+/// Column-stochastic transition matrix of the graph \p G: entry (v, u) =
+/// 1 / outdeg(u) for every edge u -> v. Dangling nodes (no out-edges) are
+/// handled through the teleport term.
+cvr::CsrMatrix buildTransitionMatrix(const cvr::CsrMatrix &G) {
+  std::vector<std::int64_t> OutDeg(G.numRows());
+  for (std::int32_t U = 0; U < G.numRows(); ++U)
+    OutDeg[U] = G.rowLength(U);
+
+  cvr::CooMatrix Coo(G.numCols(), G.numRows());
+  for (std::int32_t U = 0; U < G.numRows(); ++U)
+    for (std::int64_t I = G.rowPtr()[U]; I < G.rowPtr()[U + 1]; ++I)
+      Coo.add(G.colIdx()[I], U, 1.0 / static_cast<double>(OutDeg[U]));
+  return cvr::CsrMatrix::fromCoo(Coo);
+}
+
+double l1Delta(const std::vector<double> &A, const std::vector<double> &B) {
+  double D = 0.0;
+  for (std::size_t I = 0; I < A.size(); ++I)
+    D += std::fabs(A[I] - B[I]);
+  return D;
+}
+
+/// Runs PageRank to convergence with a pluggable SpMV; returns the
+/// iteration count and leaves the ranks in \p Rank.
+template <typename SpmvFn>
+int pageRank(std::int32_t N, SpmvFn &&Spmv, std::vector<double> &Rank,
+             double Damping, double Tolerance, int MaxIterations) {
+  Rank.assign(N, 1.0 / N);
+  std::vector<double> Next(N, 0.0);
+  for (int Iter = 0; Iter < MaxIterations; ++Iter) {
+    Spmv(Rank.data(), Next.data());
+    for (std::int32_t V = 0; V < N; ++V)
+      Next[V] = Damping * Next[V] + (1.0 - Damping) / N;
+    // Redistribute the dangling mass uniformly so ranks keep summing to 1
+    // (matrix columns of dangling nodes are empty).
+    double Sum = 0.0;
+    for (double R : Next)
+      Sum += R;
+    double Leak = (1.0 - Sum) / N;
+    for (double &R : Next)
+      R += Leak;
+    bool Converged = l1Delta(Rank, Next) < Tolerance;
+    Rank.swap(Next);
+    if (Converged)
+      return Iter + 1;
+  }
+  return MaxIterations;
+}
+
+} // namespace
+
+int main() {
+  constexpr double Damping = 0.85;
+  constexpr double Tolerance = 1e-8;
+  constexpr int MaxIterations = 200;
+
+  std::printf("Generating an R-MAT web graph (2^15 vertices)...\n");
+  cvr::CsrMatrix Graph = cvr::genRmat(15, 12, 2024);
+  cvr::CsrMatrix M = buildTransitionMatrix(Graph);
+  std::int32_t N = M.numRows();
+  std::printf("  %d vertices, %lld edges\n", N,
+              static_cast<long long>(M.numNonZeros()));
+
+  // One-time preprocessing: CSR -> CVR.
+  cvr::Timer PreTimer;
+  cvr::CvrMatrix Cvr = cvr::CvrMatrix::fromCsr(M);
+  double PreSeconds = PreTimer.seconds();
+  std::printf("CVR conversion: %.3f ms\n", PreSeconds * 1e3);
+
+  std::vector<double> Rank;
+  cvr::Timer Solve;
+  int Iter = pageRank(
+      N, [&](const double *X, double *Y) { cvr::cvrSpmv(Cvr, X, Y); }, Rank,
+      Damping, Tolerance, MaxIterations);
+  double SolveSeconds = Solve.seconds();
+  std::printf("PageRank converged in %d iterations (%.3f ms, %.1f us/iter)\n",
+              Iter, SolveSeconds * 1e3, SolveSeconds * 1e6 / Iter);
+
+  // The amortization story: the identical solve through the CSR baseline
+  // (which needs no format conversion).
+  cvr::CsrSpmv Baseline;
+  Baseline.prepare(M);
+  std::vector<double> BaseRank;
+  cvr::Timer Base;
+  int BaseIter = pageRank(
+      N, [&](const double *X, double *Y) { Baseline.run(X, Y); }, BaseRank,
+      Damping, Tolerance, MaxIterations);
+  double BaseSeconds = Base.seconds();
+  std::printf("CSR baseline: %d iterations, %.3f ms\n", BaseIter,
+              BaseSeconds * 1e3);
+  std::printf("overall speedup incl. conversion (Eq. 2): %.2fx\n",
+              BaseSeconds / (PreSeconds + SolveSeconds));
+
+  // Top ranks (hub vertices of the R-MAT graph).
+  std::int32_t Best = 0;
+  for (std::int32_t V = 1; V < N; ++V)
+    if (Rank[V] > Rank[Best])
+      Best = V;
+  std::printf("highest-ranked vertex: %d (rank %.3e)\n", Best, Rank[Best]);
+  return 0;
+}

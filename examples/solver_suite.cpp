@@ -1,0 +1,103 @@
+//===- examples/solver_suite.cpp - The solver library over any format -----===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Drives the iterative-solver library (the paper's motivating workloads)
+// through the pluggable kernel interface: the same conjugate-gradient,
+// BiCGSTAB, and power-iteration solves run on CVR and on the CSR baseline
+// for a side-by-side comparison. Which kernel wins depends on the matrix
+// structure and host cache hierarchy, exactly as in the paper's Figure 5.
+//
+//===----------------------------------------------------------------------===//
+
+#include "formats/Registry.h"
+#include "gen/Generators.h"
+#include "matrix/Coo.h"
+#include "matrix/Reference.h"
+#include "solvers/Solvers.h"
+#include "support/Table.h"
+#include "support/Timer.h"
+
+#include <iostream>
+#include <vector>
+
+using namespace cvr;
+
+namespace {
+
+struct Case {
+  const char *Name;
+  double Seconds;
+  SolveResult Result;
+};
+
+Case runCg(const SpmvKernel &K, const CsrMatrix &A, const char *Name) {
+  std::vector<double> XStar(A.numRows(), 1.0);
+  std::vector<double> B = referenceSpmv(A, XStar);
+  std::vector<double> X(A.numRows(), 0.0);
+  Timer T;
+  SolveResult R = conjugateGradient(K, B, X, {2000, 1e-10});
+  return {Name, T.seconds(), R};
+}
+
+Case runBiCg(const SpmvKernel &K, const CsrMatrix &A, const char *Name) {
+  std::vector<double> XStar(A.numRows(), 1.0);
+  std::vector<double> B = referenceSpmv(A, XStar);
+  std::vector<double> X(A.numRows(), 0.0);
+  Timer T;
+  SolveResult R = biCgStab(K, B, X, {2000, 1e-10});
+  return {Name, T.seconds(), R};
+}
+
+Case runPower(const SpmvKernel &K, const CsrMatrix &A, const char *Name) {
+  double Lambda = 0.0;
+  std::vector<double> V(A.numRows(), 0.0);
+  Timer T;
+  SolveResult R = powerIteration(K, Lambda, V, {3000, 1e-10});
+  return {Name, T.seconds(), R};
+}
+
+} // namespace
+
+int main() {
+  // An SPD Laplacian for CG, an asymmetric diagonally dominant system for
+  // BiCGSTAB, and a symmetric graph for the power method.
+  CsrMatrix Spd = genStencil5(180, 180);
+  CooMatrix Shifted = genBanded(30000, 12, 5, 11).toCoo();
+  for (CooEntry &E : Shifted.entries())
+    if (E.Row == E.Col)
+      E.Val += 10.0;
+  CsrMatrix NonSym = CsrMatrix::fromCoo(Shifted);
+  // Positive edge weights give a Perron-Frobenius dominant eigenpair with
+  // a healthy spectral gap (hub-heavy scale-free structure).
+  CooMatrix Positive = genRmat(12, 8, 33).toCoo();
+  for (CooEntry &E : Positive.entries())
+    E.Val = 0.1 + (E.Val < 0 ? -E.Val : E.Val);
+  CsrMatrix Graph = CsrMatrix::fromCoo(Positive);
+
+  TextTable T;
+  T.setHeader({"solve", "kernel", "iters", "residual", "time (ms)"});
+  for (FormatId F : {FormatId::Mkl, FormatId::Cvr}) {
+    std::unique_ptr<SpmvKernel> KSpd = makeKernel(F);
+    KSpd->prepare(Spd);
+    std::unique_ptr<SpmvKernel> KNonSym = makeKernel(F);
+    KNonSym->prepare(NonSym);
+    std::unique_ptr<SpmvKernel> KGraph = makeKernel(F);
+    KGraph->prepare(Graph);
+
+    for (const Case &C :
+         {runCg(*KSpd, Spd, "CG / 5-pt Laplacian 180^2"),
+          runBiCg(*KNonSym, NonSym, "BiCGSTAB / banded 30k"),
+          runPower(*KGraph, Graph, "power iter / R-MAT graph")}) {
+      T.addRow({C.Name, formatName(F), std::to_string(C.Result.Iterations),
+                TextTable::fmt(C.Result.Residual, 12),
+                TextTable::fmt(C.Seconds * 1e3, 1)});
+      if (!C.Result.Converged)
+        std::cerr << "warning: " << C.Name << " did not converge\n";
+    }
+  }
+  T.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,13 @@
+#!/bin/sh
+# Regenerates every paper table and figure into results/.
+set -e
+BUILD=${BUILD:-build}
+OUT=${OUT:-results}
+mkdir -p "$OUT"
+for B in table1_preproc_median table3_domain_gflops table4_amortization \
+         fig1_l2_missratio_avg fig5_per_matrix_perf fig6_overall_speedup \
+         fig7_l2_missratio ablation_cvr; do
+  echo "== $B =="
+  "$BUILD/bench/$B" "$@" | tee "$OUT/$B.txt"
+done
+"$BUILD/bench/micro_kernels" --benchmark_min_time=0.05s | tee "$OUT/micro_kernels.txt"

@@ -1,0 +1,6 @@
+#!/bin/sh
+# Mirrors the paper artifact's run_comparison.sh: every format on one matrix.
+set -e
+BUILD=${BUILD:-build}
+[ -n "$1" ] || { echo "usage: $0 matrix.mtx [iterations]"; exit 2; }
+"$BUILD/tools/cvr_tool" compare "$1" -n "${2:-1000}"

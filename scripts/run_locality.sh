@@ -1,0 +1,6 @@
+#!/bin/sh
+# Mirrors the paper artifact's run_locality.sh: simulated cache behaviour.
+set -e
+BUILD=${BUILD:-build}
+[ -n "$1" ] || { echo "usage: $0 matrix.mtx"; exit 2; }
+"$BUILD/tools/cvr_tool" locality "$1"

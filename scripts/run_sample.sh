@@ -1,0 +1,12 @@
+#!/bin/sh
+# Mirrors the paper artifact's run_sample.sh: generate (or take) a matrix,
+# convert it to CVR, and report preprocessing + SpMV execution time.
+set -e
+BUILD=${BUILD:-build}
+MTX=${1:-/tmp/cvr_sample.mtx}
+if [ ! -f "$MTX" ]; then
+  echo "generating the web-Google stand-in at $MTX"
+  "$BUILD/tools/cvr_tool" gen web-Google "$MTX"
+fi
+"$BUILD/tools/cvr_tool" info "$MTX"
+"$BUILD/tools/cvr_tool" spmv "$MTX" -n 1000

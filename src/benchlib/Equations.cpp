@@ -1,0 +1,36 @@
+//===- benchlib/Equations.cpp - The paper's evaluation metrics ------------===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchlib/Equations.h"
+
+#include <cassert>
+#include <limits>
+
+namespace cvr {
+
+double spmvGflops(std::int64_t Nnz, double SecondsPerIteration) {
+  if (SecondsPerIteration <= 0.0)
+    return 0.0;
+  return 2.0 * static_cast<double>(Nnz) / SecondsPerIteration / 1e9;
+}
+
+double iterationsToAmortize(double PreprocessSeconds, double MklSeconds,
+                            double NewSeconds) {
+  assert(PreprocessSeconds >= 0.0 && "negative preprocessing time");
+  if (NewSeconds >= MklSeconds)
+    return std::numeric_limits<double>::infinity();
+  return PreprocessSeconds / (MklSeconds - NewSeconds);
+}
+
+double overallSpeedup(double N, double MklSeconds, double PreprocessSeconds,
+                      double NewSeconds) {
+  double Denom = PreprocessSeconds + N * NewSeconds;
+  if (Denom <= 0.0)
+    return 0.0;
+  return N * MklSeconds / Denom;
+}
+
+} // namespace cvr

@@ -1,0 +1,38 @@
+//===- benchlib/Equations.h - The paper's evaluation metrics ----*- C++ -*-===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The three quantities the paper reports: per-iteration throughput in
+/// GFlop/s (Table 3, Figure 5), the amortization iteration count `I_pre`
+/// (Equation 1, Tables 1 and 4), and the n-iteration overall speedup over
+/// MKL (Equation 2, Figure 6).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVR_BENCHLIB_EQUATIONS_H
+#define CVR_BENCHLIB_EQUATIONS_H
+
+#include <cstdint>
+
+namespace cvr {
+
+/// SpMV throughput: 2*nnz flops per iteration (one multiply + one add).
+double spmvGflops(std::int64_t Nnz, double SecondsPerIteration);
+
+/// Equation 1: iterations needed to amortize preprocessing against the MKL
+/// baseline. Returns +infinity when the new format is not faster per
+/// iteration than MKL (the paper's infinity entries in Tables 1/4).
+double iterationsToAmortize(double PreprocessSeconds, double MklSeconds,
+                            double NewSeconds);
+
+/// Equation 2: overall speedup over MKL after \p N iterations, counting
+/// the new format's preprocessing time.
+double overallSpeedup(double N, double MklSeconds, double PreprocessSeconds,
+                      double NewSeconds);
+
+} // namespace cvr
+
+#endif // CVR_BENCHLIB_EQUATIONS_H

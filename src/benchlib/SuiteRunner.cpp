@@ -1,0 +1,107 @@
+//===- benchlib/SuiteRunner.cpp - Suite-wide experiment driver ------------===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchlib/SuiteRunner.h"
+
+#include "cachesim/LocalityProbe.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace cvr {
+
+SuiteOptions parseSuiteOptions(int Argc, char **Argv) {
+  SuiteOptions Opts;
+  for (int I = 1; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    if (std::strcmp(Arg, "--quick") == 0) {
+      Opts.SizeScale = 0.35;
+    } else if (std::strcmp(Arg, "--smoke") == 0) {
+      Opts.Smoke = true;
+      Opts.SizeScale = 0.35;
+    } else if (std::strncmp(Arg, "--scale=", 8) == 0) {
+      Opts.SizeScale = std::atof(Arg + 8);
+      if (Opts.SizeScale <= 0.0 || Opts.SizeScale > 1.0) {
+        std::fprintf(stderr, "error: --scale must be in (0, 1]\n");
+        std::exit(2);
+      }
+    } else if (std::strncmp(Arg, "--threads=", 10) == 0) {
+      Opts.Measure.NumThreads = std::atoi(Arg + 10);
+    } else if (std::strcmp(Arg, "--csv") == 0) {
+      Opts.Csv = true;
+    } else if (std::strcmp(Arg, "--verbose") == 0) {
+      Opts.Verbose = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--smoke] [--scale=X] "
+                   "[--threads=N] [--csv] [--verbose]\n",
+                   Argv[0]);
+      std::exit(std::strcmp(Arg, "--help") == 0 ? 0 : 2);
+    }
+  }
+  return Opts;
+}
+
+std::vector<MatrixResult> runSuite(const std::vector<DatasetSpec> &Suite,
+                                   const SuiteOptions &Opts) {
+  std::vector<MatrixResult> Results;
+  Results.reserve(Suite.size());
+  for (const DatasetSpec &D : Suite) {
+    if (Opts.Verbose)
+      std::fprintf(stderr, "[suite] building %s\n", D.Name.c_str());
+    CsrMatrix A = D.Build();
+
+    MatrixResult R;
+    R.Name = D.Name;
+    R.Dom = D.Dom;
+    R.ScaleFree = D.ScaleFree;
+    R.Stats = computeStats(A);
+
+    for (FormatId F : Opts.Formats) {
+      if (Opts.Verbose)
+        std::fprintf(stderr, "[suite]   %s ...\n", formatName(F));
+      FormatResult FR;
+      FR.Best = measureBestOf(F, A, Opts.Measure);
+      if (Opts.ProbeLocality) {
+        LocalityResult L = probeLocality(*FR.Best.Kernel, A);
+        if (L.Supported)
+          FR.L2MissRatio = L.L2MissRatio;
+      }
+      // Kernels hold sizable converted copies; release before the next
+      // format to keep peak memory near one format's footprint.
+      if (!Opts.ProbeLocality)
+        FR.Best.Kernel.reset();
+      R.ByFormat.emplace(F, std::move(FR));
+    }
+    // Drop kernels after locality probing too.
+    for (auto &[F, FR] : R.ByFormat)
+      FR.Best.Kernel.reset();
+    Results.push_back(std::move(R));
+  }
+  return Results;
+}
+
+double domainMean(const std::vector<MatrixResult> &Results, Domain Dom,
+                  FormatId F, double (*Extract)(const FormatResult &)) {
+  double Sum = 0.0;
+  int N = 0;
+  for (const MatrixResult &R : Results) {
+    if (R.Dom != Dom)
+      continue;
+    auto It = R.ByFormat.find(F);
+    if (It == R.ByFormat.end())
+      continue;
+    double V = Extract(It->second);
+    if (V < 0.0)
+      continue;
+    Sum += V;
+    ++N;
+  }
+  return N == 0 ? 0.0 : Sum / N;
+}
+
+} // namespace cvr

@@ -1,0 +1,69 @@
+//===- benchlib/SuiteRunner.h - Suite-wide experiment driver ----*- C++ -*-===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs the six formats over the dataset suite and aggregates results by
+/// the paper's application domains. Every table/figure bench binary is a
+/// thin presentation layer over this runner.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVR_BENCHLIB_SUITERUNNER_H
+#define CVR_BENCHLIB_SUITERUNNER_H
+
+#include "benchlib/Measure.h"
+#include "gen/DatasetSuite.h"
+#include "matrix/MatrixStats.h"
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cvr {
+
+/// Per-(matrix, format) outcome.
+struct FormatResult {
+  Measurement Best;          ///< Best variant's numbers.
+  double L2MissRatio = -1.0; ///< From the cache model; -1 if not probed.
+};
+
+/// One suite matrix with all its format results.
+struct MatrixResult {
+  std::string Name;
+  Domain Dom = Domain::WebGraph;
+  bool ScaleFree = false;
+  MatrixStats Stats;
+  std::map<FormatId, FormatResult> ByFormat;
+};
+
+/// Suite-runner options, including the command-line conveniences shared by
+/// all bench binaries.
+struct SuiteOptions {
+  double SizeScale = 1.0;  ///< Shrinks every matrix (--quick sets 0.35).
+  bool Smoke = false;      ///< Run the 8-matrix smoke subset only.
+  bool ProbeLocality = false; ///< Also run the cache-model probe.
+  bool Csv = false;        ///< Emit CSV instead of aligned tables.
+  bool Verbose = false;    ///< Progress lines on stderr.
+  MeasureConfig Measure;
+  std::vector<FormatId> Formats = allFormats();
+};
+
+/// Parses the common bench flags (--quick, --smoke, --scale=X, --csv,
+/// --threads=N, --verbose); unknown flags print usage and exit.
+SuiteOptions parseSuiteOptions(int Argc, char **Argv);
+
+/// Runs every requested format on every suite matrix.
+std::vector<MatrixResult> runSuite(const std::vector<DatasetSpec> &Suite,
+                                   const SuiteOptions &Opts);
+
+/// Means of \p Extract over the results in \p Dom (skips negatives).
+double domainMean(const std::vector<MatrixResult> &Results, Domain Dom,
+                  FormatId F, double (*Extract)(const FormatResult &));
+
+} // namespace cvr
+
+#endif // CVR_BENCHLIB_SUITERUNNER_H

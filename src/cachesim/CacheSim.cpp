@@ -1,0 +1,144 @@
+//===- cachesim/CacheSim.cpp - Set-associative cache simulator ------------===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cachesim/CacheSim.h"
+
+#include <cassert>
+
+namespace cvr {
+
+SetAssocCache::SetAssocCache(const CacheConfig &Cfg)
+    : NumSets(static_cast<int>(Cfg.SizeBytes / (Cfg.LineBytes * Cfg.Ways))),
+      Ways(Cfg.Ways), Lines(static_cast<std::size_t>(NumSets) * Cfg.Ways) {
+  assert(NumSets > 0 && (NumSets & (NumSets - 1)) == 0 &&
+         "set count must be a power of two");
+  while ((1 << SetShift) < NumSets)
+    ++SetShift;
+}
+
+bool SetAssocCache::accessLine(std::uint64_t LineAddr) {
+  ++Clock;
+  int Set = static_cast<int>(LineAddr & (NumSets - 1));
+  std::uint64_t Tag = LineAddr >> SetShift;
+  Way *SetWays = Lines.data() + static_cast<std::size_t>(Set) * Ways;
+
+  int Victim = 0;
+  for (int W = 0; W < Ways; ++W) {
+    Way &Line = SetWays[W];
+    if (Line.Valid && Line.Tag == Tag) {
+      Line.LastUse = Clock;
+      ++Hits;
+      return true;
+    }
+    if (!Line.Valid) {
+      Victim = W;
+    } else if (SetWays[Victim].Valid &&
+               Line.LastUse < SetWays[Victim].LastUse) {
+      Victim = W;
+    }
+  }
+  ++Misses;
+  SetWays[Victim] = {Tag, Clock, true};
+  return false;
+}
+
+void SetAssocCache::installLine(std::uint64_t LineAddr) {
+  ++Clock;
+  int Set = static_cast<int>(LineAddr & (NumSets - 1));
+  std::uint64_t Tag = LineAddr >> SetShift;
+  Way *SetWays = Lines.data() + static_cast<std::size_t>(Set) * Ways;
+  int Victim = 0;
+  for (int W = 0; W < Ways; ++W) {
+    Way &Line = SetWays[W];
+    if (Line.Valid && Line.Tag == Tag) {
+      Line.LastUse = Clock;
+      return; // Already resident; just refresh.
+    }
+    if (!Line.Valid) {
+      Victim = W;
+    } else if (SetWays[Victim].Valid &&
+               Line.LastUse < SetWays[Victim].LastUse) {
+      Victim = W;
+    }
+  }
+  SetWays[Victim] = {Tag, Clock, true};
+}
+
+namespace {
+
+constexpr CacheConfig KnlL1{32 * 1024, 8, 64};
+constexpr CacheConfig KnlL2{1024 * 1024, 16, 64};
+
+} // namespace
+
+MemoryHierarchy::MemoryHierarchy() : MemoryHierarchy(KnlL1, KnlL2) {}
+
+MemoryHierarchy::MemoryHierarchy(const CacheConfig &L1Cfg,
+                                 const CacheConfig &L2Cfg,
+                                 bool StreamPrefetch)
+    : LineBytes(L1Cfg.LineBytes), StreamPrefetch(StreamPrefetch), L1(L1Cfg),
+      L2(L2Cfg) {
+  assert(L1Cfg.LineBytes == L2Cfg.LineBytes &&
+         "mixed line sizes are not modeled");
+}
+
+void MemoryHierarchy::maybePrefetch(std::uint64_t Line) {
+  ++StreamClock;
+  // Match against a tracked stream: a hit confirms the sequential pattern
+  // and runs the prefetcher ahead of it.
+  int Lru = 0;
+  for (int S = 0; S < NumStreams; ++S) {
+    if (Streams[S].NextLine == Line) {
+      for (int D = 1; D <= PrefetchDegree; ++D) {
+        L2.installLine(Line + D);
+        ++PrefetchCount;
+      }
+      Streams[S].NextLine = Line + 1;
+      Streams[S].LastUse = StreamClock;
+      return;
+    }
+    if (Streams[S].LastUse < Streams[Lru].LastUse)
+      Lru = S;
+  }
+  // New candidate stream; prefetching starts once it is confirmed by the
+  // next sequential line.
+  Streams[Lru].NextLine = Line + 1;
+  Streams[Lru].LastUse = StreamClock;
+}
+
+void MemoryHierarchy::touch(const void *P, std::size_t Bytes) {
+  if (Bytes == 0)
+    return;
+  auto Addr = reinterpret_cast<std::uintptr_t>(P);
+  std::uint64_t First = Addr / LineBytes;
+  std::uint64_t Last = (Addr + Bytes - 1) / LineBytes;
+  for (std::uint64_t Line = First; Line <= Last; ++Line) {
+    if (L1.accessLine(Line))
+      continue;
+    L2.accessLine(Line);
+    // The prefetcher trains on L1 misses (the L2 access stream), like the
+    // hardware L2 prefetcher it models.
+    if (StreamPrefetch)
+      maybePrefetch(Line);
+  }
+}
+
+void MemoryHierarchy::read(const void *P, std::size_t Bytes) {
+  touch(P, Bytes);
+}
+
+void MemoryHierarchy::write(const void *P, std::size_t Bytes) {
+  // Write-allocate: a store touches the hierarchy exactly like a load for
+  // miss accounting purposes.
+  touch(P, Bytes);
+}
+
+void MemoryHierarchy::resetStats() {
+  L1.resetStats();
+  L2.resetStats();
+}
+
+} // namespace cvr

@@ -1,0 +1,48 @@
+//===- cachesim/LocalityProbe.cpp - L2 miss-ratio measurement -------------===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cachesim/LocalityProbe.h"
+
+#include "support/Random.h"
+
+#include <vector>
+
+namespace cvr {
+
+LocalityResult probeLocality(const SpmvKernel &K, const CsrMatrix &A,
+                             const double *X, const LocalityConfig &Cfg) {
+  LocalityResult R;
+  std::vector<double> Y(static_cast<std::size_t>(A.numRows()), 0.0);
+
+  MemoryHierarchy H(Cfg.L1, Cfg.L2);
+  // Warm-up iteration: fills both levels with the kernel's working set.
+  if (!K.traceRun(H, X, Y.data()))
+    return R;
+  H.resetStats();
+  // Measured steady-state iteration.
+  K.traceRun(H, X, Y.data());
+
+  R.Supported = true;
+  R.L2MissRatio = H.l2().missRatio();
+  R.L1MissRatio = H.l1().missRatio();
+  R.L2Accesses = H.l2().accesses();
+  R.L2Misses = H.l2().misses();
+  if (A.numNonZeros() > 0)
+    R.MissesPerKnnz =
+        1000.0 * static_cast<double>(R.L2Misses) / A.numNonZeros();
+  return R;
+}
+
+LocalityResult probeLocality(const SpmvKernel &K, const CsrMatrix &A,
+                             const LocalityConfig &Cfg) {
+  Xoshiro256 Rng(7777);
+  std::vector<double> X(static_cast<std::size_t>(A.numCols()));
+  for (double &V : X)
+    V = Rng.nextDouble(-1.0, 1.0);
+  return probeLocality(K, A, X.data(), Cfg);
+}
+
+} // namespace cvr

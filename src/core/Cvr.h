@@ -1,0 +1,34 @@
+//===- core/Cvr.h - CVR public API umbrella ---------------------*- C++ -*-===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Public entry point of the CVR library. Typical use:
+///
+/// \code
+///   #include "core/Cvr.h"
+///
+///   cvr::CsrMatrix A = cvr::CsrMatrix::fromCoo(Coo);
+///   cvr::CvrMatrix M = cvr::CvrMatrix::fromCsr(A);   // preprocessing
+///   cvr::cvrSpmv(M, X.data(), Y.data());             // y = A * x
+/// \endcode
+///
+/// or through the common kernel interface shared with the baseline formats:
+///
+/// \code
+///   cvr::CvrKernel K;
+///   K.prepare(A);
+///   K.run(X.data(), Y.data());
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVR_CORE_CVR_H
+#define CVR_CORE_CVR_H
+
+#include "core/CvrFormat.h"
+#include "core/CvrSpmv.h"
+
+#endif // CVR_CORE_CVR_H

@@ -1,0 +1,421 @@
+//===- core/CvrConverter.h - Shared CVR conversion engine -------*- C++ -*-===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The tracker-based CVR conversion (Section 4.2 / Algorithm 3), templated
+/// on the output value type so the double-precision (omega = 8) and
+/// single-precision (omega = 16) pipelines share one engine. This header is
+/// private to core/ — include CvrFormat.h or CvrFloat.h instead.
+///
+/// The engine turns one nnz chunk of a CSR matrix into a dense
+/// `steps x lanes` stream: trackers *feed* on the next non-empty row when a
+/// lane drains, *steal* the head of the fullest lane once rows run out, and
+/// every finish event appends a `(pos, wb)` record. See CvrFormat.h for the
+/// full data-model description.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVR_CORE_CVRCONVERTER_H
+#define CVR_CORE_CVRCONVERTER_H
+
+#include "core/CvrFormat.h"
+#include "matrix/Csr.h"
+#include "parallel/Partition.h"
+#include "support/AlignedBuffer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <vector>
+
+namespace cvr {
+namespace detail {
+
+/// Engine knobs (a value-type-independent subset of CvrOptions).
+struct ConverterConfig {
+  int Lanes = 8;
+  int NumThreads = 0;
+  bool EnableStealing = true;
+  /// Pad the stream to an even step count (required by the f64 kernel's
+  /// paired 16-index column loads; the f32 kernel loads one full 512-bit
+  /// index vector per step and needs no pairing).
+  bool PadEvenSteps = true;
+  /// Feed rows longest-first instead of in matrix order (the sort-first
+  /// ablation; the paper deliberately keeps matrix order for O(nnz)
+  /// preprocessing and x-locality between adjacent rows).
+  bool SortFeedRowsByLength = false;
+};
+
+/// Conversion output for one matrix: everything a Cvr*Matrix stores.
+template <typename ValueT> struct ConvertedStreams {
+  AlignedBuffer<ValueT> Vals;
+  AlignedBuffer<std::int32_t> ColIdx;
+  std::vector<CvrRecord> Recs;
+  AlignedBuffer<std::int32_t> Tails;
+  std::vector<CvrChunk> Chunks;
+  std::vector<std::int32_t> ZeroRows;
+};
+
+/// Per-chunk conversion output built locally by each thread and stitched
+/// into the shared streams afterwards.
+template <typename ValueT> struct ChunkBuild {
+  AlignedBuffer<ValueT> Vals;         // Uninitialized growth: every slot is
+  AlignedBuffer<std::int32_t> ColIdx; // overwritten by the emit loop.
+  std::vector<CvrRecord> Recs;
+  std::vector<std::int32_t> Tails;
+  std::int64_t NumSteps = 0;
+};
+
+/// One tracker (the paper's rowID/valID/count triple) plus the bookkeeping
+/// this implementation adds: the result slot a stolen piece belongs to.
+struct Tracker {
+  std::int32_t CurRow = -1; ///< Row being streamed (-1: no piece).
+  std::int64_t ValId = 0;   ///< Next CSR element index of the piece.
+  std::int64_t Count = 0;   ///< Elements left in the piece.
+  std::int32_t Slot = -1;   ///< t_result slot (-1 while in feed phase).
+  bool Dead = false;        ///< No work left for this lane.
+};
+
+template <typename ValueT> class ChunkConverter {
+public:
+  ChunkConverter(const CsrMatrix &A, const NnzChunk &Chunk,
+                 const ConverterConfig &Cfg, ChunkBuild<ValueT> &Out)
+      : A(A), Chunk(Chunk), Cfg(Cfg), Out(Out), Lanes(Cfg.Lanes),
+        Trackers(Cfg.Lanes) {}
+
+  void convert() {
+    if (Chunk.empty())
+      return;
+    NextRow = Chunk.FirstRow;
+    Out.Tails.assign(Lanes, -1);
+
+    if (Cfg.SortFeedRowsByLength) {
+      // Sort-first ablation: feed the chunk's non-empty rows by descending
+      // clipped length. This is the extra preprocessing the paper avoids.
+      for (std::int32_t R = Chunk.FirstRow; R <= Chunk.LastRow; ++R)
+        if (rowEnd(R) - rowBegin(R) > 0)
+          FeedList.push_back(R);
+      std::stable_sort(FeedList.begin(), FeedList.end(),
+                       [&](std::int32_t L, std::int32_t R) {
+                         return rowEnd(L) - rowBegin(L) >
+                                rowEnd(R) - rowBegin(R);
+                       });
+    }
+
+    // Preallocate for the common case (steps ~= nnz/lanes); the stream
+    // only exceeds this when lanes idle near the chunk end.
+    std::int64_t Estimate = ((Chunk.size() + Lanes - 1) / Lanes + 4) * Lanes;
+    Out.Vals.reserve(static_cast<std::size_t>(Estimate));
+    Out.ColIdx.reserve(static_cast<std::size_t>(Estimate));
+    Out.Recs.reserve(static_cast<std::size_t>(Chunk.LastRow -
+                                              Chunk.FirstRow + 1 + 2 * Lanes));
+
+    std::int64_t Steps = 0;
+    std::int64_t Run;
+    while ((Run = refillLanes(Steps)) > 0)
+      emitRun(Steps, Run);
+    if (Cfg.PadEvenSteps && Steps % 2 != 0) {
+      emitPadStep();
+      ++Steps;
+    }
+    Out.NumSteps = Steps;
+  }
+
+private:
+  /// Effective nnz range of \p Row clipped to the chunk.
+  std::int64_t rowBegin(std::int32_t Row) const {
+    return std::max(A.rowPtr()[Row], Chunk.NnzStart);
+  }
+  std::int64_t rowEnd(std::int32_t Row) const {
+    return std::min(A.rowPtr()[Row + 1], Chunk.NnzEnd);
+  }
+
+  /// Feeds the next non-empty row into lane \p Em; false when rows are
+  /// exhausted.
+  bool feed(int Em) {
+    std::int32_t Row;
+    if (Cfg.SortFeedRowsByLength) {
+      if (FeedCursor >= FeedList.size())
+        return false;
+      Row = FeedList[FeedCursor++];
+    } else {
+      while (NextRow <= Chunk.LastRow &&
+             rowEnd(NextRow) - rowBegin(NextRow) <= 0)
+        ++NextRow;
+      if (NextRow > Chunk.LastRow)
+        return false;
+      Row = NextRow++;
+    }
+    Tracker &T = Trackers[Em];
+    T.CurRow = Row;
+    T.ValId = rowBegin(Row);
+    T.Count = rowEnd(Row) - T.ValId;
+    T.Slot = -1;
+    return true;
+  }
+
+  /// Records the finish of lane \p Em's current piece at stream position
+  /// \p Pos (the paper's "Recording", Algorithm 3 l.13-14 / l.37-38).
+  void recordFinish(int Em, std::int64_t Pos) {
+    Tracker &T = Trackers[Em];
+    if (T.CurRow < 0 && T.Slot < 0)
+      return; // Lane never held a piece (initialization path).
+    CvrRecord R;
+    R.Pos = Pos;
+    if (T.Slot < 0) {
+      // Feed phase: the whole row finished inside this lane.
+      R.Wb = T.CurRow;
+      R.Steal = 0;
+      R.Shared = static_cast<std::uint8_t>(T.CurRow == Chunk.FirstRow ||
+                                           T.CurRow == Chunk.LastRow);
+    } else {
+      // Steal phase: the partial belongs to a t_result slot.
+      R.Wb = T.Slot;
+      R.Steal = 1;
+      R.Shared = 0;
+    }
+    Out.Recs.push_back(R);
+    T.CurRow = -1;
+    T.Slot = -1;
+  }
+
+  /// Enters the steal phase: every lane still holding an unfinished row
+  /// gets a t_result slot, and `tail` remembers which row each slot holds
+  /// (the paper's tail vector, Algorithm 3 l.22-24).
+  void snapshotTails() {
+    assert(!TailsTaken && "tails must be snapshot exactly once");
+    TailsTaken = true;
+    for (int K = 0; K < Lanes; ++K) {
+      Tracker &T = Trackers[K];
+      if (T.Count > 0) {
+        T.Slot = K;
+        Out.Tails[K] = T.CurRow;
+      }
+    }
+  }
+
+  /// Steals work for lane \p Em from the fullest lane (Algorithm 3
+  /// l.29-44); false if no lane has elements to spare.
+  bool steal(int Em) {
+    if (!Cfg.EnableStealing)
+      return false;
+    int Candi = -1;
+    std::int64_t Total = 0;
+    for (int K = 0; K < Lanes; ++K) {
+      Total += Trackers[K].Count;
+      if (Candi < 0 || Trackers[K].Count > Trackers[Candi].Count)
+        Candi = K;
+    }
+    if (Candi < 0 || Trackers[Candi].Count <= 1)
+      return false;
+    std::int64_t Average = std::max<std::int64_t>(1, Total / Lanes);
+    std::int64_t Take = std::min(Average, Trackers[Candi].Count - 1);
+    Tracker &T = Trackers[Em];
+    Tracker &C = Trackers[Candi];
+    T.ValId = C.ValId;
+    T.Count = Take;
+    T.Slot = C.Slot;
+    T.CurRow = C.CurRow;
+    C.ValId += Take;
+    C.Count -= Take;
+    return true;
+  }
+
+  /// Processes every lane whose piece finished: record, then feed or steal
+  /// a replacement (the `!vector_reduceAnd(count)` branch of Algorithm 3).
+  /// Returns the next run length — the smallest live count, i.e. the
+  /// number of steps until the next finish event — or 0 when all lanes are
+  /// done.
+  std::int64_t refillLanes(std::int64_t Steps) {
+    std::int64_t Run = 0;
+    for (int Em = 0; Em < Lanes; ++Em) {
+      Tracker &T = Trackers[Em];
+      if (T.Count == 0) {
+        if (T.Dead)
+          continue;
+        std::int64_t Pos = Steps * Lanes + Em;
+        recordFinish(Em, Pos);
+        if (!feed(Em)) {
+          if (!TailsTaken)
+            snapshotTails();
+          if (!steal(Em)) {
+            T.Dead = true;
+            continue;
+          }
+          // Stealing may have shrunk an earlier lane's count below the
+          // running minimum; recompute conservatively.
+          Run = 0;
+          Em = -1;
+          continue;
+        }
+      }
+      if (Run == 0 || T.Count < Run)
+        Run = T.Count;
+    }
+    return Run;
+  }
+
+  /// Emits a run of steps in one go: until the next finish event, which by
+  /// construction is min(count) = \p Run steps away, every live lane
+  /// streams consecutive elements (the gather/store of Algorithm 3
+  /// l.56-60, batched). Dead lanes emit zero pads.
+  void emitRun(std::int64_t &Steps, std::int64_t Run) {
+    assert(Run >= 1 && "emitRun requires at least one live lane");
+
+    std::size_t Base = Out.Vals.size();
+    Out.Vals.resize(Base + static_cast<std::size_t>(Run) * Lanes);
+    Out.ColIdx.resize(Base + static_cast<std::size_t>(Run) * Lanes);
+
+    // Blocked over steps so the lane-strided stores stay inside L1 even
+    // for very long runs (a single pass per lane over a multi-hundred-KB
+    // region would re-fetch every output line `Lanes` times).
+    constexpr std::int64_t BlockSteps = 128;
+    for (std::int64_t J0 = 0; J0 < Run; J0 += BlockSteps) {
+      std::int64_t J1 = std::min(Run, J0 + BlockSteps);
+      ValueT *VOut = Out.Vals.data() + Base + J0 * Lanes;
+      std::int32_t *COut = Out.ColIdx.data() + Base + J0 * Lanes;
+      for (int K = 0; K < Lanes; ++K) {
+        Tracker &T = Trackers[K];
+        if (T.Count > 0) {
+          assert(T.ValId + (J1 - J0) <= Chunk.NnzEnd &&
+                 "tracker escaped its chunk");
+          const double *VIn = A.vals() + T.ValId + J0;
+          const std::int32_t *CIn = A.colIdx() + T.ValId + J0;
+          for (std::int64_t J = 0; J < J1 - J0; ++J) {
+            VOut[J * Lanes + K] = static_cast<ValueT>(VIn[J]);
+            COut[J * Lanes + K] = CIn[J];
+          }
+        } else {
+          for (std::int64_t J = 0; J < J1 - J0; ++J) {
+            VOut[J * Lanes + K] = ValueT(0);
+            COut[J * Lanes + K] = 0;
+          }
+        }
+      }
+    }
+    for (Tracker &T : Trackers) {
+      if (T.Count > 0) {
+        T.ValId += Run;
+        T.Count -= Run;
+      }
+    }
+    Steps += Run;
+  }
+
+  void emitPadStep() {
+    for (int K = 0; K < Lanes; ++K) {
+      Out.Vals.push_back(ValueT(0));
+      Out.ColIdx.push_back(0);
+    }
+  }
+
+  const CsrMatrix &A;
+  const NnzChunk &Chunk;
+  const ConverterConfig &Cfg;
+  ChunkBuild<ValueT> &Out;
+  int Lanes;
+  std::vector<Tracker> Trackers;
+  std::int32_t NextRow = 0;
+  std::vector<std::int32_t> FeedList; ///< Sort-first ablation feed order.
+  std::size_t FeedCursor = 0;
+  bool TailsTaken = false;
+};
+
+/// Converts all chunks of \p A in parallel and stitches the results.
+template <typename ValueT>
+ConvertedStreams<ValueT> convertToCvrStreams(const CsrMatrix &A,
+                                             const ConverterConfig &Cfg) {
+  assert(Cfg.Lanes >= 1 && "need at least one lane");
+  int NumThreads = Cfg.NumThreads > 0 ? Cfg.NumThreads : defaultThreadCount();
+
+  ConvertedStreams<ValueT> S;
+  std::vector<NnzChunk> Parts = partitionByNnz(A, NumThreads);
+  std::vector<ChunkBuild<ValueT>> Builds(Parts.size());
+
+  // Each chunk converts independently (the paper converts per-thread in
+  // parallel; the chunks are also what makes the conversion scalable).
+#pragma omp parallel for schedule(static) num_threads(NumThreads)
+  for (int T = 0; T < static_cast<int>(Parts.size()); ++T) {
+    ChunkConverter<ValueT> Conv(A, Parts[T], Cfg, Builds[T]);
+    Conv.convert();
+  }
+
+  // Stitch the per-chunk outputs into contiguous shared streams. With a
+  // single chunk the buffers move without a copy.
+  S.Tails.resize(Parts.size() * static_cast<std::size_t>(Cfg.Lanes));
+  S.Tails.fill(-1);
+  S.Chunks.resize(Parts.size());
+
+  if (Parts.size() == 1) {
+    ChunkBuild<ValueT> &B = Builds[0];
+    CvrChunk &C = S.Chunks[0];
+    C.NumSteps = B.NumSteps;
+    C.RecEnd = static_cast<std::int64_t>(B.Recs.size());
+    C.FirstRow = Parts[0].FirstRow;
+    C.LastRow = Parts[0].LastRow;
+    S.Vals = std::move(B.Vals);
+    S.ColIdx = std::move(B.ColIdx);
+    S.Recs = std::move(B.Recs);
+    for (std::size_t K = 0; K < B.Tails.size(); ++K)
+      S.Tails[K] = B.Tails[K];
+  } else {
+    std::int64_t TotalElems = 0, TotalRecs = 0;
+    for (const ChunkBuild<ValueT> &B : Builds) {
+      TotalElems += static_cast<std::int64_t>(B.Vals.size());
+      TotalRecs += static_cast<std::int64_t>(B.Recs.size());
+    }
+    S.Vals.resize(static_cast<std::size_t>(TotalElems));
+    S.ColIdx.resize(static_cast<std::size_t>(TotalElems));
+    S.Recs.resize(static_cast<std::size_t>(TotalRecs));
+
+    std::int64_t ElemCursor = 0, RecCursor = 0;
+    for (std::size_t T = 0; T < Parts.size(); ++T) {
+      ChunkBuild<ValueT> &B = Builds[T];
+      CvrChunk &C = S.Chunks[T];
+      C.ElemBase = ElemCursor;
+      C.NumSteps = B.NumSteps;
+      C.RecBase = RecCursor;
+      C.RecEnd = RecCursor + static_cast<std::int64_t>(B.Recs.size());
+      C.TailBase = static_cast<std::int64_t>(T) * Cfg.Lanes;
+      C.FirstRow = Parts[T].FirstRow;
+      C.LastRow = Parts[T].LastRow;
+      if (!B.Vals.empty()) {
+        std::memcpy(S.Vals.data() + ElemCursor, B.Vals.data(),
+                    B.Vals.size() * sizeof(ValueT));
+        std::memcpy(S.ColIdx.data() + ElemCursor, B.ColIdx.data(),
+                    B.ColIdx.size() * sizeof(std::int32_t));
+      }
+      if (!B.Recs.empty())
+        std::memcpy(S.Recs.data() + RecCursor, B.Recs.data(),
+                    B.Recs.size() * sizeof(CvrRecord));
+      for (std::size_t K = 0; K < B.Tails.size(); ++K)
+        S.Tails[C.TailBase + K] = B.Tails[K];
+      ElemCursor += static_cast<std::int64_t>(B.Vals.size());
+      RecCursor += static_cast<std::int64_t>(B.Recs.size());
+    }
+  }
+
+  // Rows the kernel must pre-zero: empty rows (never fed anywhere) and
+  // every chunk boundary row (accumulated with += across chunks).
+  for (std::int32_t R = 0; R < A.numRows(); ++R)
+    if (A.rowLength(R) == 0)
+      S.ZeroRows.push_back(R);
+  for (const CvrChunk &C : S.Chunks) {
+    if (C.FirstRow >= 0)
+      S.ZeroRows.push_back(C.FirstRow);
+    if (C.LastRow >= 0 && C.LastRow != C.FirstRow)
+      S.ZeroRows.push_back(C.LastRow);
+  }
+  std::sort(S.ZeroRows.begin(), S.ZeroRows.end());
+  S.ZeroRows.erase(std::unique(S.ZeroRows.begin(), S.ZeroRows.end()),
+                   S.ZeroRows.end());
+  return S;
+}
+
+} // namespace detail
+} // namespace cvr
+
+#endif // CVR_CORE_CVRCONVERTER_H

@@ -1,0 +1,86 @@
+//===- core/CvrFloat.h - Single-precision CVR (omega = 16) ------*- C++ -*-===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The single-precision CVR pipeline. The paper fixes the tracker count at
+/// the SIMD lane count — "8 for double precision and 16 for single
+/// precision on KNL" (Section 4.2) — so the f32 format streams 16 lanes per
+/// step and its AVX-512 kernel consumes one full 512-bit value load, one
+/// full 512-bit index load, and one 16-wide gather+FMA per step (no column
+/// double-pumping needed: the indices of one step already fill a register).
+///
+/// Values are converted from the double-precision CSR input at preprocess
+/// time; x and y are float vectors. Use this path when the application
+/// tolerates f32 accuracy and wants the 2x lane-width throughput.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVR_CORE_CVRFLOAT_H
+#define CVR_CORE_CVRFLOAT_H
+
+#include "core/CvrFormat.h"
+#include "matrix/Csr.h"
+#include "support/AlignedBuffer.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace cvr {
+
+/// Conversion options for the f32 pipeline.
+struct CvrOptionsF {
+  /// SIMD lanes (omega): 16 for f32 on AVX-512. Other widths run through
+  /// the generic kernel.
+  int Lanes = 16;
+  int NumThreads = 0;        ///< <= 0 selects the OpenMP default.
+  bool EnableStealing = true;
+  bool ForceGenericKernel = false;
+};
+
+/// A matrix converted to single-precision CVR. Shares the record/chunk
+/// model with CvrMatrix (see CvrFormat.h).
+class CvrMatrixF {
+public:
+  /// Converts \p A, casting values to float.
+  static CvrMatrixF fromCsr(const CsrMatrix &A, const CvrOptionsF &Opts = {});
+
+  std::int32_t numRows() const { return NumRows; }
+  std::int32_t numCols() const { return NumCols; }
+  std::int64_t numNonZeros() const { return Nnz; }
+  int lanes() const { return Lanes; }
+  int numChunks() const { return static_cast<int>(Chunks.size()); }
+
+  const std::vector<CvrChunk> &chunks() const { return Chunks; }
+  const float *vals() const { return Vals.data(); }
+  const std::int32_t *colIdx() const { return ColIdx.data(); }
+  const CvrRecord *recs() const { return Recs.data(); }
+  const std::int32_t *tails() const { return Tails.data(); }
+  const std::vector<std::int32_t> &zeroRows() const { return ZeroRows; }
+  bool forcesGenericKernel() const { return ForceGeneric; }
+
+  std::size_t formatBytes() const;
+
+private:
+  std::int32_t NumRows = 0;
+  std::int32_t NumCols = 0;
+  std::int64_t Nnz = 0;
+  int Lanes = 16;
+  bool ForceGeneric = false;
+
+  AlignedBuffer<float> Vals;
+  AlignedBuffer<std::int32_t> ColIdx;
+  std::vector<CvrRecord> Recs;
+  AlignedBuffer<std::int32_t> Tails;
+  std::vector<CvrChunk> Chunks;
+  std::vector<std::int32_t> ZeroRows;
+};
+
+/// Computes y = A * x in single precision. \p Y is overwritten.
+void cvrSpmvF(const CvrMatrixF &M, const float *X, float *Y);
+
+} // namespace cvr
+
+#endif // CVR_CORE_CVRFLOAT_H

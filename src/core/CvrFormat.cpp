@@ -1,0 +1,83 @@
+//===- core/CvrFormat.cpp - CVR format (double precision) -----------------===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/CvrFormat.h"
+
+#include "core/CvrConverter.h"
+
+#include <cassert>
+
+namespace cvr {
+
+CvrMatrix CvrMatrix::fromCsr(const CsrMatrix &A, const CvrOptions &Opts) {
+  detail::ConverterConfig Cfg;
+  Cfg.Lanes = Opts.Lanes;
+  Cfg.NumThreads = Opts.NumThreads;
+  Cfg.EnableStealing = Opts.EnableStealing;
+  Cfg.PadEvenSteps = true; // The f64 kernel double-pumps column loads.
+  Cfg.SortFeedRowsByLength = Opts.SortFeedRows;
+
+  detail::ConvertedStreams<double> S =
+      detail::convertToCvrStreams<double>(A, Cfg);
+
+  CvrMatrix M;
+  M.NumRows = A.numRows();
+  M.NumCols = A.numCols();
+  M.Nnz = A.numNonZeros();
+  M.Lanes = Opts.Lanes;
+  M.ForceGeneric = Opts.ForceGenericKernel;
+  M.Vals = std::move(S.Vals);
+  M.ColIdx = std::move(S.ColIdx);
+  M.Recs = std::move(S.Recs);
+  M.Tails = std::move(S.Tails);
+  M.Chunks = std::move(S.Chunks);
+  M.ZeroRows = std::move(S.ZeroRows);
+
+  assert(M.isValid() && "conversion produced an inconsistent CVR matrix");
+  return M;
+}
+
+std::size_t CvrMatrix::formatBytes() const {
+  return Vals.size() * sizeof(double) + ColIdx.size() * sizeof(std::int32_t) +
+         Recs.size() * sizeof(CvrRecord) +
+         Tails.size() * sizeof(std::int32_t) +
+         Chunks.size() * sizeof(CvrChunk) +
+         ZeroRows.size() * sizeof(std::int32_t);
+}
+
+bool CvrMatrix::isValid() const {
+  std::int64_t RealElems = 0;
+  for (const CvrChunk &C : Chunks) {
+    if (C.NumSteps % 2 != 0 && Lanes == 8)
+      return false;
+    std::int64_t Prev = -1;
+    for (std::int64_t R = C.RecBase; R < C.RecEnd; ++R) {
+      const CvrRecord &Rec = Recs[R];
+      if (Rec.Pos < Prev)
+        return false; // Records must be position-ordered per chunk.
+      Prev = Rec.Pos;
+      if (Rec.Steal) {
+        if (Rec.Wb < 0 || Rec.Wb >= Lanes)
+          return false;
+        if (Tails[C.TailBase + Rec.Wb] < 0)
+          return false; // Steal slot without a tail row.
+      } else if (Rec.Wb < 0 || Rec.Wb >= NumRows) {
+        return false;
+      }
+    }
+    for (std::int64_t I = C.ElemBase, E = C.ElemBase + C.NumSteps * Lanes;
+         I < E; ++I) {
+      // Pads are (value 0, column 0); count everything else.
+      if (ColIdx[I] != 0 || Vals[I] != 0.0)
+        ++RealElems;
+    }
+  }
+  // Every nonzero appears exactly once, except that genuine (0, col 0)
+  // entries are indistinguishable from pads, so allow RealElems <= Nnz.
+  return RealElems <= Nnz;
+}
+
+} // namespace cvr

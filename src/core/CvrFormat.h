@@ -1,0 +1,143 @@
+//===- core/CvrFormat.h - The CVR representation ----------------*- C++ -*-===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Compressed Vectorization-oriented sparse Row (CVR) format — the
+/// paper's contribution (Section 4). A sparse matrix is converted into a
+/// dense `steps x lanes` element stream per thread chunk:
+///
+///  * the nonzeros are divided evenly into one chunk per thread
+///    (`nnz_start`/`nnz_end`, Section 4.2);
+///  * inside a chunk, `lanes` trackers `(rowID, valID, count)` stream rows
+///    into SIMD lanes: when a lane's row is exhausted the next non-empty
+///    row is *fed* into it, and when no rows remain the lane *steals* the
+///    head of the fullest lane's remaining elements;
+///  * each finish event appends a record `(pos, wb)` telling the SpMV
+///    kernel where the lane's accumulated dot product must be written:
+///    feed-phase records scatter straight into y, steal-phase records
+///    accumulate into the per-chunk `t_result` slots that the `tail` array
+///    maps back to rows (Figure 3, Algorithm 3).
+///
+/// The conversion is a single O(nnz) streaming pass — the source of CVR's
+/// headline low preprocessing overhead (Tables 1/4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVR_CORE_CVRFORMAT_H
+#define CVR_CORE_CVRFORMAT_H
+
+#include "matrix/Csr.h"
+#include "support/AlignedBuffer.h"
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+namespace cvr {
+
+/// Conversion options.
+struct CvrOptions {
+  /// SIMD lanes (the paper's omega): 8 for f64 on AVX-512. Any value >= 1
+  /// is accepted; the vectorized kernel requires 8, other widths run
+  /// through the generic kernel (used by the lane-count ablation).
+  int Lanes = 8;
+
+  /// Number of thread chunks (<= 0 selects the OpenMP default).
+  int NumThreads = 0;
+
+  /// Tracker stealing for tail balance (Section 4.2 "Tracker Stealing").
+  /// Disabling it pads idle lanes instead — the stealing ablation.
+  bool EnableStealing = true;
+
+  /// Run the scalar kernel even when the AVX-512 one is applicable — the
+  /// vectorization-benefit ablation.
+  bool ForceGenericKernel = false;
+
+  /// Feed rows longest-first instead of in matrix order — the sort-first
+  /// ablation (quantifies what the paper's O(nnz) no-sort design saves).
+  bool SortFeedRows = false;
+};
+
+/// One write-back record (the paper's `rec` vector entry).
+struct CvrRecord {
+  std::int64_t Pos;  ///< Element position within the chunk stream.
+  std::int32_t Wb;   ///< Feed: destination row. Steal: t_result slot.
+  std::uint8_t Steal;  ///< 1 for steal-phase records.
+  std::uint8_t Shared; ///< 1 if the destination row needs atomic adds.
+};
+
+/// Per-thread-chunk metadata.
+struct CvrChunk {
+  std::int64_t ElemBase = 0;  ///< Offset into Vals/ColIdx (elements).
+  std::int64_t NumSteps = 0;  ///< Stream steps (each emits Lanes elements).
+  std::int64_t RecBase = 0;   ///< Offset into Recs.
+  std::int64_t RecEnd = 0;    ///< One past the chunk's last record.
+  std::int64_t TailBase = 0;  ///< Offset into Tails (Lanes slots).
+  std::int32_t FirstRow = -1; ///< First row touched (possibly partial).
+  std::int32_t LastRow = -1;  ///< Last row touched (possibly partial).
+};
+
+/// A matrix converted to CVR.
+class CvrMatrix {
+public:
+  /// Converts \p A. The conversion runs the chunks in parallel and is the
+  /// operation the preprocessing benchmarks time.
+  static CvrMatrix fromCsr(const CsrMatrix &A, const CvrOptions &Opts = {});
+
+  std::int32_t numRows() const { return NumRows; }
+  std::int32_t numCols() const { return NumCols; }
+  std::int64_t numNonZeros() const { return Nnz; }
+  int lanes() const { return Lanes; }
+  int numChunks() const { return static_cast<int>(Chunks.size()); }
+
+  const std::vector<CvrChunk> &chunks() const { return Chunks; }
+  const double *vals() const { return Vals.data(); }
+  const std::int32_t *colIdx() const { return ColIdx.data(); }
+  const CvrRecord *recs() const { return Recs.data(); }
+  const std::int32_t *tails() const { return Tails.data(); }
+
+  /// Rows the kernel must zero before accumulation: empty rows plus every
+  /// chunk-boundary row (see CvrSpmv).
+  const std::vector<std::int32_t> &zeroRows() const { return ZeroRows; }
+
+  /// True when the conversion requested the scalar kernel (ablation).
+  bool forcesGenericKernel() const { return ForceGeneric; }
+
+  std::size_t formatBytes() const;
+
+  /// Internal invariants (every nonzero emitted exactly once, records
+  /// ordered by position, tails consistent); used by tests and asserts.
+  bool isValid() const;
+
+  /// Writes the converted matrix as a versioned little-endian binary blob,
+  /// so one conversion can be amortized across process runs. Returns false
+  /// on stream failure.
+  bool writeBinary(std::ostream &OS) const;
+
+  /// Reads a blob written by writeBinary. On failure returns false and
+  /// leaves \p M empty; validates header magic, version, and invariants.
+  static bool readBinary(std::istream &IS, CvrMatrix &M);
+
+private:
+  friend class CvrConverter;
+
+  std::int32_t NumRows = 0;
+  std::int32_t NumCols = 0;
+  std::int64_t Nnz = 0;
+  int Lanes = 8;
+
+  AlignedBuffer<double> Vals;        ///< cvr_vals, chunk-concatenated.
+  AlignedBuffer<std::int32_t> ColIdx; ///< cvr_colidx.
+  std::vector<CvrRecord> Recs;
+  AlignedBuffer<std::int32_t> Tails; ///< Lanes per chunk; -1 = unused slot.
+  std::vector<CvrChunk> Chunks;
+  std::vector<std::int32_t> ZeroRows;
+  bool ForceGeneric = false;
+};
+
+} // namespace cvr
+
+#endif // CVR_CORE_CVRFORMAT_H

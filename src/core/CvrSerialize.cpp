@@ -1,0 +1,143 @@
+//===- core/CvrSerialize.cpp - CVR binary save/load -----------------------===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Blob layout (little-endian, no padding surprises: every field is written
+// explicitly): magic "CVRF", u32 version, the scalar header fields, then
+// each array prefixed with its u64 element count.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/CvrFormat.h"
+
+#include <istream>
+#include <ostream>
+
+namespace cvr {
+
+namespace {
+
+constexpr char Magic[4] = {'C', 'V', 'R', 'F'};
+constexpr std::uint32_t Version = 1;
+
+template <typename T> void writePod(std::ostream &OS, const T &V) {
+  OS.write(reinterpret_cast<const char *>(&V), sizeof(T));
+}
+
+template <typename T> bool readPod(std::istream &IS, T &V) {
+  IS.read(reinterpret_cast<char *>(&V), sizeof(T));
+  return static_cast<bool>(IS);
+}
+
+template <typename T>
+void writeArray(std::ostream &OS, const T *Data, std::uint64_t N) {
+  writePod(OS, N);
+  if (N != 0)
+    OS.write(reinterpret_cast<const char *>(Data),
+             static_cast<std::streamsize>(N * sizeof(T)));
+}
+
+/// Reads an array written by writeArray into any resizable container with
+/// data()/resize(). A cap guards against corrupted counts allocating
+/// unbounded memory.
+template <typename Container>
+bool readArray(std::istream &IS, Container &Out, std::uint64_t MaxElems) {
+  std::uint64_t N = 0;
+  if (!readPod(IS, N) || N > MaxElems)
+    return false;
+  Out.resize(static_cast<std::size_t>(N));
+  if (N != 0)
+    IS.read(reinterpret_cast<char *>(Out.data()),
+            static_cast<std::streamsize>(N * sizeof(*Out.data())));
+  return static_cast<bool>(IS);
+}
+
+/// Arbitrary sanity cap: no array in a CVR blob is larger than this many
+/// elements (1 << 40 elements would be terabytes).
+constexpr std::uint64_t MaxArrayElems = 1ULL << 40;
+
+} // namespace
+
+bool CvrMatrix::writeBinary(std::ostream &OS) const {
+  OS.write(Magic, sizeof(Magic));
+  writePod(OS, Version);
+  writePod(OS, NumRows);
+  writePod(OS, NumCols);
+  writePod(OS, Nnz);
+  writePod(OS, static_cast<std::int32_t>(Lanes));
+  writePod(OS, static_cast<std::uint8_t>(ForceGeneric));
+
+  writeArray(OS, Vals.data(), Vals.size());
+  writeArray(OS, ColIdx.data(), ColIdx.size());
+  writeArray(OS, Recs.data(), Recs.size());
+  writeArray(OS, Tails.data(), Tails.size());
+  writeArray(OS, Chunks.data(), Chunks.size());
+  writeArray(OS, ZeroRows.data(), ZeroRows.size());
+  return static_cast<bool>(OS);
+}
+
+bool CvrMatrix::readBinary(std::istream &IS, CvrMatrix &M) {
+  M = CvrMatrix();
+  char Head[4];
+  IS.read(Head, sizeof(Head));
+  if (!IS || Head[0] != Magic[0] || Head[1] != Magic[1] ||
+      Head[2] != Magic[2] || Head[3] != Magic[3])
+    return false;
+  std::uint32_t V = 0;
+  if (!readPod(IS, V) || V != Version)
+    return false;
+
+  std::int32_t Lanes32 = 0;
+  std::uint8_t Generic = 0;
+  if (!readPod(IS, M.NumRows) || !readPod(IS, M.NumCols) ||
+      !readPod(IS, M.Nnz) || !readPod(IS, Lanes32) ||
+      !readPod(IS, Generic))
+    return false;
+  if (M.NumRows < 0 || M.NumCols < 0 || M.Nnz < 0 || Lanes32 < 1)
+    return false;
+  M.Lanes = Lanes32;
+  M.ForceGeneric = Generic != 0;
+
+  if (!readArray(IS, M.Vals, MaxArrayElems) ||
+      !readArray(IS, M.ColIdx, MaxArrayElems) ||
+      !readArray(IS, M.Recs, MaxArrayElems) ||
+      !readArray(IS, M.Tails, MaxArrayElems) ||
+      !readArray(IS, M.Chunks, MaxArrayElems) ||
+      !readArray(IS, M.ZeroRows, MaxArrayElems))
+    return false;
+
+  if (M.Vals.size() != M.ColIdx.size())
+    return false;
+  if (M.Tails.size() !=
+      M.Chunks.size() * static_cast<std::size_t>(M.Lanes))
+    return false;
+  // Chunk offsets must stay inside the arrays before isValid() (or the
+  // kernel) dereferences through them.
+  auto Elems = static_cast<std::int64_t>(M.Vals.size());
+  auto NumRecs = static_cast<std::int64_t>(M.Recs.size());
+  for (const CvrChunk &C : M.Chunks) {
+    if (C.ElemBase < 0 || C.NumSteps < 0 ||
+        C.ElemBase + C.NumSteps * M.Lanes > Elems)
+      return false;
+    if (C.RecBase < 0 || C.RecBase > C.RecEnd || C.RecEnd > NumRecs)
+      return false;
+    if (C.TailBase < 0 ||
+        C.TailBase + M.Lanes >
+            static_cast<std::int64_t>(M.Tails.size()))
+      return false;
+    if (C.FirstRow >= M.NumRows || C.LastRow >= M.NumRows)
+      return false;
+  }
+  for (std::int32_t R : M.ZeroRows)
+    if (R < 0 || R >= M.NumRows)
+      return false;
+  if (!M.isValid()) {
+    M = CvrMatrix();
+    return false;
+  }
+  return true;
+}
+
+} // namespace cvr

@@ -1,0 +1,393 @@
+//===- core/CvrSpmv.cpp - SpMV over the CVR format ------------------------===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/CvrSpmv.h"
+
+#include "simd/Simd.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace cvr {
+
+namespace {
+
+/// Scatters a finished lane value to y (feed records and tail flushes).
+/// Chunk-boundary rows are accumulated atomically because the neighbouring
+/// chunk contributes to them too; every other row has exactly one writer,
+/// so a plain store suffices (y's zero rows are pre-cleared).
+inline void writeBack(double *Y, std::int32_t Row, double V, bool Shared) {
+  if (Shared) {
+#pragma omp atomic
+    Y[Row] += V;
+  } else {
+    Y[Row] = V;
+  }
+}
+
+/// Applies every record with Pos < Limit: feed records scatter the lane's
+/// finished dot product straight into y (one masked scatter for the common
+/// exclusive-row case), steal records accumulate into the chunk's t_result
+/// slots, and the applied lanes are zeroed. Returns the updated v_out.
+inline simd::VecD8 applyRecords(simd::VecD8 VOut, const CvrRecord *Recs,
+                                std::int64_t &RecIdx, std::int64_t RecEnd,
+                                std::int64_t Limit, double *Y,
+                                double *TResult) {
+#if CVR_SIMD_AVX512
+  alignas(32) std::int32_t WbBuf[8];
+  __mmask8 FeedMask = 0, ClearMask = 0;
+  do {
+    const CvrRecord &R = Recs[RecIdx];
+    int Off = static_cast<int>(R.Pos & 7);
+    auto Bit = static_cast<__mmask8>(1U << Off);
+    if (!R.Steal && !R.Shared) {
+      WbBuf[Off] = R.Wb;
+      FeedMask |= Bit;
+    } else {
+      // Single-lane extraction via a masked horizontal add.
+      double V = _mm512_mask_reduce_add_pd(Bit, VOut.Reg);
+      if (R.Steal) {
+        TResult[R.Wb] += V;
+      } else {
+#pragma omp atomic
+        Y[R.Wb] += V;
+      }
+    }
+    ClearMask |= Bit;
+    ++RecIdx;
+  } while (RecIdx < RecEnd && Recs[RecIdx].Pos < Limit);
+  if (FeedMask) {
+    __m256i Idx =
+        _mm256_load_si256(reinterpret_cast<const __m256i *>(WbBuf));
+    _mm512_mask_i32scatter_pd(Y, FeedMask, Idx, VOut.Reg, 8);
+  }
+  VOut.Reg = _mm512_maskz_mov_pd(static_cast<__mmask8>(~ClearMask),
+                                 VOut.Reg);
+  return VOut;
+#else
+  alignas(64) double Buf[8];
+  VOut.toArray(Buf);
+  do {
+    const CvrRecord &R = Recs[RecIdx];
+    int Off = static_cast<int>(R.Pos & 7);
+    if (R.Steal)
+      TResult[R.Wb] += Buf[Off];
+    else
+      writeBack(Y, R.Wb, Buf[Off], R.Shared);
+    Buf[Off] = 0.0;
+    ++RecIdx;
+  } while (RecIdx < RecEnd && Recs[RecIdx].Pos < Limit);
+  return simd::VecD8::fromArray(Buf);
+#endif
+}
+
+/// One chunk of the vectorized 8-lane kernel (Algorithm 4).
+void runChunkAvx(const CvrMatrix &M, const CvrChunk &C, const double *X,
+                 double *Y) {
+  constexpr int W = 8;
+  const double *Vals = M.vals() + C.ElemBase;
+  const std::int32_t *Cols = M.colIdx() + C.ElemBase;
+  const CvrRecord *Recs = M.recs();
+  std::int64_t RecIdx = C.RecBase;
+  const std::int64_t RecEnd = C.RecEnd;
+
+  alignas(64) double TResult[W] = {0};
+  simd::VecD8 VOut = simd::VecD8::zero();
+  simd::VecI16 Cols16{};
+
+  for (std::int64_t I = 0; I < C.NumSteps; ++I) {
+    // Write-back records that fall into this step (the lane's dot product
+    // is complete just before the step's elements are consumed).
+    if (RecIdx < RecEnd && Recs[RecIdx].Pos < (I + 1) * W)
+      VOut = applyRecords(VOut, Recs, RecIdx, RecEnd, (I + 1) * W, Y,
+                          TResult);
+
+    // Column-index double pumping: one 16-wide int32 load per two steps.
+    if ((I & 1) == 0)
+      Cols16 = simd::VecI16::loadAligned(Cols + I * W);
+    simd::VecI8 Idx = (I & 1) ? Cols16.hi() : Cols16.lo();
+
+    simd::VecD8 Xs = simd::VecD8::gather(X, Idx);
+    simd::VecD8 Vs = simd::VecD8::loadAligned(Vals + I * W);
+    VOut = VOut.fmadd(Vs, Xs);
+  }
+
+  // Trailing records (pieces that finish exactly at the stream end).
+  if (RecIdx < RecEnd)
+    applyRecords(VOut, Recs, RecIdx, RecEnd,
+                 std::numeric_limits<std::int64_t>::max(), Y, TResult);
+
+  // Tail flush: t_result slots back to their rows (Algorithm 4 l.31-33).
+  const std::int32_t *Tails = M.tails() + C.TailBase;
+  for (int K = 0; K < W; ++K) {
+    std::int32_t Row = Tails[K];
+    if (Row < 0)
+      continue;
+    bool Shared = Row == C.FirstRow || Row == C.LastRow;
+    writeBack(Y, Row, TResult[K], Shared);
+  }
+}
+
+/// Generic any-width kernel (lane-count ablation / non-AVX hosts).
+void runChunkGeneric(const CvrMatrix &M, const CvrChunk &C, const double *X,
+                     double *Y) {
+  const int W = M.lanes();
+  const double *Vals = M.vals() + C.ElemBase;
+  const std::int32_t *Cols = M.colIdx() + C.ElemBase;
+  const CvrRecord *Recs = M.recs();
+  std::int64_t RecIdx = C.RecBase;
+  const std::int64_t RecEnd = C.RecEnd;
+
+  std::vector<double> TResult(W, 0.0);
+  std::vector<double> VOut(W, 0.0);
+
+  for (std::int64_t I = 0; I < C.NumSteps; ++I) {
+    while (RecIdx < RecEnd && Recs[RecIdx].Pos < (I + 1) * W) {
+      const CvrRecord &R = Recs[RecIdx];
+      int Off = static_cast<int>(R.Pos % W);
+      if (R.Steal)
+        TResult[R.Wb] += VOut[Off];
+      else
+        writeBack(Y, R.Wb, VOut[Off], R.Shared);
+      VOut[Off] = 0.0;
+      ++RecIdx;
+    }
+    for (int K = 0; K < W; ++K)
+      VOut[K] += Vals[I * W + K] * X[Cols[I * W + K]];
+  }
+
+  for (; RecIdx < RecEnd; ++RecIdx) {
+    const CvrRecord &R = Recs[RecIdx];
+    int Off = static_cast<int>(R.Pos % W);
+    if (R.Steal)
+      TResult[R.Wb] += VOut[Off];
+    else
+      writeBack(Y, R.Wb, VOut[Off], R.Shared);
+    VOut[Off] = 0.0;
+  }
+
+  const std::int32_t *Tails = M.tails() + C.TailBase;
+  for (int K = 0; K < W; ++K) {
+    std::int32_t Row = Tails[K];
+    if (Row < 0)
+      continue;
+    bool Shared = Row == C.FirstRow || Row == C.LastRow;
+    writeBack(Y, Row, TResult[K], Shared);
+  }
+}
+
+/// One chunk of the multi-vector kernel: a block of B <= 4 right-hand
+/// sides shares each step's index and value loads. Structure mirrors
+/// runChunkAvx with per-vector accumulators.
+void runChunkMulti(const CvrMatrix &M, const CvrChunk &C, const double *X,
+                   std::size_t LdX, double *Y, std::size_t LdY, int B) {
+  constexpr int W = 8;
+  constexpr int MaxB = 4;
+  assert(B >= 1 && B <= MaxB && "block of at most four vectors");
+  const double *Vals = M.vals() + C.ElemBase;
+  const std::int32_t *Cols = M.colIdx() + C.ElemBase;
+  const CvrRecord *Recs = M.recs();
+  std::int64_t RecIdx = C.RecBase;
+  const std::int64_t RecEnd = C.RecEnd;
+
+  alignas(64) double TResult[MaxB][W] = {};
+  simd::VecD8 VOut[MaxB];
+  for (int V = 0; V < MaxB; ++V)
+    VOut[V] = simd::VecD8::zero();
+  simd::VecI16 Cols16{};
+
+  // Applies all records with Pos < Limit against every vector's
+  // accumulator (one spill per vector; records are rare relative to steps).
+  auto Apply = [&](std::int64_t Limit) {
+    std::int64_t Begin = RecIdx;
+    for (int V = 0; V < B; ++V) {
+      alignas(64) double Buf[W];
+      VOut[V].toArray(Buf);
+      double *Yv = Y + static_cast<std::size_t>(V) * LdY;
+      for (std::int64_t R = Begin;
+           R < RecEnd && Recs[R].Pos < Limit; ++R) {
+        const CvrRecord &Rec = Recs[R];
+        int Off = static_cast<int>(Rec.Pos & (W - 1));
+        if (Rec.Steal)
+          TResult[V][Rec.Wb] += Buf[Off];
+        else
+          writeBack(Yv, Rec.Wb, Buf[Off], Rec.Shared);
+        Buf[Off] = 0.0;
+      }
+      VOut[V] = simd::VecD8::fromArray(Buf);
+    }
+    while (RecIdx < RecEnd && Recs[RecIdx].Pos < Limit)
+      ++RecIdx;
+  };
+
+  for (std::int64_t I = 0; I < C.NumSteps; ++I) {
+    if (RecIdx < RecEnd && Recs[RecIdx].Pos < (I + 1) * W)
+      Apply((I + 1) * W);
+    if ((I & 1) == 0)
+      Cols16 = simd::VecI16::loadAligned(Cols + I * W);
+    simd::VecI8 Idx = (I & 1) ? Cols16.hi() : Cols16.lo();
+    simd::VecD8 Vs = simd::VecD8::loadAligned(Vals + I * W);
+    for (int V = 0; V < B; ++V) {
+      simd::VecD8 Xs =
+          simd::VecD8::gather(X + static_cast<std::size_t>(V) * LdX, Idx);
+      VOut[V] = VOut[V].fmadd(Vs, Xs);
+    }
+  }
+  if (RecIdx < RecEnd)
+    Apply(std::numeric_limits<std::int64_t>::max());
+
+  const std::int32_t *Tails = M.tails() + C.TailBase;
+  for (int V = 0; V < B; ++V) {
+    double *Yv = Y + static_cast<std::size_t>(V) * LdY;
+    for (int K = 0; K < W; ++K) {
+      std::int32_t Row = Tails[K];
+      if (Row < 0)
+        continue;
+      bool Shared = Row == C.FirstRow || Row == C.LastRow;
+      writeBack(Yv, Row, TResult[V][K], Shared);
+    }
+  }
+}
+
+} // namespace
+
+void cvrSpmm(const CvrMatrix &M, const double *X, std::size_t LdX,
+             double *Y, std::size_t LdY, int NumVectors) {
+  assert(LdX >= static_cast<std::size_t>(M.numCols()) &&
+         LdY >= static_cast<std::size_t>(M.numRows()) &&
+         "leading dimensions must cover the matrix shape");
+  if (M.lanes() != simd::DoubleLanes || M.forcesGenericKernel()) {
+    for (int V = 0; V < NumVectors; ++V)
+      cvrSpmv(M, X + static_cast<std::size_t>(V) * LdX,
+              Y + static_cast<std::size_t>(V) * LdY);
+    return;
+  }
+
+  for (int V0 = 0; V0 < NumVectors; V0 += 4) {
+    int B = std::min(4, NumVectors - V0);
+    const double *XB = X + static_cast<std::size_t>(V0) * LdX;
+    double *YB = Y + static_cast<std::size_t>(V0) * LdY;
+    for (int V = 0; V < B; ++V)
+      for (std::int32_t R : M.zeroRows())
+        YB[static_cast<std::size_t>(V) * LdY + R] = 0.0;
+
+    const std::vector<CvrChunk> &Chunks = M.chunks();
+    int NumChunks = static_cast<int>(Chunks.size());
+#pragma omp parallel for schedule(static) num_threads(NumChunks)
+    for (int T = 0; T < NumChunks; ++T)
+      runChunkMulti(M, Chunks[T], XB, LdX, YB, LdY, B);
+  }
+}
+
+void cvrSpmv(const CvrMatrix &M, const double *X, double *Y) {
+  // Pre-zero the rows that accumulate (boundary rows) or are never written
+  // (empty rows); all other rows receive exactly one plain store.
+  for (std::int32_t R : M.zeroRows())
+    Y[R] = 0.0;
+
+  const std::vector<CvrChunk> &Chunks = M.chunks();
+  int NumChunks = static_cast<int>(Chunks.size());
+  bool UseAvx = M.lanes() == simd::DoubleLanes && !M.forcesGenericKernel();
+
+#pragma omp parallel for schedule(static) num_threads(NumChunks)
+  for (int T = 0; T < NumChunks; ++T) {
+    if (UseAvx)
+      runChunkAvx(M, Chunks[T], X, Y);
+    else
+      runChunkGeneric(M, Chunks[T], X, Y);
+  }
+}
+
+CvrKernel::CvrKernel(CvrOptions Opts) : Opts(Opts) {}
+
+void CvrKernel::prepare(const CsrMatrix &A) {
+  M = CvrMatrix::fromCsr(A, Opts);
+}
+
+void CvrKernel::run(const double *X, double *Y) const { cvrSpmv(M, X, Y); }
+
+std::size_t CvrKernel::formatBytes() const { return M.formatBytes(); }
+
+bool CvrKernel::traceRun(MemAccessSink &Sink, const double *X,
+                         double *Y) const {
+  const int W = M.lanes();
+  for (std::int32_t R : M.zeroRows()) {
+    Sink.write(Y + R, sizeof(double));
+    Y[R] = 0.0;
+  }
+
+  std::vector<double> TResult(W), VOut(W);
+  for (const CvrChunk &C : M.chunks()) {
+    std::fill(TResult.begin(), TResult.end(), 0.0);
+    std::fill(VOut.begin(), VOut.end(), 0.0);
+    const double *Vals = M.vals() + C.ElemBase;
+    const std::int32_t *Cols = M.colIdx() + C.ElemBase;
+    std::int64_t RecIdx = C.RecBase;
+
+    auto ApplyRec = [&](const CvrRecord &R) {
+      Sink.read(&R, sizeof(CvrRecord));
+      int Off = static_cast<int>(R.Pos % W);
+      if (R.Steal) {
+        TResult[R.Wb] += VOut[Off]; // t_result lives in registers/stack.
+      } else {
+        if (R.Shared)
+          Sink.read(Y + R.Wb, sizeof(double));
+        Sink.write(Y + R.Wb, sizeof(double));
+        if (R.Shared)
+          Y[R.Wb] += VOut[Off];
+        else
+          Y[R.Wb] = VOut[Off];
+      }
+      VOut[Off] = 0.0;
+    };
+
+    for (std::int64_t I = 0; I < C.NumSteps; ++I) {
+      while (RecIdx < C.RecEnd && M.recs()[RecIdx].Pos < (I + 1) * W)
+        ApplyRec(M.recs()[RecIdx++]);
+      // Column indices are double-pumped at width 8: one 64 B load per two
+      // steps (the step count is padded even, so both steps exist).
+      if (W == 8) {
+        if ((I & 1) == 0)
+          Sink.read(Cols + I * W, 16 * sizeof(std::int32_t));
+      } else {
+        Sink.read(Cols + I * W, W * sizeof(std::int32_t));
+      }
+      Sink.read(Vals + I * W, W * sizeof(double));
+      for (int K = 0; K < W; ++K) {
+        Sink.read(X + Cols[I * W + K], sizeof(double));
+        VOut[K] += Vals[I * W + K] * X[Cols[I * W + K]];
+      }
+    }
+    while (RecIdx < C.RecEnd)
+      ApplyRec(M.recs()[RecIdx++]);
+
+    const std::int32_t *Tails = M.tails() + C.TailBase;
+    for (int K = 0; K < W; ++K) {
+      Sink.read(Tails + K, sizeof(std::int32_t));
+      std::int32_t Row = Tails[K];
+      if (Row < 0)
+        continue;
+      bool Shared = Row == C.FirstRow || Row == C.LastRow;
+      if (Shared)
+        Sink.read(Y + Row, sizeof(double));
+      Sink.write(Y + Row, sizeof(double));
+      if (Shared)
+        Y[Row] += TResult[K];
+      else
+        Y[Row] = TResult[K];
+    }
+  }
+  return true;
+}
+
+} // namespace cvr

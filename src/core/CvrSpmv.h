@@ -1,0 +1,69 @@
+//===- core/CvrSpmv.h - SpMV over the CVR format ----------------*- C++ -*-===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The CVR SpMV kernel (Section 5 / Algorithm 4): per chunk, a dense stream
+/// of `steps x 8` elements is consumed with one aligned value load, one
+/// column gather, and one FMA per step; the conversion-time records scatter
+/// lane partial sums into y (feed part) or into the chunk's `t_result`
+/// slots (steal part), which the tail array flushes at the end. Column
+/// indices are double-pumped: one 512-bit int32 load feeds two gather steps
+/// (the `i % 16` trick of Algorithm 4 l.22-26).
+///
+/// Two kernels are provided behind one entry point: the AVX-512 kernel for
+/// 8-lane matrices, and a generic any-width kernel used by the lane-count
+/// ablation and on hosts without AVX-512.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVR_CORE_CVRSPMV_H
+#define CVR_CORE_CVRSPMV_H
+
+#include "core/CvrFormat.h"
+#include "formats/SpmvKernel.h"
+
+namespace cvr {
+
+/// Computes y = A * x from the converted matrix. \p Y is overwritten.
+void cvrSpmv(const CvrMatrix &M, const double *X, double *Y);
+
+/// SpMM: computes Y_j = A * X_j for \p NumVectors right-hand sides stored
+/// column-major (vector j starts at X + j*LdX resp. Y + j*LdY; LdX >=
+/// numCols, LdY >= numRows). Blocks of four vectors share each step's
+/// column-index and value loads, the bulk of SpMV's regular traffic — the
+/// multi-vector pattern of the graph frameworks the paper cites (GraphMat
+/// et al.). Requires the 8-lane format; other widths run vector-by-vector.
+void cvrSpmm(const CvrMatrix &M, const double *X, std::size_t LdX,
+             double *Y, std::size_t LdY, int NumVectors);
+
+/// SpmvKernel adapter so CVR plugs into the common benchmark harness.
+class CvrKernel : public SpmvKernel {
+public:
+  explicit CvrKernel(CvrOptions Opts = {});
+
+  std::string name() const override { return "CVR"; }
+
+  void prepare(const CsrMatrix &A) override;
+
+  void run(const double *X, double *Y) const override;
+
+  bool traceRun(MemAccessSink &Sink, const double *X,
+                double *Y) const override;
+
+  std::size_t formatBytes() const override;
+
+  /// The converted matrix (valid after prepare()); exposed for tests and
+  /// the locality tracer.
+  const CvrMatrix &matrix() const { return M; }
+
+private:
+  CvrOptions Opts;
+  CvrMatrix M;
+};
+
+} // namespace cvr
+
+#endif // CVR_CORE_CVRSPMV_H

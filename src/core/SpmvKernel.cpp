@@ -1,0 +1,19 @@
+//===- core/SpmvKernel.cpp - Virtual anchor for the kernel interface ------===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// The out-of-line destructor anchors SpmvKernel's vtable in the core
+// library (which every kernel implementation links against), so the vtable
+// is not duplicated into each translation unit including the header.
+//
+//===----------------------------------------------------------------------===//
+
+#include "formats/SpmvKernel.h"
+
+namespace cvr {
+
+SpmvKernel::~SpmvKernel() = default;
+
+} // namespace cvr

@@ -1,0 +1,44 @@
+//===- formats/AutoSelect.h - Structure-driven format advice ----*- C++ -*-===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lightweight format advisor in the spirit of the auto-tuning work the
+/// paper cites (SMAT, clSpMV, Sedaghati et al.): given a matrix's
+/// structural statistics and the expected iteration count, recommend which
+/// format to convert to. The rules encode the evaluation's findings: CVR
+/// for irregular/scale-free structure, VHCC for short-fat rectangles, ESB
+/// for very regular row lengths, and no conversion at all when too few
+/// iterations will run to amortize one (Tables 1/4).
+///
+/// This is deliberately a heuristic, not a measurement: for a measured
+/// choice, time the variants with benchlib's measureBestOf.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVR_FORMATS_AUTOSELECT_H
+#define CVR_FORMATS_AUTOSELECT_H
+
+#include "formats/Registry.h"
+#include "matrix/MatrixStats.h"
+
+#include <string>
+
+namespace cvr {
+
+/// A recommendation plus the rule that produced it.
+struct FormatAdvice {
+  FormatId Format;
+  std::string Reason;
+};
+
+/// Recommends a format for a matrix with statistics \p S that will run
+/// \p ExpectedIterations SpMV iterations (<= 0 means "many").
+FormatAdvice adviseFormat(const MatrixStats &S,
+                          std::int64_t ExpectedIterations = 0);
+
+} // namespace cvr
+
+#endif // CVR_FORMATS_AUTOSELECT_H

@@ -1,0 +1,318 @@
+//===- formats/Csr5.cpp - CSR5 tiled segmented-sum format -----------------===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "formats/Csr5.h"
+
+#include "parallel/Partition.h"
+#include "simd/Simd.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace cvr {
+
+namespace {
+
+/// Row containing nonzero index \p I (skips empty rows).
+std::int32_t rowOfNnz(const CsrMatrix &A, std::int64_t I) {
+  const std::int64_t *RowPtr = A.rowPtr();
+  const std::int64_t *It =
+      std::upper_bound(RowPtr, RowPtr + A.numRows() + 1, I);
+  return static_cast<std::int32_t>(It - RowPtr) - 1;
+}
+
+} // namespace
+
+Csr5::Csr5(int Sigma, int NumThreads)
+    : Sigma(Sigma),
+      NumThreads(NumThreads > 0 ? NumThreads : defaultThreadCount()) {}
+
+void Csr5::prepare(const CsrMatrix &M) {
+  A = &M;
+  NumRows = M.numRows();
+  Nnz = M.numNonZeros();
+
+  if (Sigma <= 0) {
+    // The original library's default: deeper tiles for denser rows
+    // (calibrated on this host's sweep; see bench/micro_kernels).
+    double MeanLen = NumRows > 0 ? static_cast<double>(Nnz) / NumRows : 0.0;
+    if (MeanLen <= 10.0)
+      Sigma = 8;
+    else if (MeanLen <= 40.0)
+      Sigma = 24;
+    else
+      Sigma = 32;
+  }
+
+  const std::int64_t TileElems = static_cast<std::int64_t>(Omega) * Sigma;
+  NumTiles = Nnz / TileElems;
+  TailStart = NumTiles * TileElems;
+  TailFirstRow = TailStart < Nnz ? rowOfNnz(M, TailStart) : NumRows;
+
+  TVals.resize(static_cast<std::size_t>(NumTiles * TileElems));
+  TCols.resize(static_cast<std::size_t>(NumTiles * TileElems));
+  BitFlag.resize(static_cast<std::size_t>(NumTiles * Sigma));
+  BitFlag.zero();
+  LaneFirstRow.resize(static_cast<std::size_t>(NumTiles) * Omega);
+  FlushStart.resize(static_cast<std::size_t>(NumTiles) * Omega + 1);
+
+  // Row-start bitmap over the tiled prefix of the nonzeros.
+  std::vector<std::uint8_t> IsRowStart(
+      static_cast<std::size_t>(TailStart), 0);
+  const std::int64_t *RowPtr = M.rowPtr();
+  for (std::int32_t R = 0; R < NumRows; ++R) {
+    std::int64_t P = RowPtr[R];
+    if (P < TailStart && P < RowPtr[R + 1])
+      IsRowStart[P] = 1;
+  }
+
+  const std::int32_t *Ci = M.colIdx();
+  const double *Va = M.vals();
+
+  // First pass: count flushes to size FlushRows; also fill everything that
+  // doesn't depend on flush offsets.
+  std::int64_t TotalFlushes = 0;
+  FlushStart[0] = 0;
+  for (std::int64_t T = 0; T < NumTiles; ++T) {
+    std::int64_t Base = T * TileElems;
+    for (int K = 0; K < Omega; ++K) {
+      std::int64_t LaneBase = Base + static_cast<std::int64_t>(K) * Sigma;
+      LaneFirstRow[T * Omega + K] = rowOfNnz(M, LaneBase);
+      for (int J = 0; J < Sigma; ++J) {
+        std::int64_t Src = LaneBase + J;
+        std::int64_t Slot = Base + static_cast<std::int64_t>(J) * Omega + K;
+        TVals[Slot] = Va[Src];
+        TCols[Slot] = Ci[Src];
+        if (J > 0 && IsRowStart[Src]) {
+          BitFlag[T * Sigma + J] |= static_cast<std::uint8_t>(1U << K);
+          ++TotalFlushes;
+        }
+      }
+      FlushStart[T * Omega + K + 1] = TotalFlushes;
+    }
+  }
+
+  // Second pass: record the new row of every flagged position.
+  FlushRows.resize(static_cast<std::size_t>(TotalFlushes));
+  std::int64_t Cursor = 0;
+  for (std::int64_t T = 0; T < NumTiles; ++T) {
+    std::int64_t Base = T * TileElems;
+    for (int K = 0; K < Omega; ++K) {
+      std::int64_t LaneBase = Base + static_cast<std::int64_t>(K) * Sigma;
+      std::int32_t Cur = LaneFirstRow[T * Omega + K];
+      for (int J = 1; J < Sigma; ++J) {
+        std::int64_t Src = LaneBase + J;
+        if (!IsRowStart[Src])
+          continue;
+        // Advance to the row containing Src; empty rows are skipped
+        // because their pointers collapse to the same position.
+        while (RowPtr[Cur + 1] <= Src)
+          ++Cur;
+        FlushRows[Cursor++] = Cur;
+      }
+    }
+  }
+  assert(Cursor == TotalFlushes && "flush count mismatch between passes");
+
+  // Thread partition over whole tiles; boundary rows get atomic adds.
+  ThreadTile.assign(NumThreads + 1, NumTiles);
+  ThreadTile[0] = 0;
+  for (int T = 1; T < NumThreads; ++T)
+    ThreadTile[T] = NumTiles * T / NumThreads;
+  ThreadLoRow.assign(NumThreads, -1);
+  ThreadHiRow.assign(NumThreads, -1);
+  for (int T = 0; T < NumThreads; ++T) {
+    if (ThreadTile[T] >= ThreadTile[T + 1])
+      continue;
+    ThreadLoRow[T] = rowOfNnz(M, ThreadTile[T] * TileElems);
+    ThreadHiRow[T] = rowOfNnz(M, ThreadTile[T + 1] * TileElems - 1);
+  }
+}
+
+void Csr5::runTiles(const double *X, double *Y, std::int64_t T0,
+                    std::int64_t T1, std::int32_t SharedLo,
+                    std::int32_t SharedHi) const {
+  const std::int64_t TileElems = static_cast<std::int64_t>(Omega) * Sigma;
+  alignas(64) double Buf[Omega];
+  std::int32_t Cur[Omega];
+  std::int64_t FPos[Omega];
+
+  auto Flush = [&](std::int32_t Row, double V) {
+    if (Row == SharedLo || Row == SharedHi) {
+#pragma omp atomic
+      Y[Row] += V;
+    } else {
+      Y[Row] += V;
+    }
+  };
+
+  for (std::int64_t T = T0; T < T1; ++T) {
+    std::int64_t Base = T * TileElems;
+    for (int K = 0; K < Omega; ++K) {
+      Cur[K] = LaneFirstRow[T * Omega + K];
+      FPos[K] = FlushStart[T * Omega + K];
+    }
+#if CVR_SIMD_AVX512
+    __m512d Acc = _mm512_setzero_pd();
+    for (int J = 0; J < Sigma; ++J) {
+      std::uint8_t Flag = BitFlag[T * Sigma + J];
+      if (Flag) {
+        _mm512_store_pd(Buf, Acc);
+        for (int K = 0; K < Omega; ++K) {
+          if (!(Flag & (1U << K)))
+            continue;
+          Flush(Cur[K], Buf[K]);
+          Buf[K] = 0.0;
+          Cur[K] = FlushRows[FPos[K]++];
+        }
+        Acc = _mm512_load_pd(Buf);
+      }
+      std::int64_t Slot = Base + static_cast<std::int64_t>(J) * Omega;
+      __m256i Idx = _mm256_load_si256(
+          reinterpret_cast<const __m256i *>(TCols.data() + Slot));
+      __m512d Xs = _mm512_i32gather_pd(Idx, X, 8);
+      __m512d Vs = _mm512_load_pd(TVals.data() + Slot);
+      Acc = _mm512_fmadd_pd(Vs, Xs, Acc);
+    }
+    _mm512_store_pd(Buf, Acc);
+#else
+    std::memset(Buf, 0, sizeof(Buf));
+    for (int J = 0; J < Sigma; ++J) {
+      std::uint8_t Flag = BitFlag[T * Sigma + J];
+      if (Flag) {
+        for (int K = 0; K < Omega; ++K) {
+          if (!(Flag & (1U << K)))
+            continue;
+          Flush(Cur[K], Buf[K]);
+          Buf[K] = 0.0;
+          Cur[K] = FlushRows[FPos[K]++];
+        }
+      }
+      std::int64_t Slot = Base + static_cast<std::int64_t>(J) * Omega;
+      for (int K = 0; K < Omega; ++K)
+        Buf[K] += TVals[Slot + K] * X[TCols[Slot + K]];
+    }
+#endif
+    for (int K = 0; K < Omega; ++K)
+      Flush(Cur[K], Buf[K]);
+  }
+}
+
+void Csr5::run(const double *X, double *Y) const {
+  assert(A && "prepare() must run first");
+  std::memset(Y, 0, sizeof(double) * NumRows);
+
+#pragma omp parallel num_threads(NumThreads)
+  {
+#ifdef _OPENMP
+    int T = omp_get_thread_num();
+#else
+    int T = 0;
+#endif
+    runTiles(X, Y, ThreadTile[T], ThreadTile[T + 1], ThreadLoRow[T],
+             ThreadHiRow[T]);
+  }
+
+  // Scalar CSR tail over the incomplete last tile.
+  const std::int64_t *RowPtr = A->rowPtr();
+  const std::int32_t *Ci = A->colIdx();
+  const double *Va = A->vals();
+  for (std::int32_t R = TailFirstRow; R < NumRows; ++R) {
+    std::int64_t I0 = std::max(RowPtr[R], TailStart);
+    std::int64_t I1 = RowPtr[R + 1];
+    double Sum = 0.0;
+    for (std::int64_t I = I0; I < I1; ++I)
+      Sum += Va[I] * X[Ci[I]];
+    Y[R] += Sum;
+  }
+}
+
+bool Csr5::traceRun(MemAccessSink &Sink, const double *X, double *Y) const {
+  assert(A && "prepare() must run first");
+  for (std::int32_t R = 0; R < NumRows; ++R) {
+    Sink.write(Y + R, sizeof(double));
+    Y[R] = 0.0;
+  }
+
+  const std::int64_t TileElems = static_cast<std::int64_t>(Omega) * Sigma;
+  double Buf[Omega];
+  std::int32_t Cur[Omega];
+  std::int64_t FPos[Omega];
+  for (std::int64_t T = 0; T < NumTiles; ++T) {
+    std::int64_t Base = T * TileElems;
+    Sink.read(LaneFirstRow.data() + T * Omega, Omega * sizeof(std::int32_t));
+    Sink.read(FlushStart.data() + T * Omega,
+              (Omega + 1) * sizeof(std::int64_t));
+    for (int K = 0; K < Omega; ++K) {
+      Cur[K] = LaneFirstRow[T * Omega + K];
+      FPos[K] = FlushStart[T * Omega + K];
+      Buf[K] = 0.0;
+    }
+    for (int J = 0; J < Sigma; ++J) {
+      Sink.read(BitFlag.data() + T * Sigma + J, 1);
+      std::uint8_t Flag = BitFlag[T * Sigma + J];
+      if (Flag) {
+        for (int K = 0; K < Omega; ++K) {
+          if (!(Flag & (1U << K)))
+            continue;
+          Sink.read(Y + Cur[K], sizeof(double));
+          Sink.write(Y + Cur[K], sizeof(double));
+          Y[Cur[K]] += Buf[K];
+          Buf[K] = 0.0;
+          Sink.read(FlushRows.data() + FPos[K], sizeof(std::int32_t));
+          Cur[K] = FlushRows[FPos[K]++];
+        }
+      }
+      std::int64_t Slot = Base + static_cast<std::int64_t>(J) * Omega;
+      Sink.read(TCols.data() + Slot, Omega * sizeof(std::int32_t));
+      Sink.read(TVals.data() + Slot, Omega * sizeof(double));
+      for (int K = 0; K < Omega; ++K) {
+        Sink.read(X + TCols[Slot + K], sizeof(double));
+        Buf[K] += TVals[Slot + K] * X[TCols[Slot + K]];
+      }
+    }
+    for (int K = 0; K < Omega; ++K) {
+      Sink.read(Y + Cur[K], sizeof(double));
+      Sink.write(Y + Cur[K], sizeof(double));
+      Y[Cur[K]] += Buf[K];
+    }
+  }
+
+  // Scalar tail.
+  const std::int64_t *RowPtr = A->rowPtr();
+  const std::int32_t *Ci = A->colIdx();
+  const double *Va = A->vals();
+  for (std::int32_t R = TailFirstRow; R < NumRows; ++R) {
+    Sink.read(RowPtr + R, 2 * sizeof(std::int64_t));
+    std::int64_t I0 = std::max(RowPtr[R], TailStart);
+    std::int64_t I1 = RowPtr[R + 1];
+    double Sum = 0.0;
+    for (std::int64_t I = I0; I < I1; ++I) {
+      Sink.read(Ci + I, sizeof(std::int32_t));
+      Sink.read(Va + I, sizeof(double));
+      Sink.read(X + Ci[I], sizeof(double));
+      Sum += Va[I] * X[Ci[I]];
+    }
+    Sink.read(Y + R, sizeof(double));
+    Sink.write(Y + R, sizeof(double));
+    Y[R] += Sum;
+  }
+  return true;
+}
+
+std::size_t Csr5::formatBytes() const {
+  return TVals.size() * sizeof(double) + TCols.size() * sizeof(std::int32_t) +
+         BitFlag.size() + LaneFirstRow.size() * sizeof(std::int32_t) +
+         FlushStart.size() * sizeof(std::int64_t) +
+         FlushRows.size() * sizeof(std::int32_t);
+}
+
+} // namespace cvr

@@ -1,0 +1,58 @@
+//===- formats/CsrKernels.h - Shared CSR row-dot helpers --------*- C++ -*-===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The vectorized row-segment dot product shared by the CSR-based kernels
+/// (the MKL stand-in and the inspector-executor variant): 8-wide
+/// gather + FMA over a row's nonzeros with a scalar tail.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVR_FORMATS_CSRKERNELS_H
+#define CVR_FORMATS_CSRKERNELS_H
+
+#include "simd/Simd.h"
+
+#include <cstdint>
+
+namespace cvr {
+
+/// Dot product of Vals[I0..I1) with X gathered through ColIdx[I0..I1).
+inline double csrRowDot(const double *Vals, const std::int32_t *ColIdx,
+                        std::int64_t I0, std::int64_t I1, const double *X) {
+  std::int64_t I = I0;
+  double Sum = 0.0;
+  if (I1 - I >= simd::DoubleLanes) {
+    simd::VecD8 Acc = simd::VecD8::zero();
+    for (; I + simd::DoubleLanes <= I1; I += simd::DoubleLanes) {
+      simd::VecI8 Idx;
+#if CVR_SIMD_AVX512
+      Idx.Reg = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i *>(ColIdx + I));
+#else
+      for (int K = 0; K < 8; ++K)
+        Idx.Lane[K] = ColIdx[I + K];
+#endif
+      simd::VecD8 Xs = simd::VecD8::gather(X, Idx);
+      simd::VecD8 Vs;
+#if CVR_SIMD_AVX512
+      Vs.Reg = _mm512_loadu_pd(Vals + I);
+#else
+      for (int K = 0; K < 8; ++K)
+        Vs.Lane[K] = Vals[I + K];
+#endif
+      Acc = Acc.fmadd(Vs, Xs);
+    }
+    Sum = Acc.reduceAdd();
+  }
+  for (; I < I1; ++I)
+    Sum += Vals[I] * X[ColIdx[I]];
+  return Sum;
+}
+
+} // namespace cvr
+
+#endif // CVR_FORMATS_CSRKERNELS_H

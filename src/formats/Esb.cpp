@@ -1,0 +1,214 @@
+//===- formats/Esb.cpp - ELLPACK Sorted Blocks (ESB) ----------------------===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "formats/Esb.h"
+
+#include "parallel/Partition.h"
+#include "simd/Simd.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <numeric>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace cvr {
+
+const char *esbSortName(EsbSort S) {
+  switch (S) {
+  case EsbSort::NoSort:
+    return "nosort";
+  case EsbSort::Windowed:
+    return "windowed";
+  case EsbSort::Global:
+    return "global";
+  }
+  return "?";
+}
+
+Esb::Esb(EsbSort Sort, int NumThreads)
+    : Sort(Sort), NumThreads(NumThreads > 0 ? NumThreads
+                                            : defaultThreadCount()) {}
+
+std::string Esb::name() const {
+  return std::string("ESB/") + esbSortName(Sort);
+}
+
+void Esb::prepare(const CsrMatrix &A) {
+  NumRows = A.numRows();
+  Nnz = A.numNonZeros();
+  const std::int64_t *RowPtr = A.rowPtr();
+  const std::int32_t *Ci = A.colIdx();
+  const double *Va = A.vals();
+
+  // Row permutation by the chosen sorting policy. Stable sort keeps
+  // deterministic output and preserves locality among equal-length rows.
+  Perm.resize(NumRows);
+  std::iota(Perm.begin(), Perm.end(), 0);
+  auto ByLengthDesc = [&](std::int32_t L, std::int32_t R) {
+    return A.rowLength(L) > A.rowLength(R);
+  };
+  switch (Sort) {
+  case EsbSort::NoSort:
+    break;
+  case EsbSort::Windowed: {
+    constexpr std::int32_t Window = 512;
+    for (std::int32_t W = 0; W < NumRows; W += Window) {
+      auto End = Perm.begin() + std::min<std::int64_t>(W + Window, NumRows);
+      std::stable_sort(Perm.begin() + W, End, ByLengthDesc);
+    }
+    break;
+  }
+  case EsbSort::Global:
+    std::stable_sort(Perm.begin(), Perm.end(), ByLengthDesc);
+    break;
+  }
+
+  // Slice widths and offsets.
+  std::int64_t NumSlices = (static_cast<std::int64_t>(NumRows) + SliceRows - 1) /
+                           SliceRows;
+  SliceOff.assign(NumSlices + 1, 0);
+  for (std::int64_t S = 0; S < NumSlices; ++S) {
+    std::int64_t Width = 0;
+    for (int K = 0; K < SliceRows; ++K) {
+      std::int64_t R = S * SliceRows + K;
+      if (R < NumRows)
+        Width = std::max<std::int64_t>(Width, A.rowLength(Perm[R]));
+    }
+    SliceOff[S + 1] = SliceOff[S] + Width * SliceRows;
+  }
+
+  std::int64_t Slots = SliceOff[NumSlices];
+  Vals.resize(static_cast<std::size_t>(Slots));
+  Vals.zero();
+  ColIdx.resize(static_cast<std::size_t>(Slots));
+  ColIdx.zero();
+  Mask.resize(static_cast<std::size_t>(Slots / SliceRows));
+  Mask.zero();
+  PaddingRatio = Nnz > 0 ? static_cast<double>(Slots) / Nnz : 1.0;
+
+  // Fill slices column-major: element (lane K, column J) of slice S lives
+  // at SliceOff[S] + J*8 + K.
+  for (std::int64_t S = 0; S < NumSlices; ++S) {
+    for (int K = 0; K < SliceRows; ++K) {
+      std::int64_t PR = S * SliceRows + K;
+      if (PR >= NumRows)
+        continue;
+      std::int32_t Row = Perm[PR];
+      std::int64_t Len = A.rowLength(Row);
+      for (std::int64_t J = 0; J < Len; ++J) {
+        std::int64_t Slot = SliceOff[S] + J * SliceRows + K;
+        Vals[Slot] = Va[RowPtr[Row] + J];
+        ColIdx[Slot] = Ci[RowPtr[Row] + J];
+        Mask[Slot / SliceRows] |= static_cast<std::uint8_t>(1U << K);
+      }
+    }
+  }
+
+  // Slice split per thread, balanced by stored slots.
+  ThreadSlice.assign(NumThreads + 1, static_cast<std::int32_t>(NumSlices));
+  ThreadSlice[0] = 0;
+  for (int T = 1; T < NumThreads; ++T) {
+    std::int64_t Target = Slots * T / NumThreads;
+    const std::int64_t *It =
+        std::lower_bound(SliceOff.data(), SliceOff.data() + NumSlices + 1,
+                         Target);
+    ThreadSlice[T] = static_cast<std::int32_t>(It - SliceOff.data());
+  }
+  for (int T = 1; T <= NumThreads; ++T)
+    ThreadSlice[T] = std::max(ThreadSlice[T], ThreadSlice[T - 1]);
+}
+
+void Esb::run(const double *X, double *Y) const {
+  assert(!Perm.empty() || NumRows == 0);
+#pragma omp parallel num_threads(NumThreads)
+  {
+#ifdef _OPENMP
+    int T = omp_get_thread_num();
+#else
+    int T = 0;
+#endif
+    alignas(64) double Acc[SliceRows];
+    for (std::int32_t S = ThreadSlice[T], E = ThreadSlice[T + 1]; S < E;
+         ++S) {
+      std::int64_t Base = SliceOff[S];
+      std::int64_t Width = (SliceOff[S + 1] - Base) / SliceRows;
+#if CVR_SIMD_AVX512
+      __m512d VAcc = _mm512_setzero_pd();
+      for (std::int64_t J = 0; J < Width; ++J) {
+        std::int64_t Slot = Base + J * SliceRows;
+        __mmask8 M = Mask[Slot / SliceRows];
+        __m256i Idx = _mm256_load_si256(
+            reinterpret_cast<const __m256i *>(ColIdx.data() + Slot));
+        __m512d Xs =
+            _mm512_mask_i32gather_pd(_mm512_setzero_pd(), M, Idx, X, 8);
+        __m512d Vs = _mm512_load_pd(Vals.data() + Slot);
+        VAcc = _mm512_fmadd_pd(Vs, Xs, VAcc);
+      }
+      _mm512_store_pd(Acc, VAcc);
+#else
+      std::memset(Acc, 0, sizeof(Acc));
+      for (std::int64_t J = 0; J < Width; ++J) {
+        std::int64_t Slot = Base + J * SliceRows;
+        std::uint8_t M = Mask[Slot / SliceRows];
+        for (int K = 0; K < SliceRows; ++K)
+          if (M & (1U << K))
+            Acc[K] += Vals[Slot + K] * X[ColIdx[Slot + K]];
+      }
+#endif
+      for (int K = 0; K < SliceRows; ++K) {
+        std::int64_t PR = static_cast<std::int64_t>(S) * SliceRows + K;
+        if (PR < NumRows)
+          Y[Perm[PR]] = Acc[K];
+      }
+    }
+  }
+}
+
+bool Esb::traceRun(MemAccessSink &Sink, const double *X, double *Y) const {
+  std::int64_t NumSlices =
+      static_cast<std::int64_t>(SliceOff.size()) - 1;
+  double Acc[SliceRows];
+  for (std::int64_t S = 0; S < NumSlices; ++S) {
+    Sink.read(SliceOff.data() + S, 2 * sizeof(std::int64_t));
+    std::int64_t Base = SliceOff[S];
+    std::int64_t Width = (SliceOff[S + 1] - Base) / SliceRows;
+    std::memset(Acc, 0, sizeof(Acc));
+    for (std::int64_t J = 0; J < Width; ++J) {
+      std::int64_t Slot = Base + J * SliceRows;
+      Sink.read(Mask.data() + Slot / SliceRows, 1);
+      Sink.read(ColIdx.data() + Slot, SliceRows * sizeof(std::int32_t));
+      Sink.read(Vals.data() + Slot, SliceRows * sizeof(double));
+      std::uint8_t M = Mask[Slot / SliceRows];
+      for (int K = 0; K < SliceRows; ++K) {
+        if (!(M & (1U << K)))
+          continue; // Masked-out lanes gather nothing.
+        Sink.read(X + ColIdx[Slot + K], sizeof(double));
+        Acc[K] += Vals[Slot + K] * X[ColIdx[Slot + K]];
+      }
+    }
+    for (int K = 0; K < SliceRows; ++K) {
+      std::int64_t PR = S * SliceRows + K;
+      if (PR >= NumRows)
+        continue;
+      Sink.read(Perm.data() + PR, sizeof(std::int32_t));
+      Sink.write(Y + Perm[PR], sizeof(double));
+      Y[Perm[PR]] = Acc[K];
+    }
+  }
+  return true;
+}
+
+std::size_t Esb::formatBytes() const {
+  return Vals.size() * sizeof(double) + ColIdx.size() * sizeof(std::int32_t) +
+         Mask.size() + Perm.size() * sizeof(std::int32_t) +
+         SliceOff.size() * sizeof(std::int64_t);
+}
+
+} // namespace cvr

@@ -1,0 +1,90 @@
+//===- formats/Registry.cpp - Kernel factory registry ---------------------===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "formats/Registry.h"
+
+#include "core/CvrSpmv.h"
+#include "formats/Csr5.h"
+#include "formats/CsrInspector.h"
+#include "formats/CsrSpmv.h"
+#include "formats/Esb.h"
+#include "formats/Vhcc.h"
+
+namespace cvr {
+
+const char *formatName(FormatId F) {
+  switch (F) {
+  case FormatId::Mkl:
+    return "MKL";
+  case FormatId::CsrI:
+    return "CSR(I)";
+  case FormatId::Esb:
+    return "ESB";
+  case FormatId::Vhcc:
+    return "VHCC";
+  case FormatId::Csr5:
+    return "CSR5";
+  case FormatId::Cvr:
+    return "CVR";
+  }
+  return "?";
+}
+
+const std::vector<FormatId> &allFormats() {
+  static const std::vector<FormatId> Formats = {
+      FormatId::Mkl,  FormatId::CsrI, FormatId::Esb,
+      FormatId::Vhcc, FormatId::Csr5, FormatId::Cvr};
+  return Formats;
+}
+
+std::vector<KernelVariant> variantsOf(FormatId F, int NumThreads) {
+  std::vector<KernelVariant> Vs;
+  switch (F) {
+  case FormatId::Mkl:
+    Vs.push_back({F, "MKL", [=] {
+                    return std::make_unique<CsrSpmv>(NumThreads);
+                  }});
+    break;
+  case FormatId::CsrI:
+    for (CsrISchedule S : {CsrISchedule::StaticRows, CsrISchedule::StaticNnz,
+                           CsrISchedule::Dynamic})
+      Vs.push_back({F, std::string("CSR(I)/") + csrIScheduleName(S), [=] {
+                      return std::make_unique<CsrInspector>(S, NumThreads);
+                    }});
+    break;
+  case FormatId::Esb:
+    for (EsbSort S : {EsbSort::NoSort, EsbSort::Windowed, EsbSort::Global})
+      Vs.push_back({F, std::string("ESB/") + esbSortName(S), [=] {
+                      return std::make_unique<Esb>(S, NumThreads);
+                    }});
+    break;
+  case FormatId::Vhcc:
+    for (int P : Vhcc::panelSweep())
+      Vs.push_back({F, "VHCC/p" + std::to_string(P), [=] {
+                      return std::make_unique<Vhcc>(P, NumThreads);
+                    }});
+    break;
+  case FormatId::Csr5:
+    Vs.push_back({F, "CSR5", [=] {
+                    return std::make_unique<Csr5>(/*Sigma=*/0, NumThreads);
+                  }});
+    break;
+  case FormatId::Cvr:
+    Vs.push_back({F, "CVR", [=] {
+                    CvrOptions Opts;
+                    Opts.NumThreads = NumThreads;
+                    return std::make_unique<CvrKernel>(Opts);
+                  }});
+    break;
+  }
+  return Vs;
+}
+
+std::unique_ptr<SpmvKernel> makeKernel(FormatId F, int NumThreads) {
+  return variantsOf(F, NumThreads).front().Make();
+}
+
+} // namespace cvr

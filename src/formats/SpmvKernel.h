@@ -1,0 +1,67 @@
+//===- formats/SpmvKernel.h - Common SpMV kernel interface ------*- C++ -*-===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The interface every SpMV implementation in this project provides: a
+/// preprocessing step converting from classic CSR into the format's internal
+/// representation, and a per-iteration `y = A * x` kernel. The benchmark
+/// harness times the two phases separately, exactly as the paper separates
+/// "preprocessing overhead" from "each-iteration SpMV performance"
+/// (Section 1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVR_FORMATS_SPMVKERNEL_H
+#define CVR_FORMATS_SPMVKERNEL_H
+
+#include "matrix/Csr.h"
+#include "support/MemSink.h"
+
+#include <memory>
+#include <string>
+
+namespace cvr {
+
+/// Abstract SpMV implementation over one prepared matrix.
+///
+/// Usage: construct, call prepare(A) once (timed as preprocessing), then
+/// call run(x, y) any number of times (timed as SpMV iterations). The
+/// kernel may retain a pointer to \p A, so the matrix must outlive it.
+class SpmvKernel {
+public:
+  virtual ~SpmvKernel();
+
+  /// Display name ("CVR", "CSR5", "ESB/sorted", ...).
+  virtual std::string name() const = 0;
+
+  /// Converts \p A into the internal representation. Called exactly once.
+  virtual void prepare(const CsrMatrix &A) = 0;
+
+  /// Computes y = A * x. \p Y has numRows elements and is overwritten;
+  /// \p X has numCols elements. prepare() must have been called.
+  virtual void run(const double *X, double *Y) const = 0;
+
+  /// Bytes of the internal representation (excluding the input CSR);
+  /// used by the format-footprint report. Optional; 0 if not tracked.
+  virtual std::size_t formatBytes() const { return 0; }
+
+  /// Replays run()'s memory-reference stream into \p Sink while computing
+  /// y = A * x (so traces can be cross-checked against run()). The trace is
+  /// the sequential single-core reference order; the cache simulator feeds
+  /// on it to reproduce the paper's L2 miss-ratio study. Returns false if
+  /// the kernel does not implement tracing.
+  virtual bool traceRun(MemAccessSink &Sink, const double *X,
+                        double *Y) const {
+    (void)Sink;
+    (void)X;
+    (void)Y;
+    return false;
+  }
+};
+
+} // namespace cvr
+
+#endif // CVR_FORMATS_SPMVKERNEL_H

@@ -1,0 +1,79 @@
+//===- formats/Vhcc.h - Vectorized jagged-panel format (VHCC) ---*- C++ -*-===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reimplementation of VHCC (Tang et al., "Optimizing and Auto-tuning
+/// Scale-free Sparse Matrix-Vector Multiplication on Intel Xeon Phi",
+/// CGO'15): the matrix is cut into vertical panels whose column ranges are
+/// chosen so each panel holds ~nnz/P nonzeros (the 2D jagged partition);
+/// panel nonzeros are processed with vectorized products plus a segmented
+/// sum into panel-local partial rows, and a precomputed merge plan combines
+/// panel partials into y without atomics.
+///
+/// Characteristic behaviour reproduced from the paper: strong results on
+/// short-fat rectangular matrices (connectus, rail4284, ...) where panels
+/// confine x to a cacheable range, and a very large preprocessing cost
+/// (global sort by panel) — the worst `I_pre` of all formats in Table 4.
+/// The panel count is the auto-tuned knob; the harness sweeps it and keeps
+/// the best, as the paper does.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVR_FORMATS_VHCC_H
+#define CVR_FORMATS_VHCC_H
+
+#include "formats/SpmvKernel.h"
+#include "support/AlignedBuffer.h"
+
+#include <vector>
+
+namespace cvr {
+
+/// VHCC kernel with \p NumPanels vertical panels.
+class Vhcc : public SpmvKernel {
+public:
+  explicit Vhcc(int NumPanels, int NumThreads = 0);
+
+  std::string name() const override;
+
+  void prepare(const CsrMatrix &A) override;
+
+  void run(const double *X, double *Y) const override;
+
+  bool traceRun(MemAccessSink &Sink, const double *X,
+                double *Y) const override;
+
+  std::size_t formatBytes() const override;
+
+  /// Panel counts the harness sweeps (paper: "all possible panel numbers").
+  static const std::vector<int> &panelSweep();
+
+private:
+  int NumPanels;
+  int NumThreads;
+  std::int32_t NumRows = 0;
+  std::int64_t Nnz = 0;
+
+  // Element streams, grouped by panel (PanelOff delimits), row-major within
+  // a panel. LocalRow indexes the panel's partial-result slice.
+  std::vector<std::int64_t> PanelOff;  ///< NumPanels + 1 element offsets.
+  AlignedBuffer<double> Vals;
+  AlignedBuffer<std::int32_t> ColIdx;
+  AlignedBuffer<std::int32_t> LocalRow;
+
+  // Partial-result layout: panel p's partial rows occupy
+  // [PartialOff[p], PartialOff[p+1]) in the Partials scratch buffer.
+  std::vector<std::int64_t> PartialOff;
+  mutable AlignedBuffer<double> Partials; ///< Scratch, sized in prepare().
+
+  // Merge plan: for each row, the positions in Partials contributing to it.
+  std::vector<std::int64_t> MergePtr;  ///< NumRows + 1.
+  std::vector<std::int64_t> MergeIdx;  ///< Positions into Partials.
+};
+
+} // namespace cvr
+
+#endif // CVR_FORMATS_VHCC_H

@@ -1,0 +1,264 @@
+//===- gen/DatasetSuite.cpp - The 58-matrix evaluation suite --------------===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Size derivation: original dimensions from the paper's Table 2, divided by
+// 16-128 (larger matrices shrink more) with nnz/row preserved wherever
+// possible, capping each stand-in near ~700K nonzeros. Seeds are fixed per
+// dataset so all experiments are reproducible.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gen/DatasetSuite.h"
+
+#include "gen/Generators.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace cvr {
+
+const char *domainName(Domain D) {
+  switch (D) {
+  case Domain::WebGraph:
+    return "web graph";
+  case Domain::SocialNetwork:
+    return "social network";
+  case Domain::Wiki:
+    return "wiki";
+  case Domain::Citation:
+    return "citation";
+  case Domain::Road:
+    return "road";
+  case Domain::Routing:
+    return "routing";
+  case Domain::Fsm:
+    return "FSM";
+  case Domain::EngineeringScientific:
+    return "ES";
+  }
+  return "?";
+}
+
+const std::vector<Domain> &allDomains() {
+  static const std::vector<Domain> Domains = {
+      Domain::WebGraph, Domain::SocialNetwork,
+      Domain::Wiki,     Domain::Citation,
+      Domain::Road,     Domain::Routing,
+      Domain::Fsm,      Domain::EngineeringScientific};
+  return Domains;
+}
+
+namespace {
+
+/// Scales a row/column count, keeping at least a handful of rows.
+std::int32_t sc(double Scale, std::int32_t N) {
+  auto V = static_cast<std::int32_t>(std::lround(N * Scale));
+  return std::max<std::int32_t>(8, V);
+}
+
+/// Scales an R-MAT scale exponent: each halving of SizeScale drops one
+/// level (half the vertices).
+int scRmat(double Scale, int RmatScale) {
+  int Drop = 0;
+  while (Scale < 0.75 && RmatScale - Drop > 6) {
+    Scale *= 2.0;
+    ++Drop;
+  }
+  return RmatScale - Drop;
+}
+
+} // namespace
+
+std::vector<DatasetSpec> datasetSuite(double SizeScale) {
+  assert(SizeScale > 0.0 && SizeScale <= 1.0 && "SizeScale must be in (0,1]");
+  const double S = SizeScale;
+  std::vector<DatasetSpec> Suite;
+  Suite.reserve(58);
+
+  auto Add = [&](std::string Name, Domain D, bool ScaleFree,
+                 std::function<CsrMatrix()> Build) {
+    Suite.push_back({std::move(Name), D, ScaleFree, std::move(Build)});
+  };
+
+  // --- web graph (10) -----------------------------------------------------
+  Add("web-Google", Domain::WebGraph, true,
+      [=] { return genRmat(scRmat(S, 14), 5, 1001); });
+  Add("web-Stanford", Domain::WebGraph, true,
+      [=] { return genRmat(scRmat(S, 12), 8, 1002); });
+  Add("com-youtube", Domain::WebGraph, true,
+      [=] { return genRmat(scRmat(S, 14), 2, 1003); });
+  Add("amazon", Domain::WebGraph, true,
+      [=] { return genPowerLaw(sc(S, 6250), sc(S, 6250), 7.0, 0.6, 1004); });
+  Add("IMDB", Domain::WebGraph, true, [=] {
+    return genPowerLaw(sc(S, 6688), sc(S, 14000), 8.0, 1.0, 1005);
+  });
+  Add("NotreDame_actors", Domain::WebGraph, true, [=] {
+    return genPowerLaw(sc(S, 6125), sc(S, 1984), 3.5, 1.2, 1006);
+  });
+  Add("webbase-1M", Domain::WebGraph, true,
+      [=] { return genRmat(scRmat(S, 14), 3, 1007); });
+  Add("hollywood2009", Domain::WebGraph, true,
+      [=] { return genRmat(scRmat(S, 13), 64, 1008); });
+  Add("connectus", Domain::WebGraph, true,
+      [=] { return genShortFat(16, sc(S, 12344), 2048, 1009); });
+  Add("digg.com", Domain::WebGraph, true,
+      [=] { return genShortFat(sc(S, 375), sc(S, 27250), 1600, 1010); });
+
+  // --- social network (7) -------------------------------------------------
+  Add("com-orkut", Domain::SocialNetwork, true,
+      [=] { return genRmat(scRmat(S, 14), 32, 1011); });
+  Add("soc-pokec", Domain::SocialNetwork, true,
+      [=] { return genRmat(scRmat(S, 14), 18, 1012); });
+  Add("soc-livejournal", Domain::SocialNetwork, true,
+      [=] { return genRmat(scRmat(S, 15), 14, 1013); });
+  Add("flickr", Domain::SocialNetwork, true,
+      [=] { return genRmat(scRmat(S, 13), 11, 1014); });
+  Add("soc-sign-epinions", Domain::SocialNetwork, true,
+      [=] { return genRmat(scRmat(S, 11), 6, 1015); });
+  Add("soc-facebook-konect", Domain::SocialNetwork, true, [=] {
+    return genPowerLaw(sc(S, 65536), sc(S, 65536), 1.5, 1.8, 1016);
+  });
+  Add("higgs-twitter", Domain::SocialNetwork, true,
+      [=] { return genRmat(scRmat(S, 13), 32, 1017); });
+
+  // --- wiki (3) ------------------------------------------------------------
+  Add("wikipedia2009", Domain::Wiki, true, [=] {
+    return genPowerLaw(sc(S, 29696), sc(S, 29696), 2.4, 1.3, 1018);
+  });
+  Add("wiki-talk", Domain::Wiki, true, [=] {
+    return genPowerLaw(sc(S, 37376), sc(S, 37376), 2.1, 2.0, 1019);
+  });
+  Add("wiki-topcats", Domain::Wiki, true,
+      [=] { return genRmat(scRmat(S, 14), 15, 1020); });
+
+  // --- citation (4) ---------------------------------------------------------
+  Add("com-DBLP", Domain::Citation, true, [=] {
+    return genPowerLaw(sc(S, 4960), sc(S, 4960), 3.3, 0.8, 1021);
+  });
+  Add("patents", Domain::Citation, true, [=] {
+    return genPowerLaw(sc(S, 49152), sc(S, 49152), 2.75, 0.5, 1022);
+  });
+  Add("citationCiteseer", Domain::Citation, true, [=] {
+    return genPowerLaw(sc(S, 4192), sc(S, 4192), 4.3, 0.7, 1023);
+  });
+  Add("coPapersCiteseer", Domain::Citation, true,
+      [=] { return genRmat(scRmat(S, 13), 36, 1024); });
+
+  // --- road (3) --------------------------------------------------------------
+  Add("road_central", Domain::Road, true, [=] {
+    return genRoadLattice(sc(S, 468), 1.2, 1025);
+  });
+  Add("road_USA", Domain::Road, true, [=] {
+    return genRoadLattice(sc(S, 612), 1.2, 1026);
+  });
+  Add("roadNet-CA", Domain::Road, true, [=] {
+    return genRoadLattice(sc(S, 176), 2.8, 1027);
+  });
+
+  // --- routing (2) -----------------------------------------------------------
+  Add("rail4284", Domain::Routing, true,
+      [=] { return genShortFat(sc(S, 132), sc(S, 17200), 2633, 1028); });
+  Add("as-skitter", Domain::Routing, true,
+      [=] { return genRmat(scRmat(S, 14), 13, 1029); });
+
+  // --- FSM (1) ----------------------------------------------------------------
+  Add("language", Domain::Fsm, true, [=] {
+    return genPowerLaw(sc(S, 6234), sc(S, 6234), 3.1, 0.4, 1030);
+  });
+
+  // --- HPC / engineering scientific (28) ---------------------------------------
+  auto ES = Domain::EngineeringScientific;
+  Add("dense4k", ES, false, [=] {
+    std::int32_t N = sc(S, 1024);
+    return genDense(N, N, 2001);
+  });
+  Add("FEM/Accelerator", ES, false,
+      [=] { return genBanded(sc(S, 7560), 200, 20, 2002); });
+  Add("FEM/Harbor", ES, false,
+      [=] { return genBanded(sc(S, 2875), 120, 49, 2003); });
+  Add("FEM/Ship", ES, false, [=] {
+    return genStencil27(sc(S, 21), sc(S, 21), sc(S, 20));
+  });
+  Add("FEM/Cantilever", ES, false,
+      [=] { return genBanded(sc(S, 3875), 100, 63, 2004); });
+  Add("FEM/Spheres", ES, false,
+      [=] { return genBanded(sc(S, 5187), 150, 71, 2005); });
+  Add("Ga41As41H72", ES, false,
+      [=] { return genBanded(sc(S, 16750), 2000, 33, 2006); });
+  Add("Si41Ge41H72", ES, false,
+      [=] { return genBanded(sc(S, 11560), 1500, 39, 2007); });
+  Add("dc2", ES, false, [=] { return genCircuit(sc(S, 7250), 5.5, 24, 2008); });
+  Add("ins2", ES, false, [=] { return genBanded(sc(S, 19312), 16, 3, 2009); });
+  Add("Epidemiology", ES, false,
+      [=] { return genRoadLattice(sc(S, 181), 3.0, 2010); });
+  Add("Economics", ES, false,
+      [=] { return genBanded(sc(S, 12875), 600, 5, 2011); });
+  Add("rajat31", ES, false,
+      [=] { return genCircuit(sc(S, 73280), 3.0, 8, 2012); });
+  Add("circuit5M", ES, false,
+      [=] { return genCircuit(sc(S, 42968), 9.0, 32, 2013); });
+  Add("cage15", ES, false, [=] {
+    return genStencil27(sc(S, 28), sc(S, 28), sc(S, 28));
+  });
+  Add("mip1", ES, false, [=] { return genBanded(sc(S, 4125), 1000, 77, 2014); });
+  Add("WindTunnel", ES, false,
+      [=] { return genBanded(sc(S, 13568), 60, 26, 2015); });
+  Add("bone010", ES, false,
+      [=] { return genBanded(sc(S, 15406), 80, 35, 2016); });
+  Add("ASIC_680k", ES, false,
+      [=] { return genCircuit(sc(S, 42625), 4.0, 64, 2017); });
+  Add("Circuit", ES, false,
+      [=] { return genCircuit(sc(S, 10625), 4.6, 16, 2018); });
+  Add("fullchip", ES, false,
+      [=] { return genCircuit(sc(S, 46562), 7.0, 48, 2019); });
+  Add("Rucci1", ES, false,
+      [=] { return genTallThin(sc(S, 61562), sc(S, 3437), 4, 2020); });
+  Add("spal_004", ES, false,
+      [=] { return genShortFat(sc(S, 78), sc(S, 2516), 4096, 2021); });
+  Add("ldoor", ES, false, [=] { return genBanded(sc(S, 14875), 50, 23, 2022); });
+  Add("Protein", ES, false,
+      [=] { return genBanded(sc(S, 2250), 300, 59, 2023); });
+  Add("mouse_gene", ES, false,
+      [=] { return genDenseBlocks(6, sc(S, 320), 0.95, 2024); });
+  Add("human_gene2", ES, false,
+      [=] { return genDenseBlocks(2, sc(S, 512), 0.95, 2025); });
+  Add("12month1", ES, false,
+      [=] { return genShortFat(sc(S, 192), sc(S, 13625), 1600, 2026); });
+
+  assert(Suite.size() == 58 && "suite must mirror the paper's 58 datasets");
+  return Suite;
+}
+
+std::vector<DatasetSpec> scaleFreeSuite(double SizeScale) {
+  std::vector<DatasetSpec> Out;
+  for (DatasetSpec &D : datasetSuite(SizeScale))
+    if (D.ScaleFree)
+      Out.push_back(std::move(D));
+  return Out;
+}
+
+std::vector<DatasetSpec> hpcSuite(double SizeScale) {
+  std::vector<DatasetSpec> Out;
+  for (DatasetSpec &D : datasetSuite(SizeScale))
+    if (!D.ScaleFree)
+      Out.push_back(std::move(D));
+  return Out;
+}
+
+std::vector<DatasetSpec> smokeSuite(double SizeScale) {
+  const char *Names[] = {"web-Google",   "soc-pokec", "wiki-talk",
+                         "com-DBLP",     "roadNet-CA", "rail4284",
+                         "language",     "FEM/Ship"};
+  std::vector<DatasetSpec> Out;
+  for (DatasetSpec &D : datasetSuite(SizeScale))
+    for (const char *N : Names)
+      if (D.Name == N)
+        Out.push_back(std::move(D));
+  return Out;
+}
+
+} // namespace cvr

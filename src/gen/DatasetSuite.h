@@ -1,0 +1,71 @@
+//===- gen/DatasetSuite.h - The 58-matrix evaluation suite ------*- C++ -*-===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A named synthetic stand-in for each of the paper's 58 evaluation matrices
+/// (Table 2): 30 scale-free and 28 HPC. Each entry keeps the original name,
+/// the paper's application-domain grouping (the row labels of Table 3 and
+/// Figures 1/5/7), and a deterministic generator whose output matches the
+/// structural class of the original (degree skew, nnz/row, aspect ratio,
+/// bandedness) at roughly 1/16–1/128 of the original dimensions so the whole
+/// suite runs in minutes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVR_GEN_DATASETSUITE_H
+#define CVR_GEN_DATASETSUITE_H
+
+#include "matrix/Csr.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace cvr {
+
+/// Application domains exactly as grouped by the paper's Table 3.
+enum class Domain {
+  WebGraph,
+  SocialNetwork,
+  Wiki,
+  Citation,
+  Road,
+  Routing,
+  Fsm,
+  EngineeringScientific,
+};
+
+/// Short printable name ("web graph", "social network", ...).
+const char *domainName(Domain D);
+
+/// All eight domains in the paper's presentation order.
+const std::vector<Domain> &allDomains();
+
+/// One suite entry: paper dataset name + domain + lazy builder.
+struct DatasetSpec {
+  std::string Name;             ///< Original dataset name from Table 2.
+  Domain Dom;                   ///< Paper's domain grouping.
+  bool ScaleFree;               ///< True for the 30 scale-free matrices.
+  std::function<CsrMatrix()> Build; ///< Deterministic generator.
+};
+
+/// The full 58-entry suite. \p SizeScale in (0, 1] shrinks every matrix's
+/// row/column counts proportionally (used by --quick bench modes and by the
+/// test suite); 1.0 is the default evaluation size.
+std::vector<DatasetSpec> datasetSuite(double SizeScale = 1.0);
+
+/// Only the 30 scale-free entries.
+std::vector<DatasetSpec> scaleFreeSuite(double SizeScale = 1.0);
+
+/// Only the 28 HPC entries.
+std::vector<DatasetSpec> hpcSuite(double SizeScale = 1.0);
+
+/// A small fixed subset (one matrix per domain) for fast smoke benches.
+std::vector<DatasetSpec> smokeSuite(double SizeScale = 1.0);
+
+} // namespace cvr
+
+#endif // CVR_GEN_DATASETSUITE_H

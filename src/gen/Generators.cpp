@@ -1,0 +1,338 @@
+//===- gen/Generators.cpp - Synthetic sparse matrix generators ------------===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gen/Generators.h"
+
+#include "matrix/Coo.h"
+#include "support/Random.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace cvr {
+namespace {
+
+double randomValue(Xoshiro256 &Rng) { return Rng.nextDouble(-1.0, 1.0); }
+
+/// Draws a power-law-distributed index in [0, N) with density ~ (i+1)^-G
+/// via inverse transform on the continuous approximation.
+std::int32_t powerLawIndex(Xoshiro256 &Rng, std::int32_t N, double G) {
+  assert(N > 0 && "empty index range");
+  if (G <= 0.0)
+    return static_cast<std::int32_t>(Rng.nextBounded(N));
+  double U = Rng.nextDouble();
+  // Inverse CDF of p(x) ~ x^-G on [1, N+1): x = ((N+1)^(1-G)*u + (1-u))^(1/(1-G))
+  double OneMinusG = 1.0 - G;
+  double X;
+  if (std::fabs(OneMinusG) < 1e-9) {
+    X = std::pow(static_cast<double>(N) + 1.0, U);
+  } else {
+    double Hi = std::pow(static_cast<double>(N) + 1.0, OneMinusG);
+    X = std::pow(U * Hi + (1.0 - U), 1.0 / OneMinusG);
+  }
+  auto I = static_cast<std::int32_t>(X) - 1;
+  return std::clamp(I, 0, N - 1);
+}
+
+} // namespace
+
+CsrMatrix genRmat(int Scale, int EdgeFactor, std::uint64_t Seed, double A,
+                  double B, double C) {
+  assert(Scale > 0 && Scale < 31 && "R-MAT scale out of range");
+  assert(A + B + C < 1.0 && "quadrant probabilities must leave room for d");
+  std::int32_t N = std::int32_t(1) << Scale;
+  std::int64_t Edges = static_cast<std::int64_t>(N) * EdgeFactor;
+
+  Xoshiro256 Rng(Seed);
+  CooMatrix Coo(N, N);
+  Coo.reserve(static_cast<std::size_t>(Edges));
+  for (std::int64_t E = 0; E < Edges; ++E) {
+    std::int32_t Row = 0, Col = 0;
+    for (int Bit = 0; Bit < Scale; ++Bit) {
+      double U = Rng.nextDouble();
+      int Quadrant = U < A ? 0 : (U < A + B ? 1 : (U < A + B + C ? 2 : 3));
+      Row = (Row << 1) | (Quadrant >> 1);
+      Col = (Col << 1) | (Quadrant & 1);
+    }
+    Coo.add(Row, Col, randomValue(Rng));
+  }
+  Coo.canonicalize();
+  return CsrMatrix::fromCoo(Coo);
+}
+
+CsrMatrix genPowerLaw(std::int32_t Rows, std::int32_t Cols, double MeanDeg,
+                      double Alpha, std::uint64_t Seed) {
+  assert(Rows > 0 && Cols > 0 && "degenerate shape");
+  Xoshiro256 Rng(Seed);
+  CooMatrix Coo(Rows, Cols);
+  Coo.reserve(static_cast<std::size_t>(Rows * MeanDeg));
+
+  // Zipf-like degrees: deg(r) ~ (rank+1)^-Alpha, scaled so the mean matches
+  // MeanDeg. Rows are ranked by a hash of the row index so hubs are spread
+  // through the matrix like in real graph orderings.
+  double Norm = 0.0;
+  for (std::int32_t R = 0; R < Rows; ++R)
+    Norm += std::pow(static_cast<double>(R) + 1.0, -Alpha);
+  double DegScale = MeanDeg * Rows / Norm;
+
+  for (std::int32_t R = 0; R < Rows; ++R) {
+    SplitMix64 Hash(Seed ^ (0x9E3779B97F4A7C15ULL * (R + 1)));
+    std::int64_t Rank = static_cast<std::int64_t>(Hash.next() % Rows);
+    double Expected =
+        DegScale * std::pow(static_cast<double>(Rank) + 1.0, -Alpha);
+    auto Deg = static_cast<std::int64_t>(Expected);
+    // Keep the fractional part stochastically so the mean is preserved.
+    if (Rng.nextDouble() < Expected - static_cast<double>(Deg))
+      ++Deg;
+    Deg = std::min<std::int64_t>(Deg, Cols);
+    if (Deg >= Cols / 8 && Deg > 0) {
+      // Hub rows: duplicate draws would collapse under canonicalization and
+      // starve the hub, so sample without replacement by striding through
+      // the column space with per-pick jitter.
+      double Step = static_cast<double>(Cols) / static_cast<double>(Deg);
+      double Start = Rng.nextDouble() * Step;
+      for (std::int64_t K = 0; K < Deg; ++K) {
+        auto C = static_cast<std::int32_t>(Start + K * Step);
+        Coo.add(R, std::min(C, Cols - 1), randomValue(Rng));
+      }
+    } else {
+      for (std::int64_t K = 0; K < Deg; ++K)
+        Coo.add(R, powerLawIndex(Rng, Cols, 0.7), randomValue(Rng));
+    }
+  }
+  Coo.canonicalize();
+  return CsrMatrix::fromCoo(Coo);
+}
+
+CsrMatrix genRoadLattice(std::int32_t SideLength, double MeanDeg,
+                         std::uint64_t Seed) {
+  assert(SideLength > 1 && "lattice needs at least 2x2 nodes");
+  double KeepProb = std::clamp(MeanDeg / 4.0, 0.0, 1.0);
+  Xoshiro256 Rng(Seed);
+  std::int32_t N = SideLength * SideLength;
+  CooMatrix Coo(N, N);
+  auto Id = [&](std::int32_t X, std::int32_t Y) { return Y * SideLength + X; };
+  for (std::int32_t Y = 0; Y < SideLength; ++Y) {
+    for (std::int32_t X = 0; X < SideLength; ++X) {
+      std::int32_t Self = Id(X, Y);
+      const std::int32_t Neighbors[4][2] = {
+          {X - 1, Y}, {X + 1, Y}, {X, Y - 1}, {X, Y + 1}};
+      for (const auto &Nb : Neighbors) {
+        if (Nb[0] < 0 || Nb[0] >= SideLength || Nb[1] < 0 ||
+            Nb[1] >= SideLength)
+          continue;
+        if (Rng.nextDouble() < KeepProb)
+          Coo.add(Self, Id(Nb[0], Nb[1]), randomValue(Rng));
+      }
+    }
+  }
+  Coo.canonicalize();
+  return CsrMatrix::fromCoo(Coo);
+}
+
+CsrMatrix genShortFat(std::int32_t Rows, std::int32_t Cols,
+                      std::int32_t NnzPerRow, std::uint64_t Seed) {
+  assert(Rows > 0 && Cols > 0 && NnzPerRow >= 0);
+  Xoshiro256 Rng(Seed);
+  CooMatrix Coo(Rows, Cols);
+  Coo.reserve(static_cast<std::size_t>(Rows) * NnzPerRow);
+  for (std::int32_t R = 0; R < Rows; ++R)
+    for (std::int32_t K = 0; K < NnzPerRow; ++K)
+      Coo.add(R, static_cast<std::int32_t>(Rng.nextBounded(Cols)),
+              randomValue(Rng));
+  Coo.canonicalize();
+  return CsrMatrix::fromCoo(Coo);
+}
+
+CsrMatrix genDense(std::int32_t Rows, std::int32_t Cols, std::uint64_t Seed) {
+  Xoshiro256 Rng(Seed);
+  CooMatrix Coo(Rows, Cols);
+  Coo.reserve(static_cast<std::size_t>(Rows) * Cols);
+  for (std::int32_t R = 0; R < Rows; ++R)
+    for (std::int32_t C = 0; C < Cols; ++C)
+      Coo.add(R, C, randomValue(Rng));
+  return CsrMatrix::fromCoo(Coo);
+}
+
+namespace {
+
+CsrMatrix genStencil2d(std::int32_t Nx, std::int32_t Ny, int Reach) {
+  assert(Nx > 0 && Ny > 0);
+  std::int32_t N = Nx * Ny;
+  CooMatrix Coo(N, N);
+  auto Id = [&](std::int32_t X, std::int32_t Y) { return Y * Nx + X; };
+  for (std::int32_t Y = 0; Y < Ny; ++Y) {
+    for (std::int32_t X = 0; X < Nx; ++X) {
+      for (int DY = -1; DY <= 1; ++DY) {
+        for (int DX = -1; DX <= 1; ++DX) {
+          // Reach 0: 5-point (face neighbours); reach 1: 9-point (corners
+          // too).
+          if (Reach == 0 && DX != 0 && DY != 0)
+            continue;
+          std::int32_t NX = X + DX, NY = Y + DY;
+          if (NX < 0 || NX >= Nx || NY < 0 || NY >= Ny)
+            continue;
+          double V = (DX == 0 && DY == 0) ? 4.0 : -1.0;
+          Coo.add(Id(X, Y), Id(NX, NY), V);
+        }
+      }
+    }
+  }
+  return CsrMatrix::fromCoo(Coo);
+}
+
+} // namespace
+
+CsrMatrix genStencil5(std::int32_t Nx, std::int32_t Ny) {
+  return genStencil2d(Nx, Ny, /*Reach=*/0);
+}
+
+CsrMatrix genStencil9(std::int32_t Nx, std::int32_t Ny) {
+  return genStencil2d(Nx, Ny, /*Reach=*/1);
+}
+
+CsrMatrix genStencil27(std::int32_t Nx, std::int32_t Ny, std::int32_t Nz) {
+  assert(Nx > 0 && Ny > 0 && Nz > 0);
+  std::int32_t N = Nx * Ny * Nz;
+  CooMatrix Coo(N, N);
+  auto Id = [&](std::int32_t X, std::int32_t Y, std::int32_t Z) {
+    return (Z * Ny + Y) * Nx + X;
+  };
+  for (std::int32_t Z = 0; Z < Nz; ++Z)
+    for (std::int32_t Y = 0; Y < Ny; ++Y)
+      for (std::int32_t X = 0; X < Nx; ++X)
+        for (int DZ = -1; DZ <= 1; ++DZ)
+          for (int DY = -1; DY <= 1; ++DY)
+            for (int DX = -1; DX <= 1; ++DX) {
+              std::int32_t NX = X + DX, NY = Y + DY, NZ = Z + DZ;
+              if (NX < 0 || NX >= Nx || NY < 0 || NY >= Ny || NZ < 0 ||
+                  NZ >= Nz)
+                continue;
+              double V = (DX == 0 && DY == 0 && DZ == 0) ? 26.0 : -1.0;
+              Coo.add(Id(X, Y, Z), Id(NX, NY, NZ), V);
+            }
+  return CsrMatrix::fromCoo(Coo);
+}
+
+CsrMatrix genBanded(std::int32_t N, std::int32_t HalfBandwidth,
+                    std::int32_t Fill, std::uint64_t Seed) {
+  assert(N > 0 && HalfBandwidth >= 0 && Fill >= 0);
+  Xoshiro256 Rng(Seed);
+  CooMatrix Coo(N, N);
+  for (std::int32_t R = 0; R < N; ++R) {
+    Coo.add(R, R, 2.0 + Rng.nextDouble());
+    std::int32_t Lo = std::max(0, R - HalfBandwidth);
+    std::int32_t Hi = std::min(N - 1, R + HalfBandwidth);
+    std::int32_t Span = Hi - Lo + 1;
+    for (std::int32_t K = 0; K < Fill; ++K) {
+      auto C = static_cast<std::int32_t>(Lo + Rng.nextBounded(Span));
+      if (C != R)
+        Coo.add(R, C, randomValue(Rng));
+    }
+  }
+  Coo.canonicalize();
+  return CsrMatrix::fromCoo(Coo);
+}
+
+CsrMatrix genCircuit(std::int32_t N, double MeanOffDiag,
+                     std::int32_t NumDenseRows, std::uint64_t Seed) {
+  assert(N > 0 && MeanOffDiag >= 0.0 && NumDenseRows >= 0);
+  Xoshiro256 Rng(Seed);
+  CooMatrix Coo(N, N);
+  // Circuit matrices are locally connected after netlist ordering: most
+  // couplings land near the diagonal, with only a few percent of long wires after ordering.
+  std::int32_t Band = std::max<std::int32_t>(16, N / 128);
+  for (std::int32_t R = 0; R < N; ++R) {
+    Coo.add(R, R, 4.0 + Rng.nextDouble());
+    auto Deg = static_cast<std::int64_t>(MeanOffDiag);
+    if (Rng.nextDouble() < MeanOffDiag - static_cast<double>(Deg))
+      ++Deg;
+    for (std::int64_t K = 0; K < Deg; ++K) {
+      std::int32_t C;
+      if (Rng.nextDouble() < 0.97) {
+        std::int32_t Lo = std::max(0, R - Band);
+        std::int32_t Hi = std::min(N - 1, R + Band);
+        C = static_cast<std::int32_t>(Lo + Rng.nextBounded(Hi - Lo + 1));
+      } else {
+        C = static_cast<std::int32_t>(Rng.nextBounded(N));
+      }
+      Coo.add(R, C, randomValue(Rng));
+    }
+  }
+  // Dense "rail" rows and columns (power/ground nets touch most nodes).
+  std::int32_t RailFanout = std::max<std::int32_t>(1, N / 64);
+  for (std::int32_t D = 0; D < NumDenseRows; ++D) {
+    auto Rail = static_cast<std::int32_t>(Rng.nextBounded(N));
+    for (std::int32_t K = 0; K < RailFanout; ++K) {
+      auto Other = static_cast<std::int32_t>(Rng.nextBounded(N));
+      Coo.add(Rail, Other, randomValue(Rng));
+      Coo.add(Other, Rail, randomValue(Rng));
+    }
+  }
+  Coo.canonicalize();
+  return CsrMatrix::fromCoo(Coo);
+}
+
+CsrMatrix genDenseBlocks(std::int32_t NumBlocks, std::int32_t BlockSize,
+                         double FillRatio, std::uint64_t Seed) {
+  assert(NumBlocks > 0 && BlockSize > 0);
+  assert(FillRatio >= 0.0 && FillRatio <= 1.0);
+  Xoshiro256 Rng(Seed);
+  std::int32_t N = NumBlocks * BlockSize;
+  CooMatrix Coo(N, N);
+  for (std::int32_t Blk = 0; Blk < NumBlocks; ++Blk) {
+    std::int32_t Base = Blk * BlockSize;
+    for (std::int32_t R = 0; R < BlockSize; ++R)
+      for (std::int32_t C = 0; C < BlockSize; ++C)
+        if (R == C || Rng.nextDouble() < FillRatio)
+          Coo.add(Base + R, Base + C, randomValue(Rng));
+  }
+  return CsrMatrix::fromCoo(Coo);
+}
+
+CsrMatrix genUniformRandom(std::int32_t Rows, std::int32_t Cols,
+                           double NnzPerRow, std::uint64_t Seed) {
+  assert(Rows > 0 && Cols > 0 && NnzPerRow >= 0.0);
+  Xoshiro256 Rng(Seed);
+  CooMatrix Coo(Rows, Cols);
+  Coo.reserve(static_cast<std::size_t>(Rows * NnzPerRow));
+  for (std::int32_t R = 0; R < Rows; ++R) {
+    auto Deg = static_cast<std::int64_t>(NnzPerRow);
+    if (Rng.nextDouble() < NnzPerRow - static_cast<double>(Deg))
+      ++Deg;
+    for (std::int64_t K = 0; K < Deg; ++K)
+      Coo.add(R, static_cast<std::int32_t>(Rng.nextBounded(Cols)),
+              randomValue(Rng));
+  }
+  Coo.canonicalize();
+  return CsrMatrix::fromCoo(Coo);
+}
+
+CsrMatrix genTallThin(std::int32_t Rows, std::int32_t Cols,
+                      std::int32_t NnzPerRow, std::uint64_t Seed) {
+  assert(Rows > 0 && Cols > 0 && NnzPerRow >= 0);
+  // Tall-thin least-squares matrices (Rucci1-style) are block-structured:
+  // each observation row touches a small window of parameters around a
+  // scaled diagonal.
+  Xoshiro256 Rng(Seed);
+  CooMatrix Coo(Rows, Cols);
+  Coo.reserve(static_cast<std::size_t>(Rows) * NnzPerRow);
+  std::int32_t Window = std::max<std::int32_t>(NnzPerRow * 4, 16);
+  for (std::int32_t R = 0; R < Rows; ++R) {
+    auto Center = static_cast<std::int32_t>(
+        static_cast<std::int64_t>(R) * Cols / Rows);
+    std::int32_t Lo = std::max(0, Center - Window);
+    std::int32_t Hi = std::min(Cols - 1, Center + Window);
+    for (std::int32_t K = 0; K < NnzPerRow; ++K)
+      Coo.add(R, static_cast<std::int32_t>(Lo + Rng.nextBounded(Hi - Lo + 1)),
+              randomValue(Rng));
+  }
+  Coo.canonicalize();
+  return CsrMatrix::fromCoo(Coo);
+}
+
+} // namespace cvr

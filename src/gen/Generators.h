@@ -1,0 +1,97 @@
+//===- gen/Generators.h - Synthetic sparse matrix generators ----*- C++ -*-===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic synthetic matrix generators covering the structural classes
+/// of the paper's 58 evaluation matrices: scale-free graphs (R-MAT,
+/// power-law), road lattices, short-fat rectangular matrices, dense blocks,
+/// FEM stencils, banded systems, and circuit-like patterns. Each generator
+/// documents which paper matrices it stands in for; see gen/DatasetSuite.h
+/// for the named suite.
+///
+/// All generators take an explicit seed and are bit-for-bit reproducible.
+/// Values are uniform in [-1, 1] unless stated otherwise.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVR_GEN_GENERATORS_H
+#define CVR_GEN_GENERATORS_H
+
+#include "matrix/Csr.h"
+
+#include <cstdint>
+
+namespace cvr {
+
+/// R-MAT (recursive matrix) graph: the standard model for web/social graphs
+/// with heavy-tailed in/out degrees. \p Scale gives 2^Scale vertices,
+/// \p EdgeFactor edges per vertex before deduplication. Quadrant
+/// probabilities default to the Graph500 values.
+CsrMatrix genRmat(int Scale, int EdgeFactor, std::uint64_t Seed,
+                  double A = 0.57, double B = 0.19, double C = 0.19);
+
+/// Power-law row degrees (Zipf-like with exponent \p Alpha, clamped to
+/// [1, MaxDeg]) and hub-biased column selection: column popularity also
+/// follows a power law, concentrating references on low column indices the
+/// way hub vertices do in scale-free graphs. Stands in for the wiki /
+/// citation / peer-to-peer matrices.
+CsrMatrix genPowerLaw(std::int32_t Rows, std::int32_t Cols, double MeanDeg,
+                      double Alpha, std::uint64_t Seed);
+
+/// Road-network-like graph: a 2D lattice where each node connects to a
+/// random subset of its 4 neighbours, giving nnz/row in [0, 4] with mean
+/// roughly \p MeanDeg (clamped to that range) and long-distance vertical
+/// neighbour indices.
+CsrMatrix genRoadLattice(std::int32_t SideLength, double MeanDeg,
+                         std::uint64_t Seed);
+
+/// Short-fat rectangular matrix (rows << cols) with \p NnzPerRow uniform
+/// random columns per row: the connectus / rail4284 / spal_004 /
+/// digg.com shape where VHCC's 2D partition wins.
+CsrMatrix genShortFat(std::int32_t Rows, std::int32_t Cols,
+                      std::int32_t NnzPerRow, std::uint64_t Seed);
+
+/// Fully dense matrix stored sparsely (the paper's dense4k control).
+CsrMatrix genDense(std::int32_t Rows, std::int32_t Cols, std::uint64_t Seed);
+
+/// 5-point (2D) finite-difference stencil on an Nx x Ny grid. Classic
+/// HPC/FEM pattern: symmetric, narrow band, constant row length.
+CsrMatrix genStencil5(std::int32_t Nx, std::int32_t Ny);
+
+/// 9-point (2D) stencil, denser FEM-like rows.
+CsrMatrix genStencil9(std::int32_t Nx, std::int32_t Ny);
+
+/// 27-point (3D) stencil on an Nx x Ny x Nz grid (FEM/Ship, cage-like).
+CsrMatrix genStencil27(std::int32_t Nx, std::int32_t Ny, std::int32_t Nz);
+
+/// Banded matrix: each row has \p Fill nonzeros uniformly inside a band of
+/// half-width \p HalfBandwidth around the diagonal, plus the diagonal.
+CsrMatrix genBanded(std::int32_t N, std::int32_t HalfBandwidth,
+                    std::int32_t Fill, std::uint64_t Seed);
+
+/// Circuit-like: every row has the diagonal plus ~MeanOffDiag random
+/// off-diagonals, with a few dense rows/columns (voltage rails), standing in
+/// for circuit5M / ASIC_680k / fullchip / dc2.
+CsrMatrix genCircuit(std::int32_t N, double MeanOffDiag,
+                     std::int32_t NumDenseRows, std::uint64_t Seed);
+
+/// Block-diagonal with dense blocks of \p BlockSize (gene-expression style:
+/// mouse_gene, human_gene2 — dense clusters, very high nnz/row).
+CsrMatrix genDenseBlocks(std::int32_t NumBlocks, std::int32_t BlockSize,
+                         double FillRatio, std::uint64_t Seed);
+
+/// Uniform random matrix with expected \p NnzPerRow entries per row.
+CsrMatrix genUniformRandom(std::int32_t Rows, std::int32_t Cols,
+                           double NnzPerRow, std::uint64_t Seed);
+
+/// Tall-thin rectangular matrix (rows >> cols) with \p NnzPerRow random
+/// columns per row (Rucci1 shape).
+CsrMatrix genTallThin(std::int32_t Rows, std::int32_t Cols,
+                      std::int32_t NnzPerRow, std::uint64_t Seed);
+
+} // namespace cvr
+
+#endif // CVR_GEN_GENERATORS_H

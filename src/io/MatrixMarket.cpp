@@ -1,0 +1,201 @@
+//===- io/MatrixMarket.cpp - Matrix Market reader/writer ------------------===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "io/MatrixMarket.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace cvr {
+namespace {
+
+enum class MmFormat { Coordinate, Array };
+enum class MmField { Real, Integer, Pattern };
+enum class MmSymmetry { General, Symmetric, SkewSymmetric };
+
+std::string toLower(std::string S) {
+  std::transform(S.begin(), S.end(), S.begin(),
+                 [](unsigned char C) { return std::tolower(C); });
+  return S;
+}
+
+/// Reads the next line that is neither blank nor a '%' comment; returns
+/// false at end of stream.
+bool nextDataLine(std::istream &IS, std::string &Line) {
+  while (std::getline(IS, Line)) {
+    std::size_t I = Line.find_first_not_of(" \t\r\n");
+    if (I == std::string::npos)
+      continue;
+    if (Line[I] == '%')
+      continue;
+    return true;
+  }
+  return false;
+}
+
+} // namespace
+
+MmReadResult readMatrixMarket(std::istream &IS) {
+  std::string Line;
+  if (!std::getline(IS, Line))
+    return MmReadResult::failure("empty input");
+
+  std::istringstream Banner(Line);
+  std::string Tag, Object, FormatStr, FieldStr, SymStr;
+  Banner >> Tag >> Object >> FormatStr >> FieldStr >> SymStr;
+  if (Tag != "%%MatrixMarket")
+    return MmReadResult::failure("missing %%MatrixMarket banner");
+  if (toLower(Object) != "matrix")
+    return MmReadResult::failure("unsupported object '" + Object + "'");
+
+  MmFormat Format;
+  FormatStr = toLower(FormatStr);
+  if (FormatStr == "coordinate")
+    Format = MmFormat::Coordinate;
+  else if (FormatStr == "array")
+    Format = MmFormat::Array;
+  else
+    return MmReadResult::failure("unsupported format '" + FormatStr + "'");
+
+  MmField Field;
+  FieldStr = toLower(FieldStr);
+  if (FieldStr == "real" || FieldStr == "double")
+    Field = MmField::Real;
+  else if (FieldStr == "integer")
+    Field = MmField::Integer;
+  else if (FieldStr == "pattern")
+    Field = MmField::Pattern;
+  else
+    return MmReadResult::failure("unsupported field '" + FieldStr + "'");
+
+  MmSymmetry Sym;
+  SymStr = toLower(SymStr);
+  if (SymStr == "general")
+    Sym = MmSymmetry::General;
+  else if (SymStr == "symmetric")
+    Sym = MmSymmetry::Symmetric;
+  else if (SymStr == "skew-symmetric")
+    Sym = MmSymmetry::SkewSymmetric;
+  else
+    return MmReadResult::failure("unsupported symmetry '" + SymStr + "'");
+
+  if (Format == MmFormat::Array && Field == MmField::Pattern)
+    return MmReadResult::failure("array format cannot be pattern");
+
+  if (!nextDataLine(IS, Line))
+    return MmReadResult::failure("missing size line");
+
+  std::istringstream SizeLine(Line);
+  long Rows = -1, Cols = -1, Declared = -1;
+  if (Format == MmFormat::Coordinate)
+    SizeLine >> Rows >> Cols >> Declared;
+  else
+    SizeLine >> Rows >> Cols;
+  if (SizeLine.fail() || Rows < 0 || Cols < 0 ||
+      (Format == MmFormat::Coordinate && Declared < 0))
+    return MmReadResult::failure("malformed size line: " + Line);
+
+  CooMatrix M(static_cast<std::int32_t>(Rows), static_cast<std::int32_t>(Cols));
+
+  auto AddWithSymmetry = [&](std::int32_t R, std::int32_t C, double V) {
+    M.add(R, C, V);
+    if (R == C)
+      return;
+    if (Sym == MmSymmetry::Symmetric)
+      M.add(C, R, V);
+    else if (Sym == MmSymmetry::SkewSymmetric)
+      M.add(C, R, -V);
+  };
+
+  if (Format == MmFormat::Coordinate) {
+    M.reserve(static_cast<std::size_t>(Declared) *
+              (Sym == MmSymmetry::General ? 1 : 2));
+    for (long K = 0; K < Declared; ++K) {
+      if (!nextDataLine(IS, Line))
+        return MmReadResult::failure("unexpected end of file: expected " +
+                                     std::to_string(Declared) +
+                                     " entries, got " + std::to_string(K));
+      std::istringstream Entry(Line);
+      long R, C;
+      double V = 1.0;
+      Entry >> R >> C;
+      if (Field != MmField::Pattern)
+        Entry >> V;
+      if (Entry.fail())
+        return MmReadResult::failure("malformed entry line: " + Line);
+      if (R < 1 || R > Rows || C < 1 || C > Cols)
+        return MmReadResult::failure("entry index out of range: " + Line);
+      AddWithSymmetry(static_cast<std::int32_t>(R - 1),
+                      static_cast<std::int32_t>(C - 1), V);
+    }
+  } else {
+    // Array format: column-major dense listing. Symmetric inputs list only
+    // the lower triangle.
+    M.reserve(static_cast<std::size_t>(Rows) * Cols);
+    for (long C = 0; C < Cols; ++C) {
+      long FirstRow = Sym == MmSymmetry::General ? 0 : C;
+      if (Sym == MmSymmetry::SkewSymmetric)
+        FirstRow = C + 1;
+      for (long R = FirstRow; R < Rows; ++R) {
+        if (!nextDataLine(IS, Line))
+          return MmReadResult::failure("unexpected end of array data");
+        std::istringstream Entry(Line);
+        double V;
+        Entry >> V;
+        if (Entry.fail())
+          return MmReadResult::failure("malformed array value: " + Line);
+        if (V != 0.0)
+          AddWithSymmetry(static_cast<std::int32_t>(R),
+                          static_cast<std::int32_t>(C), V);
+      }
+    }
+  }
+
+  M.canonicalize();
+  return MmReadResult::success(std::move(M));
+}
+
+MmReadResult readMatrixMarketFile(const std::string &Path) {
+  std::ifstream IS(Path);
+  if (!IS)
+    return MmReadResult::failure("cannot open '" + Path + "'");
+  return readMatrixMarket(IS);
+}
+
+void writeMatrixMarket(std::ostream &OS, const CooMatrix &M) {
+  OS << "%%MatrixMarket matrix coordinate real general\n";
+  OS << "% written by the CVR reproduction project\n";
+  OS << M.numRows() << ' ' << M.numCols() << ' ' << M.numEntries() << '\n';
+  char Buf[64];
+  for (const CooEntry &E : M.entries()) {
+    std::snprintf(Buf, sizeof(Buf), "%d %d %.17g\n", E.Row + 1, E.Col + 1,
+                  E.Val);
+    OS << Buf;
+  }
+}
+
+bool writeMatrixMarketFile(const std::string &Path, const CooMatrix &M,
+                           std::string *Error) {
+  std::ofstream OS(Path);
+  if (!OS) {
+    if (Error)
+      *Error = "cannot open '" + Path + "' for writing";
+    return false;
+  }
+  writeMatrixMarket(OS, M);
+  OS.flush();
+  if (!OS) {
+    if (Error)
+      *Error = "write to '" + Path + "' failed";
+    return false;
+  }
+  return true;
+}
+
+} // namespace cvr

@@ -1,0 +1,65 @@
+//===- io/MatrixMarket.h - Matrix Market reader/writer ----------*- C++ -*-===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reader and writer for the NIST Matrix Market exchange format, the input
+/// format of the paper's artifact ("Data set: sparse matrices with matrix
+/// market format"). Supports `coordinate` and `array` formats; `real`,
+/// `integer`, and `pattern` fields; `general`, `symmetric`, and
+/// `skew-symmetric` symmetries. Errors are reported through the returned
+/// result object rather than exceptions, per the LLVM-style error model.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVR_IO_MATRIXMARKET_H
+#define CVR_IO_MATRIXMARKET_H
+
+#include "matrix/Coo.h"
+
+#include <iosfwd>
+#include <string>
+
+namespace cvr {
+
+/// Outcome of a Matrix Market parse: either a matrix or an error message.
+struct MmReadResult {
+  bool Ok = false;
+  std::string Error;     ///< Diagnostic (empty on success).
+  CooMatrix Matrix;      ///< Valid only when Ok.
+
+  static MmReadResult success(CooMatrix M) {
+    MmReadResult R;
+    R.Ok = true;
+    R.Matrix = std::move(M);
+    return R;
+  }
+
+  static MmReadResult failure(std::string Msg) {
+    MmReadResult R;
+    R.Error = std::move(Msg);
+    return R;
+  }
+};
+
+/// Parses a Matrix Market stream. Symmetric/skew-symmetric inputs are
+/// expanded to general form (both triangles materialized). `pattern`
+/// entries get value 1.0.
+MmReadResult readMatrixMarket(std::istream &IS);
+
+/// Parses a Matrix Market file by path.
+MmReadResult readMatrixMarketFile(const std::string &Path);
+
+/// Writes \p M as `matrix coordinate real general` with 1-based indices.
+void writeMatrixMarket(std::ostream &OS, const CooMatrix &M);
+
+/// Writes \p M to a file; returns false (and sets \p Error if non-null) on
+/// I/O failure.
+bool writeMatrixMarketFile(const std::string &Path, const CooMatrix &M,
+                           std::string *Error = nullptr);
+
+} // namespace cvr
+
+#endif // CVR_IO_MATRIXMARKET_H

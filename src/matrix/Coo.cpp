@@ -1,0 +1,53 @@
+//===- matrix/Coo.cpp - Coordinate-format sparse matrix -------------------===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "matrix/Coo.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cvr {
+
+void CooMatrix::add(std::int32_t Row, std::int32_t Col, double Val) {
+  assert(Row >= 0 && Row < NumRows && "COO row index out of range");
+  assert(Col >= 0 && Col < NumCols && "COO column index out of range");
+  Entries.push_back({Row, Col, Val});
+}
+
+void CooMatrix::canonicalize() {
+  std::sort(Entries.begin(), Entries.end(),
+            [](const CooEntry &A, const CooEntry &B) {
+              if (A.Row != B.Row)
+                return A.Row < B.Row;
+              return A.Col < B.Col;
+            });
+  // Sum runs of identical coordinates in place.
+  std::size_t Out = 0;
+  for (std::size_t I = 0; I < Entries.size();) {
+    CooEntry Acc = Entries[I];
+    std::size_t J = I + 1;
+    while (J < Entries.size() && Entries[J].Row == Acc.Row &&
+           Entries[J].Col == Acc.Col) {
+      Acc.Val += Entries[J].Val;
+      ++J;
+    }
+    Entries[Out++] = Acc;
+    I = J;
+  }
+  Entries.resize(Out);
+}
+
+bool CooMatrix::isCanonical() const {
+  for (std::size_t I = 1; I < Entries.size(); ++I) {
+    const CooEntry &A = Entries[I - 1];
+    const CooEntry &B = Entries[I];
+    if (A.Row > B.Row || (A.Row == B.Row && A.Col >= B.Col))
+      return false;
+  }
+  return true;
+}
+
+} // namespace cvr

@@ -1,0 +1,67 @@
+//===- matrix/Coo.h - Coordinate-format sparse matrix -----------*- C++ -*-===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Coordinate (triplet) sparse matrix: the assembly format produced by the
+/// Matrix Market reader and the synthetic generators, and the input to the
+/// CSR builder. Duplicate coordinates are allowed until canonicalize() sums
+/// them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVR_MATRIX_COO_H
+#define CVR_MATRIX_COO_H
+
+#include <cstdint>
+#include <vector>
+
+namespace cvr {
+
+/// One nonzero in coordinate form.
+struct CooEntry {
+  std::int32_t Row;
+  std::int32_t Col;
+  double Val;
+};
+
+/// Coordinate-format sparse matrix.
+class CooMatrix {
+public:
+  CooMatrix() = default;
+
+  CooMatrix(std::int32_t Rows, std::int32_t Cols)
+      : NumRows(Rows), NumCols(Cols) {}
+
+  std::int32_t numRows() const { return NumRows; }
+  std::int32_t numCols() const { return NumCols; }
+  std::size_t numEntries() const { return Entries.size(); }
+
+  const std::vector<CooEntry> &entries() const { return Entries; }
+  std::vector<CooEntry> &entries() { return Entries; }
+
+  /// Appends one entry; bounds are assert-checked.
+  void add(std::int32_t Row, std::int32_t Col, double Val);
+
+  /// Reserves room for \p N entries.
+  void reserve(std::size_t N) { Entries.reserve(N); }
+
+  /// Sorts by (row, col) and sums duplicate coordinates. Entries whose
+  /// summed value is exactly zero are kept (structural nonzeros), matching
+  /// Matrix Market semantics.
+  void canonicalize();
+
+  /// True if entries are sorted by (row, col) with no duplicates.
+  bool isCanonical() const;
+
+private:
+  std::int32_t NumRows = 0;
+  std::int32_t NumCols = 0;
+  std::vector<CooEntry> Entries;
+};
+
+} // namespace cvr
+
+#endif // CVR_MATRIX_COO_H

@@ -1,0 +1,102 @@
+//===- matrix/Csr.cpp - Compressed sparse row matrix ----------------------===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "matrix/Csr.h"
+
+#include "matrix/Coo.h"
+#include "support/PrefixSum.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace cvr {
+
+CsrMatrix CsrMatrix::fromCoo(const CooMatrix &Coo) {
+  const CooMatrix *Src = &Coo;
+  CooMatrix Canonical;
+  if (!Coo.isCanonical()) {
+    Canonical = Coo;
+    Canonical.canonicalize();
+    Src = &Canonical;
+  }
+
+  CsrMatrix M;
+  M.NumRows = Src->numRows();
+  M.NumCols = Src->numCols();
+  M.RowPtr.resize(static_cast<std::size_t>(M.NumRows) + 1);
+  M.RowPtr.zero();
+  M.ColIdx.resize(Src->numEntries());
+  M.Vals.resize(Src->numEntries());
+
+  for (const CooEntry &E : Src->entries())
+    ++M.RowPtr[E.Row];
+  exclusivePrefixSum(M.RowPtr.data(), M.NumRows);
+
+  // Entries are already sorted by (row, col), so a single linear fill keeps
+  // each row's columns ascending.
+  std::size_t K = 0;
+  for (const CooEntry &E : Src->entries()) {
+    M.ColIdx[K] = E.Col;
+    M.Vals[K] = E.Val;
+    ++K;
+  }
+  assert(K == static_cast<std::size_t>(M.numNonZeros()) &&
+         "row pointer total disagrees with entry count");
+  return M;
+}
+
+CsrMatrix CsrMatrix::emptyOfShape(std::int32_t Rows, std::int32_t Cols) {
+  CsrMatrix M;
+  M.NumRows = Rows;
+  M.NumCols = Cols;
+  M.RowPtr.resize(static_cast<std::size_t>(Rows) + 1);
+  M.RowPtr.zero();
+  return M;
+}
+
+CooMatrix CsrMatrix::toCoo() const {
+  CooMatrix Coo(NumRows, NumCols);
+  Coo.reserve(static_cast<std::size_t>(numNonZeros()));
+  for (std::int32_t R = 0; R < NumRows; ++R)
+    for (std::int64_t I = RowPtr[R]; I < RowPtr[R + 1]; ++I)
+      Coo.add(R, ColIdx[I], Vals[I]);
+  return Coo;
+}
+
+bool CsrMatrix::equals(const CsrMatrix &Other) const {
+  if (NumRows != Other.NumRows || NumCols != Other.NumCols ||
+      numNonZeros() != Other.numNonZeros())
+    return false;
+  for (std::int32_t R = 0; R <= NumRows; ++R)
+    if (RowPtr[R] != Other.RowPtr[R])
+      return false;
+  for (std::int64_t I = 0, E = numNonZeros(); I < E; ++I)
+    if (ColIdx[I] != Other.ColIdx[I] || Vals[I] != Other.Vals[I])
+      return false;
+  return true;
+}
+
+bool CsrMatrix::isValid() const {
+  if (NumRows < 0 || NumCols < 0)
+    return false;
+  if (RowPtr.size() != static_cast<std::size_t>(NumRows) + 1)
+    return false;
+  if (NumRows > 0 && RowPtr[0] != 0)
+    return false;
+  for (std::int32_t R = 0; R < NumRows; ++R)
+    if (RowPtr[R] > RowPtr[R + 1])
+      return false;
+  std::int64_t Nnz = numNonZeros();
+  if (ColIdx.size() < static_cast<std::size_t>(Nnz) ||
+      Vals.size() < static_cast<std::size_t>(Nnz))
+    return false;
+  for (std::int64_t I = 0; I < Nnz; ++I)
+    if (ColIdx[I] < 0 || ColIdx[I] >= NumCols)
+      return false;
+  return true;
+}
+
+} // namespace cvr

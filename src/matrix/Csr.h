@@ -1,0 +1,75 @@
+//===- matrix/Csr.h - Compressed sparse row matrix --------------*- C++ -*-===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The classic CSR container (row pointers, column indices, values) that is
+/// the common input of every SpMV format in this project, exactly as in the
+/// paper (Section 2.2): `vals`, `col_idx`, `row_ptr`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVR_MATRIX_CSR_H
+#define CVR_MATRIX_CSR_H
+
+#include "support/AlignedBuffer.h"
+
+#include <cstdint>
+
+namespace cvr {
+
+class CooMatrix;
+
+/// Compressed sparse row matrix with 64-byte aligned streams.
+///
+/// Row pointers are 64-bit (large nnz), column indices 32-bit (the gather
+/// instructions the kernels use take int32 indices, as on KNL).
+class CsrMatrix {
+public:
+  CsrMatrix() = default;
+
+  /// Builds from a coordinate matrix. \p Coo does not need to be canonical;
+  /// a copy is canonicalized internally if needed.
+  static CsrMatrix fromCoo(const CooMatrix &Coo);
+
+  /// Builds an empty matrix (all rows empty) of the given shape.
+  static CsrMatrix emptyOfShape(std::int32_t Rows, std::int32_t Cols);
+
+  std::int32_t numRows() const { return NumRows; }
+  std::int32_t numCols() const { return NumCols; }
+  std::int64_t numNonZeros() const {
+    return NumRows == 0 ? 0 : RowPtr[NumRows];
+  }
+
+  const std::int64_t *rowPtr() const { return RowPtr.data(); }
+  const std::int32_t *colIdx() const { return ColIdx.data(); }
+  const double *vals() const { return Vals.data(); }
+  double *vals() { return Vals.data(); }
+
+  /// Number of nonzeros in row \p R.
+  std::int64_t rowLength(std::int32_t R) const {
+    return RowPtr[R + 1] - RowPtr[R];
+  }
+
+  /// Converts back to coordinate form (canonical by construction).
+  CooMatrix toCoo() const;
+
+  /// Structural + value equality.
+  bool equals(const CsrMatrix &Other) const;
+
+  /// Internal consistency: monotone row pointers, in-range column indices.
+  bool isValid() const;
+
+private:
+  std::int32_t NumRows = 0;
+  std::int32_t NumCols = 0;
+  AlignedBuffer<std::int64_t> RowPtr;
+  AlignedBuffer<std::int32_t> ColIdx;
+  AlignedBuffer<double> Vals;
+};
+
+} // namespace cvr
+
+#endif // CVR_MATRIX_CSR_H

@@ -1,0 +1,51 @@
+//===- matrix/MatrixStats.cpp - Structural statistics ---------------------===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "matrix/MatrixStats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace cvr {
+
+MatrixStats computeStats(const CsrMatrix &A) {
+  MatrixStats S;
+  S.NumRows = A.numRows();
+  S.NumCols = A.numCols();
+  S.Nnz = A.numNonZeros();
+  if (S.NumRows == 0)
+    return S;
+
+  S.MeanRowLength = static_cast<double>(S.Nnz) / S.NumRows;
+  S.MinRowLength = std::numeric_limits<std::int64_t>::max();
+
+  double VarAcc = 0.0;
+  for (std::int32_t R = 0; R < S.NumRows; ++R) {
+    std::int64_t Len = A.rowLength(R);
+    S.MaxRowLength = std::max(S.MaxRowLength, Len);
+    S.MinRowLength = std::min(S.MinRowLength, Len);
+    if (Len == 0)
+      ++S.EmptyRows;
+    double D = static_cast<double>(Len) - S.MeanRowLength;
+    VarAcc += D * D;
+  }
+  if (S.MeanRowLength > 0.0)
+    S.RowLengthCv = std::sqrt(VarAcc / S.NumRows) / S.MeanRowLength;
+
+  if (S.Nnz > 0) {
+    const std::int64_t *RowPtr = A.rowPtr();
+    const std::int32_t *ColIdx = A.colIdx();
+    double BwAcc = 0.0;
+    for (std::int32_t R = 0; R < S.NumRows; ++R)
+      for (std::int64_t I = RowPtr[R]; I < RowPtr[R + 1]; ++I)
+        BwAcc += std::abs(static_cast<double>(ColIdx[I]) - R);
+    S.MeanBandwidth = BwAcc / static_cast<double>(S.Nnz);
+  }
+  return S;
+}
+
+} // namespace cvr

@@ -1,0 +1,46 @@
+//===- matrix/MatrixStats.h - Structural statistics -------------*- C++ -*-===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-matrix structural statistics (row-length distribution, empty rows,
+/// bandwidth, skew). The dataset suite uses these to check that each
+/// synthetic stand-in matches the structural class of the paper's matrix
+/// (scale-free skew vs. HPC regularity), and the tables print nnz/row like
+/// the paper's Table 2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVR_MATRIX_MATRIXSTATS_H
+#define CVR_MATRIX_MATRIXSTATS_H
+
+#include "matrix/Csr.h"
+
+#include <cstdint>
+
+namespace cvr {
+
+/// Summary of a matrix's sparsity structure.
+struct MatrixStats {
+  std::int32_t NumRows = 0;
+  std::int32_t NumCols = 0;
+  std::int64_t Nnz = 0;
+  double MeanRowLength = 0.0;   ///< nnz / rows (the paper's "nnz/row").
+  std::int64_t MaxRowLength = 0;
+  std::int64_t MinRowLength = 0;
+  std::int32_t EmptyRows = 0;
+  /// Coefficient of variation of row lengths (stddev / mean); the standard
+  /// irregularity measure — scale-free matrices have CV >> 1.
+  double RowLengthCv = 0.0;
+  /// Mean |col - row| over nonzeros; small for banded/stencil HPC matrices.
+  double MeanBandwidth = 0.0;
+};
+
+/// Computes all statistics in one pass.
+MatrixStats computeStats(const CsrMatrix &A);
+
+} // namespace cvr
+
+#endif // CVR_MATRIX_MATRIXSTATS_H

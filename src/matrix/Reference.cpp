@@ -1,0 +1,53 @@
+//===- matrix/Reference.cpp - Reference scalar SpMV -----------------------===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "matrix/Reference.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace cvr {
+
+void referenceSpmv(const CsrMatrix &A, const double *X, double *Y) {
+  const std::int64_t *RowPtr = A.rowPtr();
+  const std::int32_t *ColIdx = A.colIdx();
+  const double *Vals = A.vals();
+  for (std::int32_t R = 0, E = A.numRows(); R < E; ++R) {
+    double Sum = 0.0;
+    for (std::int64_t I = RowPtr[R]; I < RowPtr[R + 1]; ++I)
+      Sum += Vals[I] * X[ColIdx[I]];
+    Y[R] = Sum;
+  }
+}
+
+std::vector<double> referenceSpmv(const CsrMatrix &A,
+                                  const std::vector<double> &X) {
+  assert(X.size() == static_cast<std::size_t>(A.numCols()) &&
+         "x length must equal the column count");
+  std::vector<double> Y(static_cast<std::size_t>(A.numRows()), 0.0);
+  referenceSpmv(A, X.data(), Y.data());
+  return Y;
+}
+
+double maxAbsDiff(const std::vector<double> &A, const std::vector<double> &B) {
+  assert(A.size() == B.size() && "length mismatch");
+  double Max = 0.0;
+  for (std::size_t I = 0; I < A.size(); ++I)
+    Max = std::max(Max, std::fabs(A[I] - B[I]));
+  return Max;
+}
+
+double maxRelDiff(const std::vector<double> &A, const std::vector<double> &B) {
+  assert(A.size() == B.size() && "length mismatch");
+  double Max = 0.0;
+  for (std::size_t I = 0; I < A.size(); ++I) {
+    double Scale = std::max(1.0, std::fabs(A[I]));
+    Max = std::max(Max, std::fabs(A[I] - B[I]) / Scale);
+  }
+  return Max;
+}
+
+} // namespace cvr

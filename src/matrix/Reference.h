@@ -1,0 +1,40 @@
+//===- matrix/Reference.h - Reference scalar SpMV ---------------*- C++ -*-===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The textbook single-threaded CSR SpMV (Algorithm 1 in the paper), used as
+/// the golden reference by every correctness test, plus small dense-vector
+/// helpers shared by tests and examples.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVR_MATRIX_REFERENCE_H
+#define CVR_MATRIX_REFERENCE_H
+
+#include "matrix/Csr.h"
+
+#include <vector>
+
+namespace cvr {
+
+/// y = A * x, scalar, single-threaded, in CSR row order. \p Y is
+/// overwritten. Sizes are assert-checked.
+void referenceSpmv(const CsrMatrix &A, const double *X, double *Y);
+
+/// Convenience overload returning the result vector.
+std::vector<double> referenceSpmv(const CsrMatrix &A,
+                                  const std::vector<double> &X);
+
+/// Largest absolute elementwise difference between two equal-length vectors.
+double maxAbsDiff(const std::vector<double> &A, const std::vector<double> &B);
+
+/// Largest relative elementwise difference, with absolute fallback for
+/// near-zero references: max |a-b| / max(1, |a|).
+double maxRelDiff(const std::vector<double> &A, const std::vector<double> &B);
+
+} // namespace cvr
+
+#endif // CVR_MATRIX_REFERENCE_H

@@ -1,0 +1,73 @@
+//===- parallel/Partition.cpp - nnz-balanced work partitioning ------------===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parallel/Partition.h"
+
+#include <algorithm>
+#include <cassert>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace cvr {
+
+namespace {
+
+/// Row containing nonzero index \p Nnz (skips empty rows correctly).
+std::int32_t rowOfNnz(const CsrMatrix &A, std::int64_t Nnz) {
+  const std::int64_t *RowPtr = A.rowPtr();
+  const std::int64_t *It =
+      std::upper_bound(RowPtr, RowPtr + A.numRows() + 1, Nnz);
+  return static_cast<std::int32_t>(It - RowPtr) - 1;
+}
+
+} // namespace
+
+std::vector<NnzChunk> partitionByNnz(const CsrMatrix &A, int NumThreads) {
+  assert(NumThreads > 0 && "need at least one thread");
+  std::int64_t Nnz = A.numNonZeros();
+  std::vector<NnzChunk> Chunks(NumThreads);
+  for (int T = 0; T < NumThreads; ++T) {
+    NnzChunk &C = Chunks[T];
+    C.NnzStart = Nnz * T / NumThreads;
+    C.NnzEnd = Nnz * (T + 1) / NumThreads;
+    if (C.empty())
+      continue;
+    C.FirstRow = rowOfNnz(A, C.NnzStart);
+    C.LastRow = rowOfNnz(A, C.NnzEnd - 1);
+    assert(C.FirstRow >= 0 && C.FirstRow <= C.LastRow &&
+           C.LastRow < A.numRows() && "chunk rows out of range");
+  }
+  return Chunks;
+}
+
+std::vector<std::uint8_t>
+findSharedRows(const CsrMatrix &A, const std::vector<NnzChunk> &Chunks) {
+  std::vector<std::uint8_t> Shared(A.numRows(), 0);
+  const std::int64_t *RowPtr = A.rowPtr();
+  for (std::size_t T = 1; T < Chunks.size(); ++T) {
+    std::int64_t Boundary = Chunks[T].NnzStart;
+    if (Boundary <= 0 || Boundary >= A.numNonZeros())
+      continue;
+    std::int32_t Row = rowOfNnz(A, Boundary);
+    // The boundary splits Row only if it falls strictly inside the row's
+    // nnz range (a boundary exactly at a row start splits nothing).
+    if (RowPtr[Row] < Boundary && Boundary < RowPtr[Row + 1])
+      Shared[Row] = 1;
+  }
+  return Shared;
+}
+
+int defaultThreadCount() {
+#ifdef _OPENMP
+  return std::max(1, omp_get_max_threads());
+#else
+  return 1;
+#endif
+}
+
+} // namespace cvr

@@ -1,0 +1,236 @@
+//===- solvers/Solvers.cpp - Iterative solvers over SpMV kernels ----------===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solvers/Solvers.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace cvr {
+
+namespace {
+
+double dot(const std::vector<double> &A, const std::vector<double> &B) {
+  double S = 0.0;
+  for (std::size_t I = 0; I < A.size(); ++I)
+    S += A[I] * B[I];
+  return S;
+}
+
+double norm2(const std::vector<double> &A) { return std::sqrt(dot(A, A)); }
+
+void axpy(double Alpha, const std::vector<double> &X,
+          std::vector<double> &Y) {
+  for (std::size_t I = 0; I < Y.size(); ++I)
+    Y[I] += Alpha * X[I];
+}
+
+} // namespace
+
+SolveResult conjugateGradient(const SpmvKernel &Kernel,
+                              const std::vector<double> &B,
+                              std::vector<double> &X,
+                              const SolverOptions &Opts) {
+  assert(X.size() == B.size() && "square system required");
+  std::size_t N = B.size();
+  SolveResult Res;
+
+  std::vector<double> R(N), P(N), Ap(N);
+  Kernel.run(X.data(), Ap.data()); // Ap = A x0
+  for (std::size_t I = 0; I < N; ++I)
+    R[I] = B[I] - Ap[I];
+  P = R;
+
+  double BNorm = norm2(B);
+  if (BNorm == 0.0)
+    BNorm = 1.0;
+  double RsOld = dot(R, R);
+
+  for (int Iter = 0; Iter < Opts.MaxIterations; ++Iter) {
+    Res.Iterations = Iter + 1;
+    Kernel.run(P.data(), Ap.data());
+    double PAp = dot(P, Ap);
+    if (PAp == 0.0)
+      break; // Breakdown (non-SPD input).
+    double Alpha = RsOld / PAp;
+    axpy(Alpha, P, X);
+    axpy(-Alpha, Ap, R);
+    double RsNew = dot(R, R);
+    Res.Residual = std::sqrt(RsNew) / BNorm;
+    if (Res.Residual < Opts.Tolerance) {
+      Res.Converged = true;
+      return Res;
+    }
+    double Beta = RsNew / RsOld;
+    for (std::size_t I = 0; I < N; ++I)
+      P[I] = R[I] + Beta * P[I];
+    RsOld = RsNew;
+  }
+  return Res;
+}
+
+SolveResult biCgStab(const SpmvKernel &Kernel, const std::vector<double> &B,
+                     std::vector<double> &X, const SolverOptions &Opts) {
+  assert(X.size() == B.size() && "square system required");
+  std::size_t N = B.size();
+  SolveResult Res;
+
+  std::vector<double> R(N), RHat(N), P(N), V(N, 0.0), S(N), T(N);
+  Kernel.run(X.data(), T.data());
+  for (std::size_t I = 0; I < N; ++I)
+    R[I] = B[I] - T[I];
+  RHat = R;
+  P = R;
+
+  double BNorm = norm2(B);
+  if (BNorm == 0.0)
+    BNorm = 1.0;
+  double Rho = dot(RHat, R);
+
+  for (int Iter = 0; Iter < Opts.MaxIterations; ++Iter) {
+    Res.Iterations = Iter + 1;
+    Kernel.run(P.data(), V.data());
+    double RHatV = dot(RHat, V);
+    if (RHatV == 0.0)
+      break;
+    double Alpha = Rho / RHatV;
+    for (std::size_t I = 0; I < N; ++I)
+      S[I] = R[I] - Alpha * V[I];
+    if (norm2(S) / BNorm < Opts.Tolerance) {
+      axpy(Alpha, P, X);
+      Res.Residual = norm2(S) / BNorm;
+      Res.Converged = true;
+      return Res;
+    }
+    Kernel.run(S.data(), T.data());
+    double TT = dot(T, T);
+    if (TT == 0.0)
+      break;
+    double Omega = dot(T, S) / TT;
+    for (std::size_t I = 0; I < N; ++I) {
+      X[I] += Alpha * P[I] + Omega * S[I];
+      R[I] = S[I] - Omega * T[I];
+    }
+    Res.Residual = norm2(R) / BNorm;
+    if (Res.Residual < Opts.Tolerance) {
+      Res.Converged = true;
+      return Res;
+    }
+    double RhoNew = dot(RHat, R);
+    if (Omega == 0.0 || Rho == 0.0)
+      break;
+    double Beta = (RhoNew / Rho) * (Alpha / Omega);
+    for (std::size_t I = 0; I < N; ++I)
+      P[I] = R[I] + Beta * (P[I] - Omega * V[I]);
+    Rho = RhoNew;
+  }
+  return Res;
+}
+
+SolveResult jacobi(const SpmvKernel &Kernel, const std::vector<double> &Diag,
+                   const std::vector<double> &B, std::vector<double> &X,
+                   const SolverOptions &Opts) {
+  assert(X.size() == B.size() && Diag.size() == B.size() &&
+         "square system required");
+  std::size_t N = B.size();
+  SolveResult Res;
+  std::vector<double> Ax(N), Next(N);
+
+  for (int Iter = 0; Iter < Opts.MaxIterations; ++Iter) {
+    Res.Iterations = Iter + 1;
+    Kernel.run(X.data(), Ax.data());
+    double Delta = 0.0;
+    for (std::size_t I = 0; I < N; ++I) {
+      assert(Diag[I] != 0.0 && "Jacobi requires a nonzero diagonal");
+      // A x = (A - D) x + D x, so D^-1 (b - (A - D) x) = x + D^-1 (b - Ax).
+      Next[I] = X[I] + (B[I] - Ax[I]) / Diag[I];
+      Delta = std::max(Delta, std::fabs(Next[I] - X[I]));
+    }
+    X.swap(Next);
+    Res.Residual = Delta;
+    if (Delta < Opts.Tolerance) {
+      Res.Converged = true;
+      return Res;
+    }
+  }
+  return Res;
+}
+
+SolveResult powerIteration(const SpmvKernel &Kernel, double &Eigenvalue,
+                           std::vector<double> &Eigenvector,
+                           const SolverOptions &Opts) {
+  assert(!Eigenvector.empty() && "seed the eigenvector with the dimension");
+  std::size_t N = Eigenvector.size();
+  SolveResult Res;
+
+  // Deterministic non-degenerate seed if the caller passed zeros.
+  double Norm = norm2(Eigenvector);
+  if (Norm == 0.0) {
+    for (std::size_t I = 0; I < N; ++I)
+      Eigenvector[I] = 1.0 + 0.001 * static_cast<double>(I % 97);
+    Norm = norm2(Eigenvector);
+  }
+  for (double &V : Eigenvector)
+    V /= Norm;
+
+  std::vector<double> Next(N);
+  Eigenvalue = 0.0;
+  for (int Iter = 0; Iter < Opts.MaxIterations; ++Iter) {
+    Res.Iterations = Iter + 1;
+    Kernel.run(Eigenvector.data(), Next.data());
+    // Rayleigh quotient with the normalized iterate.
+    double Lambda = dot(Eigenvector, Next);
+    double NextNorm = norm2(Next);
+    if (NextNorm == 0.0)
+      break; // A annihilated the iterate.
+    for (std::size_t I = 0; I < N; ++I)
+      Eigenvector[I] = Next[I] / NextNorm;
+    Res.Residual = std::fabs(Lambda - Eigenvalue);
+    Eigenvalue = Lambda;
+    if (Iter > 0 &&
+        Res.Residual < Opts.Tolerance * std::max(1.0, std::fabs(Lambda))) {
+      Res.Converged = true;
+      return Res;
+    }
+  }
+  return Res;
+}
+
+SolveResult pageRank(const SpmvKernel &Kernel, std::vector<double> &Ranks,
+                     double Damping, const SolverOptions &Opts) {
+  assert(!Ranks.empty() && "size the rank vector with the vertex count");
+  std::size_t N = Ranks.size();
+  SolveResult Res;
+  for (double &R : Ranks)
+    R = 1.0 / static_cast<double>(N);
+  std::vector<double> Next(N);
+
+  for (int Iter = 0; Iter < Opts.MaxIterations; ++Iter) {
+    Res.Iterations = Iter + 1;
+    Kernel.run(Ranks.data(), Next.data());
+    double Sum = 0.0;
+    for (std::size_t I = 0; I < N; ++I) {
+      Next[I] = Damping * Next[I] + (1.0 - Damping) / N;
+      Sum += Next[I];
+    }
+    // Dangling vertices leak rank mass; redistribute it uniformly.
+    double Leak = (1.0 - Sum) / N;
+    double Delta = 0.0;
+    for (std::size_t I = 0; I < N; ++I) {
+      Next[I] += Leak;
+      Delta += std::fabs(Next[I] - Ranks[I]);
+    }
+    Ranks.swap(Next);
+    Res.Residual = Delta;
+    if (Delta < Opts.Tolerance) {
+      Res.Converged = true;
+      return Res;
+    }
+  }
+  return Res;
+}
+
+} // namespace cvr

@@ -1,0 +1,78 @@
+//===- solvers/Solvers.h - Iterative solvers over SpMV kernels --*- C++ -*-===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The downstream workloads the paper motivates ("large-size linear systems
+/// and eigenvalue problems ... heavily rely on SpMV", Section 1), built on
+/// the common SpmvKernel interface so any format — CVR included — can drive
+/// them: conjugate gradient and BiCGSTAB linear solvers, Jacobi iteration,
+/// power iteration for the dominant eigenpair, and PageRank.
+///
+/// All solvers are deterministic given their inputs and report convergence
+/// explicitly; none of them allocates per iteration.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVR_SOLVERS_SOLVERS_H
+#define CVR_SOLVERS_SOLVERS_H
+
+#include "formats/SpmvKernel.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace cvr {
+
+/// Outcome of an iterative solve.
+struct SolveResult {
+  bool Converged = false;
+  int Iterations = 0;
+  double Residual = 0.0; ///< Solver-specific final residual measure.
+};
+
+/// Common iteration controls.
+struct SolverOptions {
+  int MaxIterations = 1000;
+  double Tolerance = 1e-10; ///< Relative residual target.
+};
+
+/// Conjugate gradient for symmetric positive-definite A: solves A x = b.
+/// \p Kernel must be prepared on a square SPD matrix. \p X holds the
+/// initial guess on entry and the solution on exit. The residual reported
+/// is ||r|| / ||b||.
+SolveResult conjugateGradient(const SpmvKernel &Kernel,
+                              const std::vector<double> &B,
+                              std::vector<double> &X,
+                              const SolverOptions &Opts = {});
+
+/// BiCGSTAB for general square A: solves A x = b without requiring
+/// symmetry. Residual reported is ||r|| / ||b||.
+SolveResult biCgStab(const SpmvKernel &Kernel, const std::vector<double> &B,
+                     std::vector<double> &X, const SolverOptions &Opts = {});
+
+/// Jacobi iteration x <- D^-1 (b - (A - D) x) for diagonally dominant A.
+/// \p Diag must hold the matrix diagonal (all entries nonzero). Residual
+/// reported is ||x_new - x_old||_inf.
+SolveResult jacobi(const SpmvKernel &Kernel, const std::vector<double> &Diag,
+                   const std::vector<double> &B, std::vector<double> &X,
+                   const SolverOptions &Opts = {});
+
+/// Power iteration: dominant eigenvalue (by magnitude) and eigenvector of a
+/// square A. \p Eigenvector is seeded internally if empty. Residual is the
+/// eigenvalue change between the last two iterations.
+SolveResult powerIteration(const SpmvKernel &Kernel, double &Eigenvalue,
+                           std::vector<double> &Eigenvector,
+                           const SolverOptions &Opts = {});
+
+/// PageRank over a column-stochastic transition kernel (see
+/// examples/pagerank.cpp for building one): r <- d*M*r + (1-d)/n with
+/// uniform redistribution of dangling mass. Residual is the L1 rank change.
+SolveResult pageRank(const SpmvKernel &Kernel, std::vector<double> &Ranks,
+                     double Damping = 0.85, const SolverOptions &Opts = {});
+
+} // namespace cvr
+
+#endif // CVR_SOLVERS_SOLVERS_H

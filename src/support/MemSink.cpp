@@ -1,0 +1,13 @@
+//===- support/MemSink.cpp - Virtual anchor for the trace sink ------------===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/MemSink.h"
+
+namespace cvr {
+
+MemAccessSink::~MemAccessSink() = default;
+
+} // namespace cvr

@@ -1,0 +1,36 @@
+//===- support/MemSink.h - Memory access trace sink -------------*- C++ -*-===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interface through which traced SpMV kernels report the memory references
+/// their real kernels would issue. The cache simulator implements it to
+/// reproduce the paper's L2 miss-ratio measurements (Figures 1 and 7)
+/// without hardware performance counters.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVR_SUPPORT_MEMSINK_H
+#define CVR_SUPPORT_MEMSINK_H
+
+#include <cstddef>
+
+namespace cvr {
+
+/// Receives the byte-accurate load/store stream of a traced kernel.
+class MemAccessSink {
+public:
+  virtual ~MemAccessSink();
+
+  /// A load of \p Bytes bytes starting at \p P.
+  virtual void read(const void *P, std::size_t Bytes) = 0;
+
+  /// A store of \p Bytes bytes starting at \p P.
+  virtual void write(const void *P, std::size_t Bytes) = 0;
+};
+
+} // namespace cvr
+
+#endif // CVR_SUPPORT_MEMSINK_H

@@ -1,0 +1,49 @@
+//===- support/PrefixSum.h - Exclusive prefix sums --------------*- C++ -*-===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exclusive prefix-sum helpers used when building CSR row pointers and the
+/// per-slice offsets of the blocked formats (ESB, CSR5, VHCC).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVR_SUPPORT_PREFIXSUM_H
+#define CVR_SUPPORT_PREFIXSUM_H
+
+#include <cassert>
+#include <cstddef>
+
+namespace cvr {
+
+/// In-place exclusive prefix sum over \p Xs[0..N]: on return Xs[i] holds the
+/// sum of the original Xs[0..i-1] and Xs[N] the grand total. The buffer must
+/// have N+1 elements with Xs[N] ignored on input.
+template <typename T> void exclusivePrefixSum(T *Xs, std::size_t N) {
+  assert(Xs && "null buffer");
+  T Running = 0;
+  for (std::size_t I = 0; I < N; ++I) {
+    T V = Xs[I];
+    Xs[I] = Running;
+    Running += V;
+  }
+  Xs[N] = Running;
+}
+
+/// Out-of-place exclusive prefix sum: Out[i] = sum of In[0..i-1], and
+/// Out[N] = total. \p Out must have room for N+1 elements.
+template <typename T>
+void exclusivePrefixSum(const T *In, T *Out, std::size_t N) {
+  T Running = 0;
+  for (std::size_t I = 0; I < N; ++I) {
+    Out[I] = Running;
+    Running += In[I];
+  }
+  Out[N] = Running;
+}
+
+} // namespace cvr
+
+#endif // CVR_SUPPORT_PREFIXSUM_H

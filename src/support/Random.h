@@ -1,0 +1,103 @@
+//===- support/Random.h - Deterministic fast PRNGs --------------*- C++ -*-===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SplitMix64 and Xoshiro256** pseudo-random generators. All synthetic
+/// dataset generators seed from these so that every experiment in the paper
+/// reproduction is bit-for-bit deterministic across runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVR_SUPPORT_RANDOM_H
+#define CVR_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace cvr {
+
+/// SplitMix64: tiny generator used to expand a 64-bit seed into the state of
+/// larger generators. Passes BigCrush when used directly as well.
+class SplitMix64 {
+public:
+  explicit SplitMix64(std::uint64_t Seed) : State(Seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t Z = (State += 0x9E3779B97F4A7C15ULL);
+    Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBULL;
+    return Z ^ (Z >> 31);
+  }
+
+private:
+  std::uint64_t State;
+};
+
+/// Xoshiro256**: the workhorse generator for all dataset synthesis.
+class Xoshiro256 {
+public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t Seed) {
+    SplitMix64 SM(Seed);
+    for (auto &W : S)
+      W = SM.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    std::uint64_t Result = rotl(S[1] * 5, 7) * 9;
+    std::uint64_t T = S[1] << 17;
+    S[2] ^= S[0];
+    S[3] ^= S[1];
+    S[1] ^= S[2];
+    S[0] ^= S[3];
+    S[2] ^= T;
+    S[3] = rotl(S[3], 45);
+    return Result;
+  }
+
+  /// Uniform integer in [0, Bound). \p Bound must be nonzero.
+  std::uint64_t nextBounded(std::uint64_t Bound) {
+    assert(Bound != 0 && "nextBounded(0) is meaningless");
+    // Lemire's multiply-shift rejection method.
+    std::uint64_t X = next();
+    __uint128_t M = static_cast<__uint128_t>(X) * Bound;
+    std::uint64_t L = static_cast<std::uint64_t>(M);
+    if (L < Bound) {
+      std::uint64_t Threshold = (0 - Bound) % Bound;
+      while (L < Threshold) {
+        X = next();
+        M = static_cast<__uint128_t>(X) * Bound;
+        L = static_cast<std::uint64_t>(M);
+      }
+    }
+    return static_cast<std::uint64_t>(M >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() { return (next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [Lo, Hi).
+  double nextDouble(double Lo, double Hi) {
+    return Lo + (Hi - Lo) * nextDouble();
+  }
+
+private:
+  static std::uint64_t rotl(std::uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+
+  std::uint64_t S[4];
+};
+
+} // namespace cvr
+
+#endif // CVR_SUPPORT_RANDOM_H

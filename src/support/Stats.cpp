@@ -1,0 +1,94 @@
+//===- support/Stats.cpp - Summary statistics -----------------------------===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace cvr {
+
+double mean(const std::vector<double> &Xs) {
+  if (Xs.empty())
+    return 0.0;
+  double Sum = 0.0;
+  for (double X : Xs)
+    Sum += X;
+  return Sum / static_cast<double>(Xs.size());
+}
+
+double median(std::vector<double> Xs) {
+  if (Xs.empty())
+    return 0.0;
+  std::size_t Mid = Xs.size() / 2;
+  std::nth_element(Xs.begin(), Xs.begin() + Mid, Xs.end());
+  double Hi = Xs[Mid];
+  if (Xs.size() % 2 == 1)
+    return Hi;
+  double Lo = *std::max_element(Xs.begin(), Xs.begin() + Mid);
+  return 0.5 * (Lo + Hi);
+}
+
+double geomean(const std::vector<double> &Xs) {
+  double LogSum = 0.0;
+  std::size_t N = 0;
+  for (double X : Xs) {
+    if (X <= 0.0 || !std::isfinite(X))
+      continue;
+    LogSum += std::log(X);
+    ++N;
+  }
+  if (N == 0)
+    return 0.0;
+  return std::exp(LogSum / static_cast<double>(N));
+}
+
+double minOf(const std::vector<double> &Xs) {
+  if (Xs.empty())
+    return 0.0;
+  return *std::min_element(Xs.begin(), Xs.end());
+}
+
+double maxOf(const std::vector<double> &Xs) {
+  if (Xs.empty())
+    return 0.0;
+  return *std::max_element(Xs.begin(), Xs.end());
+}
+
+double stddev(const std::vector<double> &Xs) {
+  if (Xs.size() < 2)
+    return 0.0;
+  double M = mean(Xs);
+  double Acc = 0.0;
+  for (double X : Xs)
+    Acc += (X - M) * (X - M);
+  return std::sqrt(Acc / static_cast<double>(Xs.size()));
+}
+
+double medianWithInfinities(const std::vector<double> &Xs) {
+  if (Xs.empty())
+    return 0.0;
+  std::vector<double> Finite;
+  Finite.reserve(Xs.size());
+  for (double X : Xs)
+    if (std::isfinite(X))
+      Finite.push_back(X);
+  // Infinite entries sort above every finite one, so the overall median is
+  // the k-th smallest finite value with k chosen over the full sample size;
+  // if that position falls into the infinite block, the median is infinite.
+  std::size_t Mid = Xs.size() / 2;
+  if (Mid >= Finite.size())
+    return std::numeric_limits<double>::infinity();
+  std::nth_element(Finite.begin(), Finite.begin() + Mid, Finite.end());
+  double Hi = Finite[Mid];
+  if (Xs.size() % 2 == 1)
+    return Hi;
+  double Lo = *std::max_element(Finite.begin(), Finite.begin() + Mid);
+  return 0.5 * (Lo + Hi);
+}
+
+} // namespace cvr

@@ -1,0 +1,49 @@
+//===- support/Stats.h - Summary statistics ---------------------*- C++ -*-===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Mean / median / geometric mean / min / max over samples. The paper reports
+/// per-domain arithmetic means (Table 3, Figures 1 and 7) and the median
+/// amortization count (Table 1); these helpers back those aggregations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVR_SUPPORT_STATS_H
+#define CVR_SUPPORT_STATS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace cvr {
+
+/// Arithmetic mean; 0 for an empty sample.
+double mean(const std::vector<double> &Xs);
+
+/// Median (average of the two middle elements for even sizes); 0 for an
+/// empty sample. Does not modify the input.
+double median(std::vector<double> Xs);
+
+/// Geometric mean over strictly positive samples; 0 for an empty sample.
+/// Non-positive entries are skipped (they would make the product undefined).
+double geomean(const std::vector<double> &Xs);
+
+/// Smallest element; 0 for an empty sample.
+double minOf(const std::vector<double> &Xs);
+
+/// Largest element; 0 for an empty sample.
+double maxOf(const std::vector<double> &Xs);
+
+/// Population standard deviation; 0 for samples of size < 2.
+double stddev(const std::vector<double> &Xs);
+
+/// Median of only the finite entries of \p Xs (infinities model the paper's
+/// "never amortizes" entries in Tables 1 and 4); +inf if more than half of
+/// the entries are infinite, 0 if empty.
+double medianWithInfinities(const std::vector<double> &Xs);
+
+} // namespace cvr
+
+#endif // CVR_SUPPORT_STATS_H

@@ -1,0 +1,118 @@
+//===- support/Table.cpp - Plain-text table rendering ---------------------===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace cvr {
+
+void TextTable::setHeader(std::vector<std::string> Cells) {
+  Header = std::move(Cells);
+}
+
+void TextTable::addRow(std::vector<std::string> Cells) {
+  Rows.push_back({std::move(Cells), /*Separator=*/false});
+}
+
+void TextTable::addSeparator() { Rows.push_back({{}, /*Separator=*/true}); }
+
+std::string TextTable::fmt(double V, int Digits) {
+  if (std::isinf(V))
+    return V > 0 ? "inf" : "-inf";
+  if (std::isnan(V))
+    return "nan";
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Digits, V);
+  return Buf;
+}
+
+bool TextTable::looksNumeric(const std::string &S) {
+  if (S.empty())
+    return false;
+  bool SawDigit = false;
+  for (char C : S) {
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      SawDigit = true;
+      continue;
+    }
+    if (C == '.' || C == '-' || C == '+' || C == 'e' || C == 'E' || C == 'x' ||
+        C == '%')
+      continue;
+    if (S == "inf" || S == "-inf" || S == "nan")
+      return true;
+    return false;
+  }
+  return SawDigit;
+}
+
+void TextTable::print(std::ostream &OS) const {
+  std::size_t Cols = Header.size();
+  for (const Row &R : Rows)
+    Cols = std::max(Cols, R.Cells.size());
+
+  std::vector<std::size_t> Width(Cols, 0);
+  auto Measure = [&](const std::vector<std::string> &Cells) {
+    for (std::size_t I = 0; I < Cells.size(); ++I)
+      Width[I] = std::max(Width[I], Cells[I].size());
+  };
+  Measure(Header);
+  for (const Row &R : Rows)
+    if (!R.Separator)
+      Measure(R.Cells);
+
+  auto Emit = [&](const std::vector<std::string> &Cells) {
+    for (std::size_t I = 0; I < Cols; ++I) {
+      std::string Cell = I < Cells.size() ? Cells[I] : std::string();
+      std::size_t Pad = Width[I] - Cell.size();
+      // Right-align numbers so magnitude comparisons read naturally.
+      if (looksNumeric(Cell))
+        OS << std::string(Pad, ' ') << Cell;
+      else
+        OS << Cell << std::string(Pad, ' ');
+      if (I + 1 != Cols)
+        OS << "  ";
+    }
+    OS << '\n';
+  };
+
+  std::size_t Total = 0;
+  for (std::size_t W : Width)
+    Total += W;
+  Total += Cols >= 1 ? (Cols - 1) * 2 : 0;
+
+  if (!Header.empty()) {
+    Emit(Header);
+    OS << std::string(Total, '-') << '\n';
+  }
+  for (const Row &R : Rows) {
+    if (R.Separator)
+      OS << std::string(Total, '-') << '\n';
+    else
+      Emit(R.Cells);
+  }
+}
+
+void TextTable::printCsv(std::ostream &OS) const {
+  auto Emit = [&](const std::vector<std::string> &Cells) {
+    for (std::size_t I = 0; I < Cells.size(); ++I) {
+      if (I != 0)
+        OS << ',';
+      OS << Cells[I];
+    }
+    OS << '\n';
+  };
+  if (!Header.empty())
+    Emit(Header);
+  for (const Row &R : Rows)
+    if (!R.Separator)
+      Emit(R.Cells);
+}
+
+} // namespace cvr

@@ -1,0 +1,61 @@
+//===- support/Table.h - Plain-text table rendering -------------*- C++ -*-===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Column-aligned plain-text tables. Every bench binary in this project
+/// emits one table per paper table/figure; TextTable keeps the output
+/// readable and diffable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVR_SUPPORT_TABLE_H
+#define CVR_SUPPORT_TABLE_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cvr {
+
+/// Accumulates rows of strings and prints them with aligned columns.
+class TextTable {
+public:
+  /// Sets the header row. Implicitly defines the column count; rows with
+  /// more cells extend the table, shorter rows are padded with blanks.
+  void setHeader(std::vector<std::string> Cells);
+
+  /// Appends one data row.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Appends a horizontal separator line.
+  void addSeparator();
+
+  /// Renders with two-space column gaps; numeric-looking cells are
+  /// right-aligned, text cells left-aligned.
+  void print(std::ostream &OS) const;
+
+  /// Renders as comma-separated values (no alignment, no separators).
+  void printCsv(std::ostream &OS) const;
+
+  /// Formats a double with \p Digits digits after the point; infinities
+  /// render as "inf".
+  static std::string fmt(double V, int Digits = 2);
+
+private:
+  struct Row {
+    std::vector<std::string> Cells;
+    bool Separator = false;
+  };
+
+  static bool looksNumeric(const std::string &S);
+
+  std::vector<std::string> Header;
+  std::vector<Row> Rows;
+};
+
+} // namespace cvr
+
+#endif // CVR_SUPPORT_TABLE_H

@@ -1,0 +1,43 @@
+//===- support/Timer.h - Wall-clock timing helpers --------------*- C++ -*-===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Steady-clock stopwatch used by the benchmark harness for preprocessing
+/// and per-iteration SpMV timing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVR_SUPPORT_TIMER_H
+#define CVR_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace cvr {
+
+/// Simple stopwatch over std::chrono::steady_clock.
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { Start = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last reset().
+  double millis() const { return seconds() * 1e3; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace cvr
+
+#endif // CVR_SUPPORT_TIMER_H

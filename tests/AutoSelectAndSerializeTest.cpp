@@ -1,0 +1,138 @@
+//===- tests/AutoSelectAndSerializeTest.cpp - Advisor & blob I/O ----------===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Cvr.h"
+#include "formats/AutoSelect.h"
+
+#include "TestUtil.h"
+#include "gen/Generators.h"
+#include "matrix/MatrixStats.h"
+#include "matrix/Reference.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace cvr {
+namespace {
+
+using test::randomVector;
+
+// --- AutoSelect -------------------------------------------------------------
+
+TEST(AutoSelect, FewIterationsStayOnCsr) {
+  MatrixStats S = computeStats(genRmat(10, 8, 1));
+  EXPECT_EQ(adviseFormat(S, 3).Format, FormatId::Mkl);
+  EXPECT_NE(adviseFormat(S, 1000).Format, FormatId::Mkl);
+}
+
+TEST(AutoSelect, ScaleFreeGetsCvr) {
+  MatrixStats S = computeStats(genRmat(12, 8, 2));
+  FormatAdvice A = adviseFormat(S);
+  EXPECT_EQ(A.Format, FormatId::Cvr);
+  EXPECT_FALSE(A.Reason.empty());
+}
+
+TEST(AutoSelect, ShortFatRectangleGetsVhcc) {
+  MatrixStats S = computeStats(genShortFat(16, 20000, 1000, 3));
+  EXPECT_EQ(adviseFormat(S).Format, FormatId::Vhcc);
+}
+
+TEST(AutoSelect, RegularStencilGetsEsb) {
+  // Interior-dominated stencil: near-constant row lengths.
+  MatrixStats S = computeStats(genStencil27(20, 20, 20));
+  EXPECT_EQ(adviseFormat(S).Format, FormatId::Esb);
+}
+
+TEST(AutoSelect, EmptyRowMatrixGetsCvr) {
+  MatrixStats S = computeStats(genPowerLaw(5000, 5000, 2.0, 1.5, 4));
+  EXPECT_EQ(adviseFormat(S).Format, FormatId::Cvr);
+}
+
+// --- Serialization ------------------------------------------------------------
+
+TEST(CvrSerialize, RoundTripPreservesResults) {
+  CsrMatrix A = genRmat(10, 9, 71);
+  CvrOptions Opts;
+  Opts.NumThreads = 3;
+  CvrMatrix M = CvrMatrix::fromCsr(A, Opts);
+
+  std::stringstream Blob;
+  ASSERT_TRUE(M.writeBinary(Blob));
+
+  CvrMatrix Loaded;
+  ASSERT_TRUE(CvrMatrix::readBinary(Blob, Loaded));
+  EXPECT_EQ(Loaded.numRows(), M.numRows());
+  EXPECT_EQ(Loaded.numCols(), M.numCols());
+  EXPECT_EQ(Loaded.numNonZeros(), M.numNonZeros());
+  EXPECT_EQ(Loaded.numChunks(), M.numChunks());
+  EXPECT_TRUE(Loaded.isValid());
+
+  std::vector<double> X =
+      randomVector(static_cast<std::size_t>(A.numCols()), 9);
+  std::vector<double> Y1(static_cast<std::size_t>(A.numRows()));
+  std::vector<double> Y2(static_cast<std::size_t>(A.numRows()));
+  cvrSpmv(M, X.data(), Y1.data());
+  cvrSpmv(Loaded, X.data(), Y2.data());
+  EXPECT_EQ(maxAbsDiff(Y1, Y2), 0.0);
+}
+
+TEST(CvrSerialize, RoundTripEmptyMatrix) {
+  CvrMatrix M = CvrMatrix::fromCsr(CsrMatrix::emptyOfShape(5, 5));
+  std::stringstream Blob;
+  ASSERT_TRUE(M.writeBinary(Blob));
+  CvrMatrix Loaded;
+  ASSERT_TRUE(CvrMatrix::readBinary(Blob, Loaded));
+  EXPECT_EQ(Loaded.numNonZeros(), 0);
+}
+
+TEST(CvrSerialize, RejectsBadMagic) {
+  std::stringstream Blob("XXXXgarbage");
+  CvrMatrix M;
+  EXPECT_FALSE(CvrMatrix::readBinary(Blob, M));
+}
+
+TEST(CvrSerialize, RejectsTruncatedBlob) {
+  CvrMatrix M = CvrMatrix::fromCsr(genRmat(8, 6, 3));
+  std::stringstream Blob;
+  ASSERT_TRUE(M.writeBinary(Blob));
+  std::string Full = Blob.str();
+  for (std::size_t Cut : {4ul, 16ul, Full.size() / 2, Full.size() - 1}) {
+    std::stringstream Truncated(Full.substr(0, Cut));
+    CvrMatrix Out;
+    EXPECT_FALSE(CvrMatrix::readBinary(Truncated, Out))
+        << "cut at " << Cut;
+  }
+}
+
+TEST(CvrSerialize, RejectsCorruptedChunkOffsets) {
+  CvrMatrix M = CvrMatrix::fromCsr(genRmat(8, 6, 4));
+  std::stringstream Blob;
+  ASSERT_TRUE(M.writeBinary(Blob));
+  std::string Bytes = Blob.str();
+  // Flip high bits late in the blob (the chunk table region) and require
+  // either a clean reject or a still-valid load — never a crash.
+  for (std::size_t I = Bytes.size() - 64; I < Bytes.size(); I += 8) {
+    std::string Mutated = Bytes;
+    Mutated[I] = static_cast<char>(Mutated[I] ^ 0x7F);
+    std::stringstream In(Mutated);
+    CvrMatrix Out;
+    if (CvrMatrix::readBinary(In, Out))
+      EXPECT_TRUE(Out.isValid());
+  }
+}
+
+TEST(CvrSerialize, BlobIsReasonablySized) {
+  CsrMatrix A = genRmat(10, 8, 5);
+  CvrMatrix M = CvrMatrix::fromCsr(A);
+  std::stringstream Blob;
+  ASSERT_TRUE(M.writeBinary(Blob));
+  // Blob ~ formatBytes plus small headers.
+  EXPECT_LT(Blob.str().size(), M.formatBytes() + 256);
+}
+
+} // namespace
+} // namespace cvr

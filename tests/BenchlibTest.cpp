@@ -1,0 +1,101 @@
+//===- tests/BenchlibTest.cpp - Harness & equations tests -----------------===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchlib/Equations.h"
+#include "benchlib/Measure.h"
+#include "benchlib/SuiteRunner.h"
+
+#include "gen/Generators.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cvr {
+namespace {
+
+TEST(Equations, Gflops) {
+  // 1e9 nnz at 2 flops each in one second = 2 GFlop/s.
+  EXPECT_DOUBLE_EQ(spmvGflops(1000000000, 1.0), 2.0);
+  EXPECT_EQ(spmvGflops(100, 0.0), 0.0);
+}
+
+TEST(Equations, IpreMatchesHandComputation) {
+  // T_pre = 10, MKL = 2, new = 1 -> 10 iterations to amortize.
+  EXPECT_DOUBLE_EQ(iterationsToAmortize(10.0, 2.0, 1.0), 10.0);
+}
+
+TEST(Equations, IpreInfiniteWhenNotFaster) {
+  EXPECT_TRUE(std::isinf(iterationsToAmortize(1.0, 2.0, 2.0)));
+  EXPECT_TRUE(std::isinf(iterationsToAmortize(1.0, 2.0, 3.0)));
+}
+
+TEST(Equations, IpreZeroPreprocessing) {
+  EXPECT_DOUBLE_EQ(iterationsToAmortize(0.0, 2.0, 1.0), 0.0);
+}
+
+TEST(Equations, OverallSpeedupLimits) {
+  // With no preprocessing the speedup is just the per-iteration ratio.
+  EXPECT_DOUBLE_EQ(overallSpeedup(100, 2.0, 0.0, 1.0), 2.0);
+  // Preprocessing drags it below that ratio, more at small n.
+  double AtSmallN = overallSpeedup(10, 2.0, 50.0, 1.0);
+  double AtLargeN = overallSpeedup(1000, 2.0, 50.0, 1.0);
+  EXPECT_LT(AtSmallN, AtLargeN);
+  EXPECT_LT(AtLargeN, 2.0);
+}
+
+TEST(Measure, ProducesSaneNumbers) {
+  CsrMatrix A = genStencil5(30, 30);
+  MeasureConfig Cfg;
+  Cfg.MinSeconds = 0.001;
+  Cfg.MinIterations = 2;
+  Cfg.TimingBlocks = 1;
+  Cfg.PrepareRepeats = 1;
+  Measurement M =
+      measureVariant(variantsOf(FormatId::Cvr, 1).front(), A, Cfg);
+  EXPECT_GT(M.SecondsPerIteration, 0.0);
+  EXPECT_GT(M.Gflops, 0.0);
+  EXPECT_GE(M.PreprocessSeconds, 0.0);
+  EXPECT_LE(M.MaxRelError, 1e-8);
+  EXPECT_GT(M.FormatBytes, 0u);
+}
+
+TEST(Measure, BestOfPicksFastestVariant) {
+  CsrMatrix A = genShortFat(8, 3000, 400, 12);
+  MeasureConfig Cfg;
+  Cfg.MinSeconds = 0.001;
+  Cfg.MinIterations = 2;
+  Cfg.TimingBlocks = 1;
+  Cfg.PrepareRepeats = 1;
+  Measurement Best = measureBestOf(FormatId::Vhcc, A, Cfg);
+  // Must report one of the registered variant names.
+  bool Known = false;
+  for (const KernelVariant &V : variantsOf(FormatId::Vhcc, 1))
+    Known |= V.VariantName == Best.VariantName;
+  EXPECT_TRUE(Known) << Best.VariantName;
+}
+
+TEST(SuiteRunner, RunsSmokeSubsetEndToEnd) {
+  SuiteOptions Opts;
+  Opts.Measure.MinSeconds = 0.0005;
+  Opts.Measure.MinIterations = 1;
+  Opts.Measure.TimingBlocks = 1;
+  Opts.Measure.PrepareRepeats = 1;
+  Opts.Formats = {FormatId::Mkl, FormatId::Cvr};
+  std::vector<MatrixResult> Results = runSuite(smokeSuite(0.12), Opts);
+  ASSERT_EQ(Results.size(), 8u);
+  for (const MatrixResult &R : Results) {
+    EXPECT_EQ(R.ByFormat.size(), 2u) << R.Name;
+    EXPECT_GT(R.ByFormat.at(FormatId::Cvr).Best.Gflops, 0.0) << R.Name;
+    EXPECT_GT(R.Stats.Nnz, 0) << R.Name;
+  }
+  double M = domainMean(Results, Domain::Road, FormatId::Cvr,
+                        [](const FormatResult &F) { return F.Best.Gflops; });
+  EXPECT_GT(M, 0.0);
+}
+
+} // namespace
+} // namespace cvr

@@ -1,0 +1,229 @@
+//===- tests/CacheSimTest.cpp - Cache simulator & locality tests ----------===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cachesim/CacheSim.h"
+#include "cachesim/LocalityProbe.h"
+
+#include "TestUtil.h"
+#include "core/Cvr.h"
+#include "formats/Registry.h"
+#include "gen/Generators.h"
+#include "matrix/Reference.h"
+
+#include <gtest/gtest.h>
+
+namespace cvr {
+namespace {
+
+using test::randomVector;
+using test::SpmvTolerance;
+
+// --- SetAssocCache ----------------------------------------------------------
+
+TEST(SetAssocCache, ColdMissThenHit) {
+  SetAssocCache C({1024, 2, 64}); // 8 sets x 2 ways
+  EXPECT_FALSE(C.accessLine(5));
+  EXPECT_TRUE(C.accessLine(5));
+  EXPECT_EQ(C.misses(), 1u);
+  EXPECT_EQ(C.hits(), 1u);
+}
+
+TEST(SetAssocCache, LruEvictsOldest) {
+  SetAssocCache C({128, 2, 64}); // 1 set, 2 ways: lines 0,1,2 conflict
+  C.accessLine(0);
+  C.accessLine(1);
+  C.accessLine(0);  // 0 is now MRU
+  C.accessLine(2);  // evicts 1 (LRU)
+  EXPECT_TRUE(C.accessLine(0));
+  EXPECT_FALSE(C.accessLine(1)); // was evicted
+}
+
+TEST(SetAssocCache, DistinctSetsDontConflict) {
+  SetAssocCache C({2048, 2, 64}); // 16 sets
+  // Same tag bits, different sets.
+  for (std::uint64_t L = 0; L < 16; ++L)
+    EXPECT_FALSE(C.accessLine(L));
+  for (std::uint64_t L = 0; L < 16; ++L)
+    EXPECT_TRUE(C.accessLine(L));
+}
+
+TEST(SetAssocCache, TagDisambiguation) {
+  SetAssocCache C({1024, 2, 64}); // 8 sets
+  // Lines 0, 8, 16 map to set 0 with different tags.
+  C.accessLine(0);
+  C.accessLine(8);
+  EXPECT_TRUE(C.accessLine(0));
+  EXPECT_TRUE(C.accessLine(8));
+  C.accessLine(16); // evicts 0 (LRU after the two hits? no: 0 was re-hit)
+  // After hits: order 0 (older), 8... re-hit made 0 MRU at its hit, then 8
+  // hit makes 8 MRU; 16 evicts 0.
+  EXPECT_FALSE(C.accessLine(0));
+}
+
+TEST(SetAssocCache, MissRatio) {
+  SetAssocCache C({1024, 2, 64});
+  C.accessLine(1);
+  C.accessLine(1);
+  C.accessLine(1);
+  C.accessLine(1);
+  EXPECT_DOUBLE_EQ(C.missRatio(), 0.25);
+  C.resetStats();
+  EXPECT_EQ(C.accesses(), 0u);
+}
+
+// --- MemoryHierarchy ---------------------------------------------------------
+
+TEST(MemoryHierarchy, L1HitsNeverReachL2) {
+  MemoryHierarchy H;
+  alignas(64) double Buf[8];
+  H.read(Buf, 64);
+  std::uint64_t L2AfterFirst = H.l2().accesses();
+  for (int I = 0; I < 10; ++I)
+    H.read(Buf, 64);
+  EXPECT_EQ(H.l2().accesses(), L2AfterFirst)
+      << "L1-resident lines must not touch L2";
+}
+
+TEST(MemoryHierarchy, StraddlingAccessTouchesTwoLines) {
+  MemoryHierarchy H;
+  alignas(64) char Buf[128];
+  H.read(Buf + 60, 8); // crosses the line boundary
+  EXPECT_EQ(H.l1().accesses(), 2u);
+}
+
+TEST(MemoryHierarchy, StreamingLargeBufferMissesWithoutPrefetcher) {
+  MemoryHierarchy H({4 * 1024, 8, 64}, {64 * 1024, 16, 64},
+                    /*StreamPrefetch=*/false);
+  std::vector<char> Big(4 * 1024 * 1024);
+  // Two streaming passes: the second still misses everywhere because the
+  // buffer exceeds L2 capacity.
+  for (int Pass = 0; Pass < 2; ++Pass)
+    for (std::size_t I = 0; I < Big.size(); I += 64)
+      H.read(Big.data() + I, 8);
+  EXPECT_GT(H.l2().missRatio(), 0.95);
+}
+
+TEST(MemoryHierarchy, PrefetcherHidesStreamingMisses) {
+  // The same huge streaming pass with the prefetcher on: nearly every
+  // demand access finds its line already prefetched into L2 — the property
+  // that makes the hardware L2 miss ratio an x-locality metric.
+  MemoryHierarchy H({4 * 1024, 8, 64}, {64 * 1024, 16, 64});
+  std::vector<char> Big(4 * 1024 * 1024);
+  for (std::size_t I = 0; I < Big.size(); I += 64)
+    H.read(Big.data() + I, 8);
+  EXPECT_LT(H.l2().missRatio(), 0.05);
+  EXPECT_GT(H.prefetchIssued(), 0u);
+}
+
+TEST(MemoryHierarchy, PrefetcherIgnoresRandomAccesses) {
+  MemoryHierarchy H({4 * 1024, 8, 64}, {64 * 1024, 16, 64});
+  std::vector<char> Big(8 * 1024 * 1024);
+  // A pseudo-random walk never confirms a stream; every access misses.
+  std::uint64_t P = 12345;
+  for (int I = 0; I < 20000; ++I) {
+    P = P * 6364136223846793005ULL + 1442695040888963407ULL;
+    H.read(Big.data() + (P % (Big.size() - 8)), 8);
+  }
+  EXPECT_GT(H.l2().missRatio(), 0.8);
+}
+
+TEST(MemoryHierarchy, SmallWorkingSetHitsAfterWarmup) {
+  MemoryHierarchy H({4 * 1024, 8, 64}, {64 * 1024, 16, 64},
+                    /*StreamPrefetch=*/false);
+  std::vector<char> Small(16 * 1024); // fits L2, not L1
+  for (std::size_t I = 0; I < Small.size(); I += 64)
+    H.read(Small.data() + I, 8);
+  H.resetStats();
+  for (std::size_t I = 0; I < Small.size(); I += 64)
+    H.read(Small.data() + I, 8);
+  EXPECT_LT(H.l2().missRatio(), 0.01);
+}
+
+// --- Kernel traces -----------------------------------------------------------
+
+/// Sink that only counts; used to verify trace-computed results.
+class CountingSink : public MemAccessSink {
+public:
+  void read(const void *, std::size_t Bytes) override { ReadBytes += Bytes; }
+  void write(const void *, std::size_t Bytes) override {
+    WriteBytes += Bytes;
+  }
+  std::size_t ReadBytes = 0;
+  std::size_t WriteBytes = 0;
+};
+
+class TraceMatchesRun : public ::testing::TestWithParam<FormatId> {};
+
+TEST_P(TraceMatchesRun, TraceComputesSameResult) {
+  // Each kernel's traceRun must produce the same y as run() — this pins the
+  // trace to the real algorithm rather than an idealized one.
+  CsrMatrix A = genRmat(9, 9, 77);
+  std::vector<double> X =
+      randomVector(static_cast<std::size_t>(A.numCols()), 5);
+  std::vector<double> Expected = referenceSpmv(A, X);
+
+  for (const KernelVariant &V : variantsOf(GetParam(), 1)) {
+    std::unique_ptr<SpmvKernel> K = V.Make();
+    K->prepare(A);
+    std::vector<double> Y(static_cast<std::size_t>(A.numRows()), -1.0);
+    CountingSink Sink;
+    ASSERT_TRUE(K->traceRun(Sink, X.data(), Y.data())) << V.VariantName;
+    EXPECT_LE(maxRelDiff(Expected, Y), SpmvTolerance) << V.VariantName;
+    // A trace must reference at least the value+index streams once.
+    EXPECT_GE(Sink.ReadBytes,
+              static_cast<std::size_t>(A.numNonZeros()) * 12)
+        << V.VariantName;
+    EXPECT_GT(Sink.WriteBytes, 0u) << V.VariantName;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFormats, TraceMatchesRun,
+                         ::testing::ValuesIn(allFormats()),
+                         [](const ::testing::TestParamInfo<FormatId> &I) {
+                           std::string N = formatName(I.param);
+                           for (char &C : N)
+                             if (!isalnum(static_cast<unsigned char>(C)))
+                               C = '_';
+                           return N;
+                         });
+
+TEST(LocalityProbe, CvrCompetitiveAndBeatsEsbOnScaleFree) {
+  // Figure 7's robust relationships at this scale: CVR's miss volume per
+  // nonzero is in the leading group (within 2x of the CSR baseline, which
+  // shares its access pattern but carries more auxiliary traffic) and
+  // clearly below ESB, whose sorting destroys row adjacency.
+  CsrMatrix A = genRmat(13, 8, 31);
+  auto Probe = [&](FormatId F) {
+    auto K = makeKernel(F, 1);
+    K->prepare(A);
+    LocalityResult L = probeLocality(*K, A);
+    EXPECT_TRUE(L.Supported);
+    return L;
+  };
+  LocalityResult Mkl = Probe(FormatId::Mkl);
+  LocalityResult Esb = Probe(FormatId::Esb);
+  LocalityResult Cvr = Probe(FormatId::Cvr);
+  EXPECT_LT(Cvr.MissesPerKnnz, 2.0 * Mkl.MissesPerKnnz);
+  EXPECT_LT(Cvr.MissesPerKnnz, Esb.MissesPerKnnz);
+}
+
+TEST(LocalityProbe, HpcMissesLessThanScaleFree) {
+  // Figure 1's main axis: for the same format, regular HPC matrices show a
+  // far lower L2 miss ratio than scale-free ones (their x gathers stay in
+  // a prefetch/cache-friendly window).
+  CsrMatrix ScaleFree = genPowerLaw(30000, 30000, 4.0, 1.5, 32);
+  CsrMatrix Hpc = genBanded(9000, 60, 25, 33);
+  auto K1 = makeKernel(FormatId::Mkl, 1);
+  K1->prepare(ScaleFree);
+  auto K2 = makeKernel(FormatId::Mkl, 1);
+  K2->prepare(Hpc);
+  LocalityResult Sf = probeLocality(*K1, ScaleFree);
+  LocalityResult Es = probeLocality(*K2, Hpc);
+  EXPECT_GT(Sf.L2MissRatio, 10.0 * Es.L2MissRatio);
+}
+
+} // namespace
+} // namespace cvr

@@ -1,0 +1,132 @@
+//===- tests/CvrFloatTest.cpp - Single-precision CVR tests ----------------===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/CvrFloat.h"
+
+#include "TestUtil.h"
+#include "gen/Generators.h"
+#include "matrix/Coo.h"
+#include "matrix/Reference.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cvr {
+namespace {
+
+using test::randomVector;
+
+/// f32 comparison tolerance, scaled for accumulation length.
+constexpr double F32Tolerance = 5e-4;
+
+void expectF32MatchesReference(const CsrMatrix &A, const CvrOptionsF &Opts,
+                               const char *What) {
+  CvrMatrixF M = CvrMatrixF::fromCsr(A, Opts);
+  std::vector<double> Xd =
+      randomVector(static_cast<std::size_t>(A.numCols()), 77);
+  std::vector<float> X(Xd.begin(), Xd.end());
+  std::vector<double> Expected = referenceSpmv(A, Xd);
+  std::vector<float> Y(static_cast<std::size_t>(A.numRows()), -9.0f);
+  cvrSpmvF(M, X.data(), Y.data());
+  double Max = 0.0;
+  for (std::size_t I = 0; I < Y.size(); ++I) {
+    double Scale = std::max(1.0, std::fabs(Expected[I]));
+    Max = std::max(Max, std::fabs(Expected[I] - Y[I]) / Scale);
+  }
+  EXPECT_LE(Max, F32Tolerance) << What;
+}
+
+TEST(CvrFloat, DefaultLanesIs16) {
+  CvrMatrixF M = CvrMatrixF::fromCsr(genStencil5(8, 8));
+  EXPECT_EQ(M.lanes(), 16);
+}
+
+TEST(CvrFloat, MatchesReferenceOnStructures) {
+  struct {
+    const char *Name;
+    CsrMatrix A;
+  } Cases[] = {
+      {"rmat", genRmat(9, 8, 61)},
+      {"powerlaw", genPowerLaw(600, 600, 5.0, 1.2, 62)},
+      {"shortfat", genShortFat(9, 1500, 200, 63)},
+      {"stencil", genStencil9(22, 22)},
+      {"dense", genDense(50, 50, 64)},
+      {"road", genRoadLattice(22, 1.5, 65)},
+  };
+  for (auto &C : Cases)
+    expectF32MatchesReference(C.A, {}, C.Name);
+}
+
+TEST(CvrFloat, MultiThreadSharedRows) {
+  CooMatrix Coo(3, 800);
+  for (std::int32_t R = 0; R < 3; ++R)
+    for (std::int32_t C = 0; C < 800; ++C)
+      Coo.add(R, C, 0.001 * (C + 1));
+  CsrMatrix A = CsrMatrix::fromCoo(Coo);
+  for (int Threads : {2, 4, 7}) {
+    CvrOptionsF Opts;
+    Opts.NumThreads = Threads;
+    expectF32MatchesReference(A, Opts, "split rows");
+  }
+}
+
+TEST(CvrFloat, EmptyRowsZeroed) {
+  CsrMatrix A = CsrMatrix::emptyOfShape(13, 4);
+  CvrMatrixF M = CvrMatrixF::fromCsr(A);
+  std::vector<float> X(4, 1.0f), Y(13, 5.0f);
+  cvrSpmvF(M, X.data(), Y.data());
+  for (float V : Y)
+    EXPECT_EQ(V, 0.0f);
+}
+
+TEST(CvrFloat, GenericKernelAgreesWithAvx) {
+  CsrMatrix A = genRmat(9, 7, 66);
+  CvrOptionsF Avx;
+  CvrOptionsF Gen;
+  Gen.ForceGenericKernel = true;
+
+  CvrMatrixF MA = CvrMatrixF::fromCsr(A, Avx);
+  CvrMatrixF MG = CvrMatrixF::fromCsr(A, Gen);
+  std::vector<float> X(static_cast<std::size_t>(A.numCols()));
+  for (std::size_t I = 0; I < X.size(); ++I)
+    X[I] = 0.25f * static_cast<float>(I % 17) - 1.0f;
+  std::vector<float> YA(static_cast<std::size_t>(A.numRows()));
+  std::vector<float> YG(static_cast<std::size_t>(A.numRows()));
+  cvrSpmvF(MA, X.data(), YA.data());
+  cvrSpmvF(MG, X.data(), YG.data());
+  for (std::size_t I = 0; I < YA.size(); ++I)
+    EXPECT_NEAR(YA[I], YG[I], 1e-4f * (1.0f + std::fabs(YA[I])));
+}
+
+TEST(CvrFloat, StealingDisabledStillCorrect) {
+  CvrOptionsF Opts;
+  Opts.EnableStealing = false;
+  expectF32MatchesReference(genShortFat(2, 900, 400, 67), Opts,
+                            "no stealing");
+}
+
+TEST(CvrFloat, NonDefaultLaneWidths) {
+  CsrMatrix A = genPowerLaw(300, 300, 4.0, 1.0, 68);
+  for (int Lanes : {4, 8, 32}) {
+    CvrOptionsF Opts;
+    Opts.Lanes = Lanes;
+    expectF32MatchesReference(A, Opts, "lanes");
+  }
+}
+
+TEST(CvrFloat, HalfTheFormatBytesOfF64) {
+  CsrMatrix A = genStencil27(10, 10, 10);
+  CvrMatrixF F = CvrMatrixF::fromCsr(A);
+  CvrMatrix D = CvrMatrix::fromCsr(A);
+  // f32 values are half the size; indices and records are shared-size, so
+  // the blob lands well below the f64 one but above half.
+  EXPECT_LT(F.formatBytes(), D.formatBytes());
+  EXPECT_GT(F.formatBytes(), D.formatBytes() / 3);
+}
+
+} // namespace
+} // namespace cvr

@@ -1,0 +1,112 @@
+//===- tests/CvrSpmmTest.cpp - Multi-vector SpMV tests --------------------===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Cvr.h"
+
+#include "TestUtil.h"
+#include "gen/Generators.h"
+#include "matrix/Reference.h"
+
+#include <gtest/gtest.h>
+
+namespace cvr {
+namespace {
+
+using test::randomVector;
+using test::SpmvTolerance;
+
+/// Runs cvrSpmm and checks every column against single-vector cvrSpmv.
+void expectSpmmMatchesSpmv(const CsrMatrix &A, int NumVectors, int Threads,
+                           std::size_t ExtraLd) {
+  CvrOptions Opts;
+  Opts.NumThreads = Threads;
+  CvrMatrix M = CvrMatrix::fromCsr(A, Opts);
+
+  std::size_t LdX = static_cast<std::size_t>(A.numCols()) + ExtraLd;
+  std::size_t LdY = static_cast<std::size_t>(A.numRows()) + ExtraLd;
+  std::vector<double> X(LdX * NumVectors), Y(LdY * NumVectors, -4.0);
+  for (int V = 0; V < NumVectors; ++V) {
+    std::vector<double> Col =
+        randomVector(static_cast<std::size_t>(A.numCols()), 100 + V);
+    std::copy(Col.begin(), Col.end(), X.begin() + V * LdX);
+  }
+
+  cvrSpmm(M, X.data(), LdX, Y.data(), LdY, NumVectors);
+
+  for (int V = 0; V < NumVectors; ++V) {
+    std::vector<double> Expected(static_cast<std::size_t>(A.numRows()));
+    cvrSpmv(M, X.data() + V * LdX, Expected.data());
+    std::vector<double> Got(Y.begin() + V * LdY,
+                            Y.begin() + V * LdY + A.numRows());
+    EXPECT_LE(maxRelDiff(Expected, Got), SpmvTolerance)
+        << "vector " << V << " of " << NumVectors;
+  }
+}
+
+TEST(CvrSpmm, SingleVectorDegeneratesToSpmv) {
+  expectSpmmMatchesSpmv(genRmat(9, 8, 81), 1, 1, 0);
+}
+
+TEST(CvrSpmm, FullBlockOfFour) {
+  expectSpmmMatchesSpmv(genRmat(9, 8, 82), 4, 1, 0);
+}
+
+TEST(CvrSpmm, PartialTrailingBlock) {
+  // 7 vectors: one full block of 4 plus a remainder of 3.
+  expectSpmmMatchesSpmv(genPowerLaw(400, 400, 5.0, 1.1, 83), 7, 1, 0);
+}
+
+TEST(CvrSpmm, PaddedLeadingDimensions) {
+  expectSpmmMatchesSpmv(genStencil9(18, 18), 5, 1, 13);
+}
+
+TEST(CvrSpmm, MultiThreadSharedRows) {
+  expectSpmmMatchesSpmv(genShortFat(5, 900, 300, 84), 6, 4, 0);
+}
+
+TEST(CvrSpmm, GenericLaneFallback) {
+  CsrMatrix A = genRmat(8, 6, 85);
+  CvrOptions Opts;
+  Opts.Lanes = 4; // Non-AVX width: cvrSpmm falls back to per-vector runs.
+  CvrMatrix M = CvrMatrix::fromCsr(A, Opts);
+  std::size_t N = static_cast<std::size_t>(A.numCols());
+  std::vector<double> X(N * 3), Y(static_cast<std::size_t>(A.numRows()) * 3);
+  for (int V = 0; V < 3; ++V) {
+    std::vector<double> Col = randomVector(N, 200 + V);
+    std::copy(Col.begin(), Col.end(), X.begin() + V * N);
+  }
+  cvrSpmm(M, X.data(), N, Y.data(), static_cast<std::size_t>(A.numRows()),
+          3);
+  for (int V = 0; V < 3; ++V) {
+    std::vector<double> Expected(static_cast<std::size_t>(A.numRows()));
+    cvrSpmv(M, X.data() + V * N, Expected.data());
+    std::vector<double> Got(Y.begin() + V * A.numRows(),
+                            Y.begin() + (V + 1) * A.numRows());
+    EXPECT_LE(maxRelDiff(Expected, Got), SpmvTolerance);
+  }
+}
+
+TEST(CvrSpmm, MatchesScalarReferencePerColumn) {
+  CsrMatrix A = genCircuit(300, 4.0, 5, 86);
+  CvrMatrix M = CvrMatrix::fromCsr(A);
+  std::size_t Cols = static_cast<std::size_t>(A.numCols());
+  std::size_t Rows = static_cast<std::size_t>(A.numRows());
+  std::vector<double> X(Cols * 4), Y(Rows * 4);
+  for (int V = 0; V < 4; ++V) {
+    std::vector<double> Col = randomVector(Cols, 300 + V);
+    std::copy(Col.begin(), Col.end(), X.begin() + V * Cols);
+  }
+  cvrSpmm(M, X.data(), Cols, Y.data(), Rows, 4);
+  for (int V = 0; V < 4; ++V) {
+    std::vector<double> Xv(X.begin() + V * Cols, X.begin() + (V + 1) * Cols);
+    std::vector<double> Expected = referenceSpmv(A, Xv);
+    std::vector<double> Got(Y.begin() + V * Rows, Y.begin() + (V + 1) * Rows);
+    EXPECT_LE(maxRelDiff(Expected, Got), SpmvTolerance);
+  }
+}
+
+} // namespace
+} // namespace cvr

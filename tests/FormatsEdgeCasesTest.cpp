@@ -1,0 +1,151 @@
+//===- tests/FormatsEdgeCasesTest.cpp - Degenerate inputs for all kernels -===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Degenerate and adversarial inputs for every kernel variant: fully empty
+// matrices, matrices with rows but no nonzeros, single cells, all-in-one-row
+// / all-in-one-column shapes, and pathological value ranges. These guard
+// the divisions, partitions, and tile math that only trigger at the edges.
+//
+//===----------------------------------------------------------------------===//
+
+#include "formats/Registry.h"
+
+#include "TestUtil.h"
+#include "matrix/Coo.h"
+#include "matrix/Reference.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cvr {
+namespace {
+
+using test::randomVector;
+using test::SpmvTolerance;
+
+/// Runs every variant of every format on \p A and compares with the
+/// reference.
+void expectAllFormatsMatch(const CsrMatrix &A, const char *What) {
+  std::vector<double> X =
+      randomVector(static_cast<std::size_t>(A.numCols()), 31337);
+  std::vector<double> Expected = referenceSpmv(A, X);
+  for (FormatId F : allFormats()) {
+    for (const KernelVariant &V : variantsOf(F, 2)) {
+      std::unique_ptr<SpmvKernel> K = V.Make();
+      K->prepare(A);
+      std::vector<double> Y(static_cast<std::size_t>(A.numRows()), 13.0);
+      K->run(X.data(), Y.data());
+      EXPECT_LE(maxRelDiff(Expected, Y), SpmvTolerance)
+          << V.VariantName << " on " << What;
+    }
+  }
+}
+
+TEST(FormatEdgeCases, RowsButNoNonZeros) {
+  expectAllFormatsMatch(CsrMatrix::emptyOfShape(37, 23), "empty 37x23");
+}
+
+TEST(FormatEdgeCases, SingleCell) {
+  CooMatrix Coo(1, 1);
+  Coo.add(0, 0, -2.5);
+  expectAllFormatsMatch(CsrMatrix::fromCoo(Coo), "1x1");
+}
+
+TEST(FormatEdgeCases, SingleRowManyColumns) {
+  CooMatrix Coo(1, 300);
+  for (std::int32_t C = 0; C < 300; C += 2)
+    Coo.add(0, C, 0.5 + C);
+  expectAllFormatsMatch(CsrMatrix::fromCoo(Coo), "1x300");
+}
+
+TEST(FormatEdgeCases, SingleColumnManyRows) {
+  CooMatrix Coo(300, 1);
+  for (std::int32_t R = 1; R < 300; R += 3)
+    Coo.add(R, 0, 1.0 / (R + 1));
+  expectAllFormatsMatch(CsrMatrix::fromCoo(Coo), "300x1");
+}
+
+TEST(FormatEdgeCases, OnlyFirstAndLastRowsPopulated) {
+  CooMatrix Coo(64, 64);
+  for (std::int32_t C = 0; C < 64; ++C) {
+    Coo.add(0, C, 1.0);
+    Coo.add(63, C, -1.0);
+  }
+  expectAllFormatsMatch(CsrMatrix::fromCoo(Coo), "border rows");
+}
+
+TEST(FormatEdgeCases, ExactSimdWidthRows) {
+  // 8 rows x 8 columns dense: exactly one ESB slice / CVR tracker set.
+  CooMatrix Coo(8, 8);
+  for (std::int32_t R = 0; R < 8; ++R)
+    for (std::int32_t C = 0; C < 8; ++C)
+      Coo.add(R, C, R * 8.0 + C + 1.0);
+  expectAllFormatsMatch(CsrMatrix::fromCoo(Coo), "8x8 dense");
+}
+
+TEST(FormatEdgeCases, SevenRows) {
+  // One fewer than the lane count: partial slices/trackers everywhere.
+  CooMatrix Coo(7, 16);
+  for (std::int32_t R = 0; R < 7; ++R)
+    for (std::int32_t C = R; C < 16; C += R + 1)
+      Coo.add(R, C, 1.0 + 0.1 * R);
+  expectAllFormatsMatch(CsrMatrix::fromCoo(Coo), "7 rows");
+}
+
+TEST(FormatEdgeCases, ExtremeValueMagnitudes) {
+  CooMatrix Coo(10, 10);
+  Coo.add(0, 0, 1e300);
+  Coo.add(0, 1, -1e300);
+  Coo.add(3, 3, 1e-300);
+  Coo.add(9, 9, 0.0); // structural zero
+  CsrMatrix A = CsrMatrix::fromCoo(Coo);
+  std::vector<double> X(10, 1.0);
+  std::vector<double> Expected = referenceSpmv(A, X);
+  for (FormatId F : allFormats()) {
+    std::unique_ptr<SpmvKernel> K = makeKernel(F, 1);
+    K->prepare(A);
+    std::vector<double> Y(10, 99.0);
+    K->run(X.data(), Y.data());
+    for (int I = 0; I < 10; ++I)
+      EXPECT_TRUE(Y[I] == Expected[I] ||
+                  std::fabs(Y[I] - Expected[I]) < 1e-12)
+          << formatName(F) << " row " << I;
+  }
+}
+
+TEST(FormatEdgeCases, ManyThreadsTinyMatrix) {
+  CooMatrix Coo(3, 3);
+  Coo.add(0, 2, 4.0);
+  Coo.add(2, 0, 5.0);
+  CsrMatrix A = CsrMatrix::fromCoo(Coo);
+  std::vector<double> X = {1.0, 2.0, 3.0};
+  std::vector<double> Expected = referenceSpmv(A, X);
+  for (FormatId F : allFormats()) {
+    for (const KernelVariant &V : variantsOf(F, 32)) {
+      std::unique_ptr<SpmvKernel> K = V.Make();
+      K->prepare(A);
+      std::vector<double> Y(3, -1.0);
+      K->run(X.data(), Y.data());
+      EXPECT_LE(maxRelDiff(Expected, Y), SpmvTolerance) << V.VariantName;
+    }
+  }
+}
+
+TEST(FormatEdgeCases, FormatBytesReported) {
+  CsrMatrix A = test::randomCsr(100, 100, 0.1, 4);
+  for (FormatId F : allFormats()) {
+    std::unique_ptr<SpmvKernel> K = makeKernel(F, 1);
+    K->prepare(A);
+    if (F == FormatId::Mkl)
+      EXPECT_EQ(K->formatBytes(), 0u) << "MKL converts nothing";
+    else
+      EXPECT_GT(K->formatBytes(), 0u) << formatName(F);
+  }
+}
+
+} // namespace
+} // namespace cvr

@@ -1,0 +1,191 @@
+//===- tests/GeneratorsTest.cpp - Generator & dataset suite tests ---------===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gen/DatasetSuite.h"
+#include "gen/Generators.h"
+
+#include "matrix/Coo.h"
+#include "matrix/MatrixStats.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace cvr {
+namespace {
+
+TEST(Generators, RmatShapeAndDeterminism) {
+  CsrMatrix A = genRmat(10, 8, 42);
+  EXPECT_EQ(A.numRows(), 1024);
+  EXPECT_EQ(A.numCols(), 1024);
+  EXPECT_TRUE(A.isValid());
+  EXPECT_GT(A.numNonZeros(), 1024 * 4); // some dedup, but most survive
+  CsrMatrix B = genRmat(10, 8, 42);
+  EXPECT_TRUE(A.equals(B));
+  CsrMatrix C = genRmat(10, 8, 43);
+  EXPECT_FALSE(A.equals(C));
+}
+
+TEST(Generators, RmatIsSkewed) {
+  MatrixStats S = computeStats(genRmat(12, 8, 1));
+  EXPECT_GT(S.RowLengthCv, 1.0) << "R-MAT must have heavy-tailed degrees";
+  EXPECT_GT(S.EmptyRows, 0);
+}
+
+TEST(Generators, PowerLawMeanDegreeRoughlyMatches) {
+  CsrMatrix A = genPowerLaw(5000, 5000, 6.0, 0.8, 7);
+  double Mean = static_cast<double>(A.numNonZeros()) / A.numRows();
+  EXPECT_GT(Mean, 3.0);
+  EXPECT_LT(Mean, 9.0);
+  EXPECT_TRUE(A.isValid());
+}
+
+TEST(Generators, PowerLawHubsSurviveDedup) {
+  // With a strong exponent the top row must keep a large degree instead of
+  // collapsing under duplicate-column merging.
+  CsrMatrix A = genPowerLaw(8000, 8000, 2.1, 2.0, 9);
+  MatrixStats S = computeStats(A);
+  EXPECT_GT(S.MaxRowLength, A.numRows() / 8);
+}
+
+TEST(Generators, RoadLatticeDegreesBounded) {
+  CsrMatrix A = genRoadLattice(30, 2.0, 3);
+  EXPECT_EQ(A.numRows(), 900);
+  MatrixStats S = computeStats(A);
+  EXPECT_LE(S.MaxRowLength, 4);
+  EXPECT_NEAR(S.MeanRowLength, 2.0, 0.5);
+}
+
+TEST(Generators, ShortFatShape) {
+  CsrMatrix A = genShortFat(10, 5000, 700, 4);
+  EXPECT_EQ(A.numRows(), 10);
+  EXPECT_EQ(A.numCols(), 5000);
+  // Duplicates shave a little off 700 per row.
+  EXPECT_GT(computeStats(A).MeanRowLength, 500.0);
+}
+
+TEST(Generators, DenseIsFull) {
+  CsrMatrix A = genDense(20, 30, 5);
+  EXPECT_EQ(A.numNonZeros(), 600);
+  EXPECT_EQ(computeStats(A).EmptyRows, 0);
+}
+
+TEST(Generators, Stencil5RowLengths) {
+  CsrMatrix A = genStencil5(10, 10);
+  MatrixStats S = computeStats(A);
+  EXPECT_EQ(S.MaxRowLength, 5);  // interior
+  EXPECT_EQ(S.MinRowLength, 3);  // corners
+  EXPECT_EQ(A.numNonZeros(), computeStats(A).Nnz);
+}
+
+TEST(Generators, Stencil27Symmetric) {
+  CsrMatrix A = genStencil27(5, 5, 5);
+  // Structural symmetry: (r, c) present iff (c, r) present.
+  CooMatrix Coo = A.toCoo();
+  CooMatrix Transposed(A.numCols(), A.numRows());
+  for (const CooEntry &E : Coo.entries())
+    Transposed.add(E.Col, E.Row, E.Val);
+  EXPECT_TRUE(A.equals(CsrMatrix::fromCoo(Transposed)));
+}
+
+TEST(Generators, BandedStaysInBand) {
+  CsrMatrix A = genBanded(200, 15, 6, 8);
+  for (std::int32_t R = 0; R < A.numRows(); ++R)
+    for (std::int64_t I = A.rowPtr()[R]; I < A.rowPtr()[R + 1]; ++I)
+      EXPECT_LE(std::abs(A.colIdx()[I] - R), 15);
+}
+
+TEST(Generators, CircuitHasDiagonalAndRails) {
+  CsrMatrix A = genCircuit(500, 3.0, 8, 6);
+  for (std::int32_t R = 0; R < A.numRows(); ++R) {
+    bool HasDiag = false;
+    for (std::int64_t I = A.rowPtr()[R]; I < A.rowPtr()[R + 1]; ++I)
+      HasDiag |= A.colIdx()[I] == R;
+    EXPECT_TRUE(HasDiag) << "row " << R;
+  }
+  EXPECT_GT(computeStats(A).MaxRowLength, 8); // rails are dense-ish
+}
+
+TEST(Generators, DenseBlocksStayInBlocks) {
+  CsrMatrix A = genDenseBlocks(3, 16, 0.9, 2);
+  EXPECT_EQ(A.numRows(), 48);
+  for (std::int32_t R = 0; R < A.numRows(); ++R)
+    for (std::int64_t I = A.rowPtr()[R]; I < A.rowPtr()[R + 1]; ++I)
+      EXPECT_EQ(A.colIdx()[I] / 16, R / 16);
+}
+
+// --- Dataset suite ---------------------------------------------------------
+
+TEST(DatasetSuite, Has58EntriesWith30ScaleFree) {
+  std::vector<DatasetSpec> Suite = datasetSuite();
+  EXPECT_EQ(Suite.size(), 58u);
+  int ScaleFree = 0;
+  for (const DatasetSpec &D : Suite)
+    ScaleFree += D.ScaleFree;
+  EXPECT_EQ(ScaleFree, 30);
+  EXPECT_EQ(scaleFreeSuite().size(), 30u);
+  EXPECT_EQ(hpcSuite().size(), 28u);
+}
+
+TEST(DatasetSuite, NamesAreUniqueAndDomainsGrouped) {
+  std::vector<DatasetSpec> Suite = datasetSuite();
+  std::set<std::string> Names;
+  for (const DatasetSpec &D : Suite)
+    EXPECT_TRUE(Names.insert(D.Name).second) << "duplicate " << D.Name;
+  // Scale-free entries must precede HPC ones, as in the paper's Table 2.
+  bool SeenHpc = false;
+  for (const DatasetSpec &D : Suite) {
+    if (!D.ScaleFree)
+      SeenHpc = true;
+    else
+      EXPECT_FALSE(SeenHpc) << D.Name << " out of order";
+  }
+}
+
+TEST(DatasetSuite, SmokeSubsetBuildsValidMatrices) {
+  for (const DatasetSpec &D : smokeSuite(0.25)) {
+    CsrMatrix A = D.Build();
+    EXPECT_TRUE(A.isValid()) << D.Name;
+    EXPECT_GT(A.numNonZeros(), 0) << D.Name;
+  }
+}
+
+TEST(DatasetSuite, ScaleShrinksMatrices) {
+  // Compare one entry at two scales.
+  auto Pick = [](double S) {
+    for (DatasetSpec &D : datasetSuite(S))
+      if (D.Name == "com-DBLP")
+        return D.Build();
+    return CsrMatrix();
+  };
+  CsrMatrix Full = Pick(1.0), Half = Pick(0.5);
+  EXPECT_GT(Full.numRows(), Half.numRows());
+  EXPECT_GT(Half.numRows(), 0);
+}
+
+TEST(DatasetSuite, ScaleFreeEntriesAreSkewedHpcAreNot) {
+  // Spot-check the structural classes at reduced scale: the wiki stand-in
+  // must show much higher degree variation than the FEM stand-in.
+  double WikiCv = 0.0, FemCv = 0.0;
+  for (const DatasetSpec &D : datasetSuite(0.5)) {
+    if (D.Name == "wiki-talk")
+      WikiCv = computeStats(D.Build()).RowLengthCv;
+    if (D.Name == "ldoor")
+      FemCv = computeStats(D.Build()).RowLengthCv;
+  }
+  EXPECT_GT(WikiCv, 3.0);
+  EXPECT_LT(FemCv, 0.5);
+}
+
+TEST(DatasetSuite, DomainNames) {
+  EXPECT_STREQ(domainName(Domain::WebGraph), "web graph");
+  EXPECT_STREQ(domainName(Domain::EngineeringScientific), "ES");
+  EXPECT_EQ(allDomains().size(), 8u);
+}
+
+} // namespace
+} // namespace cvr

@@ -1,0 +1,137 @@
+//===- tests/IoTest.cpp - Matrix Market I/O tests -------------------------===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "io/MatrixMarket.h"
+
+#include "TestUtil.h"
+#include "matrix/Csr.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace cvr {
+namespace {
+
+MmReadResult parse(const std::string &Text) {
+  std::istringstream IS(Text);
+  return readMatrixMarket(IS);
+}
+
+TEST(MatrixMarket, ParsesCoordinateReal) {
+  MmReadResult R = parse("%%MatrixMarket matrix coordinate real general\n"
+                         "% a comment\n"
+                         "3 4 2\n"
+                         "1 1 2.5\n"
+                         "3 4 -1.0\n");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Matrix.numRows(), 3);
+  EXPECT_EQ(R.Matrix.numCols(), 4);
+  ASSERT_EQ(R.Matrix.numEntries(), 2u);
+  EXPECT_EQ(R.Matrix.entries()[0].Row, 0); // 1-based -> 0-based
+  EXPECT_EQ(R.Matrix.entries()[1].Col, 3);
+  EXPECT_EQ(R.Matrix.entries()[0].Val, 2.5);
+}
+
+TEST(MatrixMarket, ParsesPattern) {
+  MmReadResult R = parse("%%MatrixMarket matrix coordinate pattern general\n"
+                         "2 2 2\n"
+                         "1 2\n"
+                         "2 1\n");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Matrix.entries()[0].Val, 1.0);
+}
+
+TEST(MatrixMarket, ExpandsSymmetric) {
+  MmReadResult R = parse("%%MatrixMarket matrix coordinate real symmetric\n"
+                         "3 3 2\n"
+                         "2 1 5.0\n"
+                         "3 3 7.0\n");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  // Off-diagonal mirrored, diagonal not duplicated.
+  ASSERT_EQ(R.Matrix.numEntries(), 3u);
+}
+
+TEST(MatrixMarket, ExpandsSkewSymmetric) {
+  MmReadResult R =
+      parse("%%MatrixMarket matrix coordinate real skew-symmetric\n"
+            "2 2 1\n"
+            "2 1 3.0\n");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  ASSERT_EQ(R.Matrix.numEntries(), 2u);
+  EXPECT_EQ(R.Matrix.entries()[0].Val, -3.0); // (0,1) mirrored negated
+  EXPECT_EQ(R.Matrix.entries()[1].Val, 3.0);
+}
+
+TEST(MatrixMarket, ParsesArrayFormat) {
+  MmReadResult R = parse("%%MatrixMarket matrix array real general\n"
+                         "2 2\n"
+                         "1.0\n0.0\n0.0\n4.0\n");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  ASSERT_EQ(R.Matrix.numEntries(), 2u); // zeros dropped
+  EXPECT_EQ(R.Matrix.entries()[1].Val, 4.0);
+}
+
+TEST(MatrixMarket, ParsesIntegerField) {
+  MmReadResult R = parse("%%MatrixMarket matrix coordinate integer general\n"
+                         "1 1 1\n"
+                         "1 1 42\n");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Matrix.entries()[0].Val, 42.0);
+}
+
+TEST(MatrixMarket, RejectsMissingBanner) {
+  EXPECT_FALSE(parse("3 3 1\n1 1 1.0\n").Ok);
+}
+
+TEST(MatrixMarket, RejectsOutOfRangeIndices) {
+  MmReadResult R = parse("%%MatrixMarket matrix coordinate real general\n"
+                         "2 2 1\n"
+                         "3 1 1.0\n");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("out of range"), std::string::npos);
+}
+
+TEST(MatrixMarket, RejectsTruncatedEntries) {
+  MmReadResult R = parse("%%MatrixMarket matrix coordinate real general\n"
+                         "2 2 3\n"
+                         "1 1 1.0\n");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("unexpected end"), std::string::npos);
+}
+
+TEST(MatrixMarket, RejectsUnknownFormat) {
+  EXPECT_FALSE(parse("%%MatrixMarket matrix banana real general\n").Ok);
+}
+
+TEST(MatrixMarket, RoundTripPreservesMatrix) {
+  CsrMatrix A = test::randomCsr(25, 18, 0.3, 77);
+  std::ostringstream OS;
+  writeMatrixMarket(OS, A.toCoo());
+  std::istringstream IS(OS.str());
+  MmReadResult R = readMatrixMarket(IS);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_TRUE(A.equals(CsrMatrix::fromCoo(R.Matrix)));
+}
+
+TEST(MatrixMarket, FileRoundTrip) {
+  CsrMatrix A = test::randomCsr(10, 10, 0.4, 5);
+  std::string Path = ::testing::TempDir() + "/cvr_io_test.mtx";
+  std::string Error;
+  ASSERT_TRUE(writeMatrixMarketFile(Path, A.toCoo(), &Error)) << Error;
+  MmReadResult R = readMatrixMarketFile(Path);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_TRUE(A.equals(CsrMatrix::fromCoo(R.Matrix)));
+}
+
+TEST(MatrixMarket, MissingFileGivesError) {
+  MmReadResult R = readMatrixMarketFile("/nonexistent/path/x.mtx");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("cannot open"), std::string::npos);
+}
+
+} // namespace
+} // namespace cvr

@@ -1,0 +1,134 @@
+//===- tests/MatrixTest.cpp - matrix/ library tests -----------------------===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "matrix/Coo.h"
+#include "matrix/Csr.h"
+#include "matrix/MatrixStats.h"
+#include "matrix/Reference.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+namespace cvr {
+namespace {
+
+TEST(Coo, CanonicalizeSortsAndMerges) {
+  CooMatrix M(4, 4);
+  M.add(2, 1, 1.0);
+  M.add(0, 3, 2.0);
+  M.add(2, 1, 3.0); // duplicate of the first
+  M.add(0, 0, 4.0);
+  EXPECT_FALSE(M.isCanonical());
+  M.canonicalize();
+  EXPECT_TRUE(M.isCanonical());
+  ASSERT_EQ(M.numEntries(), 3u);
+  EXPECT_EQ(M.entries()[0].Row, 0);
+  EXPECT_EQ(M.entries()[0].Col, 0);
+  EXPECT_EQ(M.entries()[2].Val, 4.0); // 1 + 3 merged
+}
+
+TEST(Coo, CanonicalizeKeepsStructuralZeros) {
+  CooMatrix M(2, 2);
+  M.add(0, 0, 1.0);
+  M.add(0, 0, -1.0);
+  M.canonicalize();
+  ASSERT_EQ(M.numEntries(), 1u);
+  EXPECT_EQ(M.entries()[0].Val, 0.0);
+}
+
+TEST(Csr, FromCooRoundTrip) {
+  CsrMatrix A = test::randomCsr(50, 30, 0.2, 3);
+  CooMatrix Coo = A.toCoo();
+  CsrMatrix B = CsrMatrix::fromCoo(Coo);
+  EXPECT_TRUE(A.equals(B));
+}
+
+TEST(Csr, FromUnsortedCoo) {
+  CooMatrix M(3, 3);
+  M.add(2, 2, 9.0);
+  M.add(0, 1, 1.0);
+  M.add(1, 0, 5.0);
+  CsrMatrix A = CsrMatrix::fromCoo(M);
+  EXPECT_TRUE(A.isValid());
+  EXPECT_EQ(A.numNonZeros(), 3);
+  EXPECT_EQ(A.rowLength(1), 1);
+  EXPECT_EQ(A.vals()[0], 1.0); // row 0 first
+}
+
+TEST(Csr, EmptyShapes) {
+  CsrMatrix A = CsrMatrix::emptyOfShape(5, 7);
+  EXPECT_TRUE(A.isValid());
+  EXPECT_EQ(A.numNonZeros(), 0);
+  for (std::int32_t R = 0; R < 5; ++R)
+    EXPECT_EQ(A.rowLength(R), 0);
+
+  CsrMatrix Z = CsrMatrix::emptyOfShape(0, 0);
+  EXPECT_TRUE(Z.isValid());
+  EXPECT_EQ(Z.numNonZeros(), 0);
+}
+
+TEST(Csr, ColumnsSortedWithinRows) {
+  CsrMatrix A = test::randomCsr(40, 40, 0.3, 9);
+  for (std::int32_t R = 0; R < A.numRows(); ++R)
+    for (std::int64_t I = A.rowPtr()[R] + 1; I < A.rowPtr()[R + 1]; ++I)
+      EXPECT_LT(A.colIdx()[I - 1], A.colIdx()[I]);
+}
+
+TEST(MatrixStats, CountsEmptyRowsAndSkew) {
+  CooMatrix M(6, 6);
+  // Row 0: 4 entries; row 3: 2 entries; others empty.
+  for (int C = 0; C < 4; ++C)
+    M.add(0, C, 1.0);
+  M.add(3, 0, 1.0);
+  M.add(3, 5, 1.0);
+  MatrixStats S = computeStats(CsrMatrix::fromCoo(M));
+  EXPECT_EQ(S.Nnz, 6);
+  EXPECT_EQ(S.EmptyRows, 4);
+  EXPECT_EQ(S.MaxRowLength, 4);
+  EXPECT_EQ(S.MinRowLength, 0);
+  EXPECT_DOUBLE_EQ(S.MeanRowLength, 1.0);
+  EXPECT_GT(S.RowLengthCv, 1.0) << "skewed rows must show high CV";
+}
+
+TEST(MatrixStats, BandedHasSmallBandwidth) {
+  CooMatrix M(100, 100);
+  for (int R = 0; R < 100; ++R)
+    M.add(R, R, 1.0);
+  MatrixStats S = computeStats(CsrMatrix::fromCoo(M));
+  EXPECT_EQ(S.MeanBandwidth, 0.0);
+}
+
+TEST(Reference, HandComputedExample) {
+  // [1 2; 0 3] * [10, 100] = [210, 300]
+  CooMatrix M(2, 2);
+  M.add(0, 0, 1.0);
+  M.add(0, 1, 2.0);
+  M.add(1, 1, 3.0);
+  CsrMatrix A = CsrMatrix::fromCoo(M);
+  std::vector<double> Y = referenceSpmv(A, {10.0, 100.0});
+  EXPECT_EQ(Y[0], 210.0);
+  EXPECT_EQ(Y[1], 300.0);
+}
+
+TEST(Reference, EmptyRowGivesZero) {
+  CooMatrix M(3, 2);
+  M.add(0, 0, 1.0);
+  CsrMatrix A = CsrMatrix::fromCoo(M);
+  std::vector<double> Y = referenceSpmv(A, {5.0, 6.0});
+  EXPECT_EQ(Y[1], 0.0);
+  EXPECT_EQ(Y[2], 0.0);
+}
+
+TEST(Reference, DiffHelpers) {
+  EXPECT_EQ(maxAbsDiff({1.0, 2.0}, {1.0, 2.5}), 0.5);
+  EXPECT_EQ(maxRelDiff({100.0}, {101.0}), 0.01);
+  // Near-zero references fall back to absolute difference.
+  EXPECT_EQ(maxRelDiff({0.0}, {0.5}), 0.5);
+}
+
+} // namespace
+} // namespace cvr

@@ -1,0 +1,122 @@
+//===- tests/PartitionTest.cpp - nnz partitioning tests -------------------===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parallel/Partition.h"
+
+#include "TestUtil.h"
+#include "gen/Generators.h"
+#include "matrix/Coo.h"
+
+#include <gtest/gtest.h>
+
+namespace cvr {
+namespace {
+
+TEST(Partition, CoversAllNonZerosContiguously) {
+  CsrMatrix A = test::randomCsr(100, 100, 0.1, 1);
+  for (int T : {1, 2, 3, 7, 16}) {
+    std::vector<NnzChunk> Chunks = partitionByNnz(A, T);
+    ASSERT_EQ(Chunks.size(), static_cast<std::size_t>(T));
+    EXPECT_EQ(Chunks.front().NnzStart, 0);
+    EXPECT_EQ(Chunks.back().NnzEnd, A.numNonZeros());
+    for (std::size_t I = 1; I < Chunks.size(); ++I)
+      EXPECT_EQ(Chunks[I].NnzStart, Chunks[I - 1].NnzEnd);
+  }
+}
+
+TEST(Partition, BalancedWithinOne) {
+  CsrMatrix A = test::randomCsr(200, 50, 0.2, 2);
+  std::vector<NnzChunk> Chunks = partitionByNnz(A, 7);
+  std::int64_t Lo = A.numNonZeros(), Hi = 0;
+  for (const NnzChunk &C : Chunks) {
+    Lo = std::min(Lo, C.size());
+    Hi = std::max(Hi, C.size());
+  }
+  EXPECT_LE(Hi - Lo, 1);
+}
+
+TEST(Partition, RowBoundsContainChunk) {
+  CsrMatrix A = genRmat(9, 6, 3);
+  for (const NnzChunk &C : partitionByNnz(A, 5)) {
+    if (C.empty())
+      continue;
+    EXPECT_LE(A.rowPtr()[C.FirstRow], C.NnzStart);
+    EXPECT_GT(A.rowPtr()[C.FirstRow + 1], C.NnzStart);
+    EXPECT_LT(A.rowPtr()[C.LastRow], C.NnzEnd);
+    EXPECT_GE(A.rowPtr()[C.LastRow + 1], C.NnzEnd);
+  }
+}
+
+TEST(Partition, SkipsEmptyRowsAtBoundaries) {
+  // Rows 0..9 empty, row 10 has everything.
+  CooMatrix Coo(20, 20);
+  for (int C = 0; C < 20; ++C)
+    Coo.add(10, C, 1.0);
+  CsrMatrix A = CsrMatrix::fromCoo(Coo);
+  std::vector<NnzChunk> Chunks = partitionByNnz(A, 4);
+  for (const NnzChunk &C : Chunks) {
+    EXPECT_EQ(C.FirstRow, 10);
+    EXPECT_EQ(C.LastRow, 10);
+  }
+}
+
+TEST(Partition, EmptyMatrix) {
+  CsrMatrix A = CsrMatrix::emptyOfShape(10, 10);
+  for (const NnzChunk &C : partitionByNnz(A, 3)) {
+    EXPECT_TRUE(C.empty());
+    EXPECT_EQ(C.FirstRow, -1);
+  }
+}
+
+TEST(Partition, MoreThreadsThanNnz) {
+  CooMatrix Coo(4, 4);
+  Coo.add(1, 1, 1.0);
+  Coo.add(2, 2, 1.0);
+  CsrMatrix A = CsrMatrix::fromCoo(Coo);
+  std::vector<NnzChunk> Chunks = partitionByNnz(A, 8);
+  std::int64_t Total = 0;
+  for (const NnzChunk &C : Chunks)
+    Total += C.size();
+  EXPECT_EQ(Total, 2);
+}
+
+TEST(Partition, SharedRowsExactlyTheSplitOnes) {
+  // One long row split across every boundary.
+  CooMatrix Coo(3, 300);
+  for (int C = 0; C < 10; ++C)
+    Coo.add(0, C, 1.0);
+  for (int C = 0; C < 280; ++C)
+    Coo.add(1, C, 1.0);
+  for (int C = 0; C < 10; ++C)
+    Coo.add(2, C, 1.0);
+  CsrMatrix A = CsrMatrix::fromCoo(Coo);
+
+  std::vector<NnzChunk> Chunks = partitionByNnz(A, 4);
+  std::vector<std::uint8_t> Shared = findSharedRows(A, Chunks);
+  EXPECT_FALSE(Shared[0]);
+  EXPECT_TRUE(Shared[1]); // the 280-element row straddles boundaries
+  EXPECT_FALSE(Shared[2]);
+}
+
+TEST(Partition, NoSharedRowsWhenBoundariesAlign) {
+  // 4 rows x 8 nnz each, 4 threads -> boundaries at row starts.
+  CooMatrix Coo(4, 8);
+  for (int R = 0; R < 4; ++R)
+    for (int C = 0; C < 8; ++C)
+      Coo.add(R, C, 1.0);
+  CsrMatrix A = CsrMatrix::fromCoo(Coo);
+  std::vector<std::uint8_t> Shared =
+      findSharedRows(A, partitionByNnz(A, 4));
+  for (std::uint8_t S : Shared)
+    EXPECT_FALSE(S);
+}
+
+TEST(Partition, DefaultThreadCountPositive) {
+  EXPECT_GE(defaultThreadCount(), 1);
+}
+
+} // namespace
+} // namespace cvr

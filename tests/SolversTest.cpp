@@ -1,0 +1,182 @@
+//===- tests/SolversTest.cpp - Iterative solver tests ---------------------===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solvers/Solvers.h"
+
+#include "TestUtil.h"
+#include "core/Cvr.h"
+#include "formats/Registry.h"
+#include "gen/Generators.h"
+#include "matrix/Coo.h"
+#include "matrix/Reference.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cvr {
+namespace {
+
+using test::randomVector;
+
+/// SPD test system: 5-point Laplacian with a manufactured solution.
+struct SpdSystem {
+  CsrMatrix A;
+  std::vector<double> XStar;
+  std::vector<double> B;
+
+  explicit SpdSystem(std::int32_t Side) : A(genStencil5(Side, Side)) {
+    XStar = randomVector(static_cast<std::size_t>(A.numRows()), 404);
+    B = referenceSpmv(A, XStar);
+  }
+};
+
+double maxErr(const std::vector<double> &X, const std::vector<double> &Ref) {
+  double M = 0.0;
+  for (std::size_t I = 0; I < X.size(); ++I)
+    M = std::max(M, std::fabs(X[I] - Ref[I]));
+  return M;
+}
+
+TEST(ConjugateGradient, SolvesLaplacianWithEveryFormat) {
+  SpdSystem Sys(24);
+  for (FormatId F : allFormats()) {
+    std::unique_ptr<SpmvKernel> K = makeKernel(F, 1);
+    K->prepare(Sys.A);
+    std::vector<double> X(Sys.B.size(), 0.0);
+    SolveResult R = conjugateGradient(*K, Sys.B, X);
+    EXPECT_TRUE(R.Converged) << formatName(F);
+    EXPECT_LT(maxErr(X, Sys.XStar), 1e-6) << formatName(F);
+  }
+}
+
+TEST(ConjugateGradient, WarmStartConvergesInstantly) {
+  SpdSystem Sys(16);
+  CvrKernel K;
+  K.prepare(Sys.A);
+  std::vector<double> X = Sys.XStar; // exact initial guess
+  SolveResult R = conjugateGradient(K, Sys.B, X);
+  EXPECT_TRUE(R.Converged);
+  EXPECT_LE(R.Iterations, 2);
+}
+
+TEST(ConjugateGradient, RespectsIterationBudget) {
+  SpdSystem Sys(32);
+  CvrKernel K;
+  K.prepare(Sys.A);
+  std::vector<double> X(Sys.B.size(), 0.0);
+  SolverOptions Opts;
+  Opts.MaxIterations = 3;
+  SolveResult R = conjugateGradient(K, Sys.B, X, Opts);
+  EXPECT_FALSE(R.Converged);
+  EXPECT_EQ(R.Iterations, 3);
+  EXPECT_GT(R.Residual, 0.0);
+}
+
+TEST(BiCgStab, SolvesNonSymmetricSystem) {
+  // Diagonally dominant but asymmetric: banded random + strong diagonal.
+  CsrMatrix Base = genBanded(600, 10, 4, 77);
+  CooMatrix Coo = Base.toCoo();
+  for (CooEntry &E : Coo.entries())
+    if (E.Row == E.Col)
+      E.Val += 12.0;
+  CsrMatrix A = CsrMatrix::fromCoo(Coo);
+
+  std::vector<double> XStar =
+      randomVector(static_cast<std::size_t>(A.numRows()), 5);
+  std::vector<double> B = referenceSpmv(A, XStar);
+
+  CvrKernel K;
+  K.prepare(A);
+  std::vector<double> X(B.size(), 0.0);
+  SolveResult R = biCgStab(K, B, X);
+  EXPECT_TRUE(R.Converged);
+  EXPECT_LT(maxErr(X, XStar), 1e-5);
+}
+
+TEST(Jacobi, ConvergesOnDiagonallyDominantSystem) {
+  CsrMatrix Base = genBanded(400, 6, 3, 9);
+  CooMatrix Coo = Base.toCoo();
+  for (CooEntry &E : Coo.entries())
+    if (E.Row == E.Col)
+      E.Val = 20.0;
+  CsrMatrix A = CsrMatrix::fromCoo(Coo);
+  std::vector<double> Diag(A.numRows(), 20.0);
+
+  std::vector<double> XStar =
+      randomVector(static_cast<std::size_t>(A.numRows()), 6);
+  std::vector<double> B = referenceSpmv(A, XStar);
+
+  CvrKernel K;
+  K.prepare(A);
+  std::vector<double> X(B.size(), 0.0);
+  SolverOptions Opts;
+  Opts.Tolerance = 1e-12;
+  Opts.MaxIterations = 500;
+  SolveResult R = jacobi(K, Diag, B, X, Opts);
+  EXPECT_TRUE(R.Converged);
+  EXPECT_LT(maxErr(X, XStar), 1e-8);
+}
+
+TEST(PowerIteration, FindsDominantEigenvalueOfDiagonal) {
+  // Diagonal matrix: the dominant eigenpair is known exactly.
+  CooMatrix Coo(50, 50);
+  for (std::int32_t I = 0; I < 50; ++I)
+    Coo.add(I, I, I == 17 ? 9.0 : 1.0 + 0.01 * I);
+  CsrMatrix A = CsrMatrix::fromCoo(Coo);
+
+  CvrKernel K;
+  K.prepare(A);
+  double Lambda = 0.0;
+  std::vector<double> V(50, 0.0);
+  SolveResult R = powerIteration(K, Lambda, V, {1000, 1e-12});
+  EXPECT_TRUE(R.Converged);
+  EXPECT_NEAR(Lambda, 9.0, 1e-6);
+  EXPECT_GT(std::fabs(V[17]), 0.999); // eigenvector concentrates on 17
+}
+
+TEST(PageRank, UniformOnSymmetricRing) {
+  // A directed ring: every vertex has in/out degree 1, so PageRank is
+  // exactly uniform.
+  std::int32_t N = 64;
+  CooMatrix Coo(N, N);
+  for (std::int32_t V = 0; V < N; ++V)
+    Coo.add((V + 1) % N, V, 1.0); // column-stochastic transition
+  CsrMatrix M = CsrMatrix::fromCoo(Coo);
+
+  CvrKernel K;
+  K.prepare(M);
+  std::vector<double> Ranks(N, 0.0);
+  SolveResult R = pageRank(K, Ranks, 0.85, {500, 1e-12});
+  EXPECT_TRUE(R.Converged);
+  for (double Rank : Ranks)
+    EXPECT_NEAR(Rank, 1.0 / N, 1e-9);
+}
+
+TEST(PageRank, RanksSumToOneOnScaleFreeGraph) {
+  CsrMatrix G = genRmat(10, 8, 55);
+  // Column-stochastic transition from the adjacency structure.
+  CooMatrix Coo(G.numCols(), G.numRows());
+  for (std::int32_t U = 0; U < G.numRows(); ++U)
+    for (std::int64_t I = G.rowPtr()[U]; I < G.rowPtr()[U + 1]; ++I)
+      Coo.add(G.colIdx()[I], U, 1.0 / G.rowLength(U));
+  CsrMatrix M = CsrMatrix::fromCoo(Coo);
+
+  CvrKernel K;
+  K.prepare(M);
+  std::vector<double> Ranks(M.numRows(), 0.0);
+  SolveResult R = pageRank(K, Ranks, 0.85, {500, 1e-10});
+  EXPECT_TRUE(R.Converged);
+  double Sum = 0.0;
+  for (double Rank : Ranks) {
+    EXPECT_GT(Rank, 0.0);
+    Sum += Rank;
+  }
+  EXPECT_NEAR(Sum, 1.0, 1e-6);
+}
+
+} // namespace
+} // namespace cvr

@@ -1,0 +1,48 @@
+//===- tests/TestUtil.h - Shared test helpers -------------------*- C++ -*-===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef CVR_TESTS_TESTUTIL_H
+#define CVR_TESTS_TESTUTIL_H
+
+#include "matrix/Coo.h"
+#include "matrix/Csr.h"
+#include "matrix/Reference.h"
+#include "support/Random.h"
+
+#include <vector>
+
+namespace cvr {
+namespace test {
+
+/// Deterministic random dense vector in [-1, 1].
+inline std::vector<double> randomVector(std::size_t N, std::uint64_t Seed) {
+  Xoshiro256 Rng(Seed);
+  std::vector<double> V(N);
+  for (double &X : V)
+    X = Rng.nextDouble(-1.0, 1.0);
+  return V;
+}
+
+/// Random COO matrix with ~Density fraction of entries present.
+inline CsrMatrix randomCsr(std::int32_t Rows, std::int32_t Cols,
+                           double Density, std::uint64_t Seed) {
+  Xoshiro256 Rng(Seed);
+  CooMatrix Coo(Rows, Cols);
+  for (std::int32_t R = 0; R < Rows; ++R)
+    for (std::int32_t C = 0; C < Cols; ++C)
+      if (Rng.nextDouble() < Density)
+        Coo.add(R, C, Rng.nextDouble(-1.0, 1.0));
+  return CsrMatrix::fromCoo(Coo);
+}
+
+/// Tolerance for comparing SpMV results; reassociation across lanes and
+/// threads perturbs the last few bits, scaled by row length.
+inline constexpr double SpmvTolerance = 1e-10;
+
+} // namespace test
+} // namespace cvr
+
+#endif // CVR_TESTS_TESTUTIL_H

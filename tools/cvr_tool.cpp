@@ -1,0 +1,286 @@
+//===- tools/cvr_tool.cpp - Command-line driver ---------------------------===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// The command-line counterpart of the paper artifact's scripts:
+//
+//   cvr_tool info     <matrix.mtx>            structural statistics + advice
+//   cvr_tool convert  <matrix.mtx> <out.cvr>  CSR -> CVR, serialized to disk
+//   cvr_tool spmv     <matrix.mtx|blob.cvr> [-n ITER] [--threads N]
+//                                             run + time CVR SpMV
+//   cvr_tool compare  <matrix.mtx> [-n ITER]  all six formats side by side
+//                                             (the run_comparison.sh flow)
+//   cvr_tool locality <matrix.mtx>            simulated L2 miss ratios
+//                                             (the run_locality.sh flow)
+//   cvr_tool gen      <suite-name> <out.mtx> [--scale=X]
+//                                             write one of the 58 suite
+//                                             matrices as Matrix Market
+//   cvr_tool list                             list the suite names
+//
+// Matrices are Matrix Market files; `spmv` also accepts the binary blobs
+// written by `convert`.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchlib/Equations.h"
+#include "benchlib/Measure.h"
+#include "cachesim/LocalityProbe.h"
+#include "core/Cvr.h"
+#include "formats/AutoSelect.h"
+#include "gen/DatasetSuite.h"
+#include "io/MatrixMarket.h"
+#include "matrix/MatrixStats.h"
+#include "support/Random.h"
+#include "support/Table.h"
+#include "support/Timer.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+using namespace cvr;
+
+namespace {
+
+int usage(const char *Prog) {
+  std::fprintf(
+      stderr,
+      "usage: %s <command> [args]\n"
+      "  info     <matrix.mtx>                 structural stats + advice\n"
+      "  convert  <matrix.mtx> <out.cvr>       serialize the CVR form\n"
+      "  spmv     <matrix.mtx|blob.cvr> [-n N] [--threads T]\n"
+      "  compare  <matrix.mtx> [-n N]          all formats side by side\n"
+      "  locality <matrix.mtx>                 simulated L2 miss ratios\n"
+      "  gen      <suite-name> <out.mtx> [--scale=X]\n"
+      "  list                                  suite matrix names\n",
+      Prog);
+  return 2;
+}
+
+bool loadCsr(const std::string &Path, CsrMatrix &A) {
+  MmReadResult R = readMatrixMarketFile(Path);
+  if (!R.Ok) {
+    std::fprintf(stderr, "error: %s\n", R.Error.c_str());
+    return false;
+  }
+  A = CsrMatrix::fromCoo(R.Matrix);
+  return true;
+}
+
+std::vector<double> makeX(std::int32_t Cols) {
+  Xoshiro256 Rng(20180224);
+  std::vector<double> X(static_cast<std::size_t>(Cols));
+  for (double &V : X)
+    V = Rng.nextDouble(-1.0, 1.0);
+  return X;
+}
+
+int cmdInfo(const std::string &Path) {
+  CsrMatrix A;
+  if (!loadCsr(Path, A))
+    return 1;
+  MatrixStats S = computeStats(A);
+  std::printf("%s\n", Path.c_str());
+  std::printf("  shape        %d x %d\n", S.NumRows, S.NumCols);
+  std::printf("  nonzeros     %lld (%.2f per row)\n",
+              static_cast<long long>(S.Nnz), S.MeanRowLength);
+  std::printf("  row lengths  min %lld, max %lld, cv %.2f\n",
+              static_cast<long long>(S.MinRowLength),
+              static_cast<long long>(S.MaxRowLength), S.RowLengthCv);
+  std::printf("  empty rows   %d\n", S.EmptyRows);
+  std::printf("  bandwidth    %.1f (mean |col - row|)\n", S.MeanBandwidth);
+  FormatAdvice Advice = adviseFormat(S);
+  std::printf("  advice       %s — %s\n", formatName(Advice.Format),
+              Advice.Reason.c_str());
+  return 0;
+}
+
+int cmdConvert(const std::string &In, const std::string &Out) {
+  CsrMatrix A;
+  if (!loadCsr(In, A))
+    return 1;
+  Timer T;
+  CvrMatrix M = CvrMatrix::fromCsr(A);
+  std::printf("converted in %.3f ms (%d chunks, %d lanes)\n", T.millis(),
+              M.numChunks(), M.lanes());
+  std::ofstream OS(Out, std::ios::binary);
+  if (!OS || !M.writeBinary(OS)) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", Out.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu format bytes)\n", Out.c_str(), M.formatBytes());
+  return 0;
+}
+
+int cmdSpmv(int Argc, char **Argv) {
+  std::string Path;
+  int Iterations = 100;
+  int Threads = 0;
+  for (int I = 2; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "-n") == 0 && I + 1 < Argc)
+      Iterations = std::atoi(Argv[++I]);
+    else if (std::strncmp(Argv[I], "--threads=", 10) == 0)
+      Threads = std::atoi(Argv[I] + 10);
+    else
+      Path = Argv[I];
+  }
+  if (Path.empty() || Iterations <= 0)
+    return 2;
+
+  CvrMatrix M;
+  double PreMs = 0.0;
+  if (Path.size() > 4 && Path.compare(Path.size() - 4, 4, ".cvr") == 0) {
+    std::ifstream IS(Path, std::ios::binary);
+    if (!IS || !CvrMatrix::readBinary(IS, M)) {
+      std::fprintf(stderr, "error: cannot load blob '%s'\n", Path.c_str());
+      return 1;
+    }
+  } else {
+    CsrMatrix A;
+    if (!loadCsr(Path, A))
+      return 1;
+    Timer Pre;
+    CvrOptions Opts;
+    Opts.NumThreads = Threads;
+    M = CvrMatrix::fromCsr(A, Opts);
+    PreMs = Pre.millis();
+  }
+
+  std::vector<double> X = makeX(M.numCols());
+  std::vector<double> Y(static_cast<std::size_t>(M.numRows()), 0.0);
+  cvrSpmv(M, X.data(), Y.data()); // warm-up
+  Timer Run;
+  for (int I = 0; I < Iterations; ++I)
+    cvrSpmv(M, X.data(), Y.data());
+  double PerIter = Run.seconds() / Iterations;
+
+  std::printf("[pre-processing time]   %.3f ms\n", PreMs);
+  std::printf("[SpMV execution time]   %.3f us/iteration (%d iterations)\n",
+              PerIter * 1e6, Iterations);
+  std::printf("[throughput]            %.2f GFlop/s\n",
+              spmvGflops(M.numNonZeros(), PerIter));
+  return 0;
+}
+
+int cmdCompare(int Argc, char **Argv) {
+  std::string Path;
+  double N = 1000;
+  for (int I = 2; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "-n") == 0 && I + 1 < Argc)
+      N = std::atof(Argv[++I]);
+    else
+      Path = Argv[I];
+  }
+  CsrMatrix A;
+  if (Path.empty() || !loadCsr(Path, A))
+    return 1;
+
+  Measurement Mkl = measureBestOf(FormatId::Mkl, A);
+  TextTable T;
+  T.setHeader({"format", "variant", "pre (ms)", "us/iter", "GFlop/s",
+               "I_pre", "speedup@n"});
+  for (FormatId F : allFormats()) {
+    Measurement M = measureBestOf(F, A);
+    T.addRow({formatName(F), M.VariantName,
+              TextTable::fmt(M.PreprocessSeconds * 1e3, 3),
+              TextTable::fmt(M.SecondsPerIteration * 1e6, 1),
+              TextTable::fmt(M.Gflops, 2),
+              TextTable::fmt(
+                  iterationsToAmortize(M.PreprocessSeconds,
+                                       Mkl.SecondsPerIteration,
+                                       M.SecondsPerIteration),
+                  2),
+              TextTable::fmt(overallSpeedup(N, Mkl.SecondsPerIteration,
+                                            M.PreprocessSeconds,
+                                            M.SecondsPerIteration),
+                             2)});
+  }
+  T.print(std::cout);
+  return 0;
+}
+
+int cmdLocality(const std::string &Path) {
+  CsrMatrix A;
+  if (!loadCsr(Path, A))
+    return 1;
+  TextTable T;
+  T.setHeader({"format", "L1 miss", "L2 miss", "L2 misses/knnz"});
+  for (FormatId F : allFormats()) {
+    std::unique_ptr<SpmvKernel> K = makeKernel(F, 1);
+    K->prepare(A);
+    LocalityResult L = probeLocality(*K, A);
+    T.addRow({formatName(F), TextTable::fmt(L.L1MissRatio * 100, 2) + "%",
+              TextTable::fmt(L.L2MissRatio * 100, 2) + "%",
+              TextTable::fmt(L.MissesPerKnnz, 1)});
+  }
+  T.print(std::cout);
+  return 0;
+}
+
+int cmdList() {
+  for (const DatasetSpec &D : datasetSuite())
+    std::printf("%-22s %-14s %s\n", D.Name.c_str(), domainName(D.Dom),
+                D.ScaleFree ? "scale-free" : "HPC");
+  return 0;
+}
+
+int cmdGen(int Argc, char **Argv) {
+  std::string Name, Out;
+  double Scale = 1.0;
+  for (int I = 2; I < Argc; ++I) {
+    if (std::strncmp(Argv[I], "--scale=", 8) == 0)
+      Scale = std::atof(Argv[I] + 8);
+    else if (Name.empty())
+      Name = Argv[I];
+    else
+      Out = Argv[I];
+  }
+  if (Name.empty() || Out.empty() || Scale <= 0.0 || Scale > 1.0)
+    return 2;
+  for (const DatasetSpec &D : datasetSuite(Scale)) {
+    if (D.Name != Name)
+      continue;
+    CsrMatrix A = D.Build();
+    std::string Error;
+    if (!writeMatrixMarketFile(Out, A.toCoo(), &Error)) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 1;
+    }
+    std::printf("wrote %s: %d x %d, %lld nnz\n", Out.c_str(), A.numRows(),
+                A.numCols(), static_cast<long long>(A.numNonZeros()));
+    return 0;
+  }
+  std::fprintf(stderr, "error: unknown suite matrix '%s' (see `list`)\n",
+               Name.c_str());
+  return 1;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2)
+    return usage(Argv[0]);
+  std::string Cmd = Argv[1];
+  if (Cmd == "list")
+    return cmdList();
+  if (Argc < 3)
+    return usage(Argv[0]);
+  if (Cmd == "info")
+    return cmdInfo(Argv[2]);
+  if (Cmd == "convert" && Argc >= 4)
+    return cmdConvert(Argv[2], Argv[3]);
+  if (Cmd == "spmv")
+    return cmdSpmv(Argc, Argv);
+  if (Cmd == "compare")
+    return cmdCompare(Argc, Argv);
+  if (Cmd == "locality")
+    return cmdLocality(Argv[2]);
+  if (Cmd == "gen")
+    return cmdGen(Argc, Argv);
+  return usage(Argv[0]);
+}
