@@ -1,0 +1,54 @@
+#!/bin/sh
+# scripts/lint.sh [build-dir] [clang-tidy args...]
+#
+# Runs clang-tidy (config: .clang-tidy at the repo root) over every
+# first-party translation unit listed in the build directory's
+# compile_commands.json. Generate that first:
+#
+#   cmake -B build -S .        # CMAKE_EXPORT_COMPILE_COMMANDS is on by default
+#   ./scripts/lint.sh build
+#
+# Exits 0 when clang-tidy is not installed so the script is safe to call
+# from environments that only carry the GCC toolchain; CI installs
+# clang-tidy explicitly and gets the real run.
+set -eu
+
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+BUILD_DIR=${1:-"$ROOT/build"}
+[ $# -gt 0 ] && shift
+
+TIDY=${CLANG_TIDY:-clang-tidy}
+if ! command -v "$TIDY" >/dev/null 2>&1; then
+    echo "lint.sh: $TIDY not found; skipping (install clang-tidy to enable)" >&2
+    exit 0
+fi
+
+DB="$BUILD_DIR/compile_commands.json"
+if [ ! -f "$DB" ]; then
+    echo "lint.sh: $DB missing; run cmake -B $BUILD_DIR -S $ROOT first" >&2
+    exit 1
+fi
+
+# First-party TUs only: skip generated files and anything under the build
+# tree. The compilation database drives flags, so AVX-512 TUs get their
+# real -march flags and intrinsics parse.
+FILES=$(cd "$ROOT" && find src tools bench examples tests \
+            -name '*.cpp' 2>/dev/null | sort)
+if [ -z "$FILES" ]; then
+    echo "lint.sh: no sources found under $ROOT" >&2
+    exit 1
+fi
+
+STATUS=0
+for f in $FILES; do
+    # Only lint TUs present in the database (headers are covered through
+    # HeaderFilterRegex when their includers are linted).
+    if ! grep -q "\"file\": \".*$f\"" "$DB" && \
+       ! grep -q "$f" "$DB"; then
+        continue
+    fi
+    echo "== $f"
+    "$TIDY" -p "$BUILD_DIR" --quiet "$@" "$ROOT/$f" || STATUS=1
+done
+
+exit $STATUS

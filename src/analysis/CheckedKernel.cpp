@@ -1,0 +1,115 @@
+//===- analysis/CheckedKernel.cpp - Registry-pluggable checked mode -------===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CheckedKernel.h"
+
+#include "analysis/CheckedSpmv.h"
+#include "core/CvrSpmv.h"
+#include "matrix/Reference.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <utility>
+
+namespace cvr {
+namespace analysis {
+
+CheckedKernel::CheckedKernel(std::unique_ptr<SpmvKernel> Inner)
+    : Inner(std::move(Inner)) {}
+
+CheckedKernel::~CheckedKernel() = default;
+
+std::string CheckedKernel::name() const { return Inner->name() + "+checked"; }
+
+void CheckedKernel::prepare(const CsrMatrix &A) {
+  Inner->prepare(A);
+  std::vector<Violation> Found = InvariantChecker::checkKernel(*Inner, A);
+  Vs.insert(Vs.end(), Found.begin(), Found.end());
+}
+
+void CheckedKernel::run(const double *X, double *Y) const {
+  if (const auto *Cvr = dynamic_cast<const CvrKernel *>(Inner.get())) {
+    cvrSpmvChecked(Cvr->matrix(), X, Y, Vs);
+    return;
+  }
+  Inner->run(X, Y);
+}
+
+bool CheckedKernel::traceRun(MemAccessSink &Sink, const double *X,
+                             double *Y) const {
+  return Inner->traceRun(Sink, X, Y);
+}
+
+std::size_t CheckedKernel::formatBytes() const { return Inner->formatBytes(); }
+
+std::vector<KernelVariant> checkedVariantsOf(FormatId F, int NumThreads) {
+  std::vector<KernelVariant> Vs = variantsOf(F, NumThreads);
+  for (KernelVariant &V : Vs) {
+    V.VariantName += "+checked";
+    V.Make = [Make = std::move(V.Make)]() -> std::unique_ptr<SpmvKernel> {
+      return std::make_unique<CheckedKernel>(Make());
+    };
+  }
+  return Vs;
+}
+
+std::unique_ptr<SpmvKernel> makeCheckedKernel(FormatId F, int NumThreads) {
+  return std::make_unique<CheckedKernel>(makeKernel(F, NumThreads));
+}
+
+bool checkedModeRequested() {
+  const char *Env = std::getenv("CVR_CHECKED");
+  return Env && Env[0] != '\0' && !(Env[0] == '0' && Env[1] == '\0');
+}
+
+std::vector<KernelVariant> variantsRespectingEnv(FormatId F, int NumThreads) {
+  return checkedModeRequested() ? checkedVariantsOf(F, NumThreads)
+                                : variantsOf(F, NumThreads);
+}
+
+std::vector<VariantReport> validateMatrix(const CsrMatrix &A,
+                                          const FormatId *Only,
+                                          int NumThreads, double Tol) {
+  // Deterministic dense input spanning sign changes and magnitudes.
+  std::vector<double> X(static_cast<std::size_t>(A.numCols()));
+  std::uint64_t State = 0x9e3779b97f4a7c15ULL;
+  for (double &V : X) {
+    State = State * 6364136223846793005ULL + 1442695040888963407ULL;
+    V = static_cast<double>(static_cast<std::int64_t>(State >> 11)) /
+        static_cast<double>(1LL << 52);
+  }
+  std::vector<double> Ref(static_cast<std::size_t>(A.numRows()), 0.0);
+  if (A.numRows() > 0)
+    referenceSpmv(A, X.data(), Ref.data());
+
+  std::vector<VariantReport> Reports;
+  for (FormatId F : allFormats()) {
+    if (Only && F != *Only)
+      continue;
+    for (const KernelVariant &V : checkedVariantsOf(F, NumThreads)) {
+      VariantReport Rep;
+      Rep.Variant = V.VariantName;
+      std::unique_ptr<SpmvKernel> K = V.Make();
+      auto *CK = static_cast<CheckedKernel *>(K.get());
+      K->prepare(A);
+      Rep.Structure = CK->violations();
+      CK->clearViolations();
+
+      std::vector<double> Y(static_cast<std::size_t>(A.numRows()),
+                            -7.5e306); // Poison exposes unwritten rows.
+      if (A.numRows() > 0)
+        K->run(X.data(), Y.data());
+      Rep.Runtime = CK->violations();
+      Rep.MaxRelDiff = maxRelDiff(Ref, Y);
+      Rep.DiffOk = Rep.MaxRelDiff <= Tol && std::isfinite(Rep.MaxRelDiff);
+      Reports.push_back(std::move(Rep));
+    }
+  }
+  return Reports;
+}
+
+} // namespace analysis
+} // namespace cvr

@@ -1,0 +1,90 @@
+//===- analysis/InvariantChecker.h - Format structure validation -*- C++-*-===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Machine-checked validation of every SpMV format's structural invariants.
+/// Each check* function walks one converted representation against the CSR
+/// matrix it was built from and returns a list of violations; an empty list
+/// means the structure is sound. Rules carry stable dotted identifiers
+/// ("cvr.rec.pos-order", "esb.col.range", ...) so tests can assert that a
+/// deliberately corrupted field is attributed to the right rule, and so CI
+/// logs stay greppable.
+///
+/// The checks encode the invariants the kernels silently rely on:
+///
+///  * CSR    — zero-based monotone row pointers, in-bounds sorted columns;
+///  * CVR    — position-ordered records, every non-empty row finished
+///             exactly once per chunk, steps x omega stream accounting with
+///             pad slots exactly covering the slack beyond nnz (PAPER.md
+///             Section 4), tails/zero-rows consistency;
+///  * CSR5   — transposed tile contents matching the source, row-start
+///             bitmap and flush descriptors consistent with row pointers;
+///  * ESB    — slice permutation, width, mask, and padding accounting;
+///  * VHCC   — panel column ranges, dense non-decreasing local rows, and a
+///             merge plan that is a permutation reaching every partial.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVR_ANALYSIS_INVARIANTCHECKER_H
+#define CVR_ANALYSIS_INVARIANTCHECKER_H
+
+#include <string>
+#include <vector>
+
+namespace cvr {
+
+class CsrMatrix;
+class CvrMatrix;
+class Csr5;
+class Esb;
+class Vhcc;
+class SpmvKernel;
+
+namespace analysis {
+
+/// One detected invariant violation, with enough location detail to find
+/// the corrupt field without a debugger.
+struct Violation {
+  std::string Rule;     ///< Stable identifier, e.g. "cvr.rec.pos-order".
+  std::string Location; ///< Where, e.g. "chunk 2, rec 17".
+  std::string Message;  ///< What was expected vs. found.
+};
+
+/// Renders violations one per line ("rule @ location: message").
+std::string formatViolations(const std::vector<Violation> &Vs);
+
+/// Structural validator over every format the project builds. All entry
+/// points are pure readers; nothing is modified.
+class InvariantChecker {
+public:
+  /// Caps the violations reported per call so a systematically corrupt
+  /// structure doesn't produce millions of lines.
+  static constexpr std::size_t MaxViolations = 64;
+
+  static std::vector<Violation> checkCsr(const CsrMatrix &A);
+
+  /// \p Origin, when given, enables the cross checks against the source
+  /// matrix (element multiset accounting, per-chunk row coverage).
+  static std::vector<Violation> checkCvr(const CvrMatrix &M,
+                                         const CsrMatrix *Origin = nullptr);
+
+  static std::vector<Violation> checkCsr5(const Csr5 &K, const CsrMatrix &A);
+
+  static std::vector<Violation> checkEsb(const Esb &K, const CsrMatrix &A);
+
+  static std::vector<Violation> checkVhcc(const Vhcc &K, const CsrMatrix &A);
+
+  /// Dispatches on the dynamic kernel type (CVR, CSR5, ESB, VHCC get their
+  /// structural checks; the CSR-backed baselines get the CSR input check).
+  /// \p K must already be prepare()d on \p A.
+  static std::vector<Violation> checkKernel(const SpmvKernel &K,
+                                            const CsrMatrix &A);
+};
+
+} // namespace analysis
+} // namespace cvr
+
+#endif // CVR_ANALYSIS_INVARIANTCHECKER_H

@@ -25,6 +25,7 @@
 #include "matrix/Csr.h"
 #include "parallel/Partition.h"
 #include "support/AlignedBuffer.h"
+#include "support/ParallelFor.h"
 
 #include <algorithm>
 #include <cassert>
@@ -337,11 +338,10 @@ ConvertedStreams<ValueT> convertToCvrStreams(const CsrMatrix &A,
 
   // Each chunk converts independently (the paper converts per-thread in
   // parallel; the chunks are also what makes the conversion scalable).
-#pragma omp parallel for schedule(static) num_threads(NumThreads)
-  for (int T = 0; T < static_cast<int>(Parts.size()); ++T) {
+  ompParallelFor(static_cast<int>(Parts.size()), NumThreads, [&](int T) {
     ChunkConverter<ValueT> Conv(A, Parts[T], Cfg, Builds[T]);
     Conv.convert();
-  }
+  });
 
   // Stitch the per-chunk outputs into contiguous shared streams. With a
   // single chunk the buffers move without a copy.

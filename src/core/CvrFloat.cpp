@@ -8,6 +8,7 @@
 
 #include "core/CvrConverter.h"
 #include "simd/Simd.h"
+#include "support/ParallelFor.h"
 
 #include <cassert>
 #include <limits>
@@ -193,18 +194,17 @@ void cvrSpmvF(const CvrMatrixF &M, const float *X, float *Y) {
   bool UseAvx = false;
 #endif
 
-#pragma omp parallel for schedule(static) num_threads(NumChunks)
-  for (int T = 0; T < NumChunks; ++T) {
+  ompParallelFor(NumChunks, NumChunks, [&](int T) {
 #if CVR_SIMD_AVX512
-    if (UseAvx) {
+    if (UseAvx)
       runChunkAvxF(M, Chunks[T], X, Y);
-      continue;
-    }
+    else
+      runChunkGenericF(M, Chunks[T], X, Y);
 #else
     (void)UseAvx;
-#endif
     runChunkGenericF(M, Chunks[T], X, Y);
-  }
+#endif
+  });
 }
 
 } // namespace cvr

@@ -38,6 +38,10 @@
 
 namespace cvr {
 
+namespace analysis {
+struct Introspect;
+} // namespace analysis
+
 /// Conversion options.
 struct CvrOptions {
   /// SIMD lanes (the paper's omega): 8 for f64 on AVX-512. Any value >= 1
@@ -123,6 +127,9 @@ public:
 
 private:
   friend class CvrConverter;
+  /// Structural views + mutation access for src/analysis (invariant
+  /// checker and its mutation tests).
+  friend struct analysis::Introspect;
 
   std::int32_t NumRows = 0;
   std::int32_t NumCols = 0;

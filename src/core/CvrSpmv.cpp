@@ -7,6 +7,7 @@
 #include "core/CvrSpmv.h"
 
 #include "simd/Simd.h"
+#include "support/ParallelFor.h"
 
 #include <algorithm>
 #include <cassert>
@@ -283,9 +284,9 @@ void cvrSpmm(const CvrMatrix &M, const double *X, std::size_t LdX,
 
     const std::vector<CvrChunk> &Chunks = M.chunks();
     int NumChunks = static_cast<int>(Chunks.size());
-#pragma omp parallel for schedule(static) num_threads(NumChunks)
-    for (int T = 0; T < NumChunks; ++T)
+    ompParallelFor(NumChunks, NumChunks, [&](int T) {
       runChunkMulti(M, Chunks[T], XB, LdX, YB, LdY, B);
+    });
   }
 }
 
@@ -299,13 +300,12 @@ void cvrSpmv(const CvrMatrix &M, const double *X, double *Y) {
   int NumChunks = static_cast<int>(Chunks.size());
   bool UseAvx = M.lanes() == simd::DoubleLanes && !M.forcesGenericKernel();
 
-#pragma omp parallel for schedule(static) num_threads(NumChunks)
-  for (int T = 0; T < NumChunks; ++T) {
+  ompParallelFor(NumChunks, NumChunks, [&](int T) {
     if (UseAvx)
       runChunkAvx(M, Chunks[T], X, Y);
     else
       runChunkGeneric(M, Chunks[T], X, Y);
-  }
+  });
 }
 
 CvrKernel::CvrKernel(CvrOptions Opts) : Opts(Opts) {}

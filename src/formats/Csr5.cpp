@@ -8,6 +8,7 @@
 
 #include "parallel/Partition.h"
 #include "simd/Simd.h"
+#include "support/ParallelFor.h"
 
 #include <algorithm>
 #include <cassert>
@@ -210,16 +211,10 @@ void Csr5::run(const double *X, double *Y) const {
   assert(A && "prepare() must run first");
   std::memset(Y, 0, sizeof(double) * NumRows);
 
-#pragma omp parallel num_threads(NumThreads)
-  {
-#ifdef _OPENMP
-    int T = omp_get_thread_num();
-#else
-    int T = 0;
-#endif
+  ompParallelFor(NumThreads, NumThreads, [&](int T) {
     runTiles(X, Y, ThreadTile[T], ThreadTile[T + 1], ThreadLoRow[T],
              ThreadHiRow[T]);
-  }
+  });
 
   // Scalar CSR tail over the incomplete last tile.
   const std::int64_t *RowPtr = A->rowPtr();

@@ -29,6 +29,10 @@
 
 namespace cvr {
 
+namespace analysis {
+struct Introspect;
+} // namespace analysis
+
 /// CSR5 kernel. \p Sigma <= 0 selects the nnz/row-based heuristic the
 /// original library uses ("default tile size provided in its code").
 class Csr5 : public SpmvKernel {
@@ -50,6 +54,9 @@ public:
   int sigma() const { return Sigma; }
 
 private:
+  /// Structural views + mutation access for src/analysis.
+  friend struct analysis::Introspect;
+
   static constexpr int Omega = 8; ///< SIMD lanes for f64.
 
   void runTiles(const double *X, double *Y, std::int64_t T0, std::int64_t T1,

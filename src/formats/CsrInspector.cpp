@@ -8,6 +8,7 @@
 
 #include "formats/CsrKernels.h"
 #include "parallel/Partition.h"
+#include "support/ParallelFor.h"
 
 #include <algorithm>
 #include <atomic>
@@ -104,27 +105,20 @@ void CsrInspector::run(const double *X, double *Y) const {
   if (Schedule == CsrISchedule::Dynamic) {
     std::atomic<std::size_t> Next{0};
     std::size_t NumBlocks = BlockStart.size() - 1;
-#pragma omp parallel num_threads(NumThreads)
-    {
+    ompParallelFor(NumThreads, NumThreads, [&](int) {
       for (;;) {
         std::size_t B = Next.fetch_add(1, std::memory_order_relaxed);
         if (B >= NumBlocks)
           break;
         RunRows(BlockStart[B], BlockStart[B + 1]);
       }
-    }
+    });
     return;
   }
 
-#pragma omp parallel num_threads(NumThreads)
-  {
-#ifdef _OPENMP
-    int T = omp_get_thread_num();
-#else
-    int T = 0;
-#endif
+  ompParallelFor(NumThreads, NumThreads, [&](int T) {
     RunRows(RowSplit[T], RowSplit[T + 1]);
-  }
+  });
 }
 
 bool CsrInspector::traceRun(MemAccessSink &Sink, const double *X,

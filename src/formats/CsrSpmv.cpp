@@ -8,6 +8,7 @@
 
 #include "formats/CsrKernels.h"
 #include "parallel/Partition.h"
+#include "support/ParallelFor.h"
 
 #include <algorithm>
 #include <cassert>
@@ -46,16 +47,10 @@ void CsrSpmv::run(const double *X, double *Y) const {
   const std::int32_t *ColIdx = A->colIdx();
   const double *Vals = A->vals();
 
-#pragma omp parallel num_threads(NumThreads)
-  {
-#ifdef _OPENMP
-    int T = omp_get_thread_num();
-#else
-    int T = 0;
-#endif
+  ompParallelFor(NumThreads, NumThreads, [&](int T) {
     for (std::int32_t R = RowSplit[T], E = RowSplit[T + 1]; R < E; ++R)
       Y[R] = csrRowDot(Vals, ColIdx, RowPtr[R], RowPtr[R + 1], X);
-  }
+  });
 }
 
 bool CsrSpmv::traceRun(MemAccessSink &Sink, const double *X,

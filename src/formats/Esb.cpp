@@ -8,6 +8,7 @@
 
 #include "parallel/Partition.h"
 #include "simd/Simd.h"
+#include "support/ParallelFor.h"
 
 #include <algorithm>
 #include <cassert>
@@ -127,13 +128,7 @@ void Esb::prepare(const CsrMatrix &A) {
 
 void Esb::run(const double *X, double *Y) const {
   assert(!Perm.empty() || NumRows == 0);
-#pragma omp parallel num_threads(NumThreads)
-  {
-#ifdef _OPENMP
-    int T = omp_get_thread_num();
-#else
-    int T = 0;
-#endif
+  ompParallelFor(NumThreads, NumThreads, [&](int T) {
     alignas(64) double Acc[SliceRows];
     for (std::int32_t S = ThreadSlice[T], E = ThreadSlice[T + 1]; S < E;
          ++S) {
@@ -168,7 +163,7 @@ void Esb::run(const double *X, double *Y) const {
           Y[Perm[PR]] = Acc[K];
       }
     }
-  }
+  });
 }
 
 bool Esb::traceRun(MemAccessSink &Sink, const double *X, double *Y) const {

@@ -30,6 +30,10 @@
 
 namespace cvr {
 
+namespace analysis {
+struct Introspect;
+} // namespace analysis
+
 /// Row-sorting policy for ESB.
 enum class EsbSort {
   NoSort,   ///< Natural row order (pure sliced ELLPACK).
@@ -61,6 +65,9 @@ public:
   double paddingRatio() const { return PaddingRatio; }
 
 private:
+  /// Structural views + mutation access for src/analysis.
+  friend struct analysis::Introspect;
+
   static constexpr int SliceRows = 8;
 
   EsbSort Sort;

@@ -8,6 +8,7 @@
 
 #include "parallel/Partition.h"
 #include "simd/Simd.h"
+#include "support/ParallelFor.h"
 
 #include <algorithm>
 #include <cassert>
@@ -123,8 +124,7 @@ void Vhcc::prepare(const CsrMatrix &A) {
 void Vhcc::run(const double *X, double *Y) const {
   // Phase 1: per-panel segmented sums into panel-local partials.
   // Panels are independent, so the loop parallelizes without atomics.
-#pragma omp parallel for schedule(dynamic, 1) num_threads(NumThreads)
-  for (int P = 0; P < NumPanels; ++P) {
+  ompParallelForDynamic(NumPanels, NumThreads, [&](int P) {
     double *Part = Partials.data() + PartialOff[P];
     std::int64_t I = PanelOff[P], E = PanelOff[P + 1];
     // Vectorized products in 8-wide groups; the segmented sum exploits the
@@ -161,16 +161,15 @@ void Vhcc::run(const double *X, double *Y) const {
       Accumulate(I, Vals[I] * X[ColIdx[I]]);
     if (Cur >= 0)
       Part[Cur] = Acc;
-  }
+  });
 
   // Phase 2: merge panel partials into y (one writer per row).
-#pragma omp parallel for schedule(static) num_threads(NumThreads)
-  for (std::int32_t R = 0; R < NumRows; ++R) {
+  ompParallelFor(NumRows, NumThreads, [&](int R) {
     double Sum = 0.0;
     for (std::int64_t M = MergePtr[R]; M < MergePtr[R + 1]; ++M)
       Sum += Partials[MergeIdx[M]];
     Y[R] = Sum;
-  }
+  });
 }
 
 bool Vhcc::traceRun(MemAccessSink &Sink, const double *X, double *Y) const {

@@ -32,6 +32,10 @@
 
 namespace cvr {
 
+namespace analysis {
+struct Introspect;
+} // namespace analysis
+
 /// VHCC kernel with \p NumPanels vertical panels.
 class Vhcc : public SpmvKernel {
 public:
@@ -52,6 +56,9 @@ public:
   static const std::vector<int> &panelSweep();
 
 private:
+  /// Structural views + mutation access for src/analysis.
+  friend struct analysis::Introspect;
+
   int NumPanels;
   int NumThreads;
   std::int32_t NumRows = 0;

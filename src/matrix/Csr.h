@@ -22,6 +22,10 @@ namespace cvr {
 
 class CooMatrix;
 
+namespace analysis {
+struct Introspect;
+} // namespace analysis
+
 /// Compressed sparse row matrix with 64-byte aligned streams.
 ///
 /// Row pointers are 64-bit (large nnz), column indices 32-bit (the gather
@@ -63,6 +67,9 @@ public:
   bool isValid() const;
 
 private:
+  /// Mutation access for the invariant-checker tests (src/analysis).
+  friend struct analysis::Introspect;
+
   std::int32_t NumRows = 0;
   std::int32_t NumCols = 0;
   AlignedBuffer<std::int64_t> RowPtr;

@@ -6,6 +6,8 @@
 
 #include "parallel/Partition.h"
 
+#include "support/ParallelFor.h"
+
 #include <algorithm>
 #include <cassert>
 
@@ -60,6 +62,44 @@ findSharedRows(const CsrMatrix &A, const std::vector<NnzChunk> &Chunks) {
       Shared[Row] = 1;
   }
   return Shared;
+}
+
+void spmvPartitioned(const CsrMatrix &A, const std::vector<NnzChunk> &Chunks,
+                     const std::vector<std::uint8_t> &Shared, const double *X,
+                     double *Y) {
+  assert(Shared.size() == static_cast<std::size_t>(A.numRows()) &&
+         "one shared flag per row");
+  const std::int64_t *RowPtr = A.rowPtr();
+  const std::int32_t *Ci = A.colIdx();
+  const double *Va = A.vals();
+
+  // Rows no single chunk fully owns start at zero: shared rows accumulate
+  // partials from several chunks, empty rows are never stored to.
+  for (std::int32_t Row = 0; Row < A.numRows(); ++Row)
+    if (Shared[Row] || RowPtr[Row] == RowPtr[Row + 1])
+      Y[Row] = 0.0;
+
+  const int NumChunks = static_cast<int>(Chunks.size());
+  ompParallelFor(NumChunks, NumChunks, [&](int T) {
+    const NnzChunk &C = Chunks[T];
+    if (C.empty())
+      return;
+    for (std::int32_t Row = C.FirstRow; Row <= C.LastRow; ++Row) {
+      std::int64_t Lo = std::max(RowPtr[Row], C.NnzStart);
+      std::int64_t Hi = std::min(RowPtr[Row + 1], C.NnzEnd);
+      if (Hi <= Lo)
+        continue;
+      double Sum = 0.0;
+      for (std::int64_t I = Lo; I < Hi; ++I)
+        Sum += Va[I] * X[Ci[I]];
+      if (Shared[Row]) {
+#pragma omp atomic
+        Y[Row] += Sum;
+      } else {
+        Y[Row] = Sum;
+      }
+    }
+  });
 }
 
 int defaultThreadCount() {

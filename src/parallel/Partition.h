@@ -48,6 +48,16 @@ std::vector<std::uint8_t> findSharedRows(const CsrMatrix &A,
 /// Number of threads to use by default (OMP_NUM_THREADS / hardware).
 int defaultThreadCount();
 
+/// Parallel CSR SpMV over an nnz partition: one OpenMP thread per chunk,
+/// rows clipped to each chunk's nnz range. Interior rows have a single
+/// writer and take a plain store; rows straddling a chunk boundary (per
+/// \p Shared, from findSharedRows) are combined with atomic adds — the
+/// exact contract CVR's write-back records follow, exercised directly here
+/// so the race-detection build has a minimal target. \p Y is overwritten.
+void spmvPartitioned(const CsrMatrix &A, const std::vector<NnzChunk> &Chunks,
+                     const std::vector<std::uint8_t> &Shared, const double *X,
+                     double *Y);
+
 } // namespace cvr
 
 #endif // CVR_PARALLEL_PARTITION_H

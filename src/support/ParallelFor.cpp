@@ -1,0 +1,50 @@
+//===- support/ParallelFor.cpp - TSan trampoline for OpenMP regions -------===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ParallelFor.h"
+
+#if defined(__SANITIZE_THREAD__)
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace cvr {
+namespace detail {
+
+std::atomic<TsanBody> TsanFn{nullptr};
+std::atomic<void *> TsanCtx{nullptr};
+std::atomic<int> TsanTotal{0};
+std::mutex TsanMutex;
+
+void tsanParallelRun(int NumThreads) {
+  // This region must capture nothing: any shared local would make GCC spill
+  // an argument struct onto the master's stack, and workers reading it is
+  // exactly the false race this file exists to avoid. num_threads() is
+  // passed to the runtime by value, and everything else arrives through
+  // the atomics (whose loads give each worker the acquire edge).
+#pragma omp parallel num_threads(NumThreads)
+  {
+#ifdef _OPENMP
+    int Team = omp_get_num_threads();
+    int Id = omp_get_thread_num();
+#else
+    int Team = 1;
+    int Id = 0;
+#endif
+    TsanBody Fn = TsanFn.load();
+    void *Ctx = TsanCtx.load();
+    int Total = TsanTotal.load();
+    for (int T = Id; T < Total; T += Team)
+      Fn(Ctx, T);
+    tsanOmpWorkerEnd(&TsanFn);
+  }
+}
+
+} // namespace detail
+} // namespace cvr
+
+#endif // __SANITIZE_THREAD__

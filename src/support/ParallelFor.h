@@ -1,0 +1,93 @@
+//===- support/ParallelFor.h - OpenMP parallel-for, TSan-compatible -*-C++-*-===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ompParallelFor(Total, NumThreads, Body) runs Body(0..Total-1) across an
+/// OpenMP team. In normal builds it is exactly the pragma it replaces —
+/// the lambda inlines into a `#pragma omp parallel for` loop.
+///
+/// Under ThreadSanitizer it takes a different route. GCC's libgomp is not
+/// TSan-instrumented, so two things about a plain pragma are invisible to
+/// TSan: the fork/join barriers, and the compiler-generated shared-argument
+/// struct the master writes to its own stack for workers to read. Both
+/// produce false races that no source annotation can cover (the struct
+/// accesses are generated before any user statement in the region runs).
+/// The TSan path therefore publishes the body through std::atomic globals
+/// — real atomics TSan models, giving the master->worker happens-before
+/// edge — and launches a *captureless* parallel region, so no shared stack
+/// struct exists at all. The join edge back to the master is restated with
+/// the TsanAnnotate helpers. Scheduling degrades to round-robin, which is
+/// fine for the correctness tests a TSan build exists to run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVR_SUPPORT_PARALLELFOR_H
+#define CVR_SUPPORT_PARALLELFOR_H
+
+#include "support/TsanAnnotate.h"
+
+#if defined(__SANITIZE_THREAD__)
+#include <atomic>
+#include <mutex>
+#include <type_traits>
+#endif
+
+namespace cvr {
+
+#if defined(__SANITIZE_THREAD__)
+
+namespace detail {
+using TsanBody = void (*)(void *, int);
+extern std::atomic<TsanBody> TsanFn;
+extern std::atomic<void *> TsanCtx;
+extern std::atomic<int> TsanTotal;
+extern std::mutex TsanMutex;
+/// Captureless `#pragma omp parallel` trampoline (ParallelFor.cpp).
+void tsanParallelRun(int NumThreads);
+} // namespace detail
+
+template <typename F>
+void ompParallelFor(int Total, int NumThreads, F &&Body) {
+  // Serialized: the globals hold one dispatch at a time. TSan builds are
+  // for correctness, not throughput.
+  std::lock_guard<std::mutex> Lock(detail::TsanMutex);
+  detail::TsanCtx.store(const_cast<void *>(
+      static_cast<const void *>(&Body)));
+  detail::TsanTotal.store(Total);
+  detail::TsanFn.store(+[](void *Ctx, int T) {
+    (*static_cast<std::remove_reference_t<F> *>(Ctx))(T);
+  });
+  detail::tsanParallelRun(NumThreads);
+  tsanOmpJoin(&detail::TsanFn);
+}
+
+template <typename F>
+void ompParallelForDynamic(int Total, int NumThreads, F &&Body) {
+  ompParallelFor(Total, NumThreads, static_cast<F &&>(Body));
+}
+
+#else
+
+template <typename F>
+void ompParallelFor(int Total, int NumThreads, F &&Body) {
+#pragma omp parallel for schedule(static) num_threads(NumThreads)
+  for (int T = 0; T < Total; ++T)
+    Body(T);
+}
+
+/// Work-stealing flavor for uneven iterations (VHCC panels).
+template <typename F>
+void ompParallelForDynamic(int Total, int NumThreads, F &&Body) {
+#pragma omp parallel for schedule(dynamic, 1) num_threads(NumThreads)
+  for (int T = 0; T < Total; ++T)
+    Body(T);
+}
+
+#endif // __SANITIZE_THREAD__
+
+} // namespace cvr
+
+#endif // CVR_SUPPORT_PARALLELFOR_H

@@ -1,0 +1,64 @@
+//===- support/TsanAnnotate.h - OpenMP happens-before for TSan ----*-C++-*-===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// GCC's libgomp is not ThreadSanitizer-instrumented, so the fork/join
+/// barriers of an OpenMP parallel region are invisible to TSan and every
+/// access across a region boundary reports as a false race (master writes
+/// before the region vs. worker reads inside it, and vice versa). These
+/// helpers restate the barrier semantics the region already guarantees:
+///
+///   tsanOmpFork(&Tag);          // master, immediately before the region
+///   #pragma omp parallel ...
+///   {
+///     tsanOmpWorkerBegin(&Tag); // first statement of the region/iteration
+///     ...
+///     tsanOmpWorkerEnd(&Tag);   // last statement of the region/iteration
+///   }
+///   tsanOmpJoin(&Tag);          // master, immediately after the region
+///
+/// __tsan_release joins the thread's clock into the tag's sync clock and
+/// __tsan_acquire joins the tag's clock into the thread, so releases from
+/// all workers accumulate and the master's join sees every worker's writes.
+/// Under non-TSan builds everything compiles to nothing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVR_SUPPORT_TSANANNOTATE_H
+#define CVR_SUPPORT_TSANANNOTATE_H
+
+#if defined(__SANITIZE_THREAD__)
+extern "C" {
+void __tsan_acquire(void *Addr);
+void __tsan_release(void *Addr);
+}
+#endif
+
+namespace cvr {
+
+#if defined(__SANITIZE_THREAD__)
+inline void tsanOmpFork(const void *Tag) {
+  __tsan_release(const_cast<void *>(Tag));
+}
+inline void tsanOmpWorkerBegin(const void *Tag) {
+  __tsan_acquire(const_cast<void *>(Tag));
+}
+inline void tsanOmpWorkerEnd(const void *Tag) {
+  __tsan_release(const_cast<void *>(Tag));
+}
+inline void tsanOmpJoin(const void *Tag) {
+  __tsan_acquire(const_cast<void *>(Tag));
+}
+#else
+inline void tsanOmpFork(const void *) {}
+inline void tsanOmpWorkerBegin(const void *) {}
+inline void tsanOmpWorkerEnd(const void *) {}
+inline void tsanOmpJoin(const void *) {}
+#endif
+
+} // namespace cvr
+
+#endif // CVR_SUPPORT_TSANANNOTATE_H

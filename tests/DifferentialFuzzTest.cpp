@@ -9,8 +9,16 @@
 // column ranges) with random thread counts, and all results must agree with
 // the scalar reference. One seed = one test, so failures bisect trivially.
 //
+// Before the differential compare, each fuzzed matrix is routed through the
+// InvariantChecker and the bounds-checked CVR shadow kernels. That splits
+// any failure three ways: a structural violation names a conversion bug, a
+// checked.cvr.* runtime violation names a kernel addressing bug, and a
+// clean structure with a mismatching result names a kernel arithmetic or
+// scheduling bug.
+//
 //===----------------------------------------------------------------------===//
 
+#include "analysis/CheckedKernel.h"
 #include "formats/Registry.h"
 
 #include "TestUtil.h"
@@ -56,18 +64,50 @@ TEST_P(AllFormatsFuzz, EveryVariantMatchesReference) {
       randomVector(static_cast<std::size_t>(A.numCols()), Seed ^ 0xABCD);
   std::vector<double> Expected = referenceSpmv(A, X);
 
+  // The fuzzed input itself must be a well-formed CSR matrix; anything the
+  // formats do wrong downstream is then attributable to them.
+  {
+    std::vector<analysis::Violation> Vs =
+        analysis::InvariantChecker::checkCsr(A);
+    ASSERT_TRUE(Vs.empty()) << "fuzz generator produced invalid CSR:\n"
+                            << analysis::formatViolations(Vs);
+  }
+
   Xoshiro256 Rng(Seed ^ 0x1234);
   int Threads = static_cast<int>(1 + Rng.nextBounded(5));
 
   for (FormatId F : allFormats()) {
-    for (const KernelVariant &V : variantsOf(F, Threads)) {
+    for (const KernelVariant &V : analysis::checkedVariantsOf(F, Threads)) {
       std::unique_ptr<SpmvKernel> K = V.Make();
+      auto &CK = static_cast<analysis::CheckedKernel &>(*K);
+      const std::string Where = V.VariantName + " seed " +
+                                std::to_string(Seed) + " threads " +
+                                std::to_string(Threads) + " shape " +
+                                std::to_string(A.numRows()) + "x" +
+                                std::to_string(A.numCols());
+
+      // Conversion attribution: structure must be sound before any run.
       K->prepare(A);
+      EXPECT_TRUE(CK.violations().empty())
+          << "conversion bug in " << Where << ":\n"
+          << analysis::formatViolations(CK.violations());
+      CK.clearViolations();
+
+      // Kernel attribution: checked execution (CVR's shadows assert every
+      // gather/scatter), then the differential compare.
       std::vector<double> Y(static_cast<std::size_t>(A.numRows()), 0.5);
       K->run(X.data(), Y.data());
-      EXPECT_LE(maxRelDiff(Expected, Y), SpmvTolerance)
-          << V.VariantName << " seed " << Seed << " threads " << Threads
-          << " shape " << A.numRows() << "x" << A.numCols();
+      EXPECT_TRUE(CK.violations().empty())
+          << "kernel addressing bug in " << Where << ":\n"
+          << analysis::formatViolations(CK.violations());
+      EXPECT_LE(maxRelDiff(Expected, Y), SpmvTolerance) << Where;
+
+      // The checked CVR path runs serial shadows; exercise the production
+      // (parallel) kernel on the same prepared format as well.
+      std::vector<double> Y2(static_cast<std::size_t>(A.numRows()), 0.5);
+      CK.inner().run(X.data(), Y2.data());
+      EXPECT_LE(maxRelDiff(Expected, Y2), SpmvTolerance)
+          << Where << " (production kernel)";
     }
   }
 }

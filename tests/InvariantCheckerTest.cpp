@@ -1,0 +1,397 @@
+//===- tests/InvariantCheckerTest.cpp - Invariant checker + mutations -----===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Two halves:
+//
+//  * clean structures produced by the real converters pass every check
+//    (including the full checked-mode sweep over the smoke suite);
+//  * targeted mutations — one corrupted field per test, injected through
+//    analysis::Introspect — are caught and attributed to the *named* rule,
+//    which is the property `cvr_tool validate` and the fuzz harness rely on
+//    to tell conversion bugs from kernel bugs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CheckedKernel.h"
+#include "analysis/CheckedSpmv.h"
+#include "analysis/Introspect.h"
+#include "analysis/InvariantChecker.h"
+#include "core/CvrSpmv.h"
+#include "formats/Csr5.h"
+#include "formats/Esb.h"
+#include "formats/Vhcc.h"
+#include "gen/DatasetSuite.h"
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace cvr {
+namespace {
+
+using analysis::CheckedKernel;
+using analysis::Introspect;
+using analysis::InvariantChecker;
+using analysis::Violation;
+
+bool hasRule(const std::vector<Violation> &Vs, const std::string &Rule) {
+  return std::any_of(Vs.begin(), Vs.end(),
+                     [&](const Violation &V) { return V.Rule == Rule; });
+}
+
+/// EXPECTs that \p Vs names \p Rule, printing the full report otherwise.
+void expectRule(const std::vector<Violation> &Vs, const std::string &Rule) {
+  EXPECT_TRUE(hasRule(Vs, Rule))
+      << "expected rule '" << Rule << "', got:\n"
+      << (Vs.empty() ? std::string("  (no violations)\n")
+                     : analysis::formatViolations(Vs));
+}
+
+CsrMatrix testMatrix(std::uint64_t Seed = 11) {
+  return test::randomCsr(60, 50, 0.08, Seed);
+}
+
+//===----------------------------------------------------------------------===//
+// Clean structures pass.
+//===----------------------------------------------------------------------===//
+
+TEST(InvariantChecker, CleanCsrPasses) {
+  CsrMatrix A = testMatrix();
+  EXPECT_TRUE(InvariantChecker::checkCsr(A).empty());
+}
+
+TEST(InvariantChecker, CleanCvrPasses) {
+  CsrMatrix A = testMatrix();
+  CvrOptions Opts;
+  Opts.NumThreads = 4;
+  CvrMatrix M = CvrMatrix::fromCsr(A, Opts);
+  std::vector<Violation> Vs = InvariantChecker::checkCvr(M, &A);
+  EXPECT_TRUE(Vs.empty()) << analysis::formatViolations(Vs);
+}
+
+TEST(InvariantChecker, CleanCsr5Passes) {
+  CsrMatrix A = testMatrix();
+  Csr5 K(/*Sigma=*/4, /*NumThreads=*/4);
+  K.prepare(A);
+  std::vector<Violation> Vs = InvariantChecker::checkCsr5(K, A);
+  EXPECT_TRUE(Vs.empty()) << analysis::formatViolations(Vs);
+}
+
+TEST(InvariantChecker, CleanEsbPasses) {
+  CsrMatrix A = testMatrix();
+  for (EsbSort S : {EsbSort::NoSort, EsbSort::Windowed, EsbSort::Global}) {
+    Esb K(S, /*NumThreads=*/4);
+    K.prepare(A);
+    std::vector<Violation> Vs = InvariantChecker::checkEsb(K, A);
+    EXPECT_TRUE(Vs.empty()) << esbSortName(S) << ":\n"
+                            << analysis::formatViolations(Vs);
+  }
+}
+
+TEST(InvariantChecker, CleanVhccPasses) {
+  CsrMatrix A = testMatrix();
+  Vhcc K(/*NumPanels=*/4, /*NumThreads=*/4);
+  K.prepare(A);
+  std::vector<Violation> Vs = InvariantChecker::checkVhcc(K, A);
+  EXPECT_TRUE(Vs.empty()) << analysis::formatViolations(Vs);
+}
+
+// The acceptance sweep in miniature: every variant of every format over a
+// representative suite matrix must pass structure, checked execution, and
+// the differential compare. (cvr_tool validate runs the same driver over
+// the full generator suite.)
+TEST(InvariantChecker, CheckedSweepOverSmokeSuite) {
+  for (const DatasetSpec &Spec : smokeSuite(/*SizeScale=*/0.1)) {
+    CsrMatrix A = Spec.Build();
+    for (const analysis::VariantReport &Rep :
+         analysis::validateMatrix(A, nullptr, /*NumThreads=*/2)) {
+      EXPECT_TRUE(Rep.Structure.empty())
+          << Spec.Name << " / " << Rep.Variant << " structure:\n"
+          << analysis::formatViolations(Rep.Structure);
+      EXPECT_TRUE(Rep.Runtime.empty())
+          << Spec.Name << " / " << Rep.Variant << " runtime:\n"
+          << analysis::formatViolations(Rep.Runtime);
+      EXPECT_TRUE(Rep.DiffOk) << Spec.Name << " / " << Rep.Variant
+                              << " maxRelDiff=" << Rep.MaxRelDiff;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// CSR mutations.
+//===----------------------------------------------------------------------===//
+
+TEST(InvariantCheckerMutation, CsrRowPtrDecreasing) {
+  CsrMatrix A = testMatrix();
+  AlignedBuffer<std::int64_t> &RowPtr = Introspect::csrRowPtr(A);
+  RowPtr[10] = RowPtr[12] + 3; // Makes rowPtr[10] > rowPtr[11].
+  expectRule(InvariantChecker::checkCsr(A), "csr.rowptr.monotone");
+}
+
+TEST(InvariantCheckerMutation, CsrColumnOutOfRange) {
+  CsrMatrix A = testMatrix();
+  Introspect::csrColIdx(A)[5] = A.numCols() + 7;
+  expectRule(InvariantChecker::checkCsr(A), "csr.col.range");
+}
+
+//===----------------------------------------------------------------------===//
+// CVR mutations (the satellite's "swap two CVR records" included).
+//===----------------------------------------------------------------------===//
+
+TEST(InvariantCheckerMutation, CvrSwappedRecords) {
+  CsrMatrix A = testMatrix();
+  CvrOptions Opts;
+  Opts.NumThreads = 2;
+  CvrMatrix M = CvrMatrix::fromCsr(A, Opts);
+  std::vector<CvrRecord> &Recs = Introspect::recs(M);
+
+  // Swap the first in-chunk pair with distinct positions.
+  bool Swapped = false;
+  for (const CvrChunk &C : M.chunks()) {
+    for (std::int64_t I = C.RecBase; I + 1 < C.RecEnd; ++I)
+      if (Recs[I].Pos != Recs[I + 1].Pos) {
+        std::swap(Recs[I], Recs[I + 1]);
+        Swapped = true;
+        break;
+      }
+    if (Swapped)
+      break;
+  }
+  ASSERT_TRUE(Swapped) << "test matrix produced no swappable record pair";
+  expectRule(InvariantChecker::checkCvr(M, &A), "cvr.rec.pos-order");
+}
+
+TEST(InvariantCheckerMutation, CvrColumnOutOfRange) {
+  CsrMatrix A = testMatrix();
+  CvrMatrix M = CvrMatrix::fromCsr(A, {});
+  Introspect::colIdx(M)[3] = -2;
+  expectRule(InvariantChecker::checkCvr(M, &A), "cvr.col.range");
+}
+
+TEST(InvariantCheckerMutation, CvrStolenValueCorrupted) {
+  CsrMatrix A = testMatrix();
+  CvrMatrix M = CvrMatrix::fromCsr(A, {});
+  // Perturbing one stream value breaks the element multiset accounting.
+  Introspect::vals(M)[7] += 0.5;
+  std::vector<Violation> Vs = InvariantChecker::checkCvr(M, &A);
+  EXPECT_TRUE(hasRule(Vs, "cvr.elem.spurious") ||
+              hasRule(Vs, "cvr.elem.missing"))
+      << analysis::formatViolations(Vs);
+}
+
+TEST(InvariantCheckerMutation, CvrTailRowOutOfRange) {
+  CsrMatrix A = testMatrix();
+  CvrMatrix M = CvrMatrix::fromCsr(A, {});
+  AlignedBuffer<std::int32_t> &Tails = Introspect::tails(M);
+  std::size_t Victim = 0;
+  for (std::size_t I = 0; I < Tails.size(); ++I)
+    if (Tails[I] >= 0) {
+      Victim = I;
+      break;
+    }
+  Tails[Victim] = M.numRows() + 100;
+  expectRule(InvariantChecker::checkCvr(M, &A), "cvr.tail.row-range");
+}
+
+//===----------------------------------------------------------------------===//
+// CSR5 mutations (the satellite's "truncate a tile descriptor" included).
+//===----------------------------------------------------------------------===//
+
+TEST(InvariantCheckerMutation, Csr5TruncatedFlushRows) {
+  CsrMatrix A = testMatrix();
+  Csr5 K(/*Sigma=*/4, /*NumThreads=*/2);
+  K.prepare(A);
+  AlignedBuffer<std::int32_t> &FlushRows = Introspect::csr5FlushRows(K);
+  ASSERT_GT(FlushRows.size(), 0u) << "matrix produced no flush descriptors";
+  FlushRows.resize(FlushRows.size() - 1); // Shrink keeps the prefix intact.
+  expectRule(InvariantChecker::checkCsr5(K, A), "csr5.flush.size");
+}
+
+TEST(InvariantCheckerMutation, Csr5BitFlagFlipped) {
+  CsrMatrix A = testMatrix();
+  Csr5 K(/*Sigma=*/4, /*NumThreads=*/2);
+  K.prepare(A);
+  AlignedBuffer<std::uint8_t> &BitFlag = Introspect::csr5BitFlag(K);
+  ASSERT_GT(BitFlag.size(), 1u);
+  BitFlag[1] ^= 0x4; // Flip lane 2's row-start bit at tile 0, depth 1.
+  expectRule(InvariantChecker::checkCsr5(K, A), "csr5.bitflag.mismatch");
+}
+
+TEST(InvariantCheckerMutation, Csr5TileColumnCorrupted) {
+  CsrMatrix A = testMatrix();
+  Csr5 K(/*Sigma=*/4, /*NumThreads=*/2);
+  K.prepare(A);
+  AlignedBuffer<std::int32_t> &TCols = Introspect::csr5TileCols(K);
+  ASSERT_GT(TCols.size(), 0u);
+  TCols[0] = A.numCols() + 3;
+  expectRule(InvariantChecker::checkCsr5(K, A), "csr5.col.range");
+}
+
+//===----------------------------------------------------------------------===//
+// ESB mutations (the satellite's "point a column out of range" included).
+//===----------------------------------------------------------------------===//
+
+TEST(InvariantCheckerMutation, EsbColumnOutOfRange) {
+  CsrMatrix A = testMatrix();
+  Esb K(EsbSort::Windowed, /*NumThreads=*/2);
+  K.prepare(A);
+  AlignedBuffer<std::int32_t> &ColIdx = Introspect::esbColIdx(K);
+  // Corrupt the first masked-valid slot so the range check (not the pad
+  // check) sees it.
+  analysis::EsbView V = Introspect::esb(K);
+  std::size_t Victim = 0;
+  for (std::size_t I = 0; I < ColIdx.size(); ++I)
+    if (V.Mask[I / 8] & (1U << (I % 8))) {
+      Victim = I;
+      break;
+    }
+  ColIdx[Victim] = A.numCols();
+  expectRule(InvariantChecker::checkEsb(K, A), "esb.col.range");
+}
+
+TEST(InvariantCheckerMutation, EsbPermutationDuplicate) {
+  CsrMatrix A = testMatrix();
+  Esb K(EsbSort::Global, /*NumThreads=*/2);
+  K.prepare(A);
+  Introspect::esbPerm(K)[0] = Introspect::esbPerm(K)[1];
+  expectRule(InvariantChecker::checkEsb(K, A), "esb.perm.permutation");
+}
+
+TEST(InvariantCheckerMutation, EsbMaskBitCleared) {
+  CsrMatrix A = testMatrix();
+  Esb K(EsbSort::NoSort, /*NumThreads=*/2);
+  K.prepare(A);
+  AlignedBuffer<std::uint8_t> &Mask = Introspect::esbMask(K);
+  std::size_t Victim = 0;
+  for (std::size_t I = 0; I < Mask.size(); ++I)
+    if (Mask[I] != 0) {
+      Victim = I;
+      break;
+    }
+  Mask[Victim] = 0;
+  expectRule(InvariantChecker::checkEsb(K, A), "esb.mask.mismatch");
+}
+
+//===----------------------------------------------------------------------===//
+// VHCC mutations.
+//===----------------------------------------------------------------------===//
+
+TEST(InvariantCheckerMutation, VhccColumnOutOfRange) {
+  CsrMatrix A = testMatrix();
+  Vhcc K(/*NumPanels=*/4, /*NumThreads=*/2);
+  K.prepare(A);
+  Introspect::vhccColIdx(K)[0] = -1;
+  expectRule(InvariantChecker::checkVhcc(K, A), "vhcc.col.range");
+}
+
+TEST(InvariantCheckerMutation, VhccMergePlanDuplicate) {
+  CsrMatrix A = testMatrix();
+  Vhcc K(/*NumPanels=*/4, /*NumThreads=*/2);
+  K.prepare(A);
+  std::vector<std::int64_t> &MergeIdx = Introspect::vhccMergeIdx(K);
+  ASSERT_GT(MergeIdx.size(), 1u);
+  MergeIdx[1] = MergeIdx[0]; // One partial merged twice, one never.
+  expectRule(InvariantChecker::checkVhcc(K, A), "vhcc.merge.permutation");
+}
+
+TEST(InvariantCheckerMutation, VhccLocalRowJump) {
+  CsrMatrix A = testMatrix();
+  Vhcc K(/*NumPanels=*/2, /*NumThreads=*/2);
+  K.prepare(A);
+  AlignedBuffer<std::int32_t> &LocalRow = Introspect::vhccLocalRow(K);
+  ASSERT_GT(LocalRow.size(), 0u);
+  LocalRow[0] = 2; // Panels must start their segmented sum at local row 0.
+  std::vector<Violation> Vs = InvariantChecker::checkVhcc(K, A);
+  EXPECT_TRUE(hasRule(Vs, "vhcc.localrow.dense") ||
+              hasRule(Vs, "vhcc.elem.mismatch"))
+      << analysis::formatViolations(Vs);
+}
+
+//===----------------------------------------------------------------------===//
+// Checked kernels: runtime attribution of corrupt streams.
+//===----------------------------------------------------------------------===//
+
+TEST(CheckedSpmv, CatchesGatherOutOfRange) {
+  CsrMatrix A = testMatrix();
+  CvrMatrix M = CvrMatrix::fromCsr(A, {});
+  Introspect::colIdx(M)[4] = A.numCols() + 1000; // Would gather wild.
+  std::vector<double> X = test::randomVector(A.numCols(), 3);
+  std::vector<double> Y(A.numRows(), 0.0);
+  std::vector<Violation> Vs;
+  analysis::cvrSpmvChecked(M, X.data(), Y.data(), Vs);
+  expectRule(Vs, "checked.cvr.gather");
+}
+
+TEST(CheckedSpmv, CatchesScatterOutOfRange) {
+  CsrMatrix A = testMatrix();
+  CvrOptions Opts;
+  Opts.NumThreads = 2;
+  CvrMatrix M = CvrMatrix::fromCsr(A, Opts);
+  std::vector<CvrRecord> &Recs = Introspect::recs(M);
+  bool Mutated = false;
+  for (CvrRecord &R : Recs)
+    if (!R.Steal) {
+      R.Wb = M.numRows() + 50; // Feed record scatters past y.
+      Mutated = true;
+      break;
+    }
+  ASSERT_TRUE(Mutated);
+  std::vector<double> X = test::randomVector(A.numCols(), 3);
+  std::vector<double> Y(A.numRows(), 0.0);
+  std::vector<Violation> Vs;
+  analysis::cvrSpmvChecked(M, X.data(), Y.data(), Vs);
+  expectRule(Vs, "checked.cvr.scatter");
+}
+
+TEST(CheckedSpmv, BothShadowsMatchReferenceWhenClean) {
+  CsrMatrix A = testMatrix(29);
+  CvrOptions Opts;
+  Opts.NumThreads = 3;
+  CvrMatrix M = CvrMatrix::fromCsr(A, Opts);
+  std::vector<double> X = test::randomVector(A.numCols(), 5);
+  std::vector<double> Ref(A.numRows(), 0.0);
+  referenceSpmv(A, X.data(), Ref.data());
+
+  for (bool Avx : {false, true}) {
+    std::vector<double> Y(A.numRows(), -1.0);
+    std::vector<Violation> Vs;
+    if (Avx)
+      analysis::cvrSpmvCheckedAvx(M, X.data(), Y.data(), Vs);
+    else
+      analysis::cvrSpmvCheckedGeneric(M, X.data(), Y.data(), Vs);
+    EXPECT_TRUE(Vs.empty()) << analysis::formatViolations(Vs);
+    EXPECT_LE(maxRelDiff(Ref, Y), test::SpmvTolerance);
+  }
+}
+
+// Registry plumbing: every checked variant carries the +checked suffix and
+// runs clean end to end on a well-formed matrix.
+TEST(CheckedKernelTest, CheckedVariantsRunClean) {
+  CsrMatrix A = testMatrix(31);
+  std::vector<double> X = test::randomVector(A.numCols(), 7);
+  std::vector<double> Ref(A.numRows(), 0.0);
+  referenceSpmv(A, X.data(), Ref.data());
+
+  for (FormatId F : allFormats()) {
+    std::vector<KernelVariant> Vars =
+        analysis::checkedVariantsOf(F, /*NumThreads=*/2);
+    ASSERT_FALSE(Vars.empty());
+    std::unique_ptr<SpmvKernel> K = Vars.front().Make();
+    EXPECT_NE(K->name().find("+checked"), std::string::npos);
+    K->prepare(A);
+    std::vector<double> Y(A.numRows(), 0.0);
+    K->run(X.data(), Y.data());
+    const auto &CK = static_cast<const CheckedKernel &>(*K);
+    EXPECT_TRUE(CK.violations().empty())
+        << K->name() << ":\n"
+        << analysis::formatViolations(CK.violations());
+    EXPECT_LE(maxRelDiff(Ref, Y), test::SpmvTolerance) << K->name();
+  }
+}
+
+} // namespace
+} // namespace cvr

@@ -14,6 +14,11 @@
 //                                             (the run_comparison.sh flow)
 //   cvr_tool locality <matrix.mtx>            simulated L2 miss ratios
 //                                             (the run_locality.sh flow)
+//   cvr_tool validate <matrix.mtx|suite-name|--suite> [--format=F]
+//                                             checked mode: structural
+//                                             invariants + bounds-checked
+//                                             execution + differential
+//                                             compare, every variant
 //   cvr_tool gen      <suite-name> <out.mtx> [--scale=X]
 //                                             write one of the 58 suite
 //                                             matrices as Matrix Market
@@ -24,6 +29,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/CheckedKernel.h"
+#include "analysis/CheckedSpmv.h"
 #include "benchlib/Equations.h"
 #include "benchlib/Measure.h"
 #include "cachesim/LocalityProbe.h"
@@ -56,6 +63,9 @@ int usage(const char *Prog) {
       "  spmv     <matrix.mtx|blob.cvr> [-n N] [--threads T]\n"
       "  compare  <matrix.mtx> [-n N]          all formats side by side\n"
       "  locality <matrix.mtx>                 simulated L2 miss ratios\n"
+      "  validate <matrix.mtx|suite-name|--suite> [--format=F] [--threads=T]\n"
+      "                                        invariant + checked-mode "
+      "sweep\n"
       "  gen      <suite-name> <out.mtx> [--scale=X]\n"
       "  list                                  suite matrix names\n",
       Prog);
@@ -153,6 +163,22 @@ int cmdSpmv(int Argc, char **Argv) {
 
   std::vector<double> X = makeX(M.numCols());
   std::vector<double> Y(static_cast<std::size_t>(M.numRows()), 0.0);
+
+  // CVR_CHECKED=1 in the environment routes every iteration through the
+  // bounds-checked shadow kernels instead of the production kernel.
+  if (analysis::checkedModeRequested()) {
+    std::printf("[checked mode]          CVR_CHECKED set; shadow kernels\n");
+    std::vector<analysis::Violation> Vs;
+    for (int I = 0; I < Iterations; ++I)
+      analysis::cvrSpmvChecked(M, X.data(), Y.data(), Vs);
+    if (!Vs.empty()) {
+      std::printf("%s", analysis::formatViolations(Vs).c_str());
+      return 1;
+    }
+    std::printf("[checked mode]          %d iterations clean\n", Iterations);
+    return 0;
+  }
+
   cvrSpmv(M, X.data(), Y.data()); // warm-up
   Timer Run;
   for (int I = 0; I < Iterations; ++I)
@@ -222,6 +248,112 @@ int cmdLocality(const std::string &Path) {
   return 0;
 }
 
+/// One matrix through the full checked-mode sweep; prints per-variant
+/// verdicts and returns the number of failing variants.
+int validateOne(const std::string &Label, const CsrMatrix &A,
+                const FormatId *Only, int Threads) {
+  std::printf("%s (%d x %d, %lld nnz)\n", Label.c_str(), A.numRows(),
+              A.numCols(), static_cast<long long>(A.numNonZeros()));
+  {
+    std::vector<analysis::Violation> Vs = analysis::InvariantChecker::checkCsr(A);
+    if (!Vs.empty()) {
+      std::printf("  FAIL input CSR\n%s",
+                  analysis::formatViolations(Vs).c_str());
+      return 1;
+    }
+  }
+  int Failures = 0;
+  for (const analysis::VariantReport &Rep :
+       analysis::validateMatrix(A, Only, Threads)) {
+    if (Rep.ok()) {
+      std::printf("  ok   %-28s maxRelDiff %.2e\n", Rep.Variant.c_str(),
+                  Rep.MaxRelDiff);
+      continue;
+    }
+    ++Failures;
+    std::printf("  FAIL %s\n", Rep.Variant.c_str());
+    if (!Rep.Structure.empty())
+      std::printf("    structure (conversion bug):\n%s",
+                  analysis::formatViolations(Rep.Structure).c_str());
+    if (!Rep.Runtime.empty())
+      std::printf("    runtime (kernel addressing bug):\n%s",
+                  analysis::formatViolations(Rep.Runtime).c_str());
+    if (!Rep.DiffOk)
+      std::printf("    differential: maxRelDiff %.3e vs reference\n",
+                  Rep.MaxRelDiff);
+  }
+  return Failures;
+}
+
+int cmdValidate(int Argc, char **Argv) {
+  std::string Target;
+  std::string FormatName;
+  int Threads = 0;
+  double Scale = 0.25; // Suite matrices at validation (not benchmark) size.
+  for (int I = 2; I < Argc; ++I) {
+    if (std::strncmp(Argv[I], "--format=", 9) == 0)
+      FormatName = Argv[I] + 9;
+    else if (std::strncmp(Argv[I], "--threads=", 10) == 0)
+      Threads = std::atoi(Argv[I] + 10);
+    else if (std::strncmp(Argv[I], "--scale=", 8) == 0)
+      Scale = std::atof(Argv[I] + 8);
+    else
+      Target = Argv[I];
+  }
+  if (Target.empty() || Scale <= 0.0 || Scale > 1.0)
+    return 2;
+
+  FormatId Only{};
+  const FormatId *OnlyPtr = nullptr;
+  if (!FormatName.empty()) {
+    bool Found = false;
+    for (FormatId F : allFormats())
+      if (FormatName == formatName(F)) {
+        Only = F;
+        OnlyPtr = &Only;
+        Found = true;
+      }
+    if (!Found) {
+      std::fprintf(stderr, "error: unknown format '%s'\n",
+                   FormatName.c_str());
+      return 2;
+    }
+  }
+
+  int Failures = 0;
+  if (Target == "--suite") {
+    for (const DatasetSpec &D : datasetSuite(Scale))
+      Failures += validateOne(D.Name, D.Build(), OnlyPtr, Threads);
+  } else if (Target.size() > 4 &&
+             Target.compare(Target.size() - 4, 4, ".mtx") == 0) {
+    CsrMatrix A;
+    if (!loadCsr(Target, A))
+      return 1;
+    Failures = validateOne(Target, A, OnlyPtr, Threads);
+  } else {
+    bool Found = false;
+    for (const DatasetSpec &D : datasetSuite(Scale))
+      if (D.Name == Target) {
+        Failures = validateOne(D.Name, D.Build(), OnlyPtr, Threads);
+        Found = true;
+        break;
+      }
+    if (!Found) {
+      std::fprintf(stderr,
+                   "error: '%s' is neither a .mtx file nor a suite matrix "
+                   "(see `list`)\n",
+                   Target.c_str());
+      return 1;
+    }
+  }
+  if (Failures > 0) {
+    std::printf("validation FAILED: %d variant(s)\n", Failures);
+    return 1;
+  }
+  std::printf("validation passed\n");
+  return 0;
+}
+
 int cmdList() {
   for (const DatasetSpec &D : datasetSuite())
     std::printf("%-22s %-14s %s\n", D.Name.c_str(), domainName(D.Dom),
@@ -280,6 +412,8 @@ int main(int Argc, char **Argv) {
     return cmdCompare(Argc, Argv);
   if (Cmd == "locality")
     return cmdLocality(Argv[2]);
+  if (Cmd == "validate")
+    return cmdValidate(Argc, Argv);
   if (Cmd == "gen")
     return cmdGen(Argc, Argv);
   return usage(Argv[0]);
