@@ -11,13 +11,17 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "benchlib/SuiteRunner.h"
 #include "formats/Registry.h"
 #include "gen/Generators.h"
 #include "support/Random.h"
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
 #include <memory>
+#include <string>
 #include <vector>
 
 namespace {
@@ -85,9 +89,65 @@ void registerAll() {
   }
 }
 
+/// --json <path>: skip google-benchmark and sweep EVERY variant of every
+/// format (the harness above runs canonical variants only) through the
+/// benchlib timing harness, emitting one machine-readable record each —
+/// GFlop/s, reference error, and the autotuner's plan for CVR+tuned. The
+/// CI perf-smoke job asserts over this output.
+int runJsonSweep(const std::string &Path, int Threads) {
+  MeasureConfig Cfg;
+  Cfg.NumThreads = Threads;
+  Cfg.MinSeconds = 0.005; // Smoke-speed blocks; this is not a paper figure.
+  Cfg.TimingBlocks = 2;
+  Cfg.PrepareRepeats = 1;
+
+  std::vector<BenchRecord> Records;
+  for (int MI = 0; MI < 3; ++MI) {
+    const NamedMatrix &NM = testMatrix(MI);
+    for (FormatId F : allFormats())
+      for (const KernelVariant &V : variantsOf(F, Threads)) {
+        // measureVariant aborts the process if a kernel disagrees with the
+        // scalar reference, so every record that reaches the file is from
+        // a correct kernel.
+        BenchRecord R;
+        R.Matrix = NM.Name;
+        R.Rows = NM.A.numRows();
+        R.Cols = NM.A.numCols();
+        R.Nnz = NM.A.numNonZeros();
+        R.Format = formatName(F);
+        R.M = measureVariant(V, NM.A, Cfg);
+        R.M.Kernel.reset();
+        std::printf("%-16s %-20s %8.2f GFlop/s  maxRelErr %.2e%s%s\n",
+                    NM.Name, R.M.VariantName.c_str(), R.M.Gflops,
+                    R.M.MaxRelError,
+                    R.M.PlanDescription.empty() ? "" : "  plan ",
+                    R.M.PlanDescription.c_str());
+        Records.push_back(std::move(R));
+      }
+  }
+  if (!writeBenchJson(Path, Records, 1.0, Threads))
+    return 1;
+  std::printf("wrote %zu records to %s; all variants match the reference\n",
+              Records.size(), Path.c_str());
+  return 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
+  std::string JsonPath;
+  int Threads = 0;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--json") == 0 && I + 1 < Argc)
+      JsonPath = Argv[I + 1];
+    else if (std::strncmp(Argv[I], "--json=", 7) == 0)
+      JsonPath = Argv[I] + 7;
+    else if (std::strncmp(Argv[I], "--threads=", 10) == 0)
+      Threads = std::atoi(Argv[I] + 10);
+  }
+  if (!JsonPath.empty())
+    return runJsonSweep(JsonPath, Threads);
+
   registerAll();
   benchmark::Initialize(&Argc, Argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -31,8 +31,11 @@ void CheckedKernel::prepare(const CsrMatrix &A) {
 }
 
 void CheckedKernel::run(const double *X, double *Y) const {
-  if (const auto *Cvr = dynamic_cast<const CvrKernel *>(Inner.get())) {
-    cvrSpmvChecked(Cvr->matrix(), X, Y, Vs);
+  // Any CVR-backed kernel (plain or tuned) routes through the serial shadow;
+  // the prefetch distance is irrelevant there (prefetching never changes
+  // results, and the shadow is scalar anyway).
+  if (const auto *Cvr = dynamic_cast<const CvrMatrixSource *>(Inner.get())) {
+    cvrSpmvChecked(Cvr->cvrMatrix(), X, Y, Vs);
     return;
   }
   Inner->run(X, Y);

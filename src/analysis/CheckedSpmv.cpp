@@ -72,10 +72,11 @@ bool chunkInBounds(const CvrMatrix &M, const CvrChunk &C, int W, int Idx,
 
 /// Validated record write-back shared by both shadows: steal records target
 /// the chunk's t_result slots, feed records scatter into y. Serial checked
-/// execution makes the Shared accumulate a plain +=.
+/// execution makes the Shared accumulate a plain +=; \p Accumulate mirrors
+/// the blocked kernels' per-band accumulation (every finished row adds).
 bool applyRecordChecked(const CvrRecord &R, double V, double *Y,
                         double *TResult, int W, std::int32_t Rows, int Chunk,
-                        std::int64_t RecIdx, Sink &S) {
+                        std::int64_t RecIdx, bool Accumulate, Sink &S) {
   if (R.Steal) {
     if (R.Wb < 0 || R.Wb >= W) {
       S.add("checked.cvr.tresult", Chunk, RecIdx, "t_result slot", R.Wb, W);
@@ -87,7 +88,7 @@ bool applyRecordChecked(const CvrRecord &R, double V, double *Y,
       S.add("checked.cvr.scatter", Chunk, RecIdx, "feed row", R.Wb, Rows);
       return false;
     }
-    if (R.Shared)
+    if (R.Shared || Accumulate)
       Y[R.Wb] += V;
     else
       Y[R.Wb] = V;
@@ -97,7 +98,7 @@ bool applyRecordChecked(const CvrRecord &R, double V, double *Y,
 
 void tailFlushChecked(const CvrMatrix &M, const CvrChunk &C,
                       const double *TResult, double *Y, int W, int Chunk,
-                      Sink &S) {
+                      bool Accumulate, Sink &S) {
   const std::int32_t *Tails = M.tails() + C.TailBase;
   for (int K = 0; K < W; ++K) {
     std::int32_t Row = Tails[K];
@@ -107,7 +108,7 @@ void tailFlushChecked(const CvrMatrix &M, const CvrChunk &C,
       S.add("checked.cvr.tail", Chunk, K, "tail row", Row, M.numRows());
       continue;
     }
-    if (Row == C.FirstRow || Row == C.LastRow)
+    if (Row == C.FirstRow || Row == C.LastRow || Accumulate)
       Y[Row] += TResult[K];
     else
       Y[Row] = TResult[K];
@@ -115,7 +116,8 @@ void tailFlushChecked(const CvrMatrix &M, const CvrChunk &C,
 }
 
 void runChunkGenericChecked(const CvrMatrix &M, const CvrChunk &C, int Chunk,
-                            const double *X, double *Y, Sink &S) {
+                            const double *X, double *Y, bool Accumulate,
+                            Sink &S) {
   const int W = M.lanes();
   if (!chunkInBounds(M, C, W, Chunk, S))
     return;
@@ -142,7 +144,7 @@ void runChunkGenericChecked(const CvrMatrix &M, const CvrChunk &C, int Chunk,
       }
       int Off = static_cast<int>(R.Pos % W);
       if (applyRecordChecked(R, VOut[Off], Y, TResult.data(), W, Rows, Chunk,
-                             RecIdx, S))
+                             RecIdx, Accumulate, S))
         VOut[Off] = 0.0;
       ++RecIdx;
     }
@@ -161,7 +163,7 @@ void runChunkGenericChecked(const CvrMatrix &M, const CvrChunk &C, int Chunk,
     }
   }
   Apply(std::numeric_limits<std::int64_t>::max());
-  tailFlushChecked(M, C, TResult.data(), Y, W, Chunk, S);
+  tailFlushChecked(M, C, TResult.data(), Y, W, Chunk, Accumulate, S);
 }
 
 #if CVR_SIMD_AVX512
@@ -170,7 +172,8 @@ void runChunkGenericChecked(const CvrMatrix &M, const CvrChunk &C, int Chunk,
 /// runChunkAvx, with the column indices vetted in memory before the vector
 /// gather and the feed-scatter targets vetted before the masked scatter.
 void runChunkAvxChecked(const CvrMatrix &M, const CvrChunk &C, int Chunk,
-                        const double *X, double *Y, Sink &S) {
+                        const double *X, double *Y, bool Accumulate,
+                        Sink &S) {
   constexpr int W = 8;
   if (!chunkInBounds(M, C, W, Chunk, S))
     return;
@@ -212,7 +215,8 @@ void runChunkAvxChecked(const CvrMatrix &M, const CvrChunk &C, int Chunk,
         }
       } else {
         double V = _mm512_mask_reduce_add_pd(Bit, VOut.Reg);
-        applyRecordChecked(R, V, Y, TResult, W, Rows, Chunk, RecIdx, S);
+        applyRecordChecked(R, V, Y, TResult, W, Rows, Chunk, RecIdx,
+                           Accumulate, S);
       }
       ClearMask |= Bit;
       ++RecIdx;
@@ -220,7 +224,15 @@ void runChunkAvxChecked(const CvrMatrix &M, const CvrChunk &C, int Chunk,
     if (FeedMask) {
       __m256i Idx =
           _mm256_load_si256(reinterpret_cast<const __m256i *>(WbBuf));
-      _mm512_mask_i32scatter_pd(Y, FeedMask, Idx, VOut.Reg, 8);
+      __m512d Out = VOut.Reg;
+      if (Accumulate) {
+        // Same gather+add+scatter the blocked production kernel issues;
+        // the batch's rows are distinct, so it cannot self-conflict.
+        __m512d Old = _mm512_mask_i32gather_pd(_mm512_setzero_pd(), FeedMask,
+                                               Idx, Y, 8);
+        Out = _mm512_add_pd(Old, VOut.Reg);
+      }
+      _mm512_mask_i32scatter_pd(Y, FeedMask, Idx, Out, 8);
     }
     VOut.Reg =
         _mm512_maskz_mov_pd(static_cast<__mmask8>(~ClearMask), VOut.Reg);
@@ -266,12 +278,19 @@ void runChunkAvxChecked(const CvrMatrix &M, const CvrChunk &C, int Chunk,
   }
   if (RecIdx < RecEnd)
     Apply(std::numeric_limits<std::int64_t>::max());
-  tailFlushChecked(M, C, TResult, Y, W, Chunk, S);
+  tailFlushChecked(M, C, TResult, Y, W, Chunk, Accumulate, S);
 }
 
 #endif // CVR_SIMD_AVX512
 
-void clearZeroRowsChecked(const CvrMatrix &M, double *Y, Sink &S) {
+/// Pre-clears y the way the production kernel does: blocked matrices zero
+/// every row (accumulate mode), unblocked matrices only the listed rows.
+void clearRowsChecked(const CvrMatrix &M, double *Y, Sink &S) {
+  if (M.isBlocked()) {
+    for (std::int32_t R = 0; R < M.numRows(); ++R)
+      Y[R] = 0.0;
+    return;
+  }
   for (std::int32_t R : M.zeroRows()) {
     if (R < 0 || R >= M.numRows()) {
       S.add("checked.cvr.zero-row", -1, R, "zeroed row", R, M.numRows());
@@ -286,10 +305,11 @@ void clearZeroRowsChecked(const CvrMatrix &M, double *Y, Sink &S) {
 void cvrSpmvCheckedGeneric(const CvrMatrix &M, const double *X, double *Y,
                            std::vector<Violation> &Vs) {
   Sink S(Vs);
-  clearZeroRowsChecked(M, Y, S);
+  const bool Accumulate = M.isBlocked();
+  clearRowsChecked(M, Y, S);
   int Idx = 0;
   for (const CvrChunk &C : M.chunks())
-    runChunkGenericChecked(M, C, Idx++, X, Y, S);
+    runChunkGenericChecked(M, C, Idx++, X, Y, Accumulate, S);
 }
 
 void cvrSpmvCheckedAvx(const CvrMatrix &M, const double *X, double *Y,
@@ -297,10 +317,11 @@ void cvrSpmvCheckedAvx(const CvrMatrix &M, const double *X, double *Y,
 #if CVR_SIMD_AVX512
   if (M.lanes() == simd::DoubleLanes) {
     Sink S(Vs);
-    clearZeroRowsChecked(M, Y, S);
+    const bool Accumulate = M.isBlocked();
+    clearRowsChecked(M, Y, S);
     int Idx = 0;
     for (const CvrChunk &C : M.chunks())
-      runChunkAvxChecked(M, C, Idx++, X, Y, S);
+      runChunkAvxChecked(M, C, Idx++, X, Y, Accumulate, S);
     return;
   }
 #endif

@@ -108,6 +108,7 @@ struct Introspect {
   static std::vector<std::int32_t> &zeroRows(CvrMatrix &M) {
     return M.ZeroRows;
   }
+  static std::vector<CvrBand> &bands(CvrMatrix &M) { return M.Bands; }
 
   // --- CsrMatrix --------------------------------------------------------
   static AlignedBuffer<std::int32_t> &csrColIdx(CsrMatrix &A) {

@@ -148,15 +148,65 @@ std::vector<Violation> InvariantChecker::checkCvr(const CvrMatrix &M,
           "tails length " + num(Tails.size()) + ", expected " +
               num(Chunks.size() * static_cast<std::size_t>(Lanes)));
 
-  // Recompute the nnz partition the converter used so the per-chunk checks
-  // can clip rows exactly as the conversion did.
-  std::vector<NnzChunk> Parts;
-  if (Origin)
-    Parts = partitionByNnz(*Origin, static_cast<int>(Chunks.size()));
+  // The chunk list is tiled by column bands — one implicit full-width band
+  // when the matrix is unblocked. Validate the tiling first: everything
+  // below indexes through it.
+  std::vector<CvrBand> Bands(M.bands());
+  if (Bands.empty()) {
+    Bands.push_back({0, Cols, 0, static_cast<std::int32_t>(Chunks.size())});
+  } else {
+    std::int32_t PrevCol = 0, PrevChunk = 0;
+    bool Broken = false;
+    for (std::size_t B = 0; B < Bands.size(); ++B) {
+      const CvrBand &Band = Bands[B];
+      if (Band.ColBegin != PrevCol || Band.ColEnd <= Band.ColBegin ||
+          Band.ColEnd > Cols || Band.ChunkBegin != PrevChunk ||
+          Band.ChunkEnd <= Band.ChunkBegin ||
+          Band.ChunkEnd > static_cast<std::int32_t>(Chunks.size())) {
+        R.add("cvr.band.tiling", loc("band %lld", B),
+              "band [cols " + num(Band.ColBegin) + ".." + num(Band.ColEnd) +
+                  ", chunks " + num(Band.ChunkBegin) + ".." +
+                  num(Band.ChunkEnd) + ") does not tile the matrix");
+        Broken = true;
+      }
+      PrevCol = Band.ColEnd;
+      PrevChunk = Band.ChunkEnd;
+    }
+    if (PrevCol != Cols ||
+        PrevChunk != static_cast<std::int32_t>(Chunks.size())) {
+      R.add("cvr.band.tiling", "matrix",
+            "bands end at col " + num(PrevCol) + " / chunk " +
+                num(PrevChunk) + ", expected " + num(Cols) + " / " +
+                num(Chunks.size()));
+      Broken = true;
+    }
+    if (Broken)
+      return Vs; // The per-band clipping below would be nonsense.
+  }
 
   std::int64_t ElemCursor = 0, RecCursor = 0;
-  std::int32_t PrevLastRow = -1;
-  for (std::size_t C = 0; C < Chunks.size() && !R.full(); ++C) {
+  for (std::size_t BI = 0; BI < Bands.size() && !R.full(); ++BI) {
+    const CvrBand &Band = Bands[BI];
+
+    // Recompute the nnz partition the converter used for this band — on
+    // the band's column slice of the origin — so the per-chunk checks can
+    // clip rows exactly as the conversion did.
+    CsrMatrix SliceStorage;
+    const CsrMatrix *Src = Origin;
+    if (Origin && M.isBlocked()) {
+      SliceStorage = Origin->columnBand(Band.ColBegin, Band.ColEnd);
+      Src = &SliceStorage;
+    }
+    std::vector<NnzChunk> Parts;
+    if (Src)
+      Parts = partitionByNnz(*Src, Band.ChunkEnd - Band.ChunkBegin);
+
+    // Cross-chunk row ordering restarts with every band: bands sweep the
+    // full row range again for their own column slice.
+    std::int32_t PrevLastRow = -1;
+  for (std::size_t C = static_cast<std::size_t>(Band.ChunkBegin);
+       C < static_cast<std::size_t>(Band.ChunkEnd) && !R.full(); ++C) {
+    const std::size_t PC = C - static_cast<std::size_t>(Band.ChunkBegin);
     const CvrChunk &Ch = Chunks[C];
     std::string Where = loc("chunk %lld", static_cast<long long>(C));
 
@@ -201,12 +251,12 @@ std::vector<Violation> InvariantChecker::checkCvr(const CvrMatrix &M,
                   " precedes previous chunk's last row " + num(PrevLastRow));
       PrevLastRow = Ch.LastRow;
     }
-    if (Origin && C < Parts.size() &&
-        (Ch.FirstRow != Parts[C].FirstRow || Ch.LastRow != Parts[C].LastRow))
+    if (Origin && PC < Parts.size() &&
+        (Ch.FirstRow != Parts[PC].FirstRow || Ch.LastRow != Parts[PC].LastRow))
       R.add("cvr.chunk.partition", Where,
             "row span [" + num(Ch.FirstRow) + ", " + num(Ch.LastRow) +
                 "] differs from the nnz partition's [" +
-                num(Parts[C].FirstRow) + ", " + num(Parts[C].LastRow) + "]");
+                num(Parts[PC].FirstRow) + ", " + num(Parts[PC].LastRow) + "]");
 
     // -- Column stream bounds. ---------------------------------------------
     for (std::int64_t I = Ch.ElemBase; I < ElemCursor && !R.full(); ++I)
@@ -268,9 +318,9 @@ std::vector<Violation> InvariantChecker::checkCvr(const CvrMatrix &M,
               "row " + num(Finished[I]) +
                   " finished more than once in this chunk");
 
-    if (Origin && C < Parts.size()) {
-      const NnzChunk &P = Parts[C];
-      const std::int64_t *RowPtr = Origin->rowPtr();
+    if (Origin && PC < Parts.size()) {
+      const NnzChunk &P = Parts[PC];
+      const std::int64_t *RowPtr = Src->rowPtr();
       // Every row with nonzeros inside this chunk must be finished exactly
       // once (by a feed record or a tail slot); no other row may be.
       std::vector<std::int32_t> Expected;
@@ -307,7 +357,7 @@ std::vector<Violation> InvariantChecker::checkCvr(const CvrMatrix &M,
         Stream.emplace_back(ColIdx[I], Vals[I]);
       Source.reserve(static_cast<std::size_t>(P.size()));
       for (std::int64_t I = P.NnzStart; I < P.NnzEnd; ++I)
-        Source.emplace_back(Origin->colIdx()[I], Origin->vals()[I]);
+        Source.emplace_back(Src->colIdx()[I], Src->vals()[I]);
       std::sort(Stream.begin(), Stream.end());
       std::sort(Source.begin(), Source.end());
       std::size_t SI = 0;
@@ -336,6 +386,7 @@ std::vector<Violation> InvariantChecker::checkCvr(const CvrMatrix &M,
                   " (= steps*omega - chunk nnz)");
     }
   }
+  }
   if (!R.full() && ElemCursor != static_cast<std::int64_t>(Vals.size()))
     R.add("cvr.stream.sizes", "matrix",
           "chunks cover " + num(ElemCursor) + " stream slots of " +
@@ -357,22 +408,31 @@ std::vector<Violation> InvariantChecker::checkCvr(const CvrMatrix &M,
             "not sorted/unique at row " + num(Zero[I]));
   }
   if (Origin && !R.full()) {
-    std::vector<std::int32_t> Expected;
-    for (std::int32_t Row = 0; Row < Rows; ++Row)
-      if (Origin->rowLength(Row) == 0)
-        Expected.push_back(Row);
-    for (const CvrChunk &Ch : Chunks) {
-      if (Ch.FirstRow >= 0)
-        Expected.push_back(Ch.FirstRow);
-      if (Ch.LastRow >= 0)
-        Expected.push_back(Ch.LastRow);
+    if (M.isBlocked()) {
+      // The blocked kernel zeroes all of y before the bands accumulate, so
+      // the list must stay empty (the kernel would double-clear otherwise).
+      if (!Zero.empty())
+        R.add("cvr.zero-rows.coverage", "matrix",
+              "blocked matrix carries " + num(Zero.size()) +
+                  " zeroRows; accumulate mode expects none");
+    } else {
+      std::vector<std::int32_t> Expected;
+      for (std::int32_t Row = 0; Row < Rows; ++Row)
+        if (Origin->rowLength(Row) == 0)
+          Expected.push_back(Row);
+      for (const CvrChunk &Ch : Chunks) {
+        if (Ch.FirstRow >= 0)
+          Expected.push_back(Ch.FirstRow);
+        if (Ch.LastRow >= 0)
+          Expected.push_back(Ch.LastRow);
+      }
+      std::sort(Expected.begin(), Expected.end());
+      Expected.erase(std::unique(Expected.begin(), Expected.end()),
+                     Expected.end());
+      if (Zero != Expected)
+        R.add("cvr.zero-rows.coverage", "matrix",
+              "zeroRows does not equal {empty rows} + {chunk boundary rows}");
     }
-    std::sort(Expected.begin(), Expected.end());
-    Expected.erase(std::unique(Expected.begin(), Expected.end()),
-                   Expected.end());
-    if (Zero != Expected)
-      R.add("cvr.zero-rows.coverage", "matrix",
-            "zeroRows does not equal {empty rows} + {chunk boundary rows}");
   }
   return Vs;
 }
@@ -764,8 +824,8 @@ std::vector<Violation> InvariantChecker::checkVhcc(const Vhcc &K,
 
 std::vector<Violation> InvariantChecker::checkKernel(const SpmvKernel &K,
                                                      const CsrMatrix &A) {
-  if (const auto *Cvr = dynamic_cast<const CvrKernel *>(&K))
-    return checkCvr(Cvr->matrix(), &A);
+  if (const auto *Cvr = dynamic_cast<const CvrMatrixSource *>(&K))
+    return checkCvr(Cvr->cvrMatrix(), &A);
   if (const auto *C5 = dynamic_cast<const Csr5 *>(&K))
     return checkCsr5(*C5, A);
   if (const auto *E = dynamic_cast<const Esb *>(&K))

@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 
 namespace cvr {
 
@@ -31,6 +32,10 @@ SuiteOptions parseSuiteOptions(int Argc, char **Argv) {
       }
     } else if (std::strncmp(Arg, "--threads=", 10) == 0) {
       Opts.Measure.NumThreads = std::atoi(Arg + 10);
+    } else if (std::strcmp(Arg, "--json") == 0 && I + 1 < Argc) {
+      Opts.JsonPath = Argv[++I];
+    } else if (std::strncmp(Arg, "--json=", 7) == 0) {
+      Opts.JsonPath = Arg + 7;
     } else if (std::strcmp(Arg, "--csv") == 0) {
       Opts.Csv = true;
     } else if (std::strcmp(Arg, "--verbose") == 0) {
@@ -38,12 +43,83 @@ SuiteOptions parseSuiteOptions(int Argc, char **Argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--quick] [--smoke] [--scale=X] "
-                   "[--threads=N] [--csv] [--verbose]\n",
+                   "[--threads=N] [--csv] [--json <path>] [--verbose]\n",
                    Argv[0]);
       std::exit(std::strcmp(Arg, "--help") == 0 ? 0 : 2);
     }
   }
   return Opts;
+}
+
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars) —
+/// enough for matrix/variant names and plan descriptions.
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      (Out += '\\') += C;
+    else if (static_cast<unsigned char>(C) < 0x20) {
+      char Buf[8];
+      std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+      Out += Buf;
+    } else
+      Out += C;
+  }
+  return Out;
+}
+
+} // namespace
+
+bool writeBenchJson(const std::string &Path,
+                    const std::vector<BenchRecord> &Records,
+                    double SizeScale, int NumThreads) {
+  std::ofstream OS(Path);
+  if (!OS) {
+    std::fprintf(stderr, "error: cannot write json to '%s'\n", Path.c_str());
+    return false;
+  }
+  char Buf[256];
+  OS << "{\n  \"schema\": \"cvr-bench-1\",\n";
+  std::snprintf(Buf, sizeof(Buf),
+                "  \"size_scale\": %g,\n  \"threads\": %d,\n", SizeScale,
+                NumThreads);
+  OS << Buf << "  \"records\": [";
+  for (std::size_t I = 0; I < Records.size(); ++I) {
+    const BenchRecord &R = Records[I];
+    OS << (I == 0 ? "\n" : ",\n");
+    OS << "    {\"matrix\": \"" << jsonEscape(R.Matrix) << "\"";
+    if (!R.Domain.empty())
+      OS << ", \"domain\": \"" << jsonEscape(R.Domain) << "\", "
+         << "\"scale_free\": " << (R.ScaleFree ? "true" : "false");
+    std::snprintf(Buf, sizeof(Buf),
+                  ", \"rows\": %lld, \"cols\": %lld, \"nnz\": %lld",
+                  static_cast<long long>(R.Rows),
+                  static_cast<long long>(R.Cols),
+                  static_cast<long long>(R.Nnz));
+    OS << Buf;
+    OS << ", \"format\": \"" << jsonEscape(R.Format) << "\", \"variant\": \""
+       << jsonEscape(R.M.VariantName) << "\"";
+    if (!R.M.PlanDescription.empty())
+      OS << ", \"plan\": \"" << jsonEscape(R.M.PlanDescription) << "\"";
+    std::snprintf(Buf, sizeof(Buf),
+                  ", \"preprocess_seconds\": %.9g, "
+                  "\"seconds_per_iteration\": %.9g, \"gflops\": %.6g, "
+                  "\"max_rel_error\": %.6g, \"format_bytes\": %zu",
+                  R.M.PreprocessSeconds, R.M.SecondsPerIteration, R.M.Gflops,
+                  R.M.MaxRelError, R.M.FormatBytes);
+    OS << Buf;
+    if (R.L2MissRatio >= 0.0) {
+      std::snprintf(Buf, sizeof(Buf), ", \"l2_miss_ratio\": %.6g",
+                    R.L2MissRatio);
+      OS << Buf;
+    }
+    OS << "}";
+  }
+  OS << "\n  ]\n}\n";
+  return static_cast<bool>(OS);
 }
 
 std::vector<MatrixResult> runSuite(const std::vector<DatasetSpec> &Suite,
@@ -81,6 +157,25 @@ std::vector<MatrixResult> runSuite(const std::vector<DatasetSpec> &Suite,
     for (auto &[F, FR] : R.ByFormat)
       FR.Best.Kernel.reset();
     Results.push_back(std::move(R));
+  }
+  if (!Opts.JsonPath.empty()) {
+    std::vector<BenchRecord> Records;
+    for (const MatrixResult &R : Results)
+      for (const auto &[F, FR] : R.ByFormat) {
+        BenchRecord Rec;
+        Rec.Matrix = R.Name;
+        Rec.Domain = domainName(R.Dom);
+        Rec.ScaleFree = R.ScaleFree;
+        Rec.Rows = R.Stats.NumRows;
+        Rec.Cols = R.Stats.NumCols;
+        Rec.Nnz = R.Stats.Nnz;
+        Rec.Format = formatName(F);
+        Rec.M = FR.Best;
+        Rec.L2MissRatio = FR.L2MissRatio;
+        Records.push_back(std::move(Rec));
+      }
+    writeBenchJson(Opts.JsonPath, Records, Opts.SizeScale,
+                   Opts.Measure.NumThreads);
   }
   return Results;
 }

@@ -48,9 +48,32 @@ struct SuiteOptions {
   bool ProbeLocality = false; ///< Also run the cache-model probe.
   bool Csv = false;        ///< Emit CSV instead of aligned tables.
   bool Verbose = false;    ///< Progress lines on stderr.
+  std::string JsonPath;    ///< --json <path>: machine-readable records.
   MeasureConfig Measure;
   std::vector<FormatId> Formats = allFormats();
 };
+
+/// One machine-readable benchmark record: a (matrix, variant) pair with its
+/// measured numbers, for the --json output that CI and external analysis
+/// consume. The suite runner emits one per (matrix, format) best variant;
+/// micro_kernels emits one per variant.
+struct BenchRecord {
+  std::string Matrix;
+  std::string Domain;    ///< Empty when the source has no domain notion.
+  bool ScaleFree = false;
+  std::int64_t Rows = 0;
+  std::int64_t Cols = 0;
+  std::int64_t Nnz = 0;
+  std::string Format;
+  Measurement M;             ///< VariantName, timings, GFlop/s, plan.
+  double L2MissRatio = -1.0; ///< From the cache model; -1 if not probed.
+};
+
+/// Writes `{"schema": "cvr-bench-1", ..., "records": [...]}` to \p Path.
+/// Returns false (with a stderr diagnostic) if the file cannot be written.
+bool writeBenchJson(const std::string &Path,
+                    const std::vector<BenchRecord> &Records,
+                    double SizeScale, int NumThreads);
 
 /// Parses the common bench flags (--quick, --smoke, --scale=X, --csv,
 /// --threads=N, --verbose); unknown flags print usage and exit.

@@ -7,37 +7,129 @@
 #include "core/CvrFormat.h"
 
 #include "core/CvrConverter.h"
+#include "parallel/Partition.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cstring>
 
 namespace cvr {
 
+namespace {
+
+/// Appends one conversion's streams onto the accumulated streams, rebasing
+/// every chunk offset. Returns the index of the first appended chunk.
+std::int32_t appendStreams(detail::ConvertedStreams<double> &Acc,
+                           detail::ConvertedStreams<double> &&S) {
+  auto ChunkBase = static_cast<std::int32_t>(Acc.Chunks.size());
+  auto ElemBase = static_cast<std::int64_t>(Acc.Vals.size());
+  auto RecBase = static_cast<std::int64_t>(Acc.Recs.size());
+  auto TailBase = static_cast<std::int64_t>(Acc.Tails.size());
+
+  if (ChunkBase == 0) {
+    Acc = std::move(S);
+    return 0;
+  }
+
+  Acc.Vals.resize(Acc.Vals.size() + S.Vals.size());
+  Acc.ColIdx.resize(Acc.ColIdx.size() + S.ColIdx.size());
+  if (!S.Vals.empty()) {
+    std::memcpy(Acc.Vals.data() + ElemBase, S.Vals.data(),
+                S.Vals.size() * sizeof(double));
+    std::memcpy(Acc.ColIdx.data() + ElemBase, S.ColIdx.data(),
+                S.ColIdx.size() * sizeof(std::int32_t));
+  }
+  Acc.Recs.insert(Acc.Recs.end(), S.Recs.begin(), S.Recs.end());
+  Acc.Tails.resize(Acc.Tails.size() + S.Tails.size());
+  for (std::size_t K = 0; K < S.Tails.size(); ++K)
+    Acc.Tails[TailBase + K] = S.Tails[K];
+
+  for (CvrChunk C : S.Chunks) {
+    C.ElemBase += ElemBase;
+    C.RecBase += RecBase;
+    C.RecEnd += RecBase;
+    C.TailBase += TailBase;
+    Acc.Chunks.push_back(C);
+  }
+  return ChunkBase;
+}
+
+} // namespace
+
 CvrMatrix CvrMatrix::fromCsr(const CsrMatrix &A, const CvrOptions &Opts) {
+  int Threads = Opts.NumThreads > 0 ? Opts.NumThreads : defaultThreadCount();
+  int Mult = std::max(1, Opts.ChunkMultiplier);
+
   detail::ConverterConfig Cfg;
   Cfg.Lanes = Opts.Lanes;
-  Cfg.NumThreads = Opts.NumThreads;
+  Cfg.NumThreads = Threads * Mult; // Chunk count (over-decomposition).
   Cfg.EnableStealing = Opts.EnableStealing;
   Cfg.PadEvenSteps = true; // The f64 kernel double-pumps column loads.
   Cfg.SortFeedRowsByLength = Opts.SortFeedRows;
-
-  detail::ConvertedStreams<double> S =
-      detail::convertToCvrStreams<double>(A, Cfg);
 
   CvrMatrix M;
   M.NumRows = A.numRows();
   M.NumCols = A.numCols();
   M.Nnz = A.numNonZeros();
   M.Lanes = Opts.Lanes;
+  M.ChunkMult = Mult;
   M.ForceGeneric = Opts.ForceGenericKernel;
-  M.Vals = std::move(S.Vals);
-  M.ColIdx = std::move(S.ColIdx);
-  M.Recs = std::move(S.Recs);
-  M.Tails = std::move(S.Tails);
-  M.Chunks = std::move(S.Chunks);
-  M.ZeroRows = std::move(S.ZeroRows);
+
+  // Column blocking: band width in columns, one x element = 8 bytes.
+  std::int32_t ColsPerBand = 0;
+  if (Opts.ColBlockBytes > 0 && A.numCols() > 0) {
+    std::int64_t W = std::max<std::int64_t>(Opts.Lanes,
+                                            Opts.ColBlockBytes / 8);
+    if (W < A.numCols())
+      ColsPerBand = static_cast<std::int32_t>(W);
+  }
+
+  if (ColsPerBand == 0) {
+    detail::ConvertedStreams<double> S =
+        detail::convertToCvrStreams<double>(A, Cfg);
+    M.Vals = std::move(S.Vals);
+    M.ColIdx = std::move(S.ColIdx);
+    M.Recs = std::move(S.Recs);
+    M.Tails = std::move(S.Tails);
+    M.Chunks = std::move(S.Chunks);
+    M.ZeroRows = std::move(S.ZeroRows);
+    assert(M.isValid() && "conversion produced an inconsistent CVR matrix");
+    return M;
+  }
+
+  // Blocked build: one independent conversion per column band, stitched
+  // into the shared streams. The per-band CSR slices keep global column
+  // indices, so the kernel gathers from the full x (and the converter's
+  // column-0 pads stay in range). Blocked matrices run in accumulate mode:
+  // the kernel zeroes all of y up front, so ZeroRows stays empty.
+  detail::ConvertedStreams<double> Acc;
+  for (std::int32_t C0 = 0; C0 < A.numCols(); C0 += ColsPerBand) {
+    std::int32_t C1 = std::min(A.numCols(), C0 + ColsPerBand);
+    CsrMatrix Slice = A.columnBand(C0, C1);
+    detail::ConvertedStreams<double> S =
+        detail::convertToCvrStreams<double>(Slice, Cfg);
+    std::int32_t ChunkBase = appendStreams(Acc, std::move(S));
+    M.Bands.push_back(
+        {C0, C1, ChunkBase, static_cast<std::int32_t>(Acc.Chunks.size())});
+  }
+  M.Vals = std::move(Acc.Vals);
+  M.ColIdx = std::move(Acc.ColIdx);
+  M.Recs = std::move(Acc.Recs);
+  M.Tails = std::move(Acc.Tails);
+  M.Chunks = std::move(Acc.Chunks);
 
   assert(M.isValid() && "conversion produced an inconsistent CVR matrix");
   return M;
+}
+
+int CvrMatrix::runThreads() const {
+  std::size_t ChunksPerBand =
+      Bands.empty() ? Chunks.size()
+                    : static_cast<std::size_t>(Bands[0].ChunkEnd -
+                                               Bands[0].ChunkBegin);
+  if (ChunksPerBand == 0)
+    return 1;
+  return std::max(1, static_cast<int>(ChunksPerBand) / std::max(1, ChunkMult));
 }
 
 std::size_t CvrMatrix::formatBytes() const {
@@ -45,12 +137,48 @@ std::size_t CvrMatrix::formatBytes() const {
          Recs.size() * sizeof(CvrRecord) +
          Tails.size() * sizeof(std::int32_t) +
          Chunks.size() * sizeof(CvrChunk) +
-         ZeroRows.size() * sizeof(std::int32_t);
+         ZeroRows.size() * sizeof(std::int32_t) +
+         Bands.size() * sizeof(CvrBand);
 }
 
 bool CvrMatrix::isValid() const {
+  if (ChunkMult < 1)
+    return false;
+  if (!Bands.empty()) {
+    // Bands tile both the chunk list and the column range, in order, with
+    // one uniform chunk count (one conversion per band).
+    if (ZeroRows.size() != 0)
+      return false; // Blocked kernels zero all of y; the list is unused.
+    std::int32_t PrevCol = 0, PrevChunk = 0;
+    std::int32_t PerBand = Bands[0].ChunkEnd - Bands[0].ChunkBegin;
+    for (const CvrBand &B : Bands) {
+      if (B.ColBegin != PrevCol || B.ColEnd <= B.ColBegin ||
+          B.ColEnd > NumCols)
+        return false;
+      if (B.ChunkBegin != PrevChunk || B.ChunkEnd <= B.ChunkBegin ||
+          B.ChunkEnd - B.ChunkBegin != PerBand)
+        return false;
+      PrevCol = B.ColEnd;
+      PrevChunk = B.ChunkEnd;
+    }
+    if (PrevCol != NumCols ||
+        PrevChunk != static_cast<std::int32_t>(Chunks.size()))
+      return false;
+  }
+
   std::int64_t RealElems = 0;
-  for (const CvrChunk &C : Chunks) {
+  for (std::size_t CI = 0; CI < Chunks.size(); ++CI) {
+    const CvrChunk &C = Chunks[CI];
+    // The band owning this chunk bounds its real columns; unblocked
+    // matrices use the full column range.
+    std::int32_t ColLo = 0, ColHi = NumCols;
+    for (const CvrBand &B : Bands)
+      if (static_cast<std::int32_t>(CI) >= B.ChunkBegin &&
+          static_cast<std::int32_t>(CI) < B.ChunkEnd) {
+        ColLo = B.ColBegin;
+        ColHi = B.ColEnd;
+        break;
+      }
     if (C.NumSteps % 2 != 0 && Lanes == 8)
       return false;
     std::int64_t Prev = -1;
@@ -71,8 +199,11 @@ bool CvrMatrix::isValid() const {
     for (std::int64_t I = C.ElemBase, E = C.ElemBase + C.NumSteps * Lanes;
          I < E; ++I) {
       // Pads are (value 0, column 0); count everything else.
-      if (ColIdx[I] != 0 || Vals[I] != 0.0)
+      if (ColIdx[I] != 0 || Vals[I] != 0.0) {
+        if (ColIdx[I] < ColLo || ColIdx[I] >= ColHi)
+          return false; // Real element escaped its column band.
         ++RealElems;
+      }
     }
   }
   // Every nonzero appears exactly once, except that genuine (0, col 0)

@@ -63,6 +63,25 @@ struct CvrOptions {
   /// Feed rows longest-first instead of in matrix order — the sort-first
   /// ablation (quantifies what the paper's O(nnz) no-sort design saves).
   bool SortFeedRows = false;
+
+  /// Chunks per thread (over-decomposition). 1 reproduces the paper's one
+  /// chunk per thread; larger values trade extra boundary rows for dynamic
+  /// load balance on skewed matrices. The kernel derives its thread count
+  /// back from the structure (chunks per band / multiplier).
+  int ChunkMultiplier = 1;
+
+  /// x-vector cache blocking: when > 0, the element stream is split into
+  /// column bands of about this many bytes of x (ColBlockBytes / 8
+  /// columns) so the gather working set fits a target cache level. 0
+  /// disables blocking. Blocked matrices run in accumulate mode: y is
+  /// zeroed once and every band adds its partial products.
+  std::int64_t ColBlockBytes = 0;
+
+  /// Software-prefetch distance in stream steps for the x gather targets
+  /// (and the vals/colIdx streams). An execution-time knob: it selects a
+  /// kernel variant, not a different conversion. Supported distances are
+  /// {0, 2, 4, 8}; other values snap up to the next supported one.
+  int PrefetchDistance = 0;
 };
 
 /// One write-back record (the paper's `rec` vector entry).
@@ -71,6 +90,17 @@ struct CvrRecord {
   std::int32_t Wb;   ///< Feed: destination row. Steal: t_result slot.
   std::uint8_t Steal;  ///< 1 for steal-phase records.
   std::uint8_t Shared; ///< 1 if the destination row needs atomic adds.
+};
+
+/// One column band of a blocked conversion: the chunks in
+/// [ChunkBegin, ChunkEnd) hold exactly the nonzeros whose column lies in
+/// [ColBegin, ColEnd). Bands run sequentially (chunks within a band in
+/// parallel) and accumulate into y.
+struct CvrBand {
+  std::int32_t ColBegin = 0;
+  std::int32_t ColEnd = 0;
+  std::int32_t ChunkBegin = 0;
+  std::int32_t ChunkEnd = 0;
 };
 
 /// Per-thread-chunk metadata.
@@ -104,8 +134,23 @@ public:
   const std::int32_t *tails() const { return Tails.data(); }
 
   /// Rows the kernel must zero before accumulation: empty rows plus every
-  /// chunk-boundary row (see CvrSpmv).
+  /// chunk-boundary row (see CvrSpmv). Empty for blocked matrices, whose
+  /// kernel zeroes all of y instead.
   const std::vector<std::int32_t> &zeroRows() const { return ZeroRows; }
+
+  /// Column bands of a blocked conversion; empty when unblocked (the
+  /// common case: one implicit band covering every column and chunk).
+  const std::vector<CvrBand> &bands() const { return Bands; }
+  bool isBlocked() const { return !Bands.empty(); }
+
+  /// Chunks each thread owns (the over-decomposition factor used at
+  /// conversion time; >= 1).
+  int chunkMultiplier() const { return ChunkMult; }
+
+  /// Threads the kernel should run with, derived from the structure:
+  /// chunks per band divided by the multiplier. Serialized blobs therefore
+  /// keep their intended parallelism.
+  int runThreads() const;
 
   /// True when the conversion requested the scalar kernel (ablation).
   bool forcesGenericKernel() const { return ForceGeneric; }
@@ -142,6 +187,8 @@ private:
   AlignedBuffer<std::int32_t> Tails; ///< Lanes per chunk; -1 = unused slot.
   std::vector<CvrChunk> Chunks;
   std::vector<std::int32_t> ZeroRows;
+  std::vector<CvrBand> Bands; ///< Empty = unblocked.
+  int ChunkMult = 1;
   bool ForceGeneric = false;
 };
 

@@ -20,7 +20,10 @@ namespace cvr {
 namespace {
 
 constexpr char Magic[4] = {'C', 'V', 'R', 'F'};
-constexpr std::uint32_t Version = 1;
+/// Version 2 appends the execution-engine fields: the chunk multiplier and
+/// the column-band table. Version-1 blobs load with both defaulted
+/// (multiplier 1, unblocked).
+constexpr std::uint32_t Version = 2;
 
 template <typename T> void writePod(std::ostream &OS, const T &V) {
   OS.write(reinterpret_cast<const char *>(&V), sizeof(T));
@@ -75,6 +78,8 @@ bool CvrMatrix::writeBinary(std::ostream &OS) const {
   writeArray(OS, Tails.data(), Tails.size());
   writeArray(OS, Chunks.data(), Chunks.size());
   writeArray(OS, ZeroRows.data(), ZeroRows.size());
+  writePod(OS, static_cast<std::int32_t>(ChunkMult));
+  writeArray(OS, Bands.data(), Bands.size());
   return static_cast<bool>(OS);
 }
 
@@ -86,7 +91,7 @@ bool CvrMatrix::readBinary(std::istream &IS, CvrMatrix &M) {
       Head[2] != Magic[2] || Head[3] != Magic[3])
     return false;
   std::uint32_t V = 0;
-  if (!readPod(IS, V) || V != Version)
+  if (!readPod(IS, V) || V < 1 || V > Version)
     return false;
 
   std::int32_t Lanes32 = 0;
@@ -107,6 +112,13 @@ bool CvrMatrix::readBinary(std::istream &IS, CvrMatrix &M) {
       !readArray(IS, M.Chunks, MaxArrayElems) ||
       !readArray(IS, M.ZeroRows, MaxArrayElems))
     return false;
+  if (V >= 2) {
+    std::int32_t Mult = 0;
+    if (!readPod(IS, Mult) || Mult < 1 ||
+        !readArray(IS, M.Bands, MaxArrayElems))
+      return false;
+    M.ChunkMult = Mult;
+  }
 
   if (M.Vals.size() != M.ColIdx.size())
     return false;

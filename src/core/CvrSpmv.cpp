@@ -3,6 +3,16 @@
 // Part of the CVR reproduction project, under the MIT License.
 //
 //===----------------------------------------------------------------------===//
+//
+// Execution-engine variants: the chunk kernels are templated on the
+// software-prefetch distance (steps ahead at which x gather targets are
+// touched) and on accumulate mode (column-blocked matrices add each band's
+// partial products into y instead of storing finished rows). Chunk
+// over-decomposition runs more chunks than threads under a dynamic
+// schedule. All variants compute the same y; the autotuner in src/engine
+// picks among them per matrix.
+//
+//===----------------------------------------------------------------------===//
 
 #include "core/CvrSpmv.h"
 
@@ -25,11 +35,15 @@ namespace {
 
 /// Scatters a finished lane value to y (feed records and tail flushes).
 /// Chunk-boundary rows are accumulated atomically because the neighbouring
-/// chunk contributes to them too; every other row has exactly one writer,
-/// so a plain store suffices (y's zero rows are pre-cleared).
+/// chunk contributes to them too; every other row has exactly one writer
+/// within a band, so a plain store (or plain add, in accumulate mode —
+/// bands run sequentially) suffices.
+template <bool Accumulate>
 inline void writeBack(double *Y, std::int32_t Row, double V, bool Shared) {
   if (Shared) {
 #pragma omp atomic
+    Y[Row] += V;
+  } else if (Accumulate) {
     Y[Row] += V;
   } else {
     Y[Row] = V;
@@ -38,8 +52,10 @@ inline void writeBack(double *Y, std::int32_t Row, double V, bool Shared) {
 
 /// Applies every record with Pos < Limit: feed records scatter the lane's
 /// finished dot product straight into y (one masked scatter for the common
-/// exclusive-row case), steal records accumulate into the chunk's t_result
-/// slots, and the applied lanes are zeroed. Returns the updated v_out.
+/// exclusive-row case; accumulate mode turns it into gather+add+scatter),
+/// steal records accumulate into the chunk's t_result slots, and the
+/// applied lanes are zeroed. Returns the updated v_out.
+template <bool Accumulate>
 inline simd::VecD8 applyRecords(simd::VecD8 VOut, const CvrRecord *Recs,
                                 std::int64_t &RecIdx, std::int64_t RecEnd,
                                 std::int64_t Limit, double *Y,
@@ -70,7 +86,15 @@ inline simd::VecD8 applyRecords(simd::VecD8 VOut, const CvrRecord *Recs,
   if (FeedMask) {
     __m256i Idx =
         _mm256_load_si256(reinterpret_cast<const __m256i *>(WbBuf));
-    _mm512_mask_i32scatter_pd(Y, FeedMask, Idx, VOut.Reg, 8);
+    __m512d Out = VOut.Reg;
+    if constexpr (Accumulate) {
+      // Distinct rows per batch (a row finishes once per chunk), so the
+      // gather+add+scatter never self-conflicts.
+      __m512d Old = _mm512_mask_i32gather_pd(_mm512_setzero_pd(), FeedMask,
+                                             Idx, Y, 8);
+      Out = _mm512_add_pd(Old, VOut.Reg);
+    }
+    _mm512_mask_i32scatter_pd(Y, FeedMask, Idx, Out, 8);
   }
   VOut.Reg = _mm512_maskz_mov_pd(static_cast<__mmask8>(~ClearMask),
                                  VOut.Reg);
@@ -84,7 +108,7 @@ inline simd::VecD8 applyRecords(simd::VecD8 VOut, const CvrRecord *Recs,
     if (R.Steal)
       TResult[R.Wb] += Buf[Off];
     else
-      writeBack(Y, R.Wb, Buf[Off], R.Shared);
+      writeBack<Accumulate>(Y, R.Wb, Buf[Off], R.Shared);
     Buf[Off] = 0.0;
     ++RecIdx;
   } while (RecIdx < RecEnd && Recs[RecIdx].Pos < Limit);
@@ -92,9 +116,15 @@ inline simd::VecD8 applyRecords(simd::VecD8 VOut, const CvrRecord *Recs,
 #endif
 }
 
-/// One chunk of the vectorized 8-lane kernel (Algorithm 4).
+/// One chunk of the vectorized 8-lane kernel (Algorithm 4). PfDist > 0
+/// issues software prefetches of the x gather targets (and the vals/cols
+/// streams) PfDist steps ahead, using the already-streamed column indices;
+/// the host has no AVX-512PF, so the prefetches are scalar.
+template <int PfDist, bool Accumulate>
 void runChunkAvx(const CvrMatrix &M, const CvrChunk &C, const double *X,
                  double *Y) {
+  static_assert(PfDist % 2 == 0, "prefetch pairs with the double-pumped "
+                                 "column loads, so the distance stays even");
   constexpr int W = 8;
   const double *Vals = M.vals() + C.ElemBase;
   const std::int32_t *Cols = M.colIdx() + C.ElemBase;
@@ -110,8 +140,22 @@ void runChunkAvx(const CvrMatrix &M, const CvrChunk &C, const double *X,
     // Write-back records that fall into this step (the lane's dot product
     // is complete just before the step's elements are consumed).
     if (RecIdx < RecEnd && Recs[RecIdx].Pos < (I + 1) * W)
-      VOut = applyRecords(VOut, Recs, RecIdx, RecEnd, (I + 1) * W, Y,
-                          TResult);
+      VOut = applyRecords<Accumulate>(VOut, Recs, RecIdx, RecEnd,
+                                      (I + 1) * W, Y, TResult);
+
+    if constexpr (PfDist > 0) {
+      if ((I & 1) == 0 && I + PfDist + 1 < C.NumSteps) {
+        // Pull the index line two prefetch windows out so the window at
+        // PfDist reads cached indices, then touch the 16 x targets for
+        // the step pair at PfDist and stream the matching value lines.
+        __builtin_prefetch(Cols + (I + 2 * PfDist) * W, 0, 0);
+        const std::int32_t *Pc = Cols + (I + PfDist) * W;
+        for (int K = 0; K < 2 * W; ++K)
+          __builtin_prefetch(X + Pc[K], 0, 1);
+        __builtin_prefetch(Vals + (I + PfDist) * W, 0, 0);
+        __builtin_prefetch(Vals + (I + PfDist + 1) * W, 0, 0);
+      }
+    }
 
     // Column-index double pumping: one 16-wide int32 load per two steps.
     if ((I & 1) == 0)
@@ -125,8 +169,9 @@ void runChunkAvx(const CvrMatrix &M, const CvrChunk &C, const double *X,
 
   // Trailing records (pieces that finish exactly at the stream end).
   if (RecIdx < RecEnd)
-    applyRecords(VOut, Recs, RecIdx, RecEnd,
-                 std::numeric_limits<std::int64_t>::max(), Y, TResult);
+    applyRecords<Accumulate>(VOut, Recs, RecIdx, RecEnd,
+                             std::numeric_limits<std::int64_t>::max(), Y,
+                             TResult);
 
   // Tail flush: t_result slots back to their rows (Algorithm 4 l.31-33).
   const std::int32_t *Tails = M.tails() + C.TailBase;
@@ -135,13 +180,15 @@ void runChunkAvx(const CvrMatrix &M, const CvrChunk &C, const double *X,
     if (Row < 0)
       continue;
     bool Shared = Row == C.FirstRow || Row == C.LastRow;
-    writeBack(Y, Row, TResult[K], Shared);
+    writeBack<Accumulate>(Y, Row, TResult[K], Shared);
   }
 }
 
 /// Generic any-width kernel (lane-count ablation / non-AVX hosts).
+/// Accumulate and the prefetch distance are runtime parameters here: this
+/// path is not performance-critical.
 void runChunkGeneric(const CvrMatrix &M, const CvrChunk &C, const double *X,
-                     double *Y) {
+                     double *Y, int PfDist, bool Accumulate) {
   const int W = M.lanes();
   const double *Vals = M.vals() + C.ElemBase;
   const std::int32_t *Cols = M.colIdx() + C.ElemBase;
@@ -152,6 +199,13 @@ void runChunkGeneric(const CvrMatrix &M, const CvrChunk &C, const double *X,
   std::vector<double> TResult(W, 0.0);
   std::vector<double> VOut(W, 0.0);
 
+  auto Store = [&](std::int32_t Row, double V, bool Shared) {
+    if (Accumulate)
+      writeBack<true>(Y, Row, V, Shared);
+    else
+      writeBack<false>(Y, Row, V, Shared);
+  };
+
   for (std::int64_t I = 0; I < C.NumSteps; ++I) {
     while (RecIdx < RecEnd && Recs[RecIdx].Pos < (I + 1) * W) {
       const CvrRecord &R = Recs[RecIdx];
@@ -159,9 +213,14 @@ void runChunkGeneric(const CvrMatrix &M, const CvrChunk &C, const double *X,
       if (R.Steal)
         TResult[R.Wb] += VOut[Off];
       else
-        writeBack(Y, R.Wb, VOut[Off], R.Shared);
+        Store(R.Wb, VOut[Off], R.Shared);
       VOut[Off] = 0.0;
       ++RecIdx;
+    }
+    if (PfDist > 0 && I + PfDist < C.NumSteps) {
+      const std::int32_t *Pc = Cols + (I + PfDist) * W;
+      for (int K = 0; K < W; ++K)
+        __builtin_prefetch(X + Pc[K], 0, 1);
     }
     for (int K = 0; K < W; ++K)
       VOut[K] += Vals[I * W + K] * X[Cols[I * W + K]];
@@ -173,7 +232,7 @@ void runChunkGeneric(const CvrMatrix &M, const CvrChunk &C, const double *X,
     if (R.Steal)
       TResult[R.Wb] += VOut[Off];
     else
-      writeBack(Y, R.Wb, VOut[Off], R.Shared);
+      Store(R.Wb, VOut[Off], R.Shared);
     VOut[Off] = 0.0;
   }
 
@@ -183,7 +242,7 @@ void runChunkGeneric(const CvrMatrix &M, const CvrChunk &C, const double *X,
     if (Row < 0)
       continue;
     bool Shared = Row == C.FirstRow || Row == C.LastRow;
-    writeBack(Y, Row, TResult[K], Shared);
+    Store(Row, TResult[K], Shared);
   }
 }
 
@@ -222,7 +281,7 @@ void runChunkMulti(const CvrMatrix &M, const CvrChunk &C, const double *X,
         if (Rec.Steal)
           TResult[V][Rec.Wb] += Buf[Off];
         else
-          writeBack(Yv, Rec.Wb, Buf[Off], Rec.Shared);
+          writeBack<false>(Yv, Rec.Wb, Buf[Off], Rec.Shared);
         Buf[Off] = 0.0;
       }
       VOut[V] = simd::VecD8::fromArray(Buf);
@@ -255,19 +314,81 @@ void runChunkMulti(const CvrMatrix &M, const CvrChunk &C, const double *X,
       if (Row < 0)
         continue;
       bool Shared = Row == C.FirstRow || Row == C.LastRow;
-      writeBack(Yv, Row, TResult[V][K], Shared);
+      writeBack<false>(Yv, Row, TResult[V][K], Shared);
     }
   }
 }
 
+/// Dispatches one chunk to the right kernel instantiation. The prefetch
+/// distance is snapped to the supported set by cvrSpmv.
+template <bool Accumulate>
+void runChunk(const CvrMatrix &M, const CvrChunk &C, const double *X,
+              double *Y, int PfDist, bool UseAvx) {
+  if (!UseAvx) {
+    runChunkGeneric(M, C, X, Y, PfDist, Accumulate);
+    return;
+  }
+  switch (PfDist) {
+  case 2:
+    runChunkAvx<2, Accumulate>(M, C, X, Y);
+    break;
+  case 4:
+    runChunkAvx<4, Accumulate>(M, C, X, Y);
+    break;
+  case 8:
+    runChunkAvx<8, Accumulate>(M, C, X, Y);
+    break;
+  default:
+    runChunkAvx<0, Accumulate>(M, C, X, Y);
+    break;
+  }
+}
+
+/// Runs the chunks [Begin, End) across M.runThreads() threads. With more
+/// chunks than threads (over-decomposition) the schedule turns dynamic so
+/// a thread that drew a light chunk picks up the next one.
+void runChunkRange(const CvrMatrix &M, int Begin, int End, const double *X,
+                   double *Y, int PfDist, bool Accumulate) {
+  const std::vector<CvrChunk> &Chunks = M.chunks();
+  int N = End - Begin;
+  int Threads = std::min(M.runThreads(), N);
+  bool UseAvx = M.lanes() == simd::DoubleLanes && !M.forcesGenericKernel();
+
+  auto Body = [&](int T) {
+    const CvrChunk &C = Chunks[Begin + T];
+    if (Accumulate)
+      runChunk<true>(M, C, X, Y, PfDist, UseAvx);
+    else
+      runChunk<false>(M, C, X, Y, PfDist, UseAvx);
+  };
+  if (N > Threads)
+    ompParallelForDynamic(N, Threads, Body);
+  else
+    ompParallelFor(N, Threads, Body);
+}
+
 } // namespace
+
+int snapPrefetchDistance(int D) {
+  if (D <= 0)
+    return 0;
+  if (D <= 2)
+    return 2;
+  if (D <= 4)
+    return 4;
+  return 8;
+}
 
 void cvrSpmm(const CvrMatrix &M, const double *X, std::size_t LdX,
              double *Y, std::size_t LdY, int NumVectors) {
   assert(LdX >= static_cast<std::size_t>(M.numCols()) &&
          LdY >= static_cast<std::size_t>(M.numRows()) &&
          "leading dimensions must cover the matrix shape");
-  if (M.lanes() != simd::DoubleLanes || M.forcesGenericKernel()) {
+  if (M.isBlocked() || M.lanes() != simd::DoubleLanes ||
+      M.forcesGenericKernel()) {
+    // Blocked matrices run vector-by-vector: the multi-vector kernel has
+    // no accumulate mode (SpMM already amortizes the x traffic blocking
+    // targets).
     for (int V = 0; V < NumVectors; ++V)
       cvrSpmv(M, X + static_cast<std::size_t>(V) * LdX,
               Y + static_cast<std::size_t>(V) * LdY);
@@ -284,28 +405,37 @@ void cvrSpmm(const CvrMatrix &M, const double *X, std::size_t LdX,
 
     const std::vector<CvrChunk> &Chunks = M.chunks();
     int NumChunks = static_cast<int>(Chunks.size());
-    ompParallelFor(NumChunks, NumChunks, [&](int T) {
+    int Threads = std::min(M.runThreads(), NumChunks);
+    auto Body = [&](int T) {
       runChunkMulti(M, Chunks[T], XB, LdX, YB, LdY, B);
-    });
+    };
+    if (NumChunks > Threads)
+      ompParallelForDynamic(NumChunks, Threads, Body);
+    else
+      ompParallelFor(NumChunks, Threads, Body);
   }
 }
 
-void cvrSpmv(const CvrMatrix &M, const double *X, double *Y) {
+void cvrSpmv(const CvrMatrix &M, const double *X, double *Y,
+             int PrefetchDistance) {
+  int PfDist = snapPrefetchDistance(PrefetchDistance);
+
+  if (M.isBlocked()) {
+    // Accumulate mode: clear all of y once, then add each band's partial
+    // products. Bands run sequentially so x's working set stays one band
+    // wide; chunks within a band run in parallel.
+    std::memset(Y, 0, sizeof(double) * static_cast<std::size_t>(M.numRows()));
+    for (const CvrBand &B : M.bands())
+      runChunkRange(M, B.ChunkBegin, B.ChunkEnd, X, Y, PfDist,
+                    /*Accumulate=*/true);
+    return;
+  }
+
   // Pre-zero the rows that accumulate (boundary rows) or are never written
   // (empty rows); all other rows receive exactly one plain store.
   for (std::int32_t R : M.zeroRows())
     Y[R] = 0.0;
-
-  const std::vector<CvrChunk> &Chunks = M.chunks();
-  int NumChunks = static_cast<int>(Chunks.size());
-  bool UseAvx = M.lanes() == simd::DoubleLanes && !M.forcesGenericKernel();
-
-  ompParallelFor(NumChunks, NumChunks, [&](int T) {
-    if (UseAvx)
-      runChunkAvx(M, Chunks[T], X, Y);
-    else
-      runChunkGeneric(M, Chunks[T], X, Y);
-  });
+  runChunkRange(M, 0, M.numChunks(), X, Y, PfDist, /*Accumulate=*/false);
 }
 
 CvrKernel::CvrKernel(CvrOptions Opts) : Opts(Opts) {}
@@ -314,16 +444,27 @@ void CvrKernel::prepare(const CsrMatrix &A) {
   M = CvrMatrix::fromCsr(A, Opts);
 }
 
-void CvrKernel::run(const double *X, double *Y) const { cvrSpmv(M, X, Y); }
+void CvrKernel::run(const double *X, double *Y) const {
+  cvrSpmv(M, X, Y, Opts.PrefetchDistance);
+}
 
 std::size_t CvrKernel::formatBytes() const { return M.formatBytes(); }
 
 bool CvrKernel::traceRun(MemAccessSink &Sink, const double *X,
                          double *Y) const {
   const int W = M.lanes();
-  for (std::int32_t R : M.zeroRows()) {
-    Sink.write(Y + R, sizeof(double));
-    Y[R] = 0.0;
+  const bool Accumulate = M.isBlocked();
+  if (Accumulate) {
+    // The blocked kernel clears all of y before the bands accumulate.
+    for (std::int32_t R = 0; R < M.numRows(); ++R) {
+      Sink.write(Y + R, sizeof(double));
+      Y[R] = 0.0;
+    }
+  } else {
+    for (std::int32_t R : M.zeroRows()) {
+      Sink.write(Y + R, sizeof(double));
+      Y[R] = 0.0;
+    }
   }
 
   std::vector<double> TResult(W), VOut(W);
@@ -334,20 +475,24 @@ bool CvrKernel::traceRun(MemAccessSink &Sink, const double *X,
     const std::int32_t *Cols = M.colIdx() + C.ElemBase;
     std::int64_t RecIdx = C.RecBase;
 
+    auto Flush = [&](std::int32_t Row, double V, bool Shared) {
+      bool ReadsY = Shared || Accumulate;
+      if (ReadsY)
+        Sink.read(Y + Row, sizeof(double));
+      Sink.write(Y + Row, sizeof(double));
+      if (ReadsY)
+        Y[Row] += V;
+      else
+        Y[Row] = V;
+    };
+
     auto ApplyRec = [&](const CvrRecord &R) {
       Sink.read(&R, sizeof(CvrRecord));
       int Off = static_cast<int>(R.Pos % W);
-      if (R.Steal) {
+      if (R.Steal)
         TResult[R.Wb] += VOut[Off]; // t_result lives in registers/stack.
-      } else {
-        if (R.Shared)
-          Sink.read(Y + R.Wb, sizeof(double));
-        Sink.write(Y + R.Wb, sizeof(double));
-        if (R.Shared)
-          Y[R.Wb] += VOut[Off];
-        else
-          Y[R.Wb] = VOut[Off];
-      }
+      else
+        Flush(R.Wb, VOut[Off], R.Shared);
       VOut[Off] = 0.0;
     };
 
@@ -378,13 +523,7 @@ bool CvrKernel::traceRun(MemAccessSink &Sink, const double *X,
       if (Row < 0)
         continue;
       bool Shared = Row == C.FirstRow || Row == C.LastRow;
-      if (Shared)
-        Sink.read(Y + Row, sizeof(double));
-      Sink.write(Y + Row, sizeof(double));
-      if (Shared)
-        Y[Row] += TResult[K];
-      else
-        Y[Row] = TResult[K];
+      Flush(Row, TResult[K], Shared);
     }
   }
   return true;

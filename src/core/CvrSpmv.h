@@ -28,7 +28,31 @@
 namespace cvr {
 
 /// Computes y = A * x from the converted matrix. \p Y is overwritten.
-void cvrSpmv(const CvrMatrix &M, const double *X, double *Y);
+/// \p PrefetchDistance selects the software-prefetch kernel variant
+/// (steps ahead at which x gather targets are touched); it is snapped to
+/// the supported set {0, 2, 4, 8} and 0 disables prefetching.
+void cvrSpmv(const CvrMatrix &M, const double *X, double *Y,
+             int PrefetchDistance = 0);
+
+/// Snaps a requested prefetch distance up to the supported set {0, 2, 4, 8}
+/// (the distances the kernel templates are instantiated for).
+int snapPrefetchDistance(int D);
+
+/// Implemented by every SpmvKernel that executes a CvrMatrix (CvrKernel
+/// here, TunedCvrKernel in src/engine), so the checked-execution and
+/// invariant machinery can reach the underlying format through one
+/// dynamic_cast regardless of the wrapper.
+class CvrMatrixSource {
+public:
+  virtual ~CvrMatrixSource() = default;
+
+  /// The converted matrix the kernel runs (valid after prepare()).
+  virtual const CvrMatrix &cvrMatrix() const = 0;
+
+  /// The prefetch distance run() uses; the checked shadow kernel replays
+  /// the same variant.
+  virtual int cvrPrefetchDistance() const { return 0; }
+};
 
 /// SpMM: computes Y_j = A * X_j for \p NumVectors right-hand sides stored
 /// column-major (vector j starts at X + j*LdX resp. Y + j*LdY; LdX >=
@@ -40,7 +64,7 @@ void cvrSpmm(const CvrMatrix &M, const double *X, std::size_t LdX,
              double *Y, std::size_t LdY, int NumVectors);
 
 /// SpmvKernel adapter so CVR plugs into the common benchmark harness.
-class CvrKernel : public SpmvKernel {
+class CvrKernel : public SpmvKernel, public CvrMatrixSource {
 public:
   explicit CvrKernel(CvrOptions Opts = {});
 
@@ -58,6 +82,9 @@ public:
   /// The converted matrix (valid after prepare()); exposed for tests and
   /// the locality tracer.
   const CvrMatrix &matrix() const { return M; }
+
+  const CvrMatrix &cvrMatrix() const override { return M; }
+  int cvrPrefetchDistance() const override { return Opts.PrefetchDistance; }
 
 private:
   CvrOptions Opts;

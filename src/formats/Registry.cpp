@@ -7,6 +7,7 @@
 #include "formats/Registry.h"
 
 #include "core/CvrSpmv.h"
+#include "engine/TunedKernel.h"
 #include "formats/Csr5.h"
 #include "formats/CsrInspector.h"
 #include "formats/CsrSpmv.h"
@@ -77,6 +78,14 @@ std::vector<KernelVariant> variantsOf(FormatId F, int NumThreads) {
                     CvrOptions Opts;
                     Opts.NumThreads = NumThreads;
                     return std::make_unique<CvrKernel>(Opts);
+                  }});
+    // The adaptive execution engine: per-matrix prefetch distance,
+    // x-blocking, and over-decomposition picked by a timed search at
+    // prepare() time (cached per matrix fingerprint).
+    Vs.push_back({F, "CVR+tuned", [=] {
+                    AutotuneOptions Opts;
+                    Opts.NumThreads = NumThreads;
+                    return std::make_unique<TunedCvrKernel>(Opts);
                   }});
     break;
   }

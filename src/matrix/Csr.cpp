@@ -9,6 +9,7 @@
 #include "matrix/Coo.h"
 #include "support/PrefixSum.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -54,6 +55,48 @@ CsrMatrix CsrMatrix::emptyOfShape(std::int32_t Rows, std::int32_t Cols) {
   M.NumCols = Cols;
   M.RowPtr.resize(static_cast<std::size_t>(Rows) + 1);
   M.RowPtr.zero();
+  return M;
+}
+
+CsrMatrix CsrMatrix::columnBand(std::int32_t ColBegin,
+                                std::int32_t ColEnd) const {
+  assert(0 <= ColBegin && ColBegin <= ColEnd && ColEnd <= NumCols &&
+         "band must lie inside the column range");
+  CsrMatrix M;
+  M.NumRows = NumRows;
+  M.NumCols = NumCols; // Global column indices: the band is a shape-
+                       // preserving slice, not a narrower matrix.
+  M.RowPtr.resize(static_cast<std::size_t>(NumRows) + 1);
+  M.RowPtr.zero();
+
+  // Columns are ascending within each row (isValid's csr.col.order
+  // invariant), so the band's slice of a row is one contiguous range.
+  auto RowSlice = [&](std::int32_t R, std::int64_t &Lo, std::int64_t &Hi) {
+    const std::int32_t *B = ColIdx.data() + RowPtr[R];
+    const std::int32_t *E = ColIdx.data() + RowPtr[R + 1];
+    Lo = RowPtr[R] + (std::lower_bound(B, E, ColBegin) - B);
+    Hi = RowPtr[R] + (std::lower_bound(B, E, ColEnd) - B);
+  };
+
+  for (std::int32_t R = 0; R < NumRows; ++R) {
+    std::int64_t Lo, Hi;
+    RowSlice(R, Lo, Hi);
+    M.RowPtr[R] = Hi - Lo;
+  }
+  exclusivePrefixSum(M.RowPtr.data(), M.NumRows);
+
+  std::int64_t BandNnz = M.RowPtr[NumRows];
+  M.ColIdx.resize(static_cast<std::size_t>(BandNnz));
+  M.Vals.resize(static_cast<std::size_t>(BandNnz));
+  for (std::int32_t R = 0; R < NumRows; ++R) {
+    std::int64_t Lo, Hi;
+    RowSlice(R, Lo, Hi);
+    std::int64_t Dst = M.RowPtr[R];
+    for (std::int64_t I = Lo; I < Hi; ++I, ++Dst) {
+      M.ColIdx[Dst] = ColIdx[I];
+      M.Vals[Dst] = Vals[I];
+    }
+  }
   return M;
 }
 

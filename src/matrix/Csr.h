@@ -60,6 +60,13 @@ public:
   /// Converts back to coordinate form (canonical by construction).
   CooMatrix toCoo() const;
 
+  /// Extracts the nonzeros whose column lies in [ColBegin, ColEnd) into a
+  /// new matrix of the *same shape* (column indices stay global, so the
+  /// band's SpMV still gathers from the full x vector). Columns are sorted
+  /// within each row, so the cut is a per-row binary search. Used by the
+  /// column-blocked CVR build path.
+  CsrMatrix columnBand(std::int32_t ColBegin, std::int32_t ColEnd) const;
+
   /// Structural + value equality.
   bool equals(const CsrMatrix &Other) const;
 

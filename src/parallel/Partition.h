@@ -38,6 +38,14 @@ struct NnzChunk {
 /// Splits the nonzeros of \p A into \p NumThreads near-equal chunks.
 /// Chunks are contiguous and ordered; empty chunks (more threads than
 /// nonzeros) have FirstRow == LastRow == -1.
+///
+/// A row denser than nnz/NumThreads is split across several consecutive
+/// chunks, each with FirstRow == LastRow == that row: the row's partials
+/// are combined through the shared-row atomic path (findSharedRows marks
+/// it), so the split is capped only by the chunk count — with
+/// over-decomposition (CvrOptions::ChunkMultiplier) a single dense row can
+/// legitimately occupy NumThreads * Multiplier chunks. Callers must not
+/// assume FirstRow < LastRow or that a row appears in at most two chunks.
 std::vector<NnzChunk> partitionByNnz(const CsrMatrix &A, int NumThreads);
 
 /// Marks rows that more than one chunk contributes to (their nnz range

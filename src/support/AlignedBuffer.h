@@ -25,6 +25,10 @@
 #include <type_traits>
 #include <utility>
 
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
+
 namespace cvr {
 
 /// Dynamic array of trivially copyable `T` with `Alignment`-byte storage.
@@ -149,14 +153,27 @@ public:
   void fill(const T &V) { std::fill(Data, Data + Size, V); }
 
 private:
+  /// Allocations at least this large are 2 MB-aligned and advised into
+  /// transparent huge pages: the vals/colIdx streams of a large matrix span
+  /// hundreds of 4 KB pages, and the streaming kernels otherwise pay a TLB
+  /// miss every 512 doubles.
+  static constexpr std::size_t HugePageBytes = std::size_t(2) << 20;
+
   static T *allocate(std::size_t N) {
     // std::aligned_alloc requires the total size to be a multiple of the
     // alignment; round up.
     std::size_t Bytes = N * sizeof(T);
-    Bytes = (Bytes + Alignment - 1) / Alignment * Alignment;
-    void *P = std::aligned_alloc(Alignment, Bytes);
+    std::size_t Align = Alignment;
+    if (Bytes >= HugePageBytes)
+      Align = std::max<std::size_t>(Align, HugePageBytes);
+    Bytes = (Bytes + Align - 1) / Align * Align;
+    void *P = std::aligned_alloc(Align, Bytes);
     if (!P)
       throw std::bad_alloc();
+#if defined(__linux__) && defined(MADV_HUGEPAGE)
+    if (Align >= HugePageBytes)
+      (void)madvise(P, Bytes, MADV_HUGEPAGE); // Advisory; failure is fine.
+#endif
     return static_cast<T *>(P);
   }
 

@@ -80,6 +80,43 @@ TEST(CvrSerialize, RoundTripPreservesResults) {
   EXPECT_EQ(maxAbsDiff(Y1, Y2), 0.0);
 }
 
+TEST(CvrSerialize, RoundTripPreservesBlockedOverDecomposedStructure) {
+  // v2 blobs carry the execution-engine fields: the chunk multiplier and
+  // the column-band table. A blocked + over-decomposed matrix must come
+  // back with bands, multiplier, and derived thread count intact, and run
+  // bit-identically.
+  CsrMatrix A = genRmat(11, 7, 77);
+  CvrOptions Opts;
+  Opts.NumThreads = 3;
+  Opts.ChunkMultiplier = 2;
+  Opts.ColBlockBytes = 2048; // 256-column bands.
+  CvrMatrix M = CvrMatrix::fromCsr(A, Opts);
+  ASSERT_TRUE(M.isBlocked());
+
+  std::stringstream Blob;
+  ASSERT_TRUE(M.writeBinary(Blob));
+  CvrMatrix Loaded;
+  ASSERT_TRUE(CvrMatrix::readBinary(Blob, Loaded));
+  EXPECT_TRUE(Loaded.isValid());
+  EXPECT_EQ(Loaded.chunkMultiplier(), 2);
+  EXPECT_EQ(Loaded.runThreads(), 3);
+  ASSERT_EQ(Loaded.bands().size(), M.bands().size());
+  for (std::size_t I = 0; I < M.bands().size(); ++I) {
+    EXPECT_EQ(Loaded.bands()[I].ColBegin, M.bands()[I].ColBegin);
+    EXPECT_EQ(Loaded.bands()[I].ColEnd, M.bands()[I].ColEnd);
+    EXPECT_EQ(Loaded.bands()[I].ChunkBegin, M.bands()[I].ChunkBegin);
+    EXPECT_EQ(Loaded.bands()[I].ChunkEnd, M.bands()[I].ChunkEnd);
+  }
+
+  std::vector<double> X =
+      randomVector(static_cast<std::size_t>(A.numCols()), 13);
+  std::vector<double> Y1(static_cast<std::size_t>(A.numRows()));
+  std::vector<double> Y2(static_cast<std::size_t>(A.numRows()));
+  cvrSpmv(M, X.data(), Y1.data());
+  cvrSpmv(Loaded, X.data(), Y2.data());
+  EXPECT_EQ(maxAbsDiff(Y1, Y2), 0.0);
+}
+
 TEST(CvrSerialize, RoundTripEmptyMatrix) {
   CvrMatrix M = CvrMatrix::fromCsr(CsrMatrix::emptyOfShape(5, 5));
   std::stringstream Blob;

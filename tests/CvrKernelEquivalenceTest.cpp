@@ -101,6 +101,46 @@ TEST_P(CvrFuzz, RepeatedRunsAreIdempotent) {
       << "run() must not depend on the previous contents of y";
 }
 
+TEST_P(CvrFuzz, ExecutionEngineVariantsAgree) {
+  // Sweep the execution-engine variant matrix — prefetch distances x
+  // blocked/unblocked x chunk multipliers — against the scalar reference.
+  // Every variant consumes a different stream layout (blocking) or issue
+  // schedule (prefetch, over-decomposition) but must compute the same y.
+  std::uint64_t Seed = 9200 + GetParam();
+  CsrMatrix A = fuzzMatrix(Seed);
+  std::vector<double> X =
+      randomVector(static_cast<std::size_t>(A.numCols()), Seed ^ 0xABCD);
+  std::vector<double> Expected = referenceSpmv(A, X);
+
+  Xoshiro256 Rng(Seed ^ 0x5EED);
+  int Threads = static_cast<int>(1 + Rng.nextBounded(4));
+
+  for (std::int64_t BlockBytes : {std::int64_t(0), std::int64_t(512)}) {
+    for (int Mult : {1, 2, 4}) {
+      CvrOptions Opts;
+      Opts.NumThreads = Threads;
+      Opts.ChunkMultiplier = Mult;
+      Opts.ColBlockBytes = BlockBytes; // 512 B = 64 columns per band.
+      CvrMatrix M = CvrMatrix::fromCsr(A, Opts);
+      ASSERT_TRUE(M.isValid());
+      EXPECT_EQ(M.chunkMultiplier(), Mult);
+      EXPECT_EQ(M.runThreads(), Threads);
+      if (BlockBytes > 0 && A.numCols() > 64) {
+        EXPECT_TRUE(M.isBlocked());
+        EXPECT_TRUE(M.zeroRows().empty());
+      }
+
+      for (int PfDist : {0, 2, 4, 8}) {
+        std::vector<double> Y(static_cast<std::size_t>(A.numRows()), -3.5);
+        cvrSpmv(M, X.data(), Y.data(), PfDist);
+        EXPECT_LE(maxRelDiff(Expected, Y), SpmvTolerance)
+            << "block=" << BlockBytes << " mult=" << Mult
+            << " pf=" << PfDist;
+      }
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, CvrFuzz, ::testing::Range(0, 24));
 
 TEST(CvrLinearity, SpmvIsLinearInX) {

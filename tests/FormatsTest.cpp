@@ -186,7 +186,9 @@ TEST(Registry, NamesAndVariantCounts) {
   EXPECT_EQ(variantsOf(FormatId::Esb).size(), 3u);
   EXPECT_EQ(variantsOf(FormatId::Vhcc).size(), Vhcc::panelSweep().size());
   EXPECT_EQ(variantsOf(FormatId::Csr5).size(), 1u);
-  EXPECT_EQ(variantsOf(FormatId::Cvr).size(), 1u);
+  // Fixed-plan CVR plus the autotuned execution engine.
+  EXPECT_EQ(variantsOf(FormatId::Cvr).size(), 2u);
+  EXPECT_EQ(variantsOf(FormatId::Cvr)[1].VariantName, "CVR+tuned");
   EXPECT_STREQ(formatName(FormatId::Cvr), "CVR");
 }
 

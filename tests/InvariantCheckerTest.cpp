@@ -73,6 +73,32 @@ TEST(InvariantChecker, CleanCvrPasses) {
   EXPECT_TRUE(Vs.empty()) << analysis::formatViolations(Vs);
 }
 
+TEST(InvariantChecker, CleanBlockedOverDecomposedCvrPasses) {
+  // Column blocking + chunk over-decomposition produce band tables and
+  // multiplied chunk counts; the checker rebuilds the same band slices from
+  // the origin matrix and must find nothing to complain about.
+  CsrMatrix A = test::randomCsr(80, 200, 0.06, 13);
+  CvrOptions Opts;
+  Opts.NumThreads = 3;
+  Opts.ChunkMultiplier = 2;
+  Opts.ColBlockBytes = 512; // 64-column bands over 200 columns.
+  CvrMatrix M = CvrMatrix::fromCsr(A, Opts);
+  ASSERT_TRUE(M.isBlocked());
+  std::vector<Violation> Vs = InvariantChecker::checkCvr(M, &A);
+  EXPECT_TRUE(Vs.empty()) << analysis::formatViolations(Vs);
+}
+
+TEST(InvariantCheckerMutation, CvrBandTilingBroken) {
+  CsrMatrix A = test::randomCsr(80, 200, 0.06, 13);
+  CvrOptions Opts;
+  Opts.NumThreads = 2;
+  Opts.ColBlockBytes = 512;
+  CvrMatrix M = CvrMatrix::fromCsr(A, Opts);
+  ASSERT_TRUE(M.isBlocked());
+  Introspect::bands(M)[1].ColBegin += 8; // Gap between bands 0 and 1.
+  expectRule(InvariantChecker::checkCvr(M, &A), "cvr.band.tiling");
+}
+
 TEST(InvariantChecker, CleanCsr5Passes) {
   CsrMatrix A = testMatrix();
   Csr5 K(/*Sigma=*/4, /*NumThreads=*/4);
@@ -365,6 +391,34 @@ TEST(CheckedSpmv, BothShadowsMatchReferenceWhenClean) {
       analysis::cvrSpmvCheckedGeneric(M, X.data(), Y.data(), Vs);
     EXPECT_TRUE(Vs.empty()) << analysis::formatViolations(Vs);
     EXPECT_LE(maxRelDiff(Ref, Y), test::SpmvTolerance);
+  }
+}
+
+TEST(CheckedSpmv, BlockedShadowsMatchReference) {
+  // Accumulate-mode shadow coverage: a blocked + over-decomposed matrix
+  // must run through both checked kernels with zero violations and match
+  // the scalar reference (the shadows zero all of y, then += per band).
+  CsrMatrix A = test::randomCsr(70, 180, 0.07, 41);
+  CvrOptions Opts;
+  Opts.NumThreads = 2;
+  Opts.ChunkMultiplier = 4;
+  Opts.ColBlockBytes = 512;
+  CvrMatrix M = CvrMatrix::fromCsr(A, Opts);
+  ASSERT_TRUE(M.isBlocked());
+  std::vector<double> X = test::randomVector(A.numCols(), 17);
+  std::vector<double> Ref(A.numRows(), 0.0);
+  referenceSpmv(A, X.data(), Ref.data());
+
+  for (bool Avx : {false, true}) {
+    std::vector<double> Y(A.numRows(), -4.0);
+    std::vector<Violation> Vs;
+    if (Avx)
+      analysis::cvrSpmvCheckedAvx(M, X.data(), Y.data(), Vs);
+    else
+      analysis::cvrSpmvCheckedGeneric(M, X.data(), Y.data(), Vs);
+    EXPECT_TRUE(Vs.empty()) << analysis::formatViolations(Vs);
+    EXPECT_LE(maxRelDiff(Ref, Y), test::SpmvTolerance)
+        << (Avx ? "AVX shadow" : "generic shadow");
   }
 }
 

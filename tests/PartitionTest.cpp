@@ -114,6 +114,46 @@ TEST(Partition, NoSharedRowsWhenBoundariesAlign) {
     EXPECT_FALSE(S);
 }
 
+TEST(Partition, DenseRowSplitsAcrossManyChunksWithFirstEqLast) {
+  // Pathological case the execution engine's over-decomposition leans on:
+  // one row holds nearly all nonzeros, so at T*Mult chunks almost every
+  // chunk is a slice of that single row with FirstRow == LastRow. The
+  // partition must keep the slices contiguous and mark the row shared; no
+  // cap below the chunk count may kick in.
+  CooMatrix Coo(64, 4096);
+  for (int C = 0; C < 4096; ++C)
+    Coo.add(7, C, 1.0);
+  Coo.add(0, 0, 1.0);
+  Coo.add(63, 1, 1.0);
+  CsrMatrix A = CsrMatrix::fromCoo(Coo);
+
+  const int Chunks = 4 * 8; // 4 threads x multiplier 8.
+  std::vector<NnzChunk> Parts = partitionByNnz(A, Chunks);
+  ASSERT_EQ(Parts.size(), static_cast<std::size_t>(Chunks));
+
+  int SlicesOfRow7 = 0;
+  for (const NnzChunk &C : Parts) {
+    if (C.empty())
+      continue;
+    if (C.FirstRow == 7 && C.LastRow == 7)
+      ++SlicesOfRow7;
+  }
+  // ~4098 nnz over 32 chunks: every interior chunk is a pure row-7 slice.
+  EXPECT_GE(SlicesOfRow7, Chunks - 2);
+
+  std::vector<std::uint8_t> Shared = findSharedRows(A, Parts);
+  EXPECT_TRUE(Shared[7]);
+  EXPECT_FALSE(Shared[0]);
+  EXPECT_FALSE(Shared[63]);
+
+  // The split stays correct end to end: partitioned SpMV equals reference.
+  std::vector<double> X = test::randomVector(A.numCols(), 3);
+  std::vector<double> Y(A.numRows(), -1.0);
+  spmvPartitioned(A, Parts, Shared, X.data(), Y.data());
+  std::vector<double> Ref = referenceSpmv(A, X);
+  EXPECT_LE(maxRelDiff(Ref, Y), test::SpmvTolerance);
+}
+
 TEST(Partition, DefaultThreadCountPositive) {
   EXPECT_GE(defaultThreadCount(), 1);
 }

@@ -94,6 +94,32 @@ TEST(RaceStress, CvrSpmvBoundaryRows) {
   }
 }
 
+TEST(RaceStress, CvrOverDecomposedBlockedSpmv) {
+  // The execution engine's worst case for write-write collisions: chunk
+  // over-decomposition multiplies the shared boundary rows, column
+  // blocking makes every band accumulate into the same y through the
+  // read-modify-write path, and dynamic scheduling lets any thread run any
+  // chunk. Under TSan a missing atomic anywhere in that chain is a race.
+  CsrMatrix A = longRowMatrix(6, 4096, 512, 321);
+  CvrOptions Opts;
+  Opts.NumThreads = 8;
+  Opts.ChunkMultiplier = 4;  // 32 chunks over 6 rows.
+  Opts.ColBlockBytes = 8192; // 1024-column bands over 4096 columns.
+  CvrMatrix M = CvrMatrix::fromCsr(A, Opts);
+  ASSERT_TRUE(M.isBlocked());
+  ASSERT_EQ(M.runThreads(), 8);
+
+  std::vector<double> X = test::randomVector(A.numCols(), 5);
+  std::vector<double> Ref(A.numRows(), 0.0);
+  referenceSpmv(A, X.data(), Ref.data());
+
+  std::vector<double> Y(A.numRows(), 0.0);
+  for (int Iter = 0; Iter < 50; ++Iter) {
+    cvrSpmv(M, X.data(), Y.data(), /*PrefetchDistance=*/4);
+    ASSERT_LE(maxRelDiff(Ref, Y), test::SpmvTolerance) << "iter " << Iter;
+  }
+}
+
 TEST(RaceStress, CvrConversionParallel) {
   // The converter itself runs chunks in parallel; hammer it for races on
   // the shared output arrays.

@@ -35,10 +35,12 @@
 #include "benchlib/Measure.h"
 #include "cachesim/LocalityProbe.h"
 #include "core/Cvr.h"
+#include "engine/TunedKernel.h"
 #include "formats/AutoSelect.h"
 #include "gen/DatasetSuite.h"
 #include "io/MatrixMarket.h"
 #include "matrix/MatrixStats.h"
+#include "matrix/Reference.h"
 #include "support/Random.h"
 #include "support/Table.h"
 #include "support/Timer.h"
@@ -66,6 +68,10 @@ int usage(const char *Prog) {
       "  validate <matrix.mtx|suite-name|--suite> [--format=F] [--threads=T]\n"
       "                                        invariant + checked-mode "
       "sweep\n"
+      "  tune     <matrix.mtx|suite-name> [--threads=T] [--scale=X]\n"
+      "                                        search the CVR execution-plan\n"
+      "                                        space (prefetch, blocking,\n"
+      "                                        over-decomposition)\n"
       "  gen      <suite-name> <out.mtx> [--scale=X]\n"
       "  list                                  suite matrix names\n",
       Prog);
@@ -354,6 +360,80 @@ int cmdValidate(int Argc, char **Argv) {
   return 0;
 }
 
+int cmdTune(int Argc, char **Argv) {
+  std::string Target;
+  int Threads = 0;
+  double Scale = 1.0;
+  for (int I = 2; I < Argc; ++I) {
+    if (std::strncmp(Argv[I], "--threads=", 10) == 0)
+      Threads = std::atoi(Argv[I] + 10);
+    else if (std::strncmp(Argv[I], "--scale=", 8) == 0)
+      Scale = std::atof(Argv[I] + 8);
+    else
+      Target = Argv[I];
+  }
+  if (Target.empty() || Scale <= 0.0 || Scale > 1.0)
+    return 2;
+
+  CsrMatrix A;
+  if (Target.size() > 4 &&
+      Target.compare(Target.size() - 4, 4, ".mtx") == 0) {
+    if (!loadCsr(Target, A))
+      return 1;
+  } else {
+    bool Found = false;
+    for (const DatasetSpec &D : datasetSuite(Scale))
+      if (D.Name == Target) {
+        A = D.Build();
+        Found = true;
+        break;
+      }
+    if (!Found) {
+      std::fprintf(stderr,
+                   "error: '%s' is neither a .mtx file nor a suite matrix "
+                   "(see `list`)\n",
+                   Target.c_str());
+      return 1;
+    }
+  }
+
+  AutotuneOptions Opts;
+  Opts.NumThreads = Threads;
+  Opts.UseCache = false; // A fresh search is the point of the command.
+  Timer T;
+  AutotuneResult R = autotuneCvr(A, Opts);
+  double SearchMs = T.millis();
+
+  std::printf("%s (%d x %d, %lld nnz)\n", Target.c_str(), A.numRows(),
+              A.numCols(), static_cast<long long>(A.numNonZeros()));
+  std::printf("  plan          %s\n", R.Plan.describe().c_str());
+  std::printf("  search        %d timed iterations, %.1f ms total\n",
+              R.IterationsUsed, SearchMs);
+  std::printf("  default plan  %.3f us/iter (%.2f GFlop/s)\n",
+              R.BaselineSeconds * 1e6,
+              spmvGflops(A.numNonZeros(), R.BaselineSeconds));
+  std::printf("  tuned plan    %.3f us/iter (%.2f GFlop/s, %+.1f%%)\n",
+              R.BestSeconds * 1e6,
+              spmvGflops(A.numNonZeros(), R.BestSeconds),
+              R.BaselineSeconds > 0.0
+                  ? (R.BaselineSeconds / R.BestSeconds - 1.0) * 100.0
+                  : 0.0);
+
+  // Confirm the winning plan computes the right answer before anyone
+  // copies it into a build.
+  TunedCvrKernel K(Opts);
+  K.prepare(A);
+  std::vector<double> X = makeX(A.numCols());
+  std::vector<double> Y(static_cast<std::size_t>(A.numRows()), 0.0);
+  K.run(X.data(), Y.data());
+  std::vector<double> Ref(static_cast<std::size_t>(A.numRows()), 0.0);
+  referenceSpmv(A, X.data(), Ref.data());
+  double Diff = maxRelDiff(Ref, Y);
+  std::printf("  check         maxRelDiff %.2e vs scalar reference (%s)\n",
+              Diff, Diff <= 1e-10 ? "ok" : "FAIL");
+  return Diff <= 1e-10 ? 0 : 1;
+}
+
 int cmdList() {
   for (const DatasetSpec &D : datasetSuite())
     std::printf("%-22s %-14s %s\n", D.Name.c_str(), domainName(D.Dom),
@@ -414,6 +494,8 @@ int main(int Argc, char **Argv) {
     return cmdLocality(Argv[2]);
   if (Cmd == "validate")
     return cmdValidate(Argc, Argv);
+  if (Cmd == "tune")
+    return cmdTune(Argc, Argv);
   if (Cmd == "gen")
     return cmdGen(Argc, Argv);
   return usage(Argv[0]);
