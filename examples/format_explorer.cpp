@@ -30,12 +30,12 @@ using namespace cvr;
 int main(int Argc, char **Argv) {
   CsrMatrix A;
   if (Argc > 1) {
-    MmReadResult R = readMatrixMarketFile(Argv[1]);
-    if (!R.Ok) {
-      std::fprintf(stderr, "error: %s\n", R.Error.c_str());
+    StatusOr<CooMatrix> R = readMatrixMarketFile(Argv[1]);
+    if (!R.ok()) {
+      std::fprintf(stderr, "error: %s\n", R.status().toString().c_str());
       return 1;
     }
-    A = CsrMatrix::fromCoo(R.Matrix);
+    A = CsrMatrix::fromCoo(*R);
     std::printf("Loaded %s\n", Argv[1]);
   } else {
     std::printf("No file given; generating an R-MAT scale-free graph.\n");

@@ -31,6 +31,7 @@
 #ifndef CVR_ANALYSIS_INVARIANTCHECKER_H
 #define CVR_ANALYSIS_INVARIANTCHECKER_H
 
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -82,6 +83,13 @@ public:
   /// \p K must already be prepare()d on \p A.
   static std::vector<Violation> checkKernel(const SpmvKernel &K,
                                             const CsrMatrix &A);
+
+  /// Validates a serialized CVR blob end to end: decode (magic, version,
+  /// header/section CRCs, strict count bounds — the "cvr.blob.*" rule
+  /// family, attributed from the bracketed ids CvrMatrix::readBlob embeds
+  /// in its diagnostics) and then the full structural check of the decoded
+  /// matrix. \p IS is consumed.
+  static std::vector<Violation> checkBlob(std::istream &IS);
 };
 
 } // namespace analysis

@@ -51,6 +51,10 @@ struct ConverterConfig {
 };
 
 /// Conversion output for one matrix: everything a Cvr*Matrix stores.
+/// `Ok == false` means an allocation failed mid-conversion (real OOM or
+/// the `alloc.aligned-buffer` fail point); the streams are then
+/// incomplete and must be discarded — CvrMatrix::tryFromCsr turns this
+/// into a RESOURCE_EXHAUSTED Status.
 template <typename ValueT> struct ConvertedStreams {
   AlignedBuffer<ValueT> Vals;
   AlignedBuffer<std::int32_t> ColIdx;
@@ -58,6 +62,7 @@ template <typename ValueT> struct ConvertedStreams {
   AlignedBuffer<std::int32_t> Tails;
   std::vector<CvrChunk> Chunks;
   std::vector<std::int32_t> ZeroRows;
+  bool Ok = true;
 };
 
 /// Per-chunk conversion output built locally by each thread and stitched
@@ -68,6 +73,7 @@ template <typename ValueT> struct ChunkBuild {
   std::vector<CvrRecord> Recs;
   std::vector<std::int32_t> Tails;
   std::int64_t NumSteps = 0;
+  bool Ok = true; ///< False: allocation failed; streams are incomplete.
 };
 
 /// One tracker (the paper's rowID/valID/count triple) plus the bookkeeping
@@ -107,19 +113,30 @@ public:
     }
 
     // Preallocate for the common case (steps ~= nnz/lanes); the stream
-    // only exceeds this when lanes idle near the chunk end.
+    // only exceeds this when lanes idle near the chunk end. Allocation
+    // failure (real or injected) marks the build failed instead of
+    // terminating — the caller surfaces it as a Status.
     std::int64_t Estimate = ((Chunk.size() + Lanes - 1) / Lanes + 4) * Lanes;
-    Out.Vals.reserve(static_cast<std::size_t>(Estimate));
-    Out.ColIdx.reserve(static_cast<std::size_t>(Estimate));
+    if (!Out.Vals.tryReserve(static_cast<std::size_t>(Estimate)).ok() ||
+        !Out.ColIdx.tryReserve(static_cast<std::size_t>(Estimate)).ok()) {
+      Out.Ok = false;
+      return;
+    }
     Out.Recs.reserve(static_cast<std::size_t>(Chunk.LastRow -
                                               Chunk.FirstRow + 1 + 2 * Lanes));
 
     std::int64_t Steps = 0;
     std::int64_t Run;
     while ((Run = refillLanes(Steps)) > 0)
-      emitRun(Steps, Run);
+      if (!emitRun(Steps, Run)) {
+        Out.Ok = false;
+        return;
+      }
     if (Cfg.PadEvenSteps && Steps % 2 != 0) {
-      emitPadStep();
+      if (!emitPadStep()) {
+        Out.Ok = false;
+        return;
+      }
       ++Steps;
     }
     Out.NumSteps = Steps;
@@ -262,13 +279,17 @@ private:
   /// Emits a run of steps in one go: until the next finish event, which by
   /// construction is min(count) = \p Run steps away, every live lane
   /// streams consecutive elements (the gather/store of Algorithm 3
-  /// l.56-60, batched). Dead lanes emit zero pads.
-  void emitRun(std::int64_t &Steps, std::int64_t Run) {
+  /// l.56-60, batched). Dead lanes emit zero pads. Returns false when the
+  /// stream storage cannot grow.
+  bool emitRun(std::int64_t &Steps, std::int64_t Run) {
     assert(Run >= 1 && "emitRun requires at least one live lane");
 
     std::size_t Base = Out.Vals.size();
-    Out.Vals.resize(Base + static_cast<std::size_t>(Run) * Lanes);
-    Out.ColIdx.resize(Base + static_cast<std::size_t>(Run) * Lanes);
+    if (!Out.Vals.tryResize(Base + static_cast<std::size_t>(Run) * Lanes)
+             .ok() ||
+        !Out.ColIdx.tryResize(Base + static_cast<std::size_t>(Run) * Lanes)
+             .ok())
+      return false;
 
     // Blocked over steps so the lane-strided stores stay inside L1 even
     // for very long runs (a single pass per lane over a multi-hundred-KB
@@ -304,13 +325,18 @@ private:
       }
     }
     Steps += Run;
+    return true;
   }
 
-  void emitPadStep() {
+  bool emitPadStep() {
+    std::size_t Need = Out.Vals.size() + static_cast<std::size_t>(Lanes);
+    if (!Out.Vals.tryReserve(Need).ok() || !Out.ColIdx.tryReserve(Need).ok())
+      return false;
     for (int K = 0; K < Lanes; ++K) {
       Out.Vals.push_back(ValueT(0));
       Out.ColIdx.push_back(0);
     }
+    return true;
   }
 
   const CsrMatrix &A;
@@ -338,14 +364,30 @@ ConvertedStreams<ValueT> convertToCvrStreams(const CsrMatrix &A,
 
   // Each chunk converts independently (the paper converts per-thread in
   // parallel; the chunks are also what makes the conversion scalable).
+  // std::vector growth inside a chunk can still throw bad_alloc; it must
+  // not escape the parallel region, so it lands in the same Ok flag the
+  // AlignedBuffer try-paths use.
   ompParallelFor(static_cast<int>(Parts.size()), NumThreads, [&](int T) {
-    ChunkConverter<ValueT> Conv(A, Parts[T], Cfg, Builds[T]);
-    Conv.convert();
+    try {
+      ChunkConverter<ValueT> Conv(A, Parts[T], Cfg, Builds[T]);
+      Conv.convert();
+    } catch (const std::bad_alloc &) {
+      Builds[T].Ok = false;
+    }
   });
+  for (const ChunkBuild<ValueT> &B : Builds)
+    if (!B.Ok) {
+      S.Ok = false;
+      return S;
+    }
 
   // Stitch the per-chunk outputs into contiguous shared streams. With a
   // single chunk the buffers move without a copy.
-  S.Tails.resize(Parts.size() * static_cast<std::size_t>(Cfg.Lanes));
+  if (!S.Tails.tryResize(Parts.size() * static_cast<std::size_t>(Cfg.Lanes))
+           .ok()) {
+    S.Ok = false;
+    return S;
+  }
   S.Tails.fill(-1);
   S.Chunks.resize(Parts.size());
 
@@ -367,8 +409,11 @@ ConvertedStreams<ValueT> convertToCvrStreams(const CsrMatrix &A,
       TotalElems += static_cast<std::int64_t>(B.Vals.size());
       TotalRecs += static_cast<std::int64_t>(B.Recs.size());
     }
-    S.Vals.resize(static_cast<std::size_t>(TotalElems));
-    S.ColIdx.resize(static_cast<std::size_t>(TotalElems));
+    if (!S.Vals.tryResize(static_cast<std::size_t>(TotalElems)).ok() ||
+        !S.ColIdx.tryResize(static_cast<std::size_t>(TotalElems)).ok()) {
+      S.Ok = false;
+      return S;
+    }
     S.Recs.resize(static_cast<std::size_t>(TotalRecs));
 
     std::int64_t ElemCursor = 0, RecCursor = 0;

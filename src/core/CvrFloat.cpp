@@ -9,6 +9,7 @@
 #include "core/CvrConverter.h"
 #include "simd/Simd.h"
 #include "support/ParallelFor.h"
+#include "support/Status.h"
 
 #include <cassert>
 #include <limits>
@@ -158,6 +159,9 @@ CvrMatrixF CvrMatrixF::fromCsr(const CsrMatrix &A, const CvrOptionsF &Opts) {
 
   detail::ConvertedStreams<float> S =
       detail::convertToCvrStreams<float>(A, Cfg);
+  if (!S.Ok)
+    fatalAllocFailure(static_cast<std::size_t>(A.numNonZeros()) *
+                      sizeof(float));
 
   CvrMatrixF M;
   M.NumRows = A.numRows();

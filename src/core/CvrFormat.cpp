@@ -8,17 +8,23 @@
 
 #include "core/CvrConverter.h"
 #include "parallel/Partition.h"
+#include "support/FailPoint.h"
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <string>
 
 namespace cvr {
 
 namespace {
 
 /// Appends one conversion's streams onto the accumulated streams, rebasing
-/// every chunk offset. Returns the index of the first appended chunk.
+/// every chunk offset. Returns the index of the first appended chunk, or
+/// -1 when the grown streams cannot be allocated (Acc is then stale and
+/// must be discarded).
 std::int32_t appendStreams(detail::ConvertedStreams<double> &Acc,
                            detail::ConvertedStreams<double> &&S) {
   auto ChunkBase = static_cast<std::int32_t>(Acc.Chunks.size());
@@ -31,8 +37,10 @@ std::int32_t appendStreams(detail::ConvertedStreams<double> &Acc,
     return 0;
   }
 
-  Acc.Vals.resize(Acc.Vals.size() + S.Vals.size());
-  Acc.ColIdx.resize(Acc.ColIdx.size() + S.ColIdx.size());
+  if (!Acc.Vals.tryResize(Acc.Vals.size() + S.Vals.size()).ok() ||
+      !Acc.ColIdx.tryResize(Acc.ColIdx.size() + S.ColIdx.size()).ok() ||
+      !Acc.Tails.tryReserve(Acc.Tails.size() + S.Tails.size()).ok())
+    return -1;
   if (!S.Vals.empty()) {
     std::memcpy(Acc.Vals.data() + ElemBase, S.Vals.data(),
                 S.Vals.size() * sizeof(double));
@@ -57,6 +65,28 @@ std::int32_t appendStreams(detail::ConvertedStreams<double> &Acc,
 } // namespace
 
 CvrMatrix CvrMatrix::fromCsr(const CsrMatrix &A, const CvrOptions &Opts) {
+  StatusOr<CvrMatrix> R = tryFromCsr(A, Opts);
+  if (!R.ok()) {
+    // The infallible API has no error channel; failing loudly beats
+    // returning a structure a kernel would misindex through.
+    std::fprintf(stderr, "cvr: fatal: CVR conversion failed: %s\n",
+                 R.status().toString().c_str());
+    std::abort();
+  }
+  return std::move(*R);
+}
+
+StatusOr<CvrMatrix> CvrMatrix::tryFromCsr(const CsrMatrix &A,
+                                          const CvrOptions &Opts) try {
+  if (CVR_FAIL_POINT("convert.cvr.fail"))
+    return Status::internal(
+        "convert.cvr.fail fail point: simulated pathological conversion");
+  if (Opts.Lanes < 1)
+    return Status::invalidArgument("CvrOptions.Lanes must be >= 1, got " +
+                                   std::to_string(Opts.Lanes));
+  if (A.numRows() < 0 || A.numCols() < 0)
+    return Status::invalidArgument("matrix has negative shape");
+
   int Threads = Opts.NumThreads > 0 ? Opts.NumThreads : defaultThreadCount();
   int Mult = std::max(1, Opts.ChunkMultiplier);
 
@@ -87,13 +117,18 @@ CvrMatrix CvrMatrix::fromCsr(const CsrMatrix &A, const CvrOptions &Opts) {
   if (ColsPerBand == 0) {
     detail::ConvertedStreams<double> S =
         detail::convertToCvrStreams<double>(A, Cfg);
+    if (!S.Ok)
+      return Status::resourceExhausted(
+          "CVR conversion: stream storage allocation failed");
     M.Vals = std::move(S.Vals);
     M.ColIdx = std::move(S.ColIdx);
     M.Recs = std::move(S.Recs);
     M.Tails = std::move(S.Tails);
     M.Chunks = std::move(S.Chunks);
     M.ZeroRows = std::move(S.ZeroRows);
-    assert(M.isValid() && "conversion produced an inconsistent CVR matrix");
+    if (!M.isValid())
+      return Status::internal(
+          "CVR conversion produced an inconsistent structure");
     return M;
   }
 
@@ -108,7 +143,16 @@ CvrMatrix CvrMatrix::fromCsr(const CsrMatrix &A, const CvrOptions &Opts) {
     CsrMatrix Slice = A.columnBand(C0, C1);
     detail::ConvertedStreams<double> S =
         detail::convertToCvrStreams<double>(Slice, Cfg);
+    if (!S.Ok)
+      return Status::resourceExhausted(
+          "CVR conversion: band stream allocation failed (band at column " +
+          std::to_string(C0) + ")");
     std::int32_t ChunkBase = appendStreams(Acc, std::move(S));
+    if (ChunkBase < 0)
+      return Status::resourceExhausted(
+          "CVR conversion: stitching band streams exceeded memory (band at "
+          "column " +
+          std::to_string(C0) + ")");
     M.Bands.push_back(
         {C0, C1, ChunkBase, static_cast<std::int32_t>(Acc.Chunks.size())});
   }
@@ -118,8 +162,15 @@ CvrMatrix CvrMatrix::fromCsr(const CsrMatrix &A, const CvrOptions &Opts) {
   M.Tails = std::move(Acc.Tails);
   M.Chunks = std::move(Acc.Chunks);
 
-  assert(M.isValid() && "conversion produced an inconsistent CVR matrix");
+  if (!M.isValid())
+    return Status::internal(
+        "CVR conversion produced an inconsistent blocked structure");
   return M;
+} catch (const std::bad_alloc &) {
+  // std::vector growth (records, chunk tables, band slices) can still
+  // throw; fold it into the same recoverable outcome.
+  return Status::resourceExhausted(
+      "CVR conversion: auxiliary allocation failed");
 }
 
 int CvrMatrix::runThreads() const {

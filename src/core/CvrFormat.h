@@ -31,6 +31,7 @@
 
 #include "matrix/Csr.h"
 #include "support/AlignedBuffer.h"
+#include "support/Status.h"
 
 #include <cstdint>
 #include <iosfwd>
@@ -118,8 +119,18 @@ struct CvrChunk {
 class CvrMatrix {
 public:
   /// Converts \p A. The conversion runs the chunks in parallel and is the
-  /// operation the preprocessing benchmarks time.
+  /// operation the preprocessing benchmarks time. Terminates on allocation
+  /// failure; production callers that must survive OOM or pathological
+  /// inputs use tryFromCsr.
   static CvrMatrix fromCsr(const CsrMatrix &A, const CvrOptions &Opts = {});
+
+  /// Recoverable conversion: INVALID_ARGUMENT for unusable options,
+  /// RESOURCE_EXHAUSTED when stream storage cannot be allocated, INTERNAL
+  /// when the converted structure fails its own invariants. The
+  /// degradation ladder in formats/Registry falls back to CSR on any
+  /// non-OK outcome.
+  static StatusOr<CvrMatrix> tryFromCsr(const CsrMatrix &A,
+                                        const CvrOptions &Opts = {});
 
   std::int32_t numRows() const { return NumRows; }
   std::int32_t numCols() const { return NumCols; }
@@ -161,14 +172,47 @@ public:
   /// ordered by position, tails consistent); used by tests and asserts.
   bool isValid() const;
 
-  /// Writes the converted matrix as a versioned little-endian binary blob,
-  /// so one conversion can be amortized across process runs. Returns false
-  /// on stream failure.
+  /// Writes the converted matrix as a versioned little-endian binary blob
+  /// (current version 3: per-section CRC32C integrity), so one conversion
+  /// can be amortized across process runs. Returns false on stream
+  /// failure.
   bool writeBinary(std::ostream &OS) const;
 
-  /// Reads a blob written by writeBinary. On failure returns false and
-  /// leaves \p M empty; validates header magic, version, and invariants.
+  /// Reads a blob written by writeBinary (any version >= 1). On failure
+  /// returns false and leaves \p M empty; validates header magic, version,
+  /// section checksums (v3), bounds, and invariants.
   static bool readBinary(std::istream &IS, CvrMatrix &M);
+
+  /// Status-reporting writer: UNAVAILABLE on stream failure (including an
+  /// armed `serialize.write.short` fail point). Always writes format v3.
+  Status writeBlob(std::ostream &OS) const;
+
+  /// Status-reporting reader with full diagnostics. Messages carry a
+  /// stable bracketed rule id ("[cvr.blob.section-crc] ..."), the same ids
+  /// analysis::InvariantChecker::checkBlob reports. DATA_LOSS for corrupt
+  /// or truncated bytes, OUT_OF_RANGE for counts that fail the strict
+  /// bounds validation, RESOURCE_EXHAUSTED when a validated section does
+  /// not fit in memory.
+  static StatusOr<CvrMatrix> readBlob(std::istream &IS);
+
+  /// Deserializer plumbing: pointers to the private fields, handed to the
+  /// version-specific body readers in CvrSerialize.cpp. Not for general
+  /// use.
+  struct BlobFields {
+    std::int32_t *NumRows;
+    std::int32_t *NumCols;
+    std::int64_t *Nnz;
+    int *Lanes;
+    int *ChunkMult;
+    bool *ForceGeneric;
+    AlignedBuffer<double> *Vals;
+    AlignedBuffer<std::int32_t> *ColIdx;
+    std::vector<CvrRecord> *Recs;
+    AlignedBuffer<std::int32_t> *Tails;
+    std::vector<CvrChunk> *Chunks;
+    std::vector<std::int32_t> *ZeroRows;
+    std::vector<CvrBand> *Bands;
+  };
 
 private:
   friend class CvrConverter;

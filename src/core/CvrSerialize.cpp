@@ -4,151 +4,431 @@
 //
 //===----------------------------------------------------------------------===//
 //
-// Blob layout (little-endian, no padding surprises: every field is written
-// explicitly): magic "CVRF", u32 version, the scalar header fields, then
-// each array prefixed with its u64 element count.
+// Version-3 blob layout (little-endian, every field written explicitly):
+//
+//   magic "CVRF" | u32 version
+//   header: NumRows i32, NumCols i32, Nnz i64, Lanes i32,
+//           ForceGeneric u8, ChunkMult i32 | u32 crc32c(header bytes)
+//   sections, in order: Chunks, Bands, ZeroRows, Recs, Tails, Vals, ColIdx
+//   each section: u64 count | payload | u32 crc32c(payload)
+//
+// The section order is deliberate: the chunk table arrives first, so every
+// later count has a strict structural bound before its allocation happens
+// (Tails == Chunks * Lanes exactly, Vals/ColIdx == sum of NumSteps * Lanes
+// exactly, Bands <= Chunks, ZeroRows <= NumRows). A corrupt or hostile
+// count is rejected with OUT_OF_RANGE instead of commissioning memory.
+//
+// Reader diagnostics carry a stable bracketed rule id — e.g.
+// "[cvr.blob.section-crc] ..." — which analysis::InvariantChecker::checkBlob
+// maps back onto its dotted rule namespace. The ids are part of the
+// interface; tests match on them.
+//
+// Versions 1 and 2 (no checksums, arrays before the chunk table) remain
+// readable; v1 defaults the execution-engine fields (multiplier 1,
+// unblocked).
 //
 //===----------------------------------------------------------------------===//
 
 #include "core/CvrFormat.h"
 
+#include "support/Crc32c.h"
+#include "support/FailPoint.h"
+
+#include <cstring>
 #include <istream>
+#include <new>
 #include <ostream>
+#include <string>
 
 namespace cvr {
 
 namespace {
 
 constexpr char Magic[4] = {'C', 'V', 'R', 'F'};
-/// Version 2 appends the execution-engine fields: the chunk multiplier and
-/// the column-band table. Version-1 blobs load with both defaulted
-/// (multiplier 1, unblocked).
-constexpr std::uint32_t Version = 2;
+constexpr std::uint32_t Version = 3;
 
-template <typename T> void writePod(std::ostream &OS, const T &V) {
-  OS.write(reinterpret_cast<const char *>(&V), sizeof(T));
-}
+/// Structural ceilings for header-declared quantities. They bound what the
+/// v3 reader will commission before the cheap exact checks take over; all
+/// are far beyond any matrix the project handles.
+constexpr std::uint64_t MaxChunks = 1ULL << 22;
+constexpr std::uint64_t MaxLanes = 4096;
+constexpr std::uint64_t MaxChunkMult = 1ULL << 20;
+constexpr std::uint64_t MaxStreamElems = 1ULL << 40;
 
-template <typename T> bool readPod(std::istream &IS, T &V) {
-  IS.read(reinterpret_cast<char *>(&V), sizeof(T));
-  return static_cast<bool>(IS);
-}
+/// Legacy (v1/v2) cap: those blobs carry array counts before the chunk
+/// table, so only this generic ceiling applies.
+constexpr std::uint64_t MaxLegacyArrayElems = 1ULL << 40;
 
-template <typename T>
-void writeArray(std::ostream &OS, const T *Data, std::uint64_t N) {
-  writePod(OS, N);
-  if (N != 0)
-    OS.write(reinterpret_cast<const char *>(Data),
-             static_cast<std::streamsize>(N * sizeof(T)));
-}
-
-/// Reads an array written by writeArray into any resizable container with
-/// data()/resize(). A cap guards against corrupted counts allocating
-/// unbounded memory.
-template <typename Container>
-bool readArray(std::istream &IS, Container &Out, std::uint64_t MaxElems) {
-  std::uint64_t N = 0;
-  if (!readPod(IS, N) || N > MaxElems)
+bool writeBytes(std::ostream &OS, const void *P, std::size_t N) {
+  if (CVR_FAIL_POINT("serialize.write.short"))
     return false;
-  Out.resize(static_cast<std::size_t>(N));
-  if (N != 0)
-    IS.read(reinterpret_cast<char *>(Out.data()),
-            static_cast<std::streamsize>(N * sizeof(*Out.data())));
-  return static_cast<bool>(IS);
-}
-
-/// Arbitrary sanity cap: no array in a CVR blob is larger than this many
-/// elements (1 << 40 elements would be terabytes).
-constexpr std::uint64_t MaxArrayElems = 1ULL << 40;
-
-} // namespace
-
-bool CvrMatrix::writeBinary(std::ostream &OS) const {
-  OS.write(Magic, sizeof(Magic));
-  writePod(OS, Version);
-  writePod(OS, NumRows);
-  writePod(OS, NumCols);
-  writePod(OS, Nnz);
-  writePod(OS, static_cast<std::int32_t>(Lanes));
-  writePod(OS, static_cast<std::uint8_t>(ForceGeneric));
-
-  writeArray(OS, Vals.data(), Vals.size());
-  writeArray(OS, ColIdx.data(), ColIdx.size());
-  writeArray(OS, Recs.data(), Recs.size());
-  writeArray(OS, Tails.data(), Tails.size());
-  writeArray(OS, Chunks.data(), Chunks.size());
-  writeArray(OS, ZeroRows.data(), ZeroRows.size());
-  writePod(OS, static_cast<std::int32_t>(ChunkMult));
-  writeArray(OS, Bands.data(), Bands.size());
+  OS.write(static_cast<const char *>(P), static_cast<std::streamsize>(N));
   return static_cast<bool>(OS);
 }
 
-bool CvrMatrix::readBinary(std::istream &IS, CvrMatrix &M) {
-  M = CvrMatrix();
-  char Head[4];
-  IS.read(Head, sizeof(Head));
-  if (!IS || Head[0] != Magic[0] || Head[1] != Magic[1] ||
-      Head[2] != Magic[2] || Head[3] != Magic[3])
+bool readBytes(std::istream &IS, void *P, std::size_t N) {
+  if (CVR_FAIL_POINT("serialize.read.short"))
     return false;
-  std::uint32_t V = 0;
-  if (!readPod(IS, V) || V < 1 || V > Version)
-    return false;
+  IS.read(static_cast<char *>(P), static_cast<std::streamsize>(N));
+  return static_cast<bool>(IS);
+}
 
+template <typename T> bool readPod(std::istream &IS, T &V) {
+  return readBytes(IS, &V, sizeof(T));
+}
+
+/// Appends a POD field to the header image being checksummed.
+template <typename T> void packField(std::string &Buf, const T &V) {
+  Buf.append(reinterpret_cast<const char *>(&V), sizeof(T));
+}
+
+Status truncated(const char *Where) {
+  return Status::dataLoss(std::string("[cvr.blob.truncated] blob ends inside ") +
+                          Where);
+}
+
+/// Allocation shims so one section reader serves both container kinds.
+template <typename T>
+Status resizeContainer(AlignedBuffer<T> &C, std::size_t N) {
+  return C.tryResize(N);
+}
+
+template <typename T> Status resizeContainer(std::vector<T> &C, std::size_t N) {
+  try {
+    C.resize(N);
+  } catch (const std::bad_alloc &) {
+    return Status::resourceExhausted("section allocation of " +
+                                     std::to_string(N) + " elements failed");
+  }
+  return Status::okStatus();
+}
+
+/// Writes one v3 section: u64 count, payload, payload CRC.
+template <typename T>
+bool writeSection(std::ostream &OS, const T *Data, std::uint64_t N) {
+  if (!writeBytes(OS, &N, sizeof(N)))
+    return false;
+  std::size_t Bytes = static_cast<std::size_t>(N) * sizeof(T);
+  if (N != 0 && !writeBytes(OS, Data, Bytes))
+    return false;
+  std::uint32_t Crc = crc32c(N != 0 ? Data : nullptr, Bytes);
+  return writeBytes(OS, &Crc, sizeof(Crc));
+}
+
+/// Reads one v3 section into \p Out. The count must satisfy the structural
+/// bound \p MaxElems (and equal \p ExactElems when >= 0) BEFORE any
+/// allocation happens; the payload must match its recorded CRC32C.
+template <typename Container>
+Status readSection(std::istream &IS, Container &Out, const char *Name,
+                   std::uint64_t MaxElems, std::int64_t ExactElems = -1) {
+  std::uint64_t N = 0;
+  if (!readPod(IS, N))
+    return truncated((std::string("the ") + Name + " section count").c_str());
+  if (ExactElems >= 0 && N != static_cast<std::uint64_t>(ExactElems))
+    return Status::outOfRange(
+        std::string("[cvr.blob.bounds] ") + Name + " count " +
+        std::to_string(N) + " does not match the structural requirement of " +
+        std::to_string(ExactElems));
+  if (N > MaxElems)
+    return Status::outOfRange(std::string("[cvr.blob.bounds] ") + Name +
+                              " count " + std::to_string(N) +
+                              " exceeds the structural bound " +
+                              std::to_string(MaxElems));
+
+  Status S = resizeContainer(Out, static_cast<std::size_t>(N));
+  if (!S.ok())
+    return S.withContext(Name);
+  std::size_t Bytes = static_cast<std::size_t>(N) * sizeof(*Out.data());
+  if (N != 0) {
+    if (!readBytes(IS, Out.data(), Bytes))
+      return truncated((std::string("the ") + Name + " payload").c_str());
+    CVR_FAIL_POINT_CORRUPT("serialize.read.bitflip", Out.data(), Bytes);
+  }
+  std::uint32_t Want = 0;
+  if (!readPod(IS, Want))
+    return truncated((std::string("the ") + Name + " checksum").c_str());
+  std::uint32_t Got = crc32c(N != 0 ? Out.data() : nullptr, Bytes);
+  if (Got != Want)
+    return Status::dataLoss(std::string("[cvr.blob.section-crc] ") + Name +
+                            " payload fails its CRC32C (stored " +
+                            std::to_string(Want) + ", computed " +
+                            std::to_string(Got) + ")");
+  return Status::okStatus();
+}
+
+/// Legacy (v1/v2) array: u64 count then payload, no checksum.
+template <typename Container>
+Status readLegacyArray(std::istream &IS, Container &Out, const char *Name) {
+  std::uint64_t N = 0;
+  if (!readPod(IS, N))
+    return truncated((std::string("the ") + Name + " section count").c_str());
+  if (N > MaxLegacyArrayElems)
+    return Status::outOfRange(std::string("[cvr.blob.bounds] ") + Name +
+                              " count " + std::to_string(N) +
+                              " exceeds the legacy array ceiling");
+  Status S = resizeContainer(Out, static_cast<std::size_t>(N));
+  if (!S.ok())
+    return S.withContext(Name);
+  if (N != 0 &&
+      !readBytes(IS, Out.data(),
+                 static_cast<std::size_t>(N) * sizeof(*Out.data())))
+    return truncated((std::string("the ") + Name + " payload").c_str());
+  return Status::okStatus();
+}
+
+} // namespace
+
+Status CvrMatrix::writeBlob(std::ostream &OS) const {
+  if (!writeBytes(OS, Magic, sizeof(Magic)))
+    return Status::unavailable("blob write failed at the magic");
+  std::uint32_t V = Version;
+  if (!writeBytes(OS, &V, sizeof(V)))
+    return Status::unavailable("blob write failed at the version");
+
+  std::string Header;
+  Header.reserve(32);
+  packField(Header, NumRows);
+  packField(Header, NumCols);
+  packField(Header, Nnz);
+  packField(Header, static_cast<std::int32_t>(Lanes));
+  packField(Header, static_cast<std::uint8_t>(ForceGeneric));
+  packField(Header, static_cast<std::int32_t>(ChunkMult));
+  std::uint32_t HeaderCrc = crc32c(Header.data(), Header.size());
+  if (!writeBytes(OS, Header.data(), Header.size()) ||
+      !writeBytes(OS, &HeaderCrc, sizeof(HeaderCrc)))
+    return Status::unavailable("blob write failed in the header");
+
+  if (!writeSection(OS, Chunks.data(), Chunks.size()) ||
+      !writeSection(OS, Bands.data(), Bands.size()) ||
+      !writeSection(OS, ZeroRows.data(), ZeroRows.size()) ||
+      !writeSection(OS, Recs.data(), Recs.size()) ||
+      !writeSection(OS, Tails.data(), Tails.size()) ||
+      !writeSection(OS, Vals.data(), Vals.size()) ||
+      !writeSection(OS, ColIdx.data(), ColIdx.size()))
+    return Status::unavailable(
+        "blob write failed mid-section (disk full or short write?)");
+  OS.flush();
+  if (!OS)
+    return Status::unavailable("blob flush failed");
+  return Status::okStatus();
+}
+
+namespace {
+
+/// Everything after the version word of a v3 blob.
+Status readV3Body(std::istream &IS, CvrMatrix::BlobFields F) {
+  // Header image: reread as one block so the CRC covers exactly the bytes
+  // the writer checksummed.
+  char Header[4 + 4 + 8 + 4 + 1 + 4];
+  if (!readBytes(IS, Header, sizeof(Header)))
+    return truncated("the header");
+  std::uint32_t WantCrc = 0;
+  if (!readPod(IS, WantCrc))
+    return truncated("the header checksum");
+  if (crc32c(Header, sizeof(Header)) != WantCrc)
+    return Status::dataLoss("[cvr.blob.header-crc] header fails its CRC32C");
+
+  std::int32_t Lanes32 = 0, Mult = 0;
+  std::uint8_t Generic = 0;
+  const char *P = Header;
+  std::memcpy(F.NumRows, P, 4), P += 4;
+  std::memcpy(F.NumCols, P, 4), P += 4;
+  std::memcpy(F.Nnz, P, 8), P += 8;
+  std::memcpy(&Lanes32, P, 4), P += 4;
+  std::memcpy(&Generic, P, 1), P += 1;
+  std::memcpy(&Mult, P, 4);
+
+  if (*F.NumRows < 0 || *F.NumCols < 0 || *F.Nnz < 0)
+    return Status::outOfRange(
+        "[cvr.blob.bounds] header declares a negative shape");
+  if (Lanes32 < 1 || static_cast<std::uint64_t>(Lanes32) > MaxLanes)
+    return Status::outOfRange("[cvr.blob.bounds] lane count " +
+                              std::to_string(Lanes32) +
+                              " is outside [1, " + std::to_string(MaxLanes) +
+                              "]");
+  if (Mult < 1 || static_cast<std::uint64_t>(Mult) > MaxChunkMult)
+    return Status::outOfRange("[cvr.blob.bounds] chunk multiplier " +
+                              std::to_string(Mult) + " is outside [1, " +
+                              std::to_string(MaxChunkMult) + "]");
+  *F.Lanes = Lanes32;
+  *F.ForceGeneric = Generic != 0;
+  *F.ChunkMult = Mult;
+
+  // Chunk table first: it induces the exact bounds for everything after.
+  Status S = readSection(IS, *F.Chunks, "chunk table", MaxChunks);
+  if (!S.ok())
+    return S;
+  std::uint64_t TotalElems = 0;
+  for (const CvrChunk &C : *F.Chunks) {
+    if (C.NumSteps < 0 ||
+        static_cast<std::uint64_t>(C.NumSteps) > MaxStreamElems / Lanes32)
+      return Status::outOfRange(
+          "[cvr.blob.bounds] chunk declares an unrepresentable step count " +
+          std::to_string(C.NumSteps));
+    TotalElems += static_cast<std::uint64_t>(C.NumSteps) * Lanes32;
+    if (TotalElems > MaxStreamElems)
+      return Status::outOfRange(
+          "[cvr.blob.bounds] total stream length exceeds the structural "
+          "ceiling");
+  }
+  std::uint64_t NumChunks = F.Chunks->size();
+  // Records: one per row finish plus at most Lanes steal events per chunk;
+  // chunk-boundary rows finish twice. Anything past this bound cannot have
+  // come from the converter.
+  std::uint64_t MaxRecs = static_cast<std::uint64_t>(*F.Nnz) +
+                          static_cast<std::uint64_t>(*F.NumRows) +
+                          NumChunks * (static_cast<std::uint64_t>(Lanes32) + 2);
+
+  if (!(S = readSection(IS, *F.Bands, "band table", NumChunks)).ok())
+    return S;
+  if (!(S = readSection(IS, *F.ZeroRows, "zero-row list",
+                        static_cast<std::uint64_t>(*F.NumRows)))
+           .ok())
+    return S;
+  if (!(S = readSection(IS, *F.Recs, "record stream", MaxRecs)).ok())
+    return S;
+  if (!(S = readSection(IS, *F.Tails, "tail table", MaxStreamElems,
+                        static_cast<std::int64_t>(NumChunks * Lanes32)))
+           .ok())
+    return S;
+  if (!(S = readSection(IS, *F.Vals, "value stream", MaxStreamElems,
+                        static_cast<std::int64_t>(TotalElems)))
+           .ok())
+    return S;
+  if (!(S = readSection(IS, *F.ColIdx, "column-index stream", MaxStreamElems,
+                        static_cast<std::int64_t>(TotalElems)))
+           .ok())
+    return S;
+  return Status::okStatus();
+}
+
+/// Everything after the version word of a v1/v2 blob (arrays precede the
+/// execution-engine fields; no checksums, so only generic bounds apply).
+Status readLegacyBody(std::istream &IS, std::uint32_t V,
+                      CvrMatrix::BlobFields F) {
   std::int32_t Lanes32 = 0;
   std::uint8_t Generic = 0;
-  if (!readPod(IS, M.NumRows) || !readPod(IS, M.NumCols) ||
-      !readPod(IS, M.Nnz) || !readPod(IS, Lanes32) ||
-      !readPod(IS, Generic))
-    return false;
-  if (M.NumRows < 0 || M.NumCols < 0 || M.Nnz < 0 || Lanes32 < 1)
-    return false;
-  M.Lanes = Lanes32;
-  M.ForceGeneric = Generic != 0;
+  if (!readPod(IS, *F.NumRows) || !readPod(IS, *F.NumCols) ||
+      !readPod(IS, *F.Nnz) || !readPod(IS, Lanes32) || !readPod(IS, Generic))
+    return truncated("the header");
+  if (*F.NumRows < 0 || *F.NumCols < 0 || *F.Nnz < 0 || Lanes32 < 1 ||
+      static_cast<std::uint64_t>(Lanes32) > MaxLanes)
+    return Status::outOfRange(
+        "[cvr.blob.bounds] legacy header declares an invalid shape or lane "
+        "count");
+  *F.Lanes = Lanes32;
+  *F.ForceGeneric = Generic != 0;
 
-  if (!readArray(IS, M.Vals, MaxArrayElems) ||
-      !readArray(IS, M.ColIdx, MaxArrayElems) ||
-      !readArray(IS, M.Recs, MaxArrayElems) ||
-      !readArray(IS, M.Tails, MaxArrayElems) ||
-      !readArray(IS, M.Chunks, MaxArrayElems) ||
-      !readArray(IS, M.ZeroRows, MaxArrayElems))
-    return false;
+  Status S;
+  if (!(S = readLegacyArray(IS, *F.Vals, "value stream")).ok())
+    return S;
+  if (!(S = readLegacyArray(IS, *F.ColIdx, "column-index stream")).ok())
+    return S;
+  if (!(S = readLegacyArray(IS, *F.Recs, "record stream")).ok())
+    return S;
+  if (!(S = readLegacyArray(IS, *F.Tails, "tail table")).ok())
+    return S;
+  if (!(S = readLegacyArray(IS, *F.Chunks, "chunk table")).ok())
+    return S;
+  if (!(S = readLegacyArray(IS, *F.ZeroRows, "zero-row list")).ok())
+    return S;
   if (V >= 2) {
     std::int32_t Mult = 0;
-    if (!readPod(IS, Mult) || Mult < 1 ||
-        !readArray(IS, M.Bands, MaxArrayElems))
-      return false;
-    M.ChunkMult = Mult;
+    if (!readPod(IS, Mult))
+      return truncated("the chunk multiplier");
+    if (Mult < 1 || static_cast<std::uint64_t>(Mult) > MaxChunkMult)
+      return Status::outOfRange(
+          "[cvr.blob.bounds] chunk multiplier " + std::to_string(Mult) +
+          " is outside [1, " + std::to_string(MaxChunkMult) + "]");
+    *F.ChunkMult = Mult;
+    if (!(S = readLegacyArray(IS, *F.Bands, "band table")).ok())
+      return S;
   }
+  return Status::okStatus();
+}
 
+} // namespace
+
+StatusOr<CvrMatrix> CvrMatrix::readBlob(std::istream &IS) {
+  char Head[4];
+  if (!readBytes(IS, Head, sizeof(Head)))
+    return truncated("the magic");
+  if (std::memcmp(Head, Magic, sizeof(Magic)) != 0)
+    return Status::dataLoss(
+        "[cvr.blob.magic] input does not start with the CVRF magic");
+  std::uint32_t V = 0;
+  if (!readPod(IS, V))
+    return truncated("the version");
+  if (V < 1 || V > Version)
+    return Status::invalidArgument(
+        "[cvr.blob.version] unsupported blob version " + std::to_string(V) +
+        " (this build reads versions 1.." + std::to_string(Version) + ")");
+
+  CvrMatrix M;
+  BlobFields F{&M.NumRows, &M.NumCols,  &M.Nnz,    &M.Lanes,
+               &M.ChunkMult, &M.ForceGeneric, &M.Vals,   &M.ColIdx,
+               &M.Recs,    &M.Tails,    &M.Chunks, &M.ZeroRows,
+               &M.Bands};
+  Status S = V >= 3 ? readV3Body(IS, F) : readLegacyBody(IS, V, F);
+  if (!S.ok())
+    return S;
+
+  // Structural cross-checks: every offset a kernel dereferences through
+  // must land inside its array before isValid() (which indexes freely)
+  // runs. The v3 exact counts make most of these redundant; v1/v2 blobs
+  // rely on them entirely.
   if (M.Vals.size() != M.ColIdx.size())
-    return false;
-  if (M.Tails.size() !=
-      M.Chunks.size() * static_cast<std::size_t>(M.Lanes))
-    return false;
-  // Chunk offsets must stay inside the arrays before isValid() (or the
-  // kernel) dereferences through them.
+    return Status::outOfRange(
+        "[cvr.blob.bounds] value and column-index streams disagree in "
+        "length");
+  if (M.Tails.size() != M.Chunks.size() * static_cast<std::size_t>(M.Lanes))
+    return Status::outOfRange(
+        "[cvr.blob.bounds] tail table length does not equal chunks * lanes");
   auto Elems = static_cast<std::int64_t>(M.Vals.size());
   auto NumRecs = static_cast<std::int64_t>(M.Recs.size());
   for (const CvrChunk &C : M.Chunks) {
-    if (C.ElemBase < 0 || C.NumSteps < 0 ||
-        C.ElemBase + C.NumSteps * M.Lanes > Elems)
-      return false;
+    if (C.ElemBase < 0 || C.NumSteps < 0 || C.NumSteps > Elems / M.Lanes ||
+        C.ElemBase > Elems - C.NumSteps * M.Lanes)
+      return Status::outOfRange(
+          "[cvr.blob.bounds] chunk element range escapes the stream");
     if (C.RecBase < 0 || C.RecBase > C.RecEnd || C.RecEnd > NumRecs)
-      return false;
+      return Status::outOfRange(
+          "[cvr.blob.bounds] chunk record range escapes the record stream");
     if (C.TailBase < 0 ||
-        C.TailBase + M.Lanes >
-            static_cast<std::int64_t>(M.Tails.size()))
-      return false;
+        C.TailBase + M.Lanes > static_cast<std::int64_t>(M.Tails.size()))
+      return Status::outOfRange(
+          "[cvr.blob.bounds] chunk tail range escapes the tail table");
     if (C.FirstRow >= M.NumRows || C.LastRow >= M.NumRows)
-      return false;
+      return Status::outOfRange(
+          "[cvr.blob.bounds] chunk row bounds escape the matrix");
   }
   for (std::int32_t R : M.ZeroRows)
     if (R < 0 || R >= M.NumRows)
-      return false;
-  if (!M.isValid()) {
+      return Status::outOfRange(
+          "[cvr.blob.bounds] zero-row entry escapes the matrix");
+  for (const CvrRecord &R : M.Recs)
+    if (R.Pos < 0)
+      return Status::outOfRange(
+          "[cvr.blob.bounds] record position is negative");
+
+  if (!M.isValid())
+    return Status::dataLoss(
+        "[cvr.blob.integrity] blob decodes but violates the CVR structural "
+        "invariants (pads, record order, or tail consistency)");
+  return M;
+}
+
+bool CvrMatrix::writeBinary(std::ostream &OS) const {
+  return writeBlob(OS).ok();
+}
+
+bool CvrMatrix::readBinary(std::istream &IS, CvrMatrix &M) {
+  StatusOr<CvrMatrix> R = readBlob(IS);
+  if (!R.ok()) {
     M = CvrMatrix();
     return false;
   }
+  M = std::move(*R);
   return true;
 }
 

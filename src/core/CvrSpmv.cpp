@@ -444,6 +444,14 @@ void CvrKernel::prepare(const CsrMatrix &A) {
   M = CvrMatrix::fromCsr(A, Opts);
 }
 
+Status CvrKernel::prepareStatus(const CsrMatrix &A) {
+  StatusOr<CvrMatrix> R = CvrMatrix::tryFromCsr(A, Opts);
+  if (!R.ok())
+    return R.status().withContext("CVR prepare");
+  M = std::move(*R);
+  return Status::okStatus();
+}
+
 void CvrKernel::run(const double *X, double *Y) const {
   cvrSpmv(M, X, Y, Opts.PrefetchDistance);
 }

@@ -72,6 +72,10 @@ public:
 
   void prepare(const CsrMatrix &A) override;
 
+  /// Recoverable preparation through CvrMatrix::tryFromCsr — no abort, no
+  /// exception; the degradation ladder's first-choice entry point.
+  Status prepareStatus(const CsrMatrix &A) override;
+
   void run(const double *X, double *Y) const override;
 
   bool traceRun(MemAccessSink &Sink, const double *X,

@@ -12,8 +12,20 @@
 
 #include "formats/SpmvKernel.h"
 
+#include <exception>
+#include <new>
+
 namespace cvr {
 
 SpmvKernel::~SpmvKernel() = default;
+
+Status SpmvKernel::prepareStatus(const CsrMatrix &A) try {
+  prepare(A);
+  return Status::okStatus();
+} catch (const std::bad_alloc &) {
+  return Status::resourceExhausted(name() + ": preparation ran out of memory");
+} catch (const std::exception &E) {
+  return Status::internal(name() + ": preparation failed: " + E.what());
+}
 
 } // namespace cvr

@@ -9,6 +9,7 @@
 #include "cachesim/LocalityProbe.h"
 #include "core/CvrSpmv.h"
 #include "parallel/Partition.h"
+#include "support/FailPoint.h"
 #include "support/Timer.h"
 
 #include <algorithm>
@@ -114,11 +115,31 @@ void clearPlanCache() {
 }
 
 AutotuneResult autotuneCvr(const CsrMatrix &A, const AutotuneOptions &Opts) {
+  StatusOr<AutotuneResult> R = tryAutotuneCvr(A, Opts);
+  if (!R.ok())
+    return AutotuneResult{}; // Default plan: correct, just untuned.
+  return *R;
+}
+
+StatusOr<AutotuneResult> tryAutotuneCvr(const CsrMatrix &A,
+                                        const AutotuneOptions &Opts) {
   AutotuneResult Res;
   const int Threads =
       Opts.NumThreads > 0 ? Opts.NumThreads : defaultThreadCount();
   if (A.numRows() <= 0 || A.numNonZeros() <= 0)
     return Res; // Nothing to time; the default plan is as good as any.
+
+  // Wall-clock budget: checked between units of work (a timed iteration, a
+  // candidate conversion), so a single slow probe can overshoot but never
+  // stall the search indefinitely. The `tune.timeout` fail point makes the
+  // very first check fire, simulating a deadline that expired inside a hung
+  // probe.
+  Timer Wall;
+  auto overBudget = [&]() -> bool {
+    if (CVR_FAIL_POINT("tune.timeout"))
+      return true;
+    return Opts.BudgetSeconds > 0.0 && Wall.seconds() > Opts.BudgetSeconds;
+  };
 
   const std::uint64_t Key = matrixFingerprint(A, Threads);
   if (Opts.UseCache) {
@@ -146,26 +167,32 @@ AutotuneResult autotuneCvr(const CsrMatrix &A, const AutotuneOptions &Opts) {
     CvrOptions Plain;
     Plain.NumThreads = Threads;
     CvrKernel Probe(Plain);
-    Probe.prepare(A);
-    LocalityResult Base = probeLocality(Probe, A);
-    if (Base.Supported && Base.L2MissRatio < 0.02) {
-      // The unblocked gathers already hit; banding would only add stream
-      // overhead.
+    if (!Probe.prepareStatus(A).ok()) {
+      // Can't even build the probe conversion (likely memory pressure);
+      // don't commission the pricier blocked candidates on top of it.
       TryBlocking = false;
-    } else if (Base.Supported) {
-      // Pick the band width by simulated misses per nonzero: the model's
-      // relative ranking of two widths transfers even though its geometry
-      // is scaled down.
-      double BestMiss = Inf;
-      for (std::int64_t W : {L2 / 2, L2 / 4}) {
-        CvrPlan P;
-        P.ColBlockBytes = std::max<std::int64_t>(4096, W);
-        CvrKernel K(P.toOptions(Threads));
-        K.prepare(A);
-        LocalityResult R = probeLocality(K, A);
-        if (R.Supported && R.MissesPerKnnz < BestMiss) {
-          BestMiss = R.MissesPerKnnz;
-          BandBytes = P.ColBlockBytes;
+    } else {
+      LocalityResult Base = probeLocality(Probe, A);
+      if (Base.Supported && Base.L2MissRatio < 0.02) {
+        // The unblocked gathers already hit; banding would only add stream
+        // overhead.
+        TryBlocking = false;
+      } else if (Base.Supported) {
+        // Pick the band width by simulated misses per nonzero: the model's
+        // relative ranking of two widths transfers even though its
+        // geometry is scaled down.
+        double BestMiss = Inf;
+        for (std::int64_t W : {L2 / 2, L2 / 4}) {
+          CvrPlan P;
+          P.ColBlockBytes = std::max<std::int64_t>(4096, W);
+          CvrKernel K(P.toOptions(Threads));
+          if (!K.prepareStatus(A).ok())
+            continue; // This width can't build; let the others compete.
+          LocalityResult R = probeLocality(K, A);
+          if (R.Supported && R.MissesPerKnnz < BestMiss) {
+            BestMiss = R.MissesPerKnnz;
+            BandBytes = P.ColBlockBytes;
+          }
         }
       }
     }
@@ -179,28 +206,49 @@ AutotuneResult autotuneCvr(const CsrMatrix &A, const AutotuneOptions &Opts) {
     CvrMatrix M;
   };
   std::vector<Build> Builds;
+  Status FirstBuildErr = Status::okStatus();
   for (int Mult : {1, 2, 4}) {
     for (std::int64_t Block : {std::int64_t(0), BandBytes}) {
       if (Block > 0 && !TryBlocking)
         continue;
+      if (Res.TimedOut || (Res.TimedOut = overBudget()))
+        break; // Conversions cost real time; stop commissioning them.
       CvrPlan P;
       P.ChunkMultiplier = Mult;
       P.ColBlockBytes = Block;
+      StatusOr<CvrMatrix> MB = CvrMatrix::tryFromCsr(A, P.toOptions(Threads));
+      if (!MB.ok()) {
+        // A candidate that cannot build is not a plan we could return
+        // anyway; remember the first failure in case every candidate dies.
+        if (FirstBuildErr.ok())
+          FirstBuildErr = MB.status().withContext("candidate " + P.describe());
+        continue;
+      }
       Build B;
       B.Base = P;
-      B.M = CvrMatrix::fromCsr(A, P.toOptions(Threads));
+      B.M = std::move(*MB);
       Builds.push_back(std::move(B));
     }
+  }
+  if (Builds.empty()) {
+    if (!FirstBuildErr.ok())
+      return FirstBuildErr.withContext("autotune");
+    return Status::deadlineExceeded(
+        "autotune budget of " + std::to_string(Opts.BudgetSeconds) +
+        "s expired before any candidate was built");
   }
 
   std::vector<double> X = tuningVector(static_cast<std::size_t>(A.numCols()));
   std::vector<double> Y(static_cast<std::size_t>(A.numRows()), 0.0);
 
-  // Every SpMV execution — warm-up or timed — counts against the budget.
+  // Every SpMV execution — warm-up or timed — counts against the
+  // iteration budget, and the wall clock is consulted before each one.
   int Budget = std::max(1, Opts.MaxIterations);
   auto Measure = [&](const CvrMatrix &M, int Pf, int Reps) -> double {
     double Best = Inf;
     for (int R = 0; R < Reps && Budget > 0; ++R) {
+      if (Res.TimedOut || (Res.TimedOut = overBudget()))
+        break;
       Timer T;
       cvrSpmv(M, X.data(), Y.data(), Pf);
       Best = std::min(Best, T.seconds());
@@ -217,17 +265,24 @@ AutotuneResult autotuneCvr(const CsrMatrix &A, const AutotuneOptions &Opts) {
   };
   std::vector<Combo> Combos;
   for (std::size_t I = 0; I < Builds.size(); ++I) {
-    if (Budget <= 0)
+    if (Budget <= 0 || Res.TimedOut)
       break;
     Measure(Builds[I].M, 0, 1); // Warm-up: caches, page faults, y.
     Combo C{I, 0, Inf};
     C.Best = Measure(Builds[I].M, 0, 2);
+    if (C.Best == Inf)
+      continue; // Timed out inside the warm-up; nothing was measured.
     if (Builds[I].Base == CvrPlan())
       Res.BaselineSeconds = C.Best;
     Combos.push_back(C);
   }
-  if (Combos.empty())
+  if (Combos.empty()) {
+    if (Res.TimedOut)
+      return Status::deadlineExceeded(
+          "autotune budget of " + std::to_string(Opts.BudgetSeconds) +
+          "s expired before any configuration was timed");
     return Res;
+  }
 
   //===--------------------------------------------------------------------===
   // Stage 3: prefetch sweep over the two fastest builds.
@@ -242,11 +297,12 @@ AutotuneResult autotuneCvr(const CsrMatrix &A, const AutotuneOptions &Opts) {
        ++Rank) {
     std::size_t BuildIdx = Combos[Order[Rank]].BuildIdx;
     for (int Pf : {2, 4, 8}) {
-      if (Budget <= 0)
+      if (Budget <= 0 || Res.TimedOut)
         break;
       Combo C{BuildIdx, Pf, Inf};
       C.Best = Measure(Builds[BuildIdx].M, Pf, 2);
-      Combos.push_back(C);
+      if (C.Best < Inf)
+        Combos.push_back(C);
     }
   }
 
@@ -256,7 +312,7 @@ AutotuneResult autotuneCvr(const CsrMatrix &A, const AutotuneOptions &Opts) {
   std::sort(Combos.begin(), Combos.end(),
             [](const Combo &L, const Combo &R) { return L.Best < R.Best; });
   for (std::size_t I = 0; I < std::min<std::size_t>(3, Combos.size()); ++I) {
-    if (Budget <= 0)
+    if (Budget <= 0 || Res.TimedOut)
       break;
     Combos[I].Best =
         std::min(Combos[I].Best, Measure(Builds[Combos[I].BuildIdx].M,
@@ -288,7 +344,9 @@ AutotuneResult autotuneCvr(const CsrMatrix &A, const AutotuneOptions &Opts) {
   if (Res.BaselineSeconds == 0.0)
     Res.BaselineSeconds = Res.BestSeconds;
 
-  if (Opts.UseCache) {
+  // A truncated search may have picked from a thin field; don't let it pin
+  // the process-wide plan for this matrix.
+  if (Opts.UseCache && !Res.TimedOut) {
     PlanCache &C = PlanCache::instance();
     std::lock_guard<std::mutex> Lock(C.M);
     C.Map.emplace(Key, Res.Plan);

@@ -66,6 +66,12 @@ struct AutotuneOptions {
   /// Skip the cache-simulation pre-filter and try blocking untimed
   /// heuristics instead (used by tests to keep runtimes predictable).
   bool UseLocalityProbe = true;
+  /// Wall-clock ceiling for the whole search, in seconds; <= 0 means
+  /// unlimited. When the deadline passes mid-search the tuner returns the
+  /// best plan found so far (TimedOut set); when it passes before any
+  /// measurement completes, tryAutotuneCvr reports DEADLINE_EXCEEDED and
+  /// the degradation ladder falls back to the default plan.
+  double BudgetSeconds = 0.0;
 };
 
 /// What the tuner found.
@@ -75,6 +81,7 @@ struct AutotuneResult {
   double BaselineSeconds = 0.0; ///< Per-SpMV seconds of the default plan.
   int IterationsUsed = 0;       ///< Timed SpMV executions spent.
   bool FromCache = false;       ///< Plan came from the process cache.
+  bool TimedOut = false;        ///< Search was cut short by BudgetSeconds.
 };
 
 /// FNV-1a fingerprint of the matrix structure (shape, nnz, a row-pointer
@@ -88,9 +95,19 @@ std::uint64_t matrixFingerprint(const CsrMatrix &A, int NumThreads);
 /// targets).
 std::int64_t detectL2Bytes();
 
-/// Runs the staged search described in the file comment.
+/// Runs the staged search described in the file comment. Infallible: any
+/// internal failure (allocation, deadline before the first measurement)
+/// falls back to the default plan.
 AutotuneResult autotuneCvr(const CsrMatrix &A,
                            const AutotuneOptions &Opts = {});
+
+/// Recoverable search. DEADLINE_EXCEEDED when BudgetSeconds (or the
+/// `tune.timeout` fail point) expires before a single configuration was
+/// timed; RESOURCE_EXHAUSTED when no candidate build could be converted.
+/// A deadline that passes mid-search is NOT an error: the best plan so far
+/// comes back with TimedOut set.
+StatusOr<AutotuneResult> tryAutotuneCvr(const CsrMatrix &A,
+                                        const AutotuneOptions &Opts = {});
 
 /// Drops every cached plan (tests; benchmark isolation).
 void clearPlanCache();

@@ -18,6 +18,15 @@ void TunedCvrKernel::prepare(const CsrMatrix &A) {
   Inner.prepare(A);
 }
 
+Status TunedCvrKernel::prepareStatus(const CsrMatrix &A) {
+  StatusOr<AutotuneResult> R = tryAutotuneCvr(A, Opts);
+  if (!R.ok())
+    return R.status().withContext("CVR+tuned prepare");
+  Result = std::move(*R);
+  Inner = CvrKernel(Result.Plan.toOptions(Opts.NumThreads));
+  return Inner.prepareStatus(A);
+}
+
 void TunedCvrKernel::run(const double *X, double *Y) const {
   Inner.run(X, Y);
 }

@@ -32,6 +32,12 @@ public:
   /// preprocessing time.
   void prepare(const CsrMatrix &A) override;
 
+  /// Recoverable variant: a tuner DEADLINE_EXCEEDED (budget expired, hung
+  /// probe simulated by the `tune.timeout` fail point) or conversion
+  /// failure surfaces here instead of silently falling back, so the
+  /// degradation ladder can record the reason and step down explicitly.
+  Status prepareStatus(const CsrMatrix &A) override;
+
   void run(const double *X, double *Y) const override;
 
   bool traceRun(MemAccessSink &Sink, const double *X,

@@ -96,4 +96,57 @@ std::unique_ptr<SpmvKernel> makeKernel(FormatId F, int NumThreads) {
   return variantsOf(F, NumThreads).front().Make();
 }
 
+StatusOr<PreparedKernel> prepareKernel(FormatId F, const CsrMatrix &A,
+                                       const PrepareOptions &Opts) {
+  struct Rung {
+    std::string Name;
+    std::function<std::unique_ptr<SpmvKernel>()> Make;
+  };
+  const int Threads = Opts.NumThreads;
+
+  std::vector<Rung> Ladder;
+  if (F == FormatId::Cvr) {
+    if (Opts.Tune)
+      Ladder.push_back({"CVR+tuned", [&] {
+                          AutotuneOptions AO;
+                          AO.NumThreads = Threads;
+                          AO.BudgetSeconds = Opts.TuneBudgetSeconds;
+                          return std::make_unique<TunedCvrKernel>(AO);
+                        }});
+    Ladder.push_back({"CVR", [&] {
+                        CvrOptions CO;
+                        CO.NumThreads = Threads;
+                        return std::make_unique<CvrKernel>(CO);
+                      }});
+  } else {
+    KernelVariant V = variantsOf(F, Threads).front();
+    Ladder.push_back({V.VariantName, V.Make});
+  }
+  // Terminal safety net: the zero-preprocessing CSR baseline runs the
+  // matrix in place, so it survives the failures that kill conversion-
+  // heavy formats (and the MKL stand-in IS this kernel already).
+  if (F != FormatId::Mkl)
+    Ladder.push_back(
+        {"CSR", [&] { return std::make_unique<CsrSpmv>(Threads); }});
+
+  PreparedKernel PK;
+  PK.Requested = Ladder.front().Name;
+  Status LastErr = Status::okStatus();
+  for (std::size_t I = 0; I < Ladder.size(); ++I) {
+    std::unique_ptr<SpmvKernel> K = Ladder[I].Make();
+    Status S = K->prepareStatus(A);
+    if (S.ok()) {
+      PK.Kernel = std::move(K);
+      PK.Actual = Ladder[I].Name;
+      return PK;
+    }
+    LastErr = S;
+    PK.Downgrades.push_back(
+        {Ladder[I].Name,
+         I + 1 < Ladder.size() ? Ladder[I + 1].Name : std::string("(none)"),
+         S});
+  }
+  return LastErr.withContext("every rung of the degradation ladder failed");
+}
+
 } // namespace cvr

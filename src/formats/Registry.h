@@ -49,6 +49,45 @@ std::vector<KernelVariant> variantsOf(FormatId F, int NumThreads = 0);
 /// Convenience: the canonical single variant of \p F (first entry).
 std::unique_ptr<SpmvKernel> makeKernel(FormatId F, int NumThreads = 0);
 
+/// Knobs for prepareKernel's degradation ladder.
+struct PrepareOptions {
+  int NumThreads = 0; ///< <= 0 selects the OpenMP default.
+  /// Start from the autotuned variant when the format has one (CVR's
+  /// "CVR+tuned"); false starts at the format's canonical variant.
+  bool Tune = true;
+  /// Wall-clock budget handed to the autotuner; <= 0 means unlimited. A
+  /// blown budget is a recorded downgrade, not an error.
+  double TuneBudgetSeconds = 0.0;
+};
+
+/// One recorded step down the ladder: \p FromVariant failed to prepare
+/// with \p Reason, so \p ToVariant was tried next.
+struct DowngradeStep {
+  std::string FromVariant;
+  std::string ToVariant;
+  Status Reason;
+};
+
+/// The outcome of the degradation ladder: a kernel that DID prepare, plus
+/// the trail of rungs that failed on the way to it. The requested variant
+/// equals the actual one on the happy path.
+struct PreparedKernel {
+  std::unique_ptr<SpmvKernel> Kernel;
+  std::string Requested; ///< Top rung of the ladder.
+  std::string Actual;    ///< Rung that prepared successfully.
+  std::vector<DowngradeStep> Downgrades;
+
+  bool degraded() const { return Requested != Actual; }
+};
+
+/// Prepares a kernel for \p F on \p A, degrading gracefully instead of
+/// failing: CVR walks CVR+tuned -> CVR -> CSR baseline; every other format
+/// falls back to the CSR baseline. Each step down records why. Returns a
+/// non-OK Status only when every rung fails (the CSR baseline needs no
+/// preprocessing, so that effectively means the machine is out of memory).
+StatusOr<PreparedKernel> prepareKernel(FormatId F, const CsrMatrix &A,
+                                       const PrepareOptions &Opts = {});
+
 } // namespace cvr
 
 #endif // CVR_FORMATS_REGISTRY_H

@@ -19,6 +19,7 @@
 
 #include "matrix/Csr.h"
 #include "support/MemSink.h"
+#include "support/Status.h"
 
 #include <memory>
 #include <string>
@@ -39,6 +40,14 @@ public:
 
   /// Converts \p A into the internal representation. Called exactly once.
   virtual void prepare(const CsrMatrix &A) = 0;
+
+  /// Recoverable preparation, the entry point the degradation ladder in
+  /// formats/Registry uses. The default implementation wraps prepare() and
+  /// maps escaping exceptions onto Status (bad_alloc becomes
+  /// RESOURCE_EXHAUSTED, anything else INTERNAL); kernels with a native
+  /// error path (CVR, CVR+tuned) override it to report precise causes
+  /// without exceptions. On failure the kernel must not be used.
+  virtual Status prepareStatus(const CsrMatrix &A);
 
   /// Computes y = A * x. \p Y has numRows elements and is overwritten;
   /// \p X has numCols elements. prepare() must have been called.

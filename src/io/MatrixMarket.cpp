@@ -6,10 +6,14 @@
 
 #include "io/MatrixMarket.h"
 
+#include "support/FailPoint.h"
+
 #include <algorithm>
 #include <cctype>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 namespace cvr {
@@ -25,11 +29,26 @@ std::string toLower(std::string S) {
   return S;
 }
 
-/// Reads the next line that is neither blank nor a '%' comment; returns
-/// false at end of stream.
+/// getline that strips a trailing '\r', so CRLF files parse identically to
+/// LF files (SuiteSparse tarballs unpacked on Windows are a classic
+/// source).
+bool getLineCrlf(std::istream &IS, std::string &Line) {
+  if (!std::getline(IS, Line))
+    return false;
+  if (!Line.empty() && Line.back() == '\r')
+    Line.pop_back();
+  return true;
+}
+
+/// Reads the next line that is neither blank nor a '%' comment (comments
+/// are legal anywhere after the banner, including between data entries);
+/// returns false at end of stream or when the `io.mm.short-read` fail
+/// point simulates one.
 bool nextDataLine(std::istream &IS, std::string &Line) {
-  while (std::getline(IS, Line)) {
-    std::size_t I = Line.find_first_not_of(" \t\r\n");
+  if (CVR_FAIL_POINT("io.mm.short-read"))
+    return false;
+  while (getLineCrlf(IS, Line)) {
+    std::size_t I = Line.find_first_not_of(" \t");
     if (I == std::string::npos)
       continue;
     if (Line[I] == '%')
@@ -39,20 +58,22 @@ bool nextDataLine(std::istream &IS, std::string &Line) {
   return false;
 }
 
+constexpr long long Int32Max = std::numeric_limits<std::int32_t>::max();
+
 } // namespace
 
-MmReadResult readMatrixMarket(std::istream &IS) {
+StatusOr<CooMatrix> readMatrixMarket(std::istream &IS) {
   std::string Line;
-  if (!std::getline(IS, Line))
-    return MmReadResult::failure("empty input");
+  if (!getLineCrlf(IS, Line))
+    return Status::dataLoss("empty input");
 
   std::istringstream Banner(Line);
   std::string Tag, Object, FormatStr, FieldStr, SymStr;
   Banner >> Tag >> Object >> FormatStr >> FieldStr >> SymStr;
   if (Tag != "%%MatrixMarket")
-    return MmReadResult::failure("missing %%MatrixMarket banner");
+    return Status::invalidArgument("missing %%MatrixMarket banner");
   if (toLower(Object) != "matrix")
-    return MmReadResult::failure("unsupported object '" + Object + "'");
+    return Status::invalidArgument("unsupported object '" + Object + "'");
 
   MmFormat Format;
   FormatStr = toLower(FormatStr);
@@ -61,7 +82,7 @@ MmReadResult readMatrixMarket(std::istream &IS) {
   else if (FormatStr == "array")
     Format = MmFormat::Array;
   else
-    return MmReadResult::failure("unsupported format '" + FormatStr + "'");
+    return Status::invalidArgument("unsupported format '" + FormatStr + "'");
 
   MmField Field;
   FieldStr = toLower(FieldStr);
@@ -72,7 +93,7 @@ MmReadResult readMatrixMarket(std::istream &IS) {
   else if (FieldStr == "pattern")
     Field = MmField::Pattern;
   else
-    return MmReadResult::failure("unsupported field '" + FieldStr + "'");
+    return Status::invalidArgument("unsupported field '" + FieldStr + "'");
 
   MmSymmetry Sym;
   SymStr = toLower(SymStr);
@@ -83,23 +104,39 @@ MmReadResult readMatrixMarket(std::istream &IS) {
   else if (SymStr == "skew-symmetric")
     Sym = MmSymmetry::SkewSymmetric;
   else
-    return MmReadResult::failure("unsupported symmetry '" + SymStr + "'");
+    return Status::invalidArgument("unsupported symmetry '" + SymStr + "'");
 
   if (Format == MmFormat::Array && Field == MmField::Pattern)
-    return MmReadResult::failure("array format cannot be pattern");
+    return Status::invalidArgument("array format cannot be pattern");
 
   if (!nextDataLine(IS, Line))
-    return MmReadResult::failure("missing size line");
+    return Status::dataLoss("missing size line");
 
+  // Sizes parse as long long so a value beyond int32 is seen, not
+  // truncated; a value beyond even long long sets failbit and lands in
+  // "malformed size line".
   std::istringstream SizeLine(Line);
-  long Rows = -1, Cols = -1, Declared = -1;
+  long long Rows = -1, Cols = -1, Declared = -1;
   if (Format == MmFormat::Coordinate)
     SizeLine >> Rows >> Cols >> Declared;
   else
     SizeLine >> Rows >> Cols;
   if (SizeLine.fail() || Rows < 0 || Cols < 0 ||
       (Format == MmFormat::Coordinate && Declared < 0))
-    return MmReadResult::failure("malformed size line: " + Line);
+    return Status::dataLoss("malformed size line: " + Line);
+  if (Rows > Int32Max || Cols > Int32Max)
+    return Status::outOfRange(
+        "matrix dimensions " + std::to_string(Rows) + " x " +
+        std::to_string(Cols) + " overflow the int32 index space");
+  if (Format == MmFormat::Array &&
+      Declared == -1) // Array: entry count is implied by the shape.
+    Declared = 0;
+  // Symmetric expansion at most doubles the entries; keep the total
+  // addressable.
+  if (Declared > Int32Max * 2LL)
+    return Status::outOfRange("declared entry count " +
+                              std::to_string(Declared) +
+                              " overflows the supported nnz range");
 
   CooMatrix M(static_cast<std::int32_t>(Rows), static_cast<std::int32_t>(Cols));
 
@@ -113,43 +150,55 @@ MmReadResult readMatrixMarket(std::istream &IS) {
       M.add(C, R, -V);
   };
 
+  // Reservations trust the declared count only up to a cap: a corrupt
+  // header must not be able to commission a multi-gigabyte allocation
+  // before a single entry has parsed. Beyond the cap the vector grows
+  // geometrically as real data arrives.
+  constexpr long long MaxTrustedReserve = 1LL << 24;
+
   if (Format == MmFormat::Coordinate) {
-    M.reserve(static_cast<std::size_t>(Declared) *
-              (Sym == MmSymmetry::General ? 1 : 2));
-    for (long K = 0; K < Declared; ++K) {
+    M.reserve(static_cast<std::size_t>(
+        std::min(Declared, MaxTrustedReserve) *
+        (Sym == MmSymmetry::General ? 1 : 2)));
+    for (long long K = 0; K < Declared; ++K) {
       if (!nextDataLine(IS, Line))
-        return MmReadResult::failure("unexpected end of file: expected " +
-                                     std::to_string(Declared) +
-                                     " entries, got " + std::to_string(K));
+        return Status::dataLoss("unexpected end of file: expected " +
+                                std::to_string(Declared) + " entries, got " +
+                                std::to_string(K));
       std::istringstream Entry(Line);
-      long R, C;
+      long long R, C;
       double V = 1.0;
       Entry >> R >> C;
       if (Field != MmField::Pattern)
         Entry >> V;
       if (Entry.fail())
-        return MmReadResult::failure("malformed entry line: " + Line);
+        return Status::dataLoss("malformed entry line: " + Line);
       if (R < 1 || R > Rows || C < 1 || C > Cols)
-        return MmReadResult::failure("entry index out of range: " + Line);
+        return Status::dataLoss("entry index out of range: " + Line);
       AddWithSymmetry(static_cast<std::int32_t>(R - 1),
                       static_cast<std::int32_t>(C - 1), V);
     }
   } else {
     // Array format: column-major dense listing. Symmetric inputs list only
     // the lower triangle.
-    M.reserve(static_cast<std::size_t>(Rows) * Cols);
-    for (long C = 0; C < Cols; ++C) {
-      long FirstRow = Sym == MmSymmetry::General ? 0 : C;
+    if (Rows * Cols > Int32Max * 2LL)
+      return Status::outOfRange("dense array of " + std::to_string(Rows) +
+                                " x " + std::to_string(Cols) +
+                                " entries overflows the supported range");
+    M.reserve(static_cast<std::size_t>(
+        std::min(Rows * Cols, MaxTrustedReserve)));
+    for (long long C = 0; C < Cols; ++C) {
+      long long FirstRow = Sym == MmSymmetry::General ? 0 : C;
       if (Sym == MmSymmetry::SkewSymmetric)
         FirstRow = C + 1;
-      for (long R = FirstRow; R < Rows; ++R) {
+      for (long long R = FirstRow; R < Rows; ++R) {
         if (!nextDataLine(IS, Line))
-          return MmReadResult::failure("unexpected end of array data");
+          return Status::dataLoss("unexpected end of array data");
         std::istringstream Entry(Line);
         double V;
         Entry >> V;
         if (Entry.fail())
-          return MmReadResult::failure("malformed array value: " + Line);
+          return Status::dataLoss("malformed array value: " + Line);
         if (V != 0.0)
           AddWithSymmetry(static_cast<std::int32_t>(R),
                           static_cast<std::int32_t>(C), V);
@@ -158,14 +207,17 @@ MmReadResult readMatrixMarket(std::istream &IS) {
   }
 
   M.canonicalize();
-  return MmReadResult::success(std::move(M));
+  return M;
 }
 
-MmReadResult readMatrixMarketFile(const std::string &Path) {
+StatusOr<CooMatrix> readMatrixMarketFile(const std::string &Path) {
   std::ifstream IS(Path);
   if (!IS)
-    return MmReadResult::failure("cannot open '" + Path + "'");
-  return readMatrixMarket(IS);
+    return Status::notFound("cannot open '" + Path + "'");
+  StatusOr<CooMatrix> R = readMatrixMarket(IS);
+  if (!R.ok())
+    return R.status().withContext(Path);
+  return R;
 }
 
 void writeMatrixMarket(std::ostream &OS, const CooMatrix &M) {
@@ -180,22 +232,15 @@ void writeMatrixMarket(std::ostream &OS, const CooMatrix &M) {
   }
 }
 
-bool writeMatrixMarketFile(const std::string &Path, const CooMatrix &M,
-                           std::string *Error) {
+Status writeMatrixMarketFile(const std::string &Path, const CooMatrix &M) {
   std::ofstream OS(Path);
-  if (!OS) {
-    if (Error)
-      *Error = "cannot open '" + Path + "' for writing";
-    return false;
-  }
+  if (!OS)
+    return Status::unavailable("cannot open '" + Path + "' for writing");
   writeMatrixMarket(OS, M);
   OS.flush();
-  if (!OS) {
-    if (Error)
-      *Error = "write to '" + Path + "' failed";
-    return false;
-  }
-  return true;
+  if (!OS)
+    return Status::unavailable("write to '" + Path + "' failed");
+  return Status::okStatus();
 }
 
 } // namespace cvr

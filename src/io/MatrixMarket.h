@@ -9,8 +9,12 @@
 /// format of the paper's artifact ("Data set: sparse matrices with matrix
 /// market format"). Supports `coordinate` and `array` formats; `real`,
 /// `integer`, and `pattern` fields; `general`, `symmetric`, and
-/// `skew-symmetric` symmetries. Errors are reported through the returned
-/// result object rather than exceptions, per the LLVM-style error model.
+/// `skew-symmetric` symmetries. Tolerates CRLF line endings and comment
+/// lines anywhere after the banner. Errors are reported through the
+/// project-wide `Status` model: NOT_FOUND for unopenable paths,
+/// INVALID_ARGUMENT for unsupported headers, OUT_OF_RANGE for dimensions
+/// or counts that overflow the int32 index space, DATA_LOSS for truncated
+/// or malformed content.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -18,47 +22,26 @@
 #define CVR_IO_MATRIXMARKET_H
 
 #include "matrix/Coo.h"
+#include "support/Status.h"
 
 #include <iosfwd>
 #include <string>
 
 namespace cvr {
 
-/// Outcome of a Matrix Market parse: either a matrix or an error message.
-struct MmReadResult {
-  bool Ok = false;
-  std::string Error;     ///< Diagnostic (empty on success).
-  CooMatrix Matrix;      ///< Valid only when Ok.
-
-  static MmReadResult success(CooMatrix M) {
-    MmReadResult R;
-    R.Ok = true;
-    R.Matrix = std::move(M);
-    return R;
-  }
-
-  static MmReadResult failure(std::string Msg) {
-    MmReadResult R;
-    R.Error = std::move(Msg);
-    return R;
-  }
-};
-
 /// Parses a Matrix Market stream. Symmetric/skew-symmetric inputs are
 /// expanded to general form (both triangles materialized). `pattern`
 /// entries get value 1.0.
-MmReadResult readMatrixMarket(std::istream &IS);
+StatusOr<CooMatrix> readMatrixMarket(std::istream &IS);
 
 /// Parses a Matrix Market file by path.
-MmReadResult readMatrixMarketFile(const std::string &Path);
+StatusOr<CooMatrix> readMatrixMarketFile(const std::string &Path);
 
 /// Writes \p M as `matrix coordinate real general` with 1-based indices.
 void writeMatrixMarket(std::ostream &OS, const CooMatrix &M);
 
-/// Writes \p M to a file; returns false (and sets \p Error if non-null) on
-/// I/O failure.
-bool writeMatrixMarketFile(const std::string &Path, const CooMatrix &M,
-                           std::string *Error = nullptr);
+/// Writes \p M to a file; UNAVAILABLE on I/O failure.
+Status writeMatrixMarketFile(const std::string &Path, const CooMatrix &M);
 
 } // namespace cvr
 

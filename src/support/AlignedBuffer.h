@@ -11,14 +11,25 @@
 /// column-index streams, so every hot array in this project lives in an
 /// AlignedBuffer rather than a std::vector.
 ///
+/// Allocation never throws. The `tryReserve`/`tryResize` overloads report
+/// failure (real OOM or the `alloc.aligned-buffer` fail point) as a
+/// `Status`, making out-of-memory a recoverable event on the paths that
+/// opt in; the classic void `reserve`/`resize` keep their infallible
+/// signature and terminate with a diagnostic if storage cannot be obtained
+/// (no std::bad_alloc anywhere).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CVR_SUPPORT_ALIGNEDBUFFER_H
 #define CVR_SUPPORT_ALIGNEDBUFFER_H
 
+#include "support/FailPoint.h"
+#include "support/Status.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cstddef>
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <new>
@@ -110,7 +121,8 @@ public:
   }
 
   /// Grows or shrinks the logical size; newly exposed elements are
-  /// uninitialized.
+  /// uninitialized. Terminates on allocation failure (see tryResize for
+  /// the recoverable path).
   void resize(std::size_t N) {
     reserve(N);
     Size = N;
@@ -125,15 +137,50 @@ public:
   }
 
   void reserve(std::size_t N) {
+    Status S = tryReserve(N);
+    if (!S.ok())
+      fatalAllocFailure(N * sizeof(T));
+  }
+
+  /// Grows storage to hold \p N elements, reporting failure instead of
+  /// terminating. On error the buffer is unchanged (contents, size, and
+  /// capacity intact), so a caller can degrade and retry smaller.
+  [[nodiscard]] Status tryReserve(std::size_t N) {
     if (N <= Cap)
-      return;
+      return Status::okStatus();
     std::size_t NewCap = std::max<std::size_t>(N, Cap + Cap / 2);
     T *NewData = allocate(NewCap);
+    if (!NewData)
+      return Status::resourceExhausted(
+          "AlignedBuffer: cannot allocate " +
+          std::to_string(NewCap * sizeof(T)) + " bytes");
     if (Size != 0)
       std::memcpy(NewData, Data, Size * sizeof(T));
     std::free(Data);
     Data = NewData;
     Cap = NewCap; // Size is unchanged: reserve only grows storage.
+    return Status::okStatus();
+  }
+
+  /// resize(N) with recoverable failure; newly exposed elements are
+  /// uninitialized. On error the buffer keeps its previous size.
+  [[nodiscard]] Status tryResize(std::size_t N) {
+    Status S = tryReserve(N);
+    if (!S.ok())
+      return S;
+    Size = N;
+    return S;
+  }
+
+  /// resize(N, Fill) with recoverable failure.
+  [[nodiscard]] Status tryResize(std::size_t N, const T &Fill) {
+    std::size_t Old = Size;
+    Status S = tryResize(N);
+    if (!S.ok())
+      return S;
+    for (std::size_t I = Old; I < N; ++I)
+      Data[I] = Fill;
+    return S;
   }
 
   void push_back(const T &V) {
@@ -159,7 +206,15 @@ private:
   /// miss every 512 doubles.
   static constexpr std::size_t HugePageBytes = std::size_t(2) << 20;
 
-  static T *allocate(std::size_t N) {
+  /// Nothrow: nullptr on overflow, allocation failure, or an armed
+  /// `alloc.aligned-buffer` fail point.
+  static T *allocate(std::size_t N) noexcept {
+    if (CVR_FAIL_POINT("alloc.aligned-buffer"))
+      return nullptr;
+    // Reject sizes whose byte count (after alignment round-up) would
+    // overflow, before they reach the allocator.
+    if (N > (SIZE_MAX - HugePageBytes) / sizeof(T))
+      return nullptr;
     // std::aligned_alloc requires the total size to be a multiple of the
     // alignment; round up.
     std::size_t Bytes = N * sizeof(T);
@@ -169,7 +224,7 @@ private:
     Bytes = (Bytes + Align - 1) / Align * Align;
     void *P = std::aligned_alloc(Align, Bytes);
     if (!P)
-      throw std::bad_alloc();
+      return nullptr;
 #if defined(__linux__) && defined(MADV_HUGEPAGE)
     if (Align >= HugePageBytes)
       (void)madvise(P, Bytes, MADV_HUGEPAGE); // Advisory; failure is fine.

@@ -1,0 +1,42 @@
+//===- support/Crc32c.cpp - CRC-32C (Castagnoli) checksum -----------------===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Crc32c.h"
+
+#include <array>
+
+namespace cvr {
+
+namespace {
+
+/// Byte-at-a-time table for the reflected Castagnoli polynomial, built once
+/// at first use.
+const std::array<std::uint32_t, 256> &crcTable() {
+  static const std::array<std::uint32_t, 256> Table = [] {
+    std::array<std::uint32_t, 256> T{};
+    for (std::uint32_t I = 0; I < 256; ++I) {
+      std::uint32_t C = I;
+      for (int K = 0; K < 8; ++K)
+        C = (C & 1) ? (0x82F63B78u ^ (C >> 1)) : (C >> 1);
+      T[I] = C;
+    }
+    return T;
+  }();
+  return Table;
+}
+
+} // namespace
+
+std::uint32_t crc32c(const void *Data, std::size_t Bytes, std::uint32_t Seed) {
+  const auto *P = static_cast<const unsigned char *>(Data);
+  const auto &T = crcTable();
+  std::uint32_t C = ~Seed;
+  for (std::size_t I = 0; I < Bytes; ++I)
+    C = T[(C ^ P[I]) & 0xFF] ^ (C >> 8);
+  return ~C;
+}
+
+} // namespace cvr

@@ -1,0 +1,60 @@
+//===- support/Status.cpp - Recoverable error model -----------------------===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cvr {
+
+void fatalAllocFailure(std::size_t Bytes) {
+  std::fprintf(stderr,
+               "cvr: fatal: allocation of %zu bytes failed on an "
+               "infallible path (use the tryReserve/tryResize Status API "
+               "for recoverable allocation)\n",
+               Bytes);
+  std::abort();
+}
+
+const char *statusCodeName(StatusCode C) {
+  switch (C) {
+  case StatusCode::Ok:
+    return "OK";
+  case StatusCode::InvalidArgument:
+    return "INVALID_ARGUMENT";
+  case StatusCode::OutOfRange:
+    return "OUT_OF_RANGE";
+  case StatusCode::NotFound:
+    return "NOT_FOUND";
+  case StatusCode::ResourceExhausted:
+    return "RESOURCE_EXHAUSTED";
+  case StatusCode::DataLoss:
+    return "DATA_LOSS";
+  case StatusCode::DeadlineExceeded:
+    return "DEADLINE_EXCEEDED";
+  case StatusCode::FailedPrecondition:
+    return "FAILED_PRECONDITION";
+  case StatusCode::Unavailable:
+    return "UNAVAILABLE";
+  case StatusCode::Internal:
+    return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::toString() const {
+  if (ok())
+    return "OK";
+  std::string S = statusCodeName(Code);
+  if (!Msg.empty()) {
+    S += ": ";
+    S += Msg;
+  }
+  return S;
+}
+
+} // namespace cvr

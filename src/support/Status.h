@@ -1,0 +1,195 @@
+//===- support/Status.h - Recoverable error model ---------------*- C++ -*-===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The project-wide recoverable error model: a `Status` carries a coarse
+/// machine-readable code plus a human-readable message, and `StatusOr<T>`
+/// is either a value or a non-OK Status. Failure paths that used to throw
+/// (`AlignedBuffer`), return bool-plus-string (`MatrixMarket`), or silently
+/// trust their input (`CvrSerialize`) all report through this type, so a
+/// production caller can degrade instead of dying.
+///
+/// Conventions:
+///  * functions that can fail return `Status` or `StatusOr<T>`; `ok()` is
+///    the success test;
+///  * messages name the failing site first ("readBinary: ...") so a
+///    degradation ladder can log them verbatim;
+///  * codes follow the canonical (gRPC/absl) meanings — InvalidArgument for
+///    caller bugs, DataLoss for corrupt bytes, ResourceExhausted for OOM,
+///    DeadlineExceeded for blown time budgets.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVR_SUPPORT_STATUS_H
+#define CVR_SUPPORT_STATUS_H
+
+#include <cassert>
+#include <cstddef>
+#include <new>
+#include <string>
+#include <utility>
+
+namespace cvr {
+
+/// Terminates with an allocation-failure diagnostic; the infallible
+/// reserve/resize paths of AlignedBuffer land here instead of throwing
+/// std::bad_alloc.
+[[noreturn]] void fatalAllocFailure(std::size_t Bytes);
+
+/// Canonical error space (subset of the absl/gRPC codes this project needs).
+enum class StatusCode {
+  Ok = 0,
+  InvalidArgument,   ///< Caller passed something unusable.
+  OutOfRange,        ///< A value escaped its documented domain.
+  NotFound,          ///< Named thing (file, format, matrix) absent.
+  ResourceExhausted, ///< Allocation failure; OOM is recoverable now.
+  DataLoss,          ///< Bytes are corrupt (bad magic, CRC mismatch, ...).
+  DeadlineExceeded,  ///< A wall-clock budget ran out.
+  FailedPrecondition,///< Operation needs state the object is not in.
+  Unavailable,       ///< Transient I/O failure (short read/write).
+  Internal,          ///< Invariant broken; a bug, not an input problem.
+};
+
+/// Stable upper-case name ("DATA_LOSS", ...) for logs and tests.
+const char *statusCodeName(StatusCode C);
+
+/// A success/error outcome. Cheap to copy on success (empty message).
+class Status {
+public:
+  Status() = default;
+  Status(StatusCode C, std::string Msg) : Code(C), Msg(std::move(Msg)) {}
+
+  static Status okStatus() { return Status(); }
+  static Status invalidArgument(std::string M) {
+    return Status(StatusCode::InvalidArgument, std::move(M));
+  }
+  static Status outOfRange(std::string M) {
+    return Status(StatusCode::OutOfRange, std::move(M));
+  }
+  static Status notFound(std::string M) {
+    return Status(StatusCode::NotFound, std::move(M));
+  }
+  static Status resourceExhausted(std::string M) {
+    return Status(StatusCode::ResourceExhausted, std::move(M));
+  }
+  static Status dataLoss(std::string M) {
+    return Status(StatusCode::DataLoss, std::move(M));
+  }
+  static Status deadlineExceeded(std::string M) {
+    return Status(StatusCode::DeadlineExceeded, std::move(M));
+  }
+  static Status failedPrecondition(std::string M) {
+    return Status(StatusCode::FailedPrecondition, std::move(M));
+  }
+  static Status unavailable(std::string M) {
+    return Status(StatusCode::Unavailable, std::move(M));
+  }
+  static Status internal(std::string M) {
+    return Status(StatusCode::Internal, std::move(M));
+  }
+
+  bool ok() const { return Code == StatusCode::Ok; }
+  StatusCode code() const { return Code; }
+  const std::string &message() const { return Msg; }
+
+  /// "DATA_LOSS: section crc mismatch" (or "OK").
+  std::string toString() const;
+
+  /// Returns a copy with "\p Context: " prepended to the message (no-op on
+  /// OK), for layering call-site detail as an error propagates up.
+  Status withContext(const std::string &Context) const {
+    if (ok())
+      return *this;
+    return Status(Code, Context + ": " + Msg);
+  }
+
+  bool operator==(const Status &O) const {
+    return Code == O.Code && Msg == O.Msg;
+  }
+
+private:
+  StatusCode Code = StatusCode::Ok;
+  std::string Msg;
+};
+
+/// Either a T or a non-OK Status. The value is only accessible when ok().
+template <typename T> class StatusOr {
+public:
+  /// Implicit from a value: `return SomeT;`.
+  StatusOr(T V) : St(Status::okStatus()) { new (&Storage) T(std::move(V)); }
+
+  /// Implicit from a non-OK Status: `return Status::dataLoss(...)`.
+  StatusOr(Status S) : St(std::move(S)) {
+    assert(!St.ok() && "StatusOr constructed from OK status without a value");
+    if (St.ok()) // Release-mode safety net: never an OK StatusOr sans value.
+      St = Status::internal("StatusOr constructed from OK status");
+  }
+
+  StatusOr(StatusOr &&O) noexcept : St(std::move(O.St)) {
+    if (St.ok())
+      new (&Storage) T(std::move(O.valueRef()));
+  }
+
+  StatusOr &operator=(StatusOr &&O) noexcept {
+    if (this == &O)
+      return *this;
+    destroy();
+    St = std::move(O.St);
+    if (St.ok())
+      new (&Storage) T(std::move(O.valueRef()));
+    return *this;
+  }
+
+  StatusOr(const StatusOr &O) : St(O.St) {
+    if (St.ok())
+      new (&Storage) T(O.valueRef());
+  }
+
+  StatusOr &operator=(const StatusOr &O) {
+    if (this == &O)
+      return *this;
+    destroy();
+    St = O.St;
+    if (St.ok())
+      new (&Storage) T(O.valueRef());
+    return *this;
+  }
+
+  ~StatusOr() { destroy(); }
+
+  bool ok() const { return St.ok(); }
+  const Status &status() const { return St; }
+
+  T &value() {
+    assert(ok() && "value() on an errored StatusOr");
+    return valueRef();
+  }
+  const T &value() const {
+    assert(ok() && "value() on an errored StatusOr");
+    return valueRef();
+  }
+
+  T &operator*() { return value(); }
+  const T &operator*() const { return value(); }
+  T *operator->() { return &value(); }
+  const T *operator->() const { return &value(); }
+
+private:
+  T &valueRef() { return *reinterpret_cast<T *>(&Storage); }
+  const T &valueRef() const { return *reinterpret_cast<const T *>(&Storage); }
+
+  void destroy() {
+    if (St.ok())
+      valueRef().~T();
+  }
+
+  Status St;
+  alignas(T) unsigned char Storage[sizeof(T)];
+};
+
+} // namespace cvr
+
+#endif // CVR_SUPPORT_STATUS_H

@@ -11,100 +11,176 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
 
 namespace cvr {
 namespace {
 
-MmReadResult parse(const std::string &Text) {
+StatusOr<CooMatrix> parse(const std::string &Text) {
   std::istringstream IS(Text);
   return readMatrixMarket(IS);
 }
 
 TEST(MatrixMarket, ParsesCoordinateReal) {
-  MmReadResult R = parse("%%MatrixMarket matrix coordinate real general\n"
-                         "% a comment\n"
-                         "3 4 2\n"
-                         "1 1 2.5\n"
-                         "3 4 -1.0\n");
-  ASSERT_TRUE(R.Ok) << R.Error;
-  EXPECT_EQ(R.Matrix.numRows(), 3);
-  EXPECT_EQ(R.Matrix.numCols(), 4);
-  ASSERT_EQ(R.Matrix.numEntries(), 2u);
-  EXPECT_EQ(R.Matrix.entries()[0].Row, 0); // 1-based -> 0-based
-  EXPECT_EQ(R.Matrix.entries()[1].Col, 3);
-  EXPECT_EQ(R.Matrix.entries()[0].Val, 2.5);
+  StatusOr<CooMatrix> R = parse("%%MatrixMarket matrix coordinate real general\n"
+                                "% a comment\n"
+                                "3 4 2\n"
+                                "1 1 2.5\n"
+                                "3 4 -1.0\n");
+  ASSERT_TRUE(R.ok()) << R.status().toString();
+  EXPECT_EQ(R->numRows(), 3);
+  EXPECT_EQ(R->numCols(), 4);
+  ASSERT_EQ(R->numEntries(), 2u);
+  EXPECT_EQ(R->entries()[0].Row, 0); // 1-based -> 0-based
+  EXPECT_EQ(R->entries()[1].Col, 3);
+  EXPECT_EQ(R->entries()[0].Val, 2.5);
 }
 
 TEST(MatrixMarket, ParsesPattern) {
-  MmReadResult R = parse("%%MatrixMarket matrix coordinate pattern general\n"
-                         "2 2 2\n"
-                         "1 2\n"
-                         "2 1\n");
-  ASSERT_TRUE(R.Ok) << R.Error;
-  EXPECT_EQ(R.Matrix.entries()[0].Val, 1.0);
+  StatusOr<CooMatrix> R =
+      parse("%%MatrixMarket matrix coordinate pattern general\n"
+            "2 2 2\n"
+            "1 2\n"
+            "2 1\n");
+  ASSERT_TRUE(R.ok()) << R.status().toString();
+  EXPECT_EQ(R->entries()[0].Val, 1.0);
 }
 
 TEST(MatrixMarket, ExpandsSymmetric) {
-  MmReadResult R = parse("%%MatrixMarket matrix coordinate real symmetric\n"
-                         "3 3 2\n"
-                         "2 1 5.0\n"
-                         "3 3 7.0\n");
-  ASSERT_TRUE(R.Ok) << R.Error;
+  StatusOr<CooMatrix> R =
+      parse("%%MatrixMarket matrix coordinate real symmetric\n"
+            "3 3 2\n"
+            "2 1 5.0\n"
+            "3 3 7.0\n");
+  ASSERT_TRUE(R.ok()) << R.status().toString();
   // Off-diagonal mirrored, diagonal not duplicated.
-  ASSERT_EQ(R.Matrix.numEntries(), 3u);
+  ASSERT_EQ(R->numEntries(), 3u);
 }
 
 TEST(MatrixMarket, ExpandsSkewSymmetric) {
-  MmReadResult R =
+  StatusOr<CooMatrix> R =
       parse("%%MatrixMarket matrix coordinate real skew-symmetric\n"
             "2 2 1\n"
             "2 1 3.0\n");
-  ASSERT_TRUE(R.Ok) << R.Error;
-  ASSERT_EQ(R.Matrix.numEntries(), 2u);
-  EXPECT_EQ(R.Matrix.entries()[0].Val, -3.0); // (0,1) mirrored negated
-  EXPECT_EQ(R.Matrix.entries()[1].Val, 3.0);
+  ASSERT_TRUE(R.ok()) << R.status().toString();
+  ASSERT_EQ(R->numEntries(), 2u);
+  EXPECT_EQ(R->entries()[0].Val, -3.0); // (0,1) mirrored negated
+  EXPECT_EQ(R->entries()[1].Val, 3.0);
 }
 
 TEST(MatrixMarket, ParsesArrayFormat) {
-  MmReadResult R = parse("%%MatrixMarket matrix array real general\n"
-                         "2 2\n"
-                         "1.0\n0.0\n0.0\n4.0\n");
-  ASSERT_TRUE(R.Ok) << R.Error;
-  ASSERT_EQ(R.Matrix.numEntries(), 2u); // zeros dropped
-  EXPECT_EQ(R.Matrix.entries()[1].Val, 4.0);
+  StatusOr<CooMatrix> R = parse("%%MatrixMarket matrix array real general\n"
+                                "2 2\n"
+                                "1.0\n0.0\n0.0\n4.0\n");
+  ASSERT_TRUE(R.ok()) << R.status().toString();
+  ASSERT_EQ(R->numEntries(), 2u); // zeros dropped
+  EXPECT_EQ(R->entries()[1].Val, 4.0);
 }
 
 TEST(MatrixMarket, ParsesIntegerField) {
-  MmReadResult R = parse("%%MatrixMarket matrix coordinate integer general\n"
-                         "1 1 1\n"
-                         "1 1 42\n");
-  ASSERT_TRUE(R.Ok) << R.Error;
-  EXPECT_EQ(R.Matrix.entries()[0].Val, 42.0);
+  StatusOr<CooMatrix> R =
+      parse("%%MatrixMarket matrix coordinate integer general\n"
+            "1 1 1\n"
+            "1 1 42\n");
+  ASSERT_TRUE(R.ok()) << R.status().toString();
+  EXPECT_EQ(R->entries()[0].Val, 42.0);
+}
+
+TEST(MatrixMarket, ParsesCrlfLineEndings) {
+  StatusOr<CooMatrix> R =
+      parse("%%MatrixMarket matrix coordinate real general\r\n"
+            "% unpacked on Windows\r\n"
+            "2 2 2\r\n"
+            "1 1 1.5\r\n"
+            "2 2 2.5\r\n");
+  ASSERT_TRUE(R.ok()) << R.status().toString();
+  ASSERT_EQ(R->numEntries(), 2u);
+  EXPECT_EQ(R->entries()[0].Val, 1.5);
+  EXPECT_EQ(R->entries()[1].Val, 2.5);
+}
+
+TEST(MatrixMarket, AllowsCommentsAndBlanksBetweenEntries) {
+  StatusOr<CooMatrix> R =
+      parse("%%MatrixMarket matrix coordinate real general\n"
+            "% header comment\n"
+            "\n"
+            "2 2 2\n"
+            "% between size line and data\n"
+            "1 1 1.0\n"
+            "\n"
+            "%% another comment\n"
+            "2 2 4.0\n");
+  ASSERT_TRUE(R.ok()) << R.status().toString();
+  ASSERT_EQ(R->numEntries(), 2u);
+  EXPECT_EQ(R->entries()[1].Val, 4.0);
 }
 
 TEST(MatrixMarket, RejectsMissingBanner) {
-  EXPECT_FALSE(parse("3 3 1\n1 1 1.0\n").Ok);
+  StatusOr<CooMatrix> R = parse("3 3 1\n1 1 1.0\n");
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.status().code(), StatusCode::InvalidArgument);
 }
 
 TEST(MatrixMarket, RejectsOutOfRangeIndices) {
-  MmReadResult R = parse("%%MatrixMarket matrix coordinate real general\n"
-                         "2 2 1\n"
-                         "3 1 1.0\n");
-  EXPECT_FALSE(R.Ok);
-  EXPECT_NE(R.Error.find("out of range"), std::string::npos);
+  StatusOr<CooMatrix> R = parse("%%MatrixMarket matrix coordinate real general\n"
+                                "2 2 1\n"
+                                "3 1 1.0\n");
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.status().code(), StatusCode::DataLoss);
+  EXPECT_NE(R.status().message().find("out of range"), std::string::npos);
 }
 
 TEST(MatrixMarket, RejectsTruncatedEntries) {
-  MmReadResult R = parse("%%MatrixMarket matrix coordinate real general\n"
-                         "2 2 3\n"
-                         "1 1 1.0\n");
-  EXPECT_FALSE(R.Ok);
-  EXPECT_NE(R.Error.find("unexpected end"), std::string::npos);
+  StatusOr<CooMatrix> R = parse("%%MatrixMarket matrix coordinate real general\n"
+                                "2 2 3\n"
+                                "1 1 1.0\n");
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.status().code(), StatusCode::DataLoss);
+  EXPECT_NE(R.status().message().find("unexpected end"), std::string::npos);
 }
 
 TEST(MatrixMarket, RejectsUnknownFormat) {
-  EXPECT_FALSE(parse("%%MatrixMarket matrix banana real general\n").Ok);
+  StatusOr<CooMatrix> R = parse("%%MatrixMarket matrix banana real general\n");
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.status().code(), StatusCode::InvalidArgument);
+}
+
+TEST(MatrixMarket, RejectsInt32OverflowDimensions) {
+  // 3e9 rows: representable in long long, not in the int32 index space the
+  // formats use. Must be a clean OutOfRange, not a truncated parse.
+  StatusOr<CooMatrix> R = parse("%%MatrixMarket matrix coordinate real general\n"
+                                "3000000000 2 1\n"
+                                "1 1 1.0\n");
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.status().code(), StatusCode::OutOfRange);
+  EXPECT_NE(R.status().message().find("int32"), std::string::npos);
+}
+
+TEST(MatrixMarket, RejectsOverflowingEntryCount) {
+  StatusOr<CooMatrix> R = parse("%%MatrixMarket matrix coordinate real general\n"
+                                "10 10 99999999999\n");
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.status().code(), StatusCode::OutOfRange);
+}
+
+TEST(MatrixMarket, RejectsNegativeSizeLine) {
+  StatusOr<CooMatrix> R = parse("%%MatrixMarket matrix coordinate real general\n"
+                                "-2 2 1\n"
+                                "1 1 1.0\n");
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.status().code(), StatusCode::DataLoss);
+}
+
+TEST(MatrixMarket, HugeDeclaredCountDoesNotPreallocate) {
+  // A corrupt header declaring ~2^31 entries must fail with a parse error
+  // (file truncated), not an allocation death: the reader caps how much it
+  // trusts the declared count.
+  StatusOr<CooMatrix> R = parse("%%MatrixMarket matrix coordinate real general\n"
+                                "1000000 1000000 2147483000\n"
+                                "1 1 1.0\n");
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.status().code(), StatusCode::DataLoss);
 }
 
 TEST(MatrixMarket, RoundTripPreservesMatrix) {
@@ -112,25 +188,37 @@ TEST(MatrixMarket, RoundTripPreservesMatrix) {
   std::ostringstream OS;
   writeMatrixMarket(OS, A.toCoo());
   std::istringstream IS(OS.str());
-  MmReadResult R = readMatrixMarket(IS);
-  ASSERT_TRUE(R.Ok) << R.Error;
-  EXPECT_TRUE(A.equals(CsrMatrix::fromCoo(R.Matrix)));
+  StatusOr<CooMatrix> R = readMatrixMarket(IS);
+  ASSERT_TRUE(R.ok()) << R.status().toString();
+  EXPECT_TRUE(A.equals(CsrMatrix::fromCoo(*R)));
 }
 
 TEST(MatrixMarket, FileRoundTrip) {
   CsrMatrix A = test::randomCsr(10, 10, 0.4, 5);
   std::string Path = ::testing::TempDir() + "/cvr_io_test.mtx";
-  std::string Error;
-  ASSERT_TRUE(writeMatrixMarketFile(Path, A.toCoo(), &Error)) << Error;
-  MmReadResult R = readMatrixMarketFile(Path);
-  ASSERT_TRUE(R.Ok) << R.Error;
-  EXPECT_TRUE(A.equals(CsrMatrix::fromCoo(R.Matrix)));
+  Status W = writeMatrixMarketFile(Path, A.toCoo());
+  ASSERT_TRUE(W.ok()) << W.toString();
+  StatusOr<CooMatrix> R = readMatrixMarketFile(Path);
+  ASSERT_TRUE(R.ok()) << R.status().toString();
+  EXPECT_TRUE(A.equals(CsrMatrix::fromCoo(*R)));
 }
 
 TEST(MatrixMarket, MissingFileGivesError) {
-  MmReadResult R = readMatrixMarketFile("/nonexistent/path/x.mtx");
-  EXPECT_FALSE(R.Ok);
-  EXPECT_NE(R.Error.find("cannot open"), std::string::npos);
+  StatusOr<CooMatrix> R = readMatrixMarketFile("/nonexistent/path/x.mtx");
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.status().code(), StatusCode::NotFound);
+  EXPECT_NE(R.status().message().find("cannot open"), std::string::npos);
+}
+
+TEST(MatrixMarket, FileErrorCarriesPathContext) {
+  std::string Path = ::testing::TempDir() + "/cvr_io_bad.mtx";
+  {
+    std::ofstream OS(Path);
+    OS << "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n";
+  }
+  StatusOr<CooMatrix> R = readMatrixMarketFile(Path);
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.status().message().find(Path), std::string::npos);
 }
 
 } // namespace

@@ -1,0 +1,320 @@
+//===- tests/SerializeCorruptionTest.cpp - Blob integrity under attack ----===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Adversarial coverage of the CVR blob reader: every truncation point,
+// every single-bit flip, and hostile section counts must come back as a
+// non-OK Status — never a crash, never a silently wrong matrix. The suite
+// runs under ASan/UBSan in CI, so any out-of-bounds read an accepted
+// mutation would cause is fatal there.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/CvrFormat.h"
+
+#include "TestUtil.h"
+#include "analysis/InvariantChecker.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <sstream>
+
+namespace cvr {
+namespace {
+
+// v3 fixed offsets: magic[0,4) version[4,8) header[8,33) crc[33,37).
+constexpr std::size_t VersionOff = 4;
+constexpr std::size_t HeaderOff = 8;
+constexpr std::size_t FirstSectionOff = 37;
+
+/// Element sizes of the seven v3 sections, in writer order.
+constexpr std::size_t SectionElemSize[7] = {
+    sizeof(CvrChunk),    // chunk table
+    sizeof(CvrBand),     // band table
+    sizeof(std::int32_t), // zero-row list
+    sizeof(CvrRecord),   // record stream
+    sizeof(std::int32_t), // tail table
+    sizeof(double),      // value stream
+    sizeof(std::int32_t), // column-index stream
+};
+
+CvrMatrix makeCvr() {
+  CsrMatrix A = test::randomCsr(24, 24, 0.2, 7);
+  CvrOptions Opts;
+  Opts.Lanes = 8;
+  Opts.NumThreads = 4;
+  return CvrMatrix::fromCsr(A, Opts);
+}
+
+std::string blobOf(const CvrMatrix &M) {
+  std::ostringstream OS;
+  Status S = M.writeBlob(OS);
+  EXPECT_TRUE(S.ok()) << S.toString();
+  return OS.str();
+}
+
+StatusOr<CvrMatrix> readFrom(const std::string &Bytes) {
+  std::istringstream IS(Bytes);
+  return CvrMatrix::readBlob(IS);
+}
+
+std::uint64_t getU64(const std::string &B, std::size_t Off) {
+  std::uint64_t V = 0;
+  std::memcpy(&V, B.data() + Off, sizeof(V));
+  return V;
+}
+
+void putU64(std::string &B, std::size_t Off, std::uint64_t V) {
+  std::memcpy(&B[Off], &V, sizeof(V));
+}
+
+/// Byte offset of section \p Idx's count word, derived from the blob
+/// itself (count | payload | crc per section).
+std::size_t sectionCountOffset(const std::string &B, int Idx) {
+  std::size_t Off = FirstSectionOff;
+  for (int I = 0; I < Idx; ++I)
+    Off += 8 + getU64(B, Off) * SectionElemSize[I] + 4;
+  return Off;
+}
+
+/// Re-encodes a v3 blob in the legacy layout: header without checksums,
+/// then Vals, ColIdx, Recs, Tails, Chunks, ZeroRows as bare count+payload
+/// arrays, then (v2 only) the chunk multiplier and band table.
+std::string transcodeToLegacy(const std::string &V3, std::uint32_t Version) {
+  std::size_t CountOff[7], PayloadOff[7];
+  std::uint64_t Count[7];
+  for (int I = 0; I < 7; ++I) {
+    CountOff[I] = sectionCountOffset(V3, I);
+    Count[I] = getU64(V3, CountOff[I]);
+    PayloadOff[I] = CountOff[I] + 8;
+  }
+  auto LegacyArray = [&](std::string &Out, int I) {
+    Out.append(V3, CountOff[I], 8);
+    Out.append(V3, PayloadOff[I], Count[I] * SectionElemSize[I]);
+  };
+
+  std::string Out;
+  Out.append(V3, 0, 4); // magic
+  Out.append(reinterpret_cast<const char *>(&Version), 4);
+  Out.append(V3, HeaderOff, 21); // rows, cols, nnz, lanes, generic
+  LegacyArray(Out, 5);           // Vals
+  LegacyArray(Out, 6);           // ColIdx
+  LegacyArray(Out, 3);           // Recs
+  LegacyArray(Out, 4);           // Tails
+  LegacyArray(Out, 0);           // Chunks
+  LegacyArray(Out, 2);           // ZeroRows
+  if (Version >= 2) {
+    Out.append(V3, HeaderOff + 21, 4); // chunk multiplier
+    LegacyArray(Out, 1);               // Bands
+  }
+  return Out;
+}
+
+TEST(SerializeCorruption, RoundTripV3Identical) {
+  CvrMatrix M = makeCvr();
+  std::string Blob = blobOf(M);
+  StatusOr<CvrMatrix> R = readFrom(Blob);
+  ASSERT_TRUE(R.ok()) << R.status().toString();
+  EXPECT_EQ(R->numRows(), M.numRows());
+  EXPECT_EQ(R->numNonZeros(), M.numNonZeros());
+  EXPECT_TRUE(R->isValid());
+  EXPECT_EQ(blobOf(*R), Blob); // byte-for-byte stable
+}
+
+TEST(SerializeCorruption, EmptyAndShortInputsRejected) {
+  EXPECT_FALSE(readFrom("").ok());
+  EXPECT_EQ(readFrom("").status().code(), StatusCode::DataLoss);
+  EXPECT_FALSE(readFrom("CV").ok());
+  EXPECT_NE(readFrom("CV").status().message().find("cvr.blob.truncated"),
+            std::string::npos);
+}
+
+TEST(SerializeCorruption, BadMagicRejected) {
+  std::string Blob = blobOf(makeCvr());
+  Blob[0] = 'X';
+  StatusOr<CvrMatrix> R = readFrom(Blob);
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.status().code(), StatusCode::DataLoss);
+  EXPECT_NE(R.status().message().find("cvr.blob.magic"), std::string::npos);
+}
+
+TEST(SerializeCorruption, UnsupportedVersionRejected) {
+  std::string Blob = blobOf(makeCvr());
+  std::uint32_t V = 99;
+  std::memcpy(&Blob[VersionOff], &V, 4);
+  StatusOr<CvrMatrix> R = readFrom(Blob);
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.status().code(), StatusCode::InvalidArgument);
+  EXPECT_NE(R.status().message().find("cvr.blob.version"), std::string::npos);
+}
+
+TEST(SerializeCorruption, HeaderCorruptionCaughtByCrc) {
+  std::string Blob = blobOf(makeCvr());
+  Blob[HeaderOff + 2] ^= 0xFF; // inside NumRows
+  StatusOr<CvrMatrix> R = readFrom(Blob);
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.status().code(), StatusCode::DataLoss);
+  EXPECT_NE(R.status().message().find("cvr.blob.header-crc"),
+            std::string::npos);
+}
+
+TEST(SerializeCorruption, EveryTruncationRejected) {
+  std::string Blob = blobOf(makeCvr());
+  for (std::size_t L = 0; L < Blob.size(); ++L) {
+    StatusOr<CvrMatrix> R = readFrom(Blob.substr(0, L));
+    EXPECT_FALSE(R.ok()) << "prefix of " << L << " of " << Blob.size()
+                         << " bytes was accepted";
+  }
+}
+
+TEST(SerializeCorruption, EveryBitFlipRejected) {
+  std::string Blob = blobOf(makeCvr());
+  for (std::size_t I = 0; I < Blob.size(); ++I) {
+    std::string Mut = Blob;
+    Mut[I] = static_cast<char>(Mut[I] ^ (1 << (I % 8)));
+    StatusOr<CvrMatrix> R = readFrom(Mut);
+    EXPECT_FALSE(R.ok()) << "bit " << (I % 8) << " of byte " << I
+                         << " flipped without detection";
+  }
+}
+
+TEST(SerializeCorruption, HostileChunkCountRejectedBeforeAllocation) {
+  std::string Blob = blobOf(makeCvr());
+  putU64(Blob, FirstSectionOff, ~0ULL);
+  StatusOr<CvrMatrix> R = readFrom(Blob);
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.status().code(), StatusCode::OutOfRange);
+  EXPECT_NE(R.status().message().find("cvr.blob.bounds"), std::string::npos);
+}
+
+TEST(SerializeCorruption, InflatedValsCountFailsExactBound) {
+  std::string Blob = blobOf(makeCvr());
+  std::size_t Off = sectionCountOffset(Blob, 5); // value stream
+  putU64(Blob, Off, getU64(Blob, Off) + 1);
+  StatusOr<CvrMatrix> R = readFrom(Blob);
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.status().code(), StatusCode::OutOfRange);
+  EXPECT_NE(R.status().message().find("structural requirement"),
+            std::string::npos);
+}
+
+TEST(SerializeCorruption, SectionPayloadFlipAttributedToCrc) {
+  std::string Blob = blobOf(makeCvr());
+  std::size_t Off = sectionCountOffset(Blob, 5) + 8; // first value byte
+  ASSERT_GT(getU64(Blob, sectionCountOffset(Blob, 5)), 0u);
+  Blob[Off + 3] ^= 0x10;
+  StatusOr<CvrMatrix> R = readFrom(Blob);
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.status().code(), StatusCode::DataLoss);
+  EXPECT_NE(R.status().message().find("cvr.blob.section-crc"),
+            std::string::npos);
+}
+
+TEST(SerializeCorruption, LegacyV2StillReadable) {
+  CvrMatrix M = makeCvr();
+  std::string V3 = blobOf(M);
+  std::string V2 = transcodeToLegacy(V3, 2);
+  StatusOr<CvrMatrix> R = readFrom(V2);
+  ASSERT_TRUE(R.ok()) << R.status().toString();
+  // Re-serializing the decoded matrix reproduces the v3 blob exactly.
+  EXPECT_EQ(blobOf(*R), V3);
+}
+
+TEST(SerializeCorruption, LegacyV1StillReadable) {
+  CvrMatrix M = makeCvr(); // unblocked, multiplier 1: v1-representable
+  ASSERT_FALSE(M.isBlocked());
+  ASSERT_EQ(M.chunkMultiplier(), 1);
+  std::string V3 = blobOf(M);
+  std::string V1 = transcodeToLegacy(V3, 1);
+  StatusOr<CvrMatrix> R = readFrom(V1);
+  ASSERT_TRUE(R.ok()) << R.status().toString();
+  EXPECT_EQ(R->chunkMultiplier(), 1);
+  EXPECT_EQ(blobOf(*R), V3);
+}
+
+TEST(SerializeCorruption, LegacyHostileCountRejectedBeforeAllocation) {
+  std::string V2 = transcodeToLegacy(blobOf(makeCvr()), 2);
+  putU64(V2, 8 + 21, 1ULL << 50); // Vals count, first legacy array
+  StatusOr<CvrMatrix> R = readFrom(V2);
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.status().code(), StatusCode::OutOfRange);
+  EXPECT_NE(R.status().message().find("cvr.blob.bounds"), std::string::npos);
+}
+
+TEST(SerializeCorruption, LegacyTruncationsRejected) {
+  std::string V2 = transcodeToLegacy(blobOf(makeCvr()), 2);
+  for (std::size_t L = 0; L < V2.size(); ++L)
+    EXPECT_FALSE(readFrom(V2.substr(0, L)).ok())
+        << "legacy prefix of " << L << " bytes was accepted";
+}
+
+TEST(SerializeCorruption, LegacyRecordDisorderCaughtByIntegrityCheck) {
+  // Legacy blobs have no checksums, so a swap of two records survives the
+  // byte-level checks; the structural validation after decode must catch
+  // the broken position order.
+  std::string V3 = blobOf(makeCvr());
+  std::string V2 = transcodeToLegacy(V3, 2);
+  std::uint64_t NumRecs = getU64(V3, sectionCountOffset(V3, 3));
+  // Legacy layout: header(29) | Vals | ColIdx | Recs ...
+  std::size_t Off = 8 + 21;
+  Off += 8 + getU64(V2, Off) * sizeof(double);       // Vals
+  Off += 8 + getU64(V2, Off) * sizeof(std::int32_t); // ColIdx
+  std::size_t RecsOff = Off + 8;
+  // Find two adjacent records with different positions and swap them.
+  bool Swapped = false;
+  for (std::uint64_t I = 0; I + 1 < NumRecs && !Swapped; ++I) {
+    char *A = &V2[RecsOff + I * sizeof(CvrRecord)];
+    char *B = A + sizeof(CvrRecord);
+    std::int64_t PosA, PosB;
+    std::memcpy(&PosA, A, 8);
+    std::memcpy(&PosB, B, 8);
+    if (PosA != PosB) {
+      for (std::size_t K = 0; K < sizeof(CvrRecord); ++K)
+        std::swap(A[K], B[K]);
+      Swapped = true;
+    }
+  }
+  if (!Swapped)
+    GTEST_SKIP() << "matrix produced no adjacent records to disorder";
+  StatusOr<CvrMatrix> R = readFrom(V2);
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.status().message().find("cvr.blob."), std::string::npos);
+}
+
+TEST(SerializeCorruption, CheckBlobAttributesRules) {
+  std::string Blob = blobOf(makeCvr());
+  {
+    std::istringstream IS(Blob);
+    EXPECT_TRUE(analysis::InvariantChecker::checkBlob(IS).empty());
+  }
+  {
+    std::string Bad = Blob;
+    Bad[0] = 'X';
+    std::istringstream IS(Bad);
+    auto Vs = analysis::InvariantChecker::checkBlob(IS);
+    ASSERT_EQ(Vs.size(), 1u);
+    EXPECT_EQ(Vs[0].Rule, "cvr.blob.magic");
+  }
+  {
+    std::string Bad = Blob;
+    Bad[sectionCountOffset(Bad, 5) + 8 + 1] ^= 0x01;
+    std::istringstream IS(Bad);
+    auto Vs = analysis::InvariantChecker::checkBlob(IS);
+    ASSERT_EQ(Vs.size(), 1u);
+    EXPECT_EQ(Vs[0].Rule, "cvr.blob.section-crc");
+  }
+  {
+    std::string Bad = Blob;
+    putU64(Bad, FirstSectionOff, ~0ULL);
+    std::istringstream IS(Bad);
+    auto Vs = analysis::InvariantChecker::checkBlob(IS);
+    ASSERT_EQ(Vs.size(), 1u);
+    EXPECT_EQ(Vs[0].Rule, "cvr.blob.bounds");
+  }
+}
+
+} // namespace
+} // namespace cvr

@@ -23,6 +23,9 @@
 //                                             write one of the 58 suite
 //                                             matrices as Matrix Market
 //   cvr_tool list                             list the suite names
+//   cvr_tool inject   [--fp=SPEC] [--list]    fault drill: arm fail points,
+//                                             run the degradation ladder,
+//                                             verify against the reference
 //
 // Matrices are Matrix Market files; `spmv` also accepts the binary blobs
 // written by `convert`.
@@ -31,16 +34,20 @@
 
 #include "analysis/CheckedKernel.h"
 #include "analysis/CheckedSpmv.h"
+#include "analysis/InvariantChecker.h"
 #include "benchlib/Equations.h"
 #include "benchlib/Measure.h"
 #include "cachesim/LocalityProbe.h"
 #include "core/Cvr.h"
 #include "engine/TunedKernel.h"
 #include "formats/AutoSelect.h"
+#include "formats/Registry.h"
 #include "gen/DatasetSuite.h"
+#include "gen/Generators.h"
 #include "io/MatrixMarket.h"
 #include "matrix/MatrixStats.h"
 #include "matrix/Reference.h"
+#include "support/FailPoint.h"
 #include "support/Random.h"
 #include "support/Table.h"
 #include "support/Timer.h"
@@ -73,18 +80,24 @@ int usage(const char *Prog) {
       "                                        space (prefetch, blocking,\n"
       "                                        over-decomposition)\n"
       "  gen      <suite-name> <out.mtx> [--scale=X]\n"
-      "  list                                  suite matrix names\n",
+      "  list                                  suite matrix names\n"
+      "  inject   [--fp=SPEC]... [--list] [matrix.mtx|suite-name]\n"
+      "           [--threads=T] [--budget=SECONDS] [--scale=X]\n"
+      "                                        arm fault-injection sites,\n"
+      "                                        run the degradation ladder,\n"
+      "                                        verify against the scalar\n"
+      "                                        reference\n",
       Prog);
   return 2;
 }
 
 bool loadCsr(const std::string &Path, CsrMatrix &A) {
-  MmReadResult R = readMatrixMarketFile(Path);
-  if (!R.Ok) {
-    std::fprintf(stderr, "error: %s\n", R.Error.c_str());
+  StatusOr<CooMatrix> R = readMatrixMarketFile(Path);
+  if (!R.ok()) {
+    std::fprintf(stderr, "error: %s\n", R.status().toString().c_str());
     return false;
   }
-  A = CsrMatrix::fromCoo(R.Matrix);
+  A = CsrMatrix::fromCoo(*R);
   return true;
 }
 
@@ -125,8 +138,14 @@ int cmdConvert(const std::string &In, const std::string &Out) {
   std::printf("converted in %.3f ms (%d chunks, %d lanes)\n", T.millis(),
               M.numChunks(), M.lanes());
   std::ofstream OS(Out, std::ios::binary);
-  if (!OS || !M.writeBinary(OS)) {
-    std::fprintf(stderr, "error: cannot write '%s'\n", Out.c_str());
+  if (!OS) {
+    std::fprintf(stderr, "error: cannot open '%s' for writing\n",
+                 Out.c_str());
+    return 1;
+  }
+  if (Status S = M.writeBlob(OS); !S.ok()) {
+    std::fprintf(stderr, "error: %s: %s\n", Out.c_str(),
+                 S.toString().c_str());
     return 1;
   }
   std::printf("wrote %s (%zu format bytes)\n", Out.c_str(), M.formatBytes());
@@ -152,10 +171,17 @@ int cmdSpmv(int Argc, char **Argv) {
   double PreMs = 0.0;
   if (Path.size() > 4 && Path.compare(Path.size() - 4, 4, ".cvr") == 0) {
     std::ifstream IS(Path, std::ios::binary);
-    if (!IS || !CvrMatrix::readBinary(IS, M)) {
-      std::fprintf(stderr, "error: cannot load blob '%s'\n", Path.c_str());
+    if (!IS) {
+      std::fprintf(stderr, "error: cannot open blob '%s'\n", Path.c_str());
       return 1;
     }
+    StatusOr<CvrMatrix> R = CvrMatrix::readBlob(IS);
+    if (!R.ok()) {
+      std::fprintf(stderr, "error: %s: %s\n", Path.c_str(),
+                   R.status().toString().c_str());
+      return 1;
+    }
+    M = std::move(*R);
   } else {
     CsrMatrix A;
     if (!loadCsr(Path, A))
@@ -434,6 +460,104 @@ int cmdTune(int Argc, char **Argv) {
   return Diff <= 1e-10 ? 0 : 1;
 }
 
+/// Fault drill: arm the requested fail points, then drive the CVR
+/// degradation ladder end to end and verify whatever kernel survives
+/// against the scalar reference. Exit 0 means the pipeline stayed correct
+/// under the injected faults; the downgrade trace shows what it cost.
+int cmdInject(int Argc, char **Argv) {
+  std::string Target;
+  std::vector<std::string> FpSpecs;
+  int Threads = 0;
+  double Scale = 0.25;
+  double BudgetSeconds = 0.0;
+  for (int I = 2; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--list") == 0) {
+      std::printf("%-24s %s\n", "site", "effect when armed");
+      for (const failpoint::SiteInfo &S : failpoint::catalog())
+        std::printf("%-24s %s\n", S.Name, S.Effect);
+      return 0;
+    }
+    if (std::strncmp(Argv[I], "--fp=", 5) == 0) {
+      // Collected now, armed only once the input matrix exists: the drill
+      // targets the SpMV pipeline, not the workload generator.
+      FpSpecs.push_back(Argv[I] + 5);
+    } else if (std::strncmp(Argv[I], "--threads=", 10) == 0)
+      Threads = std::atoi(Argv[I] + 10);
+    else if (std::strncmp(Argv[I], "--budget=", 9) == 0)
+      BudgetSeconds = std::atof(Argv[I] + 9);
+    else if (std::strncmp(Argv[I], "--scale=", 8) == 0)
+      Scale = std::atof(Argv[I] + 8);
+    else
+      Target = Argv[I];
+  }
+
+  CsrMatrix A;
+  if (Target.empty()) {
+    // Deterministic built-in workload so CI can drill without fixtures.
+    A = genRmat(12, 8, 7);
+  } else if (Target.size() > 4 &&
+             Target.compare(Target.size() - 4, 4, ".mtx") == 0) {
+    if (!loadCsr(Target, A))
+      return 1;
+  } else {
+    bool Found = false;
+    for (const DatasetSpec &D : datasetSuite(Scale))
+      if (D.Name == Target) {
+        A = D.Build();
+        Found = true;
+        break;
+      }
+    if (!Found) {
+      std::fprintf(stderr,
+                   "error: '%s' is neither a .mtx file nor a suite matrix "
+                   "(see `list`)\n",
+                   Target.c_str());
+      return 1;
+    }
+  }
+
+  // The test vectors are workload too; materialize them before arming.
+  std::vector<double> X = makeX(A.numCols());
+  std::vector<double> Y(static_cast<std::size_t>(A.numRows()), 0.0);
+  std::vector<double> Ref(static_cast<std::size_t>(A.numRows()), 0.0);
+  referenceSpmv(A, X.data(), Ref.data());
+
+  for (const std::string &Spec : FpSpecs)
+    if (Status S = failpoint::armFromSpec(Spec); !S.ok()) {
+      std::fprintf(stderr, "error: %s\n", S.toString().c_str());
+      return 2;
+    }
+  std::vector<std::string> Armed = failpoint::armedSites();
+  if (Armed.empty())
+    std::printf("armed         (none — pass --fp=SPEC or set "
+                "CVR_FAILPOINTS)\n");
+  for (const std::string &S : Armed)
+    std::printf("armed         %s\n", S.c_str());
+
+  PrepareOptions Opts;
+  Opts.NumThreads = Threads;
+  Opts.TuneBudgetSeconds = BudgetSeconds;
+  StatusOr<PreparedKernel> R = prepareKernel(FormatId::Cvr, A, Opts);
+  if (!R.ok()) {
+    std::fprintf(stderr, "error: ladder exhausted: %s\n",
+                 R.status().toString().c_str());
+    return 1;
+  }
+  std::printf("requested     %s\n", R->Requested.c_str());
+  for (const DowngradeStep &D : R->Downgrades)
+    std::printf("downgrade     %s -> %s: %s\n", D.FromVariant.c_str(),
+                D.ToVariant.c_str(), D.Reason.toString().c_str());
+  std::printf("prepared      %s%s\n", R->Actual.c_str(),
+              R->degraded() ? " (degraded)" : "");
+
+  R->Kernel->run(X.data(), Y.data());
+  double Diff = maxRelDiff(Ref, Y);
+  std::printf("check         maxRelDiff %.2e vs scalar reference (%s)\n",
+              Diff, Diff <= 1e-10 ? "ok" : "FAIL");
+  failpoint::disarmAll();
+  return Diff <= 1e-10 ? 0 : 1;
+}
+
 int cmdList() {
   for (const DatasetSpec &D : datasetSuite())
     std::printf("%-22s %-14s %s\n", D.Name.c_str(), domainName(D.Dom),
@@ -458,9 +582,8 @@ int cmdGen(int Argc, char **Argv) {
     if (D.Name != Name)
       continue;
     CsrMatrix A = D.Build();
-    std::string Error;
-    if (!writeMatrixMarketFile(Out, A.toCoo(), &Error)) {
-      std::fprintf(stderr, "error: %s\n", Error.c_str());
+    if (Status S = writeMatrixMarketFile(Out, A.toCoo()); !S.ok()) {
+      std::fprintf(stderr, "error: %s\n", S.toString().c_str());
       return 1;
     }
     std::printf("wrote %s: %d x %d, %lld nnz\n", Out.c_str(), A.numRows(),
@@ -480,6 +603,8 @@ int main(int Argc, char **Argv) {
   std::string Cmd = Argv[1];
   if (Cmd == "list")
     return cmdList();
+  if (Cmd == "inject")
+    return cmdInject(Argc, Argv);
   if (Argc < 3)
     return usage(Argv[0]);
   if (Cmd == "info")
