@@ -41,6 +41,83 @@ void CheckedKernel::run(const double *X, double *Y) const {
   Inner->run(X, Y);
 }
 
+namespace {
+
+/// Relative-or-absolute agreement test for the fused differential check.
+/// \p RelTol bounds reassociation drift; tiny values compare absolutely.
+bool fusedClose(double A, double B, double RelTol) {
+  double Diff = std::fabs(A - B);
+  double Scale = std::max(std::fabs(A), std::fabs(B));
+  return Diff <= RelTol * std::max(Scale, 1.0e-30) || Diff <= 1.0e-12;
+}
+
+} // namespace
+
+void CheckedKernel::runFused(const double *X, double *Y,
+                             FusedEpilogue &E) const {
+  std::int64_t N = Inner->preparedRows();
+  if (N < 0) {
+    Inner->runFused(X, Y, E);
+    return;
+  }
+  // Reference: the checked run (shadow kernels for CVR) composed with the
+  // scalar epilogue sweep, side outputs redirected into scratch so the
+  // native path's writes stay authoritative.
+  std::vector<double> YRef(static_cast<std::size_t>(N), 0.0);
+  std::vector<double> RScratch, XScratch;
+  FusedEpilogue ERef = E;
+  if (E.ROut) {
+    RScratch.resize(static_cast<std::size_t>(N));
+    ERef.ROut = RScratch.data();
+  }
+  if (E.XNew) {
+    XScratch.resize(static_cast<std::size_t>(N));
+    ERef.XNew = XScratch.data();
+  }
+  if (const auto *Cvr = dynamic_cast<const CvrMatrixSource *>(Inner.get()))
+    cvrSpmvChecked(Cvr->cvrMatrix(), X, YRef.data(), Vs);
+  else
+    Inner->run(X, YRef.data());
+  applyEpilogueScalar(ERef, X, YRef.data(), N);
+
+  // The path under test.
+  Inner->runFused(X, Y, E);
+
+  // Per-row values differ from the reference only by the kernel's own
+  // summation order (already accepted by the unchecked diff at 1e-10);
+  // whole-vector accumulators add one more reassociation layer, so they
+  // get an order of magnitude more slack. DESIGN.md section 12 documents
+  // both bounds.
+  constexpr double RowTol = 1.0e-10;
+  constexpr double AccTol = 1.0e-8;
+  std::size_t Reported = 0;
+  auto Report = [&](const char *Rule, std::string Location, double Got,
+                    double Want) {
+    if (Reported++ >= InvariantChecker::MaxViolations)
+      return;
+    Vs.push_back(Violation{Rule, std::move(Location),
+                           "fused=" + std::to_string(Got) +
+                               " reference=" + std::to_string(Want)});
+  };
+  for (std::int64_t R = 0; R < N; ++R) {
+    std::size_t I = static_cast<std::size_t>(R);
+    if (!fusedClose(Y[R], YRef[I], RowTol))
+      Report("checked.fused.y", "row " + std::to_string(R), Y[R], YRef[I]);
+    if (E.ROut && !fusedClose(E.ROut[R], RScratch[I], RowTol))
+      Report("checked.fused.rout", "row " + std::to_string(R), E.ROut[R],
+             RScratch[I]);
+    if (E.XNew && !fusedClose(E.XNew[R], XScratch[I], RowTol))
+      Report("checked.fused.xnew", "row " + std::to_string(R), E.XNew[R],
+             XScratch[I]);
+  }
+  if (!fusedClose(E.Acc1, ERef.Acc1, AccTol))
+    Report("checked.fused.acc", "Acc1", E.Acc1, ERef.Acc1);
+  if (!fusedClose(E.Acc2, ERef.Acc2, AccTol))
+    Report("checked.fused.acc", "Acc2", E.Acc2, ERef.Acc2);
+  if (!fusedClose(E.Acc3, ERef.Acc3, AccTol))
+    Report("checked.fused.acc", "Acc3", E.Acc3, ERef.Acc3);
+}
+
 bool CheckedKernel::traceRun(MemAccessSink &Sink, const double *X,
                              double *Y) const {
   return Inner->traceRun(Sink, X, Y);

@@ -46,6 +46,18 @@ public:
   /// their production kernels (their structure was vetted in prepare()).
   void run(const double *X, double *Y) const override;
 
+  std::int64_t preparedRows() const override {
+    return Inner->preparedRows();
+  }
+
+  /// Differentially verified fusion: the inner kernel's native fused path
+  /// runs for real, then a reference — the checked run (shadow kernels for
+  /// CVR) composed with the scalar epilogue sweep — recomputes y, the
+  /// accumulators, and the side outputs into scratch. Mismatches beyond
+  /// the reassociation tolerance surface as "checked.fused.*" violations.
+  void runFused(const double *X, double *Y,
+                FusedEpilogue &E) const override;
+
   bool traceRun(MemAccessSink &Sink, const double *X,
                 double *Y) const override;
 

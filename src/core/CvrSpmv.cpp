@@ -246,6 +246,187 @@ void runChunkGeneric(const CvrMatrix &M, const CvrChunk &C, const double *X,
   }
 }
 
+/// Fused-path record application. Exclusive feed records apply the epilogue
+/// to the lane's finished dot product and store the result; shared feeds
+/// accumulate the raw partial atomically (the epilogue for boundary rows
+/// runs in cvrSpmvFused's sequential cleanup pass); steal records spill to
+/// t_result as usual. Scalar spill instead of the masked-scatter batching:
+/// the epilogue is a per-row scalar op anyway, and records are rare
+/// relative to steps.
+inline simd::VecD8 applyRecordsFused(simd::VecD8 VOut, const CvrRecord *Recs,
+                                     std::int64_t &RecIdx,
+                                     std::int64_t RecEnd, std::int64_t Limit,
+                                     double *Y, double *TResult,
+                                     const FusedEpilogue &E, const double *X,
+                                     EpilogueAccum &Acc) {
+  alignas(64) double Buf[8];
+  VOut.toArray(Buf);
+  do {
+    const CvrRecord &R = Recs[RecIdx];
+    int Off = static_cast<int>(R.Pos & 7);
+    if (R.Steal) {
+      TResult[R.Wb] += Buf[Off];
+    } else if (R.Shared) {
+#pragma omp atomic
+      Y[R.Wb] += Buf[Off];
+    } else {
+      Y[R.Wb] = fusedRowApply(E, X, R.Wb, Buf[Off], Acc);
+    }
+    Buf[Off] = 0.0;
+    ++RecIdx;
+  } while (RecIdx < RecEnd && Recs[RecIdx].Pos < Limit);
+  return simd::VecD8::fromArray(Buf);
+}
+
+/// Fused twin of runChunkAvx (no accumulate mode: blocked matrices compose
+/// instead). The streaming loop is identical; only the finalize sites
+/// differ.
+template <int PfDist>
+void runChunkAvxFused(const CvrMatrix &M, const CvrChunk &C, const double *X,
+                      double *Y, const FusedEpilogue &E, EpilogueAccum &Acc) {
+  static_assert(PfDist % 2 == 0, "prefetch pairs with the double-pumped "
+                                 "column loads, so the distance stays even");
+  constexpr int W = 8;
+  const double *Vals = M.vals() + C.ElemBase;
+  const std::int32_t *Cols = M.colIdx() + C.ElemBase;
+  const CvrRecord *Recs = M.recs();
+  std::int64_t RecIdx = C.RecBase;
+  const std::int64_t RecEnd = C.RecEnd;
+
+  alignas(64) double TResult[W] = {0};
+  simd::VecD8 VOut = simd::VecD8::zero();
+  simd::VecI16 Cols16{};
+
+  for (std::int64_t I = 0; I < C.NumSteps; ++I) {
+    if (RecIdx < RecEnd && Recs[RecIdx].Pos < (I + 1) * W)
+      VOut = applyRecordsFused(VOut, Recs, RecIdx, RecEnd, (I + 1) * W, Y,
+                               TResult, E, X, Acc);
+
+    if constexpr (PfDist > 0) {
+      if ((I & 1) == 0 && I + PfDist + 1 < C.NumSteps) {
+        __builtin_prefetch(Cols + (I + 2 * PfDist) * W, 0, 0);
+        const std::int32_t *Pc = Cols + (I + PfDist) * W;
+        for (int K = 0; K < 2 * W; ++K)
+          __builtin_prefetch(X + Pc[K], 0, 1);
+        __builtin_prefetch(Vals + (I + PfDist) * W, 0, 0);
+        __builtin_prefetch(Vals + (I + PfDist + 1) * W, 0, 0);
+      }
+    }
+
+    if ((I & 1) == 0)
+      Cols16 = simd::VecI16::loadAligned(Cols + I * W);
+    simd::VecI8 Idx = (I & 1) ? Cols16.hi() : Cols16.lo();
+
+    simd::VecD8 Xs = simd::VecD8::gather(X, Idx);
+    simd::VecD8 Vs = simd::VecD8::loadAligned(Vals + I * W);
+    VOut = VOut.fmadd(Vs, Xs);
+  }
+
+  if (RecIdx < RecEnd)
+    applyRecordsFused(VOut, Recs, RecIdx, RecEnd,
+                      std::numeric_limits<std::int64_t>::max(), Y, TResult,
+                      E, X, Acc);
+
+  const std::int32_t *Tails = M.tails() + C.TailBase;
+  for (int K = 0; K < W; ++K) {
+    std::int32_t Row = Tails[K];
+    if (Row < 0)
+      continue;
+    if (Row == C.FirstRow || Row == C.LastRow) {
+#pragma omp atomic
+      Y[Row] += TResult[K];
+    } else {
+      Y[Row] = fusedRowApply(E, X, Row, TResult[K], Acc);
+    }
+  }
+}
+
+/// Fused twin of runChunkGeneric (any lane width, runtime prefetch).
+void runChunkGenericFused(const CvrMatrix &M, const CvrChunk &C,
+                          const double *X, double *Y, int PfDist,
+                          const FusedEpilogue &E, EpilogueAccum &Acc) {
+  const int W = M.lanes();
+  const double *Vals = M.vals() + C.ElemBase;
+  const std::int32_t *Cols = M.colIdx() + C.ElemBase;
+  const CvrRecord *Recs = M.recs();
+  std::int64_t RecIdx = C.RecBase;
+  const std::int64_t RecEnd = C.RecEnd;
+
+  std::vector<double> TResult(W, 0.0);
+  std::vector<double> VOut(W, 0.0);
+
+  auto Finish = [&](std::int32_t Row, double V, bool Shared) {
+    if (Shared) {
+#pragma omp atomic
+      Y[Row] += V;
+    } else {
+      Y[Row] = fusedRowApply(E, X, Row, V, Acc);
+    }
+  };
+
+  for (std::int64_t I = 0; I < C.NumSteps; ++I) {
+    while (RecIdx < RecEnd && Recs[RecIdx].Pos < (I + 1) * W) {
+      const CvrRecord &R = Recs[RecIdx];
+      int Off = static_cast<int>(R.Pos % W);
+      if (R.Steal)
+        TResult[R.Wb] += VOut[Off];
+      else
+        Finish(R.Wb, VOut[Off], R.Shared);
+      VOut[Off] = 0.0;
+      ++RecIdx;
+    }
+    if (PfDist > 0 && I + PfDist < C.NumSteps) {
+      const std::int32_t *Pc = Cols + (I + PfDist) * W;
+      for (int K = 0; K < W; ++K)
+        __builtin_prefetch(X + Pc[K], 0, 1);
+    }
+    for (int K = 0; K < W; ++K)
+      VOut[K] += Vals[I * W + K] * X[Cols[I * W + K]];
+  }
+
+  for (; RecIdx < RecEnd; ++RecIdx) {
+    const CvrRecord &R = Recs[RecIdx];
+    int Off = static_cast<int>(R.Pos % W);
+    if (R.Steal)
+      TResult[R.Wb] += VOut[Off];
+    else
+      Finish(R.Wb, VOut[Off], R.Shared);
+    VOut[Off] = 0.0;
+  }
+
+  const std::int32_t *Tails = M.tails() + C.TailBase;
+  for (int K = 0; K < W; ++K) {
+    std::int32_t Row = Tails[K];
+    if (Row < 0)
+      continue;
+    Finish(Row, TResult[K], Row == C.FirstRow || Row == C.LastRow);
+  }
+}
+
+/// Dispatches one chunk of the fused path.
+void runChunkFused(const CvrMatrix &M, const CvrChunk &C, const double *X,
+                   double *Y, const FusedEpilogue &E, EpilogueAccum &Acc,
+                   int PfDist, bool UseAvx) {
+  if (!UseAvx) {
+    runChunkGenericFused(M, C, X, Y, PfDist, E, Acc);
+    return;
+  }
+  switch (PfDist) {
+  case 2:
+    runChunkAvxFused<2>(M, C, X, Y, E, Acc);
+    break;
+  case 4:
+    runChunkAvxFused<4>(M, C, X, Y, E, Acc);
+    break;
+  case 8:
+    runChunkAvxFused<8>(M, C, X, Y, E, Acc);
+    break;
+  default:
+    runChunkAvxFused<0>(M, C, X, Y, E, Acc);
+    break;
+  }
+}
+
 /// One chunk of the multi-vector kernel: a block of B <= 4 right-hand
 /// sides shares each step's index and value loads. Structure mirrors
 /// runChunkAvx with per-vector accumulators.
@@ -438,6 +619,70 @@ void cvrSpmv(const CvrMatrix &M, const double *X, double *Y,
   runChunkRange(M, 0, M.numChunks(), X, Y, PfDist, /*Accumulate=*/false);
 }
 
+void cvrSpmvFused(const CvrMatrix &M, const double *X, double *Y,
+                  FusedEpilogue &E, int PrefetchDistance) {
+  if (E.Op == EpilogueOp::None) {
+    cvrSpmv(M, X, Y, PrefetchDistance);
+    E.Acc1 = E.Acc2 = E.Acc3 = 0.0;
+    return;
+  }
+  if (M.isBlocked()) {
+    // Accumulate mode finishes no row until the last band; compose.
+    cvrSpmv(M, X, Y, PrefetchDistance);
+    applyEpilogueScalar(E, X, Y, M.numRows());
+    return;
+  }
+  assert((!E.WantXDotY || M.numRows() == M.numCols()) &&
+         "x.y fusion gathers the run input at output rows; needs square A");
+
+  int PfDist = snapPrefetchDistance(PrefetchDistance);
+  // Boundary rows accumulate raw partials during the chunk sweep; the
+  // cleanup pass below applies the epilogue to them (and to empty rows)
+  // exactly once. zeroRows is precisely that set.
+  for (std::int32_t R : M.zeroRows())
+    Y[R] = 0.0;
+
+  const std::vector<CvrChunk> &Chunks = M.chunks();
+  int N = static_cast<int>(Chunks.size());
+  int Threads = std::min(M.runThreads(), N);
+  bool UseAvx = M.lanes() == simd::DoubleLanes && !M.forcesGenericKernel();
+
+  // Per-chunk partial accumulators, merged in chunk index order below so
+  // the reduction is deterministic however the chunks were scheduled.
+  // Stack storage keeps solver iterations allocation-free; matrices split
+  // into more chunks than the cap (heavy over-decomposition) spill to the
+  // heap once per call.
+  constexpr int MaxStackChunks = 512;
+  EpilogueAccum StackAccs[MaxStackChunks];
+  std::vector<EpilogueAccum> HeapAccs;
+  EpilogueAccum *Accs = StackAccs;
+  if (N > MaxStackChunks) {
+    HeapAccs.resize(static_cast<std::size_t>(N));
+    Accs = HeapAccs.data();
+  }
+
+  auto Body = [&](int T) {
+    Accs[T] = EpilogueAccum{};
+    runChunkFused(M, Chunks[T], X, Y, E, Accs[T], PfDist, UseAvx);
+  };
+  if (N > Threads)
+    ompParallelForDynamic(N, Threads, Body);
+  else
+    ompParallelFor(N, Threads, Body);
+
+  EpilogueAccum Total;
+  for (int T = 0; T < N; ++T)
+    mergeAccum(E, Total, Accs[T]);
+
+  // Sequential cleanup: boundary + empty rows, in zero-row (ascending)
+  // order, merged last.
+  EpilogueAccum Cleanup;
+  for (std::int32_t R : M.zeroRows())
+    Y[R] = fusedRowApply(E, X, R, Y[R], Cleanup);
+  mergeAccum(E, Total, Cleanup);
+  storeAccum(E, Total);
+}
+
 CvrKernel::CvrKernel(CvrOptions Opts) : Opts(Opts) {}
 
 void CvrKernel::prepare(const CsrMatrix &A) {
@@ -454,6 +699,11 @@ Status CvrKernel::prepareStatus(const CsrMatrix &A) {
 
 void CvrKernel::run(const double *X, double *Y) const {
   cvrSpmv(M, X, Y, Opts.PrefetchDistance);
+}
+
+void CvrKernel::runFused(const double *X, double *Y,
+                         FusedEpilogue &E) const {
+  cvrSpmvFused(M, X, Y, E, Opts.PrefetchDistance);
 }
 
 std::size_t CvrKernel::formatBytes() const { return M.formatBytes(); }
@@ -534,6 +784,107 @@ bool CvrKernel::traceRun(MemAccessSink &Sink, const double *X,
       Flush(Row, TResult[K], Shared);
     }
   }
+  return true;
+}
+
+bool CvrKernel::traceRunFused(MemAccessSink &Sink, const double *X,
+                              double *Y, FusedEpilogue &E) const {
+  if (E.Op == EpilogueOp::None) {
+    E.Acc1 = E.Acc2 = E.Acc3 = 0.0;
+    return traceRun(Sink, X, Y);
+  }
+  if (M.isBlocked()) {
+    // Matches runFused's composed path for blocked matrices.
+    if (!traceRun(Sink, X, Y))
+      return false;
+    traceEpilogueScalar(Sink, E, X, Y, M.numRows());
+    return true;
+  }
+
+  const int W = M.lanes();
+  for (std::int32_t R : M.zeroRows()) {
+    Sink.write(Y + R, sizeof(double));
+    Y[R] = 0.0;
+  }
+
+  // Serial sweep in chunk order; per-chunk accumulators merged in the same
+  // order cvrSpmvFused uses, so the traced accumulators match runFused bit
+  // for bit.
+  EpilogueAccum Total;
+  std::vector<double> TResult(W), VOut(W);
+  for (const CvrChunk &C : M.chunks()) {
+    EpilogueAccum Acc;
+    std::fill(TResult.begin(), TResult.end(), 0.0);
+    std::fill(VOut.begin(), VOut.end(), 0.0);
+    const double *Vals = M.vals() + C.ElemBase;
+    const std::int32_t *Cols = M.colIdx() + C.ElemBase;
+    std::int64_t RecIdx = C.RecBase;
+
+    // Exclusive rows take the epilogue on the register-resident value: one
+    // y store plus the operand traffic. Boundary rows accumulate raw
+    // partials (read-modify-write) and are finished by the cleanup pass.
+    auto Flush = [&](std::int32_t Row, double V, bool Shared) {
+      if (Shared) {
+        Sink.read(Y + Row, sizeof(double));
+        Sink.write(Y + Row, sizeof(double));
+        Y[Row] += V;
+      } else {
+        traceFusedRowOperands(Sink, E, X, Row);
+        Sink.write(Y + Row, sizeof(double));
+        Y[Row] = fusedRowApply(E, X, Row, V, Acc);
+      }
+    };
+
+    auto ApplyRec = [&](const CvrRecord &R) {
+      Sink.read(&R, sizeof(CvrRecord));
+      int Off = static_cast<int>(R.Pos % W);
+      if (R.Steal)
+        TResult[R.Wb] += VOut[Off];
+      else
+        Flush(R.Wb, VOut[Off], R.Shared != 0);
+      VOut[Off] = 0.0;
+    };
+
+    for (std::int64_t I = 0; I < C.NumSteps; ++I) {
+      while (RecIdx < C.RecEnd && M.recs()[RecIdx].Pos < (I + 1) * W)
+        ApplyRec(M.recs()[RecIdx++]);
+      if (W == 8) {
+        if ((I & 1) == 0)
+          Sink.read(Cols + I * W, 16 * sizeof(std::int32_t));
+      } else {
+        Sink.read(Cols + I * W, W * sizeof(std::int32_t));
+      }
+      Sink.read(Vals + I * W, W * sizeof(double));
+      for (int K = 0; K < W; ++K) {
+        Sink.read(X + Cols[I * W + K], sizeof(double));
+        VOut[K] += Vals[I * W + K] * X[Cols[I * W + K]];
+      }
+    }
+    while (RecIdx < C.RecEnd)
+      ApplyRec(M.recs()[RecIdx++]);
+
+    const std::int32_t *Tails = M.tails() + C.TailBase;
+    for (int K = 0; K < W; ++K) {
+      Sink.read(Tails + K, sizeof(std::int32_t));
+      std::int32_t Row = Tails[K];
+      if (Row < 0)
+        continue;
+      Flush(Row, TResult[K], Row == C.FirstRow || Row == C.LastRow);
+    }
+    mergeAccum(E, Total, Acc);
+  }
+
+  // Cleanup pass: the boundary/empty rows genuinely re-read y (their raw
+  // partials left the registers when the chunks finished).
+  EpilogueAccum Cleanup;
+  for (std::int32_t R : M.zeroRows()) {
+    Sink.read(Y + R, sizeof(double));
+    traceFusedRowOperands(Sink, E, X, R);
+    Sink.write(Y + R, sizeof(double));
+    Y[R] = fusedRowApply(E, X, R, Y[R], Cleanup);
+  }
+  mergeAccum(E, Total, Cleanup);
+  storeAccum(E, Total);
   return true;
 }
 

@@ -38,6 +38,18 @@ void cvrSpmv(const CvrMatrix &M, const double *X, double *Y,
 /// (the distances the kernel templates are instantiated for).
 int snapPrefetchDistance(int D);
 
+/// Fused SpMV: computes y = A * x and applies \p E at each row's finalize
+/// point while the value is still in registers. Exclusive rows (feed
+/// records and tails that no neighbouring chunk touches) take the epilogue
+/// inside the parallel chunk sweep; chunk-boundary and empty rows — exactly
+/// the set in M.zeroRows() — are finished by a sequential cleanup pass
+/// afterwards, in zero-row order. Partial accumulators merge in chunk index
+/// order, cleanup last, so a given matrix configuration reduces in a fixed
+/// order. Column-blocked matrices finish no row until the last band, so
+/// they compose cvrSpmv with the scalar epilogue sweep instead.
+void cvrSpmvFused(const CvrMatrix &M, const double *X, double *Y,
+                  FusedEpilogue &E, int PrefetchDistance = 0);
+
 /// Implemented by every SpmvKernel that executes a CvrMatrix (CvrKernel
 /// here, TunedCvrKernel in src/engine), so the checked-execution and
 /// invariant machinery can reach the underlying format through one
@@ -78,8 +90,18 @@ public:
 
   void run(const double *X, double *Y) const override;
 
+  std::int64_t preparedRows() const override { return M.numRows(); }
+
+  /// Native fused path (cvrSpmvFused) with the kernel's configured
+  /// prefetch distance.
+  void runFused(const double *X, double *Y,
+                FusedEpilogue &E) const override;
+
   bool traceRun(MemAccessSink &Sink, const double *X,
                 double *Y) const override;
+
+  bool traceRunFused(MemAccessSink &Sink, const double *X, double *Y,
+                     FusedEpilogue &E) const override;
 
   std::size_t formatBytes() const override;
 

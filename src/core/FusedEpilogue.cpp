@@ -1,0 +1,75 @@
+//===- core/FusedEpilogue.cpp - Scalar epilogue sweeps --------------------===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "formats/FusedEpilogue.h"
+
+#include "support/MemSink.h"
+
+namespace cvr {
+
+void applyEpilogueScalar(FusedEpilogue &E, const double *X, double *Y,
+                         std::int64_t N) {
+  E.Acc1 = E.Acc2 = E.Acc3 = 0.0;
+  if (E.Op == EpilogueOp::None)
+    return;
+  EpilogueAccum A;
+  for (std::int64_t R = 0; R < N; ++R)
+    Y[R] = fusedRowApply(E, X, static_cast<std::int32_t>(R), Y[R], A);
+  storeAccum(E, A);
+}
+
+void traceEpilogueScalar(MemAccessSink &Sink, FusedEpilogue &E,
+                         const double *X, double *Y, std::int64_t N) {
+  E.Acc1 = E.Acc2 = E.Acc3 = 0.0;
+  if (E.Op == EpilogueOp::None)
+    return;
+  EpilogueAccum A;
+  for (std::int64_t R = 0; R < N; ++R) {
+    std::int32_t Row = static_cast<std::int32_t>(R);
+    // The separate sweep re-reads the y element a fused kernel still holds
+    // in a register; that read is exactly the traffic fusion deletes.
+    Sink.read(Y + R, sizeof(double));
+    traceFusedRowOperands(Sink, E, X, Row);
+    if (E.transformsY())
+      Sink.write(Y + R, sizeof(double));
+    Y[R] = fusedRowApply(E, X, Row, Y[R], A);
+  }
+  storeAccum(E, A);
+}
+
+void traceFusedRowOperands(MemAccessSink &Sink, const FusedEpilogue &E,
+                           const double *X, std::int32_t Row) {
+  switch (E.Op) {
+  case EpilogueOp::None:
+    break;
+  case EpilogueOp::Dot:
+    if (E.WantXDotY)
+      Sink.read(X + Row, sizeof(double));
+    if (E.Z)
+      Sink.read(E.Z + Row, sizeof(double));
+    break;
+  case EpilogueOp::Axpby:
+    Sink.read(E.Z + Row, sizeof(double));
+    break;
+  case EpilogueOp::ResidualNorm:
+    Sink.read(E.B + Row, sizeof(double));
+    if (E.ROut)
+      Sink.write(E.ROut + Row, sizeof(double));
+    break;
+  case EpilogueOp::JacobiStep:
+    Sink.read(E.B + Row, sizeof(double));
+    Sink.read(E.D + Row, sizeof(double));
+    Sink.read(E.Xold + Row, sizeof(double));
+    Sink.write(E.XNew + Row, sizeof(double));
+    break;
+  case EpilogueOp::DampScale:
+    if (E.Prev)
+      Sink.read(E.Prev + Row, sizeof(double));
+    break;
+  }
+}
+
+} // namespace cvr

@@ -12,12 +12,32 @@
 
 #include "formats/SpmvKernel.h"
 
+#include <cassert>
 #include <exception>
 #include <new>
 
 namespace cvr {
 
 SpmvKernel::~SpmvKernel() = default;
+
+void SpmvKernel::runFused(const double *X, double *Y,
+                          FusedEpilogue &E) const {
+  run(X, Y);
+  std::int64_t N = preparedRows();
+  assert(N >= 0 && "runFused needs preparedRows(); prepare() must have run "
+                   "and the kernel must report its row count");
+  applyEpilogueScalar(E, X, Y, N);
+}
+
+bool SpmvKernel::traceRunFused(MemAccessSink &Sink, const double *X,
+                               double *Y, FusedEpilogue &E) const {
+  if (!traceRun(Sink, X, Y))
+    return false;
+  std::int64_t N = preparedRows();
+  assert(N >= 0 && "traceRunFused needs preparedRows()");
+  traceEpilogueScalar(Sink, E, X, Y, N);
+  return true;
+}
 
 Status SpmvKernel::prepareStatus(const CsrMatrix &A) try {
   prepare(A);

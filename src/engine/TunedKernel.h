@@ -40,8 +40,20 @@ public:
 
   void run(const double *X, double *Y) const override;
 
+  std::int64_t preparedRows() const override {
+    return Inner.preparedRows();
+  }
+
+  /// Fused execution under the tuned plan (forwards to the inner
+  /// CvrKernel, which carries the plan's prefetch distance).
+  void runFused(const double *X, double *Y,
+                FusedEpilogue &E) const override;
+
   bool traceRun(MemAccessSink &Sink, const double *X,
                 double *Y) const override;
+
+  bool traceRunFused(MemAccessSink &Sink, const double *X, double *Y,
+                     FusedEpilogue &E) const override;
 
   std::size_t formatBytes() const override;
 

@@ -45,6 +45,8 @@ public:
 
   void run(const double *X, double *Y) const override;
 
+  std::int64_t preparedRows() const override { return NumRows; }
+
   bool traceRun(MemAccessSink &Sink, const double *X,
                 double *Y) const override;
 

@@ -17,6 +17,7 @@
 #ifndef CVR_FORMATS_SPMVKERNEL_H
 #define CVR_FORMATS_SPMVKERNEL_H
 
+#include "formats/FusedEpilogue.h"
 #include "matrix/Csr.h"
 #include "support/MemSink.h"
 #include "support/Status.h"
@@ -52,6 +53,31 @@ public:
   /// Computes y = A * x. \p Y has numRows elements and is overwritten;
   /// \p X has numCols elements. prepare() must have been called.
   virtual void run(const double *X, double *Y) const = 0;
+
+  /// Row count of the prepared matrix, or -1 before prepare(). The fused
+  /// default implementations size their composing sweeps with it.
+  virtual std::int64_t preparedRows() const { return -1; }
+
+  /// Computes y = A * x and applies \p E to every finished y element (see
+  /// FusedEpilogue.h for the op catalog). The accumulator outputs land in
+  /// E.Acc1..Acc3. The default composes run() with one scalar epilogue
+  /// sweep, so every format works unchanged; CVR, CSR, and the tuned CVR
+  /// kernel override it with native fused paths that apply the epilogue
+  /// while y is still in registers. Epilogue accumulators are reduced in a
+  /// fixed structural order (deterministic per kernel configuration);
+  /// fused and unfused results agree within the reassociation tolerance
+  /// documented in DESIGN.md section 12.
+  virtual void runFused(const double *X, double *Y, FusedEpilogue &E) const;
+
+  /// Replays runFused()'s memory-reference stream into \p Sink while
+  /// computing the same result, so the cache simulator and the bandwidth
+  /// accounting can quantify the sweeps fusion eliminates. The default
+  /// composes traceRun() with a traced scalar epilogue sweep (the unfused
+  /// traffic); native fused kernels trace the fused stream, where the
+  /// epilogue costs only its operand reads because y never leaves
+  /// registers. Returns false if the kernel does not implement tracing.
+  virtual bool traceRunFused(MemAccessSink &Sink, const double *X, double *Y,
+                             FusedEpilogue &E) const;
 
   /// Bytes of the internal representation (excluding the input CSR);
   /// used by the format-footprint report. Optional; 0 if not tracked.

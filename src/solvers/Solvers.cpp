@@ -3,6 +3,16 @@
 // Part of the CVR reproduction project, under the MIT License.
 //
 //===----------------------------------------------------------------------===//
+//
+// Every solver exists twice: the textbook (unfused) formulation with
+// separate vector sweeps after each plain run(), and the fused formulation
+// that pushes the post-SpMV vector work into SpmvKernel::runFused and
+// merges the sweeps that remain. The public entry points dispatch on
+// SolverOptions::Fused. Neither path allocates inside the iteration loop —
+// every vector is sized before the loop and the fused epilogue descriptors
+// live on the stack.
+//
+//===----------------------------------------------------------------------===//
 
 #include "solvers/Solvers.h"
 
@@ -28,13 +38,12 @@ void axpy(double Alpha, const std::vector<double> &X,
     Y[I] += Alpha * X[I];
 }
 
-} // namespace
+//===----------------------------------------------------------------------===//
+// Conjugate gradient
+//===----------------------------------------------------------------------===//
 
-SolveResult conjugateGradient(const SpmvKernel &Kernel,
-                              const std::vector<double> &B,
-                              std::vector<double> &X,
-                              const SolverOptions &Opts) {
-  assert(X.size() == B.size() && "square system required");
+SolveResult cgUnfused(const SpmvKernel &Kernel, const std::vector<double> &B,
+                      std::vector<double> &X, const SolverOptions &Opts) {
   std::size_t N = B.size();
   SolveResult Res;
 
@@ -48,6 +57,13 @@ SolveResult conjugateGradient(const SpmvKernel &Kernel,
   if (BNorm == 0.0)
     BNorm = 1.0;
   double RsOld = dot(R, R);
+  // Already at the target (exact warm start, or a zero right-hand side
+  // with a zero guess): report convergence without spending an iteration.
+  Res.Residual = std::sqrt(RsOld) / BNorm;
+  if (Res.Residual < Opts.Tolerance) {
+    Res.Converged = true;
+    return Res;
+  }
 
   for (int Iter = 0; Iter < Opts.MaxIterations; ++Iter) {
     Res.Iterations = Iter + 1;
@@ -72,9 +88,122 @@ SolveResult conjugateGradient(const SpmvKernel &Kernel,
   return Res;
 }
 
-SolveResult biCgStab(const SpmvKernel &Kernel, const std::vector<double> &B,
-                     std::vector<double> &X, const SolverOptions &Opts) {
-  assert(X.size() == B.size() && "square system required");
+/// Fused CG. One fused SpMV (q = A p carrying p.q and q.q) and one combined
+/// sweep per iteration. Two reformulations cut the sweep traffic:
+///
+/// 1. Beta comes from a residual-norm recurrence instead of an explicit
+///    r.r sweep:
+///
+///      ||r - alpha q||^2 = ||r||^2 - 2 alpha (r.q) + alpha^2 ||q||^2
+///
+///    where r.q = p.q - beta (p_prev.q): p = r + beta p_prev, and
+///    p_prev.q = p.q_prev by the symmetry CG already requires — the latter
+///    is accumulated for free at the end of the previous combined sweep.
+///    The recurrence is never used for the stopping test: on indefinite
+///    input its cancellation can collapse to zero while the true residual
+///    is enormous. Convergence is decided only by the exact ||r||^2 the
+///    combined sweep produces (point 2).
+///
+/// 2. The residual vector is never materialized. Since p_k = r_k +
+///    beta_k p_{k-1}, the current residual is reconstructible in registers
+///    from the two direction buffers:
+///
+///      r_{k+1} = p_k - beta_k p_{k-1} - alpha_k q
+///
+///    so the combined sweep ping-pongs p / p_prev and carries r only
+///    through registers: four vector reads (x, p, p_prev, q) and two
+///    writes (x, p_next) replace the five separate unfused sweeps. The
+///    exact ||r_{k+1}||^2 also falls out of the same registers, and
+///    re-anchors the recurrence every iteration — drift is bounded to a
+///    single step, and near the solution (where the recurrence's
+///    cancellation error dominates) the exact value decides convergence.
+///
+/// The recurrence and the reconstruction reassociate the arithmetic
+/// differently from the unfused path, which is the dominant term in the
+/// fused-vs-unfused trajectory tolerance (DESIGN.md section 12).
+SolveResult cgFused(const SpmvKernel &Kernel, const std::vector<double> &B,
+                    std::vector<double> &X, const SolverOptions &Opts) {
+  std::size_t N = B.size();
+  SolveResult Res;
+
+  // POld starts at zero: with Beta = 0 the first reconstruction reduces to
+  // r = p0 - alpha q without touching POld's (zero) contents.
+  std::vector<double> P(N), POld(N, 0.0), Q(N);
+  // Setup: q = A x0 fused with p0 = r0 = b - q and rho = ||r0||^2.
+  FusedEpilogue Setup = FusedEpilogue::residualNorm(B.data(), P.data());
+  Kernel.runFused(X.data(), Q.data(), Setup);
+  double Rho = Setup.Acc1;
+
+  double BNorm = norm2(B);
+  if (BNorm == 0.0)
+    BNorm = 1.0;
+  // Initial-residual convergence check, mirroring cgUnfused.
+  Res.Residual = std::sqrt(Rho) / BNorm;
+  if (Res.Residual < Opts.Tolerance) {
+    Res.Converged = true;
+    return Res;
+  }
+
+  double Beta = 0.0; // beta_k in p_k = r_k + beta_k p_{k-1}.
+  double C = 0.0;    // p.q of the previous iteration (free in the sweep).
+  for (int Iter = 0; Iter < Opts.MaxIterations; ++Iter) {
+    Res.Iterations = Iter + 1;
+    // q = A p, with p.q (the alpha denominator) and q.q (the residual
+    // recurrence term) folded into the kernel's write-back.
+    FusedEpilogue E = FusedEpilogue::dot(/*XDotY=*/true, /*YDotY=*/true);
+    Kernel.runFused(P.data(), Q.data(), E);
+    double PQ = E.Acc1, QQ = E.Acc2;
+    if (PQ == 0.0)
+      break; // Breakdown (non-SPD input).
+    double Alpha = Rho / PQ;
+    double RQ = PQ - Beta * C;
+    // The recurrence value only steers beta; convergence is decided by the
+    // exact ||r||^2 from the sweep below. On indefinite input the
+    // cancellation here can collapse to (clamped) zero while the true
+    // residual is enormous — trusting it would declare false convergence.
+    double RhoNext = Rho - 2.0 * Alpha * RQ + Alpha * Alpha * QQ;
+    RhoNext = std::max(RhoNext, 0.0); // Recurrence can drift below zero.
+    if (Rho == 0.0)
+      break;
+    double BetaNext = RhoNext / Rho;
+    // Combined sweep: solution update, in-register residual
+    // reconstruction with its exact ||r||^2, direction update into the
+    // ping-pong buffer, and next iteration's p.q_prev — one pass.
+    double CNext = 0.0, RR = 0.0;
+    for (std::size_t I = 0; I < N; ++I) {
+      double Pi = P[I];
+      X[I] += Alpha * Pi;
+      double RNew = Pi - Beta * POld[I] - Alpha * Q[I];
+      RR += RNew * RNew;
+      double PNext = RNew + BetaNext * Pi;
+      POld[I] = PNext;
+      CNext += PNext * Q[I];
+    }
+    P.swap(POld); // POld now holds p_k, P holds p_{k+1}. No allocation.
+    C = CNext;
+    Beta = BetaNext;
+    if (!std::isfinite(RR))
+      break; // Diverged (non-SPD input); keep the last finite residual.
+    // Re-anchor the recurrence on the exact ||r||^2; x is already
+    // updated, so converging on it here is sound.
+    Rho = RR;
+    Res.Residual = std::sqrt(RR) / BNorm;
+    if (Res.Residual < Opts.Tolerance) {
+      Res.Converged = true;
+      return Res;
+    }
+  }
+  return Res;
+}
+
+//===----------------------------------------------------------------------===//
+// BiCGSTAB
+//===----------------------------------------------------------------------===//
+
+SolveResult biCgStabUnfused(const SpmvKernel &Kernel,
+                            const std::vector<double> &B,
+                            std::vector<double> &X,
+                            const SolverOptions &Opts) {
   std::size_t N = B.size();
   SolveResult Res;
 
@@ -89,6 +218,12 @@ SolveResult biCgStab(const SpmvKernel &Kernel, const std::vector<double> &B,
   if (BNorm == 0.0)
     BNorm = 1.0;
   double Rho = dot(RHat, R);
+  // Initial-residual convergence check (rhat = r, so Rho = ||r||^2 here).
+  Res.Residual = std::sqrt(std::max(Rho, 0.0)) / BNorm;
+  if (Res.Residual < Opts.Tolerance) {
+    Res.Converged = true;
+    return Res;
+  }
 
   for (int Iter = 0; Iter < Opts.MaxIterations; ++Iter) {
     Res.Iterations = Iter + 1;
@@ -130,11 +265,92 @@ SolveResult biCgStab(const SpmvKernel &Kernel, const std::vector<double> &B,
   return Res;
 }
 
-SolveResult jacobi(const SpmvKernel &Kernel, const std::vector<double> &Diag,
-                   const std::vector<double> &B, std::vector<double> &X,
-                   const SolverOptions &Opts) {
-  assert(X.size() == B.size() && Diag.size() == B.size() &&
-         "square system required");
+/// Fused BiCGSTAB: rhat.v rides the first SpMV, s.t and t.t ride the
+/// second, and the remaining sweeps are merged so each iteration touches
+/// three combined sweeps instead of eight separate ones.
+SolveResult biCgStabFused(const SpmvKernel &Kernel,
+                          const std::vector<double> &B,
+                          std::vector<double> &X, const SolverOptions &Opts) {
+  std::size_t N = B.size();
+  SolveResult Res;
+
+  std::vector<double> R(N), RHat(N), P(N), V(N, 0.0), S(N), T(N);
+  // Setup: t = A x0 fused with r = b - t and ||r||^2 (= rhat.r: rhat = r).
+  FusedEpilogue Setup = FusedEpilogue::residualNorm(B.data(), R.data());
+  Kernel.runFused(X.data(), T.data(), Setup);
+  double Rho = Setup.Acc1;
+  RHat = R;
+  P = R;
+
+  double BNorm = norm2(B);
+  if (BNorm == 0.0)
+    BNorm = 1.0;
+  // Initial-residual convergence check, mirroring biCgStabUnfused.
+  Res.Residual = std::sqrt(Rho) / BNorm;
+  if (Res.Residual < Opts.Tolerance) {
+    Res.Converged = true;
+    return Res;
+  }
+
+  for (int Iter = 0; Iter < Opts.MaxIterations; ++Iter) {
+    Res.Iterations = Iter + 1;
+    // v = A p with rhat.v folded in.
+    FusedEpilogue Ev = FusedEpilogue::dot(false, false, RHat.data());
+    Kernel.runFused(P.data(), V.data(), Ev);
+    double RHatV = Ev.Acc3;
+    if (RHatV == 0.0)
+      break;
+    double Alpha = Rho / RHatV;
+    // s = r - alpha v, accumulating ||s||^2 in the same pass.
+    double SS = 0.0;
+    for (std::size_t I = 0; I < N; ++I) {
+      S[I] = R[I] - Alpha * V[I];
+      SS += S[I] * S[I];
+    }
+    if (std::sqrt(SS) / BNorm < Opts.Tolerance) {
+      axpy(Alpha, P, X);
+      Res.Residual = std::sqrt(SS) / BNorm;
+      Res.Converged = true;
+      return Res;
+    }
+    // t = A s with s.t (x.y of this product) and t.t folded in.
+    FusedEpilogue Et = FusedEpilogue::dot(/*XDotY=*/true, /*YDotY=*/true);
+    Kernel.runFused(S.data(), T.data(), Et);
+    double TS = Et.Acc1, TT = Et.Acc2;
+    if (TT == 0.0)
+      break;
+    double Omega = TS / TT;
+    // Solution + residual update, accumulating ||r||^2 and rhat.r.
+    double RR = 0.0, RHatR = 0.0;
+    for (std::size_t I = 0; I < N; ++I) {
+      X[I] += Alpha * P[I] + Omega * S[I];
+      R[I] = S[I] - Omega * T[I];
+      RR += R[I] * R[I];
+      RHatR += RHat[I] * R[I];
+    }
+    Res.Residual = std::sqrt(RR) / BNorm;
+    if (Res.Residual < Opts.Tolerance) {
+      Res.Converged = true;
+      return Res;
+    }
+    if (Omega == 0.0 || Rho == 0.0)
+      break;
+    double Beta = (RHatR / Rho) * (Alpha / Omega);
+    for (std::size_t I = 0; I < N; ++I)
+      P[I] = R[I] + Beta * (P[I] - Omega * V[I]);
+    Rho = RHatR;
+  }
+  return Res;
+}
+
+//===----------------------------------------------------------------------===//
+// Jacobi
+//===----------------------------------------------------------------------===//
+
+SolveResult jacobiUnfused(const SpmvKernel &Kernel,
+                          const std::vector<double> &Diag,
+                          const std::vector<double> &B,
+                          std::vector<double> &X, const SolverOptions &Opts) {
   std::size_t N = B.size();
   SolveResult Res;
   std::vector<double> Ax(N), Next(N);
@@ -159,22 +375,41 @@ SolveResult jacobi(const SpmvKernel &Kernel, const std::vector<double> &Diag,
   return Res;
 }
 
-SolveResult powerIteration(const SpmvKernel &Kernel, double &Eigenvalue,
-                           std::vector<double> &Eigenvector,
-                           const SolverOptions &Opts) {
-  assert(!Eigenvector.empty() && "seed the eigenvector with the dimension");
+/// Fused Jacobi: the entire update — next iterate, infinity-norm step size
+/// — happens inside the SpMV write-back; no post-sweep remains.
+SolveResult jacobiFused(const SpmvKernel &Kernel,
+                        const std::vector<double> &Diag,
+                        const std::vector<double> &B, std::vector<double> &X,
+                        const SolverOptions &Opts) {
+  std::size_t N = B.size();
+  SolveResult Res;
+  std::vector<double> Ax(N), Next(N);
+
+  for (int Iter = 0; Iter < Opts.MaxIterations; ++Iter) {
+    Res.Iterations = Iter + 1;
+    // The descriptor is rebuilt each iteration: X and Next swap roles.
+    FusedEpilogue E = FusedEpilogue::jacobiStep(B.data(), Diag.data(),
+                                                X.data(), Next.data());
+    Kernel.runFused(X.data(), Ax.data(), E);
+    X.swap(Next);
+    Res.Residual = E.Acc1;
+    if (E.Acc1 < Opts.Tolerance) {
+      Res.Converged = true;
+      return Res;
+    }
+  }
+  return Res;
+}
+
+//===----------------------------------------------------------------------===//
+// Power iteration
+//===----------------------------------------------------------------------===//
+
+SolveResult powerUnfused(const SpmvKernel &Kernel, double &Eigenvalue,
+                         std::vector<double> &Eigenvector,
+                         const SolverOptions &Opts) {
   std::size_t N = Eigenvector.size();
   SolveResult Res;
-
-  // Deterministic non-degenerate seed if the caller passed zeros.
-  double Norm = norm2(Eigenvector);
-  if (Norm == 0.0) {
-    for (std::size_t I = 0; I < N; ++I)
-      Eigenvector[I] = 1.0 + 0.001 * static_cast<double>(I % 97);
-    Norm = norm2(Eigenvector);
-  }
-  for (double &V : Eigenvector)
-    V /= Norm;
 
   std::vector<double> Next(N);
   Eigenvalue = 0.0;
@@ -199,13 +434,46 @@ SolveResult powerIteration(const SpmvKernel &Kernel, double &Eigenvalue,
   return Res;
 }
 
-SolveResult pageRank(const SpmvKernel &Kernel, std::vector<double> &Ranks,
-                     double Damping, const SolverOptions &Opts) {
-  assert(!Ranks.empty() && "size the rank vector with the vertex count");
+/// Fused power iteration: the Rayleigh numerator v.(Av) and ||Av||^2 both
+/// ride the SpMV; only the normalization sweep remains.
+SolveResult powerFused(const SpmvKernel &Kernel, double &Eigenvalue,
+                       std::vector<double> &Eigenvector,
+                       const SolverOptions &Opts) {
+  std::size_t N = Eigenvector.size();
+  SolveResult Res;
+
+  std::vector<double> Next(N);
+  Eigenvalue = 0.0;
+  for (int Iter = 0; Iter < Opts.MaxIterations; ++Iter) {
+    Res.Iterations = Iter + 1;
+    FusedEpilogue E = FusedEpilogue::dot(/*XDotY=*/true, /*YDotY=*/true);
+    Kernel.runFused(Eigenvector.data(), Next.data(), E);
+    double Lambda = E.Acc1;
+    double NextNorm = std::sqrt(E.Acc2);
+    if (NextNorm == 0.0)
+      break; // A annihilated the iterate.
+    for (std::size_t I = 0; I < N; ++I)
+      Eigenvector[I] = Next[I] / NextNorm;
+    Res.Residual = std::fabs(Lambda - Eigenvalue);
+    Eigenvalue = Lambda;
+    if (Iter > 0 &&
+        Res.Residual < Opts.Tolerance * std::max(1.0, std::fabs(Lambda))) {
+      Res.Converged = true;
+      return Res;
+    }
+  }
+  return Res;
+}
+
+//===----------------------------------------------------------------------===//
+// PageRank
+//===----------------------------------------------------------------------===//
+
+SolveResult pageRankUnfused(const SpmvKernel &Kernel,
+                            std::vector<double> &Ranks, double Damping,
+                            const SolverOptions &Opts) {
   std::size_t N = Ranks.size();
   SolveResult Res;
-  for (double &R : Ranks)
-    R = 1.0 / static_cast<double>(N);
   std::vector<double> Next(N);
 
   for (int Iter = 0; Iter < Opts.MaxIterations; ++Iter) {
@@ -231,6 +499,92 @@ SolveResult pageRank(const SpmvKernel &Kernel, std::vector<double> &Ranks,
     }
   }
   return Res;
+}
+
+/// Fused PageRank: the damp-and-teleport scaling and the rank-mass sum ride
+/// the SpMV. The leak redistribution cannot fuse — the leak depends on the
+/// complete damped sum — so one combined post-sweep (leak add + L1 delta)
+/// remains of the unfused path's two.
+SolveResult pageRankFused(const SpmvKernel &Kernel,
+                          std::vector<double> &Ranks, double Damping,
+                          const SolverOptions &Opts) {
+  std::size_t N = Ranks.size();
+  SolveResult Res;
+  std::vector<double> Next(N);
+
+  for (int Iter = 0; Iter < Opts.MaxIterations; ++Iter) {
+    Res.Iterations = Iter + 1;
+    FusedEpilogue E = FusedEpilogue::dampScale(
+        Damping, (1.0 - Damping) / static_cast<double>(N));
+    Kernel.runFused(Ranks.data(), Next.data(), E);
+    double Leak = (1.0 - E.Acc1) / static_cast<double>(N);
+    double Delta = 0.0;
+    for (std::size_t I = 0; I < N; ++I) {
+      Next[I] += Leak;
+      Delta += std::fabs(Next[I] - Ranks[I]);
+    }
+    Ranks.swap(Next);
+    Res.Residual = Delta;
+    if (Delta < Opts.Tolerance) {
+      Res.Converged = true;
+      return Res;
+    }
+  }
+  return Res;
+}
+
+} // namespace
+
+SolveResult conjugateGradient(const SpmvKernel &Kernel,
+                              const std::vector<double> &B,
+                              std::vector<double> &X,
+                              const SolverOptions &Opts) {
+  assert(X.size() == B.size() && "square system required");
+  return Opts.Fused ? cgFused(Kernel, B, X, Opts)
+                    : cgUnfused(Kernel, B, X, Opts);
+}
+
+SolveResult biCgStab(const SpmvKernel &Kernel, const std::vector<double> &B,
+                     std::vector<double> &X, const SolverOptions &Opts) {
+  assert(X.size() == B.size() && "square system required");
+  return Opts.Fused ? biCgStabFused(Kernel, B, X, Opts)
+                    : biCgStabUnfused(Kernel, B, X, Opts);
+}
+
+SolveResult jacobi(const SpmvKernel &Kernel, const std::vector<double> &Diag,
+                   const std::vector<double> &B, std::vector<double> &X,
+                   const SolverOptions &Opts) {
+  assert(X.size() == B.size() && Diag.size() == B.size() &&
+         "square system required");
+  return Opts.Fused ? jacobiFused(Kernel, Diag, B, X, Opts)
+                    : jacobiUnfused(Kernel, Diag, B, X, Opts);
+}
+
+SolveResult powerIteration(const SpmvKernel &Kernel, double &Eigenvalue,
+                           std::vector<double> &Eigenvector,
+                           const SolverOptions &Opts) {
+  assert(!Eigenvector.empty() && "seed the eigenvector with the dimension");
+  // Deterministic non-degenerate seed if the caller passed zeros.
+  std::size_t N = Eigenvector.size();
+  double Norm = norm2(Eigenvector);
+  if (Norm == 0.0) {
+    for (std::size_t I = 0; I < N; ++I)
+      Eigenvector[I] = 1.0 + 0.001 * static_cast<double>(I % 97);
+    Norm = norm2(Eigenvector);
+  }
+  for (double &V : Eigenvector)
+    V /= Norm;
+  return Opts.Fused ? powerFused(Kernel, Eigenvalue, Eigenvector, Opts)
+                    : powerUnfused(Kernel, Eigenvalue, Eigenvector, Opts);
+}
+
+SolveResult pageRank(const SpmvKernel &Kernel, std::vector<double> &Ranks,
+                     double Damping, const SolverOptions &Opts) {
+  assert(!Ranks.empty() && "size the rank vector with the vertex count");
+  for (double &R : Ranks)
+    R = 1.0 / static_cast<double>(Ranks.size());
+  return Opts.Fused ? pageRankFused(Kernel, Ranks, Damping, Opts)
+                    : pageRankUnfused(Kernel, Ranks, Damping, Opts);
 }
 
 } // namespace cvr

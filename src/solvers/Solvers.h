@@ -11,8 +11,20 @@
 /// them: conjugate gradient and BiCGSTAB linear solvers, Jacobi iteration,
 /// power iteration for the dominant eigenpair, and PageRank.
 ///
+/// Each solver has two execution paths selected by SolverOptions::Fused.
+/// The fused path (default) drives SpmvKernel::runFused so the dots, norms,
+/// and scalings that follow each y = A x ride along inside the kernel's
+/// write-back, and restructures the remaining vector work into combined
+/// sweeps — CG drops from six full-vector sweeps per iteration to one plus
+/// the epilogue, Jacobi and PageRank to at most one. The unfused path keeps
+/// the textbook formulation (separate sweeps after a plain run()) as the
+/// reference the fused trajectories are differentially tested against.
+/// DESIGN.md section 12 tabulates the sweep counts and the agreement
+/// tolerance.
+///
 /// All solvers are deterministic given their inputs and report convergence
-/// explicitly; none of them allocates per iteration.
+/// explicitly; none of them allocates per iteration (the allocation audit
+/// in tests/SolversTest.cpp enforces this with a counting allocator).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -37,6 +49,12 @@ struct SolveResult {
 struct SolverOptions {
   int MaxIterations = 1000;
   double Tolerance = 1e-10; ///< Relative residual target.
+  /// Drive the kernel's fused-epilogue path (default). When false the
+  /// solvers run the textbook formulation: plain run() followed by
+  /// separate vector sweeps. Both paths converge to the same answer; the
+  /// trajectories differ only by floating-point reassociation (CG
+  /// additionally tracks ||r||^2 by recurrence on the fused path).
+  bool Fused = true;
 };
 
 /// Conjugate gradient for symmetric positive-definite A: solves A x = b.
@@ -61,8 +79,9 @@ SolveResult jacobi(const SpmvKernel &Kernel, const std::vector<double> &Diag,
                    const SolverOptions &Opts = {});
 
 /// Power iteration: dominant eigenvalue (by magnitude) and eigenvector of a
-/// square A. \p Eigenvector is seeded internally if empty. Residual is the
-/// eigenvalue change between the last two iterations.
+/// square A. \p Eigenvector must be sized to the dimension; an all-zero
+/// vector is replaced by a deterministic non-degenerate seed. Residual is
+/// the eigenvalue change between the last two iterations.
 SolveResult powerIteration(const SpmvKernel &Kernel, double &Eigenvalue,
                            std::vector<double> &Eigenvector,
                            const SolverOptions &Opts = {});

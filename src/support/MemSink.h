@@ -31,6 +31,34 @@ public:
   virtual void write(const void *P, std::size_t Bytes) = 0;
 };
 
+/// Sink that just totals the traffic. The fusion benchmarks and tests use
+/// it to compare the bytes an iteration moves with and without fused
+/// epilogues.
+class CountingSink final : public MemAccessSink {
+public:
+  void read(const void *, std::size_t Bytes) override {
+    ReadBytes += Bytes;
+    ++Reads;
+  }
+  void write(const void *, std::size_t Bytes) override {
+    WriteBytes += Bytes;
+    ++Writes;
+  }
+
+  std::size_t readBytes() const { return ReadBytes; }
+  std::size_t writeBytes() const { return WriteBytes; }
+  std::size_t totalBytes() const { return ReadBytes + WriteBytes; }
+  std::size_t accesses() const { return Reads + Writes; }
+
+  void reset() { ReadBytes = WriteBytes = Reads = Writes = 0; }
+
+private:
+  std::size_t ReadBytes = 0;
+  std::size_t WriteBytes = 0;
+  std::size_t Reads = 0;
+  std::size_t Writes = 0;
+};
+
 } // namespace cvr
 
 #endif // CVR_SUPPORT_MEMSINK_H

@@ -19,7 +19,9 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/CheckedKernel.h"
+#include "formats/FusedEpilogue.h"
 #include "formats/Registry.h"
+#include "solvers/Solvers.h"
 
 #include "TestUtil.h"
 #include "matrix/Coo.h"
@@ -27,6 +29,8 @@
 #include "support/Random.h"
 
 #include <gtest/gtest.h>
+
+#include <cmath>
 
 namespace cvr {
 namespace {
@@ -113,6 +117,194 @@ TEST_P(AllFormatsFuzz, EveryVariantMatchesReference) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, AllFormatsFuzz, ::testing::Range(0, 16));
+
+//===----------------------------------------------------------------------===//
+// Fused axis: randomized fused-epilogue runs and fused-vs-unfused solver
+// trajectories.
+//===----------------------------------------------------------------------===//
+
+/// Square fuzz matrix (Dot's x.y term gathers the run input at the output
+/// row, so the fused axis only makes sense on square shapes).
+CsrMatrix fuzzSquareMatrix(std::uint64_t Seed) {
+  Xoshiro256 Rng(Seed);
+  auto N = static_cast<std::int32_t>(1 + Rng.nextBounded(500));
+  CooMatrix Coo(N, N);
+  double Density = Rng.nextDouble() * 0.12;
+  for (std::int32_t R = 0; R < N; ++R) {
+    std::uint64_t Kind = Rng.nextBounded(12);
+    double RowDensity = Kind == 0 ? 0.0 : (Kind == 1 ? 0.9 : Density);
+    for (std::int32_t C = 0; C < N; ++C)
+      if (Rng.nextDouble() < RowDensity)
+        Coo.add(R, C, Rng.nextDouble(-3.0, 3.0));
+  }
+  return CsrMatrix::fromCoo(Coo);
+}
+
+/// One random epilogue per seed, drawing operands from \p Z / \p B / \p D.
+FusedEpilogue fuzzEpilogue(Xoshiro256 &Rng, const std::vector<double> &Z,
+                           const std::vector<double> &B,
+                           const std::vector<double> &D,
+                           std::vector<double> &XNew,
+                           std::vector<double> &ROut) {
+  switch (Rng.nextBounded(5)) {
+  case 0:
+    return FusedEpilogue::dot(true, true, Z.data());
+  case 1:
+    return FusedEpilogue::axpby(Rng.nextDouble(-2.0, 2.0),
+                                Rng.nextDouble(-2.0, 2.0), Z.data(),
+                                /*YDotY=*/true);
+  case 2:
+    return FusedEpilogue::residualNorm(B.data(), ROut.data());
+  case 3:
+    return FusedEpilogue::jacobiStep(B.data(), D.data(), Z.data(),
+                                     XNew.data());
+  default:
+    return FusedEpilogue::dampScale(Rng.nextDouble(0.1, 0.95),
+                                    Rng.nextDouble(-0.5, 0.5), Z.data());
+  }
+}
+
+class FusedFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(FusedFuzz, FusedMatchesUnfusedCompositionUnderCheckedMode) {
+  std::uint64_t Seed = 881000 + GetParam();
+  CsrMatrix A = fuzzSquareMatrix(Seed);
+  const std::size_t N = static_cast<std::size_t>(A.numRows());
+  std::vector<double> X = randomVector(N, Seed ^ 0x77);
+  std::vector<double> Z = randomVector(N, Seed ^ 0x88);
+  std::vector<double> B = randomVector(N, Seed ^ 0x99);
+  std::vector<double> D(N);
+  for (std::size_t I = 0; I < N; ++I)
+    D[I] = 1.0 + static_cast<double>(I % 7); // Nonzero Jacobi diagonal.
+  std::vector<double> XNew(N, 0.0), ROut(N, 0.0);
+
+  Xoshiro256 Rng(Seed ^ 0x4321);
+  int Threads = static_cast<int>(1 + Rng.nextBounded(5));
+
+  // Reference: scalar SpMV + the scalar epilogue sweep.
+  FusedEpilogue ERef = fuzzEpilogue(Rng, Z, B, D, XNew, ROut);
+  std::vector<double> YRef = referenceSpmv(A, X);
+  std::vector<double> XNewRef = XNew, ROutRef = ROut;
+  ERef.XNew = XNewRef.data();
+  ERef.ROut = ERef.ROut ? ROutRef.data() : nullptr;
+  applyEpilogueScalar(ERef, X.data(), YRef.data(),
+                      static_cast<std::int64_t>(N));
+
+  for (FormatId F : allFormats()) {
+    // CheckedKernel layers its own differential fused verification on top
+    // of the comparison below (native path vs composed reference).
+    std::unique_ptr<SpmvKernel> K = analysis::makeCheckedKernel(F, Threads);
+    auto &CK = static_cast<analysis::CheckedKernel &>(*K);
+    const std::string Where = std::string(formatName(F)) + " seed " +
+                              std::to_string(Seed) + " threads " +
+                              std::to_string(Threads) + " n " +
+                              std::to_string(N);
+
+    K->prepare(A);
+    ASSERT_TRUE(CK.violations().empty())
+        << Where << ":\n" << analysis::formatViolations(CK.violations());
+
+    // Same request as the reference, with this run's own output buffers
+    // and fresh accumulators.
+    FusedEpilogue E = ERef;
+    E.XNew = XNew.data();
+    E.ROut = ERef.ROut ? ROut.data() : nullptr;
+    E.Acc1 = E.Acc2 = E.Acc3 = 0.0;
+
+    std::vector<double> Y(N, 0.5);
+    K->runFused(X.data(), Y.data(), E);
+    EXPECT_TRUE(CK.violations().empty())
+        << Where << ":\n" << analysis::formatViolations(CK.violations());
+    EXPECT_LE(maxRelDiff(YRef, Y), SpmvTolerance) << Where;
+    double AccScale = std::max(
+        {std::fabs(ERef.Acc1), std::fabs(ERef.Acc2), std::fabs(ERef.Acc3),
+         1.0});
+    EXPECT_LE(std::fabs(E.Acc1 - ERef.Acc1), 1e-8 * AccScale) << Where;
+    EXPECT_LE(std::fabs(E.Acc2 - ERef.Acc2), 1e-8 * AccScale) << Where;
+    EXPECT_LE(std::fabs(E.Acc3 - ERef.Acc3), 1e-8 * AccScale) << Where;
+    if (E.Op == EpilogueOp::JacobiStep)
+      EXPECT_LE(maxRelDiff(XNewRef, XNew), SpmvTolerance) << Where;
+    if (E.ROut)
+      EXPECT_LE(maxRelDiff(ROutRef, ROut), SpmvTolerance) << Where;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FusedFuzz, ::testing::Range(0, 12));
+
+/// Fused-vs-unfused solver trajectories on randomized SPD systems must
+/// land on the same solution within the tolerance DESIGN.md section 12
+/// documents (the paths differ only by reassociation plus CG's residual
+/// recurrence).
+class FusedTrajectoryFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(FusedTrajectoryFuzz, FusedAndUnfusedSolversAgree) {
+  std::uint64_t Seed = 992000 + GetParam();
+  Xoshiro256 Rng(Seed);
+  // Random SPD diagonally dominant system: symmetric banded + diagonal
+  // boost, with a manufactured solution.
+  auto NRows = static_cast<std::int32_t>(40 + Rng.nextBounded(400));
+  auto Band = static_cast<std::int32_t>(1 + Rng.nextBounded(6));
+  CooMatrix Coo(NRows, NRows);
+  for (std::int32_t R = 0; R < NRows; ++R) {
+    double RowSum = 0.0;
+    for (std::int32_t C = std::max(0, R - Band); C < R; ++C) {
+      double V = Rng.nextDouble(-1.0, 1.0);
+      Coo.add(R, C, V);
+      Coo.add(C, R, V); // Symmetric pair.
+      RowSum += std::fabs(V);
+    }
+    Coo.add(R, R, 2.0 * Band + 2.0 + RowSum); // Strict dominance: SPD.
+  }
+  CsrMatrix A = CsrMatrix::fromCoo(Coo);
+  std::vector<double> XStar =
+      randomVector(static_cast<std::size_t>(NRows), Seed ^ 0xF00D);
+  std::vector<double> B = referenceSpmv(A, XStar);
+  std::vector<double> Diag(static_cast<std::size_t>(NRows), 0.0);
+  for (std::int32_t R = 0; R < NRows; ++R)
+    for (std::int64_t I = A.rowPtr()[R]; I < A.rowPtr()[R + 1]; ++I)
+      if (A.colIdx()[I] == R)
+        Diag[static_cast<std::size_t>(R)] = A.vals()[I];
+
+  int Threads = static_cast<int>(1 + Rng.nextBounded(5));
+  for (FormatId F : {FormatId::Mkl, FormatId::Cvr}) {
+    std::unique_ptr<SpmvKernel> K = makeKernel(F, Threads);
+    K->prepare(A);
+    const std::string Where = std::string(formatName(F)) + " seed " +
+                              std::to_string(Seed) + " n " +
+                              std::to_string(NRows);
+
+    auto Solve = [&](bool Fused, int Which, std::vector<double> &X) {
+      SolverOptions Opts;
+      Opts.Fused = Fused;
+      Opts.Tolerance = 1e-11;
+      switch (Which) {
+      case 0:
+        return conjugateGradient(*K, B, X, Opts);
+      case 1:
+        return biCgStab(*K, B, X, Opts);
+      default:
+        return jacobi(*K, Diag, B, X, Opts);
+      }
+    };
+    for (int Which = 0; Which < 3; ++Which) {
+      std::vector<double> XF(static_cast<std::size_t>(NRows), 0.0);
+      std::vector<double> XU(static_cast<std::size_t>(NRows), 0.0);
+      SolveResult RF = Solve(true, Which, XF);
+      SolveResult RU = Solve(false, Which, XU);
+      ASSERT_TRUE(RF.Converged) << Where << " solver " << Which;
+      ASSERT_TRUE(RU.Converged) << Where << " solver " << Which;
+      // Both trajectories hit the same solution within the documented
+      // fused-vs-unfused agreement bound.
+      for (std::size_t I = 0; I < XF.size(); ++I)
+        ASSERT_LE(std::fabs(XF[I] - XU[I]),
+                  1e-7 * std::max(1.0, std::fabs(XU[I])))
+            << Where << " solver " << Which << " row " << I;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FusedTrajectoryFuzz,
+                         ::testing::Range(0, 10));
 
 } // namespace
 } // namespace cvr
