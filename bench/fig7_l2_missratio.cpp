@@ -24,6 +24,7 @@ using namespace cvr;
 int main(int Argc, char **Argv) {
   SuiteOptions Opts = parseSuiteOptions(Argc, Argv);
   Opts.ProbeLocality = true;
+  Opts.HwCounters = true; // Measured LLC ratios next to the model's.
   std::vector<DatasetSpec> Suite =
       Opts.Smoke ? smokeSuite(Opts.SizeScale) : datasetSuite(Opts.SizeScale);
   std::vector<MatrixResult> Results = runSuite(Suite, Opts);
@@ -66,5 +67,43 @@ int main(int Argc, char **Argv) {
     T.printCsv(std::cout);
   else
     T.print(std::cout);
+
+  // Measured counterpart: the same table from the PMU's last-level-cache
+  // events, when the host exposes them. The model and the silicon need
+  // not agree in absolute terms (the model simulates one L2; the PMU
+  // counts the shared LLC), but the per-format ordering should match.
+  bool AnyHw = false;
+  std::string Why;
+  for (const MatrixResult &R : Results)
+    for (const auto &[F, FR] : R.ByFormat) {
+      if (FR.HwLlcMissRatio >= 0.0)
+        AnyHw = true;
+      else if (Why.empty() && !FR.HwWhy.empty())
+        Why = FR.HwWhy;
+    }
+  if (!AnyHw) {
+    std::cout << "\nMeasured LLC miss ratios unavailable: "
+              << (Why.empty() ? "hardware counters not requested" : Why)
+              << "\n";
+    return 0;
+  }
+  TextTable H;
+  H.setHeader({"dataset", "domain", "MKL", "CSR(I)", "ESB", "VHCC", "CSR5",
+               "CVR"});
+  for (const MatrixResult &R : Results) {
+    std::vector<std::string> Row = {R.Name, domainName(R.Dom)};
+    for (FormatId F : allFormats()) {
+      double M = R.ByFormat.at(F).HwLlcMissRatio;
+      Row.push_back(M >= 0.0 ? TextTable::fmt(M * 100.0, 2) + "%"
+                             : std::string("n/a"));
+    }
+    H.addRow(Row);
+  }
+  std::cout << "\nMeasured LLC miss ratio (perf_event_open, "
+               "cache-references/cache-misses)\n\n";
+  if (Opts.Csv)
+    H.printCsv(std::cout);
+  else
+    H.print(std::cout);
   return 0;
 }

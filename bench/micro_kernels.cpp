@@ -14,6 +14,7 @@
 #include "benchlib/SuiteRunner.h"
 #include "formats/Registry.h"
 #include "gen/Generators.h"
+#include "obs/Trace.h"
 #include "support/Random.h"
 
 #include <benchmark/benchmark.h>
@@ -94,7 +95,10 @@ void registerAll() {
 /// benchlib timing harness, emitting one machine-readable record each —
 /// GFlop/s, reference error, and the autotuner's plan for CVR+tuned. The
 /// CI perf-smoke job asserts over this output.
-int runJsonSweep(const std::string &Path, int Threads) {
+int runJsonSweep(const std::string &Path, int Threads,
+                 const std::string &TraceOutPath) {
+  if (!TraceOutPath.empty())
+    obs::traceStart();
   MeasureConfig Cfg;
   Cfg.NumThreads = Threads;
   Cfg.MinSeconds = 0.005; // Smoke-speed blocks; this is not a paper figure.
@@ -129,6 +133,14 @@ int runJsonSweep(const std::string &Path, int Threads) {
     return 1;
   std::printf("wrote %zu records to %s; all variants match the reference\n",
               Records.size(), Path.c_str());
+  if (!TraceOutPath.empty()) {
+    Status S = obs::traceStopToFile(TraceOutPath);
+    if (!S.ok()) {
+      std::fprintf(stderr, "warning: %s\n", S.toString().c_str());
+      return 1;
+    }
+    std::printf("trace written to %s\n", TraceOutPath.c_str());
+  }
   return 0;
 }
 
@@ -136,17 +148,22 @@ int runJsonSweep(const std::string &Path, int Threads) {
 
 int main(int Argc, char **Argv) {
   std::string JsonPath;
+  std::string TraceOutPath;
   int Threads = 0;
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--json") == 0 && I + 1 < Argc)
       JsonPath = Argv[I + 1];
     else if (std::strncmp(Argv[I], "--json=", 7) == 0)
       JsonPath = Argv[I] + 7;
+    else if (std::strcmp(Argv[I], "--trace-out") == 0 && I + 1 < Argc)
+      TraceOutPath = Argv[I + 1];
+    else if (std::strncmp(Argv[I], "--trace-out=", 12) == 0)
+      TraceOutPath = Argv[I] + 12;
     else if (std::strncmp(Argv[I], "--threads=", 10) == 0)
       Threads = std::atoi(Argv[I] + 10);
   }
   if (!JsonPath.empty())
-    return runJsonSweep(JsonPath, Threads);
+    return runJsonSweep(JsonPath, Threads, TraceOutPath);
 
   registerAll();
   benchmark::Initialize(&Argc, Argv);

@@ -26,6 +26,7 @@
 #include "gen/Generators.h"
 #include "matrix/Coo.h"
 #include "matrix/Reference.h"
+#include "obs/Trace.h"
 #include "solvers/Solvers.h"
 #include "support/MemSink.h"
 #include "support/Random.h"
@@ -274,6 +275,7 @@ struct Cell {
 
 int main(int Argc, char **Argv) {
   std::string JsonPath;
+  std::string TraceOutPath;
   int Threads = 0;
   bool Quick = false;
   for (int I = 1; I < Argc; ++I) {
@@ -283,15 +285,21 @@ int main(int Argc, char **Argv) {
       JsonPath = Argv[++I];
     else if (std::strncmp(Argv[I], "--threads=", 10) == 0)
       Threads = std::atoi(Argv[I] + 10);
+    else if (std::strncmp(Argv[I], "--trace-out=", 12) == 0)
+      TraceOutPath = Argv[I] + 12;
+    else if (std::strcmp(Argv[I], "--trace-out") == 0 && I + 1 < Argc)
+      TraceOutPath = Argv[++I];
     else if (std::strcmp(Argv[I], "--quick") == 0)
       Quick = true;
     else {
       std::fprintf(stderr,
                    "usage: solver_pipeline [--quick] [--threads=N] "
-                   "[--json=PATH]\n");
+                   "[--json=PATH] [--trace-out=PATH]\n");
       return 2;
     }
   }
+  if (!TraceOutPath.empty())
+    obs::traceStart();
 
   // Full size is chosen so the CG working set (four vectors plus the
   // format) overflows a typical 8-32 MB L3 and the solve is genuinely
@@ -364,5 +372,13 @@ int main(int Argc, char **Argv) {
 
   if (!JsonPath.empty() && !writeBenchJson(JsonPath, Records, 1.0, Threads))
     return 1;
+  if (!TraceOutPath.empty()) {
+    Status S = obs::traceStopToFile(TraceOutPath);
+    if (!S.ok()) {
+      std::fprintf(stderr, "warning: %s\n", S.toString().c_str());
+      return 1;
+    }
+    std::printf("trace written to %s\n", TraceOutPath.c_str());
+  }
   return 0;
 }

@@ -1,0 +1,195 @@
+#!/usr/bin/env python3
+"""Perf-trajectory gate over the cvr-bench JSON artifacts.
+
+Hosted runners are too noisy for absolute-time thresholds, so the gate
+tracks *ratios between kernels measured in the same process on the same
+machine* — those divide the machine out and travel between hosts:
+
+  cvr_vs_csr          geomean over matrices of best-CSR(I) / best-CVR
+                      seconds per iteration (micro_kernels sweep)
+  tuned_vs_cvr        geomean over matrices of plain-CVR / CVR+tuned
+                      seconds per iteration (micro_kernels sweep)
+  fused_vs_unfused_cg geomean over (matrix, kernel) cells of unfused /
+                      fused CG seconds per iteration (solver_pipeline)
+
+Each invariant is the best-of over the repeated input files (per-cell
+minimum of seconds_per_iteration before the ratio), which is the same
+noise defence the perf-smoke job uses. The gate fails when any invariant
+falls more than --tolerance (default 15%) below the committed baseline
+in results/bench_baseline.json; improvements always pass and are
+reported so the baseline can be ratcheted via the update-baseline label.
+
+The full report — invariants, per-matrix detail, and the telemetry
+snapshot embedded in the first micro file — is written to --out for the
+BENCH_<sha>.json artifact.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+SCHEMA = "cvr-perf-trajectory-1"
+KNOWN_BENCH_SCHEMAS = ("cvr-bench-1", "cvr-bench-2")
+
+
+def load_records(paths):
+    """Merges records across repeat files, keeping the per-cell minimum
+    seconds_per_iteration (cell = matrix, format, variant)."""
+    best = {}
+    telemetry = {}
+    for path in paths:
+        with open(path) as f:
+            doc = json.load(f)
+        if doc.get("schema") not in KNOWN_BENCH_SCHEMAS:
+            sys.exit(f"{path}: unknown schema {doc.get('schema')!r}")
+        if not telemetry and isinstance(doc.get("telemetry"), dict):
+            telemetry = doc["telemetry"]
+        for rec in doc["records"]:
+            key = (rec["matrix"], rec["format"], rec["variant"])
+            prev = best.get(key)
+            if prev is None or rec["seconds_per_iteration"] < \
+                    prev["seconds_per_iteration"]:
+                best[key] = rec
+    if not best:
+        sys.exit(f"no records in {paths}")
+    return best, telemetry
+
+
+def geomean(values):
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def micro_invariants(best):
+    """cvr_vs_csr and tuned_vs_cvr from the micro_kernels sweep."""
+    matrices = sorted({m for (m, _, _) in best})
+    cvr_vs_csr, tuned_vs_cvr, detail = [], [], {}
+    for m in matrices:
+        def fastest(fmt, variant=None):
+            times = [r["seconds_per_iteration"]
+                     for (mm, ff, vv), r in best.items()
+                     if mm == m and ff == fmt and
+                     (variant is None or vv == variant)]
+            return min(times) if times else None
+
+        csr = fastest("CSR(I)")
+        cvr = fastest("CVR", "CVR")
+        tuned = fastest("CVR", "CVR+tuned")
+        d = {}
+        if csr and cvr:
+            d["cvr_vs_csr"] = csr / cvr
+            cvr_vs_csr.append(csr / cvr)
+        if cvr and tuned:
+            d["tuned_vs_cvr"] = cvr / tuned
+            tuned_vs_cvr.append(cvr / tuned)
+        detail[m] = d
+    out = {}
+    if cvr_vs_csr:
+        out["cvr_vs_csr"] = geomean(cvr_vs_csr)
+    if tuned_vs_cvr:
+        out["tuned_vs_cvr"] = geomean(tuned_vs_cvr)
+    return out, detail
+
+
+def solver_invariants(best):
+    """fused_vs_unfused_cg from the solver_pipeline sweep."""
+    ratios, detail = [], {}
+    cells = sorted({(m, f) for (m, f, v) in best if v.startswith("cg/")})
+    for m, f in cells:
+        fused = best.get((m, f, "cg/fused"))
+        unfused = best.get((m, f, "cg/unfused"))
+        if not fused or not unfused:
+            continue
+        r = unfused["seconds_per_iteration"] / \
+            fused["seconds_per_iteration"]
+        ratios.append(r)
+        detail[f"{m}/{f}"] = r
+    out = {}
+    if ratios:
+        out["fused_vs_unfused_cg"] = geomean(ratios)
+    return out, detail
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--micro", nargs="+", required=True,
+                    help="micro_kernels --json outputs (repeats)")
+    ap.add_argument("--solver", nargs="+", required=True,
+                    help="solver_pipeline --json outputs (repeats)")
+    ap.add_argument("--baseline", default="results/bench_baseline.json")
+    ap.add_argument("--out", required=True,
+                    help="where to write the full trajectory report")
+    ap.add_argument("--sha", default="unknown",
+                    help="commit the measurements belong to")
+    ap.add_argument("--tolerance", type=float, default=0.15,
+                    help="allowed fractional drop below baseline")
+    ap.add_argument("--update-baseline", action="store_true",
+                    help="rewrite --baseline from this run and pass")
+    args = ap.parse_args()
+
+    micro_best, telemetry = load_records(args.micro)
+    solver_best, _ = load_records(args.solver)
+
+    invariants, micro_detail = micro_invariants(micro_best)
+    solver_inv, solver_detail = solver_invariants(solver_best)
+    invariants.update(solver_inv)
+
+    required = ("cvr_vs_csr", "tuned_vs_cvr", "fused_vs_unfused_cg")
+    missing = [k for k in required if k not in invariants]
+    if missing:
+        sys.exit(f"invariants missing from the sweeps: {missing}")
+
+    report = {
+        "schema": SCHEMA,
+        "sha": args.sha,
+        "tolerance": args.tolerance,
+        "invariants": invariants,
+        "micro_detail": micro_detail,
+        "solver_detail": solver_detail,
+        "telemetry": telemetry,
+    }
+    with open(args.out, "w") as f:
+        json.dump(report, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {args.out}")
+
+    if args.update_baseline:
+        baseline = {"schema": SCHEMA, "sha": args.sha,
+                    "invariants": invariants}
+        with open(args.baseline, "w") as f:
+            json.dump(baseline, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"baseline updated: {args.baseline}")
+        for k in required:
+            print(f"  {k:20s} {invariants[k]:.3f}")
+        return
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    if baseline.get("schema") != SCHEMA:
+        sys.exit(f"{args.baseline}: unknown schema "
+                 f"{baseline.get('schema')!r}")
+
+    failures = []
+    for k in required:
+        base = baseline["invariants"][k]
+        cur = invariants[k]
+        floor = base * (1.0 - args.tolerance)
+        verdict = "FAIL" if cur < floor else "ok"
+        drift = (cur / base - 1.0) * 100.0
+        print(f"  {k:20s} {cur:8.3f}  baseline {base:8.3f}  "
+              f"({drift:+.1f}%)  {verdict}")
+        if cur < floor:
+            failures.append(k)
+        elif cur > base * (1.0 + args.tolerance):
+            print(f"    note: {k} improved beyond the noise band; "
+                  f"consider the update-baseline label")
+    if failures:
+        sys.exit(f"perf trajectory regression: {failures} fell more "
+                 f"than {args.tolerance:.0%} below baseline "
+                 f"{baseline.get('sha', '?')}")
+    print("perf trajectory within the noise band")
+
+
+if __name__ == "__main__":
+    main()

@@ -7,6 +7,9 @@
 #include "benchlib/SuiteRunner.h"
 
 #include "cachesim/LocalityProbe.h"
+#include "obs/PerfCounters.h"
+#include "obs/Telemetry.h"
+#include "obs/Trace.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -36,6 +39,10 @@ SuiteOptions parseSuiteOptions(int Argc, char **Argv) {
       Opts.JsonPath = Argv[++I];
     } else if (std::strncmp(Arg, "--json=", 7) == 0) {
       Opts.JsonPath = Arg + 7;
+    } else if (std::strcmp(Arg, "--trace-out") == 0 && I + 1 < Argc) {
+      Opts.TraceOutPath = Argv[++I];
+    } else if (std::strncmp(Arg, "--trace-out=", 12) == 0) {
+      Opts.TraceOutPath = Arg + 12;
     } else if (std::strcmp(Arg, "--csv") == 0) {
       Opts.Csv = true;
     } else if (std::strcmp(Arg, "--verbose") == 0) {
@@ -43,7 +50,8 @@ SuiteOptions parseSuiteOptions(int Argc, char **Argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--quick] [--smoke] [--scale=X] "
-                   "[--threads=N] [--csv] [--json <path>] [--verbose]\n",
+                   "[--threads=N] [--csv] [--json <path>] "
+                   "[--trace-out <path>] [--verbose]\n",
                    Argv[0]);
       std::exit(std::strcmp(Arg, "--help") == 0 ? 0 : 2);
     }
@@ -82,7 +90,7 @@ bool writeBenchJson(const std::string &Path,
     return false;
   }
   char Buf[256];
-  OS << "{\n  \"schema\": \"cvr-bench-1\",\n";
+  OS << "{\n  \"schema\": \"cvr-bench-2\",\n";
   std::snprintf(Buf, sizeof(Buf),
                 "  \"size_scale\": %g,\n  \"threads\": %d,\n", SizeScale,
                 NumThreads);
@@ -116,14 +124,59 @@ bool writeBenchJson(const std::string &Path,
                     R.L2MissRatio);
       OS << Buf;
     }
+    if (R.HwLlcMissRatio >= 0.0) {
+      std::snprintf(Buf, sizeof(Buf), ", \"hw_llc_miss_ratio\": %.6g",
+                    R.HwLlcMissRatio);
+      OS << Buf;
+    }
     OS << "}";
   }
-  OS << "\n  ]\n}\n";
+  OS << "\n  ],\n  \"telemetry\": {";
+  // Schema v2: the merged counter snapshot rides along with the records,
+  // so a BENCH_*.json artifact explains *what ran* (conversions, steal
+  // records, tuner iterations) next to how fast it ran.
+  bool FirstMetric = true;
+  for (const obs::MetricSnapshot &MS : obs::snapshotTelemetry()) {
+    auto emit = [&](const std::string &Key, std::int64_t V) {
+      OS << (FirstMetric ? "\n" : ",\n");
+      FirstMetric = false;
+      OS << "    \"" << jsonEscape(Key)
+         << "\": " << static_cast<long long>(V);
+    };
+    if (MS.Kind == obs::MetricKind::Histogram) {
+      emit(MS.Name + ".count", MS.Count);
+      emit(MS.Name + ".sum", MS.Sum);
+    } else {
+      emit(MS.Name, MS.Value);
+    }
+  }
+  OS << "\n  }\n}\n";
   return static_cast<bool>(OS);
+}
+
+double measuredLlcMissRatio(const SpmvKernel &K, const CsrMatrix &A,
+                            std::string *Why) {
+  std::vector<double> X(static_cast<std::size_t>(A.numCols()));
+  std::vector<double> Y(static_cast<std::size_t>(A.numRows()), 0.0);
+  for (std::size_t I = 0; I < X.size(); ++I)
+    X[I] = 1.0 + 0.0001 * static_cast<double>(I % 1024);
+  K.run(X.data(), Y.data()); // Warm-up: page faults, caches, branch state.
+  StatusOr<obs::PerfSample> S = obs::measurePerf([&] {
+    for (int R = 0; R < 3; ++R)
+      K.run(X.data(), Y.data());
+  });
+  if (!S.ok()) {
+    if (Why)
+      *Why = S.status().message();
+    return -1.0;
+  }
+  return S.value().missRatio();
 }
 
 std::vector<MatrixResult> runSuite(const std::vector<DatasetSpec> &Suite,
                                    const SuiteOptions &Opts) {
+  if (!Opts.TraceOutPath.empty())
+    obs::traceStart();
   std::vector<MatrixResult> Results;
   Results.reserve(Suite.size());
   for (const DatasetSpec &D : Suite) {
@@ -147,9 +200,12 @@ std::vector<MatrixResult> runSuite(const std::vector<DatasetSpec> &Suite,
         if (L.Supported)
           FR.L2MissRatio = L.L2MissRatio;
       }
+      if (Opts.HwCounters && FR.Best.Kernel)
+        FR.HwLlcMissRatio =
+            measuredLlcMissRatio(*FR.Best.Kernel, A, &FR.HwWhy);
       // Kernels hold sizable converted copies; release before the next
       // format to keep peak memory near one format's footprint.
-      if (!Opts.ProbeLocality)
+      if (!Opts.ProbeLocality && !Opts.HwCounters)
         FR.Best.Kernel.reset();
       R.ByFormat.emplace(F, std::move(FR));
     }
@@ -172,10 +228,19 @@ std::vector<MatrixResult> runSuite(const std::vector<DatasetSpec> &Suite,
         Rec.Format = formatName(F);
         Rec.M = FR.Best;
         Rec.L2MissRatio = FR.L2MissRatio;
+        Rec.HwLlcMissRatio = FR.HwLlcMissRatio;
         Records.push_back(std::move(Rec));
       }
     writeBenchJson(Opts.JsonPath, Records, Opts.SizeScale,
                    Opts.Measure.NumThreads);
+  }
+  if (!Opts.TraceOutPath.empty()) {
+    Status S = obs::traceStopToFile(Opts.TraceOutPath);
+    if (!S.ok())
+      std::fprintf(stderr, "warning: %s\n", S.toString().c_str());
+    else if (Opts.Verbose)
+      std::fprintf(stderr, "[suite] trace written to %s\n",
+                   Opts.TraceOutPath.c_str());
   }
   return Results;
 }

@@ -29,6 +29,10 @@ namespace cvr {
 struct FormatResult {
   Measurement Best;          ///< Best variant's numbers.
   double L2MissRatio = -1.0; ///< From the cache model; -1 if not probed.
+  /// Measured LLC miss ratio from hardware counters; -1 when the PMU is
+  /// unavailable (then HwWhy says why) or counters were not requested.
+  double HwLlcMissRatio = -1.0;
+  std::string HwWhy;
 };
 
 /// One suite matrix with all its format results.
@@ -49,6 +53,8 @@ struct SuiteOptions {
   bool Csv = false;        ///< Emit CSV instead of aligned tables.
   bool Verbose = false;    ///< Progress lines on stderr.
   std::string JsonPath;    ///< --json <path>: machine-readable records.
+  std::string TraceOutPath; ///< --trace-out <path>: chrome-trace JSON.
+  bool HwCounters = false; ///< Also read hardware LLC counters per format.
   MeasureConfig Measure;
   std::vector<FormatId> Formats = allFormats();
 };
@@ -67,17 +73,29 @@ struct BenchRecord {
   std::string Format;
   Measurement M;             ///< VariantName, timings, GFlop/s, plan.
   double L2MissRatio = -1.0; ///< From the cache model; -1 if not probed.
+  double HwLlcMissRatio = -1.0; ///< Measured by the PMU; -1 if unavailable.
 };
 
-/// Writes `{"schema": "cvr-bench-1", ..., "records": [...]}` to \p Path.
-/// Returns false (with a stderr diagnostic) if the file cannot be written.
+/// Writes `{"schema": "cvr-bench-2", ..., "records": [...]}` to \p Path.
+/// Schema v2 adds a top-level "telemetry" object — the merged counter
+/// snapshot at write time (histograms appear as `<name>.count` and
+/// `<name>.sum`) — and optional per-record "hw_llc_miss_ratio" fields.
+/// Every v1 field is preserved. Returns false (with a stderr diagnostic)
+/// if the file cannot be written.
 bool writeBenchJson(const std::string &Path,
                     const std::vector<BenchRecord> &Records,
                     double SizeScale, int NumThreads);
 
 /// Parses the common bench flags (--quick, --smoke, --scale=X, --csv,
-/// --threads=N, --verbose); unknown flags print usage and exit.
+/// --threads=N, --trace-out <path>, --verbose); unknown flags print usage
+/// and exit.
 SuiteOptions parseSuiteOptions(int Argc, char **Argv);
+
+/// Measured LLC miss ratio of a few SpMV sweeps of \p K, from the
+/// hardware counters. Returns -1 and fills \p Why when the PMU is
+/// unavailable (non-Linux, locked-down perf_event_paranoid, fail point).
+double measuredLlcMissRatio(const SpmvKernel &K, const CsrMatrix &A,
+                            std::string *Why = nullptr);
 
 /// Runs every requested format on every suite matrix.
 std::vector<MatrixResult> runSuite(const std::vector<DatasetSpec> &Suite,

@@ -7,6 +7,8 @@
 #include "core/CvrFormat.h"
 
 #include "core/CvrConverter.h"
+#include "obs/Telemetry.h"
+#include "obs/Trace.h"
 #include "parallel/Partition.h"
 #include "support/FailPoint.h"
 
@@ -62,6 +64,49 @@ std::int32_t appendStreams(detail::ConvertedStreams<double> &Acc,
   return ChunkBase;
 }
 
+/// Folds the finished structure into the conversion counters. Reading
+/// the built streams after the fact keeps the converter's hot loops
+/// untouched: record counts, steal totals, and step balance are all
+/// recoverable from what tryFromCsr is about to return anyway.
+void recordConvertTelemetry(const CvrMatrix &M) {
+  if (!obs::telemetryEnabled())
+    return;
+  static obs::Counter &Calls = obs::counter("convert.cvr.calls");
+  static obs::Counter &Nnz = obs::counter("convert.cvr.nnz");
+  static obs::Counter &Chunks = obs::counter("convert.cvr.chunks");
+  static obs::Counter &Steps = obs::counter("convert.cvr.steps");
+  static obs::Counter &Records = obs::counter("convert.cvr.records");
+  static obs::Counter &Steals = obs::counter("convert.cvr.steal_records");
+  static obs::Counter &Bands = obs::counter("convert.cvr.bands");
+  static obs::Histogram &ChunkSteps =
+      obs::histogram("convert.cvr.chunk_steps");
+  static obs::Gauge &Imbalance =
+      obs::gauge("convert.cvr.last_imbalance_x1000");
+
+  Calls.inc();
+  Nnz.add(M.numNonZeros());
+  Chunks.add(static_cast<std::int64_t>(M.chunks().size()));
+  Bands.add(static_cast<std::int64_t>(M.bands().size()));
+  std::int64_t RecordCount = 0, StealCount = 0;
+  std::int64_t TotalSteps = 0, MaxSteps = 0;
+  const CvrRecord *Recs = M.recs();
+  for (const CvrChunk &C : M.chunks()) {
+    RecordCount += C.RecEnd - C.RecBase;
+    for (std::int64_t R = C.RecBase; R < C.RecEnd; ++R)
+      StealCount += Recs[R].Steal ? 1 : 0;
+    TotalSteps += C.NumSteps;
+    MaxSteps = std::max<std::int64_t>(MaxSteps, C.NumSteps);
+    ChunkSteps.observe(C.NumSteps);
+  }
+  Records.add(RecordCount);
+  Steals.add(StealCount);
+  Steps.add(TotalSteps);
+  if (!M.chunks().empty() && TotalSteps > 0)
+    Imbalance.set(MaxSteps * 1000 * static_cast<std::int64_t>(
+                                        M.chunks().size()) /
+                  TotalSteps);
+}
+
 } // namespace
 
 CvrMatrix CvrMatrix::fromCsr(const CsrMatrix &A, const CvrOptions &Opts) {
@@ -86,6 +131,10 @@ StatusOr<CvrMatrix> CvrMatrix::tryFromCsr(const CsrMatrix &A,
                                    std::to_string(Opts.Lanes));
   if (A.numRows() < 0 || A.numCols() < 0)
     return Status::invalidArgument("matrix has negative shape");
+
+  obs::TraceSpan Span("convert/cvr", "convert");
+  Span.arg("rows", A.numRows());
+  Span.arg("nnz", A.numNonZeros());
 
   int Threads = Opts.NumThreads > 0 ? Opts.NumThreads : defaultThreadCount();
   int Mult = std::max(1, Opts.ChunkMultiplier);
@@ -129,6 +178,7 @@ StatusOr<CvrMatrix> CvrMatrix::tryFromCsr(const CsrMatrix &A,
     if (!M.isValid())
       return Status::internal(
           "CVR conversion produced an inconsistent structure");
+    recordConvertTelemetry(M);
     return M;
   }
 
@@ -165,6 +215,7 @@ StatusOr<CvrMatrix> CvrMatrix::tryFromCsr(const CsrMatrix &A,
   if (!M.isValid())
     return Status::internal(
         "CVR conversion produced an inconsistent blocked structure");
+  recordConvertTelemetry(M);
   return M;
 } catch (const std::bad_alloc &) {
   // std::vector growth (records, chunk tables, band slices) can still

@@ -16,6 +16,8 @@
 
 #include "core/CvrSpmv.h"
 
+#include "obs/Telemetry.h"
+#include "obs/Trace.h"
 #include "simd/Simd.h"
 #include "support/ParallelFor.h"
 
@@ -560,6 +562,37 @@ int snapPrefetchDistance(int D) {
   return 8;
 }
 
+namespace {
+
+/// Per-run execution counters, derived from the chunk table rather than
+/// the SIMD loops: the step count (and with it the number of gathered x
+/// elements) is fixed by the structure, so one O(chunks) sweep per call
+/// observes what the hot loops did without touching them.
+void recordCvrRunTelemetry(const CvrMatrix &M, bool Fused, bool CountRun) {
+  if (!obs::telemetryEnabled())
+    return;
+  static obs::Counter &Runs = obs::counter("spmv.cvr.runs");
+  static obs::Counter &Steps = obs::counter("spmv.cvr.steps");
+  static obs::Counter &Gathers = obs::counter("spmv.cvr.gathered_elems");
+  static obs::Counter &FusedRuns = obs::counter("spmv.cvr.fused_runs");
+  static obs::Counter &FusedRows =
+      obs::counter("spmv.cvr.fused_epilogue_rows");
+  if (CountRun) {
+    std::int64_t TotalSteps = 0;
+    for (const CvrChunk &C : M.chunks())
+      TotalSteps += C.NumSteps;
+    Runs.inc();
+    Steps.add(TotalSteps);
+    Gathers.add(TotalSteps * M.lanes());
+  }
+  if (Fused) {
+    FusedRuns.inc();
+    FusedRows.add(M.numRows());
+  }
+}
+
+} // namespace
+
 void cvrSpmm(const CvrMatrix &M, const double *X, std::size_t LdX,
              double *Y, std::size_t LdY, int NumVectors) {
   assert(LdX >= static_cast<std::size_t>(M.numCols()) &&
@@ -599,6 +632,8 @@ void cvrSpmm(const CvrMatrix &M, const double *X, std::size_t LdX,
 
 void cvrSpmv(const CvrMatrix &M, const double *X, double *Y,
              int PrefetchDistance) {
+  obs::TraceSpan Span("execute/spmv", "execute");
+  recordCvrRunTelemetry(M, /*Fused=*/false, /*CountRun=*/true);
   int PfDist = snapPrefetchDistance(PrefetchDistance);
 
   if (M.isBlocked()) {
@@ -628,6 +663,8 @@ void cvrSpmvFused(const CvrMatrix &M, const double *X, double *Y,
   }
   if (M.isBlocked()) {
     // Accumulate mode finishes no row until the last band; compose.
+    obs::TraceSpan Span("execute/fused-epilogue", "execute");
+    recordCvrRunTelemetry(M, /*Fused=*/true, /*CountRun=*/false);
     cvrSpmv(M, X, Y, PrefetchDistance);
     applyEpilogueScalar(E, X, Y, M.numRows());
     return;
@@ -635,6 +672,8 @@ void cvrSpmvFused(const CvrMatrix &M, const double *X, double *Y,
   assert((!E.WantXDotY || M.numRows() == M.numCols()) &&
          "x.y fusion gathers the run input at output rows; needs square A");
 
+  obs::TraceSpan Span("execute/fused-epilogue", "execute");
+  recordCvrRunTelemetry(M, /*Fused=*/true, /*CountRun=*/true);
   int PfDist = snapPrefetchDistance(PrefetchDistance);
   // Boundary rows accumulate raw partials during the chunk sweep; the
   // cleanup pass below applies the epilogue to them (and to empty rows)

@@ -8,6 +8,8 @@
 
 #include "cachesim/LocalityProbe.h"
 #include "core/CvrSpmv.h"
+#include "obs/Telemetry.h"
+#include "obs/Trace.h"
 #include "parallel/Partition.h"
 #include "support/FailPoint.h"
 #include "support/Timer.h"
@@ -149,9 +151,36 @@ StatusOr<AutotuneResult> tryAutotuneCvr(const CsrMatrix &A,
     if (It != C.Map.end()) {
       Res.Plan = It->second;
       Res.FromCache = true;
+      if (obs::telemetryEnabled()) {
+        static obs::Counter &CacheHits = obs::counter("tune.cache_hits");
+        CacheHits.inc();
+      }
       return Res;
     }
   }
+
+  // The search proper starts here: everything below burns wall clock and
+  // SpMV iterations. The scope records what it cost — on success, on a
+  // mid-search deadline, and on a candidate-build failure alike.
+  obs::TraceSpan TuneSpan("tune/cvr", "tune");
+  TuneSpan.arg("rows", A.numRows());
+  TuneSpan.arg("nnz", A.numNonZeros());
+  struct TuneTelemetryScope {
+    const AutotuneResult &Res;
+    const Timer &Wall;
+    ~TuneTelemetryScope() {
+      if (!obs::telemetryEnabled())
+        return;
+      static obs::Counter &Searches = obs::counter("tune.searches");
+      static obs::Counter &Iters = obs::counter("tune.iterations");
+      static obs::Counter &Timeouts = obs::counter("tune.timeouts");
+      static obs::Counter &Micros = obs::counter("tune.search_micros");
+      Searches.inc();
+      Iters.add(Res.IterationsUsed);
+      Timeouts.add(Res.TimedOut ? 1 : 0);
+      Micros.add(static_cast<std::int64_t>(Wall.seconds() * 1e6));
+    }
+  } TelemetryScope{Res, Wall};
 
   //===--------------------------------------------------------------------===
   // Stage 1: untimed pre-filter. Blocking only pays when the x gather
@@ -229,6 +258,10 @@ StatusOr<AutotuneResult> tryAutotuneCvr(const CsrMatrix &A,
       B.M = std::move(*MB);
       Builds.push_back(std::move(B));
     }
+  }
+  if (obs::telemetryEnabled()) {
+    static obs::Counter &Candidates = obs::counter("tune.candidates_built");
+    Candidates.add(static_cast<std::int64_t>(Builds.size()));
   }
   if (Builds.empty()) {
     if (!FirstBuildErr.ok())

@@ -8,6 +8,8 @@
 
 #include "core/CvrSpmv.h"
 #include "engine/TunedKernel.h"
+#include "obs/Telemetry.h"
+#include "obs/Trace.h"
 #include "formats/Csr5.h"
 #include "formats/CsrInspector.h"
 #include "formats/CsrSpmv.h"
@@ -129,6 +131,10 @@ StatusOr<PreparedKernel> prepareKernel(FormatId F, const CsrMatrix &A,
     Ladder.push_back(
         {"CSR", [&] { return std::make_unique<CsrSpmv>(Threads); }});
 
+  obs::TraceSpan Span("prepare/ladder", "prepare");
+  Span.arg("rows", A.numRows());
+  Span.arg("nnz", A.numNonZeros());
+
   PreparedKernel PK;
   PK.Requested = Ladder.front().Name;
   Status LastErr = Status::okStatus();
@@ -138,6 +144,12 @@ StatusOr<PreparedKernel> prepareKernel(FormatId F, const CsrMatrix &A,
     if (S.ok()) {
       PK.Kernel = std::move(K);
       PK.Actual = Ladder[I].Name;
+      if (obs::telemetryEnabled()) {
+        static obs::Counter &Prepares = obs::counter("ladder.prepares");
+        static obs::Counter &Downgrades = obs::counter("ladder.downgrades");
+        Prepares.inc();
+        Downgrades.add(static_cast<std::int64_t>(PK.Downgrades.size()));
+      }
       return PK;
     }
     LastErr = S;
@@ -145,6 +157,10 @@ StatusOr<PreparedKernel> prepareKernel(FormatId F, const CsrMatrix &A,
         {Ladder[I].Name,
          I + 1 < Ladder.size() ? Ladder[I + 1].Name : std::string("(none)"),
          S});
+  }
+  if (obs::telemetryEnabled()) {
+    static obs::Counter &Exhausted = obs::counter("ladder.exhausted");
+    Exhausted.inc();
   }
   return LastErr.withContext("every rung of the degradation ladder failed");
 }

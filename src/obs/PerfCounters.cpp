@@ -1,0 +1,246 @@
+//===- obs/PerfCounters.cpp - perf_event_open wrapper ---------------------===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/PerfCounters.h"
+
+#include "support/FailPoint.h"
+
+#include <cerrno>
+#include <cstring>
+
+#ifdef __linux__
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace cvr {
+namespace obs {
+
+#ifdef __linux__
+
+namespace {
+
+long perfEventOpen(perf_event_attr *Attr, pid_t Pid, int Cpu, int GroupFd,
+                   unsigned long Flags) {
+  return syscall(SYS_perf_event_open, Attr, Pid, Cpu, GroupFd, Flags);
+}
+
+struct EventSpec {
+  std::uint32_t Type;
+  std::uint64_t Config;
+  const char *Name;
+};
+
+constexpr EventSpec Events[PerfCounters::NumEvents] = {
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES, "cycles"},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS, "instructions"},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_REFERENCES, "cache-references"},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES, "cache-misses"},
+};
+
+/// Group read layout with PERF_FORMAT_GROUP | PERF_FORMAT_ID |
+/// TOTAL_TIME_ENABLED | TOTAL_TIME_RUNNING.
+struct GroupReading {
+  std::uint64_t Nr;
+  std::uint64_t TimeEnabled;
+  std::uint64_t TimeRunning;
+  struct {
+    std::uint64_t Value;
+    std::uint64_t Id;
+  } Values[PerfCounters::NumEvents];
+};
+
+} // namespace
+
+StatusOr<PerfCounters> PerfCounters::tryOpen() {
+  if (CVR_FAIL_POINT("obs.perf.open"))
+    return Status::unavailable(
+        "perf counters: obs.perf.open fail point armed");
+
+  PerfCounters PC;
+  for (int I = 0; I < NumEvents; ++I) {
+    perf_event_attr Attr;
+    std::memset(&Attr, 0, sizeof(Attr));
+    Attr.size = sizeof(Attr);
+    Attr.type = Events[I].Type;
+    Attr.config = Events[I].Config;
+    Attr.disabled = (I == 0) ? 1 : 0; // group follows the leader
+    Attr.exclude_kernel = 1;          // user space only: no privileges needed
+    Attr.exclude_hv = 1;
+    Attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_ID |
+                       PERF_FORMAT_TOTAL_TIME_ENABLED |
+                       PERF_FORMAT_TOTAL_TIME_RUNNING;
+    int GroupFd = (I == 0) ? -1 : PC.Fds[0];
+    long Fd = perfEventOpen(&Attr, /*Pid=*/0, /*Cpu=*/-1, GroupFd,
+                            PERF_FLAG_FD_CLOEXEC);
+    if (Fd < 0) {
+      int Err = errno;
+      PC.closeAll();
+      std::string Msg = std::string("perf counters: opening '") +
+                        Events[I].Name + "' failed: " + std::strerror(Err);
+      if (Err == EACCES || Err == EPERM)
+        Msg += " (check /proc/sys/kernel/perf_event_paranoid)";
+      return Status::unavailable(std::move(Msg));
+    }
+    PC.Fds[I] = static_cast<int>(Fd);
+    std::uint64_t Id = 0;
+    if (ioctl(PC.Fds[I], PERF_EVENT_IOC_ID, &Id) < 0) {
+      PC.closeAll();
+      return Status::unavailable("perf counters: PERF_EVENT_IOC_ID failed");
+    }
+    PC.Ids[I] = Id;
+  }
+  return PC;
+}
+
+Status PerfCounters::start() {
+  if (Fds[0] < 0)
+    return Status::failedPrecondition("perf counters: group not open");
+  if (ioctl(Fds[0], PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP) < 0 ||
+      ioctl(Fds[0], PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP) < 0)
+    return Status::unavailable("perf counters: enabling group failed");
+  return Status::okStatus();
+}
+
+Status PerfCounters::stop() {
+  if (Fds[0] < 0)
+    return Status::failedPrecondition("perf counters: group not open");
+  if (ioctl(Fds[0], PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP) < 0)
+    return Status::unavailable("perf counters: disabling group failed");
+  return Status::okStatus();
+}
+
+StatusOr<PerfSample> PerfCounters::read() const {
+  if (Fds[0] < 0)
+    return Status::failedPrecondition("perf counters: group not open");
+  GroupReading R;
+  std::memset(&R, 0, sizeof(R));
+  ssize_t N = ::read(Fds[0], &R, sizeof(R));
+  if (N < 0)
+    return Status::unavailable(std::string("perf counters: read failed: ") +
+                               std::strerror(errno));
+  if (R.Nr != static_cast<std::uint64_t>(NumEvents))
+    return Status::dataLoss("perf counters: group read returned " +
+                            std::to_string(R.Nr) + " of " +
+                            std::to_string(NumEvents) + " events");
+
+  double Scale = 1.0;
+  PerfSample S;
+  if (R.TimeEnabled > 0 && R.TimeRunning > 0 &&
+      R.TimeRunning < R.TimeEnabled) {
+    Scale = static_cast<double>(R.TimeEnabled) / R.TimeRunning;
+    S.ActiveFraction =
+        static_cast<double>(R.TimeRunning) / R.TimeEnabled;
+  } else if (R.TimeRunning == 0 && R.TimeEnabled > 0) {
+    return Status::unavailable(
+        "perf counters: group never scheduled onto the PMU");
+  }
+
+  for (int I = 0; I < NumEvents; ++I) {
+    // Match by id: the kernel may order values differently than opened.
+    std::int64_t Value = 0;
+    bool Found = false;
+    for (std::uint64_t J = 0; J < R.Nr; ++J) {
+      if (R.Values[J].Id == Ids[I]) {
+        Value = static_cast<std::int64_t>(
+            static_cast<double>(R.Values[J].Value) * Scale);
+        Found = true;
+        break;
+      }
+    }
+    if (!Found)
+      return Status::dataLoss("perf counters: event id missing from read");
+    switch (I) {
+    case 0:
+      S.Cycles = Value;
+      break;
+    case 1:
+      S.Instructions = Value;
+      break;
+    case 2:
+      S.LlcReferences = Value;
+      break;
+    case 3:
+      S.LlcMisses = Value;
+      break;
+    }
+  }
+  return S;
+}
+
+void PerfCounters::closeAll() {
+  for (int I = NumEvents - 1; I >= 0; --I) {
+    if (Fds[I] >= 0)
+      ::close(Fds[I]);
+    Fds[I] = -1;
+  }
+}
+
+#else // !__linux__
+
+StatusOr<PerfCounters> PerfCounters::tryOpen() {
+  if (CVR_FAIL_POINT("obs.perf.open"))
+    return Status::unavailable(
+        "perf counters: obs.perf.open fail point armed");
+  return Status::unavailable("perf counters: perf_event_open is Linux-only");
+}
+
+Status PerfCounters::start() {
+  return Status::failedPrecondition("perf counters: group not open");
+}
+
+Status PerfCounters::stop() {
+  return Status::failedPrecondition("perf counters: group not open");
+}
+
+StatusOr<PerfSample> PerfCounters::read() const {
+  return Status::failedPrecondition("perf counters: group not open");
+}
+
+void PerfCounters::closeAll() {}
+
+#endif // __linux__
+
+PerfCounters::PerfCounters(PerfCounters &&Other) noexcept {
+  for (int I = 0; I < NumEvents; ++I) {
+    Fds[I] = Other.Fds[I];
+    Ids[I] = Other.Ids[I];
+    Other.Fds[I] = -1;
+  }
+}
+
+PerfCounters &PerfCounters::operator=(PerfCounters &&Other) noexcept {
+  if (this != &Other) {
+    closeAll();
+    for (int I = 0; I < NumEvents; ++I) {
+      Fds[I] = Other.Fds[I];
+      Ids[I] = Other.Ids[I];
+      Other.Fds[I] = -1;
+    }
+  }
+  return *this;
+}
+
+PerfCounters::~PerfCounters() { closeAll(); }
+
+StatusOr<PerfSample> measurePerf(const std::function<void()> &Fn) {
+  StatusOr<PerfCounters> PC = PerfCounters::tryOpen();
+  if (!PC.ok())
+    return PC.status();
+  Status S = PC.value().start();
+  if (!S.ok())
+    return S;
+  Fn();
+  S = PC.value().stop();
+  if (!S.ok())
+    return S;
+  return PC.value().read();
+}
+
+} // namespace obs
+} // namespace cvr

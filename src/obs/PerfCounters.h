@@ -1,0 +1,96 @@
+//===- obs/PerfCounters.h - perf_event_open wrapper -------------*- C++ -*-===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hardware performance counters over the Linux `perf_event_open`
+/// syscall: cycles, retired instructions, and last-level-cache
+/// references/misses as one scheduled group, so the four values are
+/// sampled coherently and a single multiplexing scale applies.
+///
+/// The benches use this to print *measured* miss ratios next to the
+/// CacheSim estimates (Figures 1 and 7 of the paper study L2/LLC
+/// behaviour; the generic LLC events are the closest portable analogue).
+/// Availability is never assumed: non-Linux hosts, containers with
+/// `perf_event_paranoid` locked down, and CI runners without PMU access
+/// all surface as `Status::unavailable` from tryOpen(), and callers fall
+/// back to the simulated numbers. The `obs.perf.open` fail point forces
+/// that path deterministically in tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVR_OBS_PERFCOUNTERS_H
+#define CVR_OBS_PERFCOUNTERS_H
+
+#include "support/Status.h"
+
+#include <cstdint>
+#include <functional>
+
+namespace cvr {
+namespace obs {
+
+/// One coherent reading of the counter group.
+struct PerfSample {
+  std::int64_t Cycles = 0;
+  std::int64_t Instructions = 0;
+  std::int64_t LlcReferences = 0;
+  std::int64_t LlcMisses = 0;
+  /// time_running / time_enabled for the group — 1.0 means the PMU never
+  /// multiplexed us out; values below 1 mean the counts were scaled up.
+  double ActiveFraction = 1.0;
+
+  /// LLC misses / references, or -1 when no references were counted.
+  double missRatio() const {
+    return LlcReferences > 0
+               ? static_cast<double>(LlcMisses) / LlcReferences
+               : -1.0;
+  }
+  /// Instructions per cycle, or -1 when no cycles were counted.
+  double ipc() const {
+    return Cycles > 0 ? static_cast<double>(Instructions) / Cycles : -1.0;
+  }
+};
+
+/// RAII owner of a perf event group for the calling thread (counts this
+/// process, user space only). Move-only; the destructor closes the fds.
+class PerfCounters {
+public:
+  /// Opens the group. Unavailable on non-Linux builds, when the kernel
+  /// refuses (paranoia level, seccomp, missing PMU), or when the
+  /// `obs.perf.open` fail point is armed.
+  static StatusOr<PerfCounters> tryOpen();
+
+  PerfCounters(PerfCounters &&Other) noexcept;
+  PerfCounters &operator=(PerfCounters &&Other) noexcept;
+  PerfCounters(const PerfCounters &) = delete;
+  PerfCounters &operator=(const PerfCounters &) = delete;
+  ~PerfCounters();
+
+  /// Zeroes and enables the group.
+  Status start();
+  /// Disables the group (read() stays valid).
+  Status stop();
+  /// Reads the group, applying multiplex scaling.
+  StatusOr<PerfSample> read() const;
+
+  static constexpr int NumEvents = 4;
+
+private:
+  PerfCounters() = default;
+  void closeAll();
+
+  int Fds[NumEvents] = {-1, -1, -1, -1};
+  std::uint64_t Ids[NumEvents] = {0, 0, 0, 0};
+};
+
+/// Convenience for the benches: runs \p Fn under a freshly opened
+/// group and returns the sample. Unavailable propagates from tryOpen.
+StatusOr<PerfSample> measurePerf(const std::function<void()> &Fn);
+
+} // namespace obs
+} // namespace cvr
+
+#endif // CVR_OBS_PERFCOUNTERS_H

@@ -16,6 +16,9 @@
 
 #include "solvers/Solvers.h"
 
+#include "obs/Telemetry.h"
+#include "obs/Trace.h"
+
 #include <cassert>
 #include <cmath>
 
@@ -535,20 +538,41 @@ SolveResult pageRankFused(const SpmvKernel &Kernel,
 
 } // namespace
 
+namespace {
+
+/// Converged-or-capped exit bookkeeping shared by every public solver.
+SolveResult finishSolve(bool Fused, SolveResult R) {
+  if (obs::telemetryEnabled()) {
+    static obs::Counter &Solves = obs::counter("solver.solves");
+    static obs::Counter &FusedSolves = obs::counter("solver.fused_solves");
+    static obs::Counter &Iters = obs::counter("solver.iterations");
+    Solves.inc();
+    if (Fused)
+      FusedSolves.inc();
+    Iters.add(R.Iterations);
+  }
+  return R;
+}
+
+} // namespace
+
 SolveResult conjugateGradient(const SpmvKernel &Kernel,
                               const std::vector<double> &B,
                               std::vector<double> &X,
                               const SolverOptions &Opts) {
   assert(X.size() == B.size() && "square system required");
-  return Opts.Fused ? cgFused(Kernel, B, X, Opts)
-                    : cgUnfused(Kernel, B, X, Opts);
+  obs::TraceSpan Span("solve/cg", "solve");
+  return finishSolve(Opts.Fused, Opts.Fused ? cgFused(Kernel, B, X, Opts)
+                                            : cgUnfused(Kernel, B, X, Opts));
 }
 
 SolveResult biCgStab(const SpmvKernel &Kernel, const std::vector<double> &B,
                      std::vector<double> &X, const SolverOptions &Opts) {
   assert(X.size() == B.size() && "square system required");
-  return Opts.Fused ? biCgStabFused(Kernel, B, X, Opts)
-                    : biCgStabUnfused(Kernel, B, X, Opts);
+  obs::TraceSpan Span("solve/bicgstab", "solve");
+  return finishSolve(Opts.Fused,
+                     Opts.Fused ? biCgStabFused(Kernel, B, X, Opts)
+                                : biCgStabUnfused(Kernel, B, X, Opts));
 }
 
 SolveResult jacobi(const SpmvKernel &Kernel, const std::vector<double> &Diag,
@@ -556,8 +580,10 @@ SolveResult jacobi(const SpmvKernel &Kernel, const std::vector<double> &Diag,
                    const SolverOptions &Opts) {
   assert(X.size() == B.size() && Diag.size() == B.size() &&
          "square system required");
-  return Opts.Fused ? jacobiFused(Kernel, Diag, B, X, Opts)
-                    : jacobiUnfused(Kernel, Diag, B, X, Opts);
+  obs::TraceSpan Span("solve/jacobi", "solve");
+  return finishSolve(Opts.Fused,
+                     Opts.Fused ? jacobiFused(Kernel, Diag, B, X, Opts)
+                                : jacobiUnfused(Kernel, Diag, B, X, Opts));
 }
 
 SolveResult powerIteration(const SpmvKernel &Kernel, double &Eigenvalue,
@@ -574,8 +600,11 @@ SolveResult powerIteration(const SpmvKernel &Kernel, double &Eigenvalue,
   }
   for (double &V : Eigenvector)
     V /= Norm;
-  return Opts.Fused ? powerFused(Kernel, Eigenvalue, Eigenvector, Opts)
-                    : powerUnfused(Kernel, Eigenvalue, Eigenvector, Opts);
+  obs::TraceSpan Span("solve/power", "solve");
+  return finishSolve(
+      Opts.Fused, Opts.Fused ? powerFused(Kernel, Eigenvalue, Eigenvector, Opts)
+                             : powerUnfused(Kernel, Eigenvalue, Eigenvector,
+                                            Opts));
 }
 
 SolveResult pageRank(const SpmvKernel &Kernel, std::vector<double> &Ranks,
@@ -583,8 +612,11 @@ SolveResult pageRank(const SpmvKernel &Kernel, std::vector<double> &Ranks,
   assert(!Ranks.empty() && "size the rank vector with the vertex count");
   for (double &R : Ranks)
     R = 1.0 / static_cast<double>(Ranks.size());
-  return Opts.Fused ? pageRankFused(Kernel, Ranks, Damping, Opts)
-                    : pageRankUnfused(Kernel, Ranks, Damping, Opts);
+  obs::TraceSpan Span("solve/pagerank", "solve");
+  return finishSolve(Opts.Fused,
+                     Opts.Fused ? pageRankFused(Kernel, Ranks, Damping, Opts)
+                                : pageRankUnfused(Kernel, Ranks, Damping,
+                                                  Opts));
 }
 
 } // namespace cvr

@@ -189,6 +189,8 @@ const std::vector<SiteInfo> &catalog() {
        "CVR conversion reports an internal failure (pathological input)"},
       {"tune.timeout",
        "an autotuner probe burns the whole wall-clock budget (hung probe)"},
+      {"obs.perf.open",
+       "perf_event_open is refused (locked-down container / no PMU)"},
   };
   return Sites;
 }

@@ -24,6 +24,10 @@
 //                                             BiCGSTAB, Jacobi, power,
 //                                             PageRank) over any format,
 //                                             fused epilogues on or off
+//   cvr_tool trace    <matrix.mtx|suite-name> [--out=PATH]
+//                                             chrome-trace of the full
+//                                             pipeline (convert, tune,
+//                                             execute, fused solve)
 //   cvr_tool gen      <suite-name> <out.mtx> [--scale=X]
 //                                             write one of the 58 suite
 //                                             matrices as Matrix Market
@@ -52,6 +56,8 @@
 #include "io/MatrixMarket.h"
 #include "matrix/MatrixStats.h"
 #include "matrix/Reference.h"
+#include "obs/Telemetry.h"
+#include "obs/Trace.h"
 #include "solvers/Solvers.h"
 #include "support/FailPoint.h"
 #include "support/Random.h"
@@ -85,6 +91,12 @@ int usage(const char *Prog) {
       "                                        search the CVR execution-plan\n"
       "                                        space (prefetch, blocking,\n"
       "                                        over-decomposition)\n"
+      "  trace    <matrix.mtx|suite-name> [--out=PATH] [--threads=T]\n"
+      "           [--scale=X]                  run convert -> tune ->\n"
+      "                                        execute -> fused solve under\n"
+      "                                        a trace session; write\n"
+      "                                        chrome-trace JSON (default\n"
+      "                                        trace.json)\n"
       "  solve    <matrix.mtx|suite-name> [--solver=cg|bicgstab|jacobi|\n"
       "           power|pagerank] [--fused=on|off] [--format=F]\n"
       "           [--threads=T] [--tol=X] [--maxiter=N] [--scale=X]\n"
@@ -119,6 +131,25 @@ std::vector<double> makeX(std::int32_t Cols) {
   for (double &V : X)
     V = Rng.nextDouble(-1.0, 1.0);
   return X;
+}
+
+/// Resolves \p Target as either a Matrix Market file (by its .mtx suffix)
+/// or a generated suite-matrix name at \p Scale.
+bool loadTargetMatrix(const std::string &Target, double Scale,
+                      CsrMatrix &A) {
+  if (Target.size() > 4 &&
+      Target.compare(Target.size() - 4, 4, ".mtx") == 0)
+    return loadCsr(Target, A);
+  for (const DatasetSpec &D : datasetSuite(Scale))
+    if (D.Name == Target) {
+      A = D.Build();
+      return true;
+    }
+  std::fprintf(stderr,
+               "error: '%s' is neither a .mtx file nor a suite matrix "
+               "(see `list`)\n",
+               Target.c_str());
+  return false;
 }
 
 int cmdInfo(const std::string &Path) {
@@ -414,26 +445,8 @@ int cmdTune(int Argc, char **Argv) {
     return 2;
 
   CsrMatrix A;
-  if (Target.size() > 4 &&
-      Target.compare(Target.size() - 4, 4, ".mtx") == 0) {
-    if (!loadCsr(Target, A))
-      return 1;
-  } else {
-    bool Found = false;
-    for (const DatasetSpec &D : datasetSuite(Scale))
-      if (D.Name == Target) {
-        A = D.Build();
-        Found = true;
-        break;
-      }
-    if (!Found) {
-      std::fprintf(stderr,
-                   "error: '%s' is neither a .mtx file nor a suite matrix "
-                   "(see `list`)\n",
-                   Target.c_str());
-      return 1;
-    }
-  }
+  if (!loadTargetMatrix(Target, Scale, A))
+    return 1;
 
   AutotuneOptions Opts;
   Opts.NumThreads = Threads;
@@ -732,6 +745,102 @@ int cmdInject(int Argc, char **Argv) {
   return Diff <= 1e-10 ? 0 : 1;
 }
 
+/// Runs the full pipeline — CSR -> CVR conversion, the autotune search, a
+/// few plain SpMV sweeps, and (for square matrices) a short fused power
+/// iteration — under a trace session, then writes the chrome-trace JSON.
+/// The file loads directly in about://tracing or ui.perfetto.dev; the
+/// JSON is validated before anything reaches disk.
+int cmdTrace(int Argc, char **Argv) {
+  std::string Target, Out = "trace.json";
+  int Threads = 0;
+  double Scale = 1.0;
+  for (int I = 2; I < Argc; ++I) {
+    if (std::strncmp(Argv[I], "--threads=", 10) == 0)
+      Threads = std::atoi(Argv[I] + 10);
+    else if (std::strncmp(Argv[I], "--scale=", 8) == 0)
+      Scale = std::atof(Argv[I] + 8);
+    else if (std::strncmp(Argv[I], "--out=", 6) == 0)
+      Out = Argv[I] + 6;
+    else
+      Target = Argv[I];
+  }
+  if (Target.empty() || Out.empty() || Scale <= 0.0 || Scale > 1.0)
+    return 2;
+
+  CsrMatrix A;
+  if (!loadTargetMatrix(Target, Scale, A))
+    return 1;
+
+  if (!obs::telemetryEnabled())
+    std::fprintf(stderr,
+                 "note: telemetry is disabled (CVR_TELEMETRY=0 or a "
+                 "-DCVR_TELEMETRY=OFF build); the trace will be empty\n");
+
+  obs::traceStart();
+  {
+    // prepare() converts and runs the autotune search: convert/cvr and
+    // tune/cvr spans (plus the probe conversions the search performs).
+    AutotuneOptions Opts;
+    Opts.NumThreads = Threads;
+    TunedCvrKernel K(Opts);
+    K.prepare(A);
+
+    std::vector<double> X = makeX(A.numCols());
+    std::vector<double> Y(static_cast<std::size_t>(A.numRows()), 0.0);
+    for (int I = 0; I < 4; ++I)
+      K.run(X.data(), Y.data()); // execute/spmv spans
+
+    // A short fused power iteration covers the solve and fused-epilogue
+    // phases; it needs a square operator, so rectangular targets stop at
+    // plain SpMV.
+    if (A.numRows() == A.numCols()) {
+      SolverOptions SOpts;
+      SOpts.MaxIterations = 8;
+      SOpts.Fused = true;
+      double Eigenvalue = 0.0;
+      std::vector<double> V(static_cast<std::size_t>(A.numRows()), 0.0);
+      powerIteration(K, Eigenvalue, V, SOpts);
+    } else {
+      std::fprintf(stderr,
+                   "note: %s is rectangular; skipping the fused-solve "
+                   "phase\n",
+                   Target.c_str());
+    }
+  }
+  std::size_t NumEvents = obs::traceEventCount();
+  std::string Json = obs::traceStopToJson();
+
+  if (Status V = obs::validateChromeTrace(Json); !V.ok()) {
+    std::fprintf(stderr, "error: generated trace failed validation: %s\n",
+                 V.toString().c_str());
+    return 1;
+  }
+  std::ofstream OS(Out, std::ios::binary);
+  OS << Json;
+  if (!OS) {
+    std::fprintf(stderr, "error: cannot write trace to '%s'\n",
+                 Out.c_str());
+    return 1;
+  }
+
+  std::printf("%s (%d x %d, %lld nnz)\n", Target.c_str(), A.numRows(),
+              A.numCols(), static_cast<long long>(A.numNonZeros()));
+  std::printf("  spans      %zu (convert -> tune -> execute%s)\n",
+              NumEvents,
+              A.numRows() == A.numCols() ? " -> fused solve" : "");
+  std::printf("  telemetry  %lld conversions, %lld tuner iterations, "
+              "%lld SpMV runs (%lld fused)\n",
+              static_cast<long long>(obs::telemetryValue("convert.cvr.calls")),
+              static_cast<long long>(obs::telemetryValue("tune.iterations")),
+              static_cast<long long>(obs::telemetryValue("spmv.cvr.runs")),
+              static_cast<long long>(
+                  obs::telemetryValue("spmv.cvr.fused_runs")));
+  std::printf("  wrote      %s (%zu bytes; open in about://tracing or "
+              "ui.perfetto.dev)\n",
+              Out.c_str(), Json.size());
+  return 0;
+}
+
 int cmdList() {
   for (const DatasetSpec &D : datasetSuite())
     std::printf("%-22s %-14s %s\n", D.Name.c_str(), domainName(D.Dom),
@@ -795,6 +904,8 @@ int main(int Argc, char **Argv) {
     return cmdValidate(Argc, Argv);
   if (Cmd == "tune")
     return cmdTune(Argc, Argv);
+  if (Cmd == "trace")
+    return cmdTrace(Argc, Argv);
   if (Cmd == "solve")
     return cmdSolve(Argc, Argv);
   if (Cmd == "gen")
