@@ -1,32 +1,79 @@
 #!/bin/sh
-# scripts/lint.sh [build-dir] [clang-tidy args...]
+# scripts/lint.sh [--strict] [--report FILE] [build-dir] [clang-tidy args...]
 #
-# Runs clang-tidy (config: .clang-tidy at the repo root) over every
-# first-party translation unit listed in the build directory's
-# compile_commands.json. Generate that first:
+# Single entry point for the project's static analysis:
+#
+#   1. cvr_lint (tools/lint) — the project-specific checker. Built from
+#      this tree, so it is always available; the script builds the target
+#      on demand if the build directory hasn't compiled it yet.
+#   2. clang-tidy (config: .clang-tidy at the repo root) over every
+#      first-party translation unit in compile_commands.json.
+#
+# Generate the compilation database first:
 #
 #   cmake -B build -S .        # CMAKE_EXPORT_COMPILE_COMMANDS is on by default
 #   ./scripts/lint.sh build
 #
-# Exits 0 when clang-tidy is not installed so the script is safe to call
-# from environments that only carry the GCC toolchain; CI installs
-# clang-tidy explicitly and gets the real run.
+# Without --strict, a missing clang-tidy is skipped with a note so the
+# script is safe to call from environments that only carry the GCC
+# toolchain. With --strict (what CI uses), every stage must actually run
+# and pass: a missing tool or a failed cvr_lint build is an error, not a
+# skip.
+#
+# --report FILE asks cvr_lint to also write its findings as JSON (the CI
+# job uploads this as an artifact).
 set -eu
 
 ROOT=$(cd "$(dirname "$0")/.." && pwd)
+
+STRICT=0
+REPORT=""
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --strict) STRICT=1; shift ;;
+        --report) REPORT=$2; shift 2 ;;
+        --report=*) REPORT=${1#--report=}; shift ;;
+        *) break ;;
+    esac
+done
+
 BUILD_DIR=${1:-"$ROOT/build"}
 [ $# -gt 0 ] && shift
-
-TIDY=${CLANG_TIDY:-clang-tidy}
-if ! command -v "$TIDY" >/dev/null 2>&1; then
-    echo "lint.sh: $TIDY not found; skipping (install clang-tidy to enable)" >&2
-    exit 0
-fi
 
 DB="$BUILD_DIR/compile_commands.json"
 if [ ! -f "$DB" ]; then
     echo "lint.sh: $DB missing; run cmake -B $BUILD_DIR -S $ROOT first" >&2
     exit 1
+fi
+
+STATUS=0
+
+# ---- Stage 1: cvr_lint ------------------------------------------------
+CVR_LINT="$BUILD_DIR/tools/lint/cvr_lint"
+if [ ! -x "$CVR_LINT" ]; then
+    echo "lint.sh: building cvr_lint" >&2
+    if ! cmake --build "$BUILD_DIR" --target cvr_lint >&2; then
+        echo "lint.sh: failed to build cvr_lint" >&2
+        exit 1
+    fi
+fi
+
+echo "== cvr_lint"
+if [ -n "$REPORT" ]; then
+    "$CVR_LINT" -p "$BUILD_DIR" --report "$REPORT" || STATUS=1
+else
+    "$CVR_LINT" -p "$BUILD_DIR" || STATUS=1
+fi
+
+# ---- Stage 2: clang-tidy ----------------------------------------------
+TIDY=${CLANG_TIDY:-clang-tidy}
+if ! command -v "$TIDY" >/dev/null 2>&1; then
+    if [ "$STRICT" = 1 ]; then
+        echo "lint.sh: $TIDY not found and --strict given" >&2
+        exit 1
+    fi
+    echo "lint.sh: $TIDY not found; skipping (install clang-tidy to enable)" >&2
+    exit $STATUS
 fi
 
 # First-party TUs only: skip generated files and anything under the build
@@ -39,7 +86,6 @@ if [ -z "$FILES" ]; then
     exit 1
 fi
 
-STATUS=0
 for f in $FILES; do
     # Only lint TUs present in the database (headers are covered through
     # HeaderFilterRegex when their includers are linted).

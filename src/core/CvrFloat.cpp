@@ -8,6 +8,7 @@
 
 #include "core/CvrConverter.h"
 #include "simd/Simd.h"
+#include "support/Annotations.h"
 #include "support/ParallelFor.h"
 #include "support/Status.h"
 
@@ -19,7 +20,8 @@ namespace cvr {
 namespace {
 
 /// Write-back with the same shared-row rule as the f64 kernel.
-inline void writeBackF(float *Y, std::int32_t Row, float V, bool Shared) {
+CVR_HOT inline void writeBackF(float *Y, std::int32_t Row, float V,
+                               bool Shared) {
   if (Shared) {
 #pragma omp atomic
     Y[Row] += V;
@@ -32,7 +34,7 @@ inline void writeBackF(float *Y, std::int32_t Row, float V, bool Shared) {
 
 /// Applies every record with Pos < Limit against the 16-lane accumulator;
 /// see the f64 applyRecords for the structure.
-inline __m512 applyRecordsF(__m512 VOut, const CvrRecord *Recs,
+CVR_HOT inline __m512 applyRecordsF(__m512 VOut, const CvrRecord *Recs,
                             std::int64_t &RecIdx, std::int64_t RecEnd,
                             std::int64_t Limit, float *Y, float *TResult) {
   alignas(64) std::int32_t WbBuf[16];
@@ -65,11 +67,14 @@ inline __m512 applyRecordsF(__m512 VOut, const CvrRecord *Recs,
 
 /// One chunk of the 16-lane vectorized kernel: one 64 B value load, one
 /// 64 B index load, one 16-wide gather and one FMA per step.
-void runChunkAvxF(const CvrMatrixF &M, const CvrChunk &C, const float *X,
+CVR_HOT void runChunkAvxF(const CvrMatrixF &M, const CvrChunk &C,
+                          const float *X,
                   float *Y) {
   constexpr int W = 16;
-  const float *Vals = M.vals() + C.ElemBase;
-  const std::int32_t *Cols = M.colIdx() + C.ElemBase;
+  // ElemBase is a multiple of W (the converter pads chunks to whole
+  // 16-float steps), so both streams stay on 64-byte boundaries.
+  const float *Vals = simd::assumeAligned(M.vals() + C.ElemBase);
+  const std::int32_t *Cols = simd::assumeAligned(M.colIdx() + C.ElemBase);
   const CvrRecord *Recs = M.recs();
   std::int64_t RecIdx = C.RecBase;
   const std::int64_t RecEnd = C.RecEnd;

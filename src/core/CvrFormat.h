@@ -129,7 +129,7 @@ public:
   /// when the converted structure fails its own invariants. The
   /// degradation ladder in formats/Registry falls back to CSR on any
   /// non-OK outcome.
-  static StatusOr<CvrMatrix> tryFromCsr(const CsrMatrix &A,
+  [[nodiscard]] static StatusOr<CvrMatrix> tryFromCsr(const CsrMatrix &A,
                                         const CvrOptions &Opts = {});
 
   std::int32_t numRows() const { return NumRows; }
@@ -185,7 +185,7 @@ public:
 
   /// Status-reporting writer: UNAVAILABLE on stream failure (including an
   /// armed `serialize.write.short` fail point). Always writes format v3.
-  Status writeBlob(std::ostream &OS) const;
+  [[nodiscard]] Status writeBlob(std::ostream &OS) const;
 
   /// Status-reporting reader with full diagnostics. Messages carry a
   /// stable bracketed rule id ("[cvr.blob.section-crc] ..."), the same ids
@@ -193,7 +193,7 @@ public:
   /// or truncated bytes, OUT_OF_RANGE for counts that fail the strict
   /// bounds validation, RESOURCE_EXHAUSTED when a validated section does
   /// not fit in memory.
-  static StatusOr<CvrMatrix> readBlob(std::istream &IS);
+  [[nodiscard]] static StatusOr<CvrMatrix> readBlob(std::istream &IS);
 
   /// Deserializer plumbing: pointers to the private fields, handed to the
   /// version-specific body readers in CvrSerialize.cpp. Not for general

@@ -82,18 +82,19 @@ template <typename T> void packField(std::string &Buf, const T &V) {
   Buf.append(reinterpret_cast<const char *>(&V), sizeof(T));
 }
 
-Status truncated(const char *Where) {
+[[nodiscard]] Status truncated(const char *Where) {
   return Status::dataLoss(std::string("[cvr.blob.truncated] blob ends inside ") +
                           Where);
 }
 
 /// Allocation shims so one section reader serves both container kinds.
 template <typename T>
-Status resizeContainer(AlignedBuffer<T> &C, std::size_t N) {
+[[nodiscard]] Status resizeContainer(AlignedBuffer<T> &C, std::size_t N) {
   return C.tryResize(N);
 }
 
-template <typename T> Status resizeContainer(std::vector<T> &C, std::size_t N) {
+template <typename T>
+[[nodiscard]] Status resizeContainer(std::vector<T> &C, std::size_t N) {
   try {
     C.resize(N);
   } catch (const std::bad_alloc &) {
@@ -119,7 +120,8 @@ bool writeSection(std::ostream &OS, const T *Data, std::uint64_t N) {
 /// bound \p MaxElems (and equal \p ExactElems when >= 0) BEFORE any
 /// allocation happens; the payload must match its recorded CRC32C.
 template <typename Container>
-Status readSection(std::istream &IS, Container &Out, const char *Name,
+[[nodiscard]] Status readSection(std::istream &IS, Container &Out,
+                                const char *Name,
                    std::uint64_t MaxElems, std::int64_t ExactElems = -1) {
   std::uint64_t N = 0;
   if (!readPod(IS, N))
@@ -158,7 +160,8 @@ Status readSection(std::istream &IS, Container &Out, const char *Name,
 
 /// Legacy (v1/v2) array: u64 count then payload, no checksum.
 template <typename Container>
-Status readLegacyArray(std::istream &IS, Container &Out, const char *Name) {
+[[nodiscard]] Status readLegacyArray(std::istream &IS, Container &Out,
+                                     const char *Name) {
   std::uint64_t N = 0;
   if (!readPod(IS, N))
     return truncated((std::string("the ") + Name + " section count").c_str());
@@ -216,7 +219,7 @@ Status CvrMatrix::writeBlob(std::ostream &OS) const {
 namespace {
 
 /// Everything after the version word of a v3 blob.
-Status readV3Body(std::istream &IS, CvrMatrix::BlobFields F) {
+[[nodiscard]] Status readV3Body(std::istream &IS, CvrMatrix::BlobFields F) {
   // Header image: reread as one block so the CRC covers exactly the bytes
   // the writer checksummed.
   char Header[4 + 4 + 8 + 4 + 1 + 4];
@@ -304,7 +307,7 @@ Status readV3Body(std::istream &IS, CvrMatrix::BlobFields F) {
 
 /// Everything after the version word of a v1/v2 blob (arrays precede the
 /// execution-engine fields; no checksums, so only generic bounds apply).
-Status readLegacyBody(std::istream &IS, std::uint32_t V,
+[[nodiscard]] Status readLegacyBody(std::istream &IS, std::uint32_t V,
                       CvrMatrix::BlobFields F) {
   std::int32_t Lanes32 = 0;
   std::uint8_t Generic = 0;

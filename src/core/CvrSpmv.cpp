@@ -19,6 +19,7 @@
 #include "obs/Telemetry.h"
 #include "obs/Trace.h"
 #include "simd/Simd.h"
+#include "support/Annotations.h"
 #include "support/ParallelFor.h"
 
 #include <algorithm>
@@ -41,7 +42,8 @@ namespace {
 /// within a band, so a plain store (or plain add, in accumulate mode —
 /// bands run sequentially) suffices.
 template <bool Accumulate>
-inline void writeBack(double *Y, std::int32_t Row, double V, bool Shared) {
+CVR_HOT inline void writeBack(double *Y, std::int32_t Row, double V,
+                              bool Shared) {
   if (Shared) {
 #pragma omp atomic
     Y[Row] += V;
@@ -58,7 +60,8 @@ inline void writeBack(double *Y, std::int32_t Row, double V, bool Shared) {
 /// steal records accumulate into the chunk's t_result slots, and the
 /// applied lanes are zeroed. Returns the updated v_out.
 template <bool Accumulate>
-inline simd::VecD8 applyRecords(simd::VecD8 VOut, const CvrRecord *Recs,
+CVR_HOT inline simd::VecD8 applyRecords(simd::VecD8 VOut,
+                                        const CvrRecord *Recs,
                                 std::int64_t &RecIdx, std::int64_t RecEnd,
                                 std::int64_t Limit, double *Y,
                                 double *TResult) {
@@ -123,7 +126,8 @@ inline simd::VecD8 applyRecords(simd::VecD8 VOut, const CvrRecord *Recs,
 /// streams) PfDist steps ahead, using the already-streamed column indices;
 /// the host has no AVX-512PF, so the prefetches are scalar.
 template <int PfDist, bool Accumulate>
-void runChunkAvx(const CvrMatrix &M, const CvrChunk &C, const double *X,
+CVR_HOT void runChunkAvx(const CvrMatrix &M, const CvrChunk &C,
+                         const double *X,
                  double *Y) {
   static_assert(PfDist % 2 == 0, "prefetch pairs with the double-pumped "
                                  "column loads, so the distance stays even");
@@ -255,7 +259,8 @@ void runChunkGeneric(const CvrMatrix &M, const CvrChunk &C, const double *X,
 /// t_result as usual. Scalar spill instead of the masked-scatter batching:
 /// the epilogue is a per-row scalar op anyway, and records are rare
 /// relative to steps.
-inline simd::VecD8 applyRecordsFused(simd::VecD8 VOut, const CvrRecord *Recs,
+CVR_HOT inline simd::VecD8 applyRecordsFused(simd::VecD8 VOut,
+                                             const CvrRecord *Recs,
                                      std::int64_t &RecIdx,
                                      std::int64_t RecEnd, std::int64_t Limit,
                                      double *Y, double *TResult,
@@ -284,7 +289,8 @@ inline simd::VecD8 applyRecordsFused(simd::VecD8 VOut, const CvrRecord *Recs,
 /// instead). The streaming loop is identical; only the finalize sites
 /// differ.
 template <int PfDist>
-void runChunkAvxFused(const CvrMatrix &M, const CvrChunk &C, const double *X,
+CVR_HOT void runChunkAvxFused(const CvrMatrix &M, const CvrChunk &C,
+                              const double *X,
                       double *Y, const FusedEpilogue &E, EpilogueAccum &Acc) {
   static_assert(PfDist % 2 == 0, "prefetch pairs with the double-pumped "
                                  "column loads, so the distance stays even");
@@ -432,7 +438,8 @@ void runChunkFused(const CvrMatrix &M, const CvrChunk &C, const double *X,
 /// One chunk of the multi-vector kernel: a block of B <= 4 right-hand
 /// sides shares each step's index and value loads. Structure mirrors
 /// runChunkAvx with per-vector accumulators.
-void runChunkMulti(const CvrMatrix &M, const CvrChunk &C, const double *X,
+CVR_HOT void runChunkMulti(const CvrMatrix &M, const CvrChunk &C,
+                           const double *X,
                    std::size_t LdX, double *Y, std::size_t LdY, int B) {
   constexpr int W = 8;
   constexpr int MaxB = 4;

@@ -86,7 +86,7 @@ public:
 
   /// Recoverable preparation through CvrMatrix::tryFromCsr — no abort, no
   /// exception; the degradation ladder's first-choice entry point.
-  Status prepareStatus(const CsrMatrix &A) override;
+  [[nodiscard]] Status prepareStatus(const CsrMatrix &A) override;
 
   void run(const double *X, double *Y) const override;
 

@@ -106,7 +106,7 @@ AutotuneResult autotuneCvr(const CsrMatrix &A,
 /// timed; RESOURCE_EXHAUSTED when no candidate build could be converted.
 /// A deadline that passes mid-search is NOT an error: the best plan so far
 /// comes back with TimedOut set.
-StatusOr<AutotuneResult> tryAutotuneCvr(const CsrMatrix &A,
+[[nodiscard]] StatusOr<AutotuneResult> tryAutotuneCvr(const CsrMatrix &A,
                                         const AutotuneOptions &Opts = {});
 
 /// Drops every cached plan (tests; benchmark isolation).

@@ -36,7 +36,7 @@ public:
   /// probe simulated by the `tune.timeout` fail point) or conversion
   /// failure surfaces here instead of silently falling back, so the
   /// degradation ladder can record the reason and step down explicitly.
-  Status prepareStatus(const CsrMatrix &A) override;
+  [[nodiscard]] Status prepareStatus(const CsrMatrix &A) override;
 
   void run(const double *X, double *Y) const override;
 

@@ -8,6 +8,7 @@
 
 #include "parallel/Partition.h"
 #include "simd/Simd.h"
+#include "support/Annotations.h"
 #include "support/ParallelFor.h"
 
 #include <algorithm>
@@ -138,7 +139,7 @@ void Csr5::prepare(const CsrMatrix &M) {
   }
 }
 
-void Csr5::runTiles(const double *X, double *Y, std::int64_t T0,
+CVR_HOT void Csr5::runTiles(const double *X, double *Y, std::int64_t T0,
                     std::int64_t T1, std::int32_t SharedLo,
                     std::int32_t SharedHi) const {
   const std::int64_t TileElems = static_cast<std::int64_t>(Omega) * Sigma;

@@ -15,13 +15,15 @@
 #define CVR_FORMATS_CSRKERNELS_H
 
 #include "simd/Simd.h"
+#include "support/Annotations.h"
 
 #include <cstdint>
 
 namespace cvr {
 
 /// Dot product of Vals[I0..I1) with X gathered through ColIdx[I0..I1).
-inline double csrRowDot(const double *Vals, const std::int32_t *ColIdx,
+CVR_HOT inline double csrRowDot(const double *Vals,
+                                const std::int32_t *ColIdx,
                         std::int64_t I0, std::int64_t I1, const double *X) {
   std::int64_t I = I0;
   double Sum = 0.0;

@@ -26,6 +26,8 @@
 #ifndef CVR_FORMATS_FUSEDEPILOGUE_H
 #define CVR_FORMATS_FUSEDEPILOGUE_H
 
+#include "support/Annotations.h"
+
 #include <cassert>
 #include <cmath>
 #include <cstdint>
@@ -151,7 +153,7 @@ struct EpilogueAccum {
 /// op's side writes (XNew, ROut), and returns the value the kernel must
 /// store to Y[Row]. \p X is the kernel's run input (only dereferenced for
 /// WantXDotY).
-inline double fusedRowApply(const FusedEpilogue &E, const double *X,
+CVR_HOT inline double fusedRowApply(const FusedEpilogue &E, const double *X,
                             std::int32_t Row, double YVal,
                             EpilogueAccum &A) {
   switch (E.Op) {
@@ -199,7 +201,7 @@ inline double fusedRowApply(const FusedEpilogue &E, const double *X,
 /// Merges \p Part into \p Total. Sums everywhere except JacobiStep's
 /// infinity norm, which maxes. Call in fixed structural order (chunk index,
 /// thread index) to keep the reduction deterministic.
-inline void mergeAccum(const FusedEpilogue &E, EpilogueAccum &Total,
+CVR_HOT inline void mergeAccum(const FusedEpilogue &E, EpilogueAccum &Total,
                        const EpilogueAccum &Part) {
   if (E.Op == EpilogueOp::JacobiStep) {
     Total.A1 = std::max(Total.A1, Part.A1);
@@ -211,7 +213,7 @@ inline void mergeAccum(const FusedEpilogue &E, EpilogueAccum &Total,
 }
 
 /// Writes the finished totals into the request's output fields.
-inline void storeAccum(FusedEpilogue &E, const EpilogueAccum &Total) {
+CVR_HOT inline void storeAccum(FusedEpilogue &E, const EpilogueAccum &Total) {
   E.Acc1 = Total.A1;
   E.Acc2 = Total.A2;
   E.Acc3 = Total.A3;

@@ -85,7 +85,7 @@ struct PreparedKernel {
 /// falls back to the CSR baseline. Each step down records why. Returns a
 /// non-OK Status only when every rung fails (the CSR baseline needs no
 /// preprocessing, so that effectively means the machine is out of memory).
-StatusOr<PreparedKernel> prepareKernel(FormatId F, const CsrMatrix &A,
+[[nodiscard]] StatusOr<PreparedKernel> prepareKernel(FormatId F, const CsrMatrix &A,
                                        const PrepareOptions &Opts = {});
 
 } // namespace cvr

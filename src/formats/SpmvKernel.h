@@ -48,7 +48,7 @@ public:
   /// RESOURCE_EXHAUSTED, anything else INTERNAL); kernels with a native
   /// error path (CVR, CVR+tuned) override it to report precise causes
   /// without exceptions. On failure the kernel must not be used.
-  virtual Status prepareStatus(const CsrMatrix &A);
+  [[nodiscard]] virtual Status prepareStatus(const CsrMatrix &A);
 
   /// Computes y = A * x. \p Y has numRows elements and is overwritten;
   /// \p X has numCols elements. prepare() must have been called.

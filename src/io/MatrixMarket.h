@@ -32,16 +32,16 @@ namespace cvr {
 /// Parses a Matrix Market stream. Symmetric/skew-symmetric inputs are
 /// expanded to general form (both triangles materialized). `pattern`
 /// entries get value 1.0.
-StatusOr<CooMatrix> readMatrixMarket(std::istream &IS);
+[[nodiscard]] StatusOr<CooMatrix> readMatrixMarket(std::istream &IS);
 
 /// Parses a Matrix Market file by path.
-StatusOr<CooMatrix> readMatrixMarketFile(const std::string &Path);
+[[nodiscard]] StatusOr<CooMatrix> readMatrixMarketFile(const std::string &Path);
 
 /// Writes \p M as `matrix coordinate real general` with 1-based indices.
 void writeMatrixMarket(std::ostream &OS, const CooMatrix &M);
 
 /// Writes \p M to a file; UNAVAILABLE on I/O failure.
-Status writeMatrixMarketFile(const std::string &Path, const CooMatrix &M);
+[[nodiscard]] Status writeMatrixMarketFile(const std::string &Path, const CooMatrix &M);
 
 } // namespace cvr
 

@@ -61,7 +61,7 @@ public:
   /// Opens the group. Unavailable on non-Linux builds, when the kernel
   /// refuses (paranoia level, seccomp, missing PMU), or when the
   /// `obs.perf.open` fail point is armed.
-  static StatusOr<PerfCounters> tryOpen();
+  [[nodiscard]] static StatusOr<PerfCounters> tryOpen();
 
   PerfCounters(PerfCounters &&Other) noexcept;
   PerfCounters &operator=(PerfCounters &&Other) noexcept;
@@ -70,11 +70,11 @@ public:
   ~PerfCounters();
 
   /// Zeroes and enables the group.
-  Status start();
+  [[nodiscard]] Status start();
   /// Disables the group (read() stays valid).
-  Status stop();
+  [[nodiscard]] Status stop();
   /// Reads the group, applying multiplex scaling.
-  StatusOr<PerfSample> read() const;
+  [[nodiscard]] StatusOr<PerfSample> read() const;
 
   static constexpr int NumEvents = 4;
 
@@ -88,7 +88,7 @@ private:
 
 /// Convenience for the benches: runs \p Fn under a freshly opened
 /// group and returns the sample. Unavailable propagates from tryOpen.
-StatusOr<PerfSample> measurePerf(const std::function<void()> &Fn);
+[[nodiscard]] StatusOr<PerfSample> measurePerf(const std::function<void()> &Fn);
 
 } // namespace obs
 } // namespace cvr

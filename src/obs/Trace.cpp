@@ -160,7 +160,7 @@ private:
   std::string Error;
 };
 
-Status validateEvent(JsonCursor &C, std::size_t Index) {
+[[nodiscard]] Status validateEvent(JsonCursor &C, std::size_t Index) {
   auto eventError = [&](const std::string &Why) {
     return Status::invalidArgument("trace event " + std::to_string(Index) +
                                    ": " + Why);

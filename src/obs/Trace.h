@@ -51,7 +51,7 @@ namespace obs {
 /// "dur". Returns InvalidArgument describing the first violation. Used
 /// by the trace tests for round-tripping and by `cvr_tool trace` before
 /// it writes anything to disk.
-Status validateChromeTrace(const std::string &Json);
+[[nodiscard]] Status validateChromeTrace(const std::string &Json);
 
 #if CVR_TELEMETRY_ENABLED
 
@@ -111,7 +111,7 @@ public:
 /// Stops the session and writes the JSON to \p Path (Unavailable when
 /// the file cannot be written). With the compile-time gate off this
 /// writes an empty-but-valid trace.
-Status traceStopToFile(const std::string &Path);
+[[nodiscard]] Status traceStopToFile(const std::string &Path);
 
 } // namespace obs
 } // namespace cvr

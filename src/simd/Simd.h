@@ -40,6 +40,21 @@ namespace simd {
 /// omega for f64).
 inline constexpr int DoubleLanes = 8;
 
+/// Asserts 64-byte alignment provenance on a pointer. The two consumers:
+/// the compiler (via __builtin_assume_aligned, which licenses aligned
+/// vector loads), and the `lint.simd.aligned` check in tools/lint/, which
+/// only accepts a raw aligned intrinsic when its pointer traces back to an
+/// AlignedBuffer, an alignas declaration, or this wrapper. Use it where the
+/// alignment is real but not locally visible — e.g. a stream base plus a
+/// chunk offset that the converter padded to a full vector.
+template <typename T> inline T *assumeAligned(T *P) {
+#if defined(__GNUC__) || defined(__clang__)
+  return static_cast<T *>(__builtin_assume_aligned(P, 64));
+#else
+  return P;
+#endif
+}
+
 #if CVR_SIMD_AVX512
 
 /// Eight int32 column indices (one gather's worth).

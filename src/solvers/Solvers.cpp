@@ -18,6 +18,7 @@
 
 #include "obs/Telemetry.h"
 #include "obs/Trace.h"
+#include "support/Annotations.h"
 
 #include <cassert>
 #include <cmath>
@@ -26,16 +27,19 @@ namespace cvr {
 
 namespace {
 
-double dot(const std::vector<double> &A, const std::vector<double> &B) {
+CVR_HOT double dot(const std::vector<double> &A,
+                   const std::vector<double> &B) {
   double S = 0.0;
   for (std::size_t I = 0; I < A.size(); ++I)
     S += A[I] * B[I];
   return S;
 }
 
-double norm2(const std::vector<double> &A) { return std::sqrt(dot(A, A)); }
+CVR_HOT double norm2(const std::vector<double> &A) {
+  return std::sqrt(dot(A, A));
+}
 
-void axpy(double Alpha, const std::vector<double> &X,
+CVR_HOT void axpy(double Alpha, const std::vector<double> &X,
           std::vector<double> &Y) {
   for (std::size_t I = 0; I < Y.size(); ++I)
     Y[I] += Alpha * X[I];

@@ -1,0 +1,39 @@
+//===- support/Annotations.h - Static-analysis annotations ------*- C++ -*-===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Source annotations that carry the project's performance contracts to both
+/// the compiler and `cvr_lint` (tools/lint/). The annotations are real
+/// attributes — they change code layout — but their primary job is to make
+/// the contracts machine-checkable:
+///
+///   * `CVR_HOT` marks a function as part of a SIMD hot path. The contract,
+///     enforced by the `lint.hot.alloc` check one call level deep: no
+///     allocation (new/malloc, container growth, std::string construction),
+///     no locks, no exceptions, and no telemetry or trace spans. Telemetry
+///     belongs at the kernel entry point (one level above), never inside
+///     the per-chunk loops; see DESIGN.md section 14.
+///
+///   * `CVR_COLD` marks error-handling helpers so they leave the hot
+///     section. Advisory only — no lint check keys on it.
+///
+/// Alignment provenance (`simd::assumeAligned`) lives in simd/Simd.h next
+/// to the wrappers that consume it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVR_SUPPORT_ANNOTATIONS_H
+#define CVR_SUPPORT_ANNOTATIONS_H
+
+#if defined(__GNUC__) || defined(__clang__)
+#define CVR_HOT __attribute__((hot))
+#define CVR_COLD __attribute__((cold))
+#else
+#define CVR_HOT
+#define CVR_COLD
+#endif
+
+#endif // CVR_SUPPORT_ANNOTATIONS_H

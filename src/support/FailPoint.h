@@ -62,7 +62,7 @@ void disarmAll();
 /// Parses and arms a `site[=count[@skip]][;site...]` spec (also accepts
 /// ',' as separator). Unknown site names are accepted — the catalog is
 /// advisory — but malformed counts are an InvalidArgument error.
-Status armFromSpec(const std::string &Spec);
+[[nodiscard]] Status armFromSpec(const std::string &Spec);
 
 /// Total hits (fired or not) a site has seen since process start.
 long hitCount(const std::string &Name);

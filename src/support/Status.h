@@ -62,32 +62,32 @@ public:
   Status() = default;
   Status(StatusCode C, std::string Msg) : Code(C), Msg(std::move(Msg)) {}
 
-  static Status okStatus() { return Status(); }
-  static Status invalidArgument(std::string M) {
+  [[nodiscard]] static Status okStatus() { return Status(); }
+  [[nodiscard]] static Status invalidArgument(std::string M) {
     return Status(StatusCode::InvalidArgument, std::move(M));
   }
-  static Status outOfRange(std::string M) {
+  [[nodiscard]] static Status outOfRange(std::string M) {
     return Status(StatusCode::OutOfRange, std::move(M));
   }
-  static Status notFound(std::string M) {
+  [[nodiscard]] static Status notFound(std::string M) {
     return Status(StatusCode::NotFound, std::move(M));
   }
-  static Status resourceExhausted(std::string M) {
+  [[nodiscard]] static Status resourceExhausted(std::string M) {
     return Status(StatusCode::ResourceExhausted, std::move(M));
   }
-  static Status dataLoss(std::string M) {
+  [[nodiscard]] static Status dataLoss(std::string M) {
     return Status(StatusCode::DataLoss, std::move(M));
   }
-  static Status deadlineExceeded(std::string M) {
+  [[nodiscard]] static Status deadlineExceeded(std::string M) {
     return Status(StatusCode::DeadlineExceeded, std::move(M));
   }
-  static Status failedPrecondition(std::string M) {
+  [[nodiscard]] static Status failedPrecondition(std::string M) {
     return Status(StatusCode::FailedPrecondition, std::move(M));
   }
-  static Status unavailable(std::string M) {
+  [[nodiscard]] static Status unavailable(std::string M) {
     return Status(StatusCode::Unavailable, std::move(M));
   }
-  static Status internal(std::string M) {
+  [[nodiscard]] static Status internal(std::string M) {
     return Status(StatusCode::Internal, std::move(M));
   }
 
@@ -100,7 +100,7 @@ public:
 
   /// Returns a copy with "\p Context: " prepended to the message (no-op on
   /// OK), for layering call-site detail as an error propagates up.
-  Status withContext(const std::string &Context) const {
+  [[nodiscard]] Status withContext(const std::string &Context) const {
     if (ok())
       return *this;
     return Status(Code, Context + ": " + Msg);

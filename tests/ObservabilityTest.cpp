@@ -24,6 +24,7 @@
 #include "obs/Telemetry.h"
 #include "obs/Trace.h"
 #include "support/FailPoint.h"
+#include "support/ParallelFor.h"
 
 #include <gtest/gtest.h>
 #include <omp.h>
@@ -117,15 +118,12 @@ TEST_F(ObservabilityTest, ShardMergeCountsEveryThreadsBumps) {
   if (!obs::telemetryEnabled())
     GTEST_SKIP() << "telemetry compiled out";
   constexpr int BumpsPerThread = 10000;
-  int Threads = 0;
-#pragma omp parallel
-  {
-#pragma omp single
-    Threads = omp_get_num_threads();
+  const int Threads = omp_get_max_threads();
+  ompParallelFor(Threads, Threads, [&](int) {
     obs::Counter &C = obs::counter("test.obs.shard_merge");
     for (int I = 0; I < BumpsPerThread; ++I)
       C.inc();
-  }
+  });
   EXPECT_EQ(obs::telemetryValue("test.obs.shard_merge"),
             static_cast<std::int64_t>(Threads) * BumpsPerThread);
 }

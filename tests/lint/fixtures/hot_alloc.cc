@@ -1,0 +1,37 @@
+// cvr_lint fixture: lint.hot.alloc.
+// Deliberately-bad code; never compiled. `// expect:` marks lines the
+// check must flag.
+
+#define CVR_HOT __attribute__((hot))
+
+namespace cvr {
+
+void sink(double V);
+
+CVR_HOT inline void hotAllocates(double *Y, int N) {
+  double *Tmp = new double[N]; // expect: lint.hot.alloc
+  for (int I = 0; I < N; ++I)
+    Y[I] = Tmp[I];
+}
+
+inline void helperAllocates(int N) {
+  double *P = new double[N];
+  sink(P[0]);
+}
+
+CVR_HOT inline void hotCallsAllocator(int N) {
+  helperAllocates(N); // expect: lint.hot.alloc
+}
+
+inline double helperClean(double A, double B) { return A * B; }
+
+CVR_HOT inline double hotClean(double A, double B) {
+  return helperClean(A, B) + A; // clean: callee is allocation-free
+}
+
+inline void coldAllocates(int N) {
+  double *P = new double[N]; // clean: not CVR_HOT, not called from one
+  sink(P[0]);
+}
+
+} // namespace cvr

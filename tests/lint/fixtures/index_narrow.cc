@@ -1,0 +1,32 @@
+// cvr_lint fixture: lint.index.narrow.
+// Deliberately-bad code; never compiled. `// expect:` marks lines the
+// check must flag.
+
+namespace cvr {
+
+long long elementOffset(int Row, int RowLen) {
+  long long Base = Row * RowLen; // expect: lint.index.narrow
+  return Base;
+}
+
+long long totalNnz(int Chunks, int PerChunk) {
+  return Chunks * PerChunk; // expect: lint.index.narrow
+}
+
+void accumulate(int I, int W) {
+  long long Off = 0;
+  Off = I * W; // expect: lint.index.narrow
+  (void)Off;
+}
+
+long long elementOffsetGood(int Row, int RowLen) {
+  long long Base = static_cast<long long>(Row) * RowLen; // clean: widened
+  return Base;
+}
+
+int stays32(int Row, int RowLen) {
+  int Cell = Row * RowLen; // clean: no 64-bit sink
+  return Cell;
+}
+
+} // namespace cvr

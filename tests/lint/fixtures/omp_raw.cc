@@ -1,0 +1,18 @@
+// cvr_lint fixture: lint.omp.raw.
+// Deliberately-bad code; never compiled. `// expect:` marks lines the
+// check must flag.
+
+namespace cvr {
+
+void fillOnes(double *Y, int N) {
+#pragma omp parallel for // expect: lint.omp.raw
+  for (int I = 0; I < N; ++I)
+    Y[I] = 1.0;
+}
+
+void bumpShared(double *Y, int Row, double V) {
+#pragma omp atomic // clean: atomic write-back is allowed outside ParallelFor
+  Y[Row] += V;
+}
+
+} // namespace cvr

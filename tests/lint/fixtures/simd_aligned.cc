@@ -1,0 +1,31 @@
+// cvr_lint fixture: lint.simd.aligned.
+// Deliberately-bad code; never compiled. `// expect:` marks lines the
+// check must flag.
+
+namespace cvr {
+
+template <typename T, int A> class AlignedBuffer {
+public:
+  T *data();
+};
+
+namespace simd {
+template <typename T> T *assumeAligned(T *P);
+} // namespace simd
+
+void copyBad(double *Dst, const double *Src) {
+  __m512d V = _mm512_load_pd(Src); // expect: lint.simd.aligned
+  _mm512_store_pd(Dst, V);         // expect: lint.simd.aligned
+}
+
+void copyGood(AlignedBuffer<double, 64> &Buf, const double *Src) {
+  alignas(64) double Tmp[8] = {0};
+  __m512d A = _mm512_load_pd(Tmp);        // clean: alignas local
+  __m512d B = _mm512_load_pd(Buf.data()); // clean: AlignedBuffer
+  _mm512_store_pd(simd::assumeAligned(Buf.data()), A); // clean: provenance
+  __m512d C = _mm512_loadu_pd(Src); // clean: unaligned variant
+  _mm512_storeu_pd(Buf.data(), C);  // clean: unaligned variant
+  (void)B;
+}
+
+} // namespace cvr

@@ -1,0 +1,18 @@
+// cvr_lint fixture: lint.status.nodiscard.
+// Deliberately-bad code; never compiled, never scanned as part of the
+// tree (the fixtures directory is excluded from full-tree runs). An
+// "expect" comment marks a line the check must flag.
+
+namespace cvr {
+
+class Status {};
+template <typename T> class StatusOr {};
+
+Status mightFail();                      // expect: lint.status.nodiscard
+StatusOr<int> parseCount(const char *S); // expect: lint.status.nodiscard
+
+[[nodiscard]] Status checkedFine(); // clean: has the attribute
+Status &lastStatusRef();            // clean: by-reference is a query
+Status *statusSlot();               // clean: by-pointer is a query
+
+} // namespace cvr

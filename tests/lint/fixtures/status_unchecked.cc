@@ -1,0 +1,39 @@
+// cvr_lint fixture: lint.status.unchecked.
+// Deliberately-bad code; never compiled. `// expect:` marks lines the
+// check must flag.
+
+namespace cvr {
+
+template <typename T> class StatusOr {
+public:
+  bool ok() const;
+  T &value();
+  int status() const;
+};
+
+StatusOr<int> makeThing();
+
+int bad() {
+  StatusOr<int> R = makeThing();
+  return R.value(); // expect: lint.status.unchecked
+}
+
+int good() {
+  StatusOr<int> R = makeThing();
+  if (!R.ok())
+    return -1;
+  return R.value(); // clean: dominated by the ok() check
+}
+
+int alsoGood() {
+  StatusOr<int> R = makeThing();
+  if (R.status() != 0)
+    return -1;
+  return R.value(); // clean: status() counts as a check
+}
+
+int chained() {
+  return makeThing().value(); // expect: lint.status.unchecked
+}
+
+} // namespace cvr

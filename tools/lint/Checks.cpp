@@ -1,0 +1,716 @@
+//===- tools/lint/Checks.cpp - Project-specific lint checks ---------------===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Checks.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace cvrlint {
+
+namespace {
+
+bool startsWith(const std::string &S, const char *P) {
+  return S.rfind(P, 0) == 0;
+}
+
+/// Files whose functions/literals the analysis checks cover: the product
+/// tree, the tools, and the deliberately-bad fixtures that test the tool.
+bool inAnalysisScope(const std::string &Path) {
+  return startsWith(Path, "src/") || startsWith(Path, "tools/") ||
+         Path.find("tests/lint/fixtures/") != std::string::npos;
+}
+
+bool isParallelForFile(const std::string &Path) {
+  return Path == "src/support/ParallelFor.h" ||
+         Path == "src/support/ParallelFor.cpp";
+}
+
+bool isSimdBlessedFile(const std::string &Path) {
+  return Path == "src/simd/Simd.h";
+}
+
+/// Idents that are type-ish noise inside a cast expression, not the
+/// pointer base we are trying to resolve.
+bool isTypeNoise(const std::string &S) {
+  static const std::set<std::string> Noise = {
+      "reinterpret_cast", "static_cast", "const_cast", "const",    "void",
+      "char",             "double",      "float",      "int",      "long",
+      "short",            "unsigned",    "signed",     "std",      "int8_t",
+      "int16_t",          "int32_t",     "int64_t",    "uint8_t",  "uint16_t",
+      "uint32_t",         "uint64_t",    "size_t",     "ptrdiff_t"};
+  return Noise.count(S) != 0 || startsWith(S, "__m");
+}
+
+bool isInt64Spelling(const std::string &S) {
+  return S == "int64_t" || S == "uint64_t" || S == "size_t" ||
+         S == "ptrdiff_t" || S == "long" || S == "ssize_t";
+}
+
+const VarDecl *findDecl(const FuncDecl &F, const ProjectIndex &Index,
+                        const std::string &Name, bool *FromIndex = nullptr) {
+  for (const VarDecl &D : F.Locals)
+    if (D.Name == Name)
+      return &D;
+  for (const VarDecl &D : F.Params)
+    if (D.Name == Name)
+      return &D;
+  auto It = Index.VarsByName.find(Name);
+  if (It != Index.VarsByName.end() && !It->second.empty()) {
+    if (FromIndex)
+      *FromIndex = true;
+    return &It->second.front();
+  }
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// lint.status.nodiscard
+//===----------------------------------------------------------------------===//
+
+void checkStatusNodiscard(const Project &P, std::vector<Finding> &Out) {
+  // Names declared [[nodiscard]] somewhere: an out-of-line definition does
+  // not repeat the attribute, so its header declaration vouches for it.
+  std::set<std::string> NodiscardNames;
+  for (const FileModel &M : P.Files)
+    for (const FuncDecl &F : M.Funcs)
+      if (F.HasNodiscard)
+        NodiscardNames.insert(F.Name);
+
+  for (const FileModel &M : P.Files) {
+    if (!inAnalysisScope(M.Path))
+      continue;
+    for (const FuncDecl &F : M.Funcs) {
+      bool IsStatusOr = false;
+      if (!returnsStatus(M, F, IsStatusOr) || F.HasNodiscard)
+        continue;
+      if (!F.Qualifier.empty())
+        continue; // out-of-line member definition; in-class decl is checked
+      if (F.BodyBegin >= 0 && NodiscardNames.count(F.Name))
+        continue; // definition of a [[nodiscard]]-declared function
+      Out.push_back({"lint.status.nodiscard", M.Path, F.Line,
+                     "'" + F.Name + "' returns " +
+                         (IsStatusOr ? std::string("StatusOr")
+                                     : std::string("Status")) +
+                         " by value but is not [[nodiscard]]; a dropped "
+                         "status silently swallows the error"});
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// lint.status.unchecked
+//===----------------------------------------------------------------------===//
+
+void checkStatusUnchecked(Project &P, std::vector<Finding> &Out) {
+  for (std::size_t FI = 0; FI < P.Files.size(); ++FI) {
+    FileModel &M = P.Files[FI];
+    if (!inAnalysisScope(M.Path))
+      continue;
+    for (FuncDecl &F : M.Funcs) {
+      if (F.BodyBegin < 0)
+        continue;
+      collectLocals(M, F);
+      const std::vector<Token> &T = M.Toks;
+
+      // Locals of StatusOr type: .value() must be dominated (linearly
+      // approximated: textually preceded) by .ok() or .status().
+      for (const VarDecl &D : F.Locals) {
+        if (!startsWith(D.Type, "StatusOr") &&
+            !startsWith(D.Type, "cvr::StatusOr") &&
+            !startsWith(D.Type, "auto"))
+          continue;
+        bool IsAuto = startsWith(D.Type, "auto");
+        if (IsAuto) {
+          // auto V = fn(...): only tracked when fn is a known
+          // StatusOr returner.
+          bool Known = false;
+          for (int K = D.InitBegin; K >= 0 && K < D.InitEnd; ++K)
+            if (T[K].Kind == Tok::Ident) {
+              auto It = P.Index.StatusOrReturners.find(T[K].Text);
+              Known = It != P.Index.StatusOrReturners.end() && It->second;
+              break;
+            }
+          if (!Known)
+            continue;
+        }
+        bool Checked = false;
+        int Start = D.InitEnd > 0 ? D.InitEnd : F.BodyBegin;
+        for (int I = Start; I < F.BodyEnd - 2; ++I) {
+          if (T[I].Kind != Tok::Ident || T[I].Text != D.Name)
+            continue;
+          if (T[I + 1].Text != ".")
+            continue;
+          const std::string &Member = T[I + 2].Text;
+          if (Member == "ok" || Member == "status") {
+            Checked = true;
+            continue;
+          }
+          if (Member == "value" && !Checked) {
+            Out.push_back(
+                {"lint.status.unchecked", M.Path, T[I].Line,
+                 "'" + D.Name + ".value()' is reachable without a prior '" +
+                     D.Name + ".ok()' check; value() aborts on error"});
+            break; // one finding per variable is enough
+          }
+        }
+      }
+
+      // Chained use: fn(...).value() where fn returns StatusOr — there is
+      // no ok() check by construction.
+      for (int I = F.BodyBegin + 1; I < F.BodyEnd - 2; ++I) {
+        if (T[I].Kind != Tok::Ident || T[I + 1].Text != "(")
+          continue;
+        auto It = P.Index.StatusOrReturners.find(T[I].Text);
+        if (It == P.Index.StatusOrReturners.end() || !It->second)
+          continue;
+        int Close = M.matchForward(I + 1);
+        if (Close < 0 || Close + 2 >= F.BodyEnd)
+          continue;
+        if (T[Close + 1].Text == "." && T[Close + 2].Text == "value")
+          Out.push_back({"lint.status.unchecked", M.Path, T[I].Line,
+                         "'" + T[I].Text +
+                             "(...).value()' cannot be ok()-checked; bind "
+                             "the StatusOr to a local first"});
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// lint.hot.alloc
+//===----------------------------------------------------------------------===//
+
+struct HotViolation {
+  int Line = 0;
+  std::string What;
+};
+
+/// Scans one function body for allocation/locks/telemetry. Tokens inside
+/// __SANITIZE_THREAD__-only regions are exempt (the TSan fallback trades
+/// allocation-freedom for checkability by design).
+bool scanBodyForAlloc(const FileModel &M, FuncDecl &F, HotViolation &V) {
+  collectLocals(M, const_cast<FuncDecl &>(F));
+  static const std::set<std::string> AllocFns = {
+      "malloc",   "calloc", "realloc",       "aligned_alloc",
+      "strdup",   "free",   "posix_memalign"};
+  static const std::set<std::string> AllocMethods = {
+      "push_back", "emplace_back", "resize", "reserve",  "tryReserve",
+      "tryResize", "insert",       "append", "assign",   "emplace"};
+  static const std::set<std::string> LockNames = {
+      "mutex",       "lock_guard", "unique_lock", "scoped_lock",
+      "shared_lock", "condition_variable"};
+  static const char *AllocTypes[] = {"vector<>", "map<>",  "set<>",
+                                     "deque<>",  "list<>", "string"};
+
+  for (const VarDecl &D : F.Locals)
+    for (const char *AT : AllocTypes)
+      if (D.Type.find(AT) != std::string::npos ||
+          D.Type == "std::string" || D.Type == "string") {
+        V = {M.Toks[F.BodyBegin].Line,
+             "local of allocating type '" + D.Type + "' ('" + D.Name + "')"};
+        return true;
+      }
+
+  const std::vector<Token> &T = M.Toks;
+  for (int I = F.BodyBegin + 1; I < F.BodyEnd; ++I) {
+    const Token &K = T[I];
+    if (K.TsanOnly || K.Kind != Tok::Ident)
+      continue;
+    const std::string &S = K.Text;
+    if (S == "new" || S == "throw") {
+      V = {K.Line, "'" + S + "' expression"};
+      return true;
+    }
+    if (AllocFns.count(S) && I + 1 < F.BodyEnd && T[I + 1].Text == "(") {
+      V = {K.Line, "call to '" + S + "'"};
+      return true;
+    }
+    if (AllocMethods.count(S) && I > 0 &&
+        (T[I - 1].Text == "." || T[I - 1].Text == "->") &&
+        I + 1 < F.BodyEnd && T[I + 1].Text == "(") {
+      V = {K.Line, "allocating call '." + S + "(...)'"};
+      return true;
+    }
+    if (S == "to_string" && I + 1 < F.BodyEnd && T[I + 1].Text == "(") {
+      V = {K.Line, "string formatting via to_string"};
+      return true;
+    }
+    if (LockNames.count(S)) {
+      V = {K.Line, "lock/synchronization primitive '" + S + "'"};
+      return true;
+    }
+    if ((S == "counter" || S == "gauge" || S == "histogram" ||
+         S == "traceStart" || S == "snapshotTelemetry") &&
+        I >= 2 && T[I - 1].Text == "::" && T[I - 2].Text == "obs") {
+      V = {K.Line, "telemetry call 'obs::" + S + "'"};
+      return true;
+    }
+    if (S == "TraceSpan") {
+      V = {K.Line, "TraceSpan in a hot function"};
+      return true;
+    }
+    if (startsWith(S, "CVR_TELEM")) {
+      V = {K.Line, "telemetry macro '" + S + "'"};
+      return true;
+    }
+  }
+  return false;
+}
+
+void checkHotAlloc(Project &P, std::vector<Finding> &Out) {
+  for (std::size_t FI = 0; FI < P.Files.size(); ++FI) {
+    FileModel &M = P.Files[FI];
+    if (!inAnalysisScope(M.Path))
+      continue;
+    for (FuncDecl &F : M.Funcs) {
+      if (!F.IsHot || F.BodyBegin < 0)
+        continue;
+      HotViolation V;
+      if (scanBodyForAlloc(M, F, V)) {
+        Out.push_back({"lint.hot.alloc", M.Path, V.Line,
+                       "CVR_HOT function '" + F.Name + "' contains " +
+                           V.What + "; hot paths must not allocate, lock, "
+                           "or emit telemetry (move it to the kernel entry "
+                           "point)"});
+        continue;
+      }
+      // One call level deep: every unambiguous callee with a known body is
+      // scanned too; violations are reported at the call site.
+      const std::vector<Token> &T = M.Toks;
+      for (int I = F.BodyBegin + 1; I < F.BodyEnd - 1; ++I) {
+        if (T[I].Kind != Tok::Ident || T[I + 1].Text != "(")
+          continue;
+        if (T[I].TsanOnly)
+          continue;
+        const std::string &Callee = T[I].Text;
+        if (Callee == F.Name)
+          continue; // recursion
+        auto It = P.Index.FuncsByName.find(Callee);
+        if (It == P.Index.FuncsByName.end() || It->second.size() != 1)
+          continue; // unknown or ambiguous — the baseline backstops this
+        auto [CF, CI] = It->second.front();
+        FileModel &CM = P.Files[CF];
+        FuncDecl &CFn = CM.Funcs[CI];
+        if (CFn.IsHot)
+          continue; // checked on its own
+        HotViolation CV;
+        if (scanBodyForAlloc(CM, CFn, CV))
+          Out.push_back({"lint.hot.alloc", M.Path, T[I].Line,
+                         "CVR_HOT function '" + F.Name + "' calls '" +
+                             Callee + "' (" + CM.Path + ":" +
+                             std::to_string(CFn.Line) + ") which contains " +
+                             CV.What + "; annotate the callee CVR_HOT after "
+                             "making it allocation-free, or hoist the call"});
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// lint.omp.raw
+//===----------------------------------------------------------------------===//
+
+void checkOmpRaw(const Project &P, std::vector<Finding> &Out) {
+  for (const FileModel &M : P.Files) {
+    if (isParallelForFile(M.Path))
+      continue;
+    for (const Token &T : M.Toks) {
+      if (T.Kind != Tok::PP)
+        continue;
+      // Match "# pragma omp ... parallel" with arbitrary spacing.
+      std::string Flat;
+      for (char C : T.Text)
+        if (!std::isspace(static_cast<unsigned char>(C)))
+          Flat += C;
+        else if (!Flat.empty() && Flat.back() != ' ')
+          Flat += ' ';
+      if (Flat.rfind("#pragma omp", 0) != 0 &&
+          Flat.rfind("# pragma omp", 0) != 0)
+        continue;
+      if (T.Text.find("parallel") == std::string::npos)
+        continue; // `omp atomic`, `omp simd` etc. stay allowed
+      Out.push_back({"lint.omp.raw", M.Path, T.Line,
+                     "raw '#pragma omp parallel' outside "
+                     "src/support/ParallelFor.h; use ompParallelFor / "
+                     "ompParallelForDynamic so the TSan fallback and "
+                     "thread-count policy apply"});
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// lint.simd.aligned
+//===----------------------------------------------------------------------===//
+
+bool isAlignedIntrinsic(const std::string &S) {
+  if (!startsWith(S, "_mm256_") && !startsWith(S, "_mm512_"))
+    return false;
+  bool Load = S.find("load") != std::string::npos;
+  bool Store = S.find("store") != std::string::npos;
+  bool Stream = S.find("stream") != std::string::npos;
+  if (!Load && !Store && !Stream)
+    return false;
+  if (S.find("loadu") != std::string::npos ||
+      S.find("storeu") != std::string::npos)
+    return false;
+  return true;
+}
+
+/// Finds the pointer-argument token range of the intrinsic call whose name
+/// is at \p NameIdx: arg0 for both loads and stores in the _mm* families.
+bool pointerArgRange(const FileModel &M, int NameIdx, int &Begin, int &End) {
+  int Open = NameIdx + 1;
+  if (Open >= static_cast<int>(M.Toks.size()) || M.Toks[Open].Text != "(")
+    return false;
+  int Close = M.matchForward(Open);
+  if (Close < 0)
+    return false;
+  Begin = Open + 1;
+  End = Close;
+  int Depth = 0;
+  for (int I = Begin; I < Close; ++I) {
+    const std::string &S = M.Toks[I].Text;
+    if (S == "(" || S == "[" || S == "{")
+      ++Depth;
+    else if (S == ")" || S == "]" || S == "}")
+      --Depth;
+    else if (S == "," && Depth == 0) {
+      End = I;
+      break;
+    }
+  }
+  return true;
+}
+
+void checkSimdAligned(Project &P, std::vector<Finding> &Out) {
+  for (std::size_t FI = 0; FI < P.Files.size(); ++FI) {
+    FileModel &M = P.Files[FI];
+    if (!inAnalysisScope(M.Path) || isSimdBlessedFile(M.Path))
+      continue;
+    for (FuncDecl &F : M.Funcs) {
+      if (F.BodyBegin < 0)
+        continue;
+      collectLocals(M, F);
+      const std::vector<Token> &T = M.Toks;
+      for (int I = F.BodyBegin + 1; I < F.BodyEnd; ++I) {
+        if (T[I].Kind != Tok::Ident || !isAlignedIntrinsic(T[I].Text))
+          continue;
+        int ABegin = 0, AEnd = 0;
+        if (!pointerArgRange(M, I, ABegin, AEnd))
+          continue;
+
+        bool Ok = false;
+        std::string Base;
+        for (int K = ABegin; K < AEnd && !Ok; ++K) {
+          if (T[K].Kind != Tok::Ident)
+            continue;
+          if (T[K].Text == "assumeAligned") {
+            Ok = true;
+            break;
+          }
+          if (isTypeNoise(T[K].Text))
+            continue;
+          if (Base.empty())
+            Base = T[K].Text;
+        }
+        if (Ok)
+          continue;
+        if (!Base.empty()) {
+          const VarDecl *D = findDecl(F, P.Index, Base);
+          if (D) {
+            if (D->Alignas || D->Type.find("AlignedBuffer<>") !=
+                                  std::string::npos)
+              Ok = true;
+            else if (D->InitBegin >= 0) {
+              // Local initialized from assumeAligned or an
+              // AlignedBuffer's .data().
+              for (int K = D->InitBegin; K < D->InitEnd && !Ok; ++K) {
+                if (T[K].Kind != Tok::Ident)
+                  continue;
+                if (T[K].Text == "assumeAligned")
+                  Ok = true;
+                else if (T[K].Text == "data" && K >= 2 &&
+                         (T[K - 1].Text == "." || T[K - 1].Text == "->")) {
+                  const VarDecl *Src =
+                      findDecl(F, P.Index, T[K - 2].Text);
+                  if (Src && Src->Type.find("AlignedBuffer<>") !=
+                                 std::string::npos)
+                    Ok = true;
+                }
+              }
+            }
+          }
+          // Index lookups can be ambiguous: accept if ANY member decl
+          // with this name proves alignment (generous, baseline-backed).
+          if (!Ok) {
+            auto It = P.Index.VarsByName.find(Base);
+            if (It != P.Index.VarsByName.end())
+              for (const VarDecl &MD : It->second)
+                if (MD.Alignas ||
+                    MD.Type.find("AlignedBuffer<>") != std::string::npos)
+                  Ok = true;
+          }
+        }
+        if (!Ok)
+          Out.push_back(
+              {"lint.simd.aligned", M.Path, T[I].Line,
+               "'" + T[I].Text + "' on pointer" +
+                   (Base.empty() ? std::string()
+                                 : " '" + Base + "'") +
+                   " without alignment provenance (AlignedBuffer, "
+                   "alignas, or simd::assumeAligned); use the unaligned "
+                   "variant or assert provenance explicitly"});
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// lint.index.narrow
+//===----------------------------------------------------------------------===//
+
+bool funcReturnsInt64(const FileModel &M, const FuncDecl &F) {
+  for (int I = F.PrefixBegin; I >= 0 && I < F.NameTok; ++I)
+    if (M.Toks[I].Kind == Tok::Ident && isInt64Spelling(M.Toks[I].Text))
+      return true;
+  return false;
+}
+
+void checkIndexNarrow(Project &P, std::vector<Finding> &Out) {
+  for (std::size_t FI = 0; FI < P.Files.size(); ++FI) {
+    FileModel &M = P.Files[FI];
+    if (!inAnalysisScope(M.Path))
+      continue;
+    for (FuncDecl &F : M.Funcs) {
+      if (F.BodyBegin < 0)
+        continue;
+      collectLocals(M, F);
+      const std::vector<Token> &T = M.Toks;
+
+      auto isInt32Var = [&](int Idx) {
+        if (T[Idx].Kind != Tok::Ident)
+          return false;
+        const VarDecl *D = findDecl(F, P.Index, T[Idx].Text);
+        return D && isInt32Type(D->Type);
+      };
+
+      for (int I = F.BodyBegin + 2; I < F.BodyEnd - 1; ++I) {
+        if (T[I].Text != "*" || T[I].Kind != Tok::Punct)
+          continue;
+        int L = I - 1, R = I + 1;
+        if (!isInt32Var(L) || !isInt32Var(R))
+          continue;
+        // Member/qualified expressions are out of scope for the heuristic.
+        if (L - 1 > F.BodyBegin &&
+            (T[L - 1].Text == "." || T[L - 1].Text == "->" ||
+             T[L - 1].Text == "::"))
+          continue;
+        if (R + 1 < F.BodyEnd &&
+            (T[R + 1].Text == "(" || T[R + 1].Text == "::"))
+          continue;
+
+        // Locate the sink and the exemption window (sink .. product).
+        int WindowBegin = -1;
+        // (a) initializer of an int64 local.
+        for (const VarDecl &D : F.Locals)
+          if (isInt64Type(D.Type) && D.InitBegin >= 0 &&
+              D.InitBegin <= L && L < D.InitEnd) {
+            WindowBegin = D.InitBegin;
+            break;
+          }
+        if (WindowBegin < 0) {
+          // Statement start.
+          int S = L;
+          while (S > F.BodyBegin) {
+            const std::string &U = T[S - 1].Text;
+            if (T[S - 1].Kind == Tok::Punct &&
+                (U == ";" || U == "{" || U == "}"))
+              break;
+            --S;
+          }
+          // (b) assignment to an int64 variable.
+          for (int K = S; K < L - 1 && WindowBegin < 0; ++K) {
+            if ((T[K + 1].Text == "=" || T[K + 1].Text == "+=") &&
+                T[K].Kind == Tok::Ident) {
+              const VarDecl *D = findDecl(F, P.Index, T[K].Text);
+              if (D && isInt64Type(D->Type))
+                WindowBegin = K + 2;
+            }
+          }
+          // (c) return in an int64-returning function.
+          if (WindowBegin < 0 && S < L && T[S].Text == "return" &&
+              funcReturnsInt64(M, F))
+            WindowBegin = S + 1;
+        }
+        if (WindowBegin < 0)
+          continue; // product stays in 32-bit context; not our business
+
+        bool Widened = false;
+        for (int K = WindowBegin; K < L; ++K)
+          if (T[K].Kind == Tok::Ident && isInt64Spelling(T[K].Text))
+            Widened = true;
+        if (Widened)
+          continue;
+        Out.push_back(
+            {"lint.index.narrow", M.Path, T[L].Line,
+             "'" + T[L].Text + " * " + T[R].Text +
+                 "' multiplies two int32 values and only then widens to "
+                 "a 64-bit sink; the product overflows first — cast an "
+                 "operand with static_cast<std::int64_t> before the "
+                 "multiply"});
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// lint.ids.registry
+//===----------------------------------------------------------------------===//
+
+void checkIdsRegistry(const Project &P, std::vector<Finding> &Out) {
+  for (const FileModel &M : P.Files) {
+    bool Defining = startsWith(M.Path, "src/") ||
+                    startsWith(M.Path, "tools/lint/");
+    bool Consumer = startsWith(M.Path, "tests/") ||
+                    startsWith(M.Path, "tools/") ||
+                    startsWith(M.Path, "bench/") ||
+                    startsWith(M.Path, "examples/");
+    if (Defining || !Consumer)
+      continue;
+    for (const Token &T : M.Toks) {
+      if (T.Kind != Tok::String || !isIdLike(T.Text))
+        continue;
+      if (P.Catalog.count(T.Text))
+        continue;
+      // Test-local namespace: IDs with a "test" segment (test.obs.gate,
+      // ft.test.site) are registered ad hoc by the test that uses them
+      // and have no src/ definition by design.
+      bool TestLocal = false;
+      std::size_t Pos = 0;
+      while (Pos <= T.Text.size()) {
+        std::size_t Dot = T.Text.find('.', Pos);
+        if (Dot == std::string::npos)
+          Dot = T.Text.size();
+        if (T.Text.compare(Pos, Dot - Pos, "test") == 0) {
+          TestLocal = true;
+          break;
+        }
+        Pos = Dot + 1;
+      }
+      if (TestLocal)
+        continue;
+      Out.push_back({"lint.ids.registry", M.Path, T.Line,
+                     "dotted ID \"" + T.Text +
+                         "\" is not defined anywhere in src/; check for a "
+                         "typo, or regenerate tools/lint/id_catalog.txt if "
+                         "it is new"});
+    }
+  }
+}
+
+} // namespace
+
+bool isIdLike(const std::string &S) {
+  if (S.size() < 3 || S.size() > 80)
+    return false;
+  // Segments: [a-z][a-z0-9_-]*, joined by '.', at least two, at least one
+  // of length >= 3 (filters "i.e"-style prose fragments).
+  std::size_t SegStart = 0;
+  int Segs = 0;
+  bool LongSeg = false;
+  for (std::size_t I = 0; I <= S.size(); ++I) {
+    if (I == S.size() || S[I] == '.') {
+      std::size_t Len = I - SegStart;
+      if (Len == 0)
+        return false;
+      if (!(S[SegStart] >= 'a' && S[SegStart] <= 'z'))
+        return false;
+      for (std::size_t K = SegStart + 1; K < I; ++K) {
+        char C = S[K];
+        if (!((C >= 'a' && C <= 'z') || (C >= '0' && C <= '9') ||
+              C == '_' || C == '-'))
+          return false;
+      }
+      if (Len >= 3)
+        LongSeg = true;
+      ++Segs;
+      SegStart = I + 1;
+    }
+  }
+  if (Segs < 2 || !LongSeg)
+    return false;
+  // File names also match the shape; reject known extensions.
+  static const std::set<std::string> Ext = {
+      "mtx", "cvr", "json", "txt", "csv",  "md",  "h",   "hpp", "cpp",
+      "cc",  "sh",  "yml",  "yaml", "out", "bin", "log", "tmp", "gz",
+      "tar", "py",  "cmake", "html", "svg", "png", "so",  "a",   "o"};
+  std::size_t Dot = S.rfind('.');
+  if (Dot != std::string::npos && Ext.count(S.substr(Dot + 1)))
+    return false;
+  return true;
+}
+
+std::set<std::string> buildIdCatalog(const Project &P) {
+  std::set<std::string> Catalog;
+  for (const FileModel &M : P.Files) {
+    if (!startsWith(M.Path, "src/") && !startsWith(M.Path, "tools/lint/"))
+      continue;
+    for (const Token &T : M.Toks) {
+      if (T.Kind != Tok::String)
+        continue;
+      if (isIdLike(T.Text))
+        Catalog.insert(T.Text);
+      // Rule IDs embedded as a bracketed message prefix — the
+      // serializer's "[cvr.blob.section-crc] ..." convention.
+      if (!T.Text.empty() && T.Text[0] == '[') {
+        std::size_t Close = T.Text.find(']');
+        if (Close != std::string::npos) {
+          std::string Inner = T.Text.substr(1, Close - 1);
+          if (isIdLike(Inner))
+            Catalog.insert(Inner);
+        }
+      }
+    }
+  }
+  return Catalog;
+}
+
+std::vector<std::string> allCheckIds() {
+  return {"lint.status.nodiscard", "lint.status.unchecked",
+          "lint.hot.alloc",        "lint.omp.raw",
+          "lint.simd.aligned",     "lint.index.narrow",
+          "lint.ids.registry"};
+}
+
+void runChecks(Project &P, const std::set<std::string> &Enabled,
+               std::vector<Finding> &Out) {
+  auto On = [&](const char *Id) { return Enabled.count(Id) != 0; };
+  if (On("lint.status.nodiscard"))
+    checkStatusNodiscard(P, Out);
+  if (On("lint.status.unchecked"))
+    checkStatusUnchecked(P, Out);
+  if (On("lint.hot.alloc"))
+    checkHotAlloc(P, Out);
+  if (On("lint.omp.raw"))
+    checkOmpRaw(P, Out);
+  if (On("lint.simd.aligned"))
+    checkSimdAligned(P, Out);
+  if (On("lint.index.narrow"))
+    checkIndexNarrow(P, Out);
+  if (On("lint.ids.registry"))
+    checkIdsRegistry(P, Out);
+
+  std::sort(Out.begin(), Out.end(), [](const Finding &A, const Finding &B) {
+    if (A.Path != B.Path)
+      return A.Path < B.Path;
+    if (A.Line != B.Line)
+      return A.Line < B.Line;
+    return A.CheckId < B.CheckId;
+  });
+}
+
+} // namespace cvrlint

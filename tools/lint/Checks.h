@@ -1,0 +1,75 @@
+//===- tools/lint/Checks.h - Project-specific lint checks -------*- C++ -*-===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The six project-specific checks. Each takes the parsed project and
+/// appends Findings. Check IDs are stable dotted strings (they appear in
+/// baselines, fixture `// expect:` comments, and CI artifacts):
+///
+///   lint.status.nodiscard  Status/StatusOr-returning function lacks
+///                          [[nodiscard]].
+///   lint.status.unchecked  StatusOr::value() reachable without a
+///                          dominating ok() check.
+///   lint.hot.alloc         allocation/locks/telemetry inside a CVR_HOT
+///                          function (one call level deep).
+///   lint.omp.raw           raw `#pragma omp parallel` outside
+///                          src/support/ParallelFor.*.
+///   lint.simd.aligned      aligned _mm512/_mm256 load/store on a pointer
+///                          without alignment provenance.
+///   lint.index.narrow      int32*int32 product feeding an int64 sink
+///                          without a widening cast.
+///   lint.ids.registry      dotted ID literal not in the generated catalog
+///                          (or the catalog itself is stale).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVR_TOOLS_LINT_CHECKS_H
+#define CVR_TOOLS_LINT_CHECKS_H
+
+#include "SourceModel.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace cvrlint {
+
+struct Finding {
+  std::string CheckId;
+  std::string Path; ///< repo-relative
+  int Line = 0;
+  std::string Message;
+};
+
+/// The whole parsed project plus scope configuration.
+struct Project {
+  std::vector<FileModel> Files; ///< Paths are repo-relative
+  ProjectIndex Index;
+
+  /// IDs defined by the source tree (populated by buildIdCatalog).
+  std::set<std::string> Catalog;
+};
+
+/// Names of all checks, in reporting order.
+std::vector<std::string> allCheckIds();
+
+/// Runs every check in \p Enabled over \p P, appending to \p Out.
+/// Non-const because locals are collected lazily per function.
+void runChecks(Project &P, const std::set<std::string> &Enabled,
+               std::vector<Finding> &Out);
+
+/// Collects every IdLike string literal in the defining scope (src/** and
+/// tools/lint/**) — the generated catalog for lint.ids.registry.
+std::set<std::string> buildIdCatalog(const Project &P);
+
+/// True when \p S looks like a dotted registry ID: lowercase segments
+/// `[a-z][a-z0-9_-]*` joined by '.', at least two segments, no '/' or
+/// glob characters, and not a known file extension.
+bool isIdLike(const std::string &S);
+
+} // namespace cvrlint
+
+#endif // CVR_TOOLS_LINT_CHECKS_H

@@ -1,0 +1,458 @@
+//===- tools/lint/CvrLint.cpp - cvr_lint driver ---------------------------===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// cvr_lint — project-specific static analysis for the CVR repository.
+///
+/// Usage:
+///   cvr_lint -p <builddir>              lint the whole tree (TUs from
+///                                       compile_commands.json plus headers)
+///   cvr_lint --check-files f1 f2 ...    lint specific files (fixture mode)
+///
+/// Options:
+///   --checks=a,b        run only the named checks (default: all)
+///   --baseline FILE     suppression file (default:
+///                       <src-root>/tools/lint/baseline.txt)
+///   --write-baseline    rewrite the baseline from current findings
+///   --catalog FILE      ID catalog (default:
+///                       <src-root>/tools/lint/id_catalog.txt)
+///   --gen-catalog       regenerate the ID catalog and exit
+///   --report FILE       also write findings as JSON
+///   --src-root DIR      repository root (default: from CMakeCache.txt
+///                       next to -p, else the current directory)
+///   --list-checks       print check IDs and exit
+///
+/// Output: `path:line: [check.id] message`, one finding per line.
+/// Exit status: 0 when no non-baselined findings, 1 otherwise, 2 on usage
+/// or I/O errors.
+///
+//===----------------------------------------------------------------------===//
+
+#include "Checks.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+
+namespace fs = std::filesystem;
+using namespace cvrlint;
+
+namespace {
+
+struct Options {
+  std::string BuildDir;
+  std::string SrcRoot;
+  std::string Baseline;
+  std::string Catalog;
+  std::string Report;
+  std::vector<std::string> CheckFiles;
+  std::set<std::string> Enabled;
+  bool WriteBaseline = false;
+  bool GenCatalog = false;
+  bool ListChecks = false;
+};
+
+std::uint64_t fnv1a(const std::string &S) {
+  std::uint64_t H = 1469598103934665603ull;
+  for (char C : S) {
+    H ^= static_cast<unsigned char>(C);
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+std::string trim(const std::string &S) {
+  std::size_t B = S.find_first_not_of(" \t\r\n");
+  if (B == std::string::npos)
+    return "";
+  std::size_t E = S.find_last_not_of(" \t\r\n");
+  return S.substr(B, E - B + 1);
+}
+
+bool readFile(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  Out = SS.str();
+  return true;
+}
+
+/// Stable, line-drift-tolerant suppression key: the check, the file, and a
+/// hash of the trimmed source line the finding points at.
+std::string fingerprint(const Finding &F,
+                        const std::map<std::string, std::vector<std::string>>
+                            &LinesByPath) {
+  std::string LineText;
+  auto It = LinesByPath.find(F.Path);
+  if (It != LinesByPath.end() && F.Line >= 1 &&
+      F.Line <= static_cast<int>(It->second.size()))
+    LineText = trim(It->second[F.Line - 1]);
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(fnv1a(LineText)));
+  return F.CheckId + "|" + F.Path + "|" + Buf;
+}
+
+std::vector<std::string> splitLines(const std::string &S) {
+  std::vector<std::string> Out;
+  std::string Cur;
+  for (char C : S) {
+    if (C == '\n') {
+      Out.push_back(Cur);
+      Cur.clear();
+    } else {
+      Cur += C;
+    }
+  }
+  if (!Cur.empty())
+    Out.push_back(Cur);
+  return Out;
+}
+
+/// Minimal extraction of the "file" entries from compile_commands.json.
+std::vector<std::string> compileDbFiles(const std::string &BuildDir) {
+  std::vector<std::string> Out;
+  std::string Text;
+  if (!readFile(BuildDir + "/compile_commands.json", Text))
+    return Out;
+  const std::string Key = "\"file\"";
+  std::size_t Pos = 0;
+  while ((Pos = Text.find(Key, Pos)) != std::string::npos) {
+    Pos += Key.size();
+    std::size_t Colon = Text.find(':', Pos);
+    if (Colon == std::string::npos)
+      break;
+    std::size_t Q1 = Text.find('"', Colon + 1);
+    if (Q1 == std::string::npos)
+      break;
+    std::string Val;
+    std::size_t I = Q1 + 1;
+    while (I < Text.size() && Text[I] != '"') {
+      if (Text[I] == '\\' && I + 1 < Text.size()) {
+        Val += Text[I + 1];
+        I += 2;
+      } else {
+        Val += Text[I];
+        ++I;
+      }
+    }
+    Out.push_back(Val);
+    Pos = I;
+  }
+  return Out;
+}
+
+std::string relativize(const std::string &Path, const std::string &Root) {
+  std::error_code EC;
+  fs::path Abs = fs::weakly_canonical(fs::path(Path), EC);
+  if (EC)
+    Abs = fs::path(Path);
+  fs::path R = fs::weakly_canonical(fs::path(Root), EC);
+  std::string A = Abs.generic_string(), B = R.generic_string();
+  if (!B.empty() && A.rfind(B + "/", 0) == 0)
+    return A.substr(B.size() + 1);
+  return A;
+}
+
+bool isSourceExt(const fs::path &P) {
+  std::string E = P.extension().string();
+  return E == ".h" || E == ".hpp" || E == ".cpp" || E == ".cc";
+}
+
+bool isExcluded(const std::string &Rel) {
+  return Rel.find("tests/lint/fixtures/") != std::string::npos ||
+         Rel.rfind("build", 0) == 0 || Rel.rfind("third_party", 0) == 0;
+}
+
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+int usage() {
+  std::cerr << "usage: cvr_lint -p <builddir> [options]\n"
+               "       cvr_lint --check-files <file>... [options]\n"
+               "options: --checks=a,b --baseline FILE --write-baseline\n"
+               "         --catalog FILE --gen-catalog --report FILE\n"
+               "         --src-root DIR --list-checks\n";
+  return 2;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options Opt;
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    auto next = [&]() -> std::string {
+      return (I + 1 < Argc) ? Argv[++I] : std::string();
+    };
+    if (A == "-p")
+      Opt.BuildDir = next();
+    else if (A == "--src-root")
+      Opt.SrcRoot = next();
+    else if (A == "--baseline")
+      Opt.Baseline = next();
+    else if (A == "--catalog")
+      Opt.Catalog = next();
+    else if (A == "--report")
+      Opt.Report = next();
+    else if (A == "--write-baseline")
+      Opt.WriteBaseline = true;
+    else if (A == "--gen-catalog")
+      Opt.GenCatalog = true;
+    else if (A == "--list-checks")
+      Opt.ListChecks = true;
+    else if (A.rfind("--checks=", 0) == 0) {
+      std::string List = A.substr(9);
+      std::size_t Pos = 0;
+      while (Pos <= List.size()) {
+        std::size_t Comma = List.find(',', Pos);
+        if (Comma == std::string::npos)
+          Comma = List.size();
+        std::string Id = trim(List.substr(Pos, Comma - Pos));
+        if (!Id.empty())
+          Opt.Enabled.insert(Id);
+        Pos = Comma + 1;
+      }
+    } else if (A == "--check-files") {
+      while (I + 1 < Argc && Argv[I + 1][0] != '-')
+        Opt.CheckFiles.push_back(Argv[++I]);
+    } else {
+      std::cerr << "cvr_lint: unknown option '" << A << "'\n";
+      return usage();
+    }
+  }
+
+  if (Opt.ListChecks) {
+    for (const std::string &Id : allCheckIds())
+      std::cout << Id << "\n";
+    return 0;
+  }
+  if (Opt.BuildDir.empty() && Opt.CheckFiles.empty())
+    return usage();
+  if (Opt.Enabled.empty())
+    for (const std::string &Id : allCheckIds())
+      Opt.Enabled.insert(Id);
+
+  // Resolve the source root: CMakeCache.txt next to the build dir knows it.
+  if (Opt.SrcRoot.empty() && !Opt.BuildDir.empty()) {
+    std::string Cache;
+    if (readFile(Opt.BuildDir + "/CMakeCache.txt", Cache)) {
+      for (const std::string &L : splitLines(Cache)) {
+        const std::string Key = "CMAKE_HOME_DIRECTORY:INTERNAL=";
+        if (L.rfind(Key, 0) == 0) {
+          Opt.SrcRoot = trim(L.substr(Key.size()));
+          break;
+        }
+      }
+    }
+  }
+  if (Opt.SrcRoot.empty())
+    Opt.SrcRoot = fs::current_path().string();
+  if (Opt.Baseline.empty())
+    Opt.Baseline = Opt.SrcRoot + "/tools/lint/baseline.txt";
+  if (Opt.Catalog.empty())
+    Opt.Catalog = Opt.SrcRoot + "/tools/lint/id_catalog.txt";
+
+  // Enumerate files: compile-DB TUs plus a tree walk for headers and
+  // sources not in any TU. --check-files overrides both.
+  std::set<std::string> RelPaths;
+  if (!Opt.CheckFiles.empty()) {
+    for (const std::string &F : Opt.CheckFiles)
+      RelPaths.insert(relativize(F, Opt.SrcRoot));
+  } else {
+    for (const std::string &F : compileDbFiles(Opt.BuildDir)) {
+      std::string Rel = relativize(F, Opt.SrcRoot);
+      if (!isExcluded(Rel) && Rel.find(':') == std::string::npos &&
+          Rel[0] != '/')
+        RelPaths.insert(Rel);
+    }
+    for (const char *Dir :
+         {"src", "tools", "tests", "bench", "examples"}) {
+      fs::path Base = fs::path(Opt.SrcRoot) / Dir;
+      std::error_code EC;
+      if (!fs::is_directory(Base, EC))
+        continue;
+      for (auto It = fs::recursive_directory_iterator(Base, EC);
+           It != fs::recursive_directory_iterator(); It.increment(EC)) {
+        if (EC)
+          break;
+        if (!It->is_regular_file(EC) || !isSourceExt(It->path()))
+          continue;
+        std::string Rel = relativize(It->path().string(), Opt.SrcRoot);
+        if (!isExcluded(Rel))
+          RelPaths.insert(Rel);
+      }
+    }
+  }
+
+  // Parse everything.
+  Project P;
+  std::map<std::string, std::vector<std::string>> LinesByPath;
+  for (const std::string &Rel : RelPaths) {
+    std::string Abs =
+        (Rel[0] == '/') ? Rel : Opt.SrcRoot + "/" + Rel;
+    std::string Text;
+    if (!readFile(Abs, Text)) {
+      std::cerr << "cvr_lint: cannot read " << Abs << "\n";
+      continue;
+    }
+    LinesByPath[Rel] = splitLines(Text);
+    P.Files.push_back(buildFileModel(Rel, lex(Text)));
+  }
+  for (int I = 0; I < static_cast<int>(P.Files.size()); ++I)
+    P.Index.addFile(I, P.Files[I]);
+
+  // ID catalog: regenerate, or load the committed one (and check it for
+  // staleness when linting the whole tree).
+  std::set<std::string> Built = buildIdCatalog(P);
+  if (Opt.GenCatalog) {
+    std::ofstream Out(Opt.Catalog, std::ios::trunc);
+    if (!Out) {
+      std::cerr << "cvr_lint: cannot write " << Opt.Catalog << "\n";
+      return 2;
+    }
+    Out << "# Generated by `cvr_lint --gen-catalog`. Dotted IDs defined in\n"
+           "# src/** and tools/lint/** (invariant rules, fail points,\n"
+           "# telemetry names, lint checks). Consumers elsewhere must use\n"
+           "# IDs from this list; see lint.ids.registry.\n";
+    for (const std::string &Id : Built)
+      Out << Id << "\n";
+    std::cout << "cvr_lint: wrote " << Built.size() << " IDs to "
+              << Opt.Catalog << "\n";
+    return 0;
+  }
+  bool CatalogStale = false;
+  {
+    std::string Text;
+    if (readFile(Opt.Catalog, Text)) {
+      std::set<std::string> Committed;
+      for (const std::string &L : splitLines(Text)) {
+        std::string T = trim(L);
+        if (!T.empty() && T[0] != '#')
+          Committed.insert(T);
+      }
+      P.Catalog = Committed;
+      // Staleness only matters on full-tree runs, where Built is complete.
+      CatalogStale = Opt.CheckFiles.empty() && Committed != Built;
+    } else {
+      P.Catalog = Built; // no committed catalog yet: self-consistent
+    }
+  }
+
+  std::vector<Finding> Findings;
+  runChecks(P, Opt.Enabled, Findings);
+  if (CatalogStale && Opt.Enabled.count("lint.ids.registry"))
+    Findings.push_back(
+        {"lint.ids.registry", "tools/lint/id_catalog.txt", 1,
+         "ID catalog is stale: src/ defines a different ID set; run "
+         "`cvr_lint -p <builddir> --gen-catalog` and commit the result"});
+
+  // Baseline.
+  if (Opt.WriteBaseline) {
+    std::ofstream Out(Opt.Baseline, std::ios::trunc);
+    if (!Out) {
+      std::cerr << "cvr_lint: cannot write " << Opt.Baseline << "\n";
+      return 2;
+    }
+    Out << "# cvr_lint baseline: findings accepted on the current tree.\n"
+           "# Format: check-id|path|fnv1a(trimmed source line) — line-\n"
+           "# number drift does not invalidate an entry. Regenerate with\n"
+           "# `cvr_lint -p <builddir> --write-baseline` only after\n"
+           "# reviewing every new finding.\n";
+    for (const Finding &F : Findings)
+      Out << fingerprint(F, LinesByPath) << "  # " << F.Path << ":"
+          << F.Line << "\n";
+    std::cout << "cvr_lint: wrote " << Findings.size() << " entries to "
+              << Opt.Baseline << "\n";
+    return 0;
+  }
+
+  std::multiset<std::string> Baseline;
+  {
+    std::string Text;
+    if (readFile(Opt.Baseline, Text))
+      for (const std::string &L : splitLines(Text)) {
+        std::string T = trim(L);
+        std::size_t Hash = T.find("  #");
+        if (Hash != std::string::npos)
+          T = trim(T.substr(0, Hash));
+        if (!T.empty() && T[0] != '#')
+          Baseline.insert(T);
+      }
+  }
+
+  std::vector<Finding> Reported;
+  for (const Finding &F : Findings) {
+    std::string FP = fingerprint(F, LinesByPath);
+    auto It = Baseline.find(FP);
+    if (It != Baseline.end()) {
+      Baseline.erase(It); // each entry suppresses exactly one finding
+      continue;
+    }
+    Reported.push_back(F);
+  }
+
+  for (const Finding &F : Reported)
+    std::cout << F.Path << ":" << F.Line << ": [" << F.CheckId << "] "
+              << F.Message << "\n";
+
+  if (!Opt.Report.empty()) {
+    std::ofstream Out(Opt.Report, std::ios::trunc);
+    if (!Out) {
+      std::cerr << "cvr_lint: cannot write " << Opt.Report << "\n";
+      return 2;
+    }
+    Out << "{\n  \"tool\": \"cvr_lint\",\n  \"findings\": [\n";
+    for (std::size_t I = 0; I < Reported.size(); ++I) {
+      const Finding &F = Reported[I];
+      Out << "    {\"check\": \"" << jsonEscape(F.CheckId)
+          << "\", \"path\": \"" << jsonEscape(F.Path)
+          << "\", \"line\": " << F.Line << ", \"message\": \""
+          << jsonEscape(F.Message) << "\"}"
+          << (I + 1 < Reported.size() ? "," : "") << "\n";
+    }
+    Out << "  ],\n  \"total\": " << Reported.size() << "\n}\n";
+  }
+
+  if (!Reported.empty()) {
+    std::cerr << "cvr_lint: " << Reported.size()
+              << " finding(s) not in baseline\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,52 @@
+//===- tools/lint/Lexer.h - C++ token stream for cvr_lint -------*- C++ -*-===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A comment-stripping, string-aware C++ tokenizer. cvr_lint works on raw
+/// (pre-preprocessing) token streams so it sees every branch of every
+/// `#if` — including the AVX-512 intrinsic bodies that a non-AVX build
+/// would drop — and so annotation macros like CVR_HOT survive as plain
+/// identifier tokens it can key on.
+///
+/// Preprocessor directives become single tokens carrying the whole
+/// (continuation-joined) directive text; the lexer additionally tracks
+/// `#if` nesting so tokens inside a `__SANITIZE_THREAD__`-only region are
+/// flagged — the TSan fallback paths deliberately trade allocation-freedom
+/// for checkability, and `lint.hot.alloc` exempts them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVR_TOOLS_LINT_LEXER_H
+#define CVR_TOOLS_LINT_LEXER_H
+
+#include <string>
+#include <vector>
+
+namespace cvrlint {
+
+enum class Tok {
+  Ident,   ///< identifier or keyword
+  Number,  ///< pp-number
+  String,  ///< string literal; Text holds the *decoded* contents
+  Char,    ///< character literal (raw text)
+  Punct,   ///< operator/punctuator (longest-match)
+  PP,      ///< whole preprocessor directive, continuations joined
+};
+
+struct Token {
+  Tok Kind;
+  std::string Text;
+  int Line = 0;        ///< 1-based line of the token's first character
+  bool TsanOnly = false; ///< inside a __SANITIZE_THREAD__-true region
+};
+
+/// Tokenizes \p Source (the contents of \p Path, used only for error
+/// messages). Never fails: unterminated constructs are closed at EOF.
+std::vector<Token> lex(const std::string &Source);
+
+} // namespace cvrlint
+
+#endif // CVR_TOOLS_LINT_LEXER_H

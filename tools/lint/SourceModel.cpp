@@ -1,0 +1,666 @@
+//===- tools/lint/SourceModel.cpp - Structural model for cvr_lint ---------===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "SourceModel.h"
+
+#include <algorithm>
+#include <set>
+
+namespace cvrlint {
+
+namespace {
+
+const std::set<std::string> NotAFunctionName = {
+    "if",       "for",     "while",        "switch",   "return",
+    "sizeof",   "catch",   "alignas",      "alignof",  "static_assert",
+    "decltype", "noexcept", "defined",     "throw",    "new",
+    "delete",   "co_await", "co_return",   "typeid",   "requires",
+    "assert",   "alignof",  "__attribute__"};
+
+const std::set<std::string> DeclQuals = {
+    "const",  "constexpr", "static", "mutable", "volatile",
+    "inline", "register",  "thread_local"};
+
+const std::set<std::string> TypeKeywords = {
+    "void",  "bool",  "char",   "short", "int",  "long",
+    "float", "double", "signed", "unsigned", "auto", "wchar_t"};
+
+bool isKeywordish(const std::string &S) {
+  static const std::set<std::string> Kw = {
+      "if",     "else",   "for",     "while",  "do",      "switch",
+      "case",   "default", "return", "break",  "continue", "goto",
+      "new",    "delete", "throw",   "try",    "catch",    "sizeof",
+      "this",   "true",   "false",   "nullptr", "public",  "private",
+      "protected", "operator", "template", "typename", "using",
+      "namespace", "class", "struct", "union", "enum", "static_assert",
+      "co_await", "co_return", "co_yield", "requires", "concept"};
+  return Kw.count(S) != 0;
+}
+
+} // namespace
+
+int FileModel::matchForward(int OpenIdx) const {
+  if (OpenIdx < 0 || OpenIdx >= static_cast<int>(Toks.size()))
+    return -1;
+  const std::string &Open = Toks[OpenIdx].Text;
+  std::string Close;
+  if (Open == "(")
+    Close = ")";
+  else if (Open == "{")
+    Close = "}";
+  else if (Open == "[")
+    Close = "]";
+  else
+    return -1;
+  int Depth = 0;
+  for (int I = OpenIdx; I < static_cast<int>(Toks.size()); ++I) {
+    if (Toks[I].Kind != Tok::Punct)
+      continue;
+    if (Toks[I].Text == Open)
+      ++Depth;
+    else if (Toks[I].Text == Close && --Depth == 0)
+      return I;
+  }
+  return -1;
+}
+
+namespace {
+
+/// Skips a balanced `<...>` starting at \p I (pointing at '<'). Returns the
+/// index just past the closing '>', or \p I + 1 when unmatched within a
+/// sane window (so expression uses of '<' cannot derail the scan).
+int skipAngles(const std::vector<Token> &Toks, int I) {
+  int Depth = 0;
+  for (int J = I; J < static_cast<int>(Toks.size()) && J < I + 64; ++J) {
+    const Token &T = Toks[J];
+    if (T.Kind != Tok::Punct)
+      continue;
+    if (T.Text == "<")
+      ++Depth;
+    else if (T.Text == ">" && --Depth == 0)
+      return J + 1;
+    else if (T.Text == ">>" && (Depth -= 2) <= 0)
+      return J + 1;
+    else if (T.Text == ";" || T.Text == "{")
+      break; // statement ended: was a comparison, not a template
+  }
+  return I + 1;
+}
+
+/// Parses a type path at \p I: [quals] ident(::ident)*(<...>)? [*&]*.
+/// On success returns the index just past the type and fills \p Spelling;
+/// returns -1 when \p I does not start a plausible type.
+int parseTypePath(const std::vector<Token> &Toks, int I, std::string &Spelling,
+                  bool &SawAlignas) {
+  int N = static_cast<int>(Toks.size());
+  std::string S;
+  bool SawCore = false;
+  while (I < N) {
+    const Token &T = Toks[I];
+    if (T.Kind == Tok::Ident && T.Text == "alignas" && I + 1 < N &&
+        Toks[I + 1].Text == "(") {
+      SawAlignas = true;
+      int Depth = 0;
+      while (I < N) {
+        if (Toks[I].Text == "(")
+          ++Depth;
+        else if (Toks[I].Text == ")" && --Depth == 0)
+          break;
+        ++I;
+      }
+      ++I;
+      continue;
+    }
+    if (T.Kind == Tok::Ident && DeclQuals.count(T.Text)) {
+      ++I;
+      continue;
+    }
+    break;
+  }
+  // Core: ident path.
+  while (I < N) {
+    const Token &T = Toks[I];
+    if (T.Kind != Tok::Ident || isKeywordish(T.Text))
+      break;
+    if (!SawCore && NotAFunctionName.count(T.Text))
+      return -1;
+    S += (S.empty() ? "" : " ") + T.Text;
+    SawCore = true;
+    ++I;
+    // Builtin multi-word types: "unsigned long", "long long", ...
+    if (TypeKeywords.count(T.Text) && I < N && Toks[I].Kind == Tok::Ident &&
+        TypeKeywords.count(Toks[I].Text))
+      continue;
+    if (I < N && Toks[I].Text == "<") {
+      int Past = skipAngles(Toks, I);
+      if (Past > I + 1) {
+        S += "<>"; // template args elided from the spelling
+        I = Past;
+      }
+    }
+    if (I + 1 < N && Toks[I].Text == "::" && Toks[I + 1].Kind == Tok::Ident) {
+      S += "::";
+      ++I;
+      // Re-enter the loop for the next path component; strip the
+      // separator we appended with a space marker convention below.
+      continue;
+    }
+    break;
+  }
+  if (!SawCore)
+    return -1;
+  while (I < N && (Toks[I].Text == "*" || Toks[I].Text == "&" ||
+                   Toks[I].Text == "&&" ||
+                   (Toks[I].Kind == Tok::Ident && Toks[I].Text == "const")))
+    ++I;
+  // Normalize "std:: int32_t" spelling quirks: collapse " ::" / ":: ".
+  std::string Norm;
+  for (std::size_t K = 0; K < S.size(); ++K) {
+    if (S[K] == ' ' && K + 2 < S.size() && S[K + 1] == ':' && S[K + 2] == ':')
+      continue;
+    Norm += S[K];
+  }
+  Spelling = Norm;
+  return I;
+}
+
+/// Parses one parameter/member-style declaration from a token slice,
+/// returning false if the slice does not look like one.
+bool parseOneDecl(const std::vector<Token> &Toks, int Begin, int End,
+                  VarDecl &Out) {
+  bool SawAlignas = false;
+  std::string Type;
+  int I = parseTypePath(Toks, Begin, Type, SawAlignas);
+  if (I < 0 || I >= End)
+    return false;
+  if (Toks[I].Kind != Tok::Ident || isKeywordish(Toks[I].Text))
+    return false;
+  Out.Name = Toks[I].Text;
+  Out.Type = Type;
+  Out.Alignas = SawAlignas;
+  ++I;
+  if (I < End && Toks[I].Text == "[")
+    Out.IsArray = true;
+  return true;
+}
+
+} // namespace
+
+FileModel buildFileModel(std::string Path, std::vector<Token> Toks) {
+  FileModel M;
+  M.Path = std::move(Path);
+  M.Toks = std::move(Toks);
+  const int N = static_cast<int>(M.Toks.size());
+
+  enum class Frame { Namespace, Class, Enum, Function, Block };
+  std::vector<std::pair<Frame, int>> Stack; // frame kind, '{' token index
+
+  auto inFunction = [&]() {
+    for (auto &F : Stack)
+      if (F.first == Frame::Function)
+        return true;
+    return false;
+  };
+  auto inClass = [&]() {
+    return !Stack.empty() && Stack.back().first == Frame::Class;
+  };
+
+  for (int I = 0; I < N; ++I) {
+    const Token &T = M.Toks[I];
+    if (T.Kind == Tok::PP)
+      continue;
+
+    if (T.Kind == Tok::Punct && T.Text == "}") {
+      if (!Stack.empty())
+        Stack.pop_back();
+      continue;
+    }
+
+    if (T.Kind == Tok::Punct && T.Text == "{") {
+      Stack.emplace_back(Frame::Block, I);
+      continue;
+    }
+
+    if (inFunction())
+      continue; // bodies are analyzed separately by the checks
+
+    if (T.Kind == Tok::Ident && T.Text == "namespace") {
+      int J = I + 1;
+      while (J < N && M.Toks[J].Kind == Tok::Ident)
+        ++J;
+      if (J < N && M.Toks[J].Text == "{") {
+        Stack.emplace_back(Frame::Namespace, J);
+        I = J;
+      }
+      continue;
+    }
+
+    if (T.Kind == Tok::Ident &&
+        (T.Text == "class" || T.Text == "struct" || T.Text == "union" ||
+         T.Text == "enum")) {
+      bool IsEnum = T.Text == "enum";
+      int J = I + 1;
+      int Guard = 0;
+      while (J < N && ++Guard < 200) {
+        const std::string &S = M.Toks[J].Text;
+        if (S == "{") {
+          Stack.emplace_back(IsEnum ? Frame::Enum : Frame::Class, J);
+          I = J;
+          break;
+        }
+        if (S == ";" || S == "(")
+          break; // forward declaration or elaborated type in a decl
+        ++J;
+      }
+      continue;
+    }
+
+    // Function candidate: [qualified] ident '(' at declarative scope.
+    if (T.Kind == Tok::Ident && I + 1 < N && M.Toks[I + 1].Text == "(" &&
+        !NotAFunctionName.count(T.Text) && !isKeywordish(T.Text)) {
+      int ParamBegin = I + 1;
+      int ParamEnd = M.matchForward(ParamBegin);
+      if (ParamEnd < 0)
+        continue;
+
+      // Declaration start: walk back to the previous statement boundary.
+      int Prefix = I;
+      while (Prefix > 0) {
+        const Token &P = M.Toks[Prefix - 1];
+        if (P.Kind == Tok::PP)
+          break;
+        if (P.Kind == Tok::Punct &&
+            (P.Text == ";" || P.Text == "{" || P.Text == "}" ||
+             P.Text == ")"))
+          break;
+        if (P.Kind == Tok::Punct && P.Text == ":" &&
+            (Prefix < 2 || M.Toks[Prefix - 2].Kind == Tok::Ident) &&
+            Prefix >= 2 &&
+            (M.Toks[Prefix - 2].Text == "public" ||
+             M.Toks[Prefix - 2].Text == "private" ||
+             M.Toks[Prefix - 2].Text == "protected"))
+          break;
+        --Prefix;
+      }
+
+      // Reject expression contexts: an '=' (or 'return') between the
+      // declaration start and the name means this is a call, not a decl.
+      bool Expr = false;
+      for (int K = Prefix; K < I; ++K) {
+        const std::string &S = M.Toks[K].Text;
+        if (S == "=" || S == "return" || S == "," || S == "." ||
+            S == "->" || S == "new" || S == "throw") {
+          Expr = true;
+          break;
+        }
+      }
+      // Member-function definitions spell a qualifier: A::B::name.
+      std::string Qual;
+      int QK = I - 1;
+      while (QK - 1 >= Prefix && M.Toks[QK].Text == "::" &&
+             M.Toks[QK - 1].Kind == Tok::Ident) {
+        Qual = M.Toks[QK - 1].Text + (Qual.empty() ? "" : "::" + Qual);
+        QK -= 2;
+      }
+      if (Expr)
+        continue;
+
+      // After the parameter list: qualifiers, then '{' (definition), ';'
+      // (prototype), ':' (ctor-init list), or something else (not a
+      // function).
+      int J = ParamEnd + 1;
+      bool Plausible = true;
+      while (J < N) {
+        const Token &Q = M.Toks[J];
+        if (Q.Kind == Tok::PP) {
+          ++J;
+          continue;
+        }
+        const std::string &S = Q.Text;
+        if (S == "const" || S == "noexcept" || S == "override" ||
+            S == "final" || S == "mutable" || S == "try") {
+          ++J;
+          continue;
+        }
+        if (S == "(") { // noexcept(...)
+          int E = M.matchForward(J);
+          if (E < 0) {
+            Plausible = false;
+            break;
+          }
+          J = E + 1;
+          continue;
+        }
+        if (S == "->") { // trailing return type
+          ++J;
+          std::string Dummy;
+          bool DummyA = false;
+          int Past = parseTypePath(M.Toks, J, Dummy, DummyA);
+          if (Past < 0) {
+            Plausible = false;
+            break;
+          }
+          J = Past;
+          continue;
+        }
+        if (S == "=") { // "= default;", "= delete;", "= 0;"
+          J += 2;
+          continue;
+        }
+        break;
+      }
+      if (!Plausible || J >= N)
+        continue;
+
+      FuncDecl F;
+      F.Name = T.Text;
+      F.Qualifier = Qual;
+      F.NameTok = I;
+      F.Line = T.Line;
+      F.PrefixBegin = Prefix;
+      F.ParamBegin = ParamBegin;
+      F.ParamEnd = ParamEnd;
+
+      const std::string &S = M.Toks[J].Text;
+      if (S == ":") { // constructor initializer list: scan to body '{'
+        int K = J + 1;
+        int Depth = 0;
+        while (K < N) {
+          const std::string &U = M.Toks[K].Text;
+          if (U == "(" || U == "[")
+            ++Depth;
+          else if (U == ")" || U == "]")
+            --Depth;
+          else if (U == "{" && Depth == 0)
+            break;
+          else if (U == ";" && Depth == 0) {
+            K = -1;
+            break;
+          }
+          ++K;
+        }
+        if (K < 0)
+          continue;
+        J = K;
+        F.BodyBegin = J;
+      } else if (S == "{") {
+        F.BodyBegin = J;
+      } else if (S == ";") {
+        F.BodyBegin = -1;
+      } else {
+        continue; // expression statement, macro use, etc.
+      }
+
+      // Prefix attributes.
+      for (int K = Prefix; K < I; ++K) {
+        if (M.Toks[K].Text == "nodiscard")
+          F.HasNodiscard = true;
+        if (M.Toks[K].Text == "CVR_HOT")
+          F.IsHot = true;
+      }
+
+      // Parameters: comma-separated at depth 0. Angle depth counts too,
+      // so the comma in `AlignedBuffer<double, 64> &Buf` does not split.
+      int PB = ParamBegin + 1;
+      int Depth = 0, Angle = 0;
+      for (int K = ParamBegin + 1; K <= ParamEnd; ++K) {
+        const std::string &U = M.Toks[K].Text;
+        bool Boundary = (K == ParamEnd && Depth == 0) ||
+                        (U == "," && Depth == 0 && Angle == 0);
+        if (U == "(" || U == "[" || U == "{")
+          ++Depth;
+        else if (U == ")" || U == "]" || U == "}") {
+          if (K != ParamEnd)
+            --Depth;
+        } else if (U == "<") {
+          ++Angle;
+        } else if (U == ">") {
+          Angle = Angle > 0 ? Angle - 1 : 0;
+        } else if (U == ">>") {
+          Angle = Angle > 1 ? Angle - 2 : 0;
+        }
+        if (Boundary) {
+          VarDecl P;
+          if (K > PB && parseOneDecl(M.Toks, PB, K, P))
+            F.Params.push_back(P);
+          PB = K + 1;
+        }
+      }
+
+      if (F.BodyBegin >= 0) {
+        F.BodyEnd = M.matchForward(F.BodyBegin);
+        if (F.BodyEnd < 0)
+          F.BodyEnd = N - 1;
+        M.Funcs.push_back(F);
+        Stack.emplace_back(Frame::Function, F.BodyBegin);
+        I = F.BodyBegin; // the '{' is consumed by the Function frame
+      } else {
+        M.Funcs.push_back(F);
+        I = J;
+      }
+      continue;
+    }
+
+    // Member / namespace-scope variable declarations (for alignment and
+    // AlignedBuffer provenance lookups). Only statements that begin right
+    // after a boundary are considered.
+    if (inClass() && T.Kind == Tok::Ident && !isKeywordish(T.Text) &&
+        (I == 0 || M.Toks[I - 1].Kind == Tok::PP ||
+         (M.Toks[I - 1].Kind == Tok::Punct &&
+          (M.Toks[I - 1].Text == ";" || M.Toks[I - 1].Text == "{" ||
+           M.Toks[I - 1].Text == "}" || M.Toks[I - 1].Text == ":")))) {
+      // Find statement end at depth 0.
+      int End = I;
+      int Depth = 0;
+      while (End < N) {
+        const std::string &U = M.Toks[End].Text;
+        if (U == "(" || U == "[" || U == "{")
+          ++Depth;
+        else if (U == ")" || U == "]" || U == "}")
+          --Depth;
+        else if (U == ";" && Depth == 0)
+          break;
+        if (Depth < 0)
+          break;
+        ++End;
+      }
+      VarDecl D;
+      if (End < N && End > I && parseOneDecl(M.Toks, I, End, D)) {
+        // Skip if it is actually a method (handled above) — a '(' right
+        // after the name signals that; parseOneDecl does not know.
+        bool Method = false;
+        for (int K = I; K < End; ++K)
+          if (M.Toks[K].Text == "(") {
+            Method = true;
+            break;
+          }
+        if (!Method)
+          M.Members.push_back(D);
+      }
+      // Do not skip to End: function candidates inside the range were
+      // already excluded (no '(' case), and advancing normally is safe.
+    }
+  }
+
+  return M;
+}
+
+void collectLocals(const FileModel &M, FuncDecl &F) {
+  if (!F.Locals.empty() || F.BodyBegin < 0)
+    return;
+  const std::vector<Token> &Toks = M.Toks;
+  for (int I = F.BodyBegin + 1; I < F.BodyEnd; ++I) {
+    const Token &T = Toks[I];
+    if (T.Kind == Tok::PP)
+      continue;
+    // Statement-start context only.
+    if (I > 0) {
+      const Token &P = Toks[I - 1];
+      bool Boundary =
+          P.Kind == Tok::PP ||
+          (P.Kind == Tok::Punct &&
+           (P.Text == ";" || P.Text == "{" || P.Text == "}" ||
+            P.Text == "("));
+      if (!Boundary)
+        continue;
+    }
+    if (T.Kind != Tok::Ident)
+      continue;
+    if (isKeywordish(T.Text) || NotAFunctionName.count(T.Text)) {
+      // `alignas(64) double Buf[8]` begins with alignas — allow it.
+      if (T.Text != "alignas")
+        continue;
+    }
+    VarDecl D;
+    bool SawAlignas = false;
+    std::string Type;
+    int Past = parseTypePath(Toks, I, Type, SawAlignas);
+    if (Past < 0 || Past >= F.BodyEnd)
+      continue;
+    if (Toks[Past].Kind != Tok::Ident || isKeywordish(Toks[Past].Text))
+      continue;
+    D.Name = Toks[Past].Text;
+    D.Type = Type;
+    D.Alignas = SawAlignas;
+    int After = Past + 1;
+    while (After < F.BodyEnd && Toks[After].Text == "[") {
+      D.IsArray = true;
+      int E = M.matchForward(After);
+      if (E < 0)
+        break;
+      After = E + 1;
+    }
+    if (After >= F.BodyEnd)
+      continue;
+    const std::string &U = Toks[After].Text;
+    if (U == "=" || U == "(" || U == "{") {
+      int InitBegin = After + 1;
+      int InitEnd = InitBegin;
+      if (U == "(" || U == "{") {
+        int E = M.matchForward(After);
+        if (E < 0)
+          continue;
+        InitEnd = E;
+      } else {
+        int Depth = 0;
+        while (InitEnd < F.BodyEnd) {
+          const std::string &V = Toks[InitEnd].Text;
+          if (V == "(" || V == "[" || V == "{")
+            ++Depth;
+          else if (V == ")" || V == "]" || V == "}")
+            --Depth;
+          else if ((V == ";" || V == ",") && Depth == 0)
+            break;
+          if (Depth < 0)
+            break;
+          ++InitEnd;
+        }
+      }
+      D.InitBegin = InitBegin;
+      D.InitEnd = InitEnd;
+      F.Locals.push_back(D);
+    } else if (U == ";" || U == ",") {
+      F.Locals.push_back(D);
+    }
+  }
+}
+
+void ProjectIndex::addFile(int FileIdx, const FileModel &M) {
+  for (int FI = 0; FI < static_cast<int>(M.Funcs.size()); ++FI) {
+    const FuncDecl &F = M.Funcs[FI];
+    if (F.BodyBegin >= 0)
+      FuncsByName[F.Name].emplace_back(FileIdx, FI);
+    bool IsStatusOr = false;
+    if (returnsStatus(M, F, IsStatusOr))
+      StatusOrReturners[F.Name] = IsStatusOr;
+  }
+  for (const VarDecl &D : M.Members)
+    VarsByName[D.Name].push_back(D);
+}
+
+bool returnsStatus(const FileModel &M, const FuncDecl &F, bool &IsStatusOr) {
+  IsStatusOr = false;
+  int I = F.PrefixBegin;
+  const int End = F.NameTok;
+  const std::vector<Token> &Toks = M.Toks;
+  bool SawStatus = false;
+  while (I < End) {
+    const Token &T = Toks[I];
+    if (T.Kind == Tok::PP) {
+      ++I;
+      continue;
+    }
+    const std::string &S = T.Text;
+    if (S == "[[") { // attribute group
+      while (I < End && Toks[I].Text != "]]")
+        ++I;
+      ++I;
+      continue;
+    }
+    if (S == "template") { // template header
+      ++I;
+      if (I < End && Toks[I].Text == "<")
+        I = skipAngles(Toks, I);
+      continue;
+    }
+    if (T.Kind == Tok::Ident &&
+        (DeclQuals.count(S) || S == "virtual" || S == "friend" ||
+         S == "explicit" || S == "extern" || S == "typename" ||
+         (S.size() > 4 && S.compare(0, 4, "CVR_") == 0))) {
+      ++I;
+      continue;
+    }
+    if (T.Kind == Tok::Ident && (S == "cvr" || S == "std") && I + 1 < End &&
+        Toks[I + 1].Text == "::") {
+      I += 2;
+      continue;
+    }
+    if (T.Kind == Tok::Ident && (S == "Status" || S == "StatusOr")) {
+      SawStatus = true;
+      IsStatusOr = S == "StatusOr";
+      ++I;
+      if (I < End && Toks[I].Text == "<")
+        I = skipAngles(Toks, I);
+      // By-reference / by-pointer returns are queries, not outcomes.
+      while (I < End) {
+        if (Toks[I].Text == "&" || Toks[I].Text == "*" ||
+            Toks[I].Text == "&&")
+          return false;
+        if (Toks[I].Kind == Tok::Ident && DeclQuals.count(Toks[I].Text)) {
+          ++I;
+          continue;
+        }
+        break;
+      }
+      // Anything else before the name (e.g. another type) disqualifies.
+      return I == End ||
+             (I + 2 == End && Toks[I].Text == "::"); // A::name unlikely
+    }
+    return false; // some other return type
+  }
+  return SawStatus;
+}
+
+bool isInt32Type(const std::string &T) {
+  std::string S = T;
+  if (S.compare(0, 6, "const ") == 0)
+    S = S.substr(6);
+  return S == "int" || S == "unsigned" || S == "unsigned int" ||
+         S == "int32_t" || S == "uint32_t" || S == "std::int32_t" ||
+         S == "std::uint32_t" || S == "short" || S == "std::int16_t";
+}
+
+bool isInt64Type(const std::string &T) {
+  std::string S = T;
+  if (S.compare(0, 6, "const ") == 0)
+    S = S.substr(6);
+  return S == "long" || S == "long long" || S == "unsigned long" ||
+         S == "int64_t" || S == "uint64_t" || S == "std::int64_t" ||
+         S == "std::uint64_t" || S == "size_t" || S == "std::size_t" ||
+         S == "ptrdiff_t" || S == "std::ptrdiff_t" || S == "ssize_t";
+}
+
+} // namespace cvrlint

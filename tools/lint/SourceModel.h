@@ -1,0 +1,99 @@
+//===- tools/lint/SourceModel.h - Structural model for cvr_lint -*- C++ -*-===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lightweight structural model built from the raw token stream: function
+/// definitions and prototypes (with return-type tokens, attributes, and
+/// body ranges), coarse variable declarations (local, parameter, and class
+/// member), and preprocessor directives. This plays the role an AST plays
+/// in a LibTooling checker; it is deliberately heuristic — tolerant of
+/// anything it cannot parse — because every check that consumes it either
+/// errs toward silence or is backstopped by the baseline file.
+///
+/// A ProjectIndex aggregates all files so checks can resolve a call or a
+/// member name across translation-unit boundaries (e.g. `TVals` used in
+/// Csr5.cpp but declared AlignedBuffer in Csr5.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVR_TOOLS_LINT_SOURCEMODEL_H
+#define CVR_TOOLS_LINT_SOURCEMODEL_H
+
+#include "Lexer.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cvrlint {
+
+/// A coarse variable declaration (local, parameter, or class member).
+struct VarDecl {
+  std::string Name;
+  std::string Type;     ///< normalized type token spelling, e.g. "std::int32_t"
+  bool Alignas = false; ///< declared with alignas(...)
+  bool IsArray = false; ///< declared with a [N] suffix
+  int InitBegin = -1;   ///< token range of the initializer, -1 if none
+  int InitEnd = -1;
+};
+
+/// A function definition or prototype.
+struct FuncDecl {
+  std::string Name;      ///< unqualified name ("runTiles")
+  std::string Qualifier; ///< "Csr5" for Csr5::runTiles, "" otherwise
+  int NameTok = -1;      ///< token index of the name
+  int Line = 0;
+  int PrefixBegin = -1;  ///< tokens from declaration start to the name
+  int ParamBegin = -1;   ///< '(' of the parameter list
+  int ParamEnd = -1;     ///< matching ')'
+  int BodyBegin = -1;    ///< '{' of the body; -1 for a prototype
+  int BodyEnd = -1;      ///< matching '}'
+  bool HasNodiscard = false; ///< [[nodiscard]] among the prefix attributes
+  bool IsHot = false;        ///< CVR_HOT among the prefix attributes
+  std::vector<VarDecl> Params;
+  std::vector<VarDecl> Locals; ///< populated lazily by collectLocals()
+};
+
+/// One parsed file.
+struct FileModel {
+  std::string Path; ///< path as scanned (absolute or repo-relative)
+  std::vector<Token> Toks;
+  std::vector<FuncDecl> Funcs;
+  std::vector<VarDecl> Members; ///< class-member and namespace-scope vars
+
+  /// Finds the matching close token for an open bracket at \p OpenIdx.
+  int matchForward(int OpenIdx) const;
+};
+
+/// Parses \p Toks into a FileModel.
+FileModel buildFileModel(std::string Path, std::vector<Token> Toks);
+
+/// Fills F.Locals for one function (idempotent).
+void collectLocals(const FileModel &M, FuncDecl &F);
+
+/// Cross-file aggregation.
+struct ProjectIndex {
+  /// Unqualified function name -> every definition (file index, func index).
+  std::map<std::string, std::vector<std::pair<int, int>>> FuncsByName;
+  /// Member/namespace-scope variable name -> decls (for alignment lookup).
+  std::map<std::string, std::vector<VarDecl>> VarsByName;
+  /// Unqualified names of functions returning Status/StatusOr by value.
+  std::map<std::string, bool> StatusOrReturners; ///< true => StatusOr
+
+  void addFile(int FileIdx, const FileModel &M);
+};
+
+/// True when the declaration's return type (prefix tokens) is a by-value
+/// `Status` or `StatusOr<...>`. \p IsStatusOr distinguishes the two.
+bool returnsStatus(const FileModel &M, const FuncDecl &F, bool &IsStatusOr);
+
+/// Classification helpers shared by the checks.
+bool isInt32Type(const std::string &T);
+bool isInt64Type(const std::string &T);
+
+} // namespace cvrlint
+
+#endif // CVR_TOOLS_LINT_SOURCEMODEL_H
