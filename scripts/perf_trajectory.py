@@ -11,6 +11,9 @@ machine* — those divide the machine out and travel between hosts:
                       seconds per iteration (micro_kernels sweep)
   fused_vs_unfused_cg geomean over (matrix, kernel) cells of unfused /
                       fused CG seconds per iteration (solver_pipeline)
+  spmm_amortization_k8 geomean over matrices of spmv-loop(K=8) / spmm(K=8)
+                      seconds per sweep (spmm_batch) — how much one matrix
+                      stream per register block buys over 8 re-streams
 
 Each invariant is the best-of over the repeated input files (per-cell
 minimum of seconds_per_iteration before the ratio), which is the same
@@ -110,12 +113,32 @@ def solver_invariants(best):
     return out, detail
 
 
+def spmm_invariants(best):
+    """spmm_amortization_k8 from the spmm_batch K-sweep."""
+    ratios, detail = [], {}
+    matrices = sorted({m for (m, _, v) in best if v == "spmm/k8"})
+    for m in matrices:
+        loop = best.get((m, "CVR", "spmv-loop/k8"))
+        spmm = best.get((m, "CVR", "spmm/k8"))
+        if not loop or not spmm:
+            continue
+        r = loop["seconds_per_iteration"] / spmm["seconds_per_iteration"]
+        ratios.append(r)
+        detail[m] = r
+    out = {}
+    if ratios:
+        out["spmm_amortization_k8"] = geomean(ratios)
+    return out, detail
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--micro", nargs="+", required=True,
                     help="micro_kernels --json outputs (repeats)")
     ap.add_argument("--solver", nargs="+", required=True,
                     help="solver_pipeline --json outputs (repeats)")
+    ap.add_argument("--spmm", nargs="+", required=True,
+                    help="spmm_batch --json outputs (repeats)")
     ap.add_argument("--baseline", default="results/bench_baseline.json")
     ap.add_argument("--out", required=True,
                     help="where to write the full trajectory report")
@@ -129,12 +152,16 @@ def main():
 
     micro_best, telemetry = load_records(args.micro)
     solver_best, _ = load_records(args.solver)
+    spmm_best, _ = load_records(args.spmm)
 
     invariants, micro_detail = micro_invariants(micro_best)
     solver_inv, solver_detail = solver_invariants(solver_best)
     invariants.update(solver_inv)
+    spmm_inv, spmm_detail = spmm_invariants(spmm_best)
+    invariants.update(spmm_inv)
 
-    required = ("cvr_vs_csr", "tuned_vs_cvr", "fused_vs_unfused_cg")
+    required = ("cvr_vs_csr", "tuned_vs_cvr", "fused_vs_unfused_cg",
+                "spmm_amortization_k8")
     missing = [k for k in required if k not in invariants]
     if missing:
         sys.exit(f"invariants missing from the sweeps: {missing}")
@@ -146,6 +173,7 @@ def main():
         "invariants": invariants,
         "micro_detail": micro_detail,
         "solver_detail": solver_detail,
+        "spmm_detail": spmm_detail,
         "telemetry": telemetry,
     }
     with open(args.out, "w") as f:

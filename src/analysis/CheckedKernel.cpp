@@ -53,6 +53,48 @@ bool fusedClose(double A, double B, double RelTol) {
 
 } // namespace
 
+Status CheckedKernel::runBatch(const double *X, std::size_t LdX, double *Y,
+                               std::size_t LdY, int NumVectors) const {
+  // The path under test; argument validation is its job.
+  Status S = Inner->runBatch(X, LdX, Y, LdY, NumVectors);
+  if (!S.ok())
+    return S;
+  const std::int64_t Rows = Inner->preparedRows();
+  const std::int64_t Cols = Inner->preparedCols();
+  if (Rows < 0 || Cols < 0)
+    return S; // Nothing to check against; the inner call accepted it.
+
+  // Reference: each panel column through the checked single-vector path.
+  std::vector<double> Xc(static_cast<std::size_t>(Cols));
+  std::vector<double> YRef(static_cast<std::size_t>(Rows));
+  constexpr double RowTol = 1.0e-10;
+  std::size_t Reported = 0;
+  const auto *Cvr = dynamic_cast<const CvrMatrixSource *>(Inner.get());
+  for (int J = 0; J < NumVectors; ++J) {
+    for (std::int64_t I = 0; I < Cols; ++I)
+      Xc[static_cast<std::size_t>(I)] =
+          X[static_cast<std::size_t>(I) * LdX + J];
+    if (Cvr)
+      cvrSpmvChecked(Cvr->cvrMatrix(), Xc.data(), YRef.data(), Vs);
+    else
+      Inner->run(Xc.data(), YRef.data());
+    for (std::int64_t R = 0; R < Rows; ++R) {
+      double Got = Y[static_cast<std::size_t>(R) * LdY + J];
+      double Want = YRef[static_cast<std::size_t>(R)];
+      if (fusedClose(Got, Want, RowTol))
+        continue;
+      if (Reported++ >= InvariantChecker::MaxViolations)
+        continue;
+      Vs.push_back(Violation{"checked.spmm.y",
+                             "row " + std::to_string(R) + " col " +
+                                 std::to_string(J),
+                             "batched=" + std::to_string(Got) +
+                                 " reference=" + std::to_string(Want)});
+    }
+  }
+  return S;
+}
+
 void CheckedKernel::runFused(const double *X, double *Y,
                              FusedEpilogue &E) const {
   std::int64_t N = Inner->preparedRows();

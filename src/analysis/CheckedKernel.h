@@ -50,6 +50,19 @@ public:
     return Inner->preparedRows();
   }
 
+  std::int64_t preparedCols() const override {
+    return Inner->preparedCols();
+  }
+
+  /// Differentially verified SpMM: the inner kernel's runBatch runs for
+  /// real, then every panel column is recomputed through the checked
+  /// single-vector path (shadow kernels for CVR) and compared. Mismatches
+  /// beyond the reassociation tolerance surface as "checked.spmm.y"
+  /// violations located by row and column.
+  [[nodiscard]] Status runBatch(const double *X, std::size_t LdX, double *Y,
+                                std::size_t LdY,
+                                int NumVectors) const override;
+
   /// Differentially verified fusion: the inner kernel's native fused path
   /// runs for real, then a reference — the checked run (shadow kernels for
   /// CVR) composed with the scalar epilogue sweep — recomputes y, the

@@ -1,0 +1,36 @@
+//===- core/BatchEpilogue.cpp - Scalar batch epilogue sweep ---------------===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "formats/BatchEpilogue.h"
+
+#include <algorithm>
+
+namespace cvr {
+
+void applyBatchEpilogueScalar(FusedBatchEpilogue &E, double *Y,
+                              std::size_t LdY, std::int64_t NumRows) {
+  const int K = E.NumVectors;
+  for (int J = 0; J < K; ++J) {
+    if (E.Acc1)
+      E.Acc1[J] = 0.0;
+    if (E.Acc2)
+      E.Acc2[J] = 0.0;
+  }
+  if (E.Op == EpilogueOp::None)
+    return;
+  // One register block of columns at a time, all rows per block, so the
+  // accumulator merge order matches the fused kernel's per-pass reduction.
+  for (int J0 = 0; J0 < K; J0 += 8) {
+    int Bw = std::min(8, K - J0);
+    BatchEpilogueAccum A;
+    for (std::int64_t R = 0; R < NumRows; ++R)
+      batchRowApply(E, static_cast<std::int32_t>(R), J0, Bw,
+                    Y + static_cast<std::size_t>(R) * LdY + J0, A);
+    storeBatchAccum(E, A, J0, Bw);
+  }
+}
+
+} // namespace cvr

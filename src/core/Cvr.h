@@ -29,6 +29,7 @@
 #define CVR_CORE_CVR_H
 
 #include "core/CvrFormat.h"
+#include "core/CvrSpmm.h"
 #include "core/CvrSpmv.h"
 
 #endif // CVR_CORE_CVR_H

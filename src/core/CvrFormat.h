@@ -83,6 +83,11 @@ struct CvrOptions {
   /// kernel variant, not a different conversion. Supported distances are
   /// {0, 2, 4, 8}; other values snap up to the next supported one.
   int PrefetchDistance = 0;
+
+  /// SpMM register-block width: panel columns per matrix pass for
+  /// runBatch (core/CvrSpmm.h). An execution-time knob like
+  /// PrefetchDistance; supported widths are {4, 8}, other values snap.
+  int RhsBlock = 8;
 };
 
 /// One write-back record (the paper's `rec` vector entry).

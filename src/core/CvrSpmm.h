@@ -1,0 +1,82 @@
+//===- core/CvrSpmm.h - Batched multi-RHS SpMM over CVR ---------*- C++ -*-===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Register-blocked SpMM on the CVR stream: Y = A * X for a panel of
+/// NumVectors right-hand sides. Panels are row-major — element (i, j) of X
+/// lives at X[i * LdX + j] with LdX >= NumVectors — so each CVR column
+/// index fetches NumVectors *contiguous* x values. That single layout
+/// decision deletes the paper's gather bottleneck for the batched case:
+/// where SpMV issues one 8-way gather per step, SpMM issues eight plain
+/// (unaligned) vector loads, and the matrix's value/index/chunk streams —
+/// the dominant term of a bandwidth-bound kernel's bytes/nnz — are read
+/// once per register block of columns instead of once per vector.
+///
+/// The kernel streams the matrix floor(K / RhsBlock) (+1 for a remainder)
+/// times, each pass covering RhsBlock columns in register accumulators:
+/// 8-wide (VecD8), 4-wide (VecD4), or a masked tail of any width 1..7, so a
+/// degenerate K never wastes a full-width pass. Lane semantics (records,
+/// tracker stealing, tails, shared-row atomics, accumulate-mode bands) are
+/// identical to the SpMV kernel with every scalar write-back widened to a
+/// panel row.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVR_CORE_CVRSPMM_H
+#define CVR_CORE_CVRSPMM_H
+
+#include "core/CvrFormat.h"
+#include "formats/BatchEpilogue.h"
+#include "support/Status.h"
+
+namespace cvr {
+
+/// Execution knobs for one SpMM call.
+struct CvrSpmmOptions {
+  /// Columns per matrix pass (the register-block width). Supported widths
+  /// are {4, 8}; other values snap via snapRhsBlock. Narrower blocks halve
+  /// the register pressure per pass at the cost of streaming the matrix
+  /// twice as often — the autotuner's RhsBlock axis decides per matrix.
+  int RhsBlock = 8;
+
+  /// Software-prefetch distance in stream steps for the X panel rows (and
+  /// the vals stream); snapped to {0, 2, 4, 8} like the SpMV kernel.
+  int PrefetchDistance = 0;
+};
+
+/// Snaps a requested register-block width to the supported set {4, 8}
+/// (<= 0 selects the default 8).
+int snapRhsBlock(int B);
+
+/// Computes Y = A * X for \p NumVectors right-hand sides stored row-major
+/// (element (i, j) at X[i * LdX + j]; LdX, LdY >= NumVectors; X has
+/// numCols rows, Y numRows rows and is overwritten). Rejects invalid panel
+/// arguments — null pointers, NumVectors < 1, leading dimensions narrower
+/// than the panel — with INVALID_ARGUMENT instead of reading out of
+/// bounds. Works for every lane width and for column-blocked matrices (the
+/// generic and accumulate-mode fallbacks keep the exact SpMV semantics).
+[[nodiscard]] Status cvrSpmm(const CvrMatrix &M, const double *X,
+                             std::size_t LdX, double *Y, std::size_t LdY,
+                             int NumVectors,
+                             const CvrSpmmOptions &Opts = {});
+
+/// Fused SpMM: computes Y = A * X and applies the per-column epilogue \p E
+/// at each row's finalize point while the row's K values are still in
+/// registers (see BatchEpilogue.h for the op catalog; E.NumVectors must
+/// equal \p NumVectors). Exclusive rows take the epilogue inside the
+/// parallel chunk sweep; chunk-boundary and empty rows are finished by a
+/// sequential cleanup pass in zero-row order, merged last, so accumulators
+/// reduce deterministically per matrix configuration. Column-blocked
+/// matrices and generic-lane matrices compose cvrSpmm with the scalar
+/// batch-epilogue sweep instead.
+[[nodiscard]] Status cvrSpmmFused(const CvrMatrix &M, const double *X,
+                                  std::size_t LdX, double *Y, std::size_t LdY,
+                                  int NumVectors, FusedBatchEpilogue &E,
+                                  const CvrSpmmOptions &Opts = {});
+
+} // namespace cvr
+
+#endif // CVR_CORE_CVRSPMM_H

@@ -435,80 +435,6 @@ void runChunkFused(const CvrMatrix &M, const CvrChunk &C, const double *X,
   }
 }
 
-/// One chunk of the multi-vector kernel: a block of B <= 4 right-hand
-/// sides shares each step's index and value loads. Structure mirrors
-/// runChunkAvx with per-vector accumulators.
-CVR_HOT void runChunkMulti(const CvrMatrix &M, const CvrChunk &C,
-                           const double *X,
-                   std::size_t LdX, double *Y, std::size_t LdY, int B) {
-  constexpr int W = 8;
-  constexpr int MaxB = 4;
-  assert(B >= 1 && B <= MaxB && "block of at most four vectors");
-  const double *Vals = M.vals() + C.ElemBase;
-  const std::int32_t *Cols = M.colIdx() + C.ElemBase;
-  const CvrRecord *Recs = M.recs();
-  std::int64_t RecIdx = C.RecBase;
-  const std::int64_t RecEnd = C.RecEnd;
-
-  alignas(64) double TResult[MaxB][W] = {};
-  simd::VecD8 VOut[MaxB];
-  for (int V = 0; V < MaxB; ++V)
-    VOut[V] = simd::VecD8::zero();
-  simd::VecI16 Cols16{};
-
-  // Applies all records with Pos < Limit against every vector's
-  // accumulator (one spill per vector; records are rare relative to steps).
-  auto Apply = [&](std::int64_t Limit) {
-    std::int64_t Begin = RecIdx;
-    for (int V = 0; V < B; ++V) {
-      alignas(64) double Buf[W];
-      VOut[V].toArray(Buf);
-      double *Yv = Y + static_cast<std::size_t>(V) * LdY;
-      for (std::int64_t R = Begin;
-           R < RecEnd && Recs[R].Pos < Limit; ++R) {
-        const CvrRecord &Rec = Recs[R];
-        int Off = static_cast<int>(Rec.Pos & (W - 1));
-        if (Rec.Steal)
-          TResult[V][Rec.Wb] += Buf[Off];
-        else
-          writeBack<false>(Yv, Rec.Wb, Buf[Off], Rec.Shared);
-        Buf[Off] = 0.0;
-      }
-      VOut[V] = simd::VecD8::fromArray(Buf);
-    }
-    while (RecIdx < RecEnd && Recs[RecIdx].Pos < Limit)
-      ++RecIdx;
-  };
-
-  for (std::int64_t I = 0; I < C.NumSteps; ++I) {
-    if (RecIdx < RecEnd && Recs[RecIdx].Pos < (I + 1) * W)
-      Apply((I + 1) * W);
-    if ((I & 1) == 0)
-      Cols16 = simd::VecI16::loadAligned(Cols + I * W);
-    simd::VecI8 Idx = (I & 1) ? Cols16.hi() : Cols16.lo();
-    simd::VecD8 Vs = simd::VecD8::loadAligned(Vals + I * W);
-    for (int V = 0; V < B; ++V) {
-      simd::VecD8 Xs =
-          simd::VecD8::gather(X + static_cast<std::size_t>(V) * LdX, Idx);
-      VOut[V] = VOut[V].fmadd(Vs, Xs);
-    }
-  }
-  if (RecIdx < RecEnd)
-    Apply(std::numeric_limits<std::int64_t>::max());
-
-  const std::int32_t *Tails = M.tails() + C.TailBase;
-  for (int V = 0; V < B; ++V) {
-    double *Yv = Y + static_cast<std::size_t>(V) * LdY;
-    for (int K = 0; K < W; ++K) {
-      std::int32_t Row = Tails[K];
-      if (Row < 0)
-        continue;
-      bool Shared = Row == C.FirstRow || Row == C.LastRow;
-      writeBack<false>(Yv, Row, TResult[V][K], Shared);
-    }
-  }
-}
-
 /// Dispatches one chunk to the right kernel instantiation. The prefetch
 /// distance is snapped to the supported set by cvrSpmv.
 template <bool Accumulate>
@@ -599,43 +525,6 @@ void recordCvrRunTelemetry(const CvrMatrix &M, bool Fused, bool CountRun) {
 }
 
 } // namespace
-
-void cvrSpmm(const CvrMatrix &M, const double *X, std::size_t LdX,
-             double *Y, std::size_t LdY, int NumVectors) {
-  assert(LdX >= static_cast<std::size_t>(M.numCols()) &&
-         LdY >= static_cast<std::size_t>(M.numRows()) &&
-         "leading dimensions must cover the matrix shape");
-  if (M.isBlocked() || M.lanes() != simd::DoubleLanes ||
-      M.forcesGenericKernel()) {
-    // Blocked matrices run vector-by-vector: the multi-vector kernel has
-    // no accumulate mode (SpMM already amortizes the x traffic blocking
-    // targets).
-    for (int V = 0; V < NumVectors; ++V)
-      cvrSpmv(M, X + static_cast<std::size_t>(V) * LdX,
-              Y + static_cast<std::size_t>(V) * LdY);
-    return;
-  }
-
-  for (int V0 = 0; V0 < NumVectors; V0 += 4) {
-    int B = std::min(4, NumVectors - V0);
-    const double *XB = X + static_cast<std::size_t>(V0) * LdX;
-    double *YB = Y + static_cast<std::size_t>(V0) * LdY;
-    for (int V = 0; V < B; ++V)
-      for (std::int32_t R : M.zeroRows())
-        YB[static_cast<std::size_t>(V) * LdY + R] = 0.0;
-
-    const std::vector<CvrChunk> &Chunks = M.chunks();
-    int NumChunks = static_cast<int>(Chunks.size());
-    int Threads = std::min(M.runThreads(), NumChunks);
-    auto Body = [&](int T) {
-      runChunkMulti(M, Chunks[T], XB, LdX, YB, LdY, B);
-    };
-    if (NumChunks > Threads)
-      ompParallelForDynamic(NumChunks, Threads, Body);
-    else
-      ompParallelFor(NumChunks, Threads, Body);
-  }
-}
 
 void cvrSpmv(const CvrMatrix &M, const double *X, double *Y,
              int PrefetchDistance) {

@@ -66,15 +66,6 @@ public:
   virtual int cvrPrefetchDistance() const { return 0; }
 };
 
-/// SpMM: computes Y_j = A * X_j for \p NumVectors right-hand sides stored
-/// column-major (vector j starts at X + j*LdX resp. Y + j*LdY; LdX >=
-/// numCols, LdY >= numRows). Blocks of four vectors share each step's
-/// column-index and value loads, the bulk of SpMV's regular traffic — the
-/// multi-vector pattern of the graph frameworks the paper cites (GraphMat
-/// et al.). Requires the 8-lane format; other widths run vector-by-vector.
-void cvrSpmm(const CvrMatrix &M, const double *X, std::size_t LdX,
-             double *Y, std::size_t LdY, int NumVectors);
-
 /// SpmvKernel adapter so CVR plugs into the common benchmark harness.
 class CvrKernel : public SpmvKernel, public CvrMatrixSource {
 public:
@@ -92,10 +83,25 @@ public:
 
   std::int64_t preparedRows() const override { return M.numRows(); }
 
+  std::int64_t preparedCols() const override { return M.numCols(); }
+
   /// Native fused path (cvrSpmvFused) with the kernel's configured
   /// prefetch distance.
   void runFused(const double *X, double *Y,
                 FusedEpilogue &E) const override;
+
+  /// Native SpMM path (core/CvrSpmm.h): the CVR stream is read once per
+  /// register block of panel columns, under the kernel's configured
+  /// RhsBlock and prefetch distance.
+  [[nodiscard]] Status runBatch(const double *X, std::size_t LdX, double *Y,
+                                std::size_t LdY,
+                                int NumVectors) const override;
+
+  /// Native fused SpMM path (cvrSpmmFused).
+  [[nodiscard]] Status runBatchFused(const double *X, std::size_t LdX,
+                                     double *Y, std::size_t LdY,
+                                     int NumVectors,
+                                     FusedBatchEpilogue &E) const override;
 
   bool traceRun(MemAccessSink &Sink, const double *X,
                 double *Y) const override;
@@ -108,6 +114,10 @@ public:
   /// The converted matrix (valid after prepare()); exposed for tests and
   /// the locality tracer.
   const CvrMatrix &matrix() const { return M; }
+
+  /// The execution options the kernel was constructed with (the SpMM path
+  /// reads its RhsBlock and prefetch distance from here).
+  const CvrOptions &options() const { return Opts; }
 
   const CvrMatrix &cvrMatrix() const override { return M; }
   int cvrPrefetchDistance() const override { return Opts.PrefetchDistance; }

@@ -15,10 +15,76 @@
 #include <cassert>
 #include <exception>
 #include <new>
+#include <string>
+#include <vector>
 
 namespace cvr {
 
 SpmvKernel::~SpmvKernel() = default;
+
+namespace {
+
+/// Shared panel-argument validation for the default batch paths; the
+/// native SpMM kernels perform the same checks themselves.
+[[nodiscard]] Status validateBatchArgs(std::size_t LdX, std::size_t LdY,
+                                       int NumVectors) {
+  if (NumVectors < 1)
+    return Status::invalidArgument("runBatch needs NumVectors >= 1, got " +
+                                   std::to_string(NumVectors));
+  if (LdX < static_cast<std::size_t>(NumVectors) ||
+      LdY < static_cast<std::size_t>(NumVectors))
+    return Status::invalidArgument(
+        "runBatch panel strides (LdX=" + std::to_string(LdX) +
+        ", LdY=" + std::to_string(LdY) + ") must cover NumVectors=" +
+        std::to_string(NumVectors));
+  return Status::okStatus();
+}
+
+} // namespace
+
+Status SpmvKernel::runBatch(const double *X, std::size_t LdX, double *Y,
+                            std::size_t LdY, int NumVectors) const {
+  Status S = validateBatchArgs(LdX, LdY, NumVectors);
+  if (!S.ok())
+    return S;
+  if (!X || !Y)
+    return Status::invalidArgument("runBatch panels must be non-null");
+  const std::int64_t Rows = preparedRows();
+  const std::int64_t Cols = preparedCols();
+  if (Rows < 0 || Cols < 0)
+    return Status::failedPrecondition(
+        name() + ": runBatch needs a prepared kernel reporting its shape");
+  // Column-by-column composition through contiguous scratch: correct for
+  // every format, but it streams the matrix once per column — the
+  // degradation ladder's floor, not a fast path.
+  std::vector<double> Xc(static_cast<std::size_t>(Cols));
+  std::vector<double> Yc(static_cast<std::size_t>(Rows));
+  for (int J = 0; J < NumVectors; ++J) {
+    for (std::int64_t I = 0; I < Cols; ++I)
+      Xc[static_cast<std::size_t>(I)] =
+          X[static_cast<std::size_t>(I) * LdX + J];
+    run(Xc.data(), Yc.data());
+    for (std::int64_t I = 0; I < Rows; ++I)
+      Y[static_cast<std::size_t>(I) * LdY + J] =
+          Yc[static_cast<std::size_t>(I)];
+  }
+  return Status::okStatus();
+}
+
+Status SpmvKernel::runBatchFused(const double *X, std::size_t LdX, double *Y,
+                                 std::size_t LdY, int NumVectors,
+                                 FusedBatchEpilogue &E) const {
+  if (E.Op != EpilogueOp::None && E.NumVectors != NumVectors)
+    return Status::invalidArgument(
+        "batch epilogue covers " + std::to_string(E.NumVectors) +
+        " columns but the runBatchFused call has " +
+        std::to_string(NumVectors));
+  Status S = runBatch(X, LdX, Y, LdY, NumVectors);
+  if (!S.ok())
+    return S;
+  applyBatchEpilogueScalar(E, Y, LdY, preparedRows());
+  return Status::okStatus();
+}
 
 void SpmvKernel::runFused(const double *X, double *Y,
                           FusedEpilogue &E) const {

@@ -44,17 +44,19 @@ struct CvrPlan {
   int PrefetchDistance = 0;       ///< {0, 2, 4, 8}; 0 disables.
   std::int64_t ColBlockBytes = 0; ///< 0 disables x-blocking.
   int ChunkMultiplier = 1;        ///< Chunks per thread.
+  int RhsBlock = 8;               ///< SpMM panel columns per pass, {4, 8}.
 
   /// Conversion options realizing this plan for \p NumThreads threads.
   CvrOptions toOptions(int NumThreads) const;
 
-  /// Human-readable one-liner, e.g. "pf=4 block=512KiB mult=2".
+  /// Human-readable one-liner, e.g. "pf=4 block=512KiB mult=2" (plans
+  /// tuned for SpMM append " rhs=4" when the narrow register block won).
   std::string describe() const;
 
   bool operator==(const CvrPlan &O) const {
     return PrefetchDistance == O.PrefetchDistance &&
            ColBlockBytes == O.ColBlockBytes &&
-           ChunkMultiplier == O.ChunkMultiplier;
+           ChunkMultiplier == O.ChunkMultiplier && RhsBlock == O.RhsBlock;
   }
 };
 
@@ -72,6 +74,12 @@ struct AutotuneOptions {
   /// measurement completes, tryAutotuneCvr reports DEADLINE_EXCEEDED and
   /// the degradation ladder falls back to the default plan.
   double BudgetSeconds = 0.0;
+  /// SpMM leg: when > 0, the timed measurements run the batched kernel
+  /// with this many right-hand-side columns instead of single-vector SpMV,
+  /// and the search gains a register-block axis (CvrPlan::RhsBlock in
+  /// {8, 4}). Plans are cached separately per panel width — a plan tuned
+  /// for K=8 panels says nothing about single-vector runs.
+  int PanelWidth = 0;
 };
 
 /// What the tuner found.

@@ -44,6 +44,26 @@ public:
     return Inner.preparedRows();
   }
 
+  std::int64_t preparedCols() const override {
+    return Inner.preparedCols();
+  }
+
+  /// Batched execution under the tuned plan: the inner CvrKernel carries
+  /// the plan's RhsBlock and prefetch distance, so a plan tuned with
+  /// AutotuneOptions::PanelWidth set serves SpMM at its chosen width.
+  [[nodiscard]] Status runBatch(const double *X, std::size_t LdX, double *Y,
+                                std::size_t LdY,
+                                int NumVectors) const override {
+    return Inner.runBatch(X, LdX, Y, LdY, NumVectors);
+  }
+
+  [[nodiscard]] Status runBatchFused(const double *X, std::size_t LdX,
+                                     double *Y, std::size_t LdY,
+                                     int NumVectors,
+                                     FusedBatchEpilogue &E) const override {
+    return Inner.runBatchFused(X, LdX, Y, LdY, NumVectors, E);
+  }
+
   /// Fused execution under the tuned plan (forwards to the inner
   /// CvrKernel, which carries the plan's prefetch distance).
   void runFused(const double *X, double *Y,

@@ -47,6 +47,10 @@ public:
 
   std::int64_t preparedRows() const override { return A ? NumRows : -1; }
 
+  std::int64_t preparedCols() const override {
+    return A ? A->numCols() : -1;
+  }
+
   bool traceRun(MemAccessSink &Sink, const double *X,
                 double *Y) const override;
 

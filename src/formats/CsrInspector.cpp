@@ -43,6 +43,7 @@ std::string CsrInspector::name() const {
 
 void CsrInspector::prepare(const CsrMatrix &A) {
   NumRows = A.numRows();
+  NumCols = A.numCols();
   std::int64_t Nnz = A.numNonZeros();
 
   // Conversion to the internal CSR: copy all three streams into aligned

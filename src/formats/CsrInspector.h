@@ -47,6 +47,10 @@ public:
 
   std::int64_t preparedRows() const override { return NumRows; }
 
+  std::int64_t preparedCols() const override {
+    return NumRows > 0 ? NumCols : -1;
+  }
+
   bool traceRun(MemAccessSink &Sink, const double *X,
                 double *Y) const override;
 
@@ -56,6 +60,7 @@ private:
   CsrISchedule Schedule;
   int NumThreads;
   std::int32_t NumRows = 0;
+  std::int32_t NumCols = 0;
 
   // Internal CSR copy (the "conversion" the prototype package performs).
   AlignedBuffer<std::int64_t> RowPtr;

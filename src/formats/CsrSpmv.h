@@ -37,6 +37,18 @@ public:
     return A ? A->numRows() : -1;
   }
 
+  std::int64_t preparedCols() const override {
+    return A ? A->numCols() : -1;
+  }
+
+  /// Native SpMM path: row-parallel over the nnz-balanced schedule, each
+  /// row's dot products computed for 8 panel columns at a time from a
+  /// stack accumulator, so the matrix streams once per 8 columns instead
+  /// of once per column.
+  [[nodiscard]] Status runBatch(const double *X, std::size_t LdX, double *Y,
+                                std::size_t LdY,
+                                int NumVectors) const override;
+
   /// Native fused path: each thread applies the epilogue to its rows as
   /// their dot products finish, per-thread accumulators are reduced in
   /// thread index order.

@@ -43,6 +43,7 @@ std::string Esb::name() const {
 
 void Esb::prepare(const CsrMatrix &A) {
   NumRows = A.numRows();
+  NumCols = A.numCols();
   Nnz = A.numNonZeros();
   const std::int64_t *RowPtr = A.rowPtr();
   const std::int32_t *Ci = A.colIdx();

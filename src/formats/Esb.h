@@ -57,6 +57,10 @@ public:
 
   std::int64_t preparedRows() const override { return NumRows; }
 
+  std::int64_t preparedCols() const override {
+    return NumRows > 0 ? NumCols : -1;
+  }
+
   bool traceRun(MemAccessSink &Sink, const double *X,
                 double *Y) const override;
 
@@ -75,6 +79,7 @@ private:
   EsbSort Sort;
   int NumThreads;
   std::int32_t NumRows = 0;
+  std::int32_t NumCols = 0;
   std::int64_t Nnz = 0;
   double PaddingRatio = 1.0;
 

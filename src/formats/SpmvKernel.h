@@ -17,6 +17,7 @@
 #ifndef CVR_FORMATS_SPMVKERNEL_H
 #define CVR_FORMATS_SPMVKERNEL_H
 
+#include "formats/BatchEpilogue.h"
 #include "formats/FusedEpilogue.h"
 #include "matrix/Csr.h"
 #include "support/MemSink.h"
@@ -57,6 +58,32 @@ public:
   /// Row count of the prepared matrix, or -1 before prepare(). The fused
   /// default implementations size their composing sweeps with it.
   virtual std::int64_t preparedRows() const { return -1; }
+
+  /// Column count of the prepared matrix, or -1 before prepare(). The
+  /// batch default implementation sizes its per-column scratch with it.
+  virtual std::int64_t preparedCols() const { return -1; }
+
+  /// SpMM: computes Y = A * X for \p NumVectors right-hand sides stored
+  /// row-major — element (i, j) of X at X[i * LdX + j] with LdX >=
+  /// NumVectors (X has numCols rows), likewise Y with LdY >= NumVectors
+  /// (numRows rows, overwritten). Invalid panel arguments are rejected
+  /// with INVALID_ARGUMENT in every build mode. The default strided-copies
+  /// each column through scratch vectors and run(), so every format serves
+  /// batches; CSR and the CVR kernels override it with native SpMM paths
+  /// that stream the matrix once per register block of columns.
+  [[nodiscard]] virtual Status runBatch(const double *X, std::size_t LdX,
+                                        double *Y, std::size_t LdY,
+                                        int NumVectors) const;
+
+  /// Fused SpMM: runBatch plus the per-column epilogue \p E (see
+  /// BatchEpilogue.h; E.NumVectors must equal \p NumVectors, and the
+  /// accumulator outputs land in E.Acc1/E.Acc2). The default composes
+  /// runBatch() with one scalar batch-epilogue sweep; the CVR kernels
+  /// override it with the native fused SpMM path.
+  [[nodiscard]] virtual Status runBatchFused(const double *X,
+                                             std::size_t LdX, double *Y,
+                                             std::size_t LdY, int NumVectors,
+                                             FusedBatchEpilogue &E) const;
 
   /// Computes y = A * x and applies \p E to every finished y element (see
   /// FusedEpilogue.h for the op catalog). The accumulator outputs land in

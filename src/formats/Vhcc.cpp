@@ -31,6 +31,7 @@ const std::vector<int> &Vhcc::panelSweep() {
 
 void Vhcc::prepare(const CsrMatrix &A) {
   NumRows = A.numRows();
+  NumCols = A.numCols();
   Nnz = A.numNonZeros();
   const std::int64_t *RowPtr = A.rowPtr();
   const std::int32_t *Ci = A.colIdx();

@@ -49,6 +49,10 @@ public:
 
   std::int64_t preparedRows() const override { return NumRows; }
 
+  std::int64_t preparedCols() const override {
+    return NumRows > 0 ? NumCols : -1;
+  }
+
   bool traceRun(MemAccessSink &Sink, const double *X,
                 double *Y) const override;
 
@@ -64,6 +68,7 @@ private:
   int NumPanels;
   int NumThreads;
   std::int32_t NumRows = 0;
+  std::int32_t NumCols = 0;
   std::int64_t Nnz = 0;
 
   // Element streams, grouped by panel (PanelOff delimits), row-major within

@@ -90,6 +90,18 @@ struct VecD8 {
   /// Loads 8 doubles from 64-byte aligned memory.
   static VecD8 loadAligned(const double *P) { return {_mm512_load_pd(P)}; }
 
+  /// Loads 8 doubles from unaligned memory. Dense panel rows are only as
+  /// aligned as the caller's leading dimension allows, so the SpMM kernels
+  /// use the unaligned forms throughout.
+  static VecD8 loadu(const double *P) { return {_mm512_loadu_pd(P)}; }
+
+  /// Masked unaligned load: lane k is loaded when bit k of \p Mask is set,
+  /// zero otherwise. Lanes beyond the mask are never dereferenced, so the
+  /// SpMM tail kernels can read a partial panel row safely.
+  static VecD8 maskLoadu(const double *P, unsigned Mask) {
+    return {_mm512_maskz_loadu_pd(static_cast<__mmask8>(Mask), P)};
+  }
+
   /// Gathers Base[Idx[k]] for each of the 8 lanes.
   static VecD8 gather(const double *Base, VecI8 Idx) {
     return {_mm512_i32gather_pd(Idx.Reg, Base, 8)};
@@ -97,6 +109,15 @@ struct VecD8 {
 
   /// Stores 8 doubles to 64-byte aligned memory.
   void storeAligned(double *P) const { _mm512_store_pd(P, Reg); }
+
+  /// Stores 8 doubles to unaligned memory.
+  void storeu(double *P) const { _mm512_storeu_pd(P, Reg); }
+
+  /// Masked unaligned store: lane k is written when bit k of \p Mask is
+  /// set; other destinations are untouched.
+  void maskStoreu(double *P, unsigned Mask) const {
+    _mm512_mask_storeu_pd(P, static_cast<__mmask8>(Mask), Reg);
+  }
 
   /// this + A * B, fused.
   VecD8 fmadd(VecD8 A, VecD8 B) const {
@@ -117,6 +138,41 @@ struct VecD8 {
   /// Reloads the register from an aligned 8-double buffer.
   static VecD8 fromArray(const double *Buf8) {
     return {_mm512_load_pd(Buf8)};
+  }
+};
+
+/// Four doubles: the half-width panel register the SpMM kernel blocks on
+/// when the right-hand-side count is a multiple of 4 but not 8. AVX-512F
+/// implies AVX2, so the 256-bit intrinsics are always available here; the
+/// FMA form additionally needs __FMA__ (present under -march=native on
+/// every FMA-capable host).
+struct VecD4 {
+  __m256d Reg;
+
+  static VecD4 zero() { return {_mm256_setzero_pd()}; }
+
+  static VecD4 broadcast(double V) { return {_mm256_set1_pd(V)}; }
+
+  static VecD4 loadu(const double *P) { return {_mm256_loadu_pd(P)}; }
+
+  void storeu(double *P) const { _mm256_storeu_pd(P, Reg); }
+
+  /// this + A * B, fused when the target has FMA.
+  VecD4 fmadd(VecD4 A, VecD4 B) const {
+#if defined(__FMA__)
+    return {_mm256_fmadd_pd(A.Reg, B.Reg, Reg)};
+#else
+    return {_mm256_add_pd(Reg, _mm256_mul_pd(A.Reg, B.Reg))};
+#endif
+  }
+
+  VecD4 add(VecD4 O) const { return {_mm256_add_pd(Reg, O.Reg)}; }
+
+  /// Spills the register to a 4-double buffer.
+  void toArray(double *Buf4) const { _mm256_storeu_pd(Buf4, Reg); }
+
+  static VecD4 fromArray(const double *Buf4) {
+    return {_mm256_loadu_pd(Buf4)};
   }
 };
 
@@ -169,6 +225,16 @@ struct VecD8 {
     return V;
   }
 
+  static VecD8 loadu(const double *P) { return loadAligned(P); }
+
+  static VecD8 maskLoadu(const double *P, unsigned Mask) {
+    VecD8 V{};
+    for (int K = 0; K < 8; ++K)
+      if (Mask & (1U << K))
+        V.Lane[K] = P[K];
+    return V;
+  }
+
   static VecD8 gather(const double *Base, VecI8 Idx) {
     VecD8 V;
     for (int K = 0; K < 8; ++K)
@@ -177,6 +243,14 @@ struct VecD8 {
   }
 
   void storeAligned(double *P) const { std::memcpy(P, Lane, sizeof(Lane)); }
+
+  void storeu(double *P) const { storeAligned(P); }
+
+  void maskStoreu(double *P, unsigned Mask) const {
+    for (int K = 0; K < 8; ++K)
+      if (Mask & (1U << K))
+        P[K] = Lane[K];
+  }
 
   VecD8 fmadd(VecD8 A, VecD8 B) const {
     VecD8 V;
@@ -209,6 +283,48 @@ struct VecD8 {
   void toArray(double *Buf8) const { std::memcpy(Buf8, Lane, sizeof(Lane)); }
 
   static VecD8 fromArray(const double *Buf8) { return loadAligned(Buf8); }
+};
+
+struct VecD4 {
+  double Lane[4];
+
+  static VecD4 zero() {
+    VecD4 V{};
+    return V;
+  }
+
+  static VecD4 broadcast(double X) {
+    VecD4 V;
+    for (double &L : V.Lane)
+      L = X;
+    return V;
+  }
+
+  static VecD4 loadu(const double *P) {
+    VecD4 V;
+    std::memcpy(V.Lane, P, sizeof(V.Lane));
+    return V;
+  }
+
+  void storeu(double *P) const { std::memcpy(P, Lane, sizeof(Lane)); }
+
+  VecD4 fmadd(VecD4 A, VecD4 B) const {
+    VecD4 V;
+    for (int K = 0; K < 4; ++K)
+      V.Lane[K] = Lane[K] + A.Lane[K] * B.Lane[K];
+    return V;
+  }
+
+  VecD4 add(VecD4 O) const {
+    VecD4 V;
+    for (int K = 0; K < 4; ++K)
+      V.Lane[K] = Lane[K] + O.Lane[K];
+    return V;
+  }
+
+  void toArray(double *Buf4) const { std::memcpy(Buf4, Lane, sizeof(Lane)); }
+
+  static VecD4 fromArray(const double *Buf4) { return loadu(Buf4); }
 };
 
 #endif // CVR_SIMD_AVX512

@@ -22,6 +22,7 @@
 
 #include <cassert>
 #include <cmath>
+#include <string>
 
 namespace cvr {
 
@@ -621,6 +622,248 @@ SolveResult pageRank(const SpmvKernel &Kernel, std::vector<double> &Ranks,
                      Opts.Fused ? pageRankFused(Kernel, Ranks, Damping, Opts)
                                 : pageRankUnfused(Kernel, Ranks, Damping,
                                                   Opts));
+}
+
+//===----------------------------------------------------------------------===//
+// Batched multi-right-hand-side solves
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Shared shape validation for the batched solvers: a prepared square
+/// kernel of dimension \p N and at least one column.
+[[nodiscard]] Status validateBatchSolve(const SpmvKernel &Kernel,
+                                        std::int64_t N, int NumVectors) {
+  if (NumVectors < 1)
+    return Status::invalidArgument("batched solve needs NumVectors >= 1, got " +
+                                   std::to_string(NumVectors));
+  if (N <= 0)
+    return Status::invalidArgument("batched solve needs a non-empty system");
+  if (Kernel.preparedRows() != N || Kernel.preparedCols() != N)
+    return Status::failedPrecondition(
+        Kernel.name() +
+        ": batched solve needs a prepared square kernel of dimension " +
+        std::to_string(N));
+  return Status::okStatus();
+}
+
+/// Per-column convergence bookkeeping after one lockstep sweep: \p Deltas
+/// holds each column's residual measure for this sweep. Returns true when
+/// every column has converged.
+bool updateBatchColumns(BatchSolveResult &Res, const double *Deltas,
+                        std::vector<char> &Done, int Iter, double Tol) {
+  bool All = true;
+  for (std::size_t J = 0; J < Res.Columns.size(); ++J) {
+    if (!Done[J]) {
+      SolveResult &C = Res.Columns[J];
+      C.Iterations = Iter + 1;
+      C.Residual = Deltas[J];
+      if (Deltas[J] < Tol) {
+        C.Converged = true;
+        Done[J] = 1;
+      }
+    }
+    All = All && Done[J] != 0;
+  }
+  return All;
+}
+
+/// Exit bookkeeping shared by the batched solvers.
+BatchSolveResult finishBatchSolve(BatchSolveResult R) {
+  R.AllConverged = true;
+  for (const SolveResult &C : R.Columns)
+    R.AllConverged = R.AllConverged && C.Converged;
+  if (obs::telemetryEnabled()) {
+    static obs::Counter &Solves = obs::counter("solver.batch_solves");
+    static obs::Counter &Cols = obs::counter("solver.batch_columns");
+    static obs::Counter &Iters = obs::counter("solver.batch_iterations");
+    Solves.inc();
+    Cols.add(static_cast<std::int64_t>(R.Columns.size()));
+    Iters.add(R.Iterations);
+  }
+  return R;
+}
+
+} // namespace
+
+StatusOr<BatchSolveResult> jacobiBatch(const SpmvKernel &Kernel,
+                                       const std::vector<double> &Diag,
+                                       const double *B, std::size_t LdB,
+                                       double *X, std::size_t LdX,
+                                       int NumVectors,
+                                       const SolverOptions &Opts) {
+  Status S = validateBatchSolve(
+      Kernel, static_cast<std::int64_t>(Diag.size()), NumVectors);
+  if (!S.ok())
+    return S;
+  if (!B || !X)
+    return Status::invalidArgument("jacobiBatch panels must be non-null");
+  const std::size_t K = static_cast<std::size_t>(NumVectors);
+  if (LdB < K || LdX < K)
+    return Status::invalidArgument(
+        "jacobiBatch panel strides (LdB=" + std::to_string(LdB) +
+        ", LdX=" + std::to_string(LdX) + ") must cover NumVectors=" +
+        std::to_string(NumVectors));
+  const std::size_t N = Diag.size();
+
+  obs::TraceSpan Span("solve/jacobi-batch", "solve");
+  Span.arg("cols", NumVectors);
+
+  BatchSolveResult Res;
+  Res.Columns.assign(K, SolveResult{});
+  std::vector<char> Done(K, 0);
+
+  // Internal dense panels (leading dimension K) make the iterate ping-pong
+  // a pointer swap regardless of the caller's strides; nothing below this
+  // line allocates.
+  std::vector<double> Cur(N * K), Next(N * K), Ax(N * K);
+  std::vector<double> Deltas(K, 0.0);
+  for (std::size_t I = 0; I < N; ++I)
+    for (std::size_t J = 0; J < K; ++J)
+      Cur[I * K + J] = X[I * LdX + J];
+
+  for (int Iter = 0; Iter < Opts.MaxIterations; ++Iter) {
+    if (Opts.Fused) {
+      // The whole update rides the SpMM write-back: next iterate and
+      // per-column infinity-norm step sizes, no post-sweep.
+      FusedBatchEpilogue E = FusedBatchEpilogue::jacobiStep(
+          NumVectors, B, LdB, Diag.data(), Cur.data(), K, Next.data(), K,
+          Deltas.data());
+      Status RS = Kernel.runBatchFused(Cur.data(), K, Ax.data(), K,
+                                       NumVectors, E);
+      if (!RS.ok())
+        return RS;
+    } else {
+      Status RS = Kernel.runBatch(Cur.data(), K, Ax.data(), K, NumVectors);
+      if (!RS.ok())
+        return RS;
+      for (std::size_t J = 0; J < K; ++J)
+        Deltas[J] = 0.0;
+      for (std::size_t I = 0; I < N; ++I) {
+        assert(Diag[I] != 0.0 && "Jacobi requires a nonzero diagonal");
+        const double InvD = 1.0 / Diag[I];
+        for (std::size_t J = 0; J < K; ++J) {
+          double Dx = (B[I * LdB + J] - Ax[I * K + J]) * InvD;
+          Next[I * K + J] = Cur[I * K + J] + Dx;
+          Deltas[J] = std::max(Deltas[J], std::fabs(Dx));
+        }
+      }
+    }
+    Res.Iterations = Iter + 1;
+    Cur.swap(Next);
+    if (updateBatchColumns(Res, Deltas.data(), Done, Iter, Opts.Tolerance))
+      break;
+  }
+
+  for (std::size_t I = 0; I < N; ++I)
+    for (std::size_t J = 0; J < K; ++J)
+      X[I * LdX + J] = Cur[I * K + J];
+  return finishBatchSolve(std::move(Res));
+}
+
+StatusOr<BatchSolveResult> pageRankBatch(const SpmvKernel &Kernel,
+                                         double *Ranks, std::size_t LdR,
+                                         const double *Personalization,
+                                         std::size_t LdP, int NumVectors,
+                                         double Damping,
+                                         const SolverOptions &Opts) {
+  const std::int64_t N64 = Kernel.preparedRows();
+  Status S = validateBatchSolve(Kernel, N64, NumVectors);
+  if (!S.ok())
+    return S;
+  if (!Ranks)
+    return Status::invalidArgument("pageRankBatch rank panel must be non-null");
+  const std::size_t K = static_cast<std::size_t>(NumVectors);
+  if (LdR < K || (Personalization && LdP < K))
+    return Status::invalidArgument(
+        "pageRankBatch panel strides must cover NumVectors=" +
+        std::to_string(NumVectors));
+  const std::size_t N = static_cast<std::size_t>(N64);
+
+  obs::TraceSpan Span("solve/pagerank-batch", "solve");
+  Span.arg("cols", NumVectors);
+
+  // Normalized personalization panel (leading dimension K): each column is
+  // a probability distribution; uniform columns reproduce classic PageRank.
+  std::vector<double> P(N * K);
+  if (Personalization) {
+    for (std::size_t J = 0; J < K; ++J) {
+      double Sum = 0.0;
+      for (std::size_t I = 0; I < N; ++I) {
+        double V = Personalization[I * LdP + J];
+        if (V < 0.0)
+          return Status::invalidArgument(
+              "personalization column " + std::to_string(J) +
+              " has a negative entry");
+        Sum += V;
+      }
+      if (Sum <= 0.0)
+        return Status::invalidArgument("personalization column " +
+                                       std::to_string(J) + " has no mass");
+      for (std::size_t I = 0; I < N; ++I)
+        P[I * K + J] = Personalization[I * LdP + J] / Sum;
+    }
+  } else {
+    const double U = 1.0 / static_cast<double>(N);
+    for (double &V : P)
+      V = U;
+  }
+
+  BatchSolveResult Res;
+  Res.Columns.assign(K, SolveResult{});
+  std::vector<char> Done(K, 0);
+
+  // r0 = p per column; internal panels as in jacobiBatch.
+  std::vector<double> Cur(P), Next(N * K);
+  std::vector<double> Sums(K, 0.0), Deltas(K, 0.0);
+  const double Beta = 1.0 - Damping;
+
+  for (int Iter = 0; Iter < Opts.MaxIterations; ++Iter) {
+    if (Opts.Fused) {
+      // Damp-and-teleport scaling and the per-column rank-mass sums ride
+      // the SpMM; only the leak redistribution below remains.
+      FusedBatchEpilogue E = FusedBatchEpilogue::dampScale(
+          NumVectors, Damping, Beta, P.data(), K, Sums.data());
+      Status RS = Kernel.runBatchFused(Cur.data(), K, Next.data(), K,
+                                       NumVectors, E);
+      if (!RS.ok())
+        return RS;
+    } else {
+      Status RS = Kernel.runBatch(Cur.data(), K, Next.data(), K, NumVectors);
+      if (!RS.ok())
+        return RS;
+      for (std::size_t J = 0; J < K; ++J)
+        Sums[J] = 0.0;
+      for (std::size_t I = 0; I < N; ++I)
+        for (std::size_t J = 0; J < K; ++J) {
+          double V = Damping * Next[I * K + J] + Beta * P[I * K + J];
+          Next[I * K + J] = V;
+          Sums[J] += V;
+        }
+    }
+    // Dangling vertices leak rank mass; per column, redistribute it along
+    // that column's personalization and measure the L1 step in the same
+    // sweep.
+    for (std::size_t J = 0; J < K; ++J) {
+      Sums[J] = 1.0 - Sums[J]; // Now the leak.
+      Deltas[J] = 0.0;
+    }
+    for (std::size_t I = 0; I < N; ++I)
+      for (std::size_t J = 0; J < K; ++J) {
+        double V = Next[I * K + J] + Sums[J] * P[I * K + J];
+        Next[I * K + J] = V;
+        Deltas[J] += std::fabs(V - Cur[I * K + J]);
+      }
+    Res.Iterations = Iter + 1;
+    Cur.swap(Next);
+    if (updateBatchColumns(Res, Deltas.data(), Done, Iter, Opts.Tolerance))
+      break;
+  }
+
+  for (std::size_t I = 0; I < N; ++I)
+    for (std::size_t J = 0; J < K; ++J)
+      Ranks[I * LdR + J] = Cur[I * K + J];
+  return finishBatchSolve(std::move(Res));
 }
 
 } // namespace cvr

@@ -92,6 +92,50 @@ SolveResult powerIteration(const SpmvKernel &Kernel, double &Eigenvalue,
 SolveResult pageRank(const SpmvKernel &Kernel, std::vector<double> &Ranks,
                      double Damping = 0.85, const SolverOptions &Opts = {});
 
+//===----------------------------------------------------------------------===//
+// Batched multi-right-hand-side solves
+//===----------------------------------------------------------------------===//
+
+/// Outcome of a batched solve: NumVectors independent systems sharing one
+/// matrix, advanced in lockstep so every sweep is one SpMM that streams
+/// the matrix once for the whole batch.
+struct BatchSolveResult {
+  bool AllConverged = false; ///< Every column hit its tolerance.
+  int Iterations = 0;        ///< Lockstep sweeps run (max over columns).
+  /// Per-column outcome. Iterations is the sweep at which that column
+  /// first met the tolerance (columns keep riding the batch afterwards —
+  /// extra sweeps are Jacobi/power-method fixed-point applications and
+  /// leave a converged column in place up to roundoff).
+  std::vector<SolveResult> Columns;
+};
+
+/// Batched Jacobi: NumVectors right-hand sides over one prepared kernel.
+/// Panels are row-major like SpmvKernel::runBatch — element (i, j) of B at
+/// B[i * LdB + j] — with \p X holding the initial guesses on entry and the
+/// solutions on exit. Each sweep is one fused SpMM carrying the whole
+/// update (next iterate + per-column infinity-norm step sizes), so the
+/// matrix streams once per register block of columns instead of once per
+/// system. INVALID_ARGUMENT for bad panels; any kernel batch failure
+/// propagates.
+[[nodiscard]] StatusOr<BatchSolveResult>
+jacobiBatch(const SpmvKernel &Kernel, const std::vector<double> &Diag,
+            const double *B, std::size_t LdB, double *X, std::size_t LdX,
+            int NumVectors, const SolverOptions &Opts = {});
+
+/// Batched personalized PageRank: NumVectors rank vectors over one shared
+/// transition kernel, each biased by its own personalization column
+/// (\p Personalization row-major with LdP, columns normalized internally;
+/// nullptr means every column teleports uniformly, i.e. classic PageRank).
+/// \p Ranks (row-major, LdR) is overwritten with the converged ranks. Each
+/// sweep fuses the damp-and-teleport scaling and the per-column rank-mass
+/// sums into one SpMM; the per-column leak redistribution (proportional to
+/// the personalization) remains as the single post-sweep. Residual per
+/// column is its L1 rank change.
+[[nodiscard]] StatusOr<BatchSolveResult>
+pageRankBatch(const SpmvKernel &Kernel, double *Ranks, std::size_t LdR,
+              const double *Personalization, std::size_t LdP, int NumVectors,
+              double Damping = 0.85, const SolverOptions &Opts = {});
+
 } // namespace cvr
 
 #endif // CVR_SOLVERS_SOLVERS_H

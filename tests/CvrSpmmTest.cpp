@@ -1,6 +1,13 @@
-//===- tests/CvrSpmmTest.cpp - Multi-vector SpMV tests --------------------===//
+//===- tests/CvrSpmmTest.cpp - Register-blocked SpMM tests ----------------===//
 //
 // Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// The batched kernel stores panels row-major: element (i, j) of X lives at
+// X[i * LdX + j], so each matrix nonzero loads a contiguous block of
+// right-hand sides. Every test checks the panel column-by-column against
+// the single-vector kernel (or the scalar reference).
 //
 //===----------------------------------------------------------------------===//
 
@@ -12,41 +19,64 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 namespace cvr {
 namespace {
 
 using test::randomVector;
 using test::SpmvTolerance;
 
+/// Fills a row-major NumRows x K panel (leading dimension Ld) with
+/// deterministic per-column random vectors and returns it.
+std::vector<double> randomPanel(std::size_t NumRows, int K, std::size_t Ld,
+                                std::uint64_t Seed) {
+  std::vector<double> P(NumRows * Ld, -4.0);
+  for (int J = 0; J < K; ++J) {
+    std::vector<double> Col = randomVector(NumRows, Seed + J);
+    for (std::size_t I = 0; I < NumRows; ++I)
+      P[I * Ld + J] = Col[I];
+  }
+  return P;
+}
+
+/// Extracts column J of a row-major panel into a contiguous vector.
+std::vector<double> panelColumn(const std::vector<double> &P, std::size_t Ld,
+                                int J, std::size_t NumRows) {
+  std::vector<double> Col(NumRows);
+  for (std::size_t I = 0; I < NumRows; ++I)
+    Col[I] = P[I * Ld + J];
+  return Col;
+}
+
 /// Runs cvrSpmm and checks every column against single-vector cvrSpmv.
 void expectSpmmMatchesSpmv(const CsrMatrix &A, int NumVectors, int Threads,
-                           std::size_t ExtraLd) {
-  CvrOptions Opts;
+                           std::size_t ExtraLd, CvrOptions Opts = {},
+                           CvrSpmmOptions SpmmOpts = {}) {
   Opts.NumThreads = Threads;
   CvrMatrix M = CvrMatrix::fromCsr(A, Opts);
 
-  std::size_t LdX = static_cast<std::size_t>(A.numCols()) + ExtraLd;
-  std::size_t LdY = static_cast<std::size_t>(A.numRows()) + ExtraLd;
-  std::vector<double> X(LdX * NumVectors), Y(LdY * NumVectors, -4.0);
-  for (int V = 0; V < NumVectors; ++V) {
-    std::vector<double> Col =
-        randomVector(static_cast<std::size_t>(A.numCols()), 100 + V);
-    std::copy(Col.begin(), Col.end(), X.begin() + V * LdX);
-  }
+  std::size_t Rows = static_cast<std::size_t>(A.numRows());
+  std::size_t Cols = static_cast<std::size_t>(A.numCols());
+  std::size_t LdX = static_cast<std::size_t>(NumVectors) + ExtraLd;
+  std::size_t LdY = LdX + 3;
+  std::vector<double> X = randomPanel(Cols, NumVectors, LdX, 100);
+  std::vector<double> Y(Rows * LdY, -4.0);
 
-  cvrSpmm(M, X.data(), LdX, Y.data(), LdY, NumVectors);
+  ASSERT_TRUE(
+      cvrSpmm(M, X.data(), LdX, Y.data(), LdY, NumVectors, SpmmOpts).ok());
 
-  for (int V = 0; V < NumVectors; ++V) {
-    std::vector<double> Expected(static_cast<std::size_t>(A.numRows()));
-    cvrSpmv(M, X.data() + V * LdX, Expected.data());
-    std::vector<double> Got(Y.begin() + V * LdY,
-                            Y.begin() + V * LdY + A.numRows());
+  for (int J = 0; J < NumVectors; ++J) {
+    std::vector<double> Xc = panelColumn(X, LdX, J, Cols);
+    std::vector<double> Expected(Rows);
+    cvrSpmv(M, Xc.data(), Expected.data());
+    std::vector<double> Got = panelColumn(Y, LdY, J, Rows);
     EXPECT_LE(maxRelDiff(Expected, Got), SpmvTolerance)
-        << "vector " << V << " of " << NumVectors;
+        << "column " << J << " of " << NumVectors;
   }
 }
 
-TEST(CvrSpmm, SingleVectorDegeneratesToSpmv) {
+TEST(CvrSpmm, SingleColumnDegeneratesToSpmv) {
   expectSpmmMatchesSpmv(genRmat(9, 8, 81), 1, 1, 0);
 }
 
@@ -54,9 +84,20 @@ TEST(CvrSpmm, FullBlockOfFour) {
   expectSpmmMatchesSpmv(genRmat(9, 8, 82), 4, 1, 0);
 }
 
-TEST(CvrSpmm, PartialTrailingBlock) {
-  // 7 vectors: one full block of 4 plus a remainder of 3.
-  expectSpmmMatchesSpmv(genPowerLaw(400, 400, 5.0, 1.1, 83), 7, 1, 0);
+TEST(CvrSpmm, FullBlockOfEight) {
+  expectSpmmMatchesSpmv(genRmat(9, 8, 82), 8, 1, 0);
+}
+
+TEST(CvrSpmm, MaskedTailsOfEveryWidth) {
+  // Widths 1..7 all route through the masked tail panel exactly once.
+  CsrMatrix A = genPowerLaw(300, 300, 5.0, 1.1, 83);
+  for (int K = 1; K <= 7; ++K)
+    expectSpmmMatchesSpmv(A, K, 1, 0);
+}
+
+TEST(CvrSpmm, WideBatchMixesBlockAndTail) {
+  // 13 = one block of 8 plus a masked tail of 5; the matrix streams twice.
+  expectSpmmMatchesSpmv(genPowerLaw(400, 400, 5.0, 1.1, 83), 13, 1, 0);
 }
 
 TEST(CvrSpmm, PaddedLeadingDimensions) {
@@ -67,26 +108,47 @@ TEST(CvrSpmm, MultiThreadSharedRows) {
   expectSpmmMatchesSpmv(genShortFat(5, 900, 300, 84), 6, 4, 0);
 }
 
-TEST(CvrSpmm, GenericLaneFallback) {
-  CsrMatrix A = genRmat(8, 6, 85);
+TEST(CvrSpmm, RhsBlockFourPasses) {
+  // RhsBlock=4 splits K=8 into two four-column passes over the matrix.
+  CvrSpmmOptions SpmmOpts;
+  SpmmOpts.RhsBlock = 4;
+  expectSpmmMatchesSpmv(genRmat(9, 8, 87), 8, 2, 0, {}, SpmmOpts);
+}
+
+TEST(CvrSpmm, RhsBlockSnapsLikePrefetch) {
+  EXPECT_EQ(snapRhsBlock(0), 8);
+  EXPECT_EQ(snapRhsBlock(-3), 8);
+  EXPECT_EQ(snapRhsBlock(1), 4);
+  EXPECT_EQ(snapRhsBlock(4), 4);
+  EXPECT_EQ(snapRhsBlock(5), 8);
+  EXPECT_EQ(snapRhsBlock(64), 8);
+}
+
+TEST(CvrSpmm, PrefetchDistanceVariants) {
+  CsrMatrix A = genPowerLaw(300, 300, 6.0, 1.2, 88);
+  for (int Pf : {2, 4, 8}) {
+    CvrSpmmOptions SpmmOpts;
+    SpmmOpts.PrefetchDistance = Pf;
+    expectSpmmMatchesSpmv(A, 6, 2, 0, {}, SpmmOpts);
+  }
+}
+
+TEST(CvrSpmm, BlockedMatrixAccumulatesBands) {
   CvrOptions Opts;
-  Opts.Lanes = 4; // Non-AVX width: cvrSpmm falls back to per-vector runs.
-  CvrMatrix M = CvrMatrix::fromCsr(A, Opts);
-  std::size_t N = static_cast<std::size_t>(A.numCols());
-  std::vector<double> X(N * 3), Y(static_cast<std::size_t>(A.numRows()) * 3);
-  for (int V = 0; V < 3; ++V) {
-    std::vector<double> Col = randomVector(N, 200 + V);
-    std::copy(Col.begin(), Col.end(), X.begin() + V * N);
-  }
-  cvrSpmm(M, X.data(), N, Y.data(), static_cast<std::size_t>(A.numRows()),
-          3);
-  for (int V = 0; V < 3; ++V) {
-    std::vector<double> Expected(static_cast<std::size_t>(A.numRows()));
-    cvrSpmv(M, X.data() + V * N, Expected.data());
-    std::vector<double> Got(Y.begin() + V * A.numRows(),
-                            Y.begin() + (V + 1) * A.numRows());
-    EXPECT_LE(maxRelDiff(Expected, Got), SpmvTolerance);
-  }
+  Opts.ColBlockBytes = 512; // 64-column bands force the accumulate path.
+  expectSpmmMatchesSpmv(genPowerLaw(500, 500, 6.0, 1.2, 89), 6, 2, 0, Opts);
+}
+
+TEST(CvrSpmm, GenericLaneFallback) {
+  CvrOptions Opts;
+  Opts.Lanes = 4; // Non-AVX width routes through the generic lane kernel.
+  expectSpmmMatchesSpmv(genRmat(8, 6, 85), 3, 1, 0, Opts);
+}
+
+TEST(CvrSpmm, ForcedGenericKernel) {
+  CvrOptions Opts;
+  Opts.ForceGenericKernel = true;
+  expectSpmmMatchesSpmv(genRmat(8, 6, 85), 5, 2, 0, Opts);
 }
 
 TEST(CvrSpmm, MatchesScalarReferencePerColumn) {
@@ -94,16 +156,240 @@ TEST(CvrSpmm, MatchesScalarReferencePerColumn) {
   CvrMatrix M = CvrMatrix::fromCsr(A);
   std::size_t Cols = static_cast<std::size_t>(A.numCols());
   std::size_t Rows = static_cast<std::size_t>(A.numRows());
-  std::vector<double> X(Cols * 4), Y(Rows * 4);
-  for (int V = 0; V < 4; ++V) {
-    std::vector<double> Col = randomVector(Cols, 300 + V);
-    std::copy(Col.begin(), Col.end(), X.begin() + V * Cols);
+  const int K = 4;
+  std::vector<double> X = randomPanel(Cols, K, K, 300);
+  std::vector<double> Y(Rows * K);
+  ASSERT_TRUE(cvrSpmm(M, X.data(), K, Y.data(), K, K).ok());
+  for (int J = 0; J < K; ++J) {
+    std::vector<double> Xc = panelColumn(X, K, J, Cols);
+    std::vector<double> Expected = referenceSpmv(A, Xc);
+    std::vector<double> Got = panelColumn(Y, K, J, Rows);
+    EXPECT_LE(maxRelDiff(Expected, Got), SpmvTolerance);
   }
-  cvrSpmm(M, X.data(), Cols, Y.data(), Rows, 4);
-  for (int V = 0; V < 4; ++V) {
-    std::vector<double> Xv(X.begin() + V * Cols, X.begin() + (V + 1) * Cols);
-    std::vector<double> Expected = referenceSpmv(A, Xv);
-    std::vector<double> Got(Y.begin() + V * Rows, Y.begin() + (V + 1) * Rows);
+}
+
+TEST(CvrSpmm, RejectsBadPanelArguments) {
+  CsrMatrix A = genRmat(7, 6, 90);
+  CvrMatrix M = CvrMatrix::fromCsr(A);
+  std::vector<double> X(static_cast<std::size_t>(A.numCols()) * 4);
+  std::vector<double> Y(static_cast<std::size_t>(A.numRows()) * 4);
+
+  // Checked in every build mode: a stride smaller than the panel width
+  // would silently interleave columns.
+  EXPECT_EQ(cvrSpmm(M, X.data(), 3, Y.data(), 4, 4).code(),
+            StatusCode::InvalidArgument);
+  EXPECT_EQ(cvrSpmm(M, X.data(), 4, Y.data(), 3, 4).code(),
+            StatusCode::InvalidArgument);
+  EXPECT_EQ(cvrSpmm(M, X.data(), 4, Y.data(), 4, 0).code(),
+            StatusCode::InvalidArgument);
+  EXPECT_EQ(cvrSpmm(M, nullptr, 4, Y.data(), 4, 4).code(),
+            StatusCode::InvalidArgument);
+  EXPECT_EQ(cvrSpmm(M, X.data(), 4, nullptr, 4, 4).code(),
+            StatusCode::InvalidArgument);
+}
+
+//===----------------------------------------------------------------------===//
+// Fused batch epilogues
+//===----------------------------------------------------------------------===//
+
+/// Shared fixture state: a matrix, its CVR form, and row-major panels.
+struct FusedPanels {
+  CsrMatrix A;
+  CvrMatrix M;
+  std::size_t Rows, Cols;
+  int K;
+  std::size_t LdX, LdY;
+  std::vector<double> X;
+  std::vector<double> YPlain; ///< Unfused SpMM result, same panel shape.
+
+  FusedPanels(CsrMatrix In, int NumVectors, int Threads = 2,
+              CvrOptions Opts = {})
+      : A(std::move(In)), M((Opts.NumThreads = Threads,
+                             CvrMatrix::fromCsr(A, Opts))),
+        Rows(static_cast<std::size_t>(A.numRows())),
+        Cols(static_cast<std::size_t>(A.numCols())), K(NumVectors),
+        LdX(static_cast<std::size_t>(K) + 2),
+        LdY(static_cast<std::size_t>(K) + 5),
+        X(randomPanel(Cols, K, LdX, 400)), YPlain(Rows * LdY, 0.0) {
+    EXPECT_TRUE(cvrSpmm(M, X.data(), LdX, YPlain.data(), LdY, K).ok());
+  }
+};
+
+TEST(CvrSpmmFused, DotPerColumn) {
+  FusedPanels P(genPowerLaw(350, 350, 5.0, 1.2, 91), 6);
+  std::vector<double> Z = randomPanel(P.Rows, P.K, P.K, 500);
+  std::vector<double> Acc1(P.K, -1.0), Acc2(P.K, -1.0);
+  std::vector<double> Y(P.Rows * P.LdY);
+  FusedBatchEpilogue E = FusedBatchEpilogue::dot(
+      P.K, /*WantYDotY=*/true, Acc1.data(), Z.data(), P.K, Acc2.data());
+  ASSERT_TRUE(
+      cvrSpmmFused(P.M, P.X.data(), P.LdX, Y.data(), P.LdY, P.K, E).ok());
+  for (int J = 0; J < P.K; ++J) {
+    double YdY = 0.0, ZdY = 0.0;
+    for (std::size_t I = 0; I < P.Rows; ++I) {
+      double Yi = P.YPlain[I * P.LdY + J];
+      // Shared boundary rows use atomic adds, so two runs may reassociate.
+      EXPECT_NEAR(Y[I * P.LdY + J], Yi, 1e-12 * (1.0 + std::abs(Yi)));
+      YdY += Yi * Yi;
+      ZdY += Z[I * P.K + J] * Yi;
+    }
+    EXPECT_NEAR(Acc1[J], YdY, 1e-9 * (1.0 + std::abs(YdY)));
+    EXPECT_NEAR(Acc2[J], ZdY, 1e-9 * (1.0 + std::abs(ZdY)));
+  }
+}
+
+TEST(CvrSpmmFused, AxpbyTransformsEveryColumn) {
+  FusedPanels P(genRmat(9, 8, 92), 5);
+  std::vector<double> Z = randomPanel(P.Rows, P.K, P.K, 600);
+  std::vector<double> Acc1(P.K, -1.0);
+  std::vector<double> Y(P.Rows * P.LdY);
+  const double Alpha = 0.75, Beta = -1.25;
+  FusedBatchEpilogue E = FusedBatchEpilogue::axpby(P.K, Alpha, Beta, Z.data(),
+                                                   P.K, Acc1.data());
+  ASSERT_TRUE(
+      cvrSpmmFused(P.M, P.X.data(), P.LdX, Y.data(), P.LdY, P.K, E).ok());
+  for (int J = 0; J < P.K; ++J) {
+    double Norm = 0.0;
+    for (std::size_t I = 0; I < P.Rows; ++I) {
+      double Want = Alpha * P.YPlain[I * P.LdY + J] + Beta * Z[I * P.K + J];
+      EXPECT_NEAR(Y[I * P.LdY + J], Want, 1e-12 * (1.0 + std::abs(Want)));
+      Norm += Want * Want;
+    }
+    EXPECT_NEAR(Acc1[J], Norm, 1e-9 * (1.0 + Norm));
+  }
+}
+
+TEST(CvrSpmmFused, ResidualNormPerColumn) {
+  FusedPanels P(genCircuit(320, 4.0, 5, 93), 7);
+  std::vector<double> B = randomPanel(P.Rows, P.K, P.K, 700);
+  std::vector<double> Acc1(P.K, -1.0);
+  std::vector<double> R(P.Rows * P.K, 0.0);
+  std::vector<double> Y(P.Rows * P.LdY);
+  FusedBatchEpilogue E = FusedBatchEpilogue::residualNorm(
+      P.K, B.data(), P.K, Acc1.data(), R.data(), P.K);
+  ASSERT_TRUE(
+      cvrSpmmFused(P.M, P.X.data(), P.LdX, Y.data(), P.LdY, P.K, E).ok());
+  for (int J = 0; J < P.K; ++J) {
+    double Norm = 0.0;
+    for (std::size_t I = 0; I < P.Rows; ++I) {
+      double Want = B[I * P.K + J] - P.YPlain[I * P.LdY + J];
+      EXPECT_NEAR(R[I * P.K + J], Want, 1e-12 * (1.0 + std::abs(Want)));
+      Norm += Want * Want;
+    }
+    EXPECT_NEAR(Acc1[J], Norm, 1e-9 * (1.0 + Norm));
+  }
+}
+
+TEST(CvrSpmmFused, JacobiStepPerColumn) {
+  FusedPanels P(genCircuit(280, 3.0, 4, 94), 4);
+  std::vector<double> B = randomPanel(P.Rows, P.K, P.K, 800);
+  std::vector<double> Xold = randomPanel(P.Rows, P.K, P.K, 900);
+  std::vector<double> XNew(P.Rows * P.K, 0.0);
+  std::vector<double> D = randomVector(P.Rows, 1000);
+  for (double &V : D)
+    V += (V >= 0 ? 2.0 : -2.0); // Keep the diagonal away from zero.
+  std::vector<double> Acc1(P.K, -1.0);
+  std::vector<double> Y(P.Rows * P.LdY);
+  FusedBatchEpilogue E = FusedBatchEpilogue::jacobiStep(
+      P.K, B.data(), P.K, D.data(), Xold.data(), P.K, XNew.data(), P.K,
+      Acc1.data());
+  ASSERT_TRUE(
+      cvrSpmmFused(P.M, P.X.data(), P.LdX, Y.data(), P.LdY, P.K, E).ok());
+  for (int J = 0; J < P.K; ++J) {
+    double MaxDx = 0.0;
+    for (std::size_t I = 0; I < P.Rows; ++I) {
+      double Dx =
+          (B[I * P.K + J] - P.YPlain[I * P.LdY + J]) / D[I];
+      double Want = Xold[I * P.K + J] + Dx;
+      EXPECT_NEAR(XNew[I * P.K + J], Want, 1e-11 * (1.0 + std::abs(Want)));
+      MaxDx = std::max(MaxDx, std::abs(Dx));
+    }
+    EXPECT_NEAR(Acc1[J], MaxDx, 1e-11 * (1.0 + MaxDx));
+  }
+}
+
+TEST(CvrSpmmFused, DampScalePerColumn) {
+  FusedPanels P(genPowerLaw(260, 260, 5.0, 1.3, 95), 3);
+  std::vector<double> Z = randomPanel(P.Rows, P.K, P.K, 1100);
+  std::vector<double> Prev = randomPanel(P.Rows, P.K, P.K, 1200);
+  std::vector<double> Acc1(P.K, -1.0), Acc2(P.K, -1.0);
+  std::vector<double> Y(P.Rows * P.LdY);
+  const double Damp = 0.85, Beta = 0.15;
+  FusedBatchEpilogue E = FusedBatchEpilogue::dampScale(
+      P.K, Damp, Beta, Z.data(), P.K, Acc1.data(), Prev.data(), P.K,
+      Acc2.data());
+  ASSERT_TRUE(
+      cvrSpmmFused(P.M, P.X.data(), P.LdX, Y.data(), P.LdY, P.K, E).ok());
+  for (int J = 0; J < P.K; ++J) {
+    double Sum = 0.0, Delta = 0.0;
+    for (std::size_t I = 0; I < P.Rows; ++I) {
+      double Want = Damp * P.YPlain[I * P.LdY + J] + Beta * Z[I * P.K + J];
+      EXPECT_NEAR(Y[I * P.LdY + J], Want, 1e-12 * (1.0 + std::abs(Want)));
+      Sum += Want;
+      Delta += std::abs(Want - Prev[I * P.K + J]);
+    }
+    EXPECT_NEAR(Acc1[J], Sum, 1e-9 * (1.0 + std::abs(Sum)));
+    EXPECT_NEAR(Acc2[J], Delta, 1e-9 * (1.0 + Delta));
+  }
+}
+
+TEST(CvrSpmmFused, BlockedMatrixComposesEpilogue) {
+  // Blocked conversions accumulate across bands, so the fused driver
+  // composes plain SpMM with a scalar epilogue sweep; results must match
+  // the native fused path's semantics exactly.
+  CvrOptions Opts;
+  Opts.ColBlockBytes = 512;
+  FusedPanels P(genPowerLaw(300, 300, 6.0, 1.2, 96), 5, 2, Opts);
+  std::vector<double> Acc1(P.K, -1.0);
+  std::vector<double> Y(P.Rows * P.LdY);
+  FusedBatchEpilogue E =
+      FusedBatchEpilogue::dot(P.K, /*WantYDotY=*/true, Acc1.data());
+  ASSERT_TRUE(
+      cvrSpmmFused(P.M, P.X.data(), P.LdX, Y.data(), P.LdY, P.K, E).ok());
+  for (int J = 0; J < P.K; ++J) {
+    double YdY = 0.0;
+    for (std::size_t I = 0; I < P.Rows; ++I) {
+      double Yi = P.YPlain[I * P.LdY + J];
+      // Shared boundary rows use atomic adds, so two runs may reassociate.
+      EXPECT_NEAR(Y[I * P.LdY + J], Yi, 1e-12 * (1.0 + std::abs(Yi)));
+      YdY += Yi * Yi;
+    }
+    EXPECT_NEAR(Acc1[J], YdY, 1e-9 * (1.0 + YdY));
+  }
+}
+
+TEST(CvrSpmmFused, RejectsMismatchedEpilogueWidth) {
+  CsrMatrix A = genRmat(7, 6, 97);
+  CvrMatrix M = CvrMatrix::fromCsr(A);
+  std::vector<double> X(static_cast<std::size_t>(A.numCols()) * 4);
+  std::vector<double> Y(static_cast<std::size_t>(A.numRows()) * 4);
+  std::vector<double> Acc1(3);
+  FusedBatchEpilogue E =
+      FusedBatchEpilogue::dot(3, /*WantYDotY=*/true, Acc1.data());
+  EXPECT_EQ(cvrSpmmFused(M, X.data(), 4, Y.data(), 4, 4, E).code(),
+            StatusCode::InvalidArgument);
+}
+
+//===----------------------------------------------------------------------===//
+// Kernel-interface batch surface
+//===----------------------------------------------------------------------===//
+
+TEST(CvrSpmm, KernelRunBatchMatchesFreeFunction) {
+  CsrMatrix A = genPowerLaw(300, 300, 5.0, 1.2, 98);
+  CvrKernel K;
+  K.prepare(A);
+  EXPECT_EQ(K.preparedCols(), A.numCols());
+  const int NumVec = 6;
+  std::size_t Cols = static_cast<std::size_t>(A.numCols());
+  std::size_t Rows = static_cast<std::size_t>(A.numRows());
+  std::vector<double> X = randomPanel(Cols, NumVec, NumVec, 1300);
+  std::vector<double> Y(Rows * NumVec);
+  ASSERT_TRUE(K.runBatch(X.data(), NumVec, Y.data(), NumVec, NumVec).ok());
+  for (int J = 0; J < NumVec; ++J) {
+    std::vector<double> Xc = panelColumn(X, NumVec, J, Cols);
+    std::vector<double> Expected(Rows);
+    K.run(Xc.data(), Expected.data());
+    std::vector<double> Got = panelColumn(Y, NumVec, J, Rows);
     EXPECT_LE(maxRelDiff(Expected, Got), SpmvTolerance);
   }
 }

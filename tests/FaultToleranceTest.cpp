@@ -293,6 +293,38 @@ TEST_F(FaultToleranceTest, LadderFallsToCsrWhenConversionFails) {
     EXPECT_FALSE(D.Reason.ok());
 }
 
+TEST_F(FaultToleranceTest, LadderCsrRungStillServesRunBatch) {
+  // The matrix must outlive the prepared kernel (CSR's rung keeps a
+  // pointer), so this drill builds its own instead of prepareUnderFault's.
+  CsrMatrix A = test::randomCsr(64, 64, 0.15, 21);
+  PrepareOptions Opts;
+  Opts.Tune = true;
+  Opts.PanelWidth = 8;
+  ASSERT_TRUE(failpoint::armFromSpec("convert.cvr.fail").ok());
+  StatusOr<PreparedKernel> P = prepareKernel(FormatId::Cvr, A, Opts);
+  failpoint::disarmAll();
+  ASSERT_TRUE(P.ok()) << P.status().toString();
+  EXPECT_EQ(P->Actual, "CSR");
+  ASSERT_NE(P->Kernel, nullptr);
+
+  // The bottom rung owns the batch API too: a multi-RHS panel through the
+  // degraded kernel must match the per-column scalar reference.
+  const int NumVec = 5;
+  const std::size_t Ld = 6; // One padding column exercises the stride.
+  std::vector<double> X = test::randomVector(64 * Ld, 11);
+  std::vector<double> Y(64 * Ld, 0.0);
+  ASSERT_TRUE(P->Kernel->runBatch(X.data(), Ld, Y.data(), Ld, NumVec).ok());
+  std::vector<double> Xc(64), Yc(64);
+  for (int J = 0; J < NumVec; ++J) {
+    for (std::size_t I = 0; I < 64; ++I)
+      Xc[I] = X[I * Ld + static_cast<std::size_t>(J)];
+    std::vector<double> Ref = referenceSpmv(A, Xc);
+    for (std::size_t I = 0; I < 64; ++I)
+      Yc[I] = Y[I * Ld + static_cast<std::size_t>(J)];
+    EXPECT_LE(maxRelDiff(Ref, Yc), test::SpmvTolerance) << "column " << J;
+  }
+}
+
 TEST_F(FaultToleranceTest, LadderFallsToDefaultCvrOnTuneTimeout) {
   PrepareOptions Opts;
   Opts.Tune = true;

@@ -189,6 +189,154 @@ SolverOptions pathOptions(bool Fused) {
   return Opts;
 }
 
+//===----------------------------------------------------------------------===//
+// Batched multi-RHS solves: lockstep SpMM sweeps must land on the same
+// answers as the single-vector solvers, column by column.
+//===----------------------------------------------------------------------===//
+
+TEST(JacobiBatch, MatchesPerColumnJacobiOnBothPaths) {
+  CsrMatrix Base = genBanded(300, 6, 3, 13);
+  CooMatrix Coo = Base.toCoo();
+  for (CooEntry &E : Coo.entries())
+    if (E.Row == E.Col)
+      E.Val = 20.0;
+  CsrMatrix A = CsrMatrix::fromCoo(Coo);
+  const std::size_t N = static_cast<std::size_t>(A.numRows());
+  std::vector<double> Diag(N, 20.0);
+
+  const int NumVec = 3;
+  const std::size_t Ld = NumVec + 1; // Padding column exercises strides.
+  std::vector<std::vector<double>> XStar;
+  std::vector<double> B(N * Ld, 0.0), X(N * Ld, 0.0);
+  for (int J = 0; J < NumVec; ++J) {
+    XStar.push_back(randomVector(N, 100 + static_cast<std::uint64_t>(J)));
+    std::vector<double> BCol = referenceSpmv(A, XStar.back());
+    for (std::size_t I = 0; I < N; ++I)
+      B[I * Ld + static_cast<std::size_t>(J)] = BCol[I];
+  }
+
+  CvrKernel Kern;
+  Kern.prepare(A);
+  SolverOptions Opts;
+  Opts.Tolerance = 1e-12;
+  Opts.MaxIterations = 500;
+  for (bool Fused : {true, false}) {
+    Opts.Fused = Fused;
+    std::fill(X.begin(), X.end(), 0.0);
+    StatusOr<BatchSolveResult> R =
+        jacobiBatch(Kern, Diag, B.data(), Ld, X.data(), Ld, NumVec, Opts);
+    ASSERT_TRUE(R.ok()) << R.status().toString();
+    EXPECT_TRUE(R->AllConverged) << "fused=" << Fused;
+    ASSERT_EQ(R->Columns.size(), static_cast<std::size_t>(NumVec));
+    for (int J = 0; J < NumVec; ++J) {
+      EXPECT_TRUE(R->Columns[static_cast<std::size_t>(J)].Converged);
+      double Err = 0.0;
+      for (std::size_t I = 0; I < N; ++I)
+        Err = std::max(
+            Err, std::fabs(X[I * Ld + static_cast<std::size_t>(J)] -
+                           XStar[static_cast<std::size_t>(J)][I]));
+      EXPECT_LT(Err, 1e-8) << "fused=" << Fused << " column " << J;
+    }
+  }
+}
+
+TEST(JacobiBatch, RejectsBadPanelsAndUnpreparedKernels) {
+  CsrMatrix A = genBanded(32, 4, 2, 3);
+  std::vector<double> Diag(32, 20.0);
+  std::vector<double> B(32 * 3, 1.0), X(32 * 3, 0.0);
+
+  CvrKernel Unprepared;
+  EXPECT_EQ(jacobiBatch(Unprepared, Diag, B.data(), 3, X.data(), 3, 3)
+                .status()
+                .code(),
+            StatusCode::FailedPrecondition);
+
+  CvrKernel K;
+  K.prepare(A);
+  EXPECT_EQ(jacobiBatch(K, Diag, B.data(), 2, X.data(), 3, 3).status().code(),
+            StatusCode::InvalidArgument);
+  EXPECT_EQ(jacobiBatch(K, Diag, B.data(), 3, X.data(), 2, 3).status().code(),
+            StatusCode::InvalidArgument);
+  EXPECT_EQ(jacobiBatch(K, Diag, B.data(), 3, nullptr, 3, 3).status().code(),
+            StatusCode::InvalidArgument);
+  EXPECT_EQ(jacobiBatch(K, Diag, B.data(), 3, X.data(), 3, 0).status().code(),
+            StatusCode::InvalidArgument);
+}
+
+TEST(PageRankBatch, UniformTeleportMatchesSinglePageRank) {
+  // Scale-free transition graph: each batch column with no personalization
+  // is classic PageRank, so every column must match the single solver.
+  CsrMatrix G = genRmat(7, 6, 99);
+  CooMatrix Coo(G.numRows(), G.numRows());
+  CooMatrix Edges = G.toCoo();
+  std::vector<double> OutDeg(static_cast<std::size_t>(G.numRows()), 0.0);
+  for (const CooEntry &E : Edges.entries())
+    OutDeg[static_cast<std::size_t>(E.Row)] += 1.0;
+  for (const CooEntry &E : Edges.entries())
+    Coo.add(E.Col, E.Row, 1.0 / OutDeg[static_cast<std::size_t>(E.Row)]);
+  CsrMatrix M = CsrMatrix::fromCoo(Coo);
+  const std::size_t N = static_cast<std::size_t>(M.numRows());
+
+  CvrKernel K;
+  K.prepare(M);
+  std::vector<double> Single(N, 0.0);
+  SolveResult RS = pageRank(K, Single, 0.85, {500, 1e-12});
+  ASSERT_TRUE(RS.Converged);
+
+  const int NumVec = 2;
+  for (bool Fused : {true, false}) {
+    SolverOptions Opts{500, 1e-12};
+    Opts.Fused = Fused;
+    std::vector<double> Ranks(N * NumVec, 0.0);
+    StatusOr<BatchSolveResult> R = pageRankBatch(
+        K, Ranks.data(), NumVec, nullptr, 0, NumVec, 0.85, Opts);
+    ASSERT_TRUE(R.ok()) << R.status().toString();
+    EXPECT_TRUE(R->AllConverged);
+    for (int J = 0; J < NumVec; ++J)
+      for (std::size_t I = 0; I < N; ++I)
+        EXPECT_NEAR(Ranks[I * NumVec + static_cast<std::size_t>(J)],
+                    Single[I], 1e-8)
+            << "fused=" << Fused << " column " << J;
+  }
+}
+
+TEST(PageRankBatch, PersonalizedColumnsBiasTowardTheirSeeds) {
+  // Directed ring: uniform PageRank is exactly 1/N, so any deviation in a
+  // personalized column is attributable to its teleport vector.
+  std::int32_t N = 48;
+  CooMatrix Coo(N, N);
+  for (std::int32_t V = 0; V < N; ++V)
+    Coo.add((V + 1) % N, V, 1.0);
+  CsrMatrix M = CsrMatrix::fromCoo(Coo);
+
+  CvrKernel K;
+  K.prepare(M);
+  const int NumVec = 2;
+  // Column 0 teleports uniformly; column 1 teleports onto vertex 7 only.
+  std::vector<double> P(static_cast<std::size_t>(N) * NumVec, 0.0);
+  for (std::int32_t I = 0; I < N; ++I)
+    P[static_cast<std::size_t>(I) * NumVec] = 1.0;
+  P[7 * NumVec + 1] = 1.0;
+
+  std::vector<double> Ranks(static_cast<std::size_t>(N) * NumVec, 0.0);
+  StatusOr<BatchSolveResult> R = pageRankBatch(
+      K, Ranks.data(), NumVec, P.data(), NumVec, NumVec, 0.85, {500, 1e-12});
+  ASSERT_TRUE(R.ok()) << R.status().toString();
+  EXPECT_TRUE(R->AllConverged);
+
+  double Sum0 = 0.0, Sum1 = 0.0;
+  for (std::int32_t I = 0; I < N; ++I) {
+    Sum0 += Ranks[static_cast<std::size_t>(I) * NumVec];
+    Sum1 += Ranks[static_cast<std::size_t>(I) * NumVec + 1];
+  }
+  EXPECT_NEAR(Sum0, 1.0, 1e-8);
+  EXPECT_NEAR(Sum1, 1.0, 1e-8);
+  for (std::int32_t I = 0; I < N; ++I)
+    EXPECT_NEAR(Ranks[static_cast<std::size_t>(I) * NumVec], 1.0 / N, 1e-9);
+  // The personalized column concentrates mass at its seed.
+  EXPECT_GT(Ranks[7 * NumVec + 1], 2.0 / N);
+}
+
 TEST(SolverEdgeCases, ZeroIterationBudgetLeavesGuessUntouched) {
   SpdSystem Sys(12);
   CvrKernel K;
