@@ -1,0 +1,178 @@
+#!/bin/sh
+# scripts/serving_drill.sh [build-dir]
+#
+# Chaos drill for the serving daemon (cvr_served + cvr_tool serve-client):
+#
+#   1. Baseline: a mixed blob/.mtx fleet serves correct answers under
+#      concurrent load, and /stats parses as JSON.
+#   2. Each serve.* fail point in turn, via CVR_FAILPOINTS:
+#        serve.mmap       -> loader falls back to the stream reader and
+#                            still serves correct answers
+#        serve.accept     -> transient accept failures back off; the
+#                            daemon keeps serving
+#        serve.queue_full -> every compute request shed with
+#                            RESOURCE_EXHAUSTED; /stats stays reachable
+#                            (control ops bypass admission) and reports
+#                            the sheds
+#        serve.deadline   -> requests answer DEADLINE_EXCEEDED; nothing
+#                            crashes
+#   3. A corrupted blob is refused at load time (the daemon must not come
+#      up on bytes that fail validation).
+#   4. SIGTERM mid-flight: in-flight requests are answered, the daemon
+#      drains and exits 0, the socket file is gone.
+#
+# Every daemon run must exit cleanly; any unexpected response code makes
+# serve-client (and so the drill) fail.
+set -eu
+
+BUILD=${1:-build}
+TOOL="$BUILD/tools/cvr_tool"
+DAEMON="$BUILD/tools/cvr_served"
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/cvr_serving_drill.XXXXXX")
+SOCK="$WORK/cvr.sock"
+LOG="$WORK/served.log"
+DAEMON_PID=""
+
+cleanup() {
+  if [ -n "$DAEMON_PID" ] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+    kill -KILL "$DAEMON_PID" 2>/dev/null || true
+  fi
+  rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+say() { printf '\n=== %s ===\n' "$*"; }
+
+# Starts the daemon with $1 as CVR_FAILPOINTS (empty = none) and the rest
+# as extra arguments; waits for the socket to appear.
+start_daemon() {
+  fp=$1; shift
+  : >"$LOG"
+  CVR_FAILPOINTS="$fp" "$DAEMON" --socket="$SOCK" \
+    --blob=drill="$WORK/drill.cvr" --mtx=drill_mtx="$WORK/drill.mtx" \
+    --workers=4 --max-in-flight=4 "$@" >>"$LOG" 2>&1 &
+  DAEMON_PID=$!
+  i=0
+  while [ ! -S "$SOCK" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+      echo "daemon failed to come up; log:" >&2
+      cat "$LOG" >&2
+      exit 1
+    fi
+    kill -0 "$DAEMON_PID" 2>/dev/null || {
+      echo "daemon died during startup; log:" >&2
+      cat "$LOG" >&2
+      exit 1
+    }
+    sleep 0.1
+  done
+}
+
+# SIGTERMs the daemon and requires a clean drain (exit 0, socket gone).
+stop_daemon() {
+  kill -TERM "$DAEMON_PID"
+  wait "$DAEMON_PID" || {
+    echo "daemon exited nonzero; log:" >&2
+    cat "$LOG" >&2
+    exit 1
+  }
+  DAEMON_PID=""
+  grep -q "drained, exiting" "$LOG"
+  [ ! -S "$SOCK" ]
+}
+
+say "workload: suite matrix -> Matrix Market + mapped blob"
+"$TOOL" gen com-DBLP "$WORK/drill.mtx" --scale=0.2
+"$TOOL" convert "$WORK/drill.mtx" "$WORK/drill.cvr" --layout=mapped
+
+say "baseline: correct answers under concurrent load, parseable /stats"
+start_daemon ""
+grep -q "\[mapped\]" "$LOG"   # The blob really took the zero-copy path.
+"$TOOL" serve-client --socket="$SOCK" --op=multiply --matrix=drill \
+  --mtx="$WORK/drill.mtx" -n 40 --threads=4
+"$TOOL" serve-client --socket="$SOCK" --op=multiply --matrix=drill_mtx \
+  --mtx="$WORK/drill.mtx" -n 10 --threads=2
+"$TOOL" serve-client --socket="$SOCK" --op=spmm --matrix=drill --k=4 -n 5
+"$TOOL" serve-client --socket="$SOCK" --op=solve --matrix=drill \
+  --solver=power -n 2
+"$TOOL" serve-client --socket="$SOCK" --op=stats -n 1 >"$WORK/stats.json.raw"
+head -n 1 "$WORK/stats.json.raw" >"$WORK/stats.json"
+python3 - "$WORK/stats.json" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["admission"]["capacity"] == 4, d["admission"]
+assert any(e["mode"] == "mapped" for e in d["fleet"]), d["fleet"]
+assert any(e["mode"] == "prepared" for e in d["fleet"]), d["fleet"]
+assert d["metrics"]["serve.requests"] > 0, d["metrics"]
+print("stats ok:", len(d["metrics"]), "metrics")
+EOF
+stop_daemon
+
+say "serve.mmap: bounded retries, then stream fallback — still correct"
+start_daemon "serve.mmap"
+grep -q "\[stream\]" "$LOG"
+"$TOOL" serve-client --socket="$SOCK" --op=multiply --matrix=drill \
+  --mtx="$WORK/drill.mtx" -n 10 --threads=2
+stop_daemon
+
+say "serve.accept: transient accept failures back off; daemon keeps serving"
+start_daemon "serve.accept=3"
+"$TOOL" serve-client --socket="$SOCK" --op=multiply --matrix=drill \
+  --mtx="$WORK/drill.mtx" -n 10 --threads=2
+stop_daemon
+
+say "serve.queue_full: everything shed, daemon stays observable"
+start_daemon "serve.queue_full"
+"$TOOL" serve-client --socket="$SOCK" --op=multiply --matrix=drill \
+  -n 20 --threads=4 --expect=resource_exhausted
+"$TOOL" serve-client --socket="$SOCK" --op=stats -n 1 >"$WORK/shed.json.raw"
+head -n 1 "$WORK/shed.json.raw" >"$WORK/shed.json"
+python3 - "$WORK/shed.json" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["admission"]["shed"] >= 20, d["admission"]
+print("shed accounted:", d["admission"]["shed"])
+EOF
+stop_daemon
+
+say "serve.deadline: DEADLINE_EXCEEDED, never a crash"
+start_daemon "serve.deadline"
+"$TOOL" serve-client --socket="$SOCK" --op=multiply --matrix=drill \
+  -n 10 --threads=2 --expect=deadline_exceeded
+stop_daemon
+
+say "corrupted blob: refused at load, daemon never comes up"
+cp "$WORK/drill.cvr" "$WORK/bad.cvr"
+# Flip one byte in the middle of the payload.
+SIZE=$(wc -c <"$WORK/bad.cvr")
+python3 - "$WORK/bad.cvr" "$((SIZE / 2))" <<'EOF'
+import sys
+path, off = sys.argv[1], int(sys.argv[2])
+with open(path, "r+b") as f:
+    f.seek(off)
+    b = f.read(1)
+    f.seek(off)
+    f.write(bytes([b[0] ^ 0x10]))
+EOF
+if "$DAEMON" --socket="$SOCK.bad" --blob=bad="$WORK/bad.cvr" \
+    >"$WORK/bad.log" 2>&1; then
+  echo "daemon accepted a corrupted blob" >&2
+  exit 1
+fi
+grep -qi "cvr.blob" "$WORK/bad.log"
+
+say "SIGTERM mid-flight: in-flight answered, clean drain"
+start_daemon ""
+# A burst of load racing the shutdown: every request must end in a real
+# response (ok) or a clean transport refusal (unavailable) — never a
+# protocol error, never a wrong answer.
+"$TOOL" serve-client --socket="$SOCK" --op=multiply --matrix=drill \
+  --mtx="$WORK/drill.mtx" -n 400 --threads=4 \
+  --expect=ok,unavailable &
+CLIENT_PID=$!
+sleep 0.2
+stop_daemon
+wait "$CLIENT_PID"
+
+say "serving drill passed"

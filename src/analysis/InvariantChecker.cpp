@@ -841,29 +841,41 @@ std::vector<Violation> InvariantChecker::checkKernel(const SpmvKernel &K,
 // Serialized blob validation
 //===----------------------------------------------------------------------===//
 
-std::vector<Violation> InvariantChecker::checkBlob(std::istream &IS) {
-  std::vector<Violation> Out;
-  StatusOr<CvrMatrix> R = CvrMatrix::readBlob(IS);
-  if (!R.ok()) {
-    // readBlob embeds its rule as a leading "[cvr.blob.xxx] " bracket;
-    // lift it out so the violation is attributed like every other rule.
-    const std::string &Msg = R.status().message();
-    std::string Rule = "cvr.blob.read";
-    std::string Detail = Msg;
-    std::size_t Open = Msg.find('[');
-    std::size_t Close = Msg.find(']');
-    if (Open != std::string::npos && Close != std::string::npos &&
-        Close > Open + 1 && Msg.compare(Open + 1, 9, "cvr.blob.") == 0) {
-      Rule = Msg.substr(Open + 1, Close - Open - 1);
-      Detail = Msg.substr(std::min(Msg.size(), Close + 2));
-    }
-    Out.push_back({std::move(Rule), "blob",
-                   statusCodeName(R.status().code()) + std::string(": ") +
-                       Detail});
-    return Out;
+namespace {
+
+/// Decode errors embed their rule as a leading "[cvr.blob.xxx] " bracket;
+/// lift it out so the violation is attributed like every other rule.
+Violation liftBlobViolation(const Status &S) {
+  const std::string &Msg = S.message();
+  std::string Rule = "cvr.blob.read";
+  std::string Detail = Msg;
+  std::size_t Open = Msg.find('[');
+  std::size_t Close = Msg.find(']');
+  if (Open != std::string::npos && Close != std::string::npos &&
+      Close > Open + 1 && Msg.compare(Open + 1, 9, "cvr.blob.") == 0) {
+    Rule = Msg.substr(Open + 1, Close - Open - 1);
+    Detail = Msg.substr(std::min(Msg.size(), Close + 2));
   }
+  return {std::move(Rule), "blob",
+          statusCodeName(S.code()) + std::string(": ") + Detail};
+}
+
+} // namespace
+
+std::vector<Violation> InvariantChecker::checkBlob(std::istream &IS) {
+  StatusOr<CvrMatrix> R = CvrMatrix::readBlob(IS);
+  if (!R.ok())
+    return {liftBlobViolation(R.status())};
   // Decoded fine: the structural rules take over (no Origin — the blob
   // stands alone, so the cross checks against a source CSR don't apply).
+  return checkCvr(*R, nullptr);
+}
+
+std::vector<Violation> InvariantChecker::checkBlob(const void *Data,
+                                                   std::size_t Bytes) {
+  StatusOr<CvrMatrix> R = CvrMatrix::mapBlob(Data, Bytes);
+  if (!R.ok())
+    return {liftBlobViolation(R.status())};
   return checkCvr(*R, nullptr);
 }
 

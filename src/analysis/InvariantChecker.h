@@ -31,6 +31,7 @@
 #ifndef CVR_ANALYSIS_INVARIANTCHECKER_H
 #define CVR_ANALYSIS_INVARIANTCHECKER_H
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -90,6 +91,16 @@ public:
   /// in its diagnostics) and then the full structural check of the decoded
   /// matrix. \p IS is consumed.
   static std::vector<Violation> checkBlob(std::istream &IS);
+
+  /// The same end-to-end validation over an in-memory blob image — the
+  /// serving daemon's mmap'd view. Runs CvrMatrix::mapBlob (all CRC,
+  /// bound, pad, and alignment checks against the mapped bytes; nothing
+  /// copied, no pointer trusted before it passes) followed by the full
+  /// structural check. \p Data must be 64-byte aligned and hold a
+  /// BlobLayout::Mapped (v4) blob; anything else is reported as a
+  /// violation, exactly like a corrupt stream.
+  static std::vector<Violation> checkBlob(const void *Data,
+                                          std::size_t Bytes);
 };
 
 } // namespace analysis

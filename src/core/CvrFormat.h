@@ -120,6 +120,20 @@ struct CvrChunk {
   std::int32_t LastRow = -1;  ///< Last row touched (possibly partial).
 };
 
+/// On-disk arrangement of a serialized CVR blob.
+enum class BlobLayout {
+  /// Version-3 stream layout: sections packed back to back. Smallest
+  /// files; loading always copies.
+  Compact,
+  /// Version-4 mapped layout: identical sections, but each payload is
+  /// padded to start at a 64-byte-aligned file offset, so a mmap'd blob
+  /// can be executed in place — the value/column-index streams keep the
+  /// alignment the AVX-512 kernels load with. The pad bytes must be zero
+  /// and every payload keeps its CRC32C, so the adversarial guarantees of
+  /// v3 carry over bit for bit.
+  Mapped,
+};
+
 /// A matrix converted to CVR.
 class CvrMatrix {
 public:
@@ -189,8 +203,11 @@ public:
   static bool readBinary(std::istream &IS, CvrMatrix &M);
 
   /// Status-reporting writer: UNAVAILABLE on stream failure (including an
-  /// armed `serialize.write.short` fail point). Always writes format v3.
-  [[nodiscard]] Status writeBlob(std::ostream &OS) const;
+  /// armed `serialize.write.short` fail point). Writes format v3
+  /// (BlobLayout::Compact, the default) or the mmap-executable v4
+  /// (BlobLayout::Mapped).
+  [[nodiscard]] Status writeBlob(std::ostream &OS,
+                                 BlobLayout Layout = BlobLayout::Compact) const;
 
   /// Status-reporting reader with full diagnostics. Messages carry a
   /// stable bracketed rule id ("[cvr.blob.section-crc] ..."), the same ids
@@ -199,6 +216,25 @@ public:
   /// bounds validation, RESOURCE_EXHAUSTED when a validated section does
   /// not fit in memory.
   [[nodiscard]] static StatusOr<CvrMatrix> readBlob(std::istream &IS);
+
+  /// Zero-copy decode of a Mapped (v4) blob held in memory — typically a
+  /// PROT_READ mmap of a blob file. The value, column-index, and tail
+  /// streams of the returned matrix alias [Data, Data + Bytes) directly
+  /// (no copy; the mapping must outlive the matrix and stay readable);
+  /// the small metadata tables are copied. Every validation readBlob
+  /// performs runs first, against the mapped bytes: magic, version,
+  /// header/section CRC32C, strict count bounds, pad-zero checks, and the
+  /// full structural invariants — no pointer is trusted before it passes.
+  /// FAILED_PRECONDITION when the blob is a non-mappable version (1-3) or
+  /// \p Data is not 64-byte aligned; callers fall back to readBlob, which
+  /// copies.
+  [[nodiscard]] static StatusOr<CvrMatrix> mapBlob(const void *Data,
+                                                   std::size_t Bytes);
+
+  /// True when every stream is heap-owned (false for mapBlob views).
+  bool ownsStreams() const {
+    return Vals.ownsStorage() && ColIdx.ownsStorage() && Tails.ownsStorage();
+  }
 
   /// Deserializer plumbing: pointers to the private fields, handed to the
   /// version-specific body readers in CvrSerialize.cpp. Not for general

@@ -4,13 +4,26 @@
 //
 //===----------------------------------------------------------------------===//
 //
-// Version-3 blob layout (little-endian, every field written explicitly):
+// Version-3 (Compact) blob layout (little-endian, every field written
+// explicitly):
 //
 //   magic "CVRF" | u32 version
 //   header: NumRows i32, NumCols i32, Nnz i64, Lanes i32,
 //           ForceGeneric u8, ChunkMult i32 | u32 crc32c(header bytes)
 //   sections, in order: Chunks, Bands, ZeroRows, Recs, Tails, Vals, ColIdx
 //   each section: u64 count | payload | u32 crc32c(payload)
+//
+// Version-4 (Mapped) is the same blob with one change per section:
+//
+//   each section: u64 count | u8 padLen | padLen zero bytes | payload
+//                 | u32 crc32c(payload)
+//
+// where padLen places the payload at a 64-byte-aligned *file offset*, so a
+// page-aligned mmap of the file yields value/column-index/tail streams the
+// AVX-512 kernels can execute in place (mapBlob — the serving daemon's
+// zero-copy load path). Pad bytes must be zero and padLen < 64; a reader
+// rejects anything else, so the every-bit-flip guarantee of v3 carries
+// over.
 //
 // The section order is deliberate: the chunk table arrives first, so every
 // later count has a strict structural bound before its allocation happens
@@ -45,7 +58,13 @@ namespace cvr {
 namespace {
 
 constexpr char Magic[4] = {'C', 'V', 'R', 'F'};
-constexpr std::uint32_t Version = 3;
+constexpr std::uint32_t CompactVersion = 3;
+constexpr std::uint32_t MappedVersion = 4;
+constexpr std::uint32_t MaxVersion = MappedVersion;
+
+/// Alignment the Mapped layout guarantees for every section payload, as a
+/// file offset — matches the AlignedBuffer/AVX-512 load alignment.
+constexpr std::uint64_t MapAlignment = 64;
 
 /// Structural ceilings for header-declared quantities. They bound what the
 /// v3 reader will commission before the cheap exact checks take over; all
@@ -58,6 +77,10 @@ constexpr std::uint64_t MaxStreamElems = 1ULL << 40;
 /// Legacy (v1/v2) cap: those blobs carry array counts before the chunk
 /// table, so only this generic ceiling applies.
 constexpr std::uint64_t MaxLegacyArrayElems = 1ULL << 40;
+
+/// Header image length (the checksummed byte range): rows, cols, nnz,
+/// lanes, force-generic, chunk multiplier.
+constexpr std::size_t HeaderBytes = 4 + 4 + 8 + 4 + 1 + 4;
 
 bool writeBytes(std::ostream &OS, const void *P, std::size_t N) {
   if (CVR_FAIL_POINT("serialize.write.short"))
@@ -87,6 +110,175 @@ template <typename T> void packField(std::string &Buf, const T &V) {
                           Where);
 }
 
+//===----------------------------------------------------------------------===//
+// Shared diagnostics + validation (stream reader and mapped reader)
+//===----------------------------------------------------------------------===//
+
+[[nodiscard]] Status countMismatch(const char *Name, std::uint64_t N,
+                                   std::int64_t Exact) {
+  return Status::outOfRange(
+      std::string("[cvr.blob.bounds] ") + Name + " count " +
+      std::to_string(N) + " does not match the structural requirement of " +
+      std::to_string(Exact));
+}
+
+[[nodiscard]] Status countOverBound(const char *Name, std::uint64_t N,
+                                    std::uint64_t MaxElems) {
+  return Status::outOfRange(std::string("[cvr.blob.bounds] ") + Name +
+                            " count " + std::to_string(N) +
+                            " exceeds the structural bound " +
+                            std::to_string(MaxElems));
+}
+
+[[nodiscard]] Status badPad(const char *Name) {
+  return Status::dataLoss(std::string("[cvr.blob.pad] ") + Name +
+                          " section padding is corrupt (length out of range "
+                          "or nonzero pad byte)");
+}
+
+/// Decodes and bounds-checks the checksummed header image (the CRC itself
+/// is the caller's business, because stream and mapped readers obtain the
+/// bytes differently).
+[[nodiscard]] Status decodeHeaderImage(const char *Header,
+                                       CvrMatrix::BlobFields &F) {
+  std::int32_t Lanes32 = 0, Mult = 0;
+  std::uint8_t Generic = 0;
+  const char *P = Header;
+  std::memcpy(F.NumRows, P, 4), P += 4;
+  std::memcpy(F.NumCols, P, 4), P += 4;
+  std::memcpy(F.Nnz, P, 8), P += 8;
+  std::memcpy(&Lanes32, P, 4), P += 4;
+  std::memcpy(&Generic, P, 1), P += 1;
+  std::memcpy(&Mult, P, 4);
+
+  if (*F.NumRows < 0 || *F.NumCols < 0 || *F.Nnz < 0)
+    return Status::outOfRange(
+        "[cvr.blob.bounds] header declares a negative shape");
+  if (Lanes32 < 1 || static_cast<std::uint64_t>(Lanes32) > MaxLanes)
+    return Status::outOfRange("[cvr.blob.bounds] lane count " +
+                              std::to_string(Lanes32) +
+                              " is outside [1, " + std::to_string(MaxLanes) +
+                              "]");
+  if (Mult < 1 || static_cast<std::uint64_t>(Mult) > MaxChunkMult)
+    return Status::outOfRange("[cvr.blob.bounds] chunk multiplier " +
+                              std::to_string(Mult) + " is outside [1, " +
+                              std::to_string(MaxChunkMult) + "]");
+  *F.Lanes = Lanes32;
+  *F.ForceGeneric = Generic != 0;
+  *F.ChunkMult = Mult;
+  return Status::okStatus();
+}
+
+/// Exact/maximum counts the chunk table induces for the later sections.
+struct SectionBudget {
+  std::uint64_t TotalElems = 0; ///< Exact Vals/ColIdx length.
+  std::uint64_t MaxRecs = 0;    ///< Upper bound on the record stream.
+};
+
+[[nodiscard]] Status computeSectionBudget(const std::vector<CvrChunk> &Chunks,
+                                          int Lanes, std::int64_t Nnz,
+                                          std::int32_t NumRows,
+                                          SectionBudget &B) {
+  B.TotalElems = 0;
+  for (const CvrChunk &C : Chunks) {
+    if (C.NumSteps < 0 ||
+        static_cast<std::uint64_t>(C.NumSteps) > MaxStreamElems / Lanes)
+      return Status::outOfRange(
+          "[cvr.blob.bounds] chunk declares an unrepresentable step count " +
+          std::to_string(C.NumSteps));
+    B.TotalElems += static_cast<std::uint64_t>(C.NumSteps) * Lanes;
+    if (B.TotalElems > MaxStreamElems)
+      return Status::outOfRange(
+          "[cvr.blob.bounds] total stream length exceeds the structural "
+          "ceiling");
+  }
+  // Records: one per row finish plus at most Lanes steal events per chunk;
+  // chunk-boundary rows finish twice. Anything past this bound cannot have
+  // come from the converter.
+  B.MaxRecs = static_cast<std::uint64_t>(Nnz) +
+              static_cast<std::uint64_t>(NumRows) +
+              Chunks.size() * (static_cast<std::uint64_t>(Lanes) + 2);
+  return Status::okStatus();
+}
+
+//===----------------------------------------------------------------------===//
+// Writing
+//===----------------------------------------------------------------------===//
+
+/// Writes one section: u64 count, (Mapped) pad, payload, payload CRC.
+/// \p Off tracks the absolute file offset so the Mapped layout can align
+/// each payload to a 64-byte file offset.
+template <typename T>
+bool writeSection(std::ostream &OS, const T *Data, std::uint64_t N,
+                  bool Mapped, std::uint64_t &Off) {
+  if (!writeBytes(OS, &N, sizeof(N)))
+    return false;
+  Off += sizeof(N);
+  if (Mapped) {
+    std::uint8_t Pad = static_cast<std::uint8_t>(
+        (MapAlignment - ((Off + 1) % MapAlignment)) % MapAlignment);
+    if (!writeBytes(OS, &Pad, 1))
+      return false;
+    static const char Zeros[MapAlignment] = {};
+    if (Pad != 0 && !writeBytes(OS, Zeros, Pad))
+      return false;
+    Off += 1 + Pad;
+  }
+  std::size_t Bytes = static_cast<std::size_t>(N) * sizeof(T);
+  if (N != 0 && !writeBytes(OS, Data, Bytes))
+    return false;
+  std::uint32_t Crc = crc32c(N != 0 ? Data : nullptr, Bytes);
+  if (!writeBytes(OS, &Crc, sizeof(Crc)))
+    return false;
+  Off += Bytes + sizeof(Crc);
+  return true;
+}
+
+} // namespace
+
+Status CvrMatrix::writeBlob(std::ostream &OS, BlobLayout Layout) const {
+  const bool Mapped = Layout == BlobLayout::Mapped;
+  if (!writeBytes(OS, Magic, sizeof(Magic)))
+    return Status::unavailable("blob write failed at the magic");
+  std::uint32_t V = Mapped ? MappedVersion : CompactVersion;
+  if (!writeBytes(OS, &V, sizeof(V)))
+    return Status::unavailable("blob write failed at the version");
+
+  std::string Header;
+  Header.reserve(32);
+  packField(Header, NumRows);
+  packField(Header, NumCols);
+  packField(Header, Nnz);
+  packField(Header, static_cast<std::int32_t>(Lanes));
+  packField(Header, static_cast<std::uint8_t>(ForceGeneric));
+  packField(Header, static_cast<std::int32_t>(ChunkMult));
+  std::uint32_t HeaderCrc = crc32c(Header.data(), Header.size());
+  if (!writeBytes(OS, Header.data(), Header.size()) ||
+      !writeBytes(OS, &HeaderCrc, sizeof(HeaderCrc)))
+    return Status::unavailable("blob write failed in the header");
+
+  std::uint64_t Off = sizeof(Magic) + sizeof(V) + Header.size() + 4;
+  if (!writeSection(OS, Chunks.data(), Chunks.size(), Mapped, Off) ||
+      !writeSection(OS, Bands.data(), Bands.size(), Mapped, Off) ||
+      !writeSection(OS, ZeroRows.data(), ZeroRows.size(), Mapped, Off) ||
+      !writeSection(OS, Recs.data(), Recs.size(), Mapped, Off) ||
+      !writeSection(OS, Tails.data(), Tails.size(), Mapped, Off) ||
+      !writeSection(OS, Vals.data(), Vals.size(), Mapped, Off) ||
+      !writeSection(OS, ColIdx.data(), ColIdx.size(), Mapped, Off))
+    return Status::unavailable(
+        "blob write failed mid-section (disk full or short write?)");
+  OS.flush();
+  if (!OS)
+    return Status::unavailable("blob flush failed");
+  return Status::okStatus();
+}
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Stream reading
+//===----------------------------------------------------------------------===//
+
 /// Allocation shims so one section reader serves both container kinds.
 template <typename T>
 [[nodiscard]] Status resizeContainer(AlignedBuffer<T> &C, std::size_t N) {
@@ -104,38 +296,42 @@ template <typename T>
   return Status::okStatus();
 }
 
-/// Writes one v3 section: u64 count, payload, payload CRC.
-template <typename T>
-bool writeSection(std::ostream &OS, const T *Data, std::uint64_t N) {
-  if (!writeBytes(OS, &N, sizeof(N)))
-    return false;
-  std::size_t Bytes = static_cast<std::size_t>(N) * sizeof(T);
-  if (N != 0 && !writeBytes(OS, Data, Bytes))
-    return false;
-  std::uint32_t Crc = crc32c(N != 0 ? Data : nullptr, Bytes);
-  return writeBytes(OS, &Crc, sizeof(Crc));
+/// Consumes and validates a Mapped-layout section pad (u8 length + that
+/// many zero bytes).
+[[nodiscard]] Status readSectionPad(std::istream &IS, const char *Name) {
+  std::uint8_t Pad = 0;
+  if (!readPod(IS, Pad))
+    return truncated((std::string("the ") + Name + " pad length").c_str());
+  if (Pad >= MapAlignment)
+    return badPad(Name);
+  char Zeros[MapAlignment] = {};
+  if (Pad != 0 && !readBytes(IS, Zeros, Pad))
+    return truncated((std::string("the ") + Name + " pad").c_str());
+  for (std::uint8_t I = 0; I < Pad; ++I)
+    if (Zeros[I] != 0)
+      return badPad(Name);
+  return Status::okStatus();
 }
 
-/// Reads one v3 section into \p Out. The count must satisfy the structural
-/// bound \p MaxElems (and equal \p ExactElems when >= 0) BEFORE any
-/// allocation happens; the payload must match its recorded CRC32C.
+/// Reads one v3/v4 section into \p Out. The count must satisfy the
+/// structural bound \p MaxElems (and equal \p ExactElems when >= 0) BEFORE
+/// any allocation happens; the payload must match its recorded CRC32C.
 template <typename Container>
 [[nodiscard]] Status readSection(std::istream &IS, Container &Out,
-                                const char *Name,
+                                 const char *Name, bool Padded,
                    std::uint64_t MaxElems, std::int64_t ExactElems = -1) {
   std::uint64_t N = 0;
   if (!readPod(IS, N))
     return truncated((std::string("the ") + Name + " section count").c_str());
   if (ExactElems >= 0 && N != static_cast<std::uint64_t>(ExactElems))
-    return Status::outOfRange(
-        std::string("[cvr.blob.bounds] ") + Name + " count " +
-        std::to_string(N) + " does not match the structural requirement of " +
-        std::to_string(ExactElems));
+    return countMismatch(Name, N, ExactElems);
   if (N > MaxElems)
-    return Status::outOfRange(std::string("[cvr.blob.bounds] ") + Name +
-                              " count " + std::to_string(N) +
-                              " exceeds the structural bound " +
-                              std::to_string(MaxElems));
+    return countOverBound(Name, N, MaxElems);
+  if (Padded) {
+    Status S = readSectionPad(IS, Name);
+    if (!S.ok())
+      return S;
+  }
 
   Status S = resizeContainer(Out, static_cast<std::size_t>(N));
   if (!S.ok())
@@ -179,50 +375,14 @@ template <typename Container>
   return Status::okStatus();
 }
 
-} // namespace
-
-Status CvrMatrix::writeBlob(std::ostream &OS) const {
-  if (!writeBytes(OS, Magic, sizeof(Magic)))
-    return Status::unavailable("blob write failed at the magic");
-  std::uint32_t V = Version;
-  if (!writeBytes(OS, &V, sizeof(V)))
-    return Status::unavailable("blob write failed at the version");
-
-  std::string Header;
-  Header.reserve(32);
-  packField(Header, NumRows);
-  packField(Header, NumCols);
-  packField(Header, Nnz);
-  packField(Header, static_cast<std::int32_t>(Lanes));
-  packField(Header, static_cast<std::uint8_t>(ForceGeneric));
-  packField(Header, static_cast<std::int32_t>(ChunkMult));
-  std::uint32_t HeaderCrc = crc32c(Header.data(), Header.size());
-  if (!writeBytes(OS, Header.data(), Header.size()) ||
-      !writeBytes(OS, &HeaderCrc, sizeof(HeaderCrc)))
-    return Status::unavailable("blob write failed in the header");
-
-  if (!writeSection(OS, Chunks.data(), Chunks.size()) ||
-      !writeSection(OS, Bands.data(), Bands.size()) ||
-      !writeSection(OS, ZeroRows.data(), ZeroRows.size()) ||
-      !writeSection(OS, Recs.data(), Recs.size()) ||
-      !writeSection(OS, Tails.data(), Tails.size()) ||
-      !writeSection(OS, Vals.data(), Vals.size()) ||
-      !writeSection(OS, ColIdx.data(), ColIdx.size()))
-    return Status::unavailable(
-        "blob write failed mid-section (disk full or short write?)");
-  OS.flush();
-  if (!OS)
-    return Status::unavailable("blob flush failed");
-  return Status::okStatus();
-}
-
-namespace {
-
-/// Everything after the version word of a v3 blob.
-[[nodiscard]] Status readV3Body(std::istream &IS, CvrMatrix::BlobFields F) {
+/// Everything after the version word of a v3 (Compact) or v4 (Mapped,
+/// \p Padded) blob.
+[[nodiscard]] Status readChecksummedBody(std::istream &IS,
+                                         CvrMatrix::BlobFields F,
+                                         bool Padded) {
   // Header image: reread as one block so the CRC covers exactly the bytes
   // the writer checksummed.
-  char Header[4 + 4 + 8 + 4 + 1 + 4];
+  char Header[HeaderBytes];
   if (!readBytes(IS, Header, sizeof(Header)))
     return truncated("the header");
   std::uint32_t WantCrc = 0;
@@ -230,76 +390,39 @@ namespace {
     return truncated("the header checksum");
   if (crc32c(Header, sizeof(Header)) != WantCrc)
     return Status::dataLoss("[cvr.blob.header-crc] header fails its CRC32C");
-
-  std::int32_t Lanes32 = 0, Mult = 0;
-  std::uint8_t Generic = 0;
-  const char *P = Header;
-  std::memcpy(F.NumRows, P, 4), P += 4;
-  std::memcpy(F.NumCols, P, 4), P += 4;
-  std::memcpy(F.Nnz, P, 8), P += 8;
-  std::memcpy(&Lanes32, P, 4), P += 4;
-  std::memcpy(&Generic, P, 1), P += 1;
-  std::memcpy(&Mult, P, 4);
-
-  if (*F.NumRows < 0 || *F.NumCols < 0 || *F.Nnz < 0)
-    return Status::outOfRange(
-        "[cvr.blob.bounds] header declares a negative shape");
-  if (Lanes32 < 1 || static_cast<std::uint64_t>(Lanes32) > MaxLanes)
-    return Status::outOfRange("[cvr.blob.bounds] lane count " +
-                              std::to_string(Lanes32) +
-                              " is outside [1, " + std::to_string(MaxLanes) +
-                              "]");
-  if (Mult < 1 || static_cast<std::uint64_t>(Mult) > MaxChunkMult)
-    return Status::outOfRange("[cvr.blob.bounds] chunk multiplier " +
-                              std::to_string(Mult) + " is outside [1, " +
-                              std::to_string(MaxChunkMult) + "]");
-  *F.Lanes = Lanes32;
-  *F.ForceGeneric = Generic != 0;
-  *F.ChunkMult = Mult;
-
-  // Chunk table first: it induces the exact bounds for everything after.
-  Status S = readSection(IS, *F.Chunks, "chunk table", MaxChunks);
+  Status S = decodeHeaderImage(Header, F);
   if (!S.ok())
     return S;
-  std::uint64_t TotalElems = 0;
-  for (const CvrChunk &C : *F.Chunks) {
-    if (C.NumSteps < 0 ||
-        static_cast<std::uint64_t>(C.NumSteps) > MaxStreamElems / Lanes32)
-      return Status::outOfRange(
-          "[cvr.blob.bounds] chunk declares an unrepresentable step count " +
-          std::to_string(C.NumSteps));
-    TotalElems += static_cast<std::uint64_t>(C.NumSteps) * Lanes32;
-    if (TotalElems > MaxStreamElems)
-      return Status::outOfRange(
-          "[cvr.blob.bounds] total stream length exceeds the structural "
-          "ceiling");
-  }
-  std::uint64_t NumChunks = F.Chunks->size();
-  // Records: one per row finish plus at most Lanes steal events per chunk;
-  // chunk-boundary rows finish twice. Anything past this bound cannot have
-  // come from the converter.
-  std::uint64_t MaxRecs = static_cast<std::uint64_t>(*F.Nnz) +
-                          static_cast<std::uint64_t>(*F.NumRows) +
-                          NumChunks * (static_cast<std::uint64_t>(Lanes32) + 2);
+  const int Lanes32 = *F.Lanes;
 
-  if (!(S = readSection(IS, *F.Bands, "band table", NumChunks)).ok())
+  // Chunk table first: it induces the exact bounds for everything after.
+  if (!(S = readSection(IS, *F.Chunks, "chunk table", Padded, MaxChunks)).ok())
     return S;
-  if (!(S = readSection(IS, *F.ZeroRows, "zero-row list",
+  SectionBudget B;
+  if (!(S = computeSectionBudget(*F.Chunks, Lanes32, *F.Nnz, *F.NumRows, B))
+           .ok())
+    return S;
+  std::uint64_t NumChunks = F.Chunks->size();
+
+  if (!(S = readSection(IS, *F.Bands, "band table", Padded, NumChunks)).ok())
+    return S;
+  if (!(S = readSection(IS, *F.ZeroRows, "zero-row list", Padded,
                         static_cast<std::uint64_t>(*F.NumRows)))
            .ok())
     return S;
-  if (!(S = readSection(IS, *F.Recs, "record stream", MaxRecs)).ok())
+  if (!(S = readSection(IS, *F.Recs, "record stream", Padded, B.MaxRecs)).ok())
     return S;
-  if (!(S = readSection(IS, *F.Tails, "tail table", MaxStreamElems,
+  if (!(S = readSection(IS, *F.Tails, "tail table", Padded, MaxStreamElems,
                         static_cast<std::int64_t>(NumChunks * Lanes32)))
            .ok())
     return S;
-  if (!(S = readSection(IS, *F.Vals, "value stream", MaxStreamElems,
-                        static_cast<std::int64_t>(TotalElems)))
+  if (!(S = readSection(IS, *F.Vals, "value stream", Padded, MaxStreamElems,
+                        static_cast<std::int64_t>(B.TotalElems)))
            .ok())
     return S;
-  if (!(S = readSection(IS, *F.ColIdx, "column-index stream", MaxStreamElems,
-                        static_cast<std::int64_t>(TotalElems)))
+  if (!(S = readSection(IS, *F.ColIdx, "column-index stream", Padded,
+                        MaxStreamElems,
+                        static_cast<std::int64_t>(B.TotalElems)))
            .ok())
     return S;
   return Status::okStatus();
@@ -350,6 +473,69 @@ namespace {
   return Status::okStatus();
 }
 
+/// Quick sanity shared by every decode path before the full structural
+/// sweep below runs.
+[[nodiscard]] Status crossCheckDecoded(const CvrMatrix &M) {
+  if (M.vals() == nullptr && M.numNonZeros() != 0)
+    return Status::outOfRange(
+        "[cvr.blob.bounds] empty streams for a nonzero-bearing matrix");
+  return Status::okStatus();
+}
+
+} // namespace
+
+namespace {
+
+/// Post-decode validation shared by readBlob and mapBlob: every offset a
+/// kernel dereferences through must land inside its array before
+/// isValid() (which indexes freely) runs.
+[[nodiscard]] Status validateStructure(const CvrMatrix &M,
+                                       std::size_t ValsLen,
+                                       std::size_t ColIdxLen,
+                                       std::size_t TailsLen,
+                                       std::size_t RecsLen) {
+  if (ValsLen != ColIdxLen)
+    return Status::outOfRange(
+        "[cvr.blob.bounds] value and column-index streams disagree in "
+        "length");
+  if (TailsLen != M.chunks().size() * static_cast<std::size_t>(M.lanes()))
+    return Status::outOfRange(
+        "[cvr.blob.bounds] tail table length does not equal chunks * lanes");
+  auto Elems = static_cast<std::int64_t>(ValsLen);
+  auto NumRecs = static_cast<std::int64_t>(RecsLen);
+  for (const CvrChunk &C : M.chunks()) {
+    if (C.ElemBase < 0 || C.NumSteps < 0 ||
+        C.NumSteps > Elems / M.lanes() ||
+        C.ElemBase > Elems - C.NumSteps * M.lanes())
+      return Status::outOfRange(
+          "[cvr.blob.bounds] chunk element range escapes the stream");
+    if (C.RecBase < 0 || C.RecBase > C.RecEnd || C.RecEnd > NumRecs)
+      return Status::outOfRange(
+          "[cvr.blob.bounds] chunk record range escapes the record stream");
+    if (C.TailBase < 0 ||
+        C.TailBase + M.lanes() > static_cast<std::int64_t>(TailsLen))
+      return Status::outOfRange(
+          "[cvr.blob.bounds] chunk tail range escapes the tail table");
+    if (C.FirstRow >= M.numRows() || C.LastRow >= M.numRows())
+      return Status::outOfRange(
+          "[cvr.blob.bounds] chunk row bounds escape the matrix");
+  }
+  for (std::int32_t R : M.zeroRows())
+    if (R < 0 || R >= M.numRows())
+      return Status::outOfRange(
+          "[cvr.blob.bounds] zero-row entry escapes the matrix");
+  for (std::size_t I = 0; I < RecsLen; ++I)
+    if (M.recs()[I].Pos < 0)
+      return Status::outOfRange(
+          "[cvr.blob.bounds] record position is negative");
+
+  if (!M.isValid())
+    return Status::dataLoss(
+        "[cvr.blob.integrity] blob decodes but violates the CVR structural "
+        "invariants (pads, record order, or tail consistency)");
+  return Status::okStatus();
+}
+
 } // namespace
 
 StatusOr<CvrMatrix> CvrMatrix::readBlob(std::istream &IS) {
@@ -362,62 +548,249 @@ StatusOr<CvrMatrix> CvrMatrix::readBlob(std::istream &IS) {
   std::uint32_t V = 0;
   if (!readPod(IS, V))
     return truncated("the version");
-  if (V < 1 || V > Version)
+  if (V < 1 || V > MaxVersion)
     return Status::invalidArgument(
         "[cvr.blob.version] unsupported blob version " + std::to_string(V) +
-        " (this build reads versions 1.." + std::to_string(Version) + ")");
+        " (this build reads versions 1.." + std::to_string(MaxVersion) + ")");
 
   CvrMatrix M;
   BlobFields F{&M.NumRows, &M.NumCols,  &M.Nnz,    &M.Lanes,
                &M.ChunkMult, &M.ForceGeneric, &M.Vals,   &M.ColIdx,
                &M.Recs,    &M.Tails,    &M.Chunks, &M.ZeroRows,
                &M.Bands};
-  Status S = V >= 3 ? readV3Body(IS, F) : readLegacyBody(IS, V, F);
+  Status S = V >= CompactVersion
+                 ? readChecksummedBody(IS, F, /*Padded=*/V >= MappedVersion)
+                 : readLegacyBody(IS, V, F);
   if (!S.ok())
     return S;
+  if (!(S = crossCheckDecoded(M)).ok())
+    return S;
+  if (!(S = validateStructure(M, M.Vals.size(), M.ColIdx.size(),
+                              M.Tails.size(), M.Recs.size()))
+           .ok())
+    return S;
+  return M;
+}
 
-  // Structural cross-checks: every offset a kernel dereferences through
-  // must land inside its array before isValid() (which indexes freely)
-  // runs. The v3 exact counts make most of these redundant; v1/v2 blobs
-  // rely on them entirely.
-  if (M.Vals.size() != M.ColIdx.size())
-    return Status::outOfRange(
-        "[cvr.blob.bounds] value and column-index streams disagree in "
-        "length");
-  if (M.Tails.size() != M.Chunks.size() * static_cast<std::size_t>(M.Lanes))
-    return Status::outOfRange(
-        "[cvr.blob.bounds] tail table length does not equal chunks * lanes");
-  auto Elems = static_cast<std::int64_t>(M.Vals.size());
-  auto NumRecs = static_cast<std::int64_t>(M.Recs.size());
-  for (const CvrChunk &C : M.Chunks) {
-    if (C.ElemBase < 0 || C.NumSteps < 0 || C.NumSteps > Elems / M.Lanes ||
-        C.ElemBase > Elems - C.NumSteps * M.Lanes)
-      return Status::outOfRange(
-          "[cvr.blob.bounds] chunk element range escapes the stream");
-    if (C.RecBase < 0 || C.RecBase > C.RecEnd || C.RecEnd > NumRecs)
-      return Status::outOfRange(
-          "[cvr.blob.bounds] chunk record range escapes the record stream");
-    if (C.TailBase < 0 ||
-        C.TailBase + M.Lanes > static_cast<std::int64_t>(M.Tails.size()))
-      return Status::outOfRange(
-          "[cvr.blob.bounds] chunk tail range escapes the tail table");
-    if (C.FirstRow >= M.NumRows || C.LastRow >= M.NumRows)
-      return Status::outOfRange(
-          "[cvr.blob.bounds] chunk row bounds escape the matrix");
+//===----------------------------------------------------------------------===//
+// Zero-copy mapped decode
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Bounds-checked cursor over the mapped image. Every read is validated
+/// against the image end before any byte is touched, so a truncated file
+/// whose size is known up front can never be over-read (concurrent
+/// truncation after the size was taken is the SIGBUS guard's business —
+/// see io/MmapFile.h).
+struct MemCursor {
+  const unsigned char *Base;
+  const unsigned char *P;
+  const unsigned char *End;
+
+  bool read(void *Out, std::size_t N) {
+    if (static_cast<std::size_t>(End - P) < N)
+      return false;
+    std::memcpy(Out, P, N);
+    P += N;
+    return true;
   }
-  for (std::int32_t R : M.ZeroRows)
-    if (R < 0 || R >= M.NumRows)
-      return Status::outOfRange(
-          "[cvr.blob.bounds] zero-row entry escapes the matrix");
-  for (const CvrRecord &R : M.Recs)
-    if (R.Pos < 0)
-      return Status::outOfRange(
-          "[cvr.blob.bounds] record position is negative");
 
-  if (!M.isValid())
+  template <typename T> bool pod(T &V) { return read(&V, sizeof(T)); }
+
+  /// Advances past \p N bytes, returning their start (nullptr if the
+  /// image is too short).
+  const unsigned char *take(std::size_t N) {
+    if (static_cast<std::size_t>(End - P) < N)
+      return nullptr;
+    const unsigned char *Q = P;
+    P += N;
+    return Q;
+  }
+};
+
+/// One decoded mapped section: a pointer into the image plus its count.
+template <typename T> struct MappedSection {
+  const T *Ptr = nullptr;
+  std::uint64_t Count = 0;
+};
+
+/// Mapped-layout section decode: validates the count bounds, the pad, the
+/// payload CRC32C, and the payload's 64-byte alignment within the image
+/// before exposing the pointer. Nothing is copied.
+template <typename T>
+[[nodiscard]] Status viewSection(MemCursor &C, MappedSection<T> &Out,
+                                 const char *Name, std::uint64_t MaxElems,
+                                 std::int64_t ExactElems = -1) {
+  std::uint64_t N = 0;
+  if (!C.pod(N))
+    return truncated((std::string("the ") + Name + " section count").c_str());
+  if (ExactElems >= 0 && N != static_cast<std::uint64_t>(ExactElems))
+    return countMismatch(Name, N, ExactElems);
+  if (N > MaxElems)
+    return countOverBound(Name, N, MaxElems);
+
+  std::uint8_t Pad = 0;
+  if (!C.pod(Pad))
+    return truncated((std::string("the ") + Name + " pad length").c_str());
+  if (Pad >= MapAlignment)
+    return badPad(Name);
+  const unsigned char *PadBytes = C.take(Pad);
+  if (!PadBytes)
+    return truncated((std::string("the ") + Name + " pad").c_str());
+  for (std::uint8_t I = 0; I < Pad; ++I)
+    if (PadBytes[I] != 0)
+      return badPad(Name);
+
+  std::size_t Bytes = static_cast<std::size_t>(N) * sizeof(T);
+  const unsigned char *Payload = C.take(Bytes);
+  if (!Payload)
+    return truncated((std::string("the ") + Name + " payload").c_str());
+  // A self-consistent blob could still carry a pad that does not land the
+  // payload on the map alignment (hand-built or rewritten); adopting such
+  // a pointer would trade corruption for misaligned SIMD loads, so it is
+  // structurally rejected.
+  if ((static_cast<std::size_t>(Payload - C.Base) % MapAlignment) != 0)
+    return Status::outOfRange(
+        std::string("[cvr.blob.bounds] ") + Name +
+        " payload is not 64-byte aligned in the mapped image");
+
+  std::uint32_t Want = 0;
+  if (!C.pod(Want))
+    return truncated((std::string("the ") + Name + " checksum").c_str());
+  std::uint32_t Got = crc32c(N != 0 ? Payload : nullptr, Bytes);
+  if (Got != Want)
+    return Status::dataLoss(std::string("[cvr.blob.section-crc] ") + Name +
+                            " payload fails its CRC32C (stored " +
+                            std::to_string(Want) + ", computed " +
+                            std::to_string(Got) + ")");
+  Out.Ptr = reinterpret_cast<const T *>(Payload);
+  Out.Count = N;
+  return Status::okStatus();
+}
+
+/// Copies a mapped section into a std::vector (the small metadata tables;
+/// the hot streams stay as views).
+template <typename T>
+[[nodiscard]] Status copySection(const MappedSection<T> &S,
+                                 std::vector<T> &Out, const char *Name) {
+  try {
+    Out.assign(S.Ptr, S.Ptr + S.Count);
+  } catch (const std::bad_alloc &) {
+    return Status::resourceExhausted(std::string(Name) + ": allocation of " +
+                                     std::to_string(S.Count) +
+                                     " elements failed");
+  }
+  return Status::okStatus();
+}
+
+} // namespace
+
+StatusOr<CvrMatrix> CvrMatrix::mapBlob(const void *Data, std::size_t Bytes) {
+  if ((reinterpret_cast<std::uintptr_t>(Data) % MapAlignment) != 0)
+    return Status::failedPrecondition(
+        "mapBlob: image base is not 64-byte aligned (a page-aligned mmap "
+        "always is; fall back to readBlob)");
+  const auto *Base = static_cast<const unsigned char *>(Data);
+  MemCursor C{Base, Base, Base + Bytes};
+
+  char Head[4];
+  if (!C.read(Head, sizeof(Head)))
+    return truncated("the magic");
+  if (std::memcmp(Head, Magic, sizeof(Magic)) != 0)
     return Status::dataLoss(
-        "[cvr.blob.integrity] blob decodes but violates the CVR structural "
-        "invariants (pads, record order, or tail consistency)");
+        "[cvr.blob.magic] input does not start with the CVRF magic");
+  std::uint32_t V = 0;
+  if (!C.pod(V))
+    return truncated("the version");
+  if (V < 1 || V > MaxVersion)
+    return Status::invalidArgument(
+        "[cvr.blob.version] unsupported blob version " + std::to_string(V) +
+        " (this build reads versions 1.." + std::to_string(MaxVersion) + ")");
+  if (V != MappedVersion)
+    return Status::failedPrecondition(
+        "mapBlob: blob version " + std::to_string(V) +
+        " is not the mapped layout (" + std::to_string(MappedVersion) +
+        "); load it with readBlob, which copies");
+
+  char Header[HeaderBytes];
+  if (!C.read(Header, sizeof(Header)))
+    return truncated("the header");
+  std::uint32_t WantCrc = 0;
+  if (!C.pod(WantCrc))
+    return truncated("the header checksum");
+  if (crc32c(Header, sizeof(Header)) != WantCrc)
+    return Status::dataLoss("[cvr.blob.header-crc] header fails its CRC32C");
+
+  CvrMatrix M;
+  BlobFields F{&M.NumRows, &M.NumCols,  &M.Nnz,    &M.Lanes,
+               &M.ChunkMult, &M.ForceGeneric, &M.Vals,   &M.ColIdx,
+               &M.Recs,    &M.Tails,    &M.Chunks, &M.ZeroRows,
+               &M.Bands};
+  Status S = decodeHeaderImage(Header, F);
+  if (!S.ok())
+    return S;
+  const int Lanes32 = M.Lanes;
+
+  // Chunk table first (copied: the scheduler mutates nothing, but the
+  // table is tiny and the vector type is part of the public accessors).
+  MappedSection<CvrChunk> ChunksSec;
+  if (!(S = viewSection(C, ChunksSec, "chunk table", MaxChunks)).ok())
+    return S;
+  if (!(S = copySection(ChunksSec, M.Chunks, "chunk table")).ok())
+    return S;
+  SectionBudget B;
+  if (!(S = computeSectionBudget(M.Chunks, Lanes32, M.Nnz, M.NumRows, B))
+           .ok())
+    return S;
+  std::uint64_t NumChunks = M.Chunks.size();
+
+  MappedSection<CvrBand> BandsSec;
+  MappedSection<std::int32_t> ZeroSec, TailsSec, ColIdxSec;
+  MappedSection<CvrRecord> RecsSec;
+  MappedSection<double> ValsSec;
+  if (!(S = viewSection(C, BandsSec, "band table", NumChunks)).ok())
+    return S;
+  if (!(S = viewSection(C, ZeroSec, "zero-row list",
+                        static_cast<std::uint64_t>(M.NumRows)))
+           .ok())
+    return S;
+  if (!(S = viewSection(C, RecsSec, "record stream", B.MaxRecs)).ok())
+    return S;
+  if (!(S = viewSection(C, TailsSec, "tail table", MaxStreamElems,
+                        static_cast<std::int64_t>(NumChunks * Lanes32)))
+           .ok())
+    return S;
+  if (!(S = viewSection(C, ValsSec, "value stream", MaxStreamElems,
+                        static_cast<std::int64_t>(B.TotalElems)))
+           .ok())
+    return S;
+  if (!(S = viewSection(C, ColIdxSec, "column-index stream", MaxStreamElems,
+                        static_cast<std::int64_t>(B.TotalElems)))
+           .ok())
+    return S;
+
+  if (!(S = copySection(BandsSec, M.Bands, "band table")).ok())
+    return S;
+  if (!(S = copySection(ZeroSec, M.ZeroRows, "zero-row list")).ok())
+    return S;
+  if (!(S = copySection(RecsSec, M.Recs, "record stream")).ok())
+    return S;
+
+  // The hot streams alias the mapped image — the zero-copy contract.
+  M.Tails = AlignedBuffer<std::int32_t>::viewExternal(
+      TailsSec.Ptr, static_cast<std::size_t>(TailsSec.Count));
+  M.Vals = AlignedBuffer<double>::viewExternal(
+      ValsSec.Ptr, static_cast<std::size_t>(ValsSec.Count));
+  M.ColIdx = AlignedBuffer<std::int32_t>::viewExternal(
+      ColIdxSec.Ptr, static_cast<std::size_t>(ColIdxSec.Count));
+
+  if (!(S = crossCheckDecoded(M)).ok())
+    return S;
+  if (!(S = validateStructure(M, M.Vals.size(), M.ColIdx.size(),
+                              M.Tails.size(), M.Recs.size()))
+           .ok())
+    return S;
   return M;
 }
 

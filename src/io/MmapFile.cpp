@@ -1,0 +1,137 @@
+//===- io/MmapFile.cpp - Read-only file mapping with SIGBUS guard ---------===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "io/MmapFile.h"
+
+#include "support/FailPoint.h"
+
+#include <cerrno>
+#include <csetjmp>
+#include <csignal>
+#include <cstring>
+#include <mutex>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace cvr {
+namespace io {
+
+MmapFile &MmapFile::operator=(MmapFile &&Other) noexcept {
+  if (this == &Other)
+    return *this;
+  if (Addr != nullptr)
+    (void)munmap(Addr, Bytes);
+  Addr = Other.Addr;
+  Bytes = Other.Bytes;
+  Other.Addr = nullptr;
+  Other.Bytes = 0;
+  return *this;
+}
+
+MmapFile::~MmapFile() {
+  if (Addr != nullptr)
+    (void)munmap(Addr, Bytes);
+}
+
+StatusOr<MmapFile> MmapFile::open(const std::string &Path) {
+  if (CVR_FAIL_POINT("serve.mmap"))
+    return Status::unavailable("mmap of '" + Path +
+                               "' failed transiently (fail point)");
+  int Fd = ::open(Path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (Fd < 0)
+    return Status::notFound("cannot open '" + Path +
+                            "': " + std::strerror(errno));
+  struct stat St;
+  if (fstat(Fd, &St) != 0) {
+    int E = errno;
+    (void)close(Fd);
+    return Status::unavailable("fstat of '" + Path +
+                               "' failed: " + std::strerror(E));
+  }
+  if (St.st_size == 0) {
+    (void)close(Fd);
+    return Status::invalidArgument("'" + Path +
+                                   "' is empty; nothing to map");
+  }
+  auto N = static_cast<std::size_t>(St.st_size);
+  void *A = mmap(nullptr, N, PROT_READ, MAP_PRIVATE, Fd, 0);
+  int E = errno;
+  (void)close(Fd); // The mapping keeps its own reference.
+  if (A == MAP_FAILED)
+    return Status::unavailable("mmap of '" + Path +
+                               "' failed: " + std::strerror(E));
+  return MmapFile(A, N);
+}
+
+//===----------------------------------------------------------------------===//
+// SIGBUS recovery
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Per-thread recovery context. `Active` gates the handler: a SIGBUS on a
+/// thread whose guard is not active falls through to the default
+/// disposition (the handler re-raises), so genuine wild accesses still
+/// crash loudly.
+thread_local sigjmp_buf GSigbusJump;
+thread_local volatile sig_atomic_t GSigbusActive = 0;
+
+extern "C" void sigbusHandler(int Sig) {
+  if (GSigbusActive) {
+    GSigbusActive = 0;
+    siglongjmp(GSigbusJump, 1);
+  }
+  // Not ours: restore the default disposition and re-raise so the process
+  // dies with the honest signal.
+  signal(Sig, SIG_DFL);
+  raise(Sig);
+}
+
+void installSigbusHandlerOnce() {
+  static std::once_flag Once;
+  std::call_once(Once, [] {
+    struct sigaction SA;
+    std::memset(&SA, 0, sizeof(SA));
+    SA.sa_handler = sigbusHandler;
+    sigemptyset(&SA.sa_mask);
+    // SA_NODEFER: siglongjmp skips the normal handler return, so the
+    // signal must not stay blocked or the next SIGBUS is lost.
+    SA.sa_flags = SA_NODEFER;
+    (void)sigaction(SIGBUS, &SA, nullptr);
+  });
+}
+
+} // namespace
+
+Status withSigbusGuard(const char *What, const std::function<Status()> &Fn) {
+  installSigbusHandlerOnce();
+  // Save the outer context so guards nest (the outer guard resumes
+  // catching after the inner one returns).
+  sigjmp_buf Saved;
+  std::memcpy(&Saved, &GSigbusJump, sizeof(sigjmp_buf));
+  sig_atomic_t SavedActive = GSigbusActive;
+
+  Status Result = Status::okStatus();
+  if (sigsetjmp(GSigbusJump, /*savemask=*/1) == 0) {
+    GSigbusActive = 1;
+    Result = Fn();
+  } else {
+    Result = Status::dataLoss(
+        std::string(What) +
+        ": SIGBUS while reading the mapping (file truncated or device "
+        "gone underneath the map)");
+  }
+  GSigbusActive = 0;
+  std::memcpy(&GSigbusJump, &Saved, sizeof(sigjmp_buf));
+  GSigbusActive = SavedActive;
+  return Result;
+}
+
+} // namespace io
+} // namespace cvr

@@ -1,0 +1,92 @@
+//===- io/MmapFile.h - Read-only file mapping with SIGBUS guard -*- C++ -*-===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A read-only, page-aligned memory mapping of a file — the zero-copy load
+/// path of the serving daemon (serve/Fleet). Two hazards distinguish a
+/// mapped blob from a stream read, and this header owns both:
+///
+///  * `MmapFile::open` maps PROT_READ/MAP_PRIVATE and records the size the
+///    file had at open time; the validators bound every access to that
+///    size, so a file that was *always* short is rejected by ordinary
+///    bounds checks without ever faulting.
+///  * A file truncated *after* the mapping exists turns loads beyond the
+///    new end-of-file into SIGBUS. `withSigbusGuard` runs a callable with
+///    a thread-local recovery context installed: a SIGBUS raised on that
+///    thread unwinds back into the guard, which reports DATA_LOSS instead
+///    of taking the process down. Validation of a freshly mapped blob runs
+///    under the guard; once a blob has passed, the daemon holds the
+///    mapping open for its lifetime.
+///
+/// The guard nests and is per-thread; a SIGBUS on an unguarded thread
+/// falls through to the default disposition (crash — the correct outcome
+/// for a genuine wild access).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVR_IO_MMAPFILE_H
+#define CVR_IO_MMAPFILE_H
+
+#include "support/Status.h"
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+namespace cvr {
+namespace io {
+
+/// Move-only owner of one read-only file mapping.
+class MmapFile {
+public:
+  MmapFile() = default;
+  MmapFile(MmapFile &&Other) noexcept
+      : Addr(Other.Addr), Bytes(Other.Bytes) {
+    Other.Addr = nullptr;
+    Other.Bytes = 0;
+  }
+  MmapFile &operator=(MmapFile &&Other) noexcept;
+  MmapFile(const MmapFile &) = delete;
+  MmapFile &operator=(const MmapFile &) = delete;
+  ~MmapFile();
+
+  /// Maps \p Path read-only. NOT_FOUND when the file cannot be opened,
+  /// INVALID_ARGUMENT for an empty file (nothing to map — a zero-byte
+  /// blob is never valid), UNAVAILABLE when the map itself fails
+  /// (including the `serve.mmap` fail point, which models transient map
+  /// exhaustion and is retryable).
+  [[nodiscard]] static StatusOr<MmapFile> open(const std::string &Path);
+
+  /// Base of the mapping; page-aligned, hence 64-byte aligned. nullptr
+  /// for a default-constructed (empty) object.
+  const void *data() const { return Addr; }
+
+  /// File size at open time; every validated access stays below this.
+  std::size_t size() const { return Bytes; }
+
+  bool valid() const { return Addr != nullptr; }
+
+private:
+  MmapFile(void *A, std::size_t N) : Addr(A), Bytes(N) {}
+
+  void *Addr = nullptr;
+  std::size_t Bytes = 0;
+};
+
+/// Runs \p Fn with SIGBUS recovery installed for the calling thread. If a
+/// SIGBUS fires while \p Fn executes (a mapped file truncated underneath
+/// the reader), control returns here and the result is DATA_LOSS naming
+/// \p What; otherwise \p Fn's own Status is returned. Reentrant per
+/// thread; the process-wide handler is installed on first use and left in
+/// place (it re-raises with the default disposition when the faulting
+/// thread holds no guard).
+[[nodiscard]] Status withSigbusGuard(const char *What,
+                                     const std::function<Status()> &Fn);
+
+} // namespace io
+} // namespace cvr
+
+#endif // CVR_IO_MMAPFILE_H

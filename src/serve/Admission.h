@@ -1,0 +1,121 @@
+//===- serve/Admission.h - Token-style load shedding ------------*- C++ -*-===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Admission control for the serving daemon: a fixed pool of in-flight
+/// tokens. A request acquires a token before any work happens and holds it
+/// until its response is written; when the pool is empty the request is
+/// shed immediately with RESOURCE_EXHAUSTED — the daemon never queues
+/// unboundedly, so a load spike degrades into fast rejections instead of
+/// growing latency for everyone (the "fail fast, stay up" half of the
+/// robustness story; deadlines are the other half).
+///
+/// `tryAcquire` never blocks. The `serve.queue_full` fail point forces the
+/// no-capacity outcome so shedding is drillable at any load.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVR_SERVE_ADMISSION_H
+#define CVR_SERVE_ADMISSION_H
+
+#include "support/FailPoint.h"
+#include "support/Status.h"
+
+#include <atomic>
+#include <string>
+
+namespace cvr {
+namespace serve {
+
+class AdmissionController;
+
+/// RAII in-flight token. Default-constructed = empty (no token held).
+class Permit {
+public:
+  Permit() = default;
+  Permit(Permit &&Other) noexcept : Src(Other.Src) { Other.Src = nullptr; }
+  Permit &operator=(Permit &&Other) noexcept;
+  Permit(const Permit &) = delete;
+  Permit &operator=(const Permit &) = delete;
+  ~Permit() { release(); }
+
+  bool held() const { return Src != nullptr; }
+  void release();
+
+private:
+  friend class AdmissionController;
+  explicit Permit(AdmissionController *S) : Src(S) {}
+  AdmissionController *Src = nullptr;
+};
+
+/// The token pool. Thread-safe; lock-free (one CAS per admit/release).
+class AdmissionController {
+public:
+  explicit AdmissionController(int MaxInFlight)
+      : Capacity(MaxInFlight < 1 ? 1 : MaxInFlight) {}
+
+  /// Non-blocking admit: a Permit on success, RESOURCE_EXHAUSTED when the
+  /// pool is exhausted (or the `serve.queue_full` fail point fires).
+  [[nodiscard]] StatusOr<Permit> tryAcquire() {
+    if (CVR_FAIL_POINT("serve.queue_full"))
+      return shedStatus();
+    int Cur = InFlightCount.load(std::memory_order_relaxed);
+    while (Cur < Capacity) {
+      if (InFlightCount.compare_exchange_weak(Cur, Cur + 1,
+                                              std::memory_order_acquire,
+                                              std::memory_order_relaxed))
+        return Permit(this);
+    }
+    return shedStatus();
+  }
+
+  int inFlight() const {
+    return InFlightCount.load(std::memory_order_relaxed);
+  }
+  int capacity() const { return Capacity; }
+
+  /// Total requests shed since construction.
+  std::int64_t shedCount() const {
+    return Shed.load(std::memory_order_relaxed);
+  }
+
+private:
+  friend class Permit;
+
+  [[nodiscard]] Status shedStatus() {
+    Shed.fetch_add(1, std::memory_order_relaxed);
+    return Status::resourceExhausted(
+        "admission: " + std::to_string(Capacity) +
+        " requests already in flight; request shed (retry with backoff)");
+  }
+
+  void release() { InFlightCount.fetch_sub(1, std::memory_order_release); }
+
+  const int Capacity;
+  std::atomic<int> InFlightCount{0};
+  std::atomic<std::int64_t> Shed{0};
+};
+
+inline Permit &Permit::operator=(Permit &&Other) noexcept {
+  if (this != &Other) {
+    release();
+    Src = Other.Src;
+    Other.Src = nullptr;
+  }
+  return *this;
+}
+
+inline void Permit::release() {
+  if (Src != nullptr) {
+    Src->release();
+    Src = nullptr;
+  }
+}
+
+} // namespace serve
+} // namespace cvr
+
+#endif // CVR_SERVE_ADMISSION_H

@@ -1,0 +1,76 @@
+//===- serve/Client.cpp - Serving-daemon client ---------------------------===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Client.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace cvr {
+namespace serve {
+
+Client &Client::operator=(Client &&Other) noexcept {
+  if (this != &Other) {
+    if (Fd >= 0)
+      (void)close(Fd);
+    Fd = Other.Fd;
+    Other.Fd = -1;
+  }
+  return *this;
+}
+
+Client::~Client() {
+  if (Fd >= 0)
+    (void)close(Fd);
+}
+
+StatusOr<Client> Client::connect(const std::string &SocketPath) {
+  int Fd = socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (Fd < 0)
+    return Status::unavailable(std::string("socket() failed: ") +
+                               std::strerror(errno));
+  struct sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (SocketPath.size() >= sizeof(Addr.sun_path)) {
+    (void)close(Fd);
+    return Status::invalidArgument("socket path too long: " + SocketPath);
+  }
+  std::strncpy(Addr.sun_path, SocketPath.c_str(), sizeof(Addr.sun_path) - 1);
+  if (::connect(Fd, reinterpret_cast<struct sockaddr *>(&Addr),
+                sizeof(Addr)) != 0) {
+    int E = errno;
+    (void)close(Fd);
+    return Status::unavailable("connect('" + SocketPath +
+                               "') failed: " + std::strerror(E));
+  }
+  return Client(Fd);
+}
+
+Client Client::adopt(int Fd) { return Client(Fd); }
+
+Status Client::call(const Request &R, Response &Out) {
+  if (Fd < 0)
+    return Status::failedPrecondition("client is not connected");
+  Status S = writeFrame(Fd, encodeRequest(R));
+  if (!S.ok())
+    return S;
+  std::string Body;
+  S = readFrame(Fd, Body);
+  if (!S.ok())
+    return S.code() == StatusCode::NotFound
+               ? Status::unavailable(
+                     "daemon closed the connection before replying")
+               : S;
+  return decodeResponse(Body.data(), Body.size(), Out);
+}
+
+} // namespace serve
+} // namespace cvr

@@ -1,0 +1,62 @@
+//===- serve/Client.h - Serving-daemon client -------------------*- C++ -*-===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Client side of the serving protocol: connect to the daemon's socket,
+/// exchange frames, decode responses. Used by `cvr_tool serve-client`
+/// (load generation and chaos drills), the serving integration test, and
+/// anyone scripting the daemon. A failed call reports the transport or
+/// decode error; a served error (shed, deadline, not found) arrives as a
+/// decoded Response whose Code the caller inspects — the two layers stay
+/// distinct so a drill can assert on exact server-side codes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVR_SERVE_CLIENT_H
+#define CVR_SERVE_CLIENT_H
+
+#include "serve/Protocol.h"
+
+#include <string>
+
+namespace cvr {
+namespace serve {
+
+/// One connection to a serving daemon. Move-only; closes on destruction.
+class Client {
+public:
+  Client() = default;
+  Client(Client &&Other) noexcept : Fd(Other.Fd) { Other.Fd = -1; }
+  Client &operator=(Client &&Other) noexcept;
+  Client(const Client &) = delete;
+  Client &operator=(const Client &) = delete;
+  ~Client();
+
+  /// Connects to the daemon's Unix socket. UNAVAILABLE when nothing
+  /// listens there.
+  [[nodiscard]] static StatusOr<Client> connect(const std::string &SocketPath);
+
+  /// Adopts an already-connected descriptor (socketpair tests). Takes
+  /// ownership.
+  [[nodiscard]] static Client adopt(int Fd);
+
+  /// Sends \p R and decodes the daemon's reply. The returned Status is
+  /// transport/decode health only; the server's own verdict is
+  /// \p Out.Code.
+  [[nodiscard]] Status call(const Request &R, Response &Out);
+
+  bool connected() const { return Fd >= 0; }
+  int fd() const { return Fd; }
+
+private:
+  explicit Client(int F) : Fd(F) {}
+  int Fd = -1;
+};
+
+} // namespace serve
+} // namespace cvr
+
+#endif // CVR_SERVE_CLIENT_H

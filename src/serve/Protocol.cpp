@@ -1,0 +1,329 @@
+//===- serve/Protocol.cpp - Length-prefixed request/response wire ---------===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Protocol.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <unistd.h>
+
+namespace cvr {
+namespace serve {
+
+namespace {
+
+constexpr char RequestMagic[4] = {'C', 'V', 'R', 'Q'};
+constexpr char ResponseMagic[4] = {'C', 'V', 'R', 'A'};
+
+/// Highest StatusCode value; decoded codes beyond it are rejected.
+constexpr std::uint8_t MaxStatusCode =
+    static_cast<std::uint8_t>(StatusCode::Internal);
+
+template <typename T> void put(std::string &B, const T &V) {
+  B.append(reinterpret_cast<const char *>(&V), sizeof(T));
+}
+
+void putString16(std::string &B, const std::string &S) {
+  auto N = static_cast<std::uint16_t>(
+      S.size() > 0xFFFF ? 0xFFFF : S.size()); // Truncate, never overflow.
+  put(B, N);
+  B.append(S.data(), N);
+}
+
+void putDoubles(std::string &B, const std::vector<double> &V) {
+  put(B, static_cast<std::uint32_t>(V.size()));
+  if (!V.empty())
+    B.append(reinterpret_cast<const char *>(V.data()),
+             V.size() * sizeof(double));
+}
+
+/// Bounds-checked decode cursor (same shape as the blob reader's).
+struct Cursor {
+  const unsigned char *P;
+  const unsigned char *End;
+
+  bool read(void *Out, std::size_t N) {
+    if (static_cast<std::size_t>(End - P) < N)
+      return false;
+    std::memcpy(Out, P, N);
+    P += N;
+    return true;
+  }
+  template <typename T> bool pod(T &V) { return read(&V, sizeof(T)); }
+
+  bool string16(std::string &Out) {
+    std::uint16_t N = 0;
+    if (!pod(N))
+      return false;
+    if (static_cast<std::size_t>(End - P) < N)
+      return false;
+    Out.assign(reinterpret_cast<const char *>(P), N);
+    P += N;
+    return true;
+  }
+
+  bool doubles(std::vector<double> &Out, std::uint32_t MaxElems) {
+    std::uint32_t N = 0;
+    if (!pod(N))
+      return false;
+    if (N > MaxElems ||
+        static_cast<std::size_t>(End - P) < std::size_t(N) * sizeof(double))
+      return false;
+    Out.resize(N);
+    if (N != 0)
+      std::memcpy(Out.data(), P, std::size_t(N) * sizeof(double));
+    P += std::size_t(N) * sizeof(double);
+    return true;
+  }
+};
+
+[[nodiscard]] Status malformed(const char *What) {
+  return Status::invalidArgument(std::string("wire: malformed ") + What);
+}
+
+constexpr std::uint32_t MaxWireDoubles = MaxFrameBytes / sizeof(double);
+
+} // namespace
+
+std::string encodeRequest(const Request &R) {
+  std::string B;
+  B.append(RequestMagic, sizeof(RequestMagic));
+  put(B, static_cast<std::uint8_t>(R.Kind));
+  put(B, R.DeadlineMicros);
+  putString16(B, R.Matrix);
+  switch (R.Kind) {
+  case Op::Ping:
+  case Op::Stats:
+  case Op::List:
+    break;
+  case Op::Multiply:
+    putDoubles(B, R.X);
+    break;
+  case Op::Spmm:
+    put(B, static_cast<std::uint32_t>(R.NumVectors));
+    putDoubles(B, R.X);
+    break;
+  case Op::Solve:
+    put(B, static_cast<std::uint8_t>(R.Solver));
+    put(B, static_cast<std::uint32_t>(R.MaxIterations));
+    put(B, R.Tolerance);
+    putDoubles(B, R.X);
+    break;
+  }
+  return B;
+}
+
+Status decodeRequest(const void *Body, std::size_t Bytes, Request &Out) {
+  Cursor C{static_cast<const unsigned char *>(Body),
+           static_cast<const unsigned char *>(Body) + Bytes};
+  char Magic[4];
+  if (!C.read(Magic, 4) || std::memcmp(Magic, RequestMagic, 4) != 0)
+    return malformed("request magic");
+  std::uint8_t OpByte = 0;
+  if (!C.pod(OpByte) || OpByte > static_cast<std::uint8_t>(Op::List))
+    return malformed("request op");
+  Out.Kind = static_cast<Op>(OpByte);
+  if (!C.pod(Out.DeadlineMicros))
+    return malformed("request deadline");
+  if (!C.string16(Out.Matrix))
+    return malformed("request matrix name");
+
+  switch (Out.Kind) {
+  case Op::Ping:
+  case Op::Stats:
+  case Op::List:
+    break;
+  case Op::Multiply:
+    if (!C.doubles(Out.X, MaxWireDoubles))
+      return malformed("multiply payload");
+    break;
+  case Op::Spmm: {
+    std::uint32_t K = 0;
+    if (!C.pod(K) || K < 1 || K > static_cast<std::uint32_t>(MaxSpmmVectors))
+      return malformed("spmm panel width");
+    Out.NumVectors = static_cast<int>(K);
+    if (!C.doubles(Out.X, MaxWireDoubles))
+      return malformed("spmm payload");
+    break;
+  }
+  case Op::Solve: {
+    std::uint8_t S = 0;
+    std::uint32_t MaxIter = 0;
+    if (!C.pod(S) || S > static_cast<std::uint8_t>(SolverKind::Power))
+      return malformed("solver kind");
+    Out.Solver = static_cast<SolverKind>(S);
+    if (!C.pod(MaxIter) || MaxIter < 1 || MaxIter > 1000000)
+      return malformed("solver iteration cap");
+    Out.MaxIterations = static_cast<int>(MaxIter);
+    if (!C.pod(Out.Tolerance) || !(Out.Tolerance > 0.0))
+      return malformed("solver tolerance");
+    if (!C.doubles(Out.X, MaxWireDoubles))
+      return malformed("solve payload");
+    break;
+  }
+  }
+  if (C.P != C.End)
+    return malformed("request (trailing bytes)");
+  return Status::okStatus();
+}
+
+std::string encodeResponse(const Response &R) {
+  std::string B;
+  B.append(ResponseMagic, sizeof(ResponseMagic));
+  put(B, static_cast<std::uint8_t>(R.Code));
+  putString16(B, R.Variant);
+  auto N = static_cast<std::uint8_t>(
+      R.Downgrades.size() > 255 ? 255 : R.Downgrades.size());
+  put(B, N);
+  for (std::uint8_t I = 0; I < N; ++I)
+    putString16(B, R.Downgrades[I].Text);
+  putString16(B, R.Message);
+  if (R.Code == StatusCode::Ok) {
+    put(B, static_cast<std::uint32_t>(R.NumVectors));
+    putDoubles(B, R.Y);
+    put(B, static_cast<std::uint8_t>(R.Converged));
+    put(B, static_cast<std::uint32_t>(R.Iterations));
+    put(B, R.Residual);
+    // Stats/List text can exceed 64 KiB; length is a u32.
+    put(B, static_cast<std::uint32_t>(R.Text.size()));
+    B.append(R.Text);
+  }
+  return B;
+}
+
+Status decodeResponse(const void *Body, std::size_t Bytes, Response &Out) {
+  Cursor C{static_cast<const unsigned char *>(Body),
+           static_cast<const unsigned char *>(Body) + Bytes};
+  char Magic[4];
+  if (!C.read(Magic, 4) || std::memcmp(Magic, ResponseMagic, 4) != 0)
+    return malformed("response magic");
+  std::uint8_t Code = 0;
+  if (!C.pod(Code) || Code > MaxStatusCode)
+    return malformed("response status code");
+  Out.Code = static_cast<StatusCode>(Code);
+  if (!C.string16(Out.Variant))
+    return malformed("response variant");
+  std::uint8_t N = 0;
+  if (!C.pod(N))
+    return malformed("response downgrade count");
+  Out.Downgrades.clear();
+  for (std::uint8_t I = 0; I < N; ++I) {
+    WireDowngrade D;
+    if (!C.string16(D.Text))
+      return malformed("response downgrade");
+    Out.Downgrades.push_back(std::move(D));
+  }
+  if (!C.string16(Out.Message))
+    return malformed("response message");
+  if (Out.Code == StatusCode::Ok) {
+    std::uint32_t K = 0, TextLen = 0;
+    std::uint8_t Conv = 0;
+    std::uint32_t Iter = 0;
+    if (!C.pod(K) || K < 1)
+      return malformed("response panel width");
+    Out.NumVectors = static_cast<int>(K);
+    if (!C.doubles(Out.Y, MaxWireDoubles))
+      return malformed("response payload");
+    if (!C.pod(Conv) || !C.pod(Iter) || !C.pod(Out.Residual))
+      return malformed("response solve summary");
+    Out.Converged = Conv != 0;
+    Out.Iterations = static_cast<int>(Iter);
+    if (!C.pod(TextLen) ||
+        static_cast<std::size_t>(C.End - C.P) < TextLen)
+      return malformed("response text");
+    Out.Text.assign(reinterpret_cast<const char *>(C.P), TextLen);
+    C.P += TextLen;
+  }
+  if (C.P != C.End)
+    return malformed("response (trailing bytes)");
+  return Status::okStatus();
+}
+
+//===----------------------------------------------------------------------===//
+// Framed I/O
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+[[nodiscard]] Status writeAll(int Fd, const void *P, std::size_t N) {
+  const char *B = static_cast<const char *>(P);
+  while (N != 0) {
+    ssize_t W = ::write(Fd, B, N);
+    if (W < 0) {
+      if (errno == EINTR)
+        continue;
+      return Status::unavailable(std::string("frame write failed: ") +
+                                 std::strerror(errno));
+    }
+    B += W;
+    N -= static_cast<std::size_t>(W);
+  }
+  return Status::okStatus();
+}
+
+/// Reads exactly \p N bytes. Result: 1 = done, 0 = clean EOF before the
+/// first byte, -1 = error/mid-read EOF (ErrnoOut set, 0 for EOF).
+int readAll(int Fd, void *P, std::size_t N, int &ErrnoOut) {
+  char *B = static_cast<char *>(P);
+  std::size_t Got = 0;
+  while (Got < N) {
+    ssize_t R = ::read(Fd, B + Got, N - Got);
+    if (R < 0) {
+      if (errno == EINTR)
+        continue;
+      ErrnoOut = errno;
+      return -1;
+    }
+    if (R == 0) {
+      if (Got == 0)
+        return 0;
+      ErrnoOut = 0;
+      return -1;
+    }
+    Got += static_cast<std::size_t>(R);
+  }
+  return 1;
+}
+
+} // namespace
+
+Status writeFrame(int Fd, const std::string &Body) {
+  if (Body.size() > MaxFrameBytes)
+    return Status::invalidArgument("frame body exceeds MaxFrameBytes");
+  auto Len = static_cast<std::uint32_t>(Body.size());
+  Status S = writeAll(Fd, &Len, sizeof(Len));
+  if (!S.ok())
+    return S;
+  return writeAll(Fd, Body.data(), Body.size());
+}
+
+Status readFrame(int Fd, std::string &Body) {
+  std::uint32_t Len = 0;
+  int E = 0;
+  int R = readAll(Fd, &Len, sizeof(Len), E);
+  if (R == 0)
+    return Status::notFound("peer closed the connection");
+  if (R < 0)
+    return Status::unavailable(
+        E == 0 ? std::string("EOF inside a frame length")
+               : std::string("frame read failed: ") + std::strerror(E));
+  if (Len > MaxFrameBytes)
+    return Status::invalidArgument("frame length " + std::to_string(Len) +
+                                   " exceeds MaxFrameBytes");
+  Body.resize(Len);
+  if (Len == 0)
+    return Status::okStatus();
+  R = readAll(Fd, Body.data(), Len, E);
+  if (R != 1)
+    return Status::unavailable(
+        E == 0 ? std::string("EOF inside a frame body")
+               : std::string("frame read failed: ") + std::strerror(E));
+  return Status::okStatus();
+}
+
+} // namespace serve
+} // namespace cvr

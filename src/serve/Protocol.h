@@ -1,0 +1,128 @@
+//===- serve/Protocol.h - Length-prefixed request/response wire -*- C++ -*-===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The serving daemon's wire format: little-endian, length-prefixed binary
+/// frames over a Unix-domain stream socket.
+///
+///   frame    := u32 bodyLen | body            (bodyLen <= MaxFrameBytes)
+///   request  := "CVRQ" | u8 op | u64 deadlineMicros
+///               | u16 nameLen | name | op payload
+///   response := "CVRA" | u8 statusCode | u16 variantLen | variant
+///               | u8 numDowngrades | { u16 len | "from -> to: why" }*
+///               | u16 msgLen | msg | op payload (OK only)
+///
+/// Ops: Ping (liveness), Multiply (y = A x), Spmm (Y = A X, row-major
+/// panel), Solve (CG / BiCGSTAB / power iteration), Stats (telemetry
+/// snapshot as JSON), List (fleet inventory). `deadlineMicros` is a
+/// relative budget (0 = none) the server binds to its own clock at decode
+/// time; `variant` names the ladder rung that actually executed and the
+/// downgrade list is the recorded trail down to it, so a client can tell a
+/// full-fidelity answer from a degraded one.
+///
+/// Decoding is bounds-checked everywhere (a malformed frame yields
+/// INVALID_ARGUMENT, never an over-read); encode/decode round-trip exactly,
+/// and the unit tests fuzz truncations of every message kind.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVR_SERVE_PROTOCOL_H
+#define CVR_SERVE_PROTOCOL_H
+
+#include "support/Status.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cvr {
+namespace serve {
+
+/// Hard ceiling on one frame body; large enough for a 16M-row SpMM panel,
+/// small enough that a corrupt length cannot commission gigabytes.
+constexpr std::uint32_t MaxFrameBytes = 256u << 20;
+
+/// Right-hand-side panel width ceiling for Spmm requests.
+constexpr int MaxSpmmVectors = 32;
+
+enum class Op : std::uint8_t {
+  Ping = 0,
+  Multiply = 1,
+  Spmm = 2,
+  Solve = 3,
+  Stats = 4,
+  List = 5,
+};
+
+enum class SolverKind : std::uint8_t {
+  Cg = 0,
+  BiCgStab = 1,
+  Power = 2,
+};
+
+/// One decoded request.
+struct Request {
+  Op Kind = Op::Ping;
+  std::uint64_t DeadlineMicros = 0; ///< Relative budget; 0 = none.
+  std::string Matrix;               ///< Target name (empty for Ping/Stats/List).
+
+  std::vector<double> X;  ///< Multiply/Spmm input, Solve right-hand side.
+  int NumVectors = 1;     ///< Spmm panel width.
+  SolverKind Solver = SolverKind::Cg;
+  int MaxIterations = 100;
+  double Tolerance = 1e-8;
+};
+
+/// One recorded rung-down event, stringified for the wire.
+struct WireDowngrade {
+  std::string Text; ///< "from -> to: CODE: why"
+};
+
+/// One decoded response.
+struct Response {
+  StatusCode Code = StatusCode::Ok;
+  std::string Message; ///< Error detail when Code != Ok.
+  std::string Variant; ///< Ladder rung that executed ("CVR+tuned[exec]").
+  std::vector<WireDowngrade> Downgrades;
+
+  std::vector<double> Y; ///< Multiply/Spmm/Solve result payload.
+  int NumVectors = 1;    ///< Spmm panel width of Y.
+  std::string Text;      ///< Stats JSON / List inventory text.
+  bool Converged = false;
+  int Iterations = 0;
+  double Residual = 0.0;
+};
+
+/// Serializes \p R as a frame body (no length prefix).
+std::string encodeRequest(const Request &R);
+
+/// Parses a frame body produced by encodeRequest. INVALID_ARGUMENT on any
+/// malformed byte; never over-reads.
+[[nodiscard]] Status decodeRequest(const void *Body, std::size_t Bytes,
+                                   Request &Out);
+
+std::string encodeResponse(const Response &R);
+
+[[nodiscard]] Status decodeResponse(const void *Body, std::size_t Bytes,
+                                    Response &Out);
+
+//===----------------------------------------------------------------------===//
+// Framed I/O over a file descriptor
+//===----------------------------------------------------------------------===//
+
+/// Writes one length-prefixed frame. Retries EINTR; UNAVAILABLE on a
+/// closed or failing peer.
+[[nodiscard]] Status writeFrame(int Fd, const std::string &Body);
+
+/// Reads one length-prefixed frame. NOT_FOUND on clean EOF before any
+/// byte (the peer is simply done), UNAVAILABLE on mid-frame EOF or error,
+/// INVALID_ARGUMENT when the length prefix exceeds MaxFrameBytes.
+[[nodiscard]] Status readFrame(int Fd, std::string &Body);
+
+} // namespace serve
+} // namespace cvr
+
+#endif // CVR_SERVE_PROTOCOL_H

@@ -1,0 +1,279 @@
+//===- serve/Server.cpp - Unix-socket daemon loop -------------------------===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Server.h"
+
+#include "support/FailPoint.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace cvr {
+namespace serve {
+
+namespace {
+
+/// Self-pipe write end for the signal handlers. One server instance per
+/// process is the supported configuration (cvr_served); the handlers do
+/// nothing but write one byte.
+std::atomic<int> GSignalPipeFd{-1};
+
+extern "C" void serveSignalHandler(int) {
+  int Fd = GSignalPipeFd.load(std::memory_order_relaxed);
+  if (Fd >= 0) {
+    char B = 's';
+    // Best effort; a full pipe already means a wakeup is pending.
+    (void)!write(Fd, &B, 1);
+  }
+}
+
+void closeFd(int &Fd) {
+  if (Fd >= 0) {
+    (void)close(Fd);
+    Fd = -1;
+  }
+}
+
+} // namespace
+
+Server::Server(Service &S, ServerOptions O) : Svc(S), Opts(std::move(O)) {}
+
+Server::~Server() {
+  requestStop();
+  drainAndJoin();
+  closeFd(ListenFd);
+  closeFd(WakePipe[0]);
+  closeFd(WakePipe[1]);
+}
+
+Status Server::serveOneshot(int Fd) {
+  std::string Body;
+  Status S = readFrame(Fd, Body);
+  if (!S.ok())
+    return S.withContext("oneshot read");
+  Request Req;
+  Response Resp;
+  if (Status D = decodeRequest(Body.data(), Body.size(), Req); !D.ok()) {
+    Resp.Code = D.code();
+    Resp.Message = D.message();
+  } else {
+    Resp = Svc.handle(Req);
+  }
+  return writeFrame(Fd, encodeResponse(Resp)).withContext("oneshot write");
+}
+
+void Server::handleConnection(int Fd) {
+  // One connection, many requests: serve frames until the peer closes or
+  // shutdown drains us. An in-flight request always gets its response —
+  // the stop flag is only consulted *between* requests.
+  for (;;) {
+    std::string Body;
+    Status S = readFrame(Fd, Body);
+    if (!S.ok())
+      break; // Peer done (NotFound) or broken; either way, close.
+    Request Req;
+    Response Resp;
+    if (Status D = decodeRequest(Body.data(), Body.size(), Req); !D.ok()) {
+      Resp.Code = D.code();
+      Resp.Message = D.message();
+    } else {
+      Resp = Svc.handle(Req);
+    }
+    if (!writeFrame(Fd, encodeResponse(Resp)).ok())
+      break;
+    if (stopping())
+      break; // Drain point: answered everything read so far.
+  }
+  {
+    std::lock_guard<std::mutex> Lock(ConnMu);
+    ActiveConns.erase(
+        std::remove(ActiveConns.begin(), ActiveConns.end(), Fd),
+        ActiveConns.end());
+  }
+  (void)close(Fd);
+}
+
+void Server::workerMain() {
+  for (;;) {
+    int Fd = -1;
+    {
+      std::unique_lock<std::mutex> Lock(QueueMu);
+      QueueCv.wait(Lock, [&] { return !Pending.empty() || stopping(); });
+      if (Pending.empty()) {
+        if (stopping())
+          return;
+        continue;
+      }
+      Fd = Pending.front();
+      Pending.pop_front();
+    }
+    Busy.fetch_add(1, std::memory_order_acq_rel);
+    handleConnection(Fd);
+    Busy.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+Status Server::serve() {
+  if (Opts.SocketPath.empty())
+    return Status::invalidArgument("server: no socket path configured");
+  ListenFd = socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (ListenFd < 0)
+    return Status::unavailable(std::string("socket() failed: ") +
+                               std::strerror(errno));
+  struct sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (Opts.SocketPath.size() >= sizeof(Addr.sun_path))
+    return Status::invalidArgument("socket path too long: " +
+                                   Opts.SocketPath);
+  std::strncpy(Addr.sun_path, Opts.SocketPath.c_str(),
+               sizeof(Addr.sun_path) - 1);
+  (void)unlink(Opts.SocketPath.c_str()); // Stale socket from a crash.
+  if (bind(ListenFd, reinterpret_cast<struct sockaddr *>(&Addr),
+           sizeof(Addr)) != 0)
+    return Status::unavailable("bind('" + Opts.SocketPath +
+                               "') failed: " + std::strerror(errno));
+  if (listen(ListenFd, 64) != 0)
+    return Status::unavailable(std::string("listen() failed: ") +
+                               std::strerror(errno));
+  if (pipe(WakePipe) != 0)
+    return Status::unavailable(std::string("pipe() failed: ") +
+                               std::strerror(errno));
+
+  if (Opts.InstallSignalHandlers) {
+    GSignalPipeFd.store(WakePipe[1], std::memory_order_relaxed);
+    struct sigaction SA;
+    std::memset(&SA, 0, sizeof(SA));
+    SA.sa_handler = serveSignalHandler;
+    sigemptyset(&SA.sa_mask);
+    (void)sigaction(SIGTERM, &SA, nullptr);
+    (void)sigaction(SIGINT, &SA, nullptr);
+    // A client vanishing mid-write must not kill the daemon.
+    (void)signal(SIGPIPE, SIG_IGN);
+  }
+
+  int Workers = Opts.Workers < 1 ? 1 : Opts.Workers;
+  WorkerThreads.reserve(static_cast<std::size_t>(Workers));
+  for (int I = 0; I < Workers; ++I)
+    WorkerThreads.emplace_back([this] { workerMain(); });
+
+  // Accept loop: poll on {listen, self-pipe}; transient accept failures
+  // back off and continue.
+  int AcceptAttempt = 0;
+  while (!stopping()) {
+    struct pollfd Fds[2] = {{ListenFd, POLLIN, 0}, {WakePipe[0], POLLIN, 0}};
+    int R = poll(Fds, 2, /*timeout_ms=*/500);
+    if (R < 0) {
+      if (errno == EINTR)
+        continue;
+      break;
+    }
+    if (Fds[1].revents != 0) {
+      requestStop(); // Signal arrived.
+      break;
+    }
+    if ((Fds[0].revents & POLLIN) == 0)
+      continue;
+    int Conn = -1;
+    if (CVR_FAIL_POINT("serve.accept")) {
+      errno = EMFILE; // Model descriptor exhaustion.
+    } else {
+      Conn = accept(ListenFd, nullptr, nullptr);
+    }
+    if (Conn < 0) {
+      if (errno == EINTR)
+        continue;
+      // Transient: back off and keep listening. The schedule caps out,
+      // after which we still keep polling — the daemon outlives bursts.
+      std::int64_t Delay = Opts.AcceptBackoff.delayMicros(AcceptAttempt);
+      if (Delay < 0)
+        Delay = Opts.AcceptBackoff.MaxMicros;
+      else
+        ++AcceptAttempt;
+      std::this_thread::sleep_for(std::chrono::microseconds(Delay));
+      continue;
+    }
+    AcceptAttempt = 0;
+    {
+      std::lock_guard<std::mutex> Lock(ConnMu);
+      ActiveConns.push_back(Conn);
+    }
+    {
+      std::lock_guard<std::mutex> Lock(QueueMu);
+      Pending.push_back(Conn);
+    }
+    QueueCv.notify_one();
+  }
+
+  requestStop();
+  drainAndJoin();
+  closeFd(ListenFd);
+  (void)unlink(Opts.SocketPath.c_str());
+  return Status::okStatus();
+}
+
+void Server::requestStop() {
+  bool Expected = false;
+  if (Stop.compare_exchange_strong(Expected, true,
+                                   std::memory_order_acq_rel)) {
+    QueueCv.notify_all();
+    int Fd = WakePipe[1];
+    if (Fd >= 0) {
+      char B = 'q';
+      (void)!write(Fd, &B, 1);
+    }
+  }
+}
+
+void Server::drainAndJoin() {
+  if (WorkerThreads.empty())
+    return;
+  // Watchdog: give in-flight requests DrainTimeoutSeconds to finish, then
+  // shut their sockets down hard (readFrame in the worker then fails and
+  // the worker exits cleanly).
+  Timer T;
+  for (;;) {
+    bool Idle;
+    {
+      std::lock_guard<std::mutex> QLock(QueueMu);
+      std::lock_guard<std::mutex> CLock(ConnMu);
+      Idle = Pending.empty() && ActiveConns.empty() &&
+             Busy.load(std::memory_order_acquire) == 0;
+    }
+    if (Idle)
+      break;
+    if (T.seconds() > Opts.DrainTimeoutSeconds) {
+      std::lock_guard<std::mutex> Lock(ConnMu);
+      for (int Fd : ActiveConns)
+        (void)shutdown(Fd, SHUT_RDWR);
+      break;
+    }
+    QueueCv.notify_all();
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  QueueCv.notify_all();
+  for (std::thread &W : WorkerThreads)
+    if (W.joinable())
+      W.join();
+  WorkerThreads.clear();
+  // Anything still queued never reached a worker: close it.
+  std::lock_guard<std::mutex> Lock(QueueMu);
+  for (int Fd : Pending)
+    (void)close(Fd);
+  Pending.clear();
+}
+
+} // namespace serve
+} // namespace cvr

@@ -1,0 +1,106 @@
+//===- serve/Server.h - Unix-socket daemon loop -----------------*- C++ -*-===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The transport: a Unix-domain stream socket speaking the Protocol.h
+/// frame format, a fixed worker pool, and a shutdown path built for
+/// drills:
+///
+///  * The accept loop polls the listening socket together with a
+///    self-pipe; `SIGTERM`/`SIGINT` handlers write one byte to the pipe
+///    (the only async-signal-safe thing they do), which wakes the loop
+///    out of poll.
+///  * On shutdown the listener closes first (no new connections), then a
+///    watchdog waits for in-flight requests to drain — every accepted
+///    request gets its response — up to `DrainTimeoutSeconds`, after
+///    which remaining connections are shut down hard. Workers exit; the
+///    socket file is unlinked.
+///  * A transient `accept()` failure (drilled via `serve.accept`) backs
+///    off on the BackoffPolicy schedule and keeps listening; the daemon
+///    never exits because one accept failed.
+///  * `serveOneshot(fd)` runs exactly one request/response exchange over
+///    an already-connected descriptor (a socketpair in the ctest smoke) —
+///    no socket file, no background thread, no signals.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVR_SERVE_SERVER_H
+#define CVR_SERVE_SERVER_H
+
+#include "serve/Service.h"
+#include "support/Deadline.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace cvr {
+namespace serve {
+
+struct ServerOptions {
+  std::string SocketPath;
+  int Workers = 4;
+  /// Accept-failure retry schedule (`serve.accept` drills it).
+  BackoffPolicy AcceptBackoff;
+  /// Seconds the shutdown watchdog waits for in-flight requests before
+  /// force-closing their connections.
+  double DrainTimeoutSeconds = 10.0;
+  /// Install SIGTERM/SIGINT handlers (off in tests, which call
+  /// requestStop directly).
+  bool InstallSignalHandlers = true;
+};
+
+class Server {
+public:
+  Server(Service &S, ServerOptions Opts);
+  ~Server();
+
+  /// Binds, listens, and serves until requestStop (or a signal). Returns
+  /// only after the drain completes. UNAVAILABLE when the socket cannot
+  /// be bound.
+  [[nodiscard]] Status serve();
+
+  /// One request/response exchange over \p Fd (already connected). The
+  /// descriptor is not closed.
+  [[nodiscard]] Status serveOneshot(int Fd);
+
+  /// Initiates shutdown from any thread (also what the signal handlers
+  /// trigger via the self-pipe). Idempotent.
+  void requestStop();
+
+  /// True once shutdown has been requested.
+  bool stopping() const { return Stop.load(std::memory_order_acquire); }
+
+private:
+  void workerMain();
+  void handleConnection(int Fd);
+  void drainAndJoin();
+
+  Service &Svc;
+  ServerOptions Opts;
+
+  int ListenFd = -1;
+  int WakePipe[2] = {-1, -1};
+  std::atomic<bool> Stop{false};
+
+  std::mutex QueueMu;
+  std::condition_variable QueueCv;
+  std::deque<int> Pending; ///< Accepted fds awaiting a worker.
+  std::vector<std::thread> WorkerThreads;
+
+  std::mutex ConnMu;
+  std::vector<int> ActiveConns; ///< Fds currently owned by workers.
+  std::atomic<int> Busy{0};     ///< Workers inside handleConnection.
+};
+
+} // namespace serve
+} // namespace cvr
+
+#endif // CVR_SERVE_SERVER_H

@@ -58,6 +58,28 @@ public:
 
   explicit AlignedBuffer(std::size_t N) { resize(N); }
 
+  /// Non-owning view over external storage (a mmap'd blob section). The
+  /// buffer aliases [P, P + N) without copying or ever freeing it; the
+  /// mapping must outlive the view and, per the zero-copy contract, must
+  /// never be written through it (serving maps are PROT_READ — a write
+  /// faults). Views report zero capacity, so any grow operation silently
+  /// converts the buffer back to owned storage by copying out first.
+  /// \p P must satisfy the class alignment (the mapped blob layout
+  /// guarantees it; callers verify before adopting).
+  static AlignedBuffer viewExternal(const T *P, std::size_t N) {
+    AlignedBuffer B;
+    B.Data = const_cast<T *>(P);
+    B.Size = N;
+    B.Cap = 0; // Any growth reallocates into owned storage.
+    B.Owned = false;
+    assert((reinterpret_cast<std::uintptr_t>(P) % Alignment) == 0 &&
+           "viewExternal: pointer violates the buffer alignment");
+    return B;
+  }
+
+  /// True when the storage is heap-owned (false for viewExternal views).
+  bool ownsStorage() const { return Owned; }
+
   AlignedBuffer(std::size_t N, const T &Fill) { resize(N, Fill); }
 
   AlignedBuffer(const AlignedBuffer &Other) {
@@ -67,9 +89,11 @@ public:
   }
 
   AlignedBuffer(AlignedBuffer &&Other) noexcept
-      : Data(Other.Data), Size(Other.Size), Cap(Other.Cap) {
+      : Data(Other.Data), Size(Other.Size), Cap(Other.Cap),
+        Owned(Other.Owned) {
     Other.Data = nullptr;
     Other.Size = Other.Cap = 0;
+    Other.Owned = true;
   }
 
   AlignedBuffer &operator=(const AlignedBuffer &Other) {
@@ -88,8 +112,10 @@ public:
     Data = Other.Data;
     Size = Other.Size;
     Cap = Other.Cap;
+    Owned = Other.Owned;
     Other.Data = nullptr;
     Other.Size = Other.Cap = 0;
+    Other.Owned = true;
     return *this;
   }
 
@@ -156,8 +182,10 @@ public:
           std::to_string(NewCap * sizeof(T)) + " bytes");
     if (Size != 0)
       std::memcpy(NewData, Data, Size * sizeof(T));
-    std::free(Data);
+    if (Owned)
+      std::free(Data);
     Data = NewData;
+    Owned = true; // A grown view becomes an owned copy.
     Cap = NewCap; // Size is unchanged: reserve only grows storage.
     return Status::okStatus();
   }
@@ -233,14 +261,17 @@ private:
   }
 
   void release() {
-    std::free(Data);
+    if (Owned)
+      std::free(Data);
     Data = nullptr;
     Size = Cap = 0;
+    Owned = true;
   }
 
   T *Data = nullptr;
   std::size_t Size = 0;
   std::size_t Cap = 0;
+  bool Owned = true; ///< false: Data aliases external (mapped) storage.
 };
 
 } // namespace cvr

@@ -1,0 +1,64 @@
+//===- support/Deadline.cpp - Injectable-clock deadlines + backoff --------===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Deadline.h"
+
+#include <chrono>
+#include <limits>
+
+namespace cvr {
+
+namespace {
+
+class SteadyClock : public Clock {
+public:
+  std::int64_t nowNanos() const override {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+};
+
+} // namespace
+
+const Clock &steadyClock() {
+  static const SteadyClock C;
+  return C;
+}
+
+std::int64_t Deadline::remainingNanos() const {
+  if (!Src)
+    return std::numeric_limits<std::int64_t>::max();
+  return ExpiryNanos - Src->nowNanos();
+}
+
+Status Deadline::check(const char *Phase) const {
+  if (!expired())
+    return Status::okStatus();
+  return Status::deadlineExceeded(std::string(Phase) +
+                                  ": request deadline expired");
+}
+
+std::int64_t BackoffPolicy::delayMicros(int Attempt) const {
+  if (Attempt < 0 || Attempt >= MaxRetries)
+    return -1;
+  std::int64_t D = InitialMicros;
+  for (int I = 0; I < Attempt; ++I) {
+    if (D > MaxMicros / (Multiplier > 0 ? Multiplier : 1))
+      return MaxMicros; // Saturated; further growth would overflow anyway.
+    D *= Multiplier;
+  }
+  return D < MaxMicros ? D : MaxMicros;
+}
+
+bool BackoffPolicy::shouldRetry(int Attempt, const Deadline &D) const {
+  std::int64_t Delay = delayMicros(Attempt);
+  if (Delay < 0)
+    return false;
+  return D.remainingNanos() > Delay * 1000;
+}
+
+} // namespace cvr

@@ -1,0 +1,127 @@
+//===- support/Deadline.h - Injectable-clock deadlines + backoff -*- C++-*-===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-request time budgets for the serving layer (src/serve), built on an
+/// injectable clock so every expiry path is unit-testable without sleeps:
+///
+///  * `Clock` is the one-method time source. `steadyClock()` wraps
+///    std::chrono::steady_clock for production; `ManualClock` is a test
+///    clock advanced explicitly, so "the tuner blew the budget" is a
+///    single `advance()` call rather than a real 50 ms stall.
+///  * `Deadline` is a point on a Clock. It is checked — never waited on —
+///    at the serving pipeline's phase boundaries (admit, prepare, tune,
+///    execute); an expired deadline makes the phase degrade or return
+///    DEADLINE_EXCEEDED instead of blocking.
+///  * `BackoffPolicy` is the bounded capped-exponential retry schedule
+///    used for transient faults (mmap of a busy file, EINTR-adjacent
+///    accept failures). Deterministic: no jitter, so tests can assert the
+///    exact delay sequence.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVR_SUPPORT_DEADLINE_H
+#define CVR_SUPPORT_DEADLINE_H
+
+#include "support/Status.h"
+
+#include <cstdint>
+#include <string>
+
+namespace cvr {
+
+/// Monotonic time source. One virtual call per read keeps it injectable;
+/// deadline checks happen at phase boundaries, never inside kernels, so
+/// the indirection costs nothing measurable.
+class Clock {
+public:
+  virtual ~Clock() = default;
+
+  /// Nanoseconds since an arbitrary fixed origin; monotone non-decreasing.
+  virtual std::int64_t nowNanos() const = 0;
+};
+
+/// The process-wide std::chrono::steady_clock adapter.
+const Clock &steadyClock();
+
+/// Test clock: starts at zero, moves only when told to.
+class ManualClock : public Clock {
+public:
+  std::int64_t nowNanos() const override { return Now; }
+
+  void advanceNanos(std::int64_t N) { Now += N; }
+  void advanceMicros(std::int64_t U) { Now += U * 1000; }
+  void advanceMillis(std::int64_t M) { Now += M * 1000 * 1000; }
+
+private:
+  std::int64_t Now = 0;
+};
+
+/// A point in time on a Clock, or "never". Cheap to copy; carries its
+/// clock so a request's deadline travels with the request object.
+class Deadline {
+public:
+  /// Never expires (the default for requests that set no budget).
+  Deadline() = default;
+
+  /// Expires \p BudgetNanos from now on \p C.
+  static Deadline afterNanos(const Clock &C, std::int64_t BudgetNanos) {
+    Deadline D;
+    D.Src = &C;
+    D.ExpiryNanos = C.nowNanos() + BudgetNanos;
+    return D;
+  }
+
+  static Deadline afterMicros(const Clock &C, std::int64_t Micros) {
+    return afterNanos(C, Micros * 1000);
+  }
+
+  static Deadline never() { return Deadline(); }
+
+  bool isNever() const { return Src == nullptr; }
+
+  bool expired() const { return Src && Src->nowNanos() >= ExpiryNanos; }
+
+  /// Nanoseconds until expiry (<= 0 when expired). A "never" deadline
+  /// reports the int64 maximum.
+  std::int64_t remainingNanos() const;
+
+  double remainingSeconds() const {
+    return static_cast<double>(remainingNanos()) * 1e-9;
+  }
+
+  /// Phase-boundary check: OK while time remains, DEADLINE_EXCEEDED naming
+  /// \p Phase once it has run out. The serving layer calls this between
+  /// phases (never inside one), so a request that expires mid-execution
+  /// still returns its finished result.
+  [[nodiscard]] Status check(const char *Phase) const;
+
+private:
+  const Clock *Src = nullptr; ///< nullptr = never expires.
+  std::int64_t ExpiryNanos = 0;
+};
+
+/// Bounded capped-exponential retry schedule. Attempt numbering is
+/// zero-based: delayMicros(0) is the wait before the first retry.
+struct BackoffPolicy {
+  std::int64_t InitialMicros = 200;  ///< Delay before the first retry.
+  std::int64_t MaxMicros = 50000;    ///< Per-retry delay ceiling.
+  int Multiplier = 2;                ///< Growth factor between retries.
+  int MaxRetries = 5;                ///< Retries after the initial attempt.
+
+  /// Delay before retry \p Attempt (zero-based), capped at MaxMicros;
+  /// negative once Attempt >= MaxRetries (meaning: stop retrying).
+  std::int64_t delayMicros(int Attempt) const;
+
+  /// True while retry \p Attempt is within budget AND \p D (when given)
+  /// still has at least that retry's delay remaining — a deadline-aware
+  /// retry never sleeps past the request's own expiry.
+  bool shouldRetry(int Attempt, const Deadline &D = Deadline::never()) const;
+};
+
+} // namespace cvr
+
+#endif // CVR_SUPPORT_DEADLINE_H

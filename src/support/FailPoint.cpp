@@ -45,11 +45,20 @@ struct Registry {
   }
 };
 
+/// Outcome of the one-time CVR_FAILPOINTS environment parse. Read through
+/// envSpecStatus(); a malformed spec arms nothing (armFromSpec validates
+/// the whole spec before arming), and tools refuse to start on it rather
+/// than running a drill with silently missing faults.
+Status &envStatusSlot() {
+  static Status S = Status::okStatus();
+  return S;
+}
+
 void loadEnvOnce() {
   static std::once_flag Once;
   std::call_once(Once, [] {
     if (const char *Spec = std::getenv("CVR_FAILPOINTS"))
-      (void)armFromSpec(Spec); // A malformed env spec arms what it can.
+      envStatusSlot() = armFromSpec(Spec).withContext("CVR_FAILPOINTS");
   });
 }
 
@@ -109,6 +118,16 @@ void disarmAll() {
 }
 
 Status armFromSpec(const std::string &Spec) {
+  // Two-phase: parse and validate every item first, then arm. A malformed
+  // spec therefore arms nothing — a drill either runs exactly as written
+  // or refuses to run, never a partial fault set.
+  struct ParsedArm {
+    std::string Name;
+    int Count;
+    int Skip;
+  };
+  std::vector<ParsedArm> Arms;
+
   std::size_t I = 0;
   while (I < Spec.size()) {
     std::size_t End = Spec.find_first_of(";,", I);
@@ -150,9 +169,16 @@ Status armFromSpec(const std::string &Spec) {
     if (Name.empty())
       return Status::invalidArgument("fail-point spec '" + Item +
                                      "': empty site name");
-    arm(Name, Count, Skip);
+    Arms.push_back({std::move(Name), Count, Skip});
   }
+  for (const ParsedArm &A : Arms)
+    arm(A.Name, A.Count, A.Skip);
   return Status::okStatus();
+}
+
+Status envSpecStatus() {
+  loadEnvOnce();
+  return envStatusSlot();
 }
 
 long hitCount(const std::string &Name) {
@@ -191,6 +217,20 @@ const std::vector<SiteInfo> &catalog() {
        "an autotuner probe burns the whole wall-clock budget (hung probe)"},
       {"obs.perf.open",
        "perf_event_open is refused (locked-down container / no PMU)"},
+      {"serve.mmap",
+       "mmap of a serving blob fails transiently (busy file / exhausted "
+       "maps); the fleet loader retries with backoff, then falls back to a "
+       "stream read"},
+      {"serve.accept",
+       "accept() on the serving socket fails transiently; the listener "
+       "backs off and keeps serving instead of exiting"},
+      {"serve.queue_full",
+       "admission control sees no capacity; the request is shed with "
+       "RESOURCE_EXHAUSTED instead of queuing unboundedly"},
+      {"serve.deadline",
+       "a request deadline reads as already expired at the next phase "
+       "boundary; the pipeline degrades (skip tuning -> plain CVR) or "
+       "answers DEADLINE_EXCEEDED"},
   };
   return Sites;
 }

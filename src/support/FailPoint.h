@@ -61,8 +61,17 @@ void disarmAll();
 
 /// Parses and arms a `site[=count[@skip]][;site...]` spec (also accepts
 /// ',' as separator). Unknown site names are accepted — the catalog is
-/// advisory — but malformed counts are an InvalidArgument error.
+/// advisory — but malformed counts are an InvalidArgument error. The spec
+/// is validated in full before any site is armed, so an error means
+/// nothing changed.
 [[nodiscard]] Status armFromSpec(const std::string &Spec);
+
+/// Outcome of parsing the CVR_FAILPOINTS environment variable (forces the
+/// one-time parse if it has not happened yet). A malformed env spec arms
+/// nothing and surfaces here as INVALID_ARGUMENT; long-running tools check
+/// this at startup and refuse to run a drill with a silently empty fault
+/// set.
+[[nodiscard]] Status envSpecStatus();
 
 /// Total hits (fired or not) a site has seen since process start.
 long hitCount(const std::string &Name);

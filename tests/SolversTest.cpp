@@ -519,10 +519,25 @@ TEST(SolverAllocationAudit, IterationCountDoesNotChangeAllocationCount) {
 
 namespace {
 std::atomic<std::size_t> GAllocCount{0};
+std::atomic<std::size_t> GAllocBytes{0};
 }
+
+namespace cvr {
+namespace test {
+// Declared in TestUtil.h; other audits (MmapBlobTest's zero-copy check)
+// read the same binary-wide counters.
+std::size_t globalAllocCount() {
+  return GAllocCount.load(std::memory_order_relaxed);
+}
+std::size_t globalAllocBytes() {
+  return GAllocBytes.load(std::memory_order_relaxed);
+}
+} // namespace test
+} // namespace cvr
 
 void *operator new(std::size_t Sz) {
   GAllocCount.fetch_add(1, std::memory_order_relaxed);
+  GAllocBytes.fetch_add(Sz, std::memory_order_relaxed);
   if (void *P = std::malloc(Sz ? Sz : 1))
     return P;
   throw std::bad_alloc();

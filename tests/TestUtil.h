@@ -42,6 +42,12 @@ inline CsrMatrix randomCsr(std::int32_t Rows, std::int32_t Cols,
 /// threads perturbs the last few bits, scaled by row length.
 inline constexpr double SpmvTolerance = 1e-10;
 
+/// Binary-wide heap-allocation counters, ticked by the global operator
+/// new replacement in SolversTest.cpp. Allocation audits read them before
+/// and after the code under measurement.
+std::size_t globalAllocCount();
+std::size_t globalAllocBytes();
+
 } // namespace test
 } // namespace cvr
 

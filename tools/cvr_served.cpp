@@ -1,0 +1,157 @@
+//===- tools/cvr_served.cpp - SpMV serving daemon -------------------------===//
+//
+// Part of the CVR reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// The serving daemon: loads a fleet of matrices (zero-copy mmap'd blobs
+// and/or Matrix Market files through the degradation ladder), then answers
+// Multiply/Spmm/Solve/Stats/List requests over a Unix-domain socket until
+// SIGTERM/SIGINT, draining in-flight requests before exit.
+//
+//   cvr_served --socket=PATH [--blob=NAME=FILE]... [--mtx=NAME=FILE]...
+//              [--workers=N] [--max-in-flight=N] [--default-deadline-us=U]
+//              [--drain-timeout=S] [--cache-entries=N] [--no-mmap]
+//
+// Chaos drills arm fail points through CVR_FAILPOINTS; a malformed spec is
+// a startup error, never a silently empty fault set.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Telemetry.h"
+#include "serve/Server.h"
+#include "support/FailPoint.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace cvr;
+using namespace cvr::serve;
+
+namespace {
+
+int usage(const char *Prog) {
+  std::fprintf(
+      stderr,
+      "usage: %s --socket=PATH [options] [--blob=NAME=FILE]...\n"
+      "          [--mtx=NAME=FILE]...\n"
+      "  --socket=PATH            Unix-domain socket to listen on\n"
+      "  --blob=NAME=FILE         serve a CVR blob (mmap'd when possible)\n"
+      "  --mtx=NAME=FILE          serve a Matrix Market file through the\n"
+      "                           prepare ladder\n"
+      "  --workers=N              worker threads (default 4)\n"
+      "  --max-in-flight=N        admission tokens (default 8)\n"
+      "  --default-deadline-us=U  budget for requests that carry none\n"
+      "  --drain-timeout=S        shutdown drain watchdog seconds\n"
+      "  --cache-entries=N        tuned-kernel LRU capacity (default 8)\n"
+      "  --no-mmap                force the copying blob reader\n",
+      Prog);
+  return 2;
+}
+
+/// Splits "NAME=FILE"; false when there is no '=' or either half is empty.
+bool splitEntry(const std::string &Arg, std::string &Name,
+                std::string &Path) {
+  std::size_t Eq = Arg.find('=');
+  if (Eq == std::string::npos || Eq == 0 || Eq + 1 == Arg.size())
+    return false;
+  Name = Arg.substr(0, Eq);
+  Path = Arg.substr(Eq + 1);
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string SocketPath;
+  std::vector<std::pair<std::string, std::string>> Blobs, Mtxs;
+  FleetOptions FOpts;
+  ServiceOptions SvcOpts;
+  ServerOptions SrvOpts;
+
+  for (int I = 1; I < Argc; ++I) {
+    const char *A = Argv[I];
+    if (std::strncmp(A, "--socket=", 9) == 0) {
+      SocketPath = A + 9;
+    } else if (std::strncmp(A, "--blob=", 7) == 0 ||
+               std::strncmp(A, "--mtx=", 6) == 0) {
+      bool IsBlob = A[2] == 'b';
+      std::string Name, Path;
+      if (!splitEntry(A + (IsBlob ? 7 : 6), Name, Path)) {
+        std::fprintf(stderr, "error: '%s' is not NAME=FILE\n", A);
+        return 2;
+      }
+      (IsBlob ? Blobs : Mtxs).emplace_back(Name, Path);
+    } else if (std::strncmp(A, "--workers=", 10) == 0) {
+      SrvOpts.Workers = std::atoi(A + 10);
+    } else if (std::strncmp(A, "--max-in-flight=", 16) == 0) {
+      SvcOpts.MaxInFlight = std::atoi(A + 16);
+    } else if (std::strncmp(A, "--default-deadline-us=", 22) == 0) {
+      SvcOpts.DefaultDeadlineMicros =
+          static_cast<std::uint64_t>(std::atoll(A + 22));
+    } else if (std::strncmp(A, "--drain-timeout=", 16) == 0) {
+      SrvOpts.DrainTimeoutSeconds = std::atof(A + 16);
+    } else if (std::strncmp(A, "--cache-entries=", 16) == 0) {
+      FOpts.KernelCacheEntries =
+          static_cast<std::size_t>(std::atoll(A + 16));
+    } else if (std::strcmp(A, "--no-mmap") == 0) {
+      FOpts.PreferMmap = false;
+    } else {
+      std::fprintf(stderr, "error: unknown argument '%s'\n", A);
+      return usage(Argv[0]);
+    }
+  }
+  if (SocketPath.empty() || (Blobs.empty() && Mtxs.empty()))
+    return usage(Argv[0]);
+  if (SrvOpts.Workers <= 0 || SvcOpts.MaxInFlight <= 0) {
+    std::fprintf(stderr, "error: --workers and --max-in-flight must be "
+                         "positive\n");
+    return 2;
+  }
+
+  // A drill that mistypes its fault spec must die loudly, not run with an
+  // empty fault set.
+  if (Status S = failpoint::envSpecStatus(); !S.ok()) {
+    std::fprintf(stderr, "error: CVR_FAILPOINTS: %s\n",
+                 S.toString().c_str());
+    return 2;
+  }
+
+  obs::setTelemetryEnabled(true);
+
+  Fleet TheFleet(FOpts);
+  for (const auto &[Name, Path] : Blobs) {
+    if (Status S = TheFleet.addBlob(Name, Path); !S.ok()) {
+      std::fprintf(stderr, "error: blob '%s' (%s): %s\n", Name.c_str(),
+                   Path.c_str(), S.toString().c_str());
+      return 1;
+    }
+  }
+  for (const auto &[Name, Path] : Mtxs) {
+    if (Status S = TheFleet.addMatrixMarket(Name, Path); !S.ok()) {
+      std::fprintf(stderr, "error: mtx '%s' (%s): %s\n", Name.c_str(),
+                   Path.c_str(), S.toString().c_str());
+      return 1;
+    }
+  }
+  for (const auto &E : TheFleet.list())
+    std::fprintf(stderr, "cvr_served: serving '%s' %d x %d, %lld nnz [%s]\n",
+                 E->Name.c_str(), E->rows(), E->cols(),
+                 static_cast<long long>(E->nnz()), loadModeName(E->Mode));
+
+  Service Svc(TheFleet, SvcOpts);
+  SrvOpts.SocketPath = SocketPath;
+  Server Srv(Svc, SrvOpts);
+  std::fprintf(stderr, "cvr_served: listening on %s (%d workers, %d "
+                       "in-flight)\n",
+               SocketPath.c_str(), SrvOpts.Workers, SvcOpts.MaxInFlight);
+  if (Status S = Srv.serve(); !S.ok()) {
+    std::fprintf(stderr, "error: %s\n", S.toString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "cvr_served: drained, exiting\n");
+  return 0;
+}

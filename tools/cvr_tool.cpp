@@ -38,6 +38,14 @@
 //   cvr_tool inject   [--fp=SPEC] [--list]    fault drill: arm fail points,
 //                                             run the degradation ladder,
 //                                             verify against the reference
+//   cvr_tool serve    --oneshot <matrix>      one request/response exchange
+//                                             over a socketpair through the
+//                                             full serving stack (mmap'd
+//                                             blob fleet, admission,
+//                                             deadline checkpoints)
+//   cvr_tool serve-client --socket=PATH       load generator / chaos-drill
+//                                             client for a running
+//                                             cvr_served daemon
 //
 // Matrices are Matrix Market files; `spmv` also accepts the binary blobs
 // written by `convert`.
@@ -62,18 +70,29 @@
 #include "matrix/Reference.h"
 #include "obs/Telemetry.h"
 #include "obs/Trace.h"
+#include "serve/Client.h"
+#include "serve/Server.h"
 #include "solvers/Solvers.h"
 #include "support/FailPoint.h"
 #include "support/Random.h"
 #include "support/Table.h"
 #include "support/Timer.h"
 
+#include <atomic>
+#include <cctype>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <mutex>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include <sys/socket.h>
+#include <unistd.h>
 
 using namespace cvr;
 
@@ -84,7 +103,9 @@ int usage(const char *Prog) {
       stderr,
       "usage: %s <command> [args]\n"
       "  info     <matrix.mtx>                 structural stats + advice\n"
-      "  convert  <matrix.mtx> <out.cvr>       serialize the CVR form\n"
+      "  convert  <matrix.mtx> <out.cvr> [--layout=compact|mapped]\n"
+      "                                        serialize the CVR form\n"
+      "                                        (mapped = mmap-executable v4)\n"
       "  spmv     <matrix.mtx|blob.cvr> [-n N] [--threads T]\n"
       "  spmm     <matrix.mtx|suite-name> [--k=K] [-n N] [--threads=T]\n"
       "           [--scale=X]                  batched multi-RHS SpMM vs a\n"
@@ -117,7 +138,21 @@ int usage(const char *Prog) {
       "                                        arm fault-injection sites,\n"
       "                                        run the degradation ladder,\n"
       "                                        verify against the scalar\n"
-      "                                        reference\n",
+      "                                        reference\n"
+      "  serve    --oneshot [matrix.mtx|suite-name] [--scale=X]\n"
+      "           [--op=ping|multiply|spmm] [--k=K] [--deadline-us=U]\n"
+      "                                        single request over a\n"
+      "                                        socketpair through the full\n"
+      "                                        serving stack (no daemon)\n"
+      "  serve-client --socket=PATH [--op=ping|stats|list|multiply|spmm|\n"
+      "           solve] [--matrix=NAME] [-n N] [--threads=T] [--k=K]\n"
+      "           [--deadline-us=U] [--mtx=FILE] [--solver=cg|bicgstab|\n"
+      "           power] [--expect=CODE,...]    drive a running cvr_served;\n"
+      "                                        exit 0 iff every response\n"
+      "                                        code is in the --expect set\n"
+      "                                        (default ok; `any` allows\n"
+      "                                        all) and results match the\n"
+      "                                        --mtx reference\n",
       Prog);
   return 2;
 }
@@ -179,7 +214,17 @@ int cmdInfo(const std::string &Path) {
   return 0;
 }
 
-int cmdConvert(const std::string &In, const std::string &Out) {
+int cmdConvert(int Argc, char **Argv) {
+  std::string In = Argv[2], Out = Argv[3];
+  BlobLayout Layout = BlobLayout::Compact;
+  for (int I = 4; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--layout=mapped") == 0)
+      Layout = BlobLayout::Mapped;
+    else if (std::strcmp(Argv[I], "--layout=compact") != 0) {
+      std::fprintf(stderr, "error: unknown convert option '%s'\n", Argv[I]);
+      return 2;
+    }
+  }
   CsrMatrix A;
   if (!loadCsr(In, A))
     return 1;
@@ -193,7 +238,7 @@ int cmdConvert(const std::string &In, const std::string &Out) {
                  Out.c_str());
     return 1;
   }
-  if (Status S = M.writeBlob(OS); !S.ok()) {
+  if (Status S = M.writeBlob(OS, Layout); !S.ok()) {
     std::fprintf(stderr, "error: %s: %s\n", Out.c_str(),
                  S.toString().c_str());
     return 1;
@@ -982,6 +1027,419 @@ int cmdGen(int Argc, char **Argv) {
   return 1;
 }
 
+//===----------------------------------------------------------------------===//
+// serve --oneshot: the whole serving stack, one request, one process
+//===----------------------------------------------------------------------===//
+
+/// Row-major K-wide random panel (leading dimension K), same generator as
+/// makeX so drills are reproducible.
+std::vector<double> makePanel(std::int32_t Cols, int K) {
+  Xoshiro256 Rng(20180224);
+  std::vector<double> X(static_cast<std::size_t>(Cols) *
+                        static_cast<std::size_t>(K));
+  for (double &V : X)
+    V = Rng.nextDouble(-1.0, 1.0);
+  return X;
+}
+
+int cmdServe(int Argc, char **Argv) {
+  bool Oneshot = false;
+  std::string Target = "com-DBLP", OpName = "multiply";
+  double Scale = 0.1;
+  int K = 4;
+  std::uint64_t DeadlineUs = 0;
+  for (int I = 2; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--oneshot") == 0)
+      Oneshot = true;
+    else if (std::strncmp(Argv[I], "--scale=", 8) == 0)
+      Scale = std::atof(Argv[I] + 8);
+    else if (std::strncmp(Argv[I], "--op=", 5) == 0)
+      OpName = Argv[I] + 5;
+    else if (std::strncmp(Argv[I], "--k=", 4) == 0)
+      K = std::atoi(Argv[I] + 4);
+    else if (std::strncmp(Argv[I], "--deadline-us=", 14) == 0)
+      DeadlineUs = static_cast<std::uint64_t>(std::atoll(Argv[I] + 14));
+    else
+      Target = Argv[I];
+  }
+  if (!Oneshot) {
+    std::fprintf(stderr, "error: `serve` supports --oneshot only; run the "
+                         "cvr_served daemon for socket serving\n");
+    return 2;
+  }
+  if (K <= 0 || K > serve::MaxSpmmVectors)
+    return 2;
+
+  CsrMatrix A;
+  if (!loadTargetMatrix(Target, Scale, A))
+    return 1;
+
+  // Write a Mapped-layout blob and load it back through the fleet, so the
+  // smoke covers the zero-copy path end to end: mmap, validation against
+  // the mapped view, kernel execution on aliased streams.
+  const std::string BlobPath = "serve_oneshot.cvr";
+  {
+    CvrMatrix M = CvrMatrix::fromCsr(A);
+    std::ofstream OS(BlobPath, std::ios::binary);
+    if (!OS) {
+      std::fprintf(stderr, "error: cannot open '%s' for writing\n",
+                   BlobPath.c_str());
+      return 1;
+    }
+    if (Status S = M.writeBlob(OS, BlobLayout::Mapped); !S.ok()) {
+      std::fprintf(stderr, "error: %s\n", S.toString().c_str());
+      return 1;
+    }
+  }
+  serve::Fleet Fleet;
+  if (Status S = Fleet.addBlob("target", BlobPath); !S.ok()) {
+    std::fprintf(stderr, "error: %s\n", S.toString().c_str());
+    return 1;
+  }
+  std::shared_ptr<const serve::ServedMatrix> Entry = Fleet.find("target");
+  std::printf("[fleet]   '%s' %d x %d, %lld nnz, mode=%s\n", Target.c_str(),
+              Entry->rows(), Entry->cols(),
+              static_cast<long long>(Entry->nnz()),
+              serve::loadModeName(Entry->Mode));
+
+  serve::Service Svc(Fleet);
+  serve::ServerOptions SrvOpts;
+  SrvOpts.InstallSignalHandlers = false;
+  serve::Server Srv(Svc, SrvOpts);
+
+  int Fds[2];
+  if (socketpair(AF_UNIX, SOCK_STREAM, 0, Fds) != 0) {
+    std::perror("socketpair");
+    return 1;
+  }
+
+  serve::Request Req;
+  Req.Matrix = "target";
+  Req.DeadlineMicros = DeadlineUs;
+  if (OpName == "ping") {
+    Req.Kind = serve::Op::Ping;
+  } else if (OpName == "multiply") {
+    Req.Kind = serve::Op::Multiply;
+    Req.X = makeX(A.numCols());
+  } else if (OpName == "spmm") {
+    Req.Kind = serve::Op::Spmm;
+    Req.NumVectors = K;
+    Req.X = makePanel(A.numCols(), K);
+  } else {
+    std::fprintf(stderr, "error: unknown oneshot op '%s'\n", OpName.c_str());
+    return 2;
+  }
+
+  // The exchange runs on two threads of this one process: socketpair
+  // buffers are finite, so writing a large request while nobody reads
+  // would deadlock a single thread.
+  Status ServeS = Status::okStatus();
+  std::thread ServerSide([&] { ServeS = Srv.serveOneshot(Fds[1]); });
+  serve::Client C = serve::Client::adopt(Fds[0]);
+  serve::Response Resp;
+  Status CallS = C.call(Req, Resp);
+  ServerSide.join();
+  (void)close(Fds[1]);
+  (void)std::remove(BlobPath.c_str());
+
+  if (!CallS.ok() || !ServeS.ok()) {
+    std::fprintf(stderr, "error: oneshot exchange failed: %s\n",
+                 (!CallS.ok() ? CallS : ServeS).toString().c_str());
+    return 1;
+  }
+  for (const serve::WireDowngrade &D : Resp.Downgrades)
+    std::printf("[degrade] %s\n", D.Text.c_str());
+  if (Resp.Code != StatusCode::Ok) {
+    std::fprintf(stderr, "error: served response: %s: %s\n",
+                 statusCodeName(Resp.Code), Resp.Message.c_str());
+    return 1;
+  }
+  std::printf("[variant] %s\n",
+              Resp.Variant.empty() ? "-" : Resp.Variant.c_str());
+
+  double MaxRel = 0.0;
+  if (Req.Kind == serve::Op::Multiply) {
+    std::vector<double> Ref(static_cast<std::size_t>(A.numRows()), 0.0);
+    referenceSpmv(A, Req.X.data(), Ref.data());
+    MaxRel = maxRelDiff(Ref, Resp.Y);
+  } else if (Req.Kind == serve::Op::Spmm) {
+    const auto Rows = static_cast<std::size_t>(A.numRows());
+    const auto Cols = static_cast<std::size_t>(A.numCols());
+    std::vector<double> Xc(Cols), Ref(Rows, 0.0), Yc(Rows);
+    for (int J = 0; J < K; ++J) {
+      for (std::size_t I = 0; I < Cols; ++I)
+        Xc[I] = Req.X[I * static_cast<std::size_t>(K) +
+                      static_cast<std::size_t>(J)];
+      referenceSpmv(A, Xc.data(), Ref.data());
+      for (std::size_t I = 0; I < Rows; ++I)
+        Yc[I] = Resp.Y[I * static_cast<std::size_t>(K) +
+                       static_cast<std::size_t>(J)];
+      MaxRel = std::max(MaxRel, maxRelDiff(Ref, Yc));
+    }
+  }
+  std::printf("[check]   maxRelDiff %.2e vs scalar reference (%s)\n", MaxRel,
+              MaxRel <= 1e-10 ? "ok" : "FAIL");
+  return MaxRel <= 1e-10 ? 0 : 1;
+}
+
+//===----------------------------------------------------------------------===//
+// serve-client: load generation and chaos drills against cvr_served
+//===----------------------------------------------------------------------===//
+
+bool statusCodeFromName(const std::string &Name, StatusCode &Out) {
+  static const StatusCode All[] = {
+      StatusCode::Ok,           StatusCode::InvalidArgument,
+      StatusCode::OutOfRange,   StatusCode::NotFound,
+      StatusCode::ResourceExhausted, StatusCode::DataLoss,
+      StatusCode::DeadlineExceeded,  StatusCode::FailedPrecondition,
+      StatusCode::Unavailable,  StatusCode::Internal,
+  };
+  std::string Upper;
+  for (char C : Name)
+    Upper.push_back(C == '-' ? '_'
+                             : static_cast<char>(std::toupper(
+                                   static_cast<unsigned char>(C))));
+  for (StatusCode C : All)
+    if (Upper == statusCodeName(C)) {
+      Out = C;
+      return true;
+    }
+  return false;
+}
+
+int cmdServeClient(int Argc, char **Argv) {
+  std::string SocketPath, MatrixName, OpName = "multiply", MtxPath,
+              ExpectSpec = "ok", SolverName = "cg";
+  int N = 1, Threads = 1, K = 4, MaxIter = 100;
+  std::uint64_t DeadlineUs = 0;
+  for (int I = 2; I < Argc; ++I) {
+    if (std::strncmp(Argv[I], "--socket=", 9) == 0)
+      SocketPath = Argv[I] + 9;
+    else if (std::strncmp(Argv[I], "--matrix=", 9) == 0)
+      MatrixName = Argv[I] + 9;
+    else if (std::strncmp(Argv[I], "--op=", 5) == 0)
+      OpName = Argv[I] + 5;
+    else if (std::strncmp(Argv[I], "--mtx=", 6) == 0)
+      MtxPath = Argv[I] + 6;
+    else if (std::strncmp(Argv[I], "--expect=", 9) == 0)
+      ExpectSpec = Argv[I] + 9;
+    else if (std::strncmp(Argv[I], "--solver=", 9) == 0)
+      SolverName = Argv[I] + 9;
+    else if (std::strcmp(Argv[I], "-n") == 0 && I + 1 < Argc)
+      N = std::atoi(Argv[++I]);
+    else if (std::strncmp(Argv[I], "--threads=", 10) == 0)
+      Threads = std::atoi(Argv[I] + 10);
+    else if (std::strncmp(Argv[I], "--k=", 4) == 0)
+      K = std::atoi(Argv[I] + 4);
+    else if (std::strncmp(Argv[I], "--maxiter=", 10) == 0)
+      MaxIter = std::atoi(Argv[I] + 10);
+    else if (std::strncmp(Argv[I], "--deadline-us=", 14) == 0)
+      DeadlineUs = static_cast<std::uint64_t>(std::atoll(Argv[I] + 14));
+    else {
+      std::fprintf(stderr, "error: unknown serve-client option '%s'\n",
+                   Argv[I]);
+      return 2;
+    }
+  }
+  if (SocketPath.empty() || N <= 0 || Threads <= 0 || K <= 0)
+    return 2;
+
+  serve::Op Kind;
+  if (OpName == "ping")
+    Kind = serve::Op::Ping;
+  else if (OpName == "stats")
+    Kind = serve::Op::Stats;
+  else if (OpName == "list")
+    Kind = serve::Op::List;
+  else if (OpName == "multiply")
+    Kind = serve::Op::Multiply;
+  else if (OpName == "spmm")
+    Kind = serve::Op::Spmm;
+  else if (OpName == "solve")
+    Kind = serve::Op::Solve;
+  else {
+    std::fprintf(stderr, "error: unknown op '%s'\n", OpName.c_str());
+    return 2;
+  }
+  serve::SolverKind Solver = serve::SolverKind::Cg;
+  if (SolverName == "bicgstab")
+    Solver = serve::SolverKind::BiCgStab;
+  else if (SolverName == "power")
+    Solver = serve::SolverKind::Power;
+  else if (SolverName != "cg") {
+    std::fprintf(stderr, "error: unknown solver '%s'\n", SolverName.c_str());
+    return 2;
+  }
+
+  // The acceptable-outcome set. Server-side verdicts and client-side
+  // transport failures are judged together: a connection refused or cut
+  // mid-frame counts as UNAVAILABLE, so a SIGTERM drill can pass with
+  // --expect=ok,unavailable.
+  bool ExpectAny = ExpectSpec == "any";
+  std::vector<StatusCode> Allowed;
+  if (!ExpectAny) {
+    std::stringstream SS(ExpectSpec);
+    std::string Tok;
+    while (std::getline(SS, Tok, ',')) {
+      StatusCode C;
+      if (!statusCodeFromName(Tok, C)) {
+        std::fprintf(stderr, "error: unknown status code '%s'\n",
+                     Tok.c_str());
+        return 2;
+      }
+      Allowed.push_back(C);
+    }
+  }
+  auto IsAllowed = [&](StatusCode C) {
+    if (ExpectAny)
+      return true;
+    for (StatusCode A : Allowed)
+      if (A == C)
+        return true;
+    return false;
+  };
+
+  const bool Compute = Kind == serve::Op::Multiply ||
+                       Kind == serve::Op::Spmm || Kind == serve::Op::Solve;
+  if (Compute && MatrixName.empty()) {
+    std::fprintf(stderr, "error: --matrix=NAME is required for %s\n",
+                 OpName.c_str());
+    return 2;
+  }
+
+  // Compute ops need the matrix dimensions: from the local --mtx reference
+  // when given, otherwise from the daemon's own List inventory.
+  CsrMatrix Ref;
+  bool HaveRef = false;
+  std::int64_t Rows = 0, Cols = 0;
+  if (Compute) {
+    if (!MtxPath.empty()) {
+      if (!loadCsr(MtxPath, Ref))
+        return 1;
+      HaveRef = true;
+      Rows = Ref.numRows();
+      Cols = Ref.numCols();
+    } else {
+      StatusOr<serve::Client> CR = serve::Client::connect(SocketPath);
+      if (!CR.ok()) {
+        std::fprintf(stderr, "error: %s\n", CR.status().toString().c_str());
+        return 1;
+      }
+      serve::Request LReq;
+      LReq.Kind = serve::Op::List;
+      serve::Response LResp;
+      if (Status S = CR->call(LReq, LResp); !S.ok()) {
+        std::fprintf(stderr, "error: %s\n", S.toString().c_str());
+        return 1;
+      }
+      std::stringstream LS(LResp.Text);
+      std::string Name, Mode;
+      std::int64_t R, C, Nnz;
+      while (LS >> Name >> R >> C >> Nnz >> Mode)
+        if (Name == MatrixName) {
+          Rows = R;
+          Cols = C;
+        }
+      if (Cols == 0) {
+        std::fprintf(stderr, "error: daemon does not serve '%s'\n",
+                     MatrixName.c_str());
+        return 1;
+      }
+    }
+  }
+
+  // One request body, reused by every thread (requests are stateless).
+  serve::Request Req;
+  Req.Kind = Kind;
+  Req.Matrix = MatrixName;
+  Req.DeadlineMicros = DeadlineUs;
+  Req.Solver = Solver;
+  Req.MaxIterations = MaxIter;
+  if (Kind == serve::Op::Multiply)
+    Req.X = makeX(static_cast<std::int32_t>(Cols));
+  else if (Kind == serve::Op::Spmm) {
+    Req.NumVectors = K;
+    Req.X = makePanel(static_cast<std::int32_t>(Cols), K);
+  } else if (Kind == serve::Op::Solve && Solver != serve::SolverKind::Power)
+    Req.X = makeX(static_cast<std::int32_t>(Rows));
+
+  std::vector<double> RefY;
+  if (HaveRef && Kind == serve::Op::Multiply) {
+    RefY.assign(static_cast<std::size_t>(Rows), 0.0);
+    referenceSpmv(Ref, Req.X.data(), RefY.data());
+  }
+
+  std::atomic<long> CodeCounts[10] = {};
+  std::atomic<long> Mismatches{0}, Degraded{0}, Disallowed{0};
+  std::mutex PrintMu;
+  std::string LastText;
+
+  auto Worker = [&](int Requests) {
+    StatusOr<serve::Client> CR = serve::Client::connect(SocketPath);
+    if (!CR.ok()) {
+      CodeCounts[static_cast<int>(StatusCode::Unavailable)] += Requests;
+      if (!IsAllowed(StatusCode::Unavailable))
+        Disallowed += Requests;
+      return;
+    }
+    serve::Client C = std::move(*CR);
+    for (int I = 0; I < Requests; ++I) {
+      serve::Response Resp;
+      if (Status S = C.call(Req, Resp); !S.ok()) {
+        // Transport cut (daemon shutting down, frame truncated): the rest
+        // of this connection's budget is unavailable too.
+        long Left = Requests - I;
+        CodeCounts[static_cast<int>(StatusCode::Unavailable)] += Left;
+        if (!IsAllowed(StatusCode::Unavailable))
+          Disallowed += Left;
+        return;
+      }
+      CodeCounts[static_cast<int>(Resp.Code)] += 1;
+      if (!IsAllowed(Resp.Code))
+        Disallowed += 1;
+      if (!Resp.Downgrades.empty())
+        Degraded += 1;
+      if (Resp.Code == StatusCode::Ok) {
+        if (!RefY.empty() && maxRelDiff(RefY, Resp.Y) > 1e-10)
+          Mismatches += 1;
+        if (!Resp.Text.empty()) {
+          std::lock_guard<std::mutex> L(PrintMu);
+          LastText = Resp.Text;
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> Pool;
+  int Base = N / Threads, Extra = N % Threads;
+  for (int T = 0; T < Threads; ++T) {
+    int Requests = Base + (T < Extra ? 1 : 0);
+    if (Requests > 0)
+      Pool.emplace_back(Worker, Requests);
+  }
+  for (std::thread &T : Pool)
+    T.join();
+
+  if (!LastText.empty())
+    std::printf("%s\n", LastText.c_str());
+  std::ostringstream Summary;
+  Summary << "serve-client: " << N << " x " << OpName;
+  for (int C = 0; C < 10; ++C)
+    if (long Count = CodeCounts[C].load())
+      Summary << ' ' << statusCodeName(static_cast<StatusCode>(C)) << '='
+              << Count;
+  Summary << " degraded=" << Degraded.load()
+          << " mismatches=" << Mismatches.load();
+  std::printf("%s\n", Summary.str().c_str());
+  if (Disallowed.load() > 0 || Mismatches.load() > 0) {
+    std::fprintf(stderr, "error: %ld disallowed outcomes, %ld reference "
+                         "mismatches (expect set: %s)\n",
+                 Disallowed.load(), Mismatches.load(), ExpectSpec.c_str());
+    return 1;
+  }
+  return 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -997,7 +1455,11 @@ int main(int Argc, char **Argv) {
   if (Cmd == "info")
     return cmdInfo(Argv[2]);
   if (Cmd == "convert" && Argc >= 4)
-    return cmdConvert(Argv[2], Argv[3]);
+    return cmdConvert(Argc, Argv);
+  if (Cmd == "serve")
+    return cmdServe(Argc, Argv);
+  if (Cmd == "serve-client")
+    return cmdServeClient(Argc, Argv);
   if (Cmd == "spmv")
     return cmdSpmv(Argc, Argv);
   if (Cmd == "spmm")
