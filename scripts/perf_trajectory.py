@@ -14,13 +14,27 @@ machine* — those divide the machine out and travel between hosts:
   spmm_amortization_k8 geomean over matrices of spmv-loop(K=8) / spmm(K=8)
                       seconds per sweep (spmm_batch) — how much one matrix
                       stream per register block buys over 8 re-streams
+  bytes_per_nnz_u16_reduction geomean over matrices of measured DRAM
+                      bytes/nnz of the f64/u32 plan over the f64/u16 plan
+                      (roofline_sweep) — what narrowing the column-index
+                      stream buys at the memory wall
+  bytes_per_nnz_f32_reduction same ratio for f64/u32 over f32x64/u32 —
+                      what the fp32 value stream buys
+  roofline_accuracy   geomean over every roofline_sweep record of
+                      min(predicted, measured) / max(predicted, measured)
+                      bytes/nnz — how well the analytical model prices
+                      real (simulated-cache) DRAM traffic. Also holds an
+                      absolute floor of 0.75: the model must stay within
+                      25% of the measurement regardless of the baseline.
 
-Each invariant is the best-of over the repeated input files (per-cell
-minimum of seconds_per_iteration before the ratio), which is the same
-noise defence the perf-smoke job uses. The gate fails when any invariant
-falls more than --tolerance (default 15%) below the committed baseline
-in results/bench_baseline.json; improvements always pass and are
-reported so the baseline can be ratcheted via the update-baseline label.
+The byte invariants come from the deterministic cache simulator, not
+wall-clock time, so they are machine-independent; the time invariants are
+the best-of over the repeated input files (per-cell minimum of
+seconds_per_iteration before the ratio), which is the same noise defence
+the perf-smoke job uses. The gate fails when any invariant falls more
+than --tolerance (default 15%) below the committed baseline in
+results/bench_baseline.json; improvements always pass and are reported
+so the baseline can be ratcheted via the update-baseline label.
 
 The full report — invariants, per-matrix detail, and the telemetry
 snapshot embedded in the first micro file — is written to --out for the
@@ -33,7 +47,12 @@ import math
 import sys
 
 SCHEMA = "cvr-perf-trajectory-1"
-KNOWN_BENCH_SCHEMAS = ("cvr-bench-1", "cvr-bench-2")
+KNOWN_BENCH_SCHEMAS = ("cvr-bench-1", "cvr-bench-2", "cvr-bench-3")
+
+# Absolute floors enforced on top of the relative baseline check: a
+# ratcheted baseline must never talk the gate into accepting a roofline
+# model that misprices traffic by more than 25%.
+HARD_FLOORS = {"roofline_accuracy": 0.75}
 
 
 def load_records(paths):
@@ -131,6 +150,56 @@ def spmm_invariants(best):
     return out, detail
 
 
+def roofline_invariants(best):
+    """bytes_per_nnz_* and roofline_accuracy from the roofline_sweep.
+
+    The sweep's records are keyed by plan label ("f64/u32", "f64/u16",
+    "f32x64/u32", "f32x64/u16"); predicted/measured bytes per nnz come
+    from the deterministic cache simulator, so no best-of reduction is
+    needed — repeats only tighten the wall-clock fields.
+    """
+    u16, f32, accuracy = [], [], []
+    detail = {}
+    matrices = sorted({m for (m, _, _) in best})
+    for m in matrices:
+        def measured(variant):
+            rec = best.get((m, "CVR", variant))
+            if rec is None:
+                return None
+            v = rec.get("measured_bytes_per_nnz")
+            return v if v and v > 0.0 else None
+
+        d = {}
+        base = measured("f64/u32")
+        narrow = measured("f64/u16")
+        mixed = measured("f32x64/u32")
+        if base and narrow:
+            d["u16_reduction"] = base / narrow
+            u16.append(base / narrow)
+        if base and mixed:
+            d["f32_reduction"] = base / mixed
+            f32.append(base / mixed)
+        for (mm, ff, vv), rec in best.items():
+            if mm != m:
+                continue
+            pred = rec.get("predicted_bytes_per_nnz")
+            meas = rec.get("measured_bytes_per_nnz")
+            if not pred or not meas or pred <= 0.0 or meas <= 0.0:
+                continue
+            acc = min(pred, meas) / max(pred, meas)
+            d[f"accuracy/{vv}"] = acc
+            accuracy.append(acc)
+        detail[m] = d
+    out = {}
+    if u16:
+        out["bytes_per_nnz_u16_reduction"] = geomean(u16)
+    if f32:
+        out["bytes_per_nnz_f32_reduction"] = geomean(f32)
+    if accuracy:
+        out["roofline_accuracy"] = geomean(accuracy)
+    return out, detail
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--micro", nargs="+", required=True,
@@ -139,6 +208,8 @@ def main():
                     help="solver_pipeline --json outputs (repeats)")
     ap.add_argument("--spmm", nargs="+", required=True,
                     help="spmm_batch --json outputs (repeats)")
+    ap.add_argument("--roofline", nargs="+", required=True,
+                    help="roofline_sweep --json outputs")
     ap.add_argument("--baseline", default="results/bench_baseline.json")
     ap.add_argument("--out", required=True,
                     help="where to write the full trajectory report")
@@ -153,18 +224,29 @@ def main():
     micro_best, telemetry = load_records(args.micro)
     solver_best, _ = load_records(args.solver)
     spmm_best, _ = load_records(args.spmm)
+    roofline_best, _ = load_records(args.roofline)
 
     invariants, micro_detail = micro_invariants(micro_best)
     solver_inv, solver_detail = solver_invariants(solver_best)
     invariants.update(solver_inv)
     spmm_inv, spmm_detail = spmm_invariants(spmm_best)
     invariants.update(spmm_inv)
+    roofline_inv, roofline_detail = roofline_invariants(roofline_best)
+    invariants.update(roofline_inv)
 
     required = ("cvr_vs_csr", "tuned_vs_cvr", "fused_vs_unfused_cg",
-                "spmm_amortization_k8")
+                "spmm_amortization_k8", "bytes_per_nnz_u16_reduction",
+                "bytes_per_nnz_f32_reduction", "roofline_accuracy")
     missing = [k for k in required if k not in invariants]
     if missing:
         sys.exit(f"invariants missing from the sweeps: {missing}")
+
+    # Hard floors bind even under --update-baseline: the ratchet must not
+    # be able to commit a baseline that a fresh checkout would reject.
+    for k, floor in HARD_FLOORS.items():
+        if invariants[k] < floor:
+            sys.exit(f"{k} = {invariants[k]:.3f} breaches the absolute "
+                     f"floor {floor:.2f}")
 
     report = {
         "schema": SCHEMA,
@@ -174,6 +256,7 @@ def main():
         "micro_detail": micro_detail,
         "solver_detail": solver_detail,
         "spmm_detail": spmm_detail,
+        "roofline_detail": roofline_detail,
         "telemetry": telemetry,
     }
     with open(args.out, "w") as f:

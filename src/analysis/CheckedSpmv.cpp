@@ -47,8 +47,9 @@ private:
 /// be trusted).
 bool chunkInBounds(const CvrMatrix &M, const CvrChunk &C, int W, int Idx,
                    Sink &S) {
-  const std::int64_t NumElems =
-      static_cast<std::int64_t>(Introspect::vals(M).size());
+  const std::int64_t NumElems = static_cast<std::int64_t>(
+      M.valueKind() == ValueKind::F32x64 ? Introspect::vals32(M).size()
+                                         : Introspect::vals(M).size());
   const std::int64_t NumRecs =
       static_cast<std::int64_t>(Introspect::recs(M).size());
   const std::int64_t NumTails =
@@ -121,8 +122,11 @@ void runChunkGenericChecked(const CvrMatrix &M, const CvrChunk &C, int Chunk,
   const int W = M.lanes();
   if (!chunkInBounds(M, C, W, Chunk, S))
     return;
-  const double *Vals = M.vals() + C.ElemBase;
-  const std::int32_t *Cols = M.colIdx() + C.ElemBase;
+  // Kind-aware decode: valueAt/colAt widen compressed streams, so this
+  // shadow covers every ValueKind x ColIndexKind combination.
+  const std::int64_t EB = C.ElemBase;
+  const std::int32_t Base =
+      M.chunkColBase(static_cast<std::size_t>(&C - M.chunks().data()));
   const CvrRecord *Recs = M.recs();
   const std::int32_t Rows = M.numRows();
   const std::int32_t NumCols = M.numCols();
@@ -153,13 +157,13 @@ void runChunkGenericChecked(const CvrMatrix &M, const CvrChunk &C, int Chunk,
   for (std::int64_t I = 0; I < C.NumSteps; ++I) {
     Apply((I + 1) * W);
     for (int K = 0; K < W; ++K) {
-      std::int32_t Col = Cols[I * W + K];
+      std::int32_t Col = M.colAt(EB + I * W + K, Base);
       if (Col < 0 || Col >= NumCols) {
-        S.add("checked.cvr.gather", Chunk, C.ElemBase + I * W + K,
+        S.add("checked.cvr.gather", Chunk, EB + I * W + K,
               "gather column", Col, NumCols);
         continue; // The production kernel would load wild; contribute 0.
       }
-      VOut[static_cast<std::size_t>(K)] += Vals[I * W + K] * X[Col];
+      VOut[static_cast<std::size_t>(K)] += M.valueAt(EB + I * W + K) * X[Col];
     }
   }
   Apply(std::numeric_limits<std::int64_t>::max());
@@ -315,7 +319,10 @@ void cvrSpmvCheckedGeneric(const CvrMatrix &M, const double *X, double *Y,
 void cvrSpmvCheckedAvx(const CvrMatrix &M, const double *X, double *Y,
                        std::vector<Violation> &Vs) {
 #if CVR_SIMD_AVX512
-  if (M.lanes() == simd::DoubleLanes) {
+  // Compressed streams run through the kind-aware generic shadow; the AVX
+  // shadow mirrors the full-width production kernel layout only.
+  if (M.lanes() == simd::DoubleLanes && M.valueKind() == ValueKind::F64 &&
+      M.colIndexKind() == ColIndexKind::U32) {
     Sink S(Vs);
     const bool Accumulate = M.isBlocked();
     clearRowsChecked(M, Y, S);

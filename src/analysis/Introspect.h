@@ -97,6 +97,16 @@ struct Introspect {
     return M.ColIdx;
   }
   static AlignedBuffer<std::int32_t> &colIdx(CvrMatrix &M) { return M.ColIdx; }
+  static const AlignedBuffer<float> &vals32(const CvrMatrix &M) {
+    return M.Vals32;
+  }
+  static AlignedBuffer<float> &vals32(CvrMatrix &M) { return M.Vals32; }
+  static const AlignedBuffer<std::uint16_t> &colIdx16(const CvrMatrix &M) {
+    return M.ColIdx16;
+  }
+  static AlignedBuffer<std::uint16_t> &colIdx16(CvrMatrix &M) {
+    return M.ColIdx16;
+  }
   static const AlignedBuffer<std::int32_t> &tails(const CvrMatrix &M) {
     return M.Tails;
   }

@@ -134,15 +134,50 @@ std::vector<Violation> InvariantChecker::checkCvr(const CvrMatrix &M,
   const AlignedBuffer<double> &Vals = Introspect::vals(M);
   const AlignedBuffer<std::int32_t> &ColIdx = Introspect::colIdx(M);
   const AlignedBuffer<std::int32_t> &Tails = Introspect::tails(M);
+  const bool NarrowVal = M.valueKind() == ValueKind::F32x64;
+  const bool NarrowIdx = M.colIndexKind() == ColIndexKind::U16Band;
+  const std::size_t ValCount =
+      NarrowVal ? Introspect::vals32(M).size() : Vals.size();
+  const std::size_t IdxCount =
+      NarrowIdx ? Introspect::colIdx16(M).size() : ColIdx.size();
 
   if (Lanes < 1) {
     R.add("cvr.lanes", "matrix", "lane count " + num(Lanes));
     return Vs;
   }
-  if (Vals.size() != ColIdx.size())
+  // Exactly one storage per stream: the declared kind owns its buffer and
+  // the other representation must be absent (a populated shadow would
+  // desynchronize from the one the kernels execute).
+  if (NarrowVal ? !Vals.empty() : !Introspect::vals32(M).empty())
+    R.add("cvr.value.precision", "matrix",
+          NarrowVal ? "f32x64 matrix still carries an f64 value stream"
+                    : "f64 matrix carries a stray f32 value stream");
+  if (NarrowIdx ? !ColIdx.empty() : !Introspect::colIdx16(M).empty())
+    R.add("cvr.index.narrow", "matrix",
+          NarrowIdx ? "u16-band matrix still carries a u32 index stream"
+                    : "u32 matrix carries a stray u16 index stream");
+  if (NarrowIdx) {
+    // Narrow indices are only representable when every band spans at most
+    // 65536 columns (the u16 delta range); a wider band must have fallen
+    // back to u32 at conversion.
+    std::int64_t Widest = Cols;
+    if (!M.bands().empty()) {
+      Widest = 0;
+      for (const CvrBand &B : M.bands())
+        Widest = std::max<std::int64_t>(Widest, B.ColEnd - B.ColBegin);
+    }
+    if (Widest > 65536)
+      R.add("cvr.index.narrow", "matrix",
+            "u16 band indices with a band " + num(Widest) +
+                " columns wide (limit 65536)");
+    if (M.narrowIndexFallback())
+      R.add("cvr.index.narrow", "matrix",
+            "narrow-index fallback flag set on a u16-band matrix");
+  }
+  if (ValCount != IdxCount)
     R.add("cvr.stream.sizes", "matrix",
-          "vals/colIdx length mismatch: " + num(Vals.size()) + " vs " +
-              num(ColIdx.size()));
+          "vals/colIdx length mismatch: " + num(ValCount) + " vs " +
+              num(IdxCount));
   if (Tails.size() != Chunks.size() * static_cast<std::size_t>(Lanes))
     R.add("cvr.tail.size", "matrix",
           "tails length " + num(Tails.size()) + ", expected " +
@@ -232,7 +267,7 @@ std::vector<Violation> InvariantChecker::checkCvr(const CvrMatrix &M,
                 " (f64 kernel double-pumps column loads)");
     ElemCursor = Ch.ElemBase + Ch.NumSteps * Lanes;
     RecCursor = Ch.RecEnd;
-    if (ElemCursor > static_cast<std::int64_t>(Vals.size()) ||
+    if (ElemCursor > static_cast<std::int64_t>(ValCount) ||
         Ch.RecEnd > static_cast<std::int64_t>(Recs.size())) {
       R.add("cvr.chunk.layout", Where, "chunk extends past its streams");
       return Vs; // Everything below would read out of bounds.
@@ -258,12 +293,21 @@ std::vector<Violation> InvariantChecker::checkCvr(const CvrMatrix &M,
                 "] differs from the nnz partition's [" +
                 num(Parts[PC].FirstRow) + ", " + num(Parts[PC].LastRow) + "]");
 
-    // -- Column stream bounds. ---------------------------------------------
-    for (std::int64_t I = Ch.ElemBase; I < ElemCursor && !R.full(); ++I)
-      if (ColIdx[I] < 0 || ColIdx[I] >= Cols)
+    // -- Column stream bounds (decoded through the declared kind). ---------
+    const std::int64_t BandWidth = Band.ColEnd - Band.ColBegin;
+    for (std::int64_t I = Ch.ElemBase; I < ElemCursor && !R.full(); ++I) {
+      const std::int32_t Raw = M.rawColAt(I);
+      if (NarrowIdx && Raw >= BandWidth)
+        R.add("cvr.index.narrow",
+              loc("chunk %lld, elem %lld", static_cast<long long>(C), I),
+              "u16 delta " + num(Raw) + " outside band width " +
+                  num(BandWidth));
+      const std::int32_t Col = M.colAt(I, Band.ColBegin);
+      if (Col < 0 || Col >= Cols)
         R.add("cvr.col.range",
               loc("chunk %lld, elem %lld", static_cast<long long>(C), I),
-              "column " + num(ColIdx[I]) + " outside [0, " + num(Cols) + ")");
+              "column " + num(Col) + " outside [0, " + num(Cols) + ")");
+    }
 
     // -- Records: ordered positions, in-range write-back targets. ----------
     std::int64_t PrevPos = -1;
@@ -349,28 +393,46 @@ std::vector<Violation> InvariantChecker::checkCvr(const CvrMatrix &M,
       }
 
       // Element accounting: the dense steps x omega stream must hold the
-      // chunk's nonzeros exactly once, with (col 0, value 0) pads covering
-      // the slack (steps * omega - chunk nnz).
-      std::vector<std::pair<std::int32_t, double>> Stream, Source;
+      // chunk's nonzeros exactly once, with zero-value pads (raw column 0:
+      // absolute 0 for u32, the band base for u16 deltas) covering the
+      // slack (steps * omega - chunk nnz). Narrow value streams round each
+      // coefficient through f32 once, so the source is compared rounded.
+      struct Slot {
+        std::int32_t Col;
+        double Val;
+        bool PadShaped;
+        bool operator<(const Slot &O) const {
+          return Col != O.Col ? Col < O.Col : Val < O.Val;
+        }
+      };
+      std::vector<Slot> Stream;
+      std::vector<std::pair<std::int32_t, double>> Source;
       Stream.reserve(static_cast<std::size_t>(Ch.NumSteps * Lanes));
-      for (std::int64_t I = Ch.ElemBase; I < ElemCursor; ++I)
-        Stream.emplace_back(ColIdx[I], Vals[I]);
+      for (std::int64_t I = Ch.ElemBase; I < ElemCursor; ++I) {
+        const double V = M.valueAt(I);
+        Stream.push_back({M.colAt(I, Band.ColBegin), V,
+                          M.rawColAt(I) == 0 && V == 0.0});
+      }
       Source.reserve(static_cast<std::size_t>(P.size()));
       for (std::int64_t I = P.NnzStart; I < P.NnzEnd; ++I)
-        Source.emplace_back(Src->colIdx()[I], Src->vals()[I]);
+        Source.emplace_back(Src->colIdx()[I],
+                            NarrowVal ? static_cast<double>(
+                                            static_cast<float>(Src->vals()[I]))
+                                      : Src->vals()[I]);
       std::sort(Stream.begin(), Stream.end());
       std::sort(Source.begin(), Source.end());
       std::size_t SI = 0;
       std::int64_t Pads = 0;
-      for (const auto &E : Stream) {
-        if (SI < Source.size() && Source[SI] == E) {
+      for (const Slot &E : Stream) {
+        if (SI < Source.size() && Source[SI].first == E.Col &&
+            Source[SI].second == E.Val) {
           ++SI;
-        } else if (E.first == 0 && E.second == 0.0) {
+        } else if (E.PadShaped) {
           ++Pads;
         } else if (!R.full()) {
           R.add("cvr.elem.spurious", Where,
-                "stream slot (col " + num(E.first) + ", val " +
-                    std::to_string(E.second) +
+                "stream slot (col " + num(E.Col) + ", val " +
+                    std::to_string(E.Val) +
                     ") matches no source nonzero and is not a pad");
         }
       }
@@ -387,10 +449,10 @@ std::vector<Violation> InvariantChecker::checkCvr(const CvrMatrix &M,
     }
   }
   }
-  if (!R.full() && ElemCursor != static_cast<std::int64_t>(Vals.size()))
+  if (!R.full() && ElemCursor != static_cast<std::int64_t>(ValCount))
     R.add("cvr.stream.sizes", "matrix",
           "chunks cover " + num(ElemCursor) + " stream slots of " +
-              num(Vals.size()));
+              num(ValCount));
   if (!R.full() && RecCursor != static_cast<std::int64_t>(Recs.size()))
     R.add("cvr.stream.sizes", "matrix",
           "chunks cover " + num(RecCursor) + " records of " +

@@ -90,7 +90,7 @@ bool writeBenchJson(const std::string &Path,
     return false;
   }
   char Buf[256];
-  OS << "{\n  \"schema\": \"cvr-bench-2\",\n";
+  OS << "{\n  \"schema\": \"cvr-bench-3\",\n";
   std::snprintf(Buf, sizeof(Buf),
                 "  \"size_scale\": %g,\n  \"threads\": %d,\n", SizeScale,
                 NumThreads);
@@ -127,6 +127,26 @@ bool writeBenchJson(const std::string &Path,
     if (R.HwLlcMissRatio >= 0.0) {
       std::snprintf(Buf, sizeof(Buf), ", \"hw_llc_miss_ratio\": %.6g",
                     R.HwLlcMissRatio);
+      OS << Buf;
+    }
+    // Schema v3: roofline accounting, only when the bench computed it.
+    if (R.PredictedBytesPerIter >= 0.0) {
+      std::snprintf(Buf, sizeof(Buf),
+                    ", \"predicted_bytes_per_iteration\": %.9g, "
+                    "\"predicted_bytes_per_nnz\": %.6g",
+                    R.PredictedBytesPerIter, R.PredictedBytesPerNnz);
+      OS << Buf;
+    }
+    if (R.MeasuredBytesPerIter >= 0.0) {
+      std::snprintf(Buf, sizeof(Buf),
+                    ", \"measured_bytes_per_iteration\": %.9g, "
+                    "\"measured_bytes_per_nnz\": %.6g",
+                    R.MeasuredBytesPerIter, R.MeasuredBytesPerNnz);
+      OS << Buf;
+    }
+    if (R.RooflineAlpha >= 0.0) {
+      std::snprintf(Buf, sizeof(Buf), ", \"roofline_alpha\": %.6g",
+                    R.RooflineAlpha);
       OS << Buf;
     }
     OS << "}";

@@ -74,14 +74,27 @@ struct BenchRecord {
   Measurement M;             ///< VariantName, timings, GFlop/s, plan.
   double L2MissRatio = -1.0; ///< From the cache model; -1 if not probed.
   double HwLlcMissRatio = -1.0; ///< Measured by the PMU; -1 if unavailable.
+  /// Bandwidth-roofline accounting (schema v3, analysis/Roofline.h):
+  /// predicted DRAM bytes one iteration moves, the traced DRAM-side bytes
+  /// of one iteration through the cache model, both also per nonzero, and
+  /// the x re-fetch factor the prediction used. All negative when the
+  /// producing bench did not run the roofline.
+  double PredictedBytesPerIter = -1.0;
+  double MeasuredBytesPerIter = -1.0;
+  double PredictedBytesPerNnz = -1.0;
+  double MeasuredBytesPerNnz = -1.0;
+  double RooflineAlpha = -1.0;
 };
 
-/// Writes `{"schema": "cvr-bench-2", ..., "records": [...]}` to \p Path.
-/// Schema v2 adds a top-level "telemetry" object — the merged counter
+/// Writes `{"schema": "cvr-bench-3", ..., "records": [...]}` to \p Path.
+/// Schema v2 added a top-level "telemetry" object — the merged counter
 /// snapshot at write time (histograms appear as `<name>.count` and
 /// `<name>.sum`) — and optional per-record "hw_llc_miss_ratio" fields.
-/// Every v1 field is preserved. Returns false (with a stderr diagnostic)
-/// if the file cannot be written.
+/// Schema v3 adds the optional per-record roofline fields
+/// ("predicted_bytes_per_iteration", "measured_bytes_per_iteration",
+/// "predicted_bytes_per_nnz", "measured_bytes_per_nnz", "roofline_alpha").
+/// Every earlier field is preserved. Returns false (with a stderr
+/// diagnostic) if the file cannot be written.
 bool writeBenchJson(const std::string &Path,
                     const std::vector<BenchRecord> &Records,
                     double SizeScale, int NumThreads);

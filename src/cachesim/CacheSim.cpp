@@ -41,6 +41,7 @@ bool SetAssocCache::accessLine(std::uint64_t LineAddr) {
     }
   }
   ++Misses;
+  ++Fills;
   SetWays[Victim] = {Tag, Clock, true};
   return false;
 }
@@ -64,6 +65,7 @@ void SetAssocCache::installLine(std::uint64_t LineAddr) {
       Victim = W;
     }
   }
+  ++Fills;
   SetWays[Victim] = {Tag, Clock, true};
 }
 

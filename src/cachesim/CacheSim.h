@@ -52,10 +52,17 @@ public:
                            : static_cast<double>(Misses) / accesses();
   }
 
+  /// Lines actually brought in from the next level: demand misses plus
+  /// prefetch fills of non-resident lines (re-installs of resident lines
+  /// do not count). fills() * LineBytes is the level's fill-side traffic —
+  /// for the L2, the DRAM bytes the bandwidth roofline is judged against.
+  /// The demand-side misses() alone hide whatever the prefetcher covered.
+  std::uint64_t fills() const { return Fills; }
+
   int numSets() const { return NumSets; }
   int ways() const { return Ways; }
 
-  void resetStats() { Hits = Misses = 0; }
+  void resetStats() { Hits = Misses = Fills = 0; }
 
 private:
   struct Way {
@@ -71,6 +78,7 @@ private:
   std::uint64_t Clock = 0;
   std::uint64_t Hits = 0;
   std::uint64_t Misses = 0;
+  std::uint64_t Fills = 0;
 };
 
 /// Two-level hierarchy implementing the trace sink, with an optional L2

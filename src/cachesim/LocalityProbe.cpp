@@ -30,6 +30,7 @@ LocalityResult probeLocality(const SpmvKernel &K, const CsrMatrix &A,
   R.L1MissRatio = H.l1().missRatio();
   R.L2Accesses = H.l2().accesses();
   R.L2Misses = H.l2().misses();
+  R.L2Fills = H.l2().fills();
   if (A.numNonZeros() > 0)
     R.MissesPerKnnz =
         1000.0 * static_cast<double>(R.L2Misses) / A.numNonZeros();

@@ -27,6 +27,11 @@ struct LocalityResult {
   double L1MissRatio = 0.0;
   std::uint64_t L2Accesses = 0;
   std::uint64_t L2Misses = 0;
+  /// L2 fill-side line traffic of the measured iteration: demand misses
+  /// plus prefetch fills of non-resident lines. L2Fills * 64 is the
+  /// DRAM-byte measurement the bandwidth roofline (analysis/Roofline.h) is
+  /// compared against; L2Misses alone hides the prefetched stream traffic.
+  std::uint64_t L2Fills = 0;
   /// L2 misses per thousand nonzeros — a volume metric that, unlike the
   /// ratio, is not flattered by formats that stream extra (prefetched)
   /// auxiliary data.

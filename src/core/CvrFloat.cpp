@@ -152,7 +152,21 @@ void runChunkGenericF(const CvrMatrixF &M, const CvrChunk &C, const float *X,
 
 } // namespace
 
+StatusOr<CvrMatrixF> CvrMatrixF::tryFromCsr(const CsrMatrix &A,
+                                            const CvrOptionsF &Opts) {
+  if (Opts.ColBlockBytes != 0)
+    return Status::invalidArgument(
+        "the f32 CVR pipeline does not implement x-vector column blocking "
+        "(ColBlockBytes=" +
+        std::to_string(Opts.ColBlockBytes) +
+        "); use ColBlockBytes=0, or the double pipeline's "
+        "ValueKind::F32x64 stream for banded reduced-precision gathers");
+  return fromCsr(A, Opts);
+}
+
 CvrMatrixF CvrMatrixF::fromCsr(const CsrMatrix &A, const CvrOptionsF &Opts) {
+  assert(Opts.ColBlockBytes == 0 &&
+         "f32 pipeline has no blocking; tryFromCsr reports this recoverably");
   detail::ConverterConfig Cfg;
   Cfg.Lanes = Opts.Lanes;
   Cfg.NumThreads = Opts.NumThreads;

@@ -38,14 +38,29 @@ struct CvrOptionsF {
   int NumThreads = 0;        ///< <= 0 selects the OpenMP default.
   bool EnableStealing = true;
   bool ForceGenericKernel = false;
+  /// x-vector column blocking, accepted for option-struct parity with
+  /// CvrOptions but NOT implemented by the f32 pipeline: tryFromCsr
+  /// rejects any nonzero value with INVALID_ARGUMENT (and fromCsr asserts)
+  /// rather than silently converting unblocked. Callers that need banded
+  /// gathers in reduced precision use the double pipeline's
+  /// ValueKind::F32x64 stream, which composes with ColBlockBytes.
+  std::int64_t ColBlockBytes = 0;
 };
 
 /// A matrix converted to single-precision CVR. Shares the record/chunk
 /// model with CvrMatrix (see CvrFormat.h).
 class CvrMatrixF {
 public:
-  /// Converts \p A, casting values to float.
+  /// Converts \p A, casting values to float. Asserts on options the f32
+  /// pipeline cannot honor (nonzero ColBlockBytes); production callers
+  /// with untrusted options use tryFromCsr.
   static CvrMatrixF fromCsr(const CsrMatrix &A, const CvrOptionsF &Opts = {});
+
+  /// Recoverable conversion: INVALID_ARGUMENT when the options request a
+  /// feature this pipeline does not implement (currently any nonzero
+  /// ColBlockBytes — see CvrOptionsF::ColBlockBytes).
+  [[nodiscard]] static StatusOr<CvrMatrixF>
+  tryFromCsr(const CsrMatrix &A, const CvrOptionsF &Opts = {});
 
   std::int32_t numRows() const { return NumRows; }
   std::int32_t numCols() const { return NumCols; }

@@ -178,6 +178,8 @@ StatusOr<CvrMatrix> CvrMatrix::tryFromCsr(const CsrMatrix &A,
     if (!M.isValid())
       return Status::internal(
           "CVR conversion produced an inconsistent structure");
+    if (Status CS = M.compressStreams(Opts.Values, Opts.Indices); !CS.ok())
+      return CS;
     recordConvertTelemetry(M);
     return M;
   }
@@ -215,6 +217,8 @@ StatusOr<CvrMatrix> CvrMatrix::tryFromCsr(const CsrMatrix &A,
   if (!M.isValid())
     return Status::internal(
         "CVR conversion produced an inconsistent blocked structure");
+  if (Status CS = M.compressStreams(Opts.Values, Opts.Indices); !CS.ok())
+    return CS;
   recordConvertTelemetry(M);
   return M;
 } catch (const std::bad_alloc &) {
@@ -222,6 +226,69 @@ StatusOr<CvrMatrix> CvrMatrix::tryFromCsr(const CsrMatrix &A,
   // throw; fold it into the same recoverable outcome.
   return Status::resourceExhausted(
       "CVR conversion: auxiliary allocation failed");
+}
+
+void CvrMatrix::rebuildChunkColBases() {
+  ChunkColBase.assign(Chunks.size(), 0);
+  for (const CvrBand &B : Bands)
+    for (std::int32_t C = B.ChunkBegin;
+         C < B.ChunkEnd && C < static_cast<std::int32_t>(Chunks.size()); ++C)
+      ChunkColBase[static_cast<std::size_t>(C)] = B.ColBegin;
+}
+
+Status CvrMatrix::compressStreams(ValueKind VK, ColIndexKind IK) {
+  rebuildChunkColBases();
+
+  if (IK == ColIndexKind::U16Band) {
+    // Eligibility: every band (the whole column range when unblocked)
+    // must span <= 65536 columns so band-local deltas fit uint16.
+    std::int64_t WidestBand = NumCols;
+    if (!Bands.empty()) {
+      WidestBand = 0;
+      for (const CvrBand &B : Bands)
+        WidestBand =
+            std::max<std::int64_t>(WidestBand, B.ColEnd - B.ColBegin);
+    }
+    if (WidestBand > 65536) {
+      NarrowIdxFallback = true; // Checked fallback: keep 32-bit indices.
+    } else {
+      if (!ColIdx16.tryResize(ColIdx.size()).ok())
+        return Status::resourceExhausted(
+            "CVR compression: narrow index stream allocation failed");
+      for (std::size_t CI = 0; CI < Chunks.size(); ++CI) {
+        const CvrChunk &C = Chunks[CI];
+        const std::int32_t Base = ChunkColBase[CI];
+        for (std::int64_t I = C.ElemBase,
+                          E = C.ElemBase + C.NumSteps * Lanes;
+             I < E; ++I) {
+          std::int32_t Col = ColIdx[static_cast<std::size_t>(I)];
+          // Pads are (value 0, column 0) in absolute terms; store them as
+          // delta 0 so the widened gather hits the band base, in range.
+          std::int32_t Delta =
+              (Col == 0 && Vals[static_cast<std::size_t>(I)] == 0.0)
+                  ? 0
+                  : Col - Base;
+          assert(Delta >= 0 && Delta <= 65535 &&
+                 "band-local column escaped the uint16 range");
+          ColIdx16[static_cast<std::size_t>(I)] =
+              static_cast<std::uint16_t>(Delta);
+        }
+      }
+      ColIdx = AlignedBuffer<std::int32_t>();
+      IKind = ColIndexKind::U16Band;
+    }
+  }
+
+  if (VK == ValueKind::F32x64) {
+    if (!Vals32.tryResize(Vals.size()).ok())
+      return Status::resourceExhausted(
+          "CVR compression: fp32 value stream allocation failed");
+    for (std::size_t I = 0; I < Vals.size(); ++I)
+      Vals32[I] = static_cast<float>(Vals[I]);
+    Vals = AlignedBuffer<double>();
+    VKind = ValueKind::F32x64;
+  }
+  return Status::okStatus();
 }
 
 int CvrMatrix::runThreads() const {
@@ -236,6 +303,8 @@ int CvrMatrix::runThreads() const {
 
 std::size_t CvrMatrix::formatBytes() const {
   return Vals.size() * sizeof(double) + ColIdx.size() * sizeof(std::int32_t) +
+         Vals32.size() * sizeof(float) +
+         ColIdx16.size() * sizeof(std::uint16_t) +
          Recs.size() * sizeof(CvrRecord) +
          Tails.size() * sizeof(std::int32_t) +
          Chunks.size() * sizeof(CvrChunk) +
@@ -245,6 +314,17 @@ std::size_t CvrMatrix::formatBytes() const {
 
 bool CvrMatrix::isValid() const {
   if (ChunkMult < 1)
+    return false;
+  // Exactly one storage per stream, matching the declared kinds.
+  const bool NV = VKind == ValueKind::F32x64;
+  const bool NI = IKind == ColIndexKind::U16Band;
+  if (NV ? !Vals.empty() : !Vals32.empty())
+    return false;
+  if (NI ? !ColIdx.empty() : !ColIdx16.empty())
+    return false;
+  std::size_t ValCount = NV ? Vals32.size() : Vals.size();
+  std::size_t IdxCount = NI ? ColIdx16.size() : ColIdx.size();
+  if (ValCount != IdxCount)
     return false;
   if (!Bands.empty()) {
     // Bands tile both the chunk list and the column range, in order, with
@@ -300,9 +380,13 @@ bool CvrMatrix::isValid() const {
     }
     for (std::int64_t I = C.ElemBase, E = C.ElemBase + C.NumSteps * Lanes;
          I < E; ++I) {
-      // Pads are (value 0, column 0); count everything else.
-      if (ColIdx[I] != 0 || Vals[I] != 0.0) {
-        if (ColIdx[I] < ColLo || ColIdx[I] >= ColHi)
+      // Pads are (value 0, raw column 0) — raw is the absolute column for
+      // U32 and the band-local delta for U16Band; count everything else.
+      std::int32_t Raw = rawColAt(I);
+      double V = valueAt(I);
+      if (Raw != 0 || V != 0.0) {
+        std::int32_t Col = NI ? ColLo + Raw : Raw;
+        if (Col < ColLo || Col >= ColHi)
           return false; // Real element escaped its column band.
         ++RealElems;
       }

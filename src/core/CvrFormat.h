@@ -43,6 +43,28 @@ namespace analysis {
 struct Introspect;
 } // namespace analysis
 
+/// Storage precision of the value stream. SpMV is bandwidth-bound, so the
+/// stream bytes — not the FLOPs — set the speed limit (the roofline model
+/// in src/analysis/Roofline.h quantifies this); F32x64 halves the dominant
+/// stream at the cost of fp32 rounding of the matrix entries, which the
+/// solvers' iterative-refinement fallback recovers from.
+enum class ValueKind : std::uint8_t {
+  F64 = 0,    ///< fp64 storage, fp64 accumulation (the paper's layout).
+  F32x64 = 1, ///< fp32 storage widened to fp64 accumulation in registers.
+};
+
+/// Storage width of the column-index stream.
+enum class ColIndexKind : std::uint8_t {
+  U32 = 0, ///< Absolute int32 columns (the paper's layout).
+  /// Band-local uint16 deltas from the owning column band's ColBegin
+  /// (band 0 / unblocked matrices use base 0). Requires every band to
+  /// span <= 65536 columns; conversion falls back to U32 otherwise
+  /// (CvrMatrix::narrowIndexFallback reports it). Pad slots store delta
+  /// 0, so a pad's widened column is the band base — always a safe
+  /// gather; its value is 0, so it contributes nothing.
+  U16Band = 1,
+};
+
 /// Conversion options.
 struct CvrOptions {
   /// SIMD lanes (the paper's omega): 8 for f64 on AVX-512. Any value >= 1
@@ -88,6 +110,17 @@ struct CvrOptions {
   /// runBatch (core/CvrSpmm.h). An execution-time knob like
   /// PrefetchDistance; supported widths are {4, 8}, other values snap.
   int RhsBlock = 8;
+
+  /// Value-stream storage precision (stream compression axis 1). F32x64
+  /// halves value-stream traffic; results carry fp32 rounding of the
+  /// matrix entries (~1e-7 relative), which solvers recover from via
+  /// iterative refinement against an fp64 reference operator.
+  ValueKind Values = ValueKind::F64;
+
+  /// Column-index storage width (stream compression axis 2). U16Band is
+  /// lossless; it silently falls back to U32 when any column band is
+  /// wider than 65536 columns (see CvrMatrix::narrowIndexFallback).
+  ColIndexKind Indices = ColIndexKind::U32;
 };
 
 /// One write-back record (the paper's `rec` vector entry).
@@ -163,6 +196,54 @@ public:
   const CvrRecord *recs() const { return Recs.data(); }
   const std::int32_t *tails() const { return Tails.data(); }
 
+  /// Stream compression state. Exactly one value stream and one index
+  /// stream is populated: vals() xor vals32(), colIdx() xor colIdx16().
+  ValueKind valueKind() const { return VKind; }
+  ColIndexKind colIndexKind() const { return IKind; }
+  const float *vals32() const { return Vals32.data(); }
+  const std::uint16_t *colIdx16() const { return ColIdx16.data(); }
+
+  /// True when U16Band indices were requested but a band exceeded the
+  /// uint16 range, so the conversion kept 32-bit indices (the checked
+  /// fallback the narrow-index axis documents).
+  bool narrowIndexFallback() const { return NarrowIdxFallback; }
+
+  /// Bytes per stored element of the value / column-index streams.
+  std::size_t valueBytes() const {
+    return VKind == ValueKind::F32x64 ? sizeof(float) : sizeof(double);
+  }
+  std::size_t indexBytes() const {
+    return IKind == ColIndexKind::U16Band ? sizeof(std::uint16_t)
+                                          : sizeof(std::int32_t);
+  }
+
+  /// Column-band base the chunk's narrow indices are deltas from (0 for
+  /// U32 matrices and for unblocked ones). Derived from Bands — never
+  /// serialized — and rebuilt on conversion and on blob load.
+  std::int32_t chunkColBase(std::size_t ChunkIdx) const {
+    return ChunkIdx < ChunkColBase.size() ? ChunkColBase[ChunkIdx] : 0;
+  }
+
+  /// Kind-independent element decode for the cold paths (validation,
+  /// tracing, shadow kernels). \p Base is the owning chunk's
+  /// chunkColBase().
+  double valueAt(std::int64_t I) const {
+    return VKind == ValueKind::F32x64 ? static_cast<double>(Vals32[I])
+                                      : Vals[I];
+  }
+  std::int32_t colAt(std::int64_t I, std::int32_t Base) const {
+    return IKind == ColIndexKind::U16Band
+               ? Base + static_cast<std::int32_t>(ColIdx16[I])
+               : ColIdx[I];
+  }
+  /// The raw stored index (band-local delta for U16Band). Pad slots are
+  /// raw 0 with value 0 under either kind.
+  std::int32_t rawColAt(std::int64_t I) const {
+    return IKind == ColIndexKind::U16Band
+               ? static_cast<std::int32_t>(ColIdx16[I])
+               : ColIdx[I];
+  }
+
   /// Rows the kernel must zero before accumulation: empty rows plus every
   /// chunk-boundary row (see CvrSpmv). Empty for blocked matrices, whose
   /// kernel zeroes all of y instead.
@@ -233,7 +314,9 @@ public:
 
   /// True when every stream is heap-owned (false for mapBlob views).
   bool ownsStreams() const {
-    return Vals.ownsStorage() && ColIdx.ownsStorage() && Tails.ownsStorage();
+    return Vals.ownsStorage() && ColIdx.ownsStorage() &&
+           Vals32.ownsStorage() && ColIdx16.ownsStorage() &&
+           Tails.ownsStorage();
   }
 
   /// Deserializer plumbing: pointers to the private fields, handed to the
@@ -246,8 +329,12 @@ public:
     int *Lanes;
     int *ChunkMult;
     bool *ForceGeneric;
+    ValueKind *VKind;
+    ColIndexKind *IKind;
     AlignedBuffer<double> *Vals;
     AlignedBuffer<std::int32_t> *ColIdx;
+    AlignedBuffer<float> *Vals32;
+    AlignedBuffer<std::uint16_t> *ColIdx16;
     std::vector<CvrRecord> *Recs;
     AlignedBuffer<std::int32_t> *Tails;
     std::vector<CvrChunk> *Chunks;
@@ -266,15 +353,33 @@ private:
   std::int64_t Nnz = 0;
   int Lanes = 8;
 
-  AlignedBuffer<double> Vals;        ///< cvr_vals, chunk-concatenated.
-  AlignedBuffer<std::int32_t> ColIdx; ///< cvr_colidx.
+  /// Applies the CvrOptions compression axes to a freshly converted (or
+  /// about-to-be-validated) structure: narrows ColIdx into ColIdx16 when
+  /// every band fits uint16 (recording the fallback otherwise) and Vals
+  /// into Vals32 on request, then rebuilds the derived per-chunk column
+  /// bases. RESOURCE_EXHAUSTED when the narrow streams cannot be
+  /// allocated.
+  [[nodiscard]] Status compressStreams(ValueKind VK, ColIndexKind IK);
+
+  /// Recomputes ChunkColBase from Bands (called after conversion and
+  /// after every successful blob decode).
+  void rebuildChunkColBases();
+
+  AlignedBuffer<double> Vals;        ///< cvr_vals (F64), chunk-concatenated.
+  AlignedBuffer<std::int32_t> ColIdx; ///< cvr_colidx (U32).
+  AlignedBuffer<float> Vals32;       ///< cvr_vals (F32x64); Vals empty.
+  AlignedBuffer<std::uint16_t> ColIdx16; ///< cvr_colidx (U16Band deltas).
   std::vector<CvrRecord> Recs;
   AlignedBuffer<std::int32_t> Tails; ///< Lanes per chunk; -1 = unused slot.
   std::vector<CvrChunk> Chunks;
   std::vector<std::int32_t> ZeroRows;
   std::vector<CvrBand> Bands; ///< Empty = unblocked.
+  std::vector<std::int32_t> ChunkColBase; ///< Derived: per-chunk band base.
   int ChunkMult = 1;
   bool ForceGeneric = false;
+  ValueKind VKind = ValueKind::F64;
+  ColIndexKind IKind = ColIndexKind::U32;
+  bool NarrowIdxFallback = false; ///< U16Band requested but band too wide.
 };
 
 } // namespace cvr

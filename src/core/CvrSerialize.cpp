@@ -9,9 +9,16 @@
 //
 //   magic "CVRF" | u32 version
 //   header: NumRows i32, NumCols i32, Nnz i64, Lanes i32,
-//           ForceGeneric u8, ChunkMult i32 | u32 crc32c(header bytes)
+//           ForceGeneric u8, ChunkMult i32, ValueKind u8, ColIndexKind u8
+//           | u32 crc32c(header bytes)
 //   sections, in order: Chunks, Bands, ZeroRows, Recs, Tails, Vals, ColIdx
 //   each section: u64 count | payload | u32 crc32c(payload)
+//
+// The two kind bytes select the element width of the Vals and ColIdx
+// sections: F64/U32 store double / i32 payloads, F32x64 stores the value
+// stream as f32, U16Band stores column indices as u16 band-relative
+// deltas. Counts are element counts either way, so the chunk-table budget
+// applies unchanged.
 //
 // Version-4 (Mapped) is the same blob with one change per section:
 //
@@ -79,8 +86,8 @@ constexpr std::uint64_t MaxStreamElems = 1ULL << 40;
 constexpr std::uint64_t MaxLegacyArrayElems = 1ULL << 40;
 
 /// Header image length (the checksummed byte range): rows, cols, nnz,
-/// lanes, force-generic, chunk multiplier.
-constexpr std::size_t HeaderBytes = 4 + 4 + 8 + 4 + 1 + 4;
+/// lanes, force-generic, chunk multiplier, value kind, column-index kind.
+constexpr std::size_t HeaderBytes = 4 + 4 + 8 + 4 + 1 + 4 + 1 + 1;
 
 bool writeBytes(std::ostream &OS, const void *P, std::size_t N) {
   if (CVR_FAIL_POINT("serialize.write.short"))
@@ -142,14 +149,16 @@ template <typename T> void packField(std::string &Buf, const T &V) {
 [[nodiscard]] Status decodeHeaderImage(const char *Header,
                                        CvrMatrix::BlobFields &F) {
   std::int32_t Lanes32 = 0, Mult = 0;
-  std::uint8_t Generic = 0;
+  std::uint8_t Generic = 0, VKindByte = 0, IKindByte = 0;
   const char *P = Header;
   std::memcpy(F.NumRows, P, 4), P += 4;
   std::memcpy(F.NumCols, P, 4), P += 4;
   std::memcpy(F.Nnz, P, 8), P += 8;
   std::memcpy(&Lanes32, P, 4), P += 4;
   std::memcpy(&Generic, P, 1), P += 1;
-  std::memcpy(&Mult, P, 4);
+  std::memcpy(&Mult, P, 4), P += 4;
+  std::memcpy(&VKindByte, P, 1), P += 1;
+  std::memcpy(&IKindByte, P, 1);
 
   if (*F.NumRows < 0 || *F.NumCols < 0 || *F.Nnz < 0)
     return Status::outOfRange(
@@ -163,9 +172,17 @@ template <typename T> void packField(std::string &Buf, const T &V) {
     return Status::outOfRange("[cvr.blob.bounds] chunk multiplier " +
                               std::to_string(Mult) + " is outside [1, " +
                               std::to_string(MaxChunkMult) + "]");
+  if (VKindByte > static_cast<std::uint8_t>(ValueKind::F32x64))
+    return Status::outOfRange("[cvr.blob.bounds] unknown value kind " +
+                              std::to_string(VKindByte));
+  if (IKindByte > static_cast<std::uint8_t>(ColIndexKind::U16Band))
+    return Status::outOfRange("[cvr.blob.bounds] unknown column-index kind " +
+                              std::to_string(IKindByte));
   *F.Lanes = Lanes32;
   *F.ForceGeneric = Generic != 0;
   *F.ChunkMult = Mult;
+  *F.VKind = static_cast<ValueKind>(VKindByte);
+  *F.IKind = static_cast<ColIndexKind>(IKindByte);
   return Status::okStatus();
 }
 
@@ -252,19 +269,28 @@ Status CvrMatrix::writeBlob(std::ostream &OS, BlobLayout Layout) const {
   packField(Header, static_cast<std::int32_t>(Lanes));
   packField(Header, static_cast<std::uint8_t>(ForceGeneric));
   packField(Header, static_cast<std::int32_t>(ChunkMult));
+  packField(Header, static_cast<std::uint8_t>(VKind));
+  packField(Header, static_cast<std::uint8_t>(IKind));
   std::uint32_t HeaderCrc = crc32c(Header.data(), Header.size());
   if (!writeBytes(OS, Header.data(), Header.size()) ||
       !writeBytes(OS, &HeaderCrc, sizeof(HeaderCrc)))
     return Status::unavailable("blob write failed in the header");
 
   std::uint64_t Off = sizeof(Magic) + sizeof(V) + Header.size() + 4;
-  if (!writeSection(OS, Chunks.data(), Chunks.size(), Mapped, Off) ||
-      !writeSection(OS, Bands.data(), Bands.size(), Mapped, Off) ||
-      !writeSection(OS, ZeroRows.data(), ZeroRows.size(), Mapped, Off) ||
-      !writeSection(OS, Recs.data(), Recs.size(), Mapped, Off) ||
-      !writeSection(OS, Tails.data(), Tails.size(), Mapped, Off) ||
-      !writeSection(OS, Vals.data(), Vals.size(), Mapped, Off) ||
-      !writeSection(OS, ColIdx.data(), ColIdx.size(), Mapped, Off))
+  bool Ok = writeSection(OS, Chunks.data(), Chunks.size(), Mapped, Off) &&
+            writeSection(OS, Bands.data(), Bands.size(), Mapped, Off) &&
+            writeSection(OS, ZeroRows.data(), ZeroRows.size(), Mapped, Off) &&
+            writeSection(OS, Recs.data(), Recs.size(), Mapped, Off) &&
+            writeSection(OS, Tails.data(), Tails.size(), Mapped, Off);
+  if (Ok)
+    Ok = VKind == ValueKind::F32x64
+             ? writeSection(OS, Vals32.data(), Vals32.size(), Mapped, Off)
+             : writeSection(OS, Vals.data(), Vals.size(), Mapped, Off);
+  if (Ok)
+    Ok = IKind == ColIndexKind::U16Band
+             ? writeSection(OS, ColIdx16.data(), ColIdx16.size(), Mapped, Off)
+             : writeSection(OS, ColIdx.data(), ColIdx.size(), Mapped, Off);
+  if (!Ok)
     return Status::unavailable(
         "blob write failed mid-section (disk full or short write?)");
   OS.flush();
@@ -416,14 +442,20 @@ template <typename Container>
                         static_cast<std::int64_t>(NumChunks * Lanes32)))
            .ok())
     return S;
-  if (!(S = readSection(IS, *F.Vals, "value stream", Padded, MaxStreamElems,
-                        static_cast<std::int64_t>(B.TotalElems)))
-           .ok())
+  const auto ExactElems = static_cast<std::int64_t>(B.TotalElems);
+  S = *F.VKind == ValueKind::F32x64
+          ? readSection(IS, *F.Vals32, "value stream", Padded, MaxStreamElems,
+                        ExactElems)
+          : readSection(IS, *F.Vals, "value stream", Padded, MaxStreamElems,
+                        ExactElems);
+  if (!S.ok())
     return S;
-  if (!(S = readSection(IS, *F.ColIdx, "column-index stream", Padded,
-                        MaxStreamElems,
-                        static_cast<std::int64_t>(B.TotalElems)))
-           .ok())
+  S = *F.IKind == ColIndexKind::U16Band
+          ? readSection(IS, *F.ColIdx16, "column-index stream", Padded,
+                        MaxStreamElems, ExactElems)
+          : readSection(IS, *F.ColIdx, "column-index stream", Padded,
+                        MaxStreamElems, ExactElems);
+  if (!S.ok())
     return S;
   return Status::okStatus();
 }
@@ -444,6 +476,10 @@ template <typename Container>
         "count");
   *F.Lanes = Lanes32;
   *F.ForceGeneric = Generic != 0;
+  // Legacy blobs predate the compressed streams: kinds are always full
+  // width.
+  *F.VKind = ValueKind::F64;
+  *F.IKind = ColIndexKind::U32;
 
   Status S;
   if (!(S = readLegacyArray(IS, *F.Vals, "value stream")).ok())
@@ -476,7 +512,10 @@ template <typename Container>
 /// Quick sanity shared by every decode path before the full structural
 /// sweep below runs.
 [[nodiscard]] Status crossCheckDecoded(const CvrMatrix &M) {
-  if (M.vals() == nullptr && M.numNonZeros() != 0)
+  const bool HasVals = M.valueKind() == ValueKind::F32x64
+                           ? M.vals32() != nullptr
+                           : M.vals() != nullptr;
+  if (!HasVals && M.numNonZeros() != 0)
     return Status::outOfRange(
         "[cvr.blob.bounds] empty streams for a nonzero-bearing matrix");
   return Status::okStatus();
@@ -554,19 +593,25 @@ StatusOr<CvrMatrix> CvrMatrix::readBlob(std::istream &IS) {
         " (this build reads versions 1.." + std::to_string(MaxVersion) + ")");
 
   CvrMatrix M;
-  BlobFields F{&M.NumRows, &M.NumCols,  &M.Nnz,    &M.Lanes,
-               &M.ChunkMult, &M.ForceGeneric, &M.Vals,   &M.ColIdx,
-               &M.Recs,    &M.Tails,    &M.Chunks, &M.ZeroRows,
+  BlobFields F{&M.NumRows,   &M.NumCols, &M.Nnz,    &M.Lanes,
+               &M.ChunkMult, &M.ForceGeneric, &M.VKind, &M.IKind,
+               &M.Vals,      &M.ColIdx,  &M.Vals32, &M.ColIdx16,
+               &M.Recs,      &M.Tails,   &M.Chunks, &M.ZeroRows,
                &M.Bands};
   Status S = V >= CompactVersion
                  ? readChecksummedBody(IS, F, /*Padded=*/V >= MappedVersion)
                  : readLegacyBody(IS, V, F);
   if (!S.ok())
     return S;
+  M.rebuildChunkColBases();
+  const std::size_t ValsLen =
+      M.VKind == ValueKind::F32x64 ? M.Vals32.size() : M.Vals.size();
+  const std::size_t ColIdxLen =
+      M.IKind == ColIndexKind::U16Band ? M.ColIdx16.size() : M.ColIdx.size();
   if (!(S = crossCheckDecoded(M)).ok())
     return S;
-  if (!(S = validateStructure(M, M.Vals.size(), M.ColIdx.size(),
-                              M.Tails.size(), M.Recs.size()))
+  if (!(S = validateStructure(M, ValsLen, ColIdxLen, M.Tails.size(),
+                              M.Recs.size()))
            .ok())
     return S;
   return M;
@@ -723,9 +768,10 @@ StatusOr<CvrMatrix> CvrMatrix::mapBlob(const void *Data, std::size_t Bytes) {
     return Status::dataLoss("[cvr.blob.header-crc] header fails its CRC32C");
 
   CvrMatrix M;
-  BlobFields F{&M.NumRows, &M.NumCols,  &M.Nnz,    &M.Lanes,
-               &M.ChunkMult, &M.ForceGeneric, &M.Vals,   &M.ColIdx,
-               &M.Recs,    &M.Tails,    &M.Chunks, &M.ZeroRows,
+  BlobFields F{&M.NumRows,   &M.NumCols, &M.Nnz,    &M.Lanes,
+               &M.ChunkMult, &M.ForceGeneric, &M.VKind, &M.IKind,
+               &M.Vals,      &M.ColIdx,  &M.Vals32, &M.ColIdx16,
+               &M.Recs,      &M.Tails,   &M.Chunks, &M.ZeroRows,
                &M.Bands};
   Status S = decodeHeaderImage(Header, F);
   if (!S.ok())
@@ -746,9 +792,8 @@ StatusOr<CvrMatrix> CvrMatrix::mapBlob(const void *Data, std::size_t Bytes) {
   std::uint64_t NumChunks = M.Chunks.size();
 
   MappedSection<CvrBand> BandsSec;
-  MappedSection<std::int32_t> ZeroSec, TailsSec, ColIdxSec;
+  MappedSection<std::int32_t> ZeroSec, TailsSec;
   MappedSection<CvrRecord> RecsSec;
-  MappedSection<double> ValsSec;
   if (!(S = viewSection(C, BandsSec, "band table", NumChunks)).ok())
     return S;
   if (!(S = viewSection(C, ZeroSec, "zero-row list",
@@ -761,14 +806,49 @@ StatusOr<CvrMatrix> CvrMatrix::mapBlob(const void *Data, std::size_t Bytes) {
                         static_cast<std::int64_t>(NumChunks * Lanes32)))
            .ok())
     return S;
-  if (!(S = viewSection(C, ValsSec, "value stream", MaxStreamElems,
-                        static_cast<std::int64_t>(B.TotalElems)))
-           .ok())
-    return S;
-  if (!(S = viewSection(C, ColIdxSec, "column-index stream", MaxStreamElems,
-                        static_cast<std::int64_t>(B.TotalElems)))
-           .ok())
-    return S;
+
+  // The hot streams alias the mapped image — the zero-copy contract. The
+  // element type of the two stream sections follows the header kinds.
+  const auto ExactElems = static_cast<std::int64_t>(B.TotalElems);
+  std::size_t ValsLen = 0, ColIdxLen = 0;
+  if (M.VKind == ValueKind::F32x64) {
+    MappedSection<float> ValsSec;
+    if (!(S = viewSection(C, ValsSec, "value stream", MaxStreamElems,
+                          ExactElems))
+             .ok())
+      return S;
+    M.Vals32 = AlignedBuffer<float>::viewExternal(
+        ValsSec.Ptr, static_cast<std::size_t>(ValsSec.Count));
+    ValsLen = static_cast<std::size_t>(ValsSec.Count);
+  } else {
+    MappedSection<double> ValsSec;
+    if (!(S = viewSection(C, ValsSec, "value stream", MaxStreamElems,
+                          ExactElems))
+             .ok())
+      return S;
+    M.Vals = AlignedBuffer<double>::viewExternal(
+        ValsSec.Ptr, static_cast<std::size_t>(ValsSec.Count));
+    ValsLen = static_cast<std::size_t>(ValsSec.Count);
+  }
+  if (M.IKind == ColIndexKind::U16Band) {
+    MappedSection<std::uint16_t> ColIdxSec;
+    if (!(S = viewSection(C, ColIdxSec, "column-index stream", MaxStreamElems,
+                          ExactElems))
+             .ok())
+      return S;
+    M.ColIdx16 = AlignedBuffer<std::uint16_t>::viewExternal(
+        ColIdxSec.Ptr, static_cast<std::size_t>(ColIdxSec.Count));
+    ColIdxLen = static_cast<std::size_t>(ColIdxSec.Count);
+  } else {
+    MappedSection<std::int32_t> ColIdxSec;
+    if (!(S = viewSection(C, ColIdxSec, "column-index stream", MaxStreamElems,
+                          ExactElems))
+             .ok())
+      return S;
+    M.ColIdx = AlignedBuffer<std::int32_t>::viewExternal(
+        ColIdxSec.Ptr, static_cast<std::size_t>(ColIdxSec.Count));
+    ColIdxLen = static_cast<std::size_t>(ColIdxSec.Count);
+  }
 
   if (!(S = copySection(BandsSec, M.Bands, "band table")).ok())
     return S;
@@ -776,19 +856,14 @@ StatusOr<CvrMatrix> CvrMatrix::mapBlob(const void *Data, std::size_t Bytes) {
     return S;
   if (!(S = copySection(RecsSec, M.Recs, "record stream")).ok())
     return S;
-
-  // The hot streams alias the mapped image — the zero-copy contract.
   M.Tails = AlignedBuffer<std::int32_t>::viewExternal(
       TailsSec.Ptr, static_cast<std::size_t>(TailsSec.Count));
-  M.Vals = AlignedBuffer<double>::viewExternal(
-      ValsSec.Ptr, static_cast<std::size_t>(ValsSec.Count));
-  M.ColIdx = AlignedBuffer<std::int32_t>::viewExternal(
-      ColIdxSec.Ptr, static_cast<std::size_t>(ColIdxSec.Count));
 
+  M.rebuildChunkColBases();
   if (!(S = crossCheckDecoded(M)).ok())
     return S;
-  if (!(S = validateStructure(M, M.Vals.size(), M.ColIdx.size(),
-                              M.Tails.size(), M.Recs.size()))
+  if (!(S = validateStructure(M, ValsLen, ColIdxLen, M.Tails.size(),
+                              M.Recs.size()))
            .ok())
     return S;
   return M;

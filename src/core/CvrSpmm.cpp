@@ -424,6 +424,33 @@ void recordCvrSpmmTelemetry(int NumVectors, int Passes, bool Fused) {
     FusedRuns.inc();
 }
 
+/// Compressed-stream matrices (F32x64 values / U16Band indices) compose
+/// SpMM from per-column SpMV runs through contiguous scratch: the
+/// register-blocked panel kernels read the uncompressed streams directly,
+/// and rewriting them per kind would triple their instantiation count for
+/// a path whose payoff is amortizing *matrix* traffic — which compression
+/// already shrinks. DESIGN.md section 17 records this scope gate.
+[[nodiscard]] Status cvrSpmmComposed(const CvrMatrix &M, const double *X, std::size_t LdX,
+                       double *Y, std::size_t LdY, int NumVectors,
+                       const CvrSpmmOptions &Opts) try {
+  const int Pf = snapPrefetchDistance(Opts.PrefetchDistance);
+  std::vector<double> Xc(static_cast<std::size_t>(M.numCols()));
+  std::vector<double> Yc(static_cast<std::size_t>(M.numRows()));
+  for (int J = 0; J < NumVectors; ++J) {
+    for (std::int32_t I = 0; I < M.numCols(); ++I)
+      Xc[static_cast<std::size_t>(I)] =
+          X[static_cast<std::size_t>(I) * LdX + J];
+    cvrSpmv(M, Xc.data(), Yc.data(), Pf);
+    for (std::int32_t I = 0; I < M.numRows(); ++I)
+      Y[static_cast<std::size_t>(I) * LdY + J] =
+          Yc[static_cast<std::size_t>(I)];
+  }
+  recordCvrSpmmTelemetry(NumVectors, NumVectors, /*Fused=*/false);
+  return Status::okStatus();
+} catch (const std::bad_alloc &) {
+  return Status::resourceExhausted("composed SpMM: scratch allocation failed");
+}
+
 } // namespace
 
 int snapRhsBlock(int B) {
@@ -440,6 +467,9 @@ Status cvrSpmm(const CvrMatrix &M, const double *X, std::size_t LdX,
     return S;
   obs::TraceSpan Span("execute/spmm", "execute");
   Span.arg("cols", NumVectors);
+  if (M.valueKind() != ValueKind::F64 ||
+      M.colIndexKind() != ColIndexKind::U32)
+    return cvrSpmmComposed(M, X, LdX, Y, LdY, NumVectors, Opts);
   const int Rhs = snapRhsBlock(Opts.RhsBlock);
   const int Pf = snapPrefetchDistance(Opts.PrefetchDistance);
   int Passes = 0;
@@ -474,9 +504,11 @@ Status cvrSpmmFused(const CvrMatrix &M, const double *X, std::size_t LdX,
   }
 
   bool UseAvx = M.lanes() == simd::DoubleLanes && !M.forcesGenericKernel();
-  if (M.isBlocked() || !UseAvx) {
-    // Accumulate mode finishes no row until the last band (and the generic
-    // kernel has no fused finalize sites); compose.
+  if (M.isBlocked() || !UseAvx || M.valueKind() != ValueKind::F64 ||
+      M.colIndexKind() != ColIndexKind::U32) {
+    // Accumulate mode finishes no row until the last band (the generic
+    // kernel has no fused finalize sites, and compressed streams take the
+    // composed path throughout); compose.
     S = cvrSpmm(M, X, LdX, Y, LdY, NumVectors, Opts);
     if (!S.ok())
       return S;

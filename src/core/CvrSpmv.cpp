@@ -125,15 +125,25 @@ CVR_HOT inline simd::VecD8 applyRecords(simd::VecD8 VOut,
 /// issues software prefetches of the x gather targets (and the vals/cols
 /// streams) PfDist steps ahead, using the already-streamed column indices;
 /// the host has no AVX-512PF, so the prefetches are scalar.
-template <int PfDist, bool Accumulate>
+///
+/// NarrowIdx streams band-local uint16 deltas (widened + rebased onto
+/// \p ColBase at load time) and NarrowVal streams fp32 values (widened to
+/// fp64 before the FMA) — the stream-compression axes. The loop structure
+/// — one index load per two steps, one value load and one gather per step
+/// — is identical across all four combinations; only the load width
+/// changes.
+template <int PfDist, bool Accumulate, bool NarrowIdx, bool NarrowVal>
 CVR_HOT void runChunkAvx(const CvrMatrix &M, const CvrChunk &C,
                          const double *X,
-                 double *Y) {
+                 double *Y, std::int32_t ColBase) {
   static_assert(PfDist % 2 == 0, "prefetch pairs with the double-pumped "
                                  "column loads, so the distance stays even");
   constexpr int W = 8;
-  const double *Vals = M.vals() + C.ElemBase;
-  const std::int32_t *Cols = M.colIdx() + C.ElemBase;
+  const double *Vals = NarrowVal ? nullptr : M.vals() + C.ElemBase;
+  const float *Vals32 = NarrowVal ? M.vals32() + C.ElemBase : nullptr;
+  const std::int32_t *Cols = NarrowIdx ? nullptr : M.colIdx() + C.ElemBase;
+  const std::uint16_t *ColsN =
+      NarrowIdx ? M.colIdx16() + C.ElemBase : nullptr;
   const CvrRecord *Recs = M.recs();
   std::int64_t RecIdx = C.RecBase;
   const std::int64_t RecEnd = C.RecEnd;
@@ -154,22 +164,40 @@ CVR_HOT void runChunkAvx(const CvrMatrix &M, const CvrChunk &C,
         // Pull the index line two prefetch windows out so the window at
         // PfDist reads cached indices, then touch the 16 x targets for
         // the step pair at PfDist and stream the matching value lines.
-        __builtin_prefetch(Cols + (I + 2 * PfDist) * W, 0, 0);
-        const std::int32_t *Pc = Cols + (I + PfDist) * W;
-        for (int K = 0; K < 2 * W; ++K)
-          __builtin_prefetch(X + Pc[K], 0, 1);
-        __builtin_prefetch(Vals + (I + PfDist) * W, 0, 0);
-        __builtin_prefetch(Vals + (I + PfDist + 1) * W, 0, 0);
+        if constexpr (NarrowIdx) {
+          __builtin_prefetch(ColsN + (I + 2 * PfDist) * W, 0, 0);
+          const std::uint16_t *Pc = ColsN + (I + PfDist) * W;
+          for (int K = 0; K < 2 * W; ++K)
+            __builtin_prefetch(X + ColBase + Pc[K], 0, 1);
+        } else {
+          __builtin_prefetch(Cols + (I + 2 * PfDist) * W, 0, 0);
+          const std::int32_t *Pc = Cols + (I + PfDist) * W;
+          for (int K = 0; K < 2 * W; ++K)
+            __builtin_prefetch(X + Pc[K], 0, 1);
+        }
+        if constexpr (NarrowVal) {
+          __builtin_prefetch(Vals32 + (I + PfDist) * W, 0, 0);
+          __builtin_prefetch(Vals32 + (I + PfDist + 1) * W, 0, 0);
+        } else {
+          __builtin_prefetch(Vals + (I + PfDist) * W, 0, 0);
+          __builtin_prefetch(Vals + (I + PfDist + 1) * W, 0, 0);
+        }
       }
     }
 
-    // Column-index double pumping: one 16-wide int32 load per two steps.
-    if ((I & 1) == 0)
-      Cols16 = simd::VecI16::loadAligned(Cols + I * W);
+    // Column-index double pumping: one 16-wide load per two steps (int32
+    // direct, or uint16 widened + rebased onto the band).
+    if ((I & 1) == 0) {
+      if constexpr (NarrowIdx)
+        Cols16 = simd::VecI16::loadU16Widen(ColsN + I * W, ColBase);
+      else
+        Cols16 = simd::VecI16::loadAligned(Cols + I * W);
+    }
     simd::VecI8 Idx = (I & 1) ? Cols16.hi() : Cols16.lo();
 
     simd::VecD8 Xs = simd::VecD8::gather(X, Idx);
-    simd::VecD8 Vs = simd::VecD8::loadAligned(Vals + I * W);
+    simd::VecD8 Vs = NarrowVal ? simd::VecD8::loadF32Widen(Vals32 + I * W)
+                               : simd::VecD8::loadAligned(Vals + I * W);
     VOut = VOut.fmadd(Vs, Xs);
   }
 
@@ -191,13 +219,16 @@ CVR_HOT void runChunkAvx(const CvrMatrix &M, const CvrChunk &C,
 }
 
 /// Generic any-width kernel (lane-count ablation / non-AVX hosts).
-/// Accumulate and the prefetch distance are runtime parameters here: this
-/// path is not performance-critical.
+/// Accumulate, the prefetch distance, and the stream kinds are runtime
+/// parameters here: this path is not performance-critical. The compressed
+/// streams decode per element — scalar widening of uint16 deltas (plus
+/// the chunk's band base) and fp32 values, with fp64 accumulation.
 void runChunkGeneric(const CvrMatrix &M, const CvrChunk &C, const double *X,
                      double *Y, int PfDist, bool Accumulate) {
   const int W = M.lanes();
-  const double *Vals = M.vals() + C.ElemBase;
-  const std::int32_t *Cols = M.colIdx() + C.ElemBase;
+  const std::int64_t EB = C.ElemBase;
+  const std::int32_t Base = M.chunkColBase(
+      static_cast<std::size_t>(&C - M.chunks().data()));
   const CvrRecord *Recs = M.recs();
   std::int64_t RecIdx = C.RecBase;
   const std::int64_t RecEnd = C.RecEnd;
@@ -224,12 +255,13 @@ void runChunkGeneric(const CvrMatrix &M, const CvrChunk &C, const double *X,
       ++RecIdx;
     }
     if (PfDist > 0 && I + PfDist < C.NumSteps) {
-      const std::int32_t *Pc = Cols + (I + PfDist) * W;
       for (int K = 0; K < W; ++K)
-        __builtin_prefetch(X + Pc[K], 0, 1);
+        __builtin_prefetch(X + M.colAt(EB + (I + PfDist) * W + K, Base), 0,
+                           1);
     }
     for (int K = 0; K < W; ++K)
-      VOut[K] += Vals[I * W + K] * X[Cols[I * W + K]];
+      VOut[K] +=
+          M.valueAt(EB + I * W + K) * X[M.colAt(EB + I * W + K, Base)];
   }
 
   for (; RecIdx < RecEnd; ++RecIdx) {
@@ -287,16 +319,21 @@ CVR_HOT inline simd::VecD8 applyRecordsFused(simd::VecD8 VOut,
 
 /// Fused twin of runChunkAvx (no accumulate mode: blocked matrices compose
 /// instead). The streaming loop is identical; only the finalize sites
-/// differ.
-template <int PfDist>
+/// differ. NarrowIdx/NarrowVal mirror runChunkAvx's compressed-stream
+/// loads.
+template <int PfDist, bool NarrowIdx, bool NarrowVal>
 CVR_HOT void runChunkAvxFused(const CvrMatrix &M, const CvrChunk &C,
                               const double *X,
-                      double *Y, const FusedEpilogue &E, EpilogueAccum &Acc) {
+                      double *Y, const FusedEpilogue &E, EpilogueAccum &Acc,
+                      std::int32_t ColBase) {
   static_assert(PfDist % 2 == 0, "prefetch pairs with the double-pumped "
                                  "column loads, so the distance stays even");
   constexpr int W = 8;
-  const double *Vals = M.vals() + C.ElemBase;
-  const std::int32_t *Cols = M.colIdx() + C.ElemBase;
+  const double *Vals = NarrowVal ? nullptr : M.vals() + C.ElemBase;
+  const float *Vals32 = NarrowVal ? M.vals32() + C.ElemBase : nullptr;
+  const std::int32_t *Cols = NarrowIdx ? nullptr : M.colIdx() + C.ElemBase;
+  const std::uint16_t *ColsN =
+      NarrowIdx ? M.colIdx16() + C.ElemBase : nullptr;
   const CvrRecord *Recs = M.recs();
   std::int64_t RecIdx = C.RecBase;
   const std::int64_t RecEnd = C.RecEnd;
@@ -312,21 +349,38 @@ CVR_HOT void runChunkAvxFused(const CvrMatrix &M, const CvrChunk &C,
 
     if constexpr (PfDist > 0) {
       if ((I & 1) == 0 && I + PfDist + 1 < C.NumSteps) {
-        __builtin_prefetch(Cols + (I + 2 * PfDist) * W, 0, 0);
-        const std::int32_t *Pc = Cols + (I + PfDist) * W;
-        for (int K = 0; K < 2 * W; ++K)
-          __builtin_prefetch(X + Pc[K], 0, 1);
-        __builtin_prefetch(Vals + (I + PfDist) * W, 0, 0);
-        __builtin_prefetch(Vals + (I + PfDist + 1) * W, 0, 0);
+        if constexpr (NarrowIdx) {
+          __builtin_prefetch(ColsN + (I + 2 * PfDist) * W, 0, 0);
+          const std::uint16_t *Pc = ColsN + (I + PfDist) * W;
+          for (int K = 0; K < 2 * W; ++K)
+            __builtin_prefetch(X + ColBase + Pc[K], 0, 1);
+        } else {
+          __builtin_prefetch(Cols + (I + 2 * PfDist) * W, 0, 0);
+          const std::int32_t *Pc = Cols + (I + PfDist) * W;
+          for (int K = 0; K < 2 * W; ++K)
+            __builtin_prefetch(X + Pc[K], 0, 1);
+        }
+        if constexpr (NarrowVal) {
+          __builtin_prefetch(Vals32 + (I + PfDist) * W, 0, 0);
+          __builtin_prefetch(Vals32 + (I + PfDist + 1) * W, 0, 0);
+        } else {
+          __builtin_prefetch(Vals + (I + PfDist) * W, 0, 0);
+          __builtin_prefetch(Vals + (I + PfDist + 1) * W, 0, 0);
+        }
       }
     }
 
-    if ((I & 1) == 0)
-      Cols16 = simd::VecI16::loadAligned(Cols + I * W);
+    if ((I & 1) == 0) {
+      if constexpr (NarrowIdx)
+        Cols16 = simd::VecI16::loadU16Widen(ColsN + I * W, ColBase);
+      else
+        Cols16 = simd::VecI16::loadAligned(Cols + I * W);
+    }
     simd::VecI8 Idx = (I & 1) ? Cols16.hi() : Cols16.lo();
 
     simd::VecD8 Xs = simd::VecD8::gather(X, Idx);
-    simd::VecD8 Vs = simd::VecD8::loadAligned(Vals + I * W);
+    simd::VecD8 Vs = NarrowVal ? simd::VecD8::loadF32Widen(Vals32 + I * W)
+                               : simd::VecD8::loadAligned(Vals + I * W);
     VOut = VOut.fmadd(Vs, Xs);
   }
 
@@ -349,13 +403,15 @@ CVR_HOT void runChunkAvxFused(const CvrMatrix &M, const CvrChunk &C,
   }
 }
 
-/// Fused twin of runChunkGeneric (any lane width, runtime prefetch).
+/// Fused twin of runChunkGeneric (any lane width, runtime prefetch, and
+/// runtime stream-kind decode like runChunkGeneric).
 void runChunkGenericFused(const CvrMatrix &M, const CvrChunk &C,
                           const double *X, double *Y, int PfDist,
                           const FusedEpilogue &E, EpilogueAccum &Acc) {
   const int W = M.lanes();
-  const double *Vals = M.vals() + C.ElemBase;
-  const std::int32_t *Cols = M.colIdx() + C.ElemBase;
+  const std::int64_t EB = C.ElemBase;
+  const std::int32_t Base = M.chunkColBase(
+      static_cast<std::size_t>(&C - M.chunks().data()));
   const CvrRecord *Recs = M.recs();
   std::int64_t RecIdx = C.RecBase;
   const std::int64_t RecEnd = C.RecEnd;
@@ -384,12 +440,13 @@ void runChunkGenericFused(const CvrMatrix &M, const CvrChunk &C,
       ++RecIdx;
     }
     if (PfDist > 0 && I + PfDist < C.NumSteps) {
-      const std::int32_t *Pc = Cols + (I + PfDist) * W;
       for (int K = 0; K < W; ++K)
-        __builtin_prefetch(X + Pc[K], 0, 1);
+        __builtin_prefetch(X + M.colAt(EB + (I + PfDist) * W + K, Base), 0,
+                           1);
     }
     for (int K = 0; K < W; ++K)
-      VOut[K] += Vals[I * W + K] * X[Cols[I * W + K]];
+      VOut[K] +=
+          M.valueAt(EB + I * W + K) * X[M.colAt(EB + I * W + K, Base)];
   }
 
   for (; RecIdx < RecEnd; ++RecIdx) {
@@ -411,6 +468,32 @@ void runChunkGenericFused(const CvrMatrix &M, const CvrChunk &C,
   }
 }
 
+/// Band base of \p C, for the narrow-index kernels (0 otherwise).
+std::int32_t chunkBase(const CvrMatrix &M, const CvrChunk &C) {
+  return M.chunkColBase(static_cast<std::size_t>(&C - M.chunks().data()));
+}
+
+/// Prefetch-distance dispatch for one fused (kind-resolved) instantiation.
+template <bool NarrowIdx, bool NarrowVal>
+void runChunkAvxFusedPf(const CvrMatrix &M, const CvrChunk &C,
+                        const double *X, double *Y, const FusedEpilogue &E,
+                        EpilogueAccum &Acc, int PfDist, std::int32_t Base) {
+  switch (PfDist) {
+  case 2:
+    runChunkAvxFused<2, NarrowIdx, NarrowVal>(M, C, X, Y, E, Acc, Base);
+    break;
+  case 4:
+    runChunkAvxFused<4, NarrowIdx, NarrowVal>(M, C, X, Y, E, Acc, Base);
+    break;
+  case 8:
+    runChunkAvxFused<8, NarrowIdx, NarrowVal>(M, C, X, Y, E, Acc, Base);
+    break;
+  default:
+    runChunkAvxFused<0, NarrowIdx, NarrowVal>(M, C, X, Y, E, Acc, Base);
+    break;
+  }
+}
+
 /// Dispatches one chunk of the fused path.
 void runChunkFused(const CvrMatrix &M, const CvrChunk &C, const double *X,
                    double *Y, const FusedEpilogue &E, EpilogueAccum &Acc,
@@ -419,18 +502,39 @@ void runChunkFused(const CvrMatrix &M, const CvrChunk &C, const double *X,
     runChunkGenericFused(M, C, X, Y, PfDist, E, Acc);
     return;
   }
+  const std::int32_t Base = chunkBase(M, C);
+  const bool NI = M.colIndexKind() == ColIndexKind::U16Band;
+  const bool NV = M.valueKind() == ValueKind::F32x64;
+  if (NI) {
+    if (NV)
+      runChunkAvxFusedPf<true, true>(M, C, X, Y, E, Acc, PfDist, Base);
+    else
+      runChunkAvxFusedPf<true, false>(M, C, X, Y, E, Acc, PfDist, Base);
+  } else {
+    if (NV)
+      runChunkAvxFusedPf<false, true>(M, C, X, Y, E, Acc, PfDist, Base);
+    else
+      runChunkAvxFusedPf<false, false>(M, C, X, Y, E, Acc, PfDist, Base);
+  }
+}
+
+/// Prefetch-distance dispatch for one unfused (kind-resolved)
+/// instantiation.
+template <bool Accumulate, bool NarrowIdx, bool NarrowVal>
+void runChunkAvxPf(const CvrMatrix &M, const CvrChunk &C, const double *X,
+                   double *Y, int PfDist, std::int32_t Base) {
   switch (PfDist) {
   case 2:
-    runChunkAvxFused<2>(M, C, X, Y, E, Acc);
+    runChunkAvx<2, Accumulate, NarrowIdx, NarrowVal>(M, C, X, Y, Base);
     break;
   case 4:
-    runChunkAvxFused<4>(M, C, X, Y, E, Acc);
+    runChunkAvx<4, Accumulate, NarrowIdx, NarrowVal>(M, C, X, Y, Base);
     break;
   case 8:
-    runChunkAvxFused<8>(M, C, X, Y, E, Acc);
+    runChunkAvx<8, Accumulate, NarrowIdx, NarrowVal>(M, C, X, Y, Base);
     break;
   default:
-    runChunkAvxFused<0>(M, C, X, Y, E, Acc);
+    runChunkAvx<0, Accumulate, NarrowIdx, NarrowVal>(M, C, X, Y, Base);
     break;
   }
 }
@@ -444,19 +548,19 @@ void runChunk(const CvrMatrix &M, const CvrChunk &C, const double *X,
     runChunkGeneric(M, C, X, Y, PfDist, Accumulate);
     return;
   }
-  switch (PfDist) {
-  case 2:
-    runChunkAvx<2, Accumulate>(M, C, X, Y);
-    break;
-  case 4:
-    runChunkAvx<4, Accumulate>(M, C, X, Y);
-    break;
-  case 8:
-    runChunkAvx<8, Accumulate>(M, C, X, Y);
-    break;
-  default:
-    runChunkAvx<0, Accumulate>(M, C, X, Y);
-    break;
+  const std::int32_t Base = chunkBase(M, C);
+  const bool NI = M.colIndexKind() == ColIndexKind::U16Band;
+  const bool NV = M.valueKind() == ValueKind::F32x64;
+  if (NI) {
+    if (NV)
+      runChunkAvxPf<Accumulate, true, true>(M, C, X, Y, PfDist, Base);
+    else
+      runChunkAvxPf<Accumulate, true, false>(M, C, X, Y, PfDist, Base);
+  } else {
+    if (NV)
+      runChunkAvxPf<Accumulate, false, true>(M, C, X, Y, PfDist, Base);
+    else
+      runChunkAvxPf<Accumulate, false, false>(M, C, X, Y, PfDist, Base);
   }
 }
 
@@ -660,12 +764,26 @@ bool CvrKernel::traceRun(MemAccessSink &Sink, const double *X,
     }
   }
 
+  // Stream element widths by kind: the compressed streams read 2-byte
+  // index deltas / 4-byte fp32 values, which is exactly the traffic
+  // reduction the roofline model predicts.
+  const std::size_t IdxB = M.indexBytes();
+  const std::size_t ValB = M.valueBytes();
   std::vector<double> TResult(W), VOut(W);
   for (const CvrChunk &C : M.chunks()) {
     std::fill(TResult.begin(), TResult.end(), 0.0);
     std::fill(VOut.begin(), VOut.end(), 0.0);
-    const double *Vals = M.vals() + C.ElemBase;
-    const std::int32_t *Cols = M.colIdx() + C.ElemBase;
+    const std::int64_t EB = C.ElemBase;
+    const std::int32_t Base = M.chunkColBase(
+        static_cast<std::size_t>(&C - M.chunks().data()));
+    const char *ColsP =
+        M.colIndexKind() == ColIndexKind::U16Band
+            ? reinterpret_cast<const char *>(M.colIdx16() + EB)
+            : reinterpret_cast<const char *>(M.colIdx() + EB);
+    const char *ValsP =
+        M.valueKind() == ValueKind::F32x64
+            ? reinterpret_cast<const char *>(M.vals32() + EB)
+            : reinterpret_cast<const char *>(M.vals() + EB);
     std::int64_t RecIdx = C.RecBase;
 
     auto Flush = [&](std::int32_t Row, double V, bool Shared) {
@@ -692,18 +810,20 @@ bool CvrKernel::traceRun(MemAccessSink &Sink, const double *X,
     for (std::int64_t I = 0; I < C.NumSteps; ++I) {
       while (RecIdx < C.RecEnd && M.recs()[RecIdx].Pos < (I + 1) * W)
         ApplyRec(M.recs()[RecIdx++]);
-      // Column indices are double-pumped at width 8: one 64 B load per two
-      // steps (the step count is padded even, so both steps exist).
+      // Column indices are double-pumped at width 8: one load of 16
+      // indices per two steps (the step count is padded even, so both
+      // steps exist).
       if (W == 8) {
         if ((I & 1) == 0)
-          Sink.read(Cols + I * W, 16 * sizeof(std::int32_t));
+          Sink.read(ColsP + I * W * IdxB, 16 * IdxB);
       } else {
-        Sink.read(Cols + I * W, W * sizeof(std::int32_t));
+        Sink.read(ColsP + I * W * IdxB, W * IdxB);
       }
-      Sink.read(Vals + I * W, W * sizeof(double));
+      Sink.read(ValsP + I * W * ValB, W * ValB);
       for (int K = 0; K < W; ++K) {
-        Sink.read(X + Cols[I * W + K], sizeof(double));
-        VOut[K] += Vals[I * W + K] * X[Cols[I * W + K]];
+        std::int32_t Col = M.colAt(EB + I * W + K, Base);
+        Sink.read(X + Col, sizeof(double));
+        VOut[K] += M.valueAt(EB + I * W + K) * X[Col];
       }
     }
     while (RecIdx < C.RecEnd)
@@ -745,14 +865,25 @@ bool CvrKernel::traceRunFused(MemAccessSink &Sink, const double *X,
   // Serial sweep in chunk order; per-chunk accumulators merged in the same
   // order cvrSpmvFused uses, so the traced accumulators match runFused bit
   // for bit.
+  const std::size_t IdxB = M.indexBytes();
+  const std::size_t ValB = M.valueBytes();
   EpilogueAccum Total;
   std::vector<double> TResult(W), VOut(W);
   for (const CvrChunk &C : M.chunks()) {
     EpilogueAccum Acc;
     std::fill(TResult.begin(), TResult.end(), 0.0);
     std::fill(VOut.begin(), VOut.end(), 0.0);
-    const double *Vals = M.vals() + C.ElemBase;
-    const std::int32_t *Cols = M.colIdx() + C.ElemBase;
+    const std::int64_t EB = C.ElemBase;
+    const std::int32_t Base = M.chunkColBase(
+        static_cast<std::size_t>(&C - M.chunks().data()));
+    const char *ColsP =
+        M.colIndexKind() == ColIndexKind::U16Band
+            ? reinterpret_cast<const char *>(M.colIdx16() + EB)
+            : reinterpret_cast<const char *>(M.colIdx() + EB);
+    const char *ValsP =
+        M.valueKind() == ValueKind::F32x64
+            ? reinterpret_cast<const char *>(M.vals32() + EB)
+            : reinterpret_cast<const char *>(M.vals() + EB);
     std::int64_t RecIdx = C.RecBase;
 
     // Exclusive rows take the epilogue on the register-resident value: one
@@ -785,14 +916,15 @@ bool CvrKernel::traceRunFused(MemAccessSink &Sink, const double *X,
         ApplyRec(M.recs()[RecIdx++]);
       if (W == 8) {
         if ((I & 1) == 0)
-          Sink.read(Cols + I * W, 16 * sizeof(std::int32_t));
+          Sink.read(ColsP + I * W * IdxB, 16 * IdxB);
       } else {
-        Sink.read(Cols + I * W, W * sizeof(std::int32_t));
+        Sink.read(ColsP + I * W * IdxB, W * IdxB);
       }
-      Sink.read(Vals + I * W, W * sizeof(double));
+      Sink.read(ValsP + I * W * ValB, W * ValB);
       for (int K = 0; K < W; ++K) {
-        Sink.read(X + Cols[I * W + K], sizeof(double));
-        VOut[K] += Vals[I * W + K] * X[Cols[I * W + K]];
+        std::int32_t Col = M.colAt(EB + I * W + K, Base);
+        Sink.read(X + Col, sizeof(double));
+        VOut[K] += M.valueAt(EB + I * W + K) * X[Col];
       }
     }
     while (RecIdx < C.RecEnd)

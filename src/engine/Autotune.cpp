@@ -6,6 +6,7 @@
 
 #include "engine/Autotune.h"
 
+#include "analysis/Roofline.h"
 #include "cachesim/LocalityProbe.h"
 #include "core/CvrSpmm.h"
 #include "core/CvrSpmv.h"
@@ -66,6 +67,8 @@ CvrOptions CvrPlan::toOptions(int NumThreads) const {
   Opts.ColBlockBytes = ColBlockBytes;
   Opts.PrefetchDistance = PrefetchDistance;
   Opts.RhsBlock = RhsBlock;
+  Opts.Values = Values;
+  Opts.Indices = Indices;
   return Opts;
 }
 
@@ -80,6 +83,10 @@ std::string CvrPlan::describe() const {
   S += " mult=" + std::to_string(ChunkMultiplier);
   if (RhsBlock != 8) // Only SpMM-tuned plans deviate from the full block.
     S += " rhs=" + std::to_string(RhsBlock);
+  if (Indices == ColIndexKind::U16Band)
+    S += " idx=u16";
+  if (Values == ValueKind::F32x64)
+    S += " val=f32x64";
   return S;
 }
 
@@ -279,6 +286,58 @@ StatusOr<AutotuneResult> tryAutotuneCvr(const CsrMatrix &A,
       Builds.push_back(std::move(B));
     }
   }
+  //===--------------------------------------------------------------------===
+  // Stream-compression axis, pre-filtered by the bandwidth roofline: a
+  // narrower stream is only worth a conversion (and timed iterations) when
+  // the bytes it halves are a meaningful share of the predicted per-
+  // iteration traffic. U16Band additionally needs every band to fit the
+  // uint16 delta range — a candidate that would fall back just duplicates
+  // its u32 twin. The axis is explored on the multiplier-1 builds only;
+  // stream width and over-decomposition are independent knobs.
+  //===--------------------------------------------------------------------===
+  {
+    std::vector<CvrPlan> Variants;
+    for (const Build &B : Builds) {
+      if (B.Base.ChunkMultiplier != 1)
+        continue;
+      const analysis::RooflinePrediction RP = analysis::predictCvr(B.M);
+      if (RP.TotalBytes <= 0.0)
+        continue;
+      const std::int64_t BandCols = B.Base.ColBlockBytes > 0
+                                        ? B.Base.ColBlockBytes / 8
+                                        : A.numCols();
+      const bool U16Pays = BandCols <= 65536 &&
+                           RP.IndexBytes * 0.5 >= 0.02 * RP.TotalBytes;
+      const bool F32Pays = Opts.AllowMixedPrecision &&
+                           RP.ValueBytes * 0.5 >= 0.02 * RP.TotalBytes;
+      if (U16Pays) {
+        CvrPlan P = B.Base;
+        P.Indices = ColIndexKind::U16Band;
+        Variants.push_back(P);
+      }
+      if (F32Pays) {
+        CvrPlan P = B.Base;
+        P.Values = ValueKind::F32x64;
+        Variants.push_back(P);
+        if (U16Pays) {
+          P.Indices = ColIndexKind::U16Band;
+          Variants.push_back(P);
+        }
+      }
+    }
+    for (const CvrPlan &P : Variants) {
+      if (Res.TimedOut || (Res.TimedOut = overBudget()))
+        break;
+      StatusOr<CvrMatrix> MB = CvrMatrix::tryFromCsr(A, P.toOptions(Threads));
+      if (!MB.ok())
+        continue; // The u32/f64 twin is already in the field.
+      Build B;
+      B.Base = P;
+      B.M = std::move(*MB);
+      Builds.push_back(std::move(B));
+    }
+  }
+
   if (obs::telemetryEnabled()) {
     static obs::Counter &Candidates = obs::counter("tune.candidates_built");
     Candidates.add(static_cast<std::int64_t>(Builds.size()));
@@ -410,8 +469,12 @@ StatusOr<AutotuneResult> tryAutotuneCvr(const CsrMatrix &A,
   std::size_t WinIdx = 0;
   auto Complexity = [&](const Combo &C) {
     const CvrPlan &P = Builds[C.BuildIdx].Base;
-    return (P.ColBlockBytes > 0 ? 1000 : 0) + P.ChunkMultiplier * 10 +
-           (C.Rhs != 8 ? 2 : 0) + (C.Pf > 0 ? 1 : 0);
+    // Mixed precision perturbs numerics, so it must beat the noise band
+    // outright; narrow indices are lossless and cost only a tie-break.
+    return (P.Values != ValueKind::F64 ? 5000 : 0) +
+           (P.ColBlockBytes > 0 ? 1000 : 0) + P.ChunkMultiplier * 10 +
+           (P.Indices != ColIndexKind::U32 ? 3 : 0) + (C.Rhs != 8 ? 2 : 0) +
+           (C.Pf > 0 ? 1 : 0);
   };
   for (std::size_t I = 1; I < Combos.size(); ++I) {
     if (Combos[I].Best > Combos[0].Best * 1.02)

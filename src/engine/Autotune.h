@@ -16,7 +16,10 @@
 ///    decides whether x-blocking is worth trying at all and which band
 ///    width to try;
 ///  2. the build configurations {chunk multiplier} x {unblocked, blocked}
-///    are timed at prefetch distance 0;
+///    are timed at prefetch distance 0, plus stream-compression variants
+///    (u16 band indices; fp32 values when opted in) that the bandwidth
+///    roofline (analysis/Roofline.h) predicts will cut enough bytes to
+///    matter;
 ///  3. the prefetch distances {2, 4, 8} are timed only for the best
 ///    surviving configurations;
 ///  4. the finalists are re-timed to de-noise the pick.
@@ -45,18 +48,26 @@ struct CvrPlan {
   std::int64_t ColBlockBytes = 0; ///< 0 disables x-blocking.
   int ChunkMultiplier = 1;        ///< Chunks per thread.
   int RhsBlock = 8;               ///< SpMM panel columns per pass, {4, 8}.
+  /// Stream-compression axes (see DESIGN.md section 17). U16Band is
+  /// lossless and searched by default when the roofline pre-filter says the
+  /// index stream is worth shrinking; F32x64 changes numerics and is only
+  /// searched behind AutotuneOptions::AllowMixedPrecision.
+  ValueKind Values = ValueKind::F64;
+  ColIndexKind Indices = ColIndexKind::U32;
 
   /// Conversion options realizing this plan for \p NumThreads threads.
   CvrOptions toOptions(int NumThreads) const;
 
   /// Human-readable one-liner, e.g. "pf=4 block=512KiB mult=2" (plans
-  /// tuned for SpMM append " rhs=4" when the narrow register block won).
+  /// tuned for SpMM append " rhs=4" when the narrow register block won;
+  /// compressed streams append " idx=u16" / " val=f32x64").
   std::string describe() const;
 
   bool operator==(const CvrPlan &O) const {
     return PrefetchDistance == O.PrefetchDistance &&
            ColBlockBytes == O.ColBlockBytes &&
-           ChunkMultiplier == O.ChunkMultiplier && RhsBlock == O.RhsBlock;
+           ChunkMultiplier == O.ChunkMultiplier && RhsBlock == O.RhsBlock &&
+           Values == O.Values && Indices == O.Indices;
   }
 };
 
@@ -80,6 +91,11 @@ struct AutotuneOptions {
   /// {8, 4}). Plans are cached separately per panel width — a plan tuned
   /// for K=8 panels says nothing about single-vector runs.
   int PanelWidth = 0;
+  /// Admit ValueKind::F32x64 candidates into the search. Off by default:
+  /// storing values as fp32 perturbs results by the rounding of each
+  /// stored coefficient, so callers must opt in (typically solver loops
+  /// that pair it with iterative refinement — see SolverOptions).
+  bool AllowMixedPrecision = false;
 };
 
 /// What the tuner found.

@@ -72,6 +72,17 @@ struct VecI16 {
     return {_mm512_load_si512(reinterpret_cast<const void *>(P))};
   }
 
+  /// Loads 16 band-local uint16 indices, widens them to int32
+  /// (_mm512_cvtepu16_epi32), and rebases them onto the owning column
+  /// band by adding \p Base to every lane — the compressed-index twin of
+  /// loadAligned, feeding the same two gather steps.
+  static VecI16 loadU16Widen(const std::uint16_t *P, std::int32_t Base) {
+    __m256i Raw =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i *>(P));
+    return {_mm512_add_epi32(_mm512_cvtepu16_epi32(Raw),
+                             _mm512_set1_epi32(Base))};
+  }
+
   /// Lower 8 indices.
   VecI8 lo() const { return {_mm512_castsi512_si256(Reg)}; }
 
@@ -89,6 +100,14 @@ struct VecD8 {
 
   /// Loads 8 doubles from 64-byte aligned memory.
   static VecD8 loadAligned(const double *P) { return {_mm512_load_pd(P)}; }
+
+  /// Loads 8 fp32 stream values and widens them to fp64
+  /// (_mm256_loadu_ps + _mm512_cvtps_pd): the mixed-precision value-stream
+  /// load — half the stream bytes of loadAligned, full-precision
+  /// accumulation downstream.
+  static VecD8 loadF32Widen(const float *P) {
+    return {_mm512_cvtps_pd(_mm256_loadu_ps(P))};
+  }
 
   /// Loads 8 doubles from unaligned memory. Dense panel rows are only as
   /// aligned as the caller's leading dimension allows, so the SpMM kernels
@@ -191,6 +210,13 @@ struct VecI16 {
     return V;
   }
 
+  static VecI16 loadU16Widen(const std::uint16_t *P, std::int32_t Base) {
+    VecI16 V;
+    for (int K = 0; K < 16; ++K)
+      V.Lane[K] = Base + static_cast<std::int32_t>(P[K]);
+    return V;
+  }
+
   VecI8 lo() const {
     VecI8 V;
     std::memcpy(V.Lane, Lane, sizeof(V.Lane));
@@ -222,6 +248,13 @@ struct VecD8 {
   static VecD8 loadAligned(const double *P) {
     VecD8 V;
     std::memcpy(V.Lane, P, sizeof(V.Lane));
+    return V;
+  }
+
+  static VecD8 loadF32Widen(const float *P) {
+    VecD8 V;
+    for (int K = 0; K < 8; ++K)
+      V.Lane[K] = static_cast<double>(P[K]);
     return V;
   }
 

@@ -55,6 +55,20 @@ struct SolverOptions {
   /// trajectories differ only by floating-point reassociation (CG
   /// additionally tracks ||r||^2 by recurrence on the fused path).
   bool Fused = true;
+  /// Iterative-refinement backing for reduced-precision kernels (the
+  /// ValueKind::F32x64 value stream, DESIGN.md section 17). When non-null,
+  /// conjugateGradient and biCgStab wrap the solve in outer refinement
+  /// passes: the inner solve runs on the (possibly fp32-valued) primary
+  /// kernel to a stall floor of max(Tolerance, 1e-6), then the true
+  /// residual r = b - A x is recomputed through this full-precision kernel
+  /// and a correction solve A d = r sharpens x. Each pass recovers the
+  /// digits the narrow value stream rounded away, so the refined solve
+  /// reaches the same Tolerance an all-fp64 solve would. Must be prepared
+  /// on the same matrix as the primary kernel; ignored by the other
+  /// solvers.
+  const SpmvKernel *RefinementKernel = nullptr;
+  /// Outer refinement passes allowed when RefinementKernel is set.
+  int MaxRefinements = 4;
 };
 
 /// Conjugate gradient for symmetric positive-definite A: solves A x = b.

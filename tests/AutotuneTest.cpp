@@ -147,6 +147,38 @@ TEST(Autotune, DescribeAndL2Detection) {
   P.ColBlockBytes = 512 * 1024;
   P.ChunkMultiplier = 2;
   EXPECT_EQ(P.describe(), "pf=4 block=512KiB mult=2");
+  P.Indices = ColIndexKind::U16Band;
+  EXPECT_EQ(P.describe(), "pf=4 block=512KiB mult=2 idx=u16");
+  P.Values = ValueKind::F32x64;
+  EXPECT_EQ(P.describe(), "pf=4 block=512KiB mult=2 idx=u16 val=f32x64");
+}
+
+TEST(Autotune, MixedPrecisionStaysBehindItsOptIn) {
+  // The fp32 value stream perturbs results, so the search may only
+  // commission it when the caller said so; the lossless u16 axis needs
+  // no opt-in. Either way the winning plan must compute a correct SpMV.
+  CsrMatrix A = randomCsr(400, 400, 0.05, 33);
+  std::vector<double> X = randomVector(A.numCols(), 5);
+  std::vector<double> Ref = referenceSpmv(A, X);
+
+  AutotuneOptions Opts;
+  Opts.NumThreads = 2;
+  Opts.UseCache = false;
+  AutotuneResult R = autotuneCvr(A, Opts);
+  EXPECT_EQ(R.Plan.Values, ValueKind::F64);
+
+  Opts.AllowMixedPrecision = true;
+  AutotuneResult R2 = autotuneCvr(A, Opts);
+  CvrOptions Build = R2.Plan.toOptions(2);
+  EXPECT_EQ(Build.Values, R2.Plan.Values);
+  EXPECT_EQ(Build.Indices, R2.Plan.Indices);
+  CvrKernel K(Build);
+  ASSERT_TRUE(K.prepareStatus(A).ok());
+  std::vector<double> Y(static_cast<std::size_t>(A.numRows()), -2.0);
+  K.run(X.data(), Y.data());
+  const double Tol =
+      R2.Plan.Values == ValueKind::F32x64 ? 5e-4 : SpmvTolerance;
+  EXPECT_LE(maxRelDiff(Ref, Y), Tol) << R2.Plan.describe();
 }
 
 TEST(TunedCvrKernel, MatchesReferenceOnVariedStructures) {

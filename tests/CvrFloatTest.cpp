@@ -118,6 +118,25 @@ TEST(CvrFloat, NonDefaultLaneWidths) {
   }
 }
 
+TEST(CvrFloat, ColBlockBytesRejectedRecoverably) {
+  // The f32 pipeline has no column blocking; asking for it must come back
+  // as INVALID_ARGUMENT through tryFromCsr (not an assert), and the
+  // message must point at the supported alternative.
+  CsrMatrix A = genStencil5(8, 8);
+  CvrOptionsF Opts;
+  Opts.ColBlockBytes = 256 * 1024;
+  StatusOr<CvrMatrixF> R = CvrMatrixF::tryFromCsr(A, Opts);
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.status().code(), StatusCode::InvalidArgument);
+  EXPECT_NE(R.status().message().find("ColBlockBytes"), std::string::npos);
+  EXPECT_NE(R.status().message().find("F32x64"), std::string::npos);
+
+  Opts.ColBlockBytes = 0;
+  StatusOr<CvrMatrixF> Ok = CvrMatrixF::tryFromCsr(A, Opts);
+  ASSERT_TRUE(Ok.ok()) << Ok.status().toString();
+  EXPECT_EQ(Ok->numNonZeros(), A.numNonZeros());
+}
+
 TEST(CvrFloat, HalfTheFormatBytesOfF64) {
   CsrMatrix A = genStencil27(10, 10, 10);
   CvrMatrixF F = CvrMatrixF::fromCsr(A);

@@ -19,6 +19,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/CheckedKernel.h"
+#include "core/CvrSpmv.h"
 #include "formats/FusedEpilogue.h"
 #include "formats/Registry.h"
 #include "solvers/Solvers.h"
@@ -31,6 +32,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <sstream>
 
 namespace cvr {
 namespace {
@@ -391,6 +393,143 @@ TEST_P(FusedTrajectoryFuzz, FusedAndUnfusedSolversAgree) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FusedTrajectoryFuzz,
                          ::testing::Range(0, 10));
+
+//===----------------------------------------------------------------------===//
+// Compressed-stream axis: every ValueKind x ColIndexKind combination, both
+// unblocked and column-blocked, must agree with the scalar reference. The
+// f32x64 value stream rounds each coefficient once to f32 and accumulates
+// in f64, so its agreement bound is single-precision relative, not the f64
+// SpmvTolerance.
+//===----------------------------------------------------------------------===//
+
+/// Agreement bound for a kind combination: f64 values keep the exact f64
+/// differential tolerance; f32 storage admits one f32 rounding per
+/// coefficient (DESIGN.md section 17).
+double kindTolerance(ValueKind VK) {
+  return VK == ValueKind::F32x64 ? 1e-4 : SpmvTolerance;
+}
+
+class CompressedStreamFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(CompressedStreamFuzz, EveryKindCombinationMatchesReference) {
+  std::uint64_t Seed = 553000 + GetParam();
+  CsrMatrix A = fuzzMatrix(Seed);
+  std::vector<double> X =
+      randomVector(static_cast<std::size_t>(A.numCols()), Seed ^ 0xC0DE);
+  std::vector<double> Expected = referenceSpmv(A, X);
+
+  Xoshiro256 Rng(Seed ^ 0x2468);
+  int Threads = static_cast<int>(1 + Rng.nextBounded(5));
+
+  for (std::int64_t BlockBytes : {std::int64_t(0), std::int64_t(1024)}) {
+    for (ValueKind VK : {ValueKind::F64, ValueKind::F32x64}) {
+      for (ColIndexKind IK : {ColIndexKind::U32, ColIndexKind::U16Band}) {
+        CvrOptions Opts;
+        Opts.Lanes = 8;
+        Opts.NumThreads = Threads;
+        Opts.ColBlockBytes = BlockBytes;
+        Opts.Values = VK;
+        Opts.Indices = IK;
+        StatusOr<CvrMatrix> M = CvrMatrix::tryFromCsr(A, Opts);
+        const std::string Where =
+            "seed " + std::to_string(Seed) + " block " +
+            std::to_string(BlockBytes) + " vk " +
+            std::to_string(static_cast<int>(VK)) + " ik " +
+            std::to_string(static_cast<int>(IK));
+        ASSERT_TRUE(M.ok()) << Where << ": " << M.status().toString();
+        ASSERT_TRUE(M->isValid()) << Where;
+
+        // Every fuzz shape is far below the u16 band ceiling, so a narrow
+        // request must be honored, never silently widened.
+        if (IK == ColIndexKind::U16Band) {
+          EXPECT_EQ(M->colIndexKind(), ColIndexKind::U16Band) << Where;
+          EXPECT_FALSE(M->narrowIndexFallback()) << Where;
+          EXPECT_EQ(M->colIdx(), nullptr) << Where;
+        }
+        if (VK == ValueKind::F32x64)
+          EXPECT_EQ(M->vals(), nullptr) << Where;
+
+        // Structural sweep: the invariant checker decodes the compressed
+        // streams through the same accessors the kernels use.
+        std::vector<analysis::Violation> Vs =
+            analysis::InvariantChecker::checkCvr(*M);
+        EXPECT_TRUE(Vs.empty())
+            << Where << ":\n" << analysis::formatViolations(Vs);
+
+        for (int Pf : {0, 4}) {
+          std::vector<double> Y(static_cast<std::size_t>(A.numRows()), 0.5);
+          cvrSpmv(*M, X.data(), Y.data(), Pf);
+          EXPECT_LE(maxRelDiff(Expected, Y), kindTolerance(VK))
+              << Where << " pf " << Pf;
+        }
+
+        // Fused path (blocked matrices compose internally).
+        std::vector<double> Z =
+            randomVector(static_cast<std::size_t>(A.numRows()), Seed ^ 0x33);
+        FusedEpilogue E = FusedEpilogue::dot(true, false, Z.data());
+        std::vector<double> YF(static_cast<std::size_t>(A.numRows()), 0.5);
+        cvrSpmvFused(*M, X.data(), YF.data(), E);
+        EXPECT_LE(maxRelDiff(Expected, YF), kindTolerance(VK)) << Where;
+
+        // Serialization: both layouts round-trip the compressed streams.
+        std::ostringstream OS;
+        ASSERT_TRUE(M->writeBlob(OS).ok()) << Where;
+        std::istringstream IS(OS.str());
+        StatusOr<CvrMatrix> R = CvrMatrix::readBlob(IS);
+        ASSERT_TRUE(R.ok()) << Where << ": " << R.status().toString();
+        EXPECT_EQ(R->valueKind(), M->valueKind()) << Where;
+        EXPECT_EQ(R->colIndexKind(), M->colIndexKind()) << Where;
+        std::vector<double> YR(static_cast<std::size_t>(A.numRows()), 0.5);
+        cvrSpmv(*R, X.data(), YR.data());
+        EXPECT_LE(maxRelDiff(Expected, YR), kindTolerance(VK)) << Where;
+      }
+    }
+  }
+}
+
+TEST_P(CompressedStreamFuzz, WideBandFallsBackToU32Checked) {
+  // A band wider than 65536 columns cannot express its deltas in u16; the
+  // converter must fall back to u32 explicitly (flag set, kind unchanged)
+  // and the result must stay correct.
+  std::uint64_t Seed = 554000 + GetParam();
+  Xoshiro256 Rng(Seed);
+  const std::int32_t Rows = 48;
+  const std::int32_t Cols = 70000; // > 65536: unblocked width overflows u16.
+  CooMatrix Coo(Rows, Cols);
+  for (std::int32_t R = 0; R < Rows; ++R)
+    for (int K = 0; K < 40; ++K)
+      Coo.add(R, static_cast<std::int32_t>(Rng.nextBounded(Cols)),
+              Rng.nextDouble(-2.0, 2.0));
+  CsrMatrix A = CsrMatrix::fromCoo(Coo);
+  std::vector<double> X =
+      randomVector(static_cast<std::size_t>(Cols), Seed ^ 0xFA11);
+  std::vector<double> Expected = referenceSpmv(A, X);
+
+  CvrOptions Opts;
+  Opts.Lanes = 8;
+  Opts.NumThreads = 2;
+  Opts.Indices = ColIndexKind::U16Band;
+  StatusOr<CvrMatrix> Wide = CvrMatrix::tryFromCsr(A, Opts);
+  ASSERT_TRUE(Wide.ok()) << Wide.status().toString();
+  EXPECT_EQ(Wide->colIndexKind(), ColIndexKind::U32);
+  EXPECT_TRUE(Wide->narrowIndexFallback());
+  std::vector<double> Y(static_cast<std::size_t>(Rows), 0.5);
+  cvrSpmv(*Wide, X.data(), Y.data());
+  EXPECT_LE(maxRelDiff(Expected, Y), SpmvTolerance);
+
+  // The same matrix under column blocking has narrow bands, so the same
+  // request succeeds without fallback.
+  Opts.ColBlockBytes = 64 * 1024; // 8192-column bands.
+  StatusOr<CvrMatrix> Banded = CvrMatrix::tryFromCsr(A, Opts);
+  ASSERT_TRUE(Banded.ok()) << Banded.status().toString();
+  EXPECT_EQ(Banded->colIndexKind(), ColIndexKind::U16Band);
+  EXPECT_FALSE(Banded->narrowIndexFallback());
+  std::vector<double> Yb(static_cast<std::size_t>(Rows), 0.5);
+  cvrSpmv(*Banded, X.data(), Yb.data());
+  EXPECT_LE(maxRelDiff(Expected, Yb), SpmvTolerance);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompressedStreamFuzz, ::testing::Range(0, 8));
 
 } // namespace
 } // namespace cvr

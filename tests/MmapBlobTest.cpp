@@ -191,11 +191,11 @@ TEST(MmapBlobTest, EveryBitflipRejected) {
 TEST(MmapBlobTest, NonzeroPadByteRejected) {
   BlobFixture F = makeBlob(24, 24, 0.2, 29);
   AlignedImage Img(F.Blob);
-  // First section: magic(4) + version(4) + header(25) + headerCrc(4) = 37,
-  // then u64 count and the u8 padLen at offset 45; its pad bytes start at
-  // 46 and must run to the next 64-byte boundary, so at least one exists.
-  ASSERT_GT(static_cast<unsigned>(Img.Base[45]), 0u);
-  Img.Base[46] = 1;
+  // First section: magic(4) + version(4) + header(27) + headerCrc(4) = 39,
+  // then u64 count and the u8 padLen at offset 47; its pad bytes start at
+  // 48 and must run to the next 64-byte boundary, so at least one exists.
+  ASSERT_GT(static_cast<unsigned>(Img.Base[47]), 0u);
+  Img.Base[48] = 1;
   StatusOr<CvrMatrix> R = CvrMatrix::mapBlob(Img.Base, Img.Size);
   ASSERT_FALSE(R.ok());
   EXPECT_EQ(R.status().code(), StatusCode::DataLoss);

@@ -25,10 +25,10 @@
 namespace cvr {
 namespace {
 
-// v3 fixed offsets: magic[0,4) version[4,8) header[8,33) crc[33,37).
+// v3 fixed offsets: magic[0,4) version[4,8) header[8,35) crc[35,39).
 constexpr std::size_t VersionOff = 4;
 constexpr std::size_t HeaderOff = 8;
-constexpr std::size_t FirstSectionOff = 37;
+constexpr std::size_t FirstSectionOff = 39;
 
 /// Element sizes of the seven v3 sections, in writer order.
 constexpr std::size_t SectionElemSize[7] = {
@@ -282,6 +282,77 @@ TEST(SerializeCorruption, LegacyRecordDisorderCaughtByIntegrityCheck) {
   StatusOr<CvrMatrix> R = readFrom(V2);
   ASSERT_FALSE(R.ok());
   EXPECT_NE(R.status().message().find("cvr.blob."), std::string::npos);
+}
+
+/// Same matrix built with both compressed stream kinds: a 4-byte value
+/// stream and a 2-byte column-index stream. The byte-level defences must
+/// hold at these element widths too — the section CRCs cover the payloads
+/// regardless of the kinds the header declares.
+CvrMatrix makeCompressedCvr() {
+  CsrMatrix A = test::randomCsr(24, 24, 0.2, 7);
+  CvrOptions Opts;
+  Opts.Lanes = 8;
+  Opts.NumThreads = 4;
+  Opts.Values = ValueKind::F32x64;
+  Opts.Indices = ColIndexKind::U16Band;
+  return CvrMatrix::fromCsr(A, Opts);
+}
+
+TEST(SerializeCorruption, CompressedRoundTripKeepsKinds) {
+  CvrMatrix M = makeCompressedCvr();
+  ASSERT_EQ(M.valueKind(), ValueKind::F32x64);
+  ASSERT_EQ(M.colIndexKind(), ColIndexKind::U16Band);
+  std::string Blob = blobOf(M);
+  StatusOr<CvrMatrix> R = readFrom(Blob);
+  ASSERT_TRUE(R.ok()) << R.status().toString();
+  EXPECT_EQ(R->valueKind(), ValueKind::F32x64);
+  EXPECT_EQ(R->colIndexKind(), ColIndexKind::U16Band);
+  EXPECT_EQ(R->numNonZeros(), M.numNonZeros());
+  EXPECT_TRUE(R->isValid());
+  EXPECT_EQ(blobOf(*R), Blob); // byte-for-byte stable
+}
+
+TEST(SerializeCorruption, CompressedEveryTruncationRejected) {
+  std::string Blob = blobOf(makeCompressedCvr());
+  for (std::size_t L = 0; L < Blob.size(); ++L)
+    EXPECT_FALSE(readFrom(Blob.substr(0, L)).ok())
+        << "compressed prefix of " << L << " of " << Blob.size()
+        << " bytes was accepted";
+}
+
+TEST(SerializeCorruption, CompressedEveryBitFlipRejected) {
+  std::string Blob = blobOf(makeCompressedCvr());
+  for (std::size_t I = 0; I < Blob.size(); ++I) {
+    std::string Mut = Blob;
+    Mut[I] = static_cast<char>(Mut[I] ^ (1 << (I % 8)));
+    EXPECT_FALSE(readFrom(Mut).ok())
+        << "bit " << (I % 8) << " of compressed byte " << I
+        << " flipped without detection";
+  }
+}
+
+TEST(SerializeCorruption, CompressedMappedEveryBitFlipRejected) {
+  // The mmap-executable v4 layout carries the same kind bytes plus
+  // per-stream alignment padding; every flipped bit must still land on a
+  // checksummed region or a validated field.
+  CvrMatrix M = makeCompressedCvr();
+  std::ostringstream OS;
+  Status S = M.writeBlob(OS, BlobLayout::Mapped);
+  ASSERT_TRUE(S.ok()) << S.toString();
+  const std::string Blob = OS.str();
+  {
+    StatusOr<CvrMatrix> R = readFrom(Blob);
+    ASSERT_TRUE(R.ok()) << R.status().toString();
+    EXPECT_EQ(R->valueKind(), ValueKind::F32x64);
+    EXPECT_EQ(R->colIndexKind(), ColIndexKind::U16Band);
+  }
+  for (std::size_t I = 0; I < Blob.size(); ++I) {
+    std::string Mut = Blob;
+    Mut[I] = static_cast<char>(Mut[I] ^ (1 << (I % 8)));
+    EXPECT_FALSE(readFrom(Mut).ok())
+        << "bit " << (I % 8) << " of mapped byte " << I
+        << " flipped without detection";
+  }
 }
 
 TEST(SerializeCorruption, CheckBlobAttributesRules) {
